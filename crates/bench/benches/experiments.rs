@@ -1,0 +1,36 @@
+//! Criterion benches, one per reproduced table and figure: each measures
+//! the time to regenerate the artifact from a prebuilt corpus context.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{experiments as exp, DEFAULT_SEED};
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(20);
+
+    g.bench_function("table1", |b| b.iter(|| exp::table1(&ctx)));
+    g.bench_function("table2", |b| b.iter(|| exp::table2(&ctx)));
+    g.bench_function("figure1", |b| b.iter(|| exp::figure1(&ctx)));
+    g.bench_function("figure2", |b| b.iter(|| exp::figure2(&ctx)));
+    g.bench_function("figure3", |b| b.iter(|| exp::figure3(&ctx)));
+    g.bench_function("figure4", |b| b.iter(|| exp::figure4(&ctx)));
+    g.bench_function("figure5", |b| b.iter(|| exp::figure5(&ctx)));
+    g.bench_function("figure6", |b| b.iter(|| exp::figure6(&ctx)));
+    g.bench_function("figure7", |b| b.iter(|| exp::figure7(&ctx)));
+    g.bench_function("stats34", |b| b.iter(|| exp::stats34(&ctx)));
+    g.bench_function("stats52", |b| b.iter(|| exp::stats52(&ctx)));
+    g.bench_function("stats61", |b| b.iter(|| exp::stats61(&ctx)));
+    g.bench_function("stats62", |b| b.iter(|| exp::stats62(&ctx)));
+    g.bench_function("stats63", |b| b.iter(|| exp::stats63(&ctx)));
+    g.bench_function("ablation", |b| b.iter(|| exp::ablation(&ctx)));
+    g.bench_function("tables", |b| b.iter(|| exp::tables_exp(&ctx)));
+    g.bench_function("coevolution", |b| b.iter(|| exp::co_evolution_exp(&ctx)));
+    g.bench_function("forecast", |b| b.iter(|| exp::forecast(&ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

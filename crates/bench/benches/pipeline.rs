@@ -1,0 +1,136 @@
+//! Performance benchmarks for the measurement pipeline itself:
+//! DDL parsing throughput, schema diffing, heartbeat construction, metric
+//! extraction and corpus-scale classification.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use schemachron_core::metrics::TimeMetrics;
+use schemachron_core::quantize::Labels;
+use schemachron_corpus::Corpus;
+use schemachron_ddl::parse_schema;
+use schemachron_history::{Date, ProjectHistoryBuilder};
+use schemachron_model::diff;
+
+/// Builds a realistic multi-table dump of `n` tables.
+fn synthetic_dump(n: usize) -> String {
+    let mut sql = String::new();
+    for i in 0..n {
+        sql.push_str(&format!(
+            "CREATE TABLE `table_{i}` (\n\
+             id INT NOT NULL AUTO_INCREMENT,\n\
+             name VARCHAR(255) NOT NULL DEFAULT '',\n\
+             amount DECIMAL(10,2) unsigned DEFAULT 0.00,\n\
+             created TIMESTAMP NOT NULL DEFAULT CURRENT_TIMESTAMP,\n\
+             owner_id INT REFERENCES table_0 (id),\n\
+             notes TEXT,\n\
+             PRIMARY KEY (id),\n\
+             UNIQUE KEY uq_{i} (name),\n\
+             KEY idx_{i} (owner_id)\n\
+             ) ENGINE=InnoDB DEFAULT CHARSET=utf8;\n\
+             INSERT INTO table_{i} VALUES (1, 'x', 0, NOW(), NULL, NULL);\n"
+        ));
+    }
+    sql
+}
+
+fn bench_ddl_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ddl_parse");
+    for &n in &[10usize, 100] {
+        let sql = synthetic_dump(n);
+        g.throughput(Throughput::Bytes(sql.len() as u64));
+        g.bench_function(format!("dump_{n}_tables"), |b| {
+            b.iter(|| parse_schema(std::hint::black_box(&sql)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_schema_diff(c: &mut Criterion) {
+    let (old, _) = parse_schema(&synthetic_dump(100));
+    let mut sql = synthetic_dump(100);
+    sql.push_str("ALTER TABLE table_3 ADD COLUMN extra INT;\nDROP TABLE table_7;\n");
+    let (new, _) = {
+        let mut b = schemachron_ddl::SchemaBuilder::new();
+        b.apply_script(&sql);
+        b.finish()
+    };
+    c.bench_function("schema_diff/100_tables", |b| {
+        b.iter(|| diff(std::hint::black_box(&old), std::hint::black_box(&new)))
+    });
+}
+
+fn bench_heartbeat_build(c: &mut Criterion) {
+    // A 60-month migration history with monthly schema and source commits.
+    let scripts: Vec<(Date, String)> = (0..60u32)
+        .map(|m| {
+            let d = Date::new(2015 + (m / 12) as i32, (m % 12 + 1) as u8, 5);
+            let sql = if m == 0 {
+                synthetic_dump(10)
+            } else {
+                format!("ALTER TABLE table_1 ADD COLUMN col_{m} INT;")
+            };
+            (d, sql)
+        })
+        .collect();
+    c.bench_function("heartbeat_build/60_months", |b| {
+        b.iter_batched(
+            || scripts.clone(),
+            |scripts| {
+                let mut pb = ProjectHistoryBuilder::new("bench");
+                for (d, sql) in scripts {
+                    pb.migration(d, sql);
+                    pb.source_commit(d, 100.0);
+                }
+                pb.build()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_metrics_and_classify(c: &mut Criterion) {
+    let corpus = Corpus::generate(42);
+    c.bench_function("metrics/per_project", |b| {
+        b.iter(|| {
+            corpus
+                .projects()
+                .iter()
+                .filter_map(|p| TimeMetrics::from_project(std::hint::black_box(&p.history)))
+                .count()
+        })
+    });
+    let metrics: Vec<TimeMetrics> = corpus
+        .projects()
+        .iter()
+        .map(|p| p.metrics.clone())
+        .collect();
+    c.bench_function("classify/151_projects", |b| {
+        b.iter(|| {
+            metrics
+                .iter()
+                .map(|m| schemachron_core::classify(&Labels::from_metrics(m)))
+                .filter(Option::is_some)
+                .count()
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("generate_corpus_151", |b| b.iter(|| Corpus::generate(42)));
+    g.bench_function("generate_corpus_500_scaled", |b| {
+        b.iter(|| Corpus::generate_scaled(42, 500))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ddl_parse,
+    bench_schema_diff,
+    bench_heartbeat_build,
+    bench_metrics_and_classify,
+    bench_end_to_end
+);
+criterion_main!(benches);

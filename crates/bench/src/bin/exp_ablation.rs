@@ -1,0 +1,14 @@
+//! Runs the threshold/granule ablation sweeps (beyond the paper).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::ablation(&ctx);
+    emit(
+        "exp_ablation",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

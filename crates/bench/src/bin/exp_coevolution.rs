@@ -1,0 +1,14 @@
+//! Runs the schema/source co-evolution analysis (beyond the paper).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::co_evolution_exp(&ctx);
+    emit(
+        "exp_coevolution",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

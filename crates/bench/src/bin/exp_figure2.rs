@@ -1,0 +1,14 @@
+//! Regenerates Figure 2 (Spearman correlations).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::figure2(&ctx);
+    emit(
+        "exp_figure2",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

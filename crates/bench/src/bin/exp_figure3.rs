@@ -1,0 +1,33 @@
+//! Regenerates Figure 3 (example pattern lines).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::figure3(&ctx);
+    emit(
+        "exp_figure3",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+
+    // Also export an SVG gallery, one file per pattern exemplar.
+    let dir = std::path::Path::new("target/experiments/figure3");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let svg = schemachron_chart::svg::SvgChart::default();
+        for (pattern, name, _) in &result.charts {
+            let exemplar = ctx
+                .corpus
+                .projects()
+                .iter()
+                .find(|p| &p.card.name == name)
+                .expect("exemplar exists");
+            let art = svg.render(&exemplar.history);
+            let file = dir.join(format!("{}.svg", pattern.name().replace(' ', "_")));
+            if std::fs::write(&file, art).is_ok() {
+                println!("wrote {}", file.display());
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4 (pattern characteristics overview).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::figure4(&ctx);
+    emit(
+        "exp_figure4",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 7 (pattern probability by birth month).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::figure7(&ctx);
+    emit(
+        "exp_figure7",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

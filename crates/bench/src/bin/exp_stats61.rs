@@ -1,0 +1,14 @@
+//! Regenerates the §6.1 activity medians.
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::stats61(&ctx);
+    emit(
+        "exp_stats61",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

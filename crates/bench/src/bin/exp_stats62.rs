@@ -1,0 +1,14 @@
+//! Regenerates the §6.2 rigidity probabilities.
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::stats62(&ctx);
+    emit(
+        "exp_stats62",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

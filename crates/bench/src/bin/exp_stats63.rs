@@ -1,0 +1,14 @@
+//! Regenerates the §6.3 change-type mixture.
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::stats63(&ctx);
+    emit(
+        "exp_stats63",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 1 (quantization label counts).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::table1(&ctx);
+    emit(
+        "exp_table1",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2 (exceptions and overlaps).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::table2(&ctx);
+    emit(
+        "exp_table2",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

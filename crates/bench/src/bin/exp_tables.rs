@@ -1,0 +1,14 @@
+//! Runs the table-level rigidity census (beyond the paper).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::tables_exp(&ctx);
+    emit(
+        "exp_tables",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

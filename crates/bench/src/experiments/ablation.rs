@@ -1,0 +1,194 @@
+//! Ablations beyond the paper: how sensitive is the pattern taxonomy to the
+//! study's fixed conventions?
+//!
+//! The paper fixes three knobs by convention: the **top band** at 90% of
+//! total activity, the **vault** threshold at 10% of the PUP, and the
+//! **month** as the time granule. These experiments sweep each knob and
+//! measure how the strict-classification populations move — small movement
+//! means the taxonomy reflects the data, not the knob settings.
+
+use serde::Serialize;
+
+use schemachron_core::metrics::TimeMetrics;
+use schemachron_core::quantize::Labels;
+use schemachron_core::{classify, Pattern};
+use schemachron_history::ProjectHistory;
+
+use crate::context::ExpContext;
+use crate::report::{cell, text_table};
+
+/// One sweep point: the knob value and the resulting strict-classification
+/// census (plus how many projects no definition covers).
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepPoint {
+    /// The knob value (threshold fraction, or months-per-bucket).
+    pub value: f64,
+    /// Projects strictly classified per pattern, [`Pattern::ALL`] order.
+    pub populations: [usize; 8],
+    /// Projects outside every definition at this knob setting.
+    pub unclassified: usize,
+    /// Projects whose strict classification differs from the baseline
+    /// (top band 90%, vault 10%, month granule).
+    pub moved: usize,
+}
+
+/// The ablation results.
+#[derive(Clone, Debug, Serialize)]
+pub struct Ablation {
+    /// Top-band threshold sweep (vault fixed at 10%).
+    pub topband_sweep: Vec<SweepPoint>,
+    /// Vault-threshold sweep: `(threshold, projects with a single vault)`.
+    pub vault_sweep: Vec<(f64, usize)>,
+    /// Time-granule sweep (months per bucket: 1 = the paper's granule).
+    pub granule_sweep: Vec<SweepPoint>,
+}
+
+/// Runs all three ablation sweeps.
+pub fn ablation(ctx: &ExpContext) -> Ablation {
+    let projects = ctx.corpus.projects();
+    let baseline: Vec<Option<Pattern>> = projects.iter().map(|p| classify(&p.labels)).collect();
+
+    let census = |classified: &[Option<Pattern>]| -> ([usize; 8], usize, usize) {
+        let mut pop = [0usize; 8];
+        let mut un = 0;
+        let mut moved = 0;
+        for (c, b) in classified.iter().zip(&baseline) {
+            match c {
+                Some(p) => pop[p.ordinal()] += 1,
+                None => un += 1,
+            }
+            if c != b {
+                moved += 1;
+            }
+        }
+        (pop, un, moved)
+    };
+
+    // ---- top-band sweep --------------------------------------------------
+    let topband_sweep = [0.80, 0.85, 0.90, 0.95]
+        .into_iter()
+        .map(|tb| {
+            let classified: Vec<Option<Pattern>> = projects
+                .iter()
+                .map(|p| {
+                    TimeMetrics::from_project_with(&p.history, tb, 0.10)
+                        .map(|m| Labels::from_metrics(&m))
+                        .and_then(|l| classify(&l))
+                })
+                .collect();
+            let (populations, unclassified, moved) = census(&classified);
+            SweepPoint {
+                value: tb,
+                populations,
+                unclassified,
+                moved,
+            }
+        })
+        .collect();
+
+    // ---- vault sweep -----------------------------------------------------
+    let vault_sweep = [0.05, 0.075, 0.10, 0.15, 0.20]
+        .into_iter()
+        .map(|vt| {
+            let vaulted = projects
+                .iter()
+                .filter(|p| {
+                    TimeMetrics::from_project_with(&p.history, 0.9, vt)
+                        .is_some_and(|m| m.has_single_vault)
+                })
+                .count();
+            (vt, vaulted)
+        })
+        .collect();
+
+    // ---- granule sweep ----------------------------------------------------
+    let granule_sweep = [1usize, 2, 3]
+        .into_iter()
+        .map(|g| {
+            let classified: Vec<Option<Pattern>> = projects
+                .iter()
+                .map(|p| {
+                    let coarse = regroup(&p.history, g);
+                    TimeMetrics::from_project(&coarse)
+                        .map(|m| Labels::from_metrics(&m))
+                        .and_then(|l| classify(&l))
+                })
+                .collect();
+            let (populations, unclassified, moved) = census(&classified);
+            SweepPoint {
+                value: g as f64,
+                populations,
+                unclassified,
+                moved,
+            }
+        })
+        .collect();
+
+    Ablation {
+        topband_sweep,
+        vault_sweep,
+        granule_sweep,
+    }
+}
+
+/// Re-aggregates a project's heartbeats into buckets of `granule` months.
+fn regroup(p: &ProjectHistory, granule: usize) -> ProjectHistory {
+    if granule <= 1 {
+        return p.clone();
+    }
+    let group =
+        |values: &[f64]| -> Vec<f64> { values.chunks(granule).map(|c| c.iter().sum()).collect() };
+    ProjectHistory::from_heartbeats(
+        p.name(),
+        p.start(),
+        group(p.schema_heartbeat().values()),
+        group(p.source_heartbeat().values()),
+        p.kind_totals(),
+    )
+}
+
+impl Ablation {
+    /// Renders all three sweeps.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Ablations — sensitivity of the taxonomy to the study's conventions\n");
+
+        let sweep_table = |title: &str, points: &[SweepPoint], fmt: &dyn Fn(f64) -> String| {
+            let mut header = vec![cell(title)];
+            header.extend(Pattern::ALL.iter().map(|p| cell(p.name())));
+            header.push(cell("none"));
+            header.push(cell("moved"));
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|pt| {
+                    let mut v = vec![fmt(pt.value)];
+                    v.extend(pt.populations.iter().map(cell));
+                    v.push(cell(pt.unclassified));
+                    v.push(cell(pt.moved));
+                    v
+                })
+                .collect();
+            text_table(&header, &rows)
+        };
+
+        out.push_str("\nTop-band threshold sweep (paper: 90%):\n");
+        out.push_str(&sweep_table("top band", &self.topband_sweep, &|v| {
+            format!("{:.0}%", v * 100.0)
+        }));
+
+        out.push_str("\nVault threshold sweep (paper: 10% → 88 vaulted projects):\n");
+        let header = vec![cell("vault <"), cell("projects with a single vault")];
+        let rows: Vec<Vec<String>> = self
+            .vault_sweep
+            .iter()
+            .map(|(v, n)| vec![format!("{:.1}%", v * 100.0), cell(n)])
+            .collect();
+        out.push_str(&text_table(&header, &rows));
+
+        out.push_str("\nTime-granule sweep (paper: 1 month per bucket):\n");
+        out.push_str(&sweep_table("months/bucket", &self.granule_sweep, &|v| {
+            format!("{v:.0}")
+        }));
+        out
+    }
+}

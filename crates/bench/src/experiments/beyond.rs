@@ -1,0 +1,203 @@
+//! Beyond the paper: table-level rigidity and schema/source co-evolution —
+//! the two companion-study threads (refs \[44\]/\[46\]/\[47\] and \[45\]) the
+//! paper's related-work section builds its narrative on.
+
+use serde::Serialize;
+
+use schemachron_core::lag::co_evolution;
+use schemachron_core::tables::table_census;
+use schemachron_core::Pattern;
+use schemachron_stats::{mann_whitney_u, median};
+
+use crate::context::ExpContext;
+use crate::report::{cell, pct, text_table};
+
+// ------------------------------------------------------------- tables
+
+/// Table-level rigidity census over the whole corpus.
+#[derive(Clone, Debug, Serialize)]
+pub struct TablesExp {
+    /// Tables that ever existed across all 151 histories.
+    pub total_tables: usize,
+    /// Tables with zero post-birth updates.
+    pub rigid_tables: usize,
+    /// Tables surviving to their history's end.
+    pub surviving_tables: usize,
+    /// Per-pattern `(pattern, tables, rigidity rate)` rows.
+    pub per_pattern: Vec<(Pattern, usize, f64)>,
+    /// Median post-birth updates of FK-involved vs FK-free tables, plus
+    /// the Mann–Whitney p-value of the split (ref \[44\]'s question).
+    pub fk_split: FkSplit,
+}
+
+/// The foreign-key activity split.
+#[derive(Clone, Debug, Serialize)]
+pub struct FkSplit {
+    /// Number of FK-involved tables.
+    pub fk_tables: usize,
+    /// Number of FK-free tables.
+    pub non_fk_tables: usize,
+    /// Median updates of FK-involved tables.
+    pub fk_median_updates: f64,
+    /// Median updates of FK-free tables.
+    pub non_fk_median_updates: f64,
+    /// Two-sided Mann–Whitney p of the update distributions (`None` when a
+    /// side is empty or degenerate).
+    pub p_value: Option<f64>,
+}
+
+/// Runs the table-level census over the corpus.
+pub fn tables_exp(ctx: &ExpContext) -> TablesExp {
+    let mut total = 0;
+    let mut rigid = 0;
+    let mut survivors = 0;
+    let mut fk_updates: Vec<f64> = Vec::new();
+    let mut non_fk_updates: Vec<f64> = Vec::new();
+    let mut per_pattern = Vec::new();
+
+    for pattern in Pattern::ALL {
+        let mut p_total = 0;
+        let mut p_rigid = 0;
+        for project in ctx.corpus.of_pattern(pattern) {
+            let history = project
+                .history
+                .schema_history()
+                .expect("corpus projects are DDL-built");
+            let census = table_census(history);
+            total += census.total;
+            rigid += census.rigid;
+            survivors += census.survivors;
+            p_total += census.total;
+            p_rigid += census.rigid;
+            fk_updates.extend(census.fk_updates.iter().map(|&u| u as f64));
+            non_fk_updates.extend(census.non_fk_updates.iter().map(|&u| u as f64));
+        }
+        let rate = if p_total == 0 {
+            0.0
+        } else {
+            p_rigid as f64 / p_total as f64
+        };
+        per_pattern.push((pattern, p_total, rate));
+    }
+
+    let p_value = mann_whitney_u(&fk_updates, &non_fk_updates)
+        .ok()
+        .map(|r| r.p_value);
+    TablesExp {
+        total_tables: total,
+        rigid_tables: rigid,
+        surviving_tables: survivors,
+        per_pattern,
+        fk_split: FkSplit {
+            fk_tables: fk_updates.len(),
+            non_fk_tables: non_fk_updates.len(),
+            fk_median_updates: median(&fk_updates),
+            non_fk_median_updates: median(&non_fk_updates),
+            p_value,
+        },
+    }
+}
+
+impl TablesExp {
+    /// Renders the census.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Tables — rigidity census over the corpus (beyond the paper)\n\n\
+             tables that ever existed: {}\n\
+             rigid (zero post-birth updates): {} ({:.0}%)\n\
+             surviving to history end: {} ({:.0}%)\n\n",
+            self.total_tables,
+            self.rigid_tables,
+            100.0 * self.rigid_tables as f64 / self.total_tables.max(1) as f64,
+            self.surviving_tables,
+            100.0 * self.surviving_tables as f64 / self.total_tables.max(1) as f64,
+        );
+        let header = vec![cell("Pattern"), cell("tables"), cell("rigidity rate")];
+        let rows: Vec<Vec<String>> = self
+            .per_pattern
+            .iter()
+            .map(|(p, n, r)| vec![cell(p.name()), cell(n), pct(*r)])
+            .collect();
+        out.push_str(&text_table(&header, &rows));
+        let f = &self.fk_split;
+        out.push_str(&format!(
+            "\nforeign-key split: {} FK-involved tables (median updates {:.1}) vs \
+             {} FK-free (median {:.1}), Mann-Whitney p = {}\n",
+            f.fk_tables,
+            f.fk_median_updates,
+            f.non_fk_tables,
+            f.non_fk_median_updates,
+            f.p_value
+                .map_or_else(|| "n/a".to_owned(), |p| format!("{p:.2e}")),
+        ));
+        out
+    }
+}
+
+// --------------------------------------------------------- co-evolution
+
+/// Schema/source co-evolution over the corpus.
+#[derive(Clone, Debug, Serialize)]
+pub struct CoEvolutionExp {
+    /// Per-pattern `(pattern, median lead, median line correlation)` rows;
+    /// *lead* > 0 means the schema runs ahead of the source code.
+    pub per_pattern: Vec<(Pattern, f64, f64)>,
+    /// Share of projects whose schema leads the source (lead > 0).
+    pub schema_leads_share: f64,
+}
+
+/// Runs the co-evolution analysis.
+pub fn co_evolution_exp(ctx: &ExpContext) -> CoEvolutionExp {
+    let mut per_pattern = Vec::new();
+    let mut leads = 0usize;
+    let mut measured = 0usize;
+    for pattern in Pattern::ALL {
+        let mut lead_vals = Vec::new();
+        let mut corr_vals = Vec::new();
+        for project in ctx.corpus.of_pattern(pattern) {
+            if let Some(c) = co_evolution(&project.history) {
+                measured += 1;
+                if c.lead > 0.0 {
+                    leads += 1;
+                }
+                lead_vals.push(c.lead);
+                corr_vals.push(c.line_correlation);
+            }
+        }
+        per_pattern.push((pattern, median(&lead_vals), median(&corr_vals)));
+    }
+    CoEvolutionExp {
+        per_pattern,
+        schema_leads_share: leads as f64 / measured.max(1) as f64,
+    }
+}
+
+impl CoEvolutionExp {
+    /// Renders the co-evolution table.
+    pub fn render(&self) -> String {
+        let header = vec![
+            cell("Pattern"),
+            cell("median lead (schema vs source)"),
+            cell("median line correlation"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .per_pattern
+            .iter()
+            .map(|(p, lead, corr)| {
+                vec![
+                    cell(p.name()),
+                    cell(format!("{lead:+.2}")),
+                    cell(format!("{corr:.2}")),
+                ]
+            })
+            .collect();
+        format!(
+            "Co-evolution — does the schema lead the source code? (beyond the paper)\n\n{}\n\
+             schema leads the source in {} of projects — the \"freeze the schema\n\
+             first; then build the applications on top of it\" practice the paper\n\
+             calls majoritarian (its Be Quick or Be Dead family).\n",
+            text_table(&header, &rows),
+            pct(self.schema_leads_share),
+        )
+    }
+}

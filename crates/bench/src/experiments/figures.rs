@@ -1,0 +1,452 @@
+//! Figures 1, 2, 3, 5, 6, 7.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use schemachron_chart::ascii::{render_annotated, AsciiChart};
+use schemachron_core::predict::{BirthBucket, BirthPredictor};
+use schemachron_core::validate::{completeness, disjointedness, domain_coverage, DomainCell};
+use schemachron_core::Pattern;
+use schemachron_stats::spearman_matrix;
+
+use crate::context::ExpContext;
+use crate::report::{cell, pct, text_table};
+
+// --------------------------------------------------------------- Figure 1
+
+/// Figure 1 — the nomenclature chart: one project annotated with schema
+/// birth, top-band attainment, vault and tail.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure1 {
+    /// The exemplar project's name.
+    pub project: String,
+    /// The rendered chart plus annotations.
+    pub rendering: String,
+}
+
+/// Regenerates Figure 1 using a Radical Sign exemplar (early birth, sharp
+/// vault, long tail — the shape the paper annotates).
+pub fn figure1(ctx: &ExpContext) -> Figure1 {
+    let p = ctx
+        .corpus
+        .of_pattern(Pattern::RadicalSign)
+        .find(|p| p.metrics.has_single_vault && p.metrics.birth_index > 0)
+        .expect("the corpus always contains vaulted radical signs");
+    let m = &p.metrics;
+    let mut rendering = render_annotated(
+        &AsciiChart::default(),
+        &p.history,
+        m.birth_pct_pup,
+        m.topband_pct_pup,
+        m.has_single_vault,
+    );
+    rendering.push_str(&format!(
+        "\nschema birth:        month {} ({:.0}% of PUP), {:.0}% of total activity\n\
+         top-band attained:   month {} ({:.0}% of PUP)\n\
+         growth (birth..top): {:.0}% of PUP — {}\n\
+         tail (top..end):     {:.0}% of PUP of near-zero change\n",
+        m.birth_index,
+        m.birth_pct_pup * 100.0,
+        m.birth_volume_pct_total * 100.0,
+        m.topband_index,
+        m.topband_pct_pup * 100.0,
+        m.interval_birth_to_top_pct * 100.0,
+        if m.has_single_vault {
+            "a VAULT (< 10%)"
+        } else {
+            "no vault"
+        },
+        m.interval_top_to_end_pct * 100.0,
+    ));
+    Figure1 {
+        project: p.card.name.clone(),
+        rendering,
+    }
+}
+
+impl Figure1 {
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 1 — nomenclature of schema/source histories ({})\n\n{}",
+            self.project, self.rendering
+        )
+    }
+}
+
+// --------------------------------------------------------------- Figure 2
+
+/// The time-related metrics correlated in Figure 2, in column order.
+pub const FIGURE2_METRICS: [&str; 8] = [
+    "BirthVolume_pctTotal",
+    "PointOfBirth_pctPUP",
+    "PointTopBand_pctPUP",
+    "IntervalBirthToTop_pctPUP",
+    "IntervalTopToEnd_pctPUP",
+    "ActiveGrowthMonths",
+    "Active_pctGrowth",
+    "Active_pctPUP",
+];
+
+/// Figure 2 — Spearman correlations of the time-related metrics.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure2 {
+    /// Metric names, aligned with the matrix.
+    pub metrics: Vec<String>,
+    /// The full correlation matrix.
+    pub matrix: Vec<Vec<f64>>,
+}
+
+/// Regenerates Figure 2.
+pub fn figure2(ctx: &ExpContext) -> Figure2 {
+    let projects = ctx.corpus.projects();
+    let columns: Vec<Vec<f64>> = vec![
+        projects
+            .iter()
+            .map(|p| p.metrics.birth_volume_pct_total)
+            .collect(),
+        projects.iter().map(|p| p.metrics.birth_pct_pup).collect(),
+        projects.iter().map(|p| p.metrics.topband_pct_pup).collect(),
+        projects
+            .iter()
+            .map(|p| p.metrics.interval_birth_to_top_pct)
+            .collect(),
+        projects
+            .iter()
+            .map(|p| p.metrics.interval_top_to_end_pct)
+            .collect(),
+        projects
+            .iter()
+            .map(|p| p.metrics.active_growth_months as f64)
+            .collect(),
+        projects
+            .iter()
+            .map(|p| p.metrics.active_pct_growth)
+            .collect(),
+        projects.iter().map(|p| p.metrics.active_pct_pup).collect(),
+    ];
+    Figure2 {
+        metrics: FIGURE2_METRICS.iter().map(|s| (*s).to_owned()).collect(),
+        matrix: spearman_matrix(&columns),
+    }
+}
+
+impl Figure2 {
+    /// Correlation of two metrics by name.
+    pub fn rho(&self, a: &str, b: &str) -> f64 {
+        let i = self.metrics.iter().position(|m| m == a).expect("metric a");
+        let j = self.metrics.iter().position(|m| m == b).expect("metric b");
+        self.matrix[i][j]
+    }
+
+    /// Renders the matrix plus the paper's headline correlations.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 2 — Spearman correlations of time-related metrics\n\n");
+        let header: Vec<String> = std::iter::once(cell(""))
+            .chain((0..self.metrics.len()).map(|i| cell(format!("m{i}"))))
+            .collect();
+        let rows: Vec<Vec<String>> = self
+            .matrix
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                std::iter::once(cell(format!("m{i} {}", self.metrics[i])))
+                    .chain(row.iter().map(|v| cell(format!("{v:+.2}"))))
+                    .collect()
+            })
+            .collect();
+        out.push_str(&text_table(&header, &rows));
+        out.push_str(&format!(
+            "\nheadline relations (paper):\n\
+             rho(PointTopBand, IntervalTopToEnd) = {:+.2}   (paper: strongly anti-correlated)\n\
+             rho(PointOfBirth, PointTopBand)     = {:+.2}   (paper: ~+0.61)\n\
+             rho(BirthVolume, IntervalBirthToTop)= {:+.2}   (paper: anti-correlated)\n\
+             rho(ActiveGrowthMonths, Active_pctPUP) = {:+.2} (paper: tightly related)\n",
+            self.rho("PointTopBand_pctPUP", "IntervalTopToEnd_pctPUP"),
+            self.rho("PointOfBirth_pctPUP", "PointTopBand_pctPUP"),
+            self.rho("BirthVolume_pctTotal", "IntervalBirthToTop_pctPUP"),
+            self.rho("ActiveGrowthMonths", "Active_pctPUP"),
+        ));
+        out
+    }
+}
+
+// --------------------------------------------------------------- Figure 3
+
+/// Figure 3 — one exemplar cumulative chart per pattern.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure3 {
+    /// `(pattern, project name, ASCII chart)` triples, in pattern order.
+    pub charts: Vec<(Pattern, String, String)>,
+}
+
+/// Regenerates Figure 3 (the first non-exception member of each pattern).
+pub fn figure3(ctx: &ExpContext) -> Figure3 {
+    let chart = AsciiChart {
+        width: 56,
+        height: 10,
+    };
+    let charts = Pattern::ALL
+        .iter()
+        .map(|&p| {
+            let exemplar = ctx
+                .corpus
+                .of_pattern(p)
+                .find(|x| !x.exception)
+                .expect("every pattern has clean members");
+            (
+                p,
+                exemplar.card.name.clone(),
+                chart.render(&exemplar.history),
+            )
+        })
+        .collect();
+    Figure3 { charts }
+}
+
+impl Figure3 {
+    /// Renders all eight charts.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 3 — example time-related patterns\n");
+        for (p, name, art) in &self.charts {
+            out.push_str(&format!("\n[{}] {}\n{art}", p.name(), name));
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------------- Figure 5
+
+/// Figure 5 — the decision tree separating the patterns, with its training
+/// error (the paper's tree misclassifies 4 of 151).
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure5 {
+    /// Indented text form of the tree.
+    pub tree_rendering: String,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Misclassified projects (name, assigned, predicted).
+    pub misclassified: Vec<(String, Pattern, Pattern)>,
+}
+
+/// Regenerates Figure 5.
+pub fn figure5(ctx: &ExpContext) -> Figure5 {
+    let tree = ctx.decision_tree();
+    let features = ctx.feature_matrix();
+    let misclassified = ctx
+        .corpus
+        .projects()
+        .iter()
+        .zip(&features)
+        .filter_map(|(p, f)| {
+            let predicted = Pattern::ALL[tree.predict(f)];
+            (predicted != p.assigned).then(|| (p.card.name.clone(), p.assigned, predicted))
+        })
+        .collect();
+    Figure5 {
+        tree_rendering: ctx.render_tree(&tree),
+        leaves: tree.leaf_count(),
+        depth: tree.depth(),
+        misclassified,
+    }
+}
+
+impl Figure5 {
+    /// Renders the tree and its error report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 5 — decision tree over the quantized labels \
+             ({} leaves, depth {})\n\n{}",
+            self.leaves, self.depth, self.tree_rendering
+        );
+        out.push_str(&format!(
+            "\nmisclassified: {} of 151 (paper: 4 of 151)\n",
+            self.misclassified.len()
+        ));
+        for (name, assigned, predicted) in &self.misclassified {
+            out.push_str(&format!(
+                "  {name}: assigned {assigned}, tree says {predicted}\n"
+            ));
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------------- Figure 6
+
+/// Figure 6 — coverage of the label space by the patterns.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure6 {
+    /// Populated cells: (birth, top, interval, agm-bucket) → pattern census.
+    pub cells: Vec<(String, BTreeMap<String, usize>)>,
+    /// Populated cell count.
+    pub populated: usize,
+    /// Cells hosting more than one pattern.
+    pub overlap_cells: usize,
+    /// Attainable cells in the whole space.
+    pub attainable: usize,
+    /// Total cells in the whole space.
+    pub total_cells: usize,
+}
+
+/// Regenerates Figure 6.
+pub fn figure6(ctx: &ExpContext) -> Figure6 {
+    let items = ctx.corpus.annotated_labels();
+    let coverage = domain_coverage(&items);
+    let dis = disjointedness(&items);
+    let comp = completeness(&items);
+    let cells = coverage
+        .iter()
+        .map(|(cell, census)| {
+            (
+                cell_name(cell),
+                census
+                    .per_pattern
+                    .iter()
+                    .map(|(p, n)| (p.name().to_owned(), *n))
+                    .collect(),
+            )
+        })
+        .collect();
+    Figure6 {
+        cells,
+        populated: dis.populated_cells,
+        overlap_cells: dis.overlap_cells,
+        attainable: comp.attainable_cells,
+        total_cells: comp.total_cells,
+    }
+}
+
+fn cell_name(c: &DomainCell) -> String {
+    format!(
+        "{}/{}/{}/agm:{}",
+        c.birth.label(),
+        c.top.label(),
+        c.interval.label(),
+        ["0", "1-3", ">3"][c.agm_bucket as usize]
+    )
+}
+
+impl Figure6 {
+    /// Renders the coverage map.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 6 — active-domain coverage: {} populated cells \
+             ({} overlaps) of {} attainable / {} total\n\n",
+            self.populated, self.overlap_cells, self.attainable, self.total_cells
+        );
+        let header = vec![cell("cell (birth/top/interval/agm)"), cell("patterns")];
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|(name, census)| {
+                let who = census
+                    .iter()
+                    .map(|(p, n)| format!("{p}({n})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                vec![cell(name), who]
+            })
+            .collect();
+        out.push_str(&text_table(&header, &rows));
+        out
+    }
+}
+
+// --------------------------------------------------------------- Figure 7
+
+/// Figure 7 — probability of each pattern given the birth-month bucket.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure7 {
+    /// Per-pattern rows: overall count, then (count, probability) per bucket.
+    pub rows: Vec<Figure7Row>,
+    /// Bucket totals (M0, M1–6, M7–12, >M12).
+    pub bucket_totals: [usize; 4],
+}
+
+/// One Figure 7 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure7Row {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Overall project count.
+    pub overall: usize,
+    /// Overall probability.
+    pub overall_prob: f64,
+    /// `(count, P(pattern | bucket))` for each bucket in
+    /// [`BirthBucket::ALL`] order.
+    pub per_bucket: [(usize, f64); 4],
+}
+
+/// Regenerates Figure 7 from the fitted predictor.
+pub fn figure7(ctx: &ExpContext) -> Figure7 {
+    let pred: BirthPredictor = ctx.birth_predictor();
+    let overall = pred.overall_probabilities();
+    let rows = Pattern::ALL
+        .iter()
+        .map(|&p| {
+            let mut per_bucket = [(0usize, 0.0f64); 4];
+            for (i, &b) in BirthBucket::ALL.iter().enumerate() {
+                per_bucket[i] = (pred.count(p, b), pred.probabilities(b)[p.ordinal()]);
+            }
+            Figure7Row {
+                pattern: p,
+                overall: BirthBucket::ALL.iter().map(|&b| pred.count(p, b)).sum(),
+                overall_prob: overall[p.ordinal()],
+                per_bucket,
+            }
+        })
+        .collect();
+    let mut bucket_totals = [0usize; 4];
+    for (i, &b) in BirthBucket::ALL.iter().enumerate() {
+        bucket_totals[i] = pred.bucket_total(b);
+    }
+    Figure7 {
+        rows,
+        bucket_totals,
+    }
+}
+
+impl Figure7 {
+    /// Renders the probability table (Fig. 7 layout).
+    pub fn render(&self) -> String {
+        let header = vec![
+            cell("Pattern"),
+            cell("overall"),
+            cell("prob"),
+            cell("M0"),
+            cell("prob"),
+            cell("M1-6"),
+            cell("prob"),
+            cell("M7-12"),
+            cell("prob"),
+            cell(">M12"),
+            cell("prob"),
+        ];
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![cell(r.pattern.name()), cell(r.overall), pct(r.overall_prob)];
+                for (n, p) in r.per_bucket {
+                    v.push(cell(n));
+                    v.push(pct(p));
+                }
+                v
+            })
+            .collect();
+        let mut totals = vec![cell("TOTAL"), cell(151), pct(1.0)];
+        for t in self.bucket_totals {
+            totals.push(cell(t));
+            totals.push(pct(if t > 0 { 1.0 } else { 0.0 }));
+        }
+        rows.push(totals);
+        format!(
+            "Figure 7 — P(pattern | point of schema birth)\n\n{}",
+            text_table(&header, &rows)
+        )
+    }
+}

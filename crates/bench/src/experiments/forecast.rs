@@ -1,0 +1,156 @@
+//! Early-horizon pattern forecasting — the paper's second future-work
+//! direction: "the provision of solid foundations for the prediction of
+//! future behavior on the basis of a meaningful model" (§7).
+//!
+//! An observer watches a project's first `h` months (absolute months — the
+//! eventual lifespan is unknown at observation time), extracts the
+//! [`horizon_features`](schemachron_core::predict::horizon_features), and a
+//! decision tree predicts the project's **final** pattern. Accuracy is
+//! estimated honestly with leave-one-out cross-validation and compared to
+//! the majority-class baseline (always predicting Radical Sign, 41/151 ≈
+//! 27%) and to the paper's own Fig. 7 oracle (birth bucket only).
+
+use serde::Serialize;
+
+use schemachron_core::predict::{horizon_features, BirthBucket, HORIZON_FEATURE_NAMES};
+use schemachron_core::Pattern;
+use schemachron_stats::{DecisionTree, TreeConfig};
+
+use crate::context::ExpContext;
+use crate::report::{cell, pct, text_table};
+
+/// One forecasting horizon's cross-validated result.
+#[derive(Clone, Debug, Serialize)]
+pub struct HorizonResult {
+    /// Observation window in months.
+    pub horizon: usize,
+    /// Leave-one-out accuracy of the decision tree on the 5 horizon
+    /// features.
+    pub loo_accuracy: f64,
+    /// Leave-one-out accuracy of predicting the *family* only.
+    pub loo_family_accuracy: f64,
+}
+
+/// The forecast experiment results.
+#[derive(Clone, Debug, Serialize)]
+pub struct Forecast {
+    /// One row per horizon.
+    pub horizons: Vec<HorizonResult>,
+    /// Majority-class baseline accuracy (predict Radical Sign always).
+    pub majority_baseline: f64,
+    /// Accuracy of the Fig. 7 oracle (most likely pattern per birth
+    /// bucket, judged on the full history's birth month).
+    pub birth_oracle_accuracy: f64,
+}
+
+/// Runs the leave-one-out forecasting evaluation.
+pub fn forecast(ctx: &ExpContext) -> Forecast {
+    let projects = ctx.corpus.projects();
+    let n = projects.len();
+    let labels: Vec<usize> = projects.iter().map(|p| p.assigned.ordinal()).collect();
+
+    // Majority baseline.
+    let mut counts = [0usize; 8];
+    for &l in &labels {
+        counts[l] += 1;
+    }
+    let majority = counts.iter().copied().max().unwrap_or(0);
+    let majority_baseline = majority as f64 / n as f64;
+
+    // Fig. 7 oracle: most likely pattern per (full-history) birth bucket,
+    // evaluated leave-one-out as well.
+    let birth_data = ctx.corpus.birth_data();
+    let mut oracle_hits = 0usize;
+    for i in 0..n {
+        let mut train: Vec<(usize, Pattern)> = birth_data.clone();
+        train.remove(i);
+        let pred = schemachron_core::predict::BirthPredictor::fit(&train);
+        let bucket = BirthBucket::of(birth_data[i].0);
+        let probs = pred.probabilities(bucket);
+        let best = Pattern::ALL
+            .iter()
+            .max_by(|a, b| {
+                probs[a.ordinal()]
+                    .partial_cmp(&probs[b.ordinal()])
+                    .expect("finite")
+            })
+            .copied()
+            .expect("non-empty");
+        if best == birth_data[i].1 {
+            oracle_hits += 1;
+        }
+    }
+    let birth_oracle_accuracy = oracle_hits as f64 / n as f64;
+
+    let config = TreeConfig {
+        max_depth: 4,
+        min_samples_split: 4,
+    };
+    let horizons = [6usize, 12, 24, 36]
+        .into_iter()
+        .map(|horizon| {
+            let features: Vec<Vec<u8>> = projects
+                .iter()
+                .map(|p| horizon_features(p.history.schema_heartbeat().values(), horizon).to_vec())
+                .collect();
+            let mut hits = 0usize;
+            let mut family_hits = 0usize;
+            for i in 0..n {
+                let mut train_f = features.clone();
+                let mut train_l = labels.clone();
+                train_f.remove(i);
+                train_l.remove(i);
+                let tree = DecisionTree::fit(&train_f, &train_l, &config);
+                let predicted = Pattern::ALL[tree.predict(&features[i])];
+                if predicted == projects[i].assigned {
+                    hits += 1;
+                }
+                if predicted.family() == projects[i].assigned.family() {
+                    family_hits += 1;
+                }
+            }
+            HorizonResult {
+                horizon,
+                loo_accuracy: hits as f64 / n as f64,
+                loo_family_accuracy: family_hits as f64 / n as f64,
+            }
+        })
+        .collect();
+
+    Forecast {
+        horizons,
+        majority_baseline,
+        birth_oracle_accuracy,
+    }
+}
+
+impl Forecast {
+    /// Renders the forecast table.
+    pub fn render(&self) -> String {
+        let header = vec![
+            cell("observation horizon"),
+            cell("LOO pattern accuracy"),
+            cell("LOO family accuracy"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .horizons
+            .iter()
+            .map(|h| {
+                vec![
+                    cell(format!("first {} months", h.horizon)),
+                    pct(h.loo_accuracy),
+                    pct(h.loo_family_accuracy),
+                ]
+            })
+            .collect();
+        format!(
+            "Forecast — predicting the final pattern from early observation \
+             (beyond the paper)\n\nfeatures: {}\n\n{}\n\
+             baselines: majority class {} · Fig. 7 birth-bucket oracle {}\n",
+            HORIZON_FEATURE_NAMES.join(", "),
+            text_table(&header, &rows),
+            pct(self.majority_baseline),
+            pct(self.birth_oracle_accuracy),
+        )
+    }
+}

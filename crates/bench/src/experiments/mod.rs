@@ -1,0 +1,21 @@
+//! One module per reproduced table/figure; see the crate docs for the index.
+
+mod ablation;
+mod beyond;
+mod figures;
+mod forecast;
+mod sections;
+mod tables;
+
+pub use ablation::{ablation, Ablation, SweepPoint};
+pub use beyond::{co_evolution_exp, tables_exp, CoEvolutionExp, FkSplit, TablesExp};
+pub use figures::{
+    figure1, figure2, figure3, figure5, figure6, figure7, Figure1, Figure2, Figure3, Figure5,
+    Figure6, Figure7,
+};
+pub use forecast::{forecast, Forecast, HorizonResult};
+pub use sections::{
+    family_mass, stats34, stats52, stats61, stats62, stats63, Stats34, Stats52, Stats61, Stats62,
+    Stats63,
+};
+pub use tables::{figure4, table1, table2, Figure4, Table1, Table2};

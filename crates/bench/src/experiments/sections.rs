@@ -1,0 +1,506 @@
+//! The in-text quantitative results: §3.4, §5.2, §6.1, §6.2, §6.3.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use schemachron_core::metrics::TimeMetrics;
+use schemachron_core::predict::BirthBucket;
+use schemachron_core::validate::{cohesion, LINE_POINTS};
+use schemachron_core::{Family, Pattern};
+use schemachron_model::ChangeKind;
+use schemachron_stats::{median, quantile, shapiro_wilk, PinnedHistogram};
+
+use crate::context::ExpContext;
+use crate::report::{cell, pct, text_table};
+
+// ----------------------------------------------------------------- §3.4
+
+/// §3.4 — statistical properties of the time-related measures.
+#[derive(Clone, Debug, Serialize)]
+pub struct Stats34 {
+    /// Per metric: 10-bucket pinned histogram rendering plus Shapiro–Wilk.
+    pub metrics: Vec<MetricStats>,
+    /// Projects born within the first 10% of the PUP (paper: ~74, half).
+    pub born_first_10pct: usize,
+    /// Projects reaching the top band within 25% of the PUP (paper: 64, 42%).
+    pub top_within_25pct: usize,
+    /// Projects with a single vault (paper: 88, 58%).
+    pub vaulted: usize,
+    /// Projects with zero active growth months (paper: 98, two thirds).
+    pub zero_active_growth: usize,
+    /// Projects with at most one active growth month (paper: 115, 76%).
+    pub at_most_one_active: usize,
+}
+
+/// One metric's §3.4 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricStats {
+    /// Metric name.
+    pub name: String,
+    /// Rendered pinned histogram.
+    pub histogram: String,
+    /// Shapiro–Wilk W.
+    pub w: f64,
+    /// Shapiro–Wilk p-value.
+    pub p_value: f64,
+}
+
+/// Regenerates the §3.4 statistics.
+pub fn stats34(ctx: &ExpContext) -> Stats34 {
+    let projects = ctx.corpus.projects();
+    let columns: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "BirthVolume_pctTotal",
+            projects
+                .iter()
+                .map(|p| p.metrics.birth_volume_pct_total)
+                .collect(),
+        ),
+        (
+            "PointOfBirth_pctPUP",
+            projects.iter().map(|p| p.metrics.birth_pct_pup).collect(),
+        ),
+        (
+            "PointTopBand_pctPUP",
+            projects.iter().map(|p| p.metrics.topband_pct_pup).collect(),
+        ),
+        (
+            "IntervalBirthToTop_pctPUP",
+            projects
+                .iter()
+                .map(|p| p.metrics.interval_birth_to_top_pct)
+                .collect(),
+        ),
+        (
+            "IntervalTopToEnd_pctPUP",
+            projects
+                .iter()
+                .map(|p| p.metrics.interval_top_to_end_pct)
+                .collect(),
+        ),
+        (
+            "Active_pctGrowth",
+            projects
+                .iter()
+                .map(|p| p.metrics.active_pct_growth)
+                .collect(),
+        ),
+    ];
+    let metrics = columns
+        .into_iter()
+        .map(|(name, values)| {
+            let h = PinnedHistogram::unit(&values);
+            let sw = shapiro_wilk(&values).expect("151 valid observations");
+            MetricStats {
+                name: name.to_owned(),
+                histogram: h.render(),
+                w: sw.w,
+                p_value: sw.p_value,
+            }
+        })
+        .collect();
+    Stats34 {
+        metrics,
+        born_first_10pct: projects
+            .iter()
+            .filter(|p| p.metrics.birth_pct_pup <= 0.10)
+            .count(),
+        top_within_25pct: projects
+            .iter()
+            .filter(|p| p.metrics.topband_pct_pup <= 0.25)
+            .count(),
+        vaulted: projects
+            .iter()
+            .filter(|p| p.metrics.has_single_vault)
+            .count(),
+        zero_active_growth: projects
+            .iter()
+            .filter(|p| p.metrics.active_growth_months == 0)
+            .count(),
+        at_most_one_active: projects
+            .iter()
+            .filter(|p| p.metrics.active_growth_months <= 1)
+            .count(),
+    }
+}
+
+impl Stats34 {
+    /// Renders the section report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("§3.4 — statistical properties of time-related measures\n\n");
+        let header = vec![
+            cell("metric"),
+            cell("histogram 0:[..]:1"),
+            cell("W"),
+            cell("p"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                vec![
+                    cell(&m.name),
+                    cell(&m.histogram),
+                    cell(format!("{:.3}", m.w)),
+                    cell(format!("{:.2e}", m.p_value)),
+                ]
+            })
+            .collect();
+        out.push_str(&text_table(&header, &rows));
+        out.push_str(&format!(
+            "\nborn in first 10% of time:      {} / 151  (paper: ~74)\n\
+             top band within 25% of PUP:     {} / 151  (paper: 64 = 42%)\n\
+             single vault:                   {} / 151  (paper: 88 = 58%)\n\
+             zero active growth months:      {} / 151  (paper: 98 = 2/3)\n\
+             at most 1 active growth month:  {} / 151  (paper: 115 = 76%)\n",
+            self.born_first_10pct,
+            self.top_within_25pct,
+            self.vaulted,
+            self.zero_active_growth,
+            self.at_most_one_active,
+        ));
+        out
+    }
+}
+
+// ----------------------------------------------------------------- §5.2
+
+/// §5.2 — pattern cohesion: Mean Distance to Centroid of the 20-point
+/// quantized lines, per pattern (paper: 0.06 … 1.25).
+#[derive(Clone, Debug, Serialize)]
+pub struct Stats52 {
+    /// `(pattern, member count, MDC)` rows.
+    pub rows: Vec<(Pattern, usize, f64)>,
+}
+
+/// Regenerates the §5.2 cohesion analysis.
+pub fn stats52(ctx: &ExpContext) -> Stats52 {
+    let mut lines: BTreeMap<Pattern, Vec<Vec<f64>>> = BTreeMap::new();
+    for p in ctx.corpus.projects() {
+        lines
+            .entry(p.assigned)
+            .or_default()
+            .push(TimeMetrics::quantized_line(&p.history, LINE_POINTS));
+    }
+    let mdc = cohesion(&lines);
+    let rows = Pattern::ALL
+        .iter()
+        .map(|&p| (p, lines.get(&p).map_or(0, Vec::len), mdc[&p]))
+        .collect();
+    Stats52 { rows }
+}
+
+impl Stats52 {
+    /// The smallest and largest MDC over all patterns.
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(_, _, v) in &self.rows {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Renders the cohesion table.
+    pub fn render(&self) -> String {
+        let header = vec![cell("Pattern"), cell("#"), cell("MDC (20-dim lines)")];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(p, n, v)| vec![cell(p.name()), cell(n), cell(format!("{v:.3}"))])
+            .collect();
+        let (lo, hi) = self.range();
+        format!(
+            "§5.2 — pattern cohesion (Mean Distance to Centroid)\n\n{}\nMDC range: {:.3} … {:.3}  (paper: 0.06 … 1.25)\n",
+            text_table(&header, &rows),
+            lo,
+            hi
+        )
+    }
+}
+
+// ----------------------------------------------------------------- §6.1
+
+/// §6.1 — relationship of the patterns to total schema activity (after
+/// birth): medians and quartiles per pattern, plus the statistical
+/// separation of the two "active" patterns from the rest.
+#[derive(Clone, Debug, Serialize)]
+pub struct Stats61 {
+    /// `(pattern, q25, median, q75, paper median)` rows.
+    pub rows: Vec<(Pattern, f64, f64, f64, f64)>,
+    /// Mann–Whitney U of {Smoking Funnel ∪ Regularly Curated} vs the rest:
+    /// `(U, two-sided p, common-language effect size)`.
+    pub separation: (f64, f64, f64),
+}
+
+/// Regenerates the §6.1 activity analysis.
+pub fn stats61(ctx: &ExpContext) -> Stats61 {
+    let paper: BTreeMap<Pattern, f64> = BTreeMap::from([
+        (Pattern::Flatliner, 0.0),
+        (Pattern::RadicalSign, 13.0),
+        (Pattern::Sigmoid, 2.0),
+        (Pattern::LateRiser, 0.0),
+        (Pattern::QuantumSteps, 22.0),
+        (Pattern::RegularlyCurated, 250.0),
+        (Pattern::Siesta, 17.0),
+        (Pattern::SmokingFunnel, 189.0),
+    ]);
+    let rows = Pattern::ALL
+        .iter()
+        .map(|&p| {
+            let v: Vec<f64> = ctx
+                .corpus
+                .of_pattern(p)
+                .map(|x| x.metrics.activity_after_birth)
+                .collect();
+            (
+                p,
+                quantile(&v, 0.25),
+                median(&v),
+                quantile(&v, 0.75),
+                paper[&p],
+            )
+        })
+        .collect();
+    let active: Vec<f64> = ctx
+        .corpus
+        .projects()
+        .iter()
+        .filter(|p| {
+            matches!(
+                p.assigned,
+                Pattern::SmokingFunnel | Pattern::RegularlyCurated
+            )
+        })
+        .map(|p| p.metrics.activity_after_birth)
+        .collect();
+    let rest: Vec<f64> = ctx
+        .corpus
+        .projects()
+        .iter()
+        .filter(|p| {
+            !matches!(
+                p.assigned,
+                Pattern::SmokingFunnel | Pattern::RegularlyCurated
+            )
+        })
+        .map(|p| p.metrics.activity_after_birth)
+        .collect();
+    let mw = schemachron_stats::mann_whitney_u(&active, &rest)
+        .expect("both groups populated and non-degenerate");
+    Stats61 {
+        rows,
+        separation: (mw.u, mw.p_value, mw.effect_size),
+    }
+}
+
+impl Stats61 {
+    /// Renders the activity table.
+    pub fn render(&self) -> String {
+        let header = vec![
+            cell("Pattern"),
+            cell("q25"),
+            cell("median"),
+            cell("q75"),
+            cell("paper median"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(p, q1, m, q3, paper)| {
+                vec![
+                    cell(p.name()),
+                    cell(format!("{q1:.0}")),
+                    cell(format!("{m:.1}")),
+                    cell(format!("{q3:.0}")),
+                    cell(format!("{paper:.0}")),
+                ]
+            })
+            .collect();
+        format!(
+            "§6.1 — total schema activity after birth, per pattern\n\n{}\n\
+             Smoking Funnel ∪ Regularly Curated vs the rest (Mann-Whitney U): \
+             U = {:.0}, p = {:.2e}, effect size = {:.3}\n\
+             (the paper: these two groups are quantitatively discriminated \
+             by orders-of-magnitude higher activity)\n",
+            text_table(&header, &rows),
+            self.separation.0,
+            self.separation.1,
+            self.separation.2,
+        )
+    }
+}
+
+// ----------------------------------------------------------------- §6.2
+
+/// §6.2 — headline rigidity probabilities given the point of birth.
+#[derive(Clone, Debug, Serialize)]
+pub struct Stats62 {
+    /// Per bucket: `(bucket label, n, P(BeQuickOrBeDead), paper value)`.
+    pub rows: Vec<(String, usize, f64, f64)>,
+    /// `P(bucket)` marginals (the "when are schemata born" side result).
+    pub born: [(String, f64); 4],
+}
+
+/// Regenerates the §6.2 analysis.
+pub fn stats62(ctx: &ExpContext) -> Stats62 {
+    let pred = ctx.birth_predictor();
+    let paper = [0.75, 0.53, 0.53, 0.64];
+    let rows = BirthBucket::ALL
+        .iter()
+        .zip(paper)
+        .map(|(&b, paper)| {
+            (
+                b.label().to_owned(),
+                pred.bucket_total(b),
+                pred.rigidity_probability(b),
+                paper,
+            )
+        })
+        .collect();
+    let born = [
+        (
+            "born at M0".to_owned(),
+            pred.bucket_probability(BirthBucket::M0),
+        ),
+        (
+            "born within first 6 months".to_owned(),
+            pred.bucket_probability(BirthBucket::M0) + pred.bucket_probability(BirthBucket::M1toM6),
+        ),
+        (
+            "born within first year".to_owned(),
+            1.0 - pred.bucket_probability(BirthBucket::AfterM12),
+        ),
+        (
+            "not born till after M12".to_owned(),
+            pred.bucket_probability(BirthBucket::AfterM12),
+        ),
+    ];
+    Stats62 { rows, born }
+}
+
+impl Stats62 {
+    /// Renders the rigidity table.
+    pub fn render(&self) -> String {
+        let header = vec![
+            cell("birth bucket"),
+            cell("n"),
+            cell("P(sharp, focused evolution)"),
+            cell("paper"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(l, n, p, paper)| vec![cell(l), cell(n), pct(*p), pct(*paper)])
+            .collect();
+        let mut out = format!(
+            "§6.2 — rigidity given the point of schema birth\n\n{}",
+            text_table(&header, &rows)
+        );
+        out.push_str("\nwhen are schemata born (paper: 34% / 60% / 68% / 31%):\n");
+        for (l, p) in &self.born {
+            out.push_str(&format!("  {l}: {}\n", pct(*p)));
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------- §6.3
+
+/// §6.3 — the mixture of change types per pattern.
+#[derive(Clone, Debug, Serialize)]
+pub struct Stats63 {
+    /// Per pattern: expansion total, maintenance total, expansion share,
+    /// and the per-kind breakdown in [`ChangeKind::all`] order.
+    pub rows: Vec<Stats63Row>,
+}
+
+/// One §6.3 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Stats63Row {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Total expansion changes over all members.
+    pub expansion: usize,
+    /// Total maintenance changes over all members.
+    pub maintenance: usize,
+    /// Expansion share of all change.
+    pub expansion_share: f64,
+    /// Per-kind totals, [`ChangeKind::all`] order.
+    pub kinds: [usize; 6],
+}
+
+/// Regenerates the §6.3 mixture analysis.
+pub fn stats63(ctx: &ExpContext) -> Stats63 {
+    let rows = Pattern::ALL
+        .iter()
+        .map(|&p| {
+            let mut kinds = [0usize; 6];
+            let mut expansion = 0;
+            let mut maintenance = 0;
+            for m in ctx.corpus.of_pattern(p) {
+                let k = m.history.kind_totals();
+                for i in 0..6 {
+                    kinds[i] += k[i];
+                }
+                expansion += m.history.expansion_total();
+                maintenance += m.history.maintenance_total();
+            }
+            let total = expansion + maintenance;
+            Stats63Row {
+                pattern: p,
+                expansion,
+                maintenance,
+                expansion_share: if total == 0 {
+                    0.0
+                } else {
+                    expansion as f64 / total as f64
+                },
+                kinds,
+            }
+        })
+        .collect();
+    Stats63 { rows }
+}
+
+impl Stats63 {
+    /// Renders the mixture table.
+    pub fn render(&self) -> String {
+        let mut header = vec![
+            cell("Pattern"),
+            cell("expansion"),
+            cell("maintenance"),
+            cell("exp share"),
+        ];
+        header.extend(ChangeKind::all().iter().map(|k| cell(k.label())));
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![
+                    cell(r.pattern.name()),
+                    cell(r.expansion),
+                    cell(r.maintenance),
+                    pct(r.expansion_share),
+                ];
+                v.extend(r.kinds.iter().map(cell));
+                v
+            })
+            .collect();
+        format!(
+            "§6.3 — mixture of change types per pattern (expansion-biased, table-granular)\n\n{}",
+            text_table(&header, &rows)
+        )
+    }
+}
+
+/// §6.2 and Fig. 7 use family masses too; expose the helper for tests.
+pub fn family_mass(ctx: &ExpContext, family: Family) -> usize {
+    ctx.corpus
+        .projects()
+        .iter()
+        .filter(|p| p.assigned.family() == family)
+        .count()
+}

@@ -1,0 +1,345 @@
+//! Table 1, Table 2 and Figure 4: the tabular artifacts of the paper.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use schemachron_core::quantize::{
+    ActiveGrowthClass, ActivePupClass, BirthVolumeClass, IntervalClass, TailClass, TimepointClass,
+};
+use schemachron_core::Pattern;
+
+use crate::context::ExpContext;
+use crate::report::{cell, text_table};
+
+/// One quantized metric's label census (a block of Table 1).
+#[derive(Clone, Debug, Serialize)]
+pub struct LabelCensus {
+    /// Metric name as printed in Table 1.
+    pub metric: String,
+    /// `(label, measured count, paper count)` triples in ordinal order.
+    pub labels: Vec<(String, usize, usize)>,
+}
+
+/// Table 1 — labeling limits of the schema evolution metrics with the
+/// number of projects per label, measured vs paper.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1 {
+    /// One census per quantized metric.
+    pub censuses: Vec<LabelCensus>,
+}
+
+/// Regenerates Table 1 from the corpus.
+pub fn table1(ctx: &ExpContext) -> Table1 {
+    let projects = ctx.corpus.projects();
+    let mut censuses = Vec::new();
+
+    let count = |f: &dyn Fn(&schemachron_core::Labels) -> usize, n: usize| -> Vec<usize> {
+        let mut v = vec![0; n];
+        for p in projects {
+            v[f(&p.labels)] += 1;
+        }
+        v
+    };
+
+    let mk =
+        |metric: &str, names: Vec<&str>, measured: Vec<usize>, paper: Vec<usize>| -> LabelCensus {
+            LabelCensus {
+                metric: metric.to_owned(),
+                labels: names
+                    .into_iter()
+                    .map(str::to_owned)
+                    .zip(measured)
+                    .zip(paper)
+                    .map(|((l, m), p)| (l, m, p))
+                    .collect(),
+            }
+        };
+
+    censuses.push(mk(
+        "Volume of Birth (%Total Change)",
+        BirthVolumeClass::ALL.iter().map(|c| c.label()).collect(),
+        count(&|l| l.birth_volume.ordinal() as usize, 4),
+        vec![16, 52, 44, 39],
+    ));
+    censuses.push(mk(
+        "Time Point of Birth (%PUP)",
+        TimepointClass::ALL.iter().map(|c| c.label()).collect(),
+        count(&|l| l.birth_point.ordinal() as usize, 4),
+        vec![52, 53, 33, 13],
+    ));
+    censuses.push(mk(
+        "Time point of reaching Top Band (%PUP)",
+        TimepointClass::ALL.iter().map(|c| c.label()).collect(),
+        count(&|l| l.topband_point.ordinal() as usize, 4),
+        vec![23, 41, 47, 40],
+    ));
+    censuses.push(mk(
+        "Interval (%PUP) (birth..top-band)",
+        IntervalClass::ALL.iter().map(|c| c.label()).collect(),
+        count(&|l| l.interval_birth_to_top.ordinal() as usize, 5),
+        vec![62, 26, 27, 23, 13],
+    ));
+    censuses.push(mk(
+        "Interval (%PUP) (top-band..end]",
+        TailClass::ALL.iter().map(|c| c.label()).collect(),
+        count(&|l| l.interval_top_to_end.ordinal() as usize, 4),
+        vec![40, 48, 40, 23],
+    ));
+    censuses.push(mk(
+        "Active months as %growth",
+        ActiveGrowthClass::ALL.iter().map(|c| c.label()).collect(),
+        count(&|l| l.active_growth.ordinal() as usize, 4),
+        vec![98, 22, 22, 9],
+    ));
+    censuses.push(mk(
+        "Active months as %PUP",
+        ActivePupClass::ALL.iter().map(|c| c.label()).collect(),
+        count(&|l| l.active_pup.ordinal() as usize, 4),
+        vec![98, 20, 33, 0],
+    ));
+    Table1 { censuses }
+}
+
+impl Table1 {
+    /// Renders the table, paper numbers alongside for comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table 1 — labeling of schema evolution metrics\n\n");
+        for c in &self.censuses {
+            out.push_str(&c.metric);
+            out.push('\n');
+            let header = vec![cell("label"), cell("measured"), cell("paper")];
+            let rows: Vec<Vec<String>> = c
+                .labels
+                .iter()
+                .map(|(l, m, p)| vec![cell(l), cell(m), cell(p)])
+                .collect();
+            out.push_str(&text_table(&header, &rows));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Table 2 — exceptions and overlaps per pattern.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2 {
+    /// `(pattern, population, exceptions, paper exceptions, overlaps)` rows.
+    pub rows: Vec<Table2Row>,
+}
+
+/// One Table 2 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Project count.
+    pub projects: usize,
+    /// Measured definition violations among assigned projects.
+    pub exceptions: usize,
+    /// Exceptions reported in the paper.
+    pub paper_exceptions: usize,
+    /// Projects sharing a label-space cell with another pattern.
+    pub overlaps: usize,
+}
+
+/// Regenerates Table 2. Exceptions are *measured*: a project counts as an
+/// exception when its measured labels violate its assigned pattern's strict
+/// definition.
+pub fn table2(ctx: &ExpContext) -> Table2 {
+    use schemachron_core::validate::domain_coverage;
+    let coverage = domain_coverage(&ctx.corpus.annotated_labels());
+    let paper = BTreeMap::from([
+        (Pattern::Flatliner, 0),
+        (Pattern::RadicalSign, 0),
+        (Pattern::Sigmoid, 2),
+        (Pattern::LateRiser, 1),
+        (Pattern::QuantumSteps, 2),
+        (Pattern::RegularlyCurated, 0),
+        (Pattern::SmokingFunnel, 0),
+        (Pattern::Siesta, 3),
+    ]);
+    let rows = Pattern::ALL
+        .iter()
+        .map(|&p| {
+            let members: Vec<_> = ctx.corpus.of_pattern(p).collect();
+            let exceptions = members.iter().filter(|m| !p.matches(&m.labels)).count();
+            let overlaps = coverage
+                .values()
+                .filter(|census| census.is_overlap())
+                .filter_map(|census| census.per_pattern.get(&p))
+                .sum();
+            Table2Row {
+                pattern: p,
+                projects: members.len(),
+                exceptions,
+                paper_exceptions: paper[&p],
+                overlaps,
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+impl Table2 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let header = vec![
+            cell("Pattern"),
+            cell("#prjs"),
+            cell("Exceptions"),
+            cell("Paper"),
+            cell("Overlaps"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    cell(r.pattern.name()),
+                    cell(r.projects),
+                    cell(r.exceptions),
+                    cell(r.paper_exceptions),
+                    cell(r.overlaps),
+                ]
+            })
+            .collect();
+        format!(
+            "Table 2 — exceptions and overlaps of the pattern definitions\n\n{}",
+            text_table(&header, &rows)
+        )
+    }
+}
+
+/// Figure 4 — overview of the per-pattern characteristics: for every
+/// pattern and every class-based metric, the set of observed labels.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure4 {
+    /// One row per pattern.
+    pub rows: Vec<Figure4Row>,
+}
+
+/// One Figure 4 row: the observed label sets of one pattern.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure4Row {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Population.
+    pub projects: usize,
+    /// Observed birth-volume classes (label → count).
+    pub birth_volume: BTreeMap<String, usize>,
+    /// Observed birth-timing classes.
+    pub birth_timing: BTreeMap<String, usize>,
+    /// Observed top-band point classes.
+    pub topband: BTreeMap<String, usize>,
+    /// Observed single-vault values.
+    pub has_vault: BTreeMap<String, usize>,
+    /// Observed birth→top interval classes.
+    pub interval: BTreeMap<String, usize>,
+    /// Range of growth months with change (min..=max).
+    pub growth_months: (usize, usize),
+    /// Observed active-%growth classes.
+    pub active_growth: BTreeMap<String, usize>,
+    /// Observed tail classes.
+    pub tail: BTreeMap<String, usize>,
+}
+
+/// Regenerates Figure 4 from the corpus.
+pub fn figure4(ctx: &ExpContext) -> Figure4 {
+    let rows = Pattern::ALL
+        .iter()
+        .map(|&p| {
+            let members: Vec<_> = ctx.corpus.of_pattern(p).collect();
+            let mut row = Figure4Row {
+                pattern: p,
+                projects: members.len(),
+                birth_volume: BTreeMap::new(),
+                birth_timing: BTreeMap::new(),
+                topband: BTreeMap::new(),
+                has_vault: BTreeMap::new(),
+                interval: BTreeMap::new(),
+                growth_months: (usize::MAX, 0),
+                active_growth: BTreeMap::new(),
+                tail: BTreeMap::new(),
+            };
+            for m in members {
+                let l = &m.labels;
+                *row.birth_volume
+                    .entry(l.birth_volume.label().into())
+                    .or_insert(0) += 1;
+                *row.birth_timing
+                    .entry(l.birth_point.label().into())
+                    .or_insert(0) += 1;
+                *row.topband
+                    .entry(l.topband_point.label().into())
+                    .or_insert(0) += 1;
+                *row.has_vault
+                    .entry(if l.has_single_vault { "TRUE" } else { "FALSE" }.into())
+                    .or_insert(0) += 1;
+                *row.interval
+                    .entry(l.interval_birth_to_top.label().into())
+                    .or_insert(0) += 1;
+                row.growth_months.0 = row.growth_months.0.min(l.active_growth_months);
+                row.growth_months.1 = row.growth_months.1.max(l.active_growth_months);
+                *row.active_growth
+                    .entry(l.active_growth.label().into())
+                    .or_insert(0) += 1;
+                *row.tail
+                    .entry(l.interval_top_to_end.label().into())
+                    .or_insert(0) += 1;
+            }
+            row
+        })
+        .collect();
+    Figure4 { rows }
+}
+
+fn set_str(m: &BTreeMap<String, usize>) -> String {
+    let mut entries: Vec<(&String, &usize)> = m.iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(a.1));
+    entries
+        .iter()
+        .map(|(k, v)| format!("{k}({v})"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl Figure4 {
+    /// Renders the overview table.
+    pub fn render(&self) -> String {
+        let header = vec![
+            cell("Pattern"),
+            cell("#"),
+            cell("BirthVol"),
+            cell("BirthTiming"),
+            cell("TopBand"),
+            cell("Vault"),
+            cell("IntervalB2T"),
+            cell("GrowthMo"),
+            cell("ActiveGrowth"),
+            cell("Tail"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    cell(r.pattern.name()),
+                    cell(r.projects),
+                    set_str(&r.birth_volume),
+                    set_str(&r.birth_timing),
+                    set_str(&r.topband),
+                    set_str(&r.has_vault),
+                    set_str(&r.interval),
+                    cell(format!("{}-{}", r.growth_months.0, r.growth_months.1)),
+                    set_str(&r.active_growth),
+                    set_str(&r.tail),
+                ]
+            })
+            .collect();
+        format!(
+            "Figure 4 — characteristics of the time-related patterns\n\n{}",
+            text_table(&header, &rows)
+        )
+    }
+}

@@ -1,0 +1,70 @@
+//! Plain-text table formatting shared by the experiment renderers.
+
+/// Formats rows as a fixed-width text table. `header` supplies the column
+/// titles; column widths adapt to content. Columns beyond the first are
+/// right-aligned (they are almost always numbers).
+pub fn text_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: turns anything displayable into a cell.
+pub fn cell(v: impl ToString) -> String {
+    v.to_string()
+}
+
+/// Formats a probability as a percentage with no decimals (Fig. 7 style).
+pub fn pct(p: f64) -> String {
+    format!("{:.0}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = text_table(
+            &[cell("name"), cell("n")],
+            &[vec![cell("alpha"), cell(3)], vec![cell("b"), cell(12345)]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.753), "75%");
+        assert_eq!(pct(0.0), "0%");
+    }
+}

@@ -1,0 +1,257 @@
+//! Terminal rendering of dual cumulative progress lines.
+
+use schemachron_history::ProjectHistory;
+
+/// An ASCII chart renderer. The plot area is `width × height` characters;
+/// axes and labels are added around it.
+///
+/// Glyphs: `·` schema line, `─` source line, `#` where the two coincide.
+#[derive(Clone, Copy, Debug)]
+pub struct AsciiChart {
+    /// Plot-area width in characters.
+    pub width: usize,
+    /// Plot-area height in characters.
+    pub height: usize,
+}
+
+impl Default for AsciiChart {
+    fn default() -> Self {
+        AsciiChart {
+            width: 60,
+            height: 16,
+        }
+    }
+}
+
+impl AsciiChart {
+    /// Renders the project's cumulative schema (dotted) and source (solid)
+    /// lines over normalized time, Fig. 1-style.
+    pub fn render(&self, p: &ProjectHistory) -> String {
+        let schema = p.schema_heartbeat().sample_normalized(self.width);
+        let source = p.source_heartbeat().sample_normalized(self.width);
+        self.render_series(p.name(), &schema, &source)
+    }
+
+    /// Renders two pre-sampled `[0, 1]` series (each of length
+    /// [`AsciiChart::width`]; shorter series are padded with their last
+    /// value, empty series are flat zero).
+    pub fn render_series(&self, title: &str, schema: &[f64], source: &[f64]) -> String {
+        let w = self.width.max(2);
+        let h = self.height.max(2);
+        let schema = resample(schema, w);
+        let source = resample(source, w);
+
+        // Grid rows: row 0 is the top (100%).
+        let mut grid = vec![vec![' '; w]; h];
+        for x in 0..w {
+            let sy = y_of(source[x], h);
+            grid[sy][x] = '─';
+            let hy = y_of(schema[x], h);
+            grid[hy][x] = if hy == sy { '#' } else { '·' };
+        }
+
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        for (row, line) in grid.iter().enumerate() {
+            let label = match row {
+                0 => "100% ",
+                r if r == h / 2 => " 50% ",
+                r if r == h - 1 => "  0% ",
+                _ => "     ",
+            };
+            out.push_str(label);
+            out.push('|');
+            out.extend(line.iter());
+            out.push('\n');
+        }
+        out.push_str("     +");
+        out.push_str(&"-".repeat(w));
+        out.push('\n');
+        let mut axis = String::from("      0%");
+        let spacer = w.saturating_sub(14);
+        axis.push_str(&" ".repeat(spacer / 2));
+        axis.push_str("time (%PUP)");
+        axis.push_str(&" ".repeat(spacer - spacer / 2));
+        axis.push_str("100%");
+        out.push_str(&axis);
+        out.push('\n');
+        out.push_str("      schema: ·    source: ─    both: #\n");
+        out
+    }
+}
+
+fn y_of(v: f64, h: usize) -> usize {
+    let v = v.clamp(0.0, 1.0);
+    let row = ((1.0 - v) * (h - 1) as f64).round() as usize;
+    row.min(h - 1)
+}
+
+fn resample(series: &[f64], w: usize) -> Vec<f64> {
+    if series.is_empty() {
+        return vec![0.0; w];
+    }
+    if series.len() == w {
+        return series.to_vec();
+    }
+    (0..w)
+        .map(|x| {
+            let t = x as f64 / (w - 1) as f64;
+            let idx = (t * (series.len() - 1) as f64).round() as usize;
+            series[idx.min(series.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_history::MonthId;
+
+    fn project(schema: Vec<f64>, source: Vec<f64>) -> ProjectHistory {
+        ProjectHistory::from_heartbeats("chart-test", MonthId(0), schema, source, [0; 6])
+    }
+
+    #[test]
+    fn render_contains_axes_and_legend() {
+        let mut schema = vec![0.0; 30];
+        schema[0] = 5.0;
+        let p = project(schema, vec![1.0; 30]);
+        let art = AsciiChart::default().render(&p);
+        assert!(art.contains("100% |"));
+        assert!(art.contains("  0% |"));
+        assert!(art.contains("time (%PUP)"));
+        assert!(art.contains("schema: ·"));
+    }
+
+    #[test]
+    fn flat_schema_line_sits_at_top_after_birth() {
+        // All change at month 0: the schema line is at 100% everywhere.
+        let mut schema = vec![0.0; 30];
+        schema[0] = 5.0;
+        let p = project(schema, vec![1.0; 30]);
+        let art = AsciiChart {
+            width: 20,
+            height: 5,
+        }
+        .render(&p);
+        let top_row = art.lines().nth(1).unwrap();
+        let marks = top_row.chars().filter(|c| *c == '·' || *c == '#').count();
+        assert!(marks >= 19, "schema marks on top row: {marks}\n{art}");
+    }
+
+    #[test]
+    fn late_riser_line_sits_at_bottom_then_jumps() {
+        let mut schema = vec![0.0; 30];
+        schema[28] = 10.0;
+        let p = project(schema, vec![1.0; 30]);
+        let art = AsciiChart {
+            width: 30,
+            height: 6,
+        }
+        .render(&p);
+        let bottom_row = art.lines().nth(6).unwrap(); // "  0% |..." row
+        assert!(bottom_row.starts_with("  0% |"));
+        let marks = bottom_row.chars().filter(|c| *c == '·').count();
+        assert!(marks > 20, "{art}");
+    }
+
+    #[test]
+    fn coincident_lines_use_hash() {
+        let mut schema = vec![0.0; 10];
+        schema[0] = 1.0;
+        let mut source = vec![0.0; 10];
+        source[0] = 1.0;
+        let p = project(schema, source);
+        let art = AsciiChart {
+            width: 10,
+            height: 4,
+        }
+        .render(&p);
+        assert!(art.contains('#'), "{art}");
+    }
+
+    #[test]
+    fn empty_series_render_safely() {
+        let c = AsciiChart {
+            width: 10,
+            height: 4,
+        };
+        let art = c.render_series("empty", &[], &[]);
+        assert!(art.contains("empty"));
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let r = resample(&[0.0, 0.5, 1.0], 9);
+        assert_eq!(r.len(), 9);
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[8], 1.0);
+    }
+}
+
+/// Renders a Fig. 1-style annotated chart: the dual cumulative lines plus a
+/// marker row flagging schema birth (`B`), top-band attainment (`T`, or `V`
+/// when the rise is a vault) at their normalized-time positions.
+pub fn render_annotated(
+    chart: &AsciiChart,
+    p: &ProjectHistory,
+    birth_pct: f64,
+    top_pct: f64,
+    is_vault: bool,
+) -> String {
+    let mut out = chart.render(p);
+    let w = chart.width.max(2);
+    let pos = |pct: f64| ((pct.clamp(0.0, 1.0) * (w - 1) as f64).round() as usize).min(w - 1);
+    let mut markers = vec![' '; w];
+    markers[pos(top_pct)] = if is_vault { 'V' } else { 'T' };
+    markers[pos(birth_pct)] = 'B'; // birth wins the cell if they collide
+    let marker_line: String = markers.into_iter().collect();
+    out.push_str("      ");
+    out.push_str(marker_line.trim_end());
+    out.push_str("\n      B: schema birth    ");
+    out.push_str(if is_vault {
+        "V: top band (a vault: < 10% of life after birth)\n"
+    } else {
+        "T: top band (90% of total activity)\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod annotated_tests {
+    use super::*;
+    use schemachron_history::MonthId;
+
+    #[test]
+    fn markers_land_at_normalized_positions() {
+        let mut schema = vec![0.0; 21];
+        schema[0] = 10.0;
+        schema[10] = 80.0;
+        let p = ProjectHistory::from_heartbeats("m", MonthId(0), schema, vec![1.0; 21], [0; 6]);
+        let chart = AsciiChart {
+            width: 21,
+            height: 5,
+        };
+        let art = render_annotated(&chart, &p, 0.0, 0.5, false);
+        let marker_line = art
+            .lines()
+            .find(|l| l.contains('B'))
+            .expect("marker line present");
+        assert_eq!(marker_line.trim_start().chars().next(), Some('B'));
+        assert!(marker_line.contains('T'));
+        assert!(art.contains("T: top band"));
+    }
+
+    #[test]
+    fn vault_marker_shown_for_vaults() {
+        let mut schema = vec![0.0; 30];
+        schema[2] = 10.0;
+        let p = ProjectHistory::from_heartbeats("v", MonthId(0), schema, vec![1.0; 30], [0; 6]);
+        let chart = AsciiChart::default();
+        let art = render_annotated(&chart, &p, 2.0 / 29.0, 2.0 / 29.0, true);
+        // Birth wins the shared cell; the legend still explains the vault.
+        assert!(art.contains("a vault"));
+        assert!(art.contains('B'));
+    }
+}

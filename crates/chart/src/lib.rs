@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # schemachron-chart
+//!
+//! Renderers for the study's signature visualization: the **dual cumulative
+//! progress chart** (Fig. 1 / Fig. 3 of the paper) showing, over normalized
+//! project time, the cumulative fraction of schema evolution (dotted) and
+//! source-code evolution (solid).
+//!
+//! Two backends: [`ascii`] for terminals (used by the CLI and the Figure 3
+//! experiment bin) and [`svg`] for standalone vector files.
+//!
+//! ```
+//! use schemachron_history::{MonthId, ProjectHistory};
+//! use schemachron_chart::ascii::AsciiChart;
+//!
+//! let mut schema = vec![0.0; 24];
+//! schema[0] = 10.0;
+//! let p = ProjectHistory::from_heartbeats(
+//!     "demo", MonthId::from_ym(2020, 1), schema, vec![3.0; 24], [10, 0, 0, 0, 0, 0]);
+//! let art = AsciiChart::default().render(&p);
+//! assert!(art.contains("100%"));
+//! ```
+
+pub mod ascii;
+pub mod svg;

@@ -1,0 +1,135 @@
+//! Minimal SVG rendering of dual cumulative progress lines.
+//!
+//! The output is a standalone `<svg>` document with the schema line dashed
+//! (the paper draws it dotted blue) and the source line solid (green).
+
+use std::fmt::Write as _;
+
+use schemachron_history::ProjectHistory;
+
+/// SVG chart options.
+#[derive(Clone, Copy, Debug)]
+pub struct SvgChart {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Number of sample points per line.
+    pub samples: usize,
+}
+
+impl Default for SvgChart {
+    fn default() -> Self {
+        SvgChart {
+            width: 480,
+            height: 240,
+            samples: 100,
+        }
+    }
+}
+
+const MARGIN: f64 = 30.0;
+
+impl SvgChart {
+    /// Renders the project as an SVG document string.
+    pub fn render(&self, p: &ProjectHistory) -> String {
+        let schema = p.schema_heartbeat().sample_normalized(self.samples);
+        let source = p.source_heartbeat().sample_normalized(self.samples);
+        self.render_series(p.name(), &schema, &source)
+    }
+
+    /// Renders two pre-sampled `[0, 1]` series.
+    pub fn render_series(&self, title: &str, schema: &[f64], source: &[f64]) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+            self.width, self.height, self.width, self.height
+        );
+        let _ = write!(
+            s,
+            r#"<rect width="100%" height="100%" fill="white"/><text x="{}" y="18" font-family="sans-serif" font-size="13">{}</text>"#,
+            MARGIN,
+            escape(title)
+        );
+        // Axes.
+        let (x0, y0) = (MARGIN, self.height as f64 - MARGIN);
+        let (x1, y1) = (self.width as f64 - MARGIN, MARGIN);
+        let _ = write!(
+            s,
+            r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/><line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#
+        );
+        let _ = write!(
+            s,
+            r#"<polyline fill="none" stroke="green" stroke-width="1.5" points="{}"/>"#,
+            self.points(source)
+        );
+        let _ = write!(
+            s,
+            r#"<polyline fill="none" stroke="blue" stroke-width="1.5" stroke-dasharray="3 3" points="{}"/>"#,
+            self.points(schema)
+        );
+        s.push_str("</svg>");
+        s
+    }
+
+    fn points(&self, series: &[f64]) -> String {
+        if series.is_empty() {
+            return String::new();
+        }
+        let x0 = MARGIN;
+        let x1 = self.width as f64 - MARGIN;
+        let y0 = self.height as f64 - MARGIN;
+        let y1 = MARGIN;
+        let n = series.len();
+        let mut out = String::new();
+        for (i, v) in series.iter().enumerate() {
+            let t = if n == 1 {
+                1.0
+            } else {
+                i as f64 / (n - 1) as f64
+            };
+            let x = x0 + t * (x1 - x0);
+            let y = y0 + v.clamp(0.0, 1.0) * (y1 - y0);
+            let _ = write!(out, "{x:.1},{y:.1} ");
+        }
+        out.trim_end().to_owned()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_history::MonthId;
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let mut schema = vec![0.0; 24];
+        schema[0] = 4.0;
+        let p =
+            ProjectHistory::from_heartbeats("svg-test", MonthId(0), schema, vec![1.0; 24], [0; 6]);
+        let svg = SvgChart::default().render(&p);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let svg = SvgChart::default().render_series("a<b&c", &[0.5], &[0.5]);
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    fn empty_series_yield_no_points() {
+        let svg = SvgChart::default().render_series("t", &[], &[]);
+        assert!(svg.contains(r#"points="""#));
+    }
+}

@@ -1,0 +1,15 @@
+//! The `schemachron` binary: see `schemachron help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match schemachron_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::FAILURE
+        }
+    }
+}

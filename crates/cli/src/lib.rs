@@ -1,0 +1,697 @@
+#![warn(missing_docs)]
+
+//! # schemachron-cli
+//!
+//! The `schemachron` command-line tool: analyze real schema-history
+//! directories, generate/export the calibrated corpus, regenerate the
+//! paper's experiments, and draw evolution charts.
+//!
+//! ```text
+//! schemachron analyze <dir> [--snapshot] [--chart] [--svg <file>]
+//! schemachron study <root-dir> [--snapshot]
+//! schemachron diff <old.sql> <new.sql>
+//! schemachron corpus generate --out <dir> [--seed N]
+//! schemachron corpus summary [--seed N]
+//! schemachron corpus csv --out <file> [--seed N]
+//! schemachron experiments [<id> | all] [--seed N]
+//! schemachron chart <dir> [--snapshot]
+//! schemachron help
+//! ```
+//!
+//! The library form ([`run`]) takes the argument vector and an output sink,
+//! which keeps the whole tool unit-testable.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::experiments as exp;
+use schemachron_chart::ascii::{render_annotated, AsciiChart};
+use schemachron_chart::svg::SvgChart;
+use schemachron_core::metrics::TimeMetrics;
+use schemachron_core::quantize::Labels;
+use schemachron_core::{classify, classify_nearest};
+use schemachron_corpus::io::{load_project_dir, write_corpus_dir, write_metrics_csv};
+use schemachron_corpus::Corpus;
+use schemachron_history::IngestMode;
+
+/// CLI failure: message for the user.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
+/// Runs the CLI with `args` (excluding the program name), writing output to
+/// `out`. Returns `Err` with a message on failure.
+pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            let _ = writeln!(out, "{}", usage());
+            Ok(())
+        }
+        Some("analyze") => analyze(&args[1..], out),
+        Some("study") => study(&args[1..], out),
+        Some("diff") => diff_cmd(&args[1..], out),
+        Some("corpus") => corpus(&args[1..], out),
+        Some("experiments") => experiments(&args[1..], out),
+        Some("chart") => chart(&args[1..], out),
+        Some(other) => Err(CliError::new(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "schemachron — mining time-related patterns of schema evolution\n\
+     \n\
+     USAGE:\n\
+     \x20 schemachron analyze <dir> [--snapshot] [--chart] [--svg <file>]\n\
+     \x20     Analyze a directory of dated .sql files (NNNN_YYYY-MM-DD.sql) plus\n\
+     \x20     an optional source.csv; prints metrics, labels and the pattern.\n\
+     \x20 schemachron study <root-dir> [--snapshot]\n\
+     \x20     Run the whole study over a directory of project histories: per-\n\
+     \x20     pattern populations, exception census, birth-point probabilities.\n\
+     \x20 schemachron corpus generate --out <dir> [--seed N]\n\
+     \x20     Materialize the 151-project corpus as SQL history directories.\n\
+     \x20 schemachron corpus summary [--seed N]\n\
+     \x20     Print the corpus pattern populations.\n\
+     \x20 schemachron corpus csv --out <file> [--seed N]\n\
+     \x20     Export the measured per-project metrics as CSV.\n\
+     \x20 schemachron experiments [<id> | all] [--seed N]\n\
+     \x20     Regenerate the paper's tables/figures and the beyond-paper\n\
+     \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
+     \x20     exp_coevolution, exp_forecast).\n\
+     \x20 schemachron chart <dir> [--snapshot]\n\
+     \x20     Draw the cumulative schema/source chart of a project directory.\n\
+     \x20 schemachron diff <old.sql> <new.sql>\n\
+     \x20     Parse two schema dumps and report the attribute-level changes."
+}
+
+fn flag(args: &[&str], name: &str) -> bool {
+    args.contains(&name)
+}
+
+fn opt_value<'a>(args: &'a [&'a str], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| *a == name)
+        .and_then(|i| args.get(i + 1))
+        .copied()
+}
+
+fn seed_of(args: &[&str]) -> Result<u64, CliError> {
+    match opt_value(args, "--seed") {
+        None => Ok(schemachron_bench::DEFAULT_SEED),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::new(format!("invalid --seed value `{v}`"))),
+    }
+}
+
+/// Finds the first positional argument (not an option, not an option's
+/// value).
+fn positional<'a>(argv: &'a [&'a str]) -> Option<&'a str> {
+    let mut skip_next = false;
+    for a in argv {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = takes_value(a);
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn takes_value(opt: &str) -> bool {
+    matches!(opt, "--seed" | "--out" | "--svg")
+}
+
+fn analyze(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let dir = positional(&argv).ok_or_else(|| CliError::new("analyze: missing <dir>"))?;
+    let mode = if flag(&argv, "--snapshot") {
+        IngestMode::Snapshot
+    } else {
+        IngestMode::Migration
+    };
+    let project =
+        load_project_dir(Path::new(dir), mode).map_err(|e| CliError::new(format!("{dir}: {e}")))?;
+    let Some(metrics) = TimeMetrics::from_project(&project) else {
+        let _ = writeln!(out, "{}: no schema activity found", project.name());
+        return Ok(());
+    };
+    let labels = Labels::from_metrics(&metrics);
+    let _ = writeln!(out, "project: {}", project.name());
+    let _ = writeln!(out, "{}", render_metrics(&metrics, &labels));
+    match classify(&labels) {
+        Some(p) => {
+            let _ = writeln!(out, "pattern: {} (family: {})", p.name(), p.family());
+        }
+        None => {
+            let (p, v) = classify_nearest(&labels);
+            let _ = writeln!(
+                out,
+                "pattern: no strict match; nearest is {} (violation weight {v}) — an exception profile",
+                p.name()
+            );
+        }
+    }
+    if flag(&argv, "--chart") {
+        let art = render_annotated(
+            &AsciiChart::default(),
+            &project,
+            metrics.birth_pct_pup,
+            metrics.topband_pct_pup,
+            metrics.has_single_vault,
+        );
+        let _ = writeln!(out, "\n{art}");
+    }
+    if let Some(svg_path) = opt_value(&argv, "--svg") {
+        std::fs::write(svg_path, SvgChart::default().render(&project))?;
+        let _ = writeln!(out, "SVG written to {svg_path}");
+    }
+    Ok(())
+}
+
+/// Renders the measured metrics and labels as an aligned block.
+pub fn render_metrics(m: &TimeMetrics, l: &Labels) -> String {
+    format!(
+        "  PUP:                    {} months\n\
+         \x20 schema birth:           month {} ({:.1}% of PUP) [{}]\n\
+         \x20 volume at birth:        {:.1}% of total activity [{}]\n\
+         \x20 top band (90%):         month {} ({:.1}% of PUP) [{}]\n\
+         \x20 interval birth→top:     {:.1}% of PUP [{}]{}\n\
+         \x20 interval top→end:       {:.1}% of PUP [{}]\n\
+         \x20 active growth months:   {} [{} of growth, {} of PUP]\n\
+         \x20 total activity:         {:.0} affected attributes ({} expansion / {} maintenance)",
+        m.pup_months,
+        m.birth_index,
+        m.birth_pct_pup * 100.0,
+        l.birth_point.label(),
+        m.birth_volume_pct_total * 100.0,
+        l.birth_volume.label(),
+        m.topband_index,
+        m.topband_pct_pup * 100.0,
+        l.topband_point.label(),
+        m.interval_birth_to_top_pct * 100.0,
+        l.interval_birth_to_top.label(),
+        if m.has_single_vault {
+            " — a VAULT"
+        } else {
+            ""
+        },
+        m.interval_top_to_end_pct * 100.0,
+        l.interval_top_to_end.label(),
+        m.active_growth_months,
+        l.active_growth.label(),
+        l.active_pup.label(),
+        m.total_activity,
+        m.expansion_total,
+        m.maintenance_total,
+    )
+}
+
+/// Runs the whole study over a directory of project-history directories —
+/// the shape `corpus generate` writes, and the shape a miner of real
+/// repositories would produce.
+fn study(args: &[String], out: &mut dyn Write) -> CliResult {
+    use schemachron_core::predict::{BirthBucket, BirthPredictor};
+    use schemachron_core::{Family, Pattern};
+
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let root = positional(&argv).ok_or_else(|| CliError::new("study: missing <root-dir>"))?;
+    let mode = if flag(&argv, "--snapshot") {
+        IngestMode::Snapshot
+    } else {
+        IngestMode::Migration
+    };
+
+    let mut dirs: Vec<std::path::PathBuf> = std::fs::read_dir(root)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    if dirs.is_empty() {
+        return Err(CliError::new(format!(
+            "study: no project directories under {root}"
+        )));
+    }
+
+    let mut populations: std::collections::BTreeMap<Pattern, usize> = Default::default();
+    let mut exceptions: Vec<(String, Pattern)> = Vec::new();
+    let mut birth_data: Vec<(usize, Pattern)> = Vec::new();
+    let mut skipped = 0usize;
+    for dir in &dirs {
+        let project = match load_project_dir(dir, mode) {
+            Ok(p) => p,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let Some(metrics) = TimeMetrics::from_project(&project) else {
+            skipped += 1;
+            continue;
+        };
+        // The study excludes projects with a lifespan of 12 months or less.
+        if metrics.pup_months <= 12 {
+            skipped += 1;
+            continue;
+        }
+        let labels = Labels::from_metrics(&metrics);
+        let pattern = match classify(&labels) {
+            Some(p) => p,
+            None => {
+                let (p, _) = classify_nearest(&labels);
+                exceptions.push((project.name().to_owned(), p));
+                p
+            }
+        };
+        *populations.entry(pattern).or_insert(0) += 1;
+        birth_data.push((metrics.birth_index, pattern));
+    }
+
+    let total: usize = populations.values().sum();
+    let _ = writeln!(out, "study over {total} projects ({skipped} skipped):\n");
+    for family in Family::ALL {
+        let members: usize = Pattern::ALL
+            .iter()
+            .filter(|p| p.family() == family)
+            .map(|p| populations.get(p).copied().unwrap_or(0))
+            .sum();
+        let _ = writeln!(out, "{} — {members} projects", family.name());
+        for p in Pattern::ALL.iter().filter(|p| p.family() == family) {
+            let _ = writeln!(
+                out,
+                "    {:<18} {:>4}",
+                p.name(),
+                populations.get(p).copied().unwrap_or(0)
+            );
+        }
+    }
+    if !exceptions.is_empty() {
+        let _ = writeln!(out, "\nexception profiles (assigned to nearest pattern):");
+        for (name, p) in &exceptions {
+            let _ = writeln!(out, "    {name} → {}", p.name());
+        }
+    }
+    let predictor = BirthPredictor::fit(&birth_data);
+    let _ = writeln!(out, "\nP(sharp focused change | point of birth):");
+    for bucket in BirthBucket::ALL {
+        let _ = writeln!(
+            out,
+            "    {:<20} {:>3.0}%  ({} projects)",
+            bucket.label(),
+            predictor.rigidity_probability(bucket) * 100.0,
+            predictor.bucket_total(bucket)
+        );
+    }
+    Ok(())
+}
+
+fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    match argv.first() {
+        Some(&"generate") => {
+            let dir = opt_value(&argv, "--out")
+                .ok_or_else(|| CliError::new("corpus generate: missing --out <dir>"))?;
+            let c = Corpus::generate(seed);
+            write_corpus_dir(&c, Path::new(dir))?;
+            write_metrics_csv(&c, &PathBuf::from(dir).join("metrics.csv"))?;
+            let _ = writeln!(
+                out,
+                "wrote {} project histories (+ metrics.csv) to {dir}",
+                c.projects().len()
+            );
+            Ok(())
+        }
+        Some(&"summary") => {
+            let c = Corpus::generate(seed);
+            let _ = writeln!(out, "corpus seed {seed}: {} projects", c.projects().len());
+            for p in schemachron_core::Pattern::ALL {
+                let n = c.of_pattern(p).count();
+                let exceptions = c.of_pattern(p).filter(|x| x.exception).count();
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>3} projects  ({} exceptions)",
+                    p.name(),
+                    n,
+                    exceptions
+                );
+            }
+            Ok(())
+        }
+        Some(&"csv") => {
+            let file = opt_value(&argv, "--out")
+                .ok_or_else(|| CliError::new("corpus csv: missing --out <file>"))?;
+            let c = Corpus::generate(seed);
+            write_metrics_csv(&c, Path::new(file))?;
+            let _ = writeln!(
+                out,
+                "wrote metrics of {} projects to {file}",
+                c.projects().len()
+            );
+            Ok(())
+        }
+        _ => Err(CliError::new(
+            "corpus: expected `generate`, `summary` or `csv`",
+        )),
+    }
+}
+
+/// The valid experiment ids, in paper order.
+pub const EXPERIMENT_IDS: [&str; 18] = [
+    "exp_table1",
+    "exp_table2",
+    "exp_figure1",
+    "exp_figure2",
+    "exp_figure3",
+    "exp_figure4",
+    "exp_figure5",
+    "exp_figure6",
+    "exp_figure7",
+    "exp_stats34",
+    "exp_stats52",
+    "exp_stats61",
+    "exp_stats62",
+    "exp_stats63",
+    "exp_ablation",
+    "exp_tables",
+    "exp_coevolution",
+    "exp_forecast",
+];
+
+fn experiments(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    let which = positional(&argv).unwrap_or("all");
+    let ctx = ExpContext::new(seed);
+    let render = |id: &str| -> Option<String> {
+        Some(match id {
+            "exp_table1" => exp::table1(&ctx).render(),
+            "exp_table2" => exp::table2(&ctx).render(),
+            "exp_figure1" => exp::figure1(&ctx).render(),
+            "exp_figure2" => exp::figure2(&ctx).render(),
+            "exp_figure3" => exp::figure3(&ctx).render(),
+            "exp_figure4" => exp::figure4(&ctx).render(),
+            "exp_figure5" => exp::figure5(&ctx).render(),
+            "exp_figure6" => exp::figure6(&ctx).render(),
+            "exp_figure7" => exp::figure7(&ctx).render(),
+            "exp_stats34" => exp::stats34(&ctx).render(),
+            "exp_stats52" => exp::stats52(&ctx).render(),
+            "exp_stats61" => exp::stats61(&ctx).render(),
+            "exp_stats62" => exp::stats62(&ctx).render(),
+            "exp_stats63" => exp::stats63(&ctx).render(),
+            "exp_ablation" => exp::ablation(&ctx).render(),
+            "exp_tables" => exp::tables_exp(&ctx).render(),
+            "exp_coevolution" => exp::co_evolution_exp(&ctx).render(),
+            "exp_forecast" => exp::forecast(&ctx).render(),
+            _ => return None,
+        })
+    };
+    if which == "all" {
+        for id in EXPERIMENT_IDS {
+            let _ = writeln!(out, "{}", render(id).expect("known id"));
+            let _ = writeln!(out, "{}", "=".repeat(78));
+        }
+        Ok(())
+    } else {
+        match render(which) {
+            Some(text) => {
+                let _ = writeln!(out, "{text}");
+                Ok(())
+            }
+            None => Err(CliError::new(format!(
+                "unknown experiment `{which}`; valid ids: {} or `all`",
+                EXPERIMENT_IDS.join(", ")
+            ))),
+        }
+    }
+}
+
+/// Diffs two schema dumps and reports the paper's change taxonomy.
+fn diff_cmd(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let files: Vec<&str> = argv
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .copied()
+        .collect();
+    let [old_path, new_path] = files.as_slice() else {
+        return Err(CliError::new("diff: expected exactly two .sql files"));
+    };
+    let load = |path: &str| -> Result<schemachron_model::Schema, CliError> {
+        let sql =
+            std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        let (schema, diags) = schemachron_ddl::parse_schema(&sql);
+        for d in diags.iter().filter(|d| d.is_error()) {
+            let _ = writeln!(std::io::stderr(), "{path}: {d}");
+        }
+        Ok(schema)
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+
+    let os = old.stats();
+    let ns = new.stats();
+    let _ = writeln!(
+        out,
+        "{old_path}: {} tables, {} attributes, {} FKs",
+        os.tables, os.attributes, os.foreign_keys
+    );
+    let _ = writeln!(
+        out,
+        "{new_path}: {} tables, {} attributes, {} FKs\n",
+        ns.tables, ns.attributes, ns.foreign_keys
+    );
+
+    let d = schemachron_model::diff(&old, &new);
+    if d.is_empty() {
+        let _ = writeln!(out, "no logical-level changes");
+        return Ok(());
+    }
+    for t in &d.tables_added {
+        let _ = writeln!(out, "+ table {t}");
+    }
+    for t in &d.tables_dropped {
+        let _ = writeln!(out, "- table {t}");
+    }
+    for c in &d.changes {
+        let _ = writeln!(out, "  {}.{}  [{}]", c.table, c.attribute, c.kind.label());
+    }
+    let _ = writeln!(
+        out,
+        "\n{} affected attributes ({} expansion, {} maintenance)",
+        d.attribute_change_count(),
+        d.expansion_count(),
+        d.maintenance_count()
+    );
+    Ok(())
+}
+
+fn chart(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let dir = positional(&argv).ok_or_else(|| CliError::new("chart: missing <dir>"))?;
+    let mode = if flag(&argv, "--snapshot") {
+        IngestMode::Snapshot
+    } else {
+        IngestMode::Migration
+    };
+    let project = load_project_dir(Path::new(dir), mode)?;
+    let _ = writeln!(out, "{}", AsciiChart::default().render(&project));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        let mut buf = Vec::new();
+        run(&argv, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["help"]).unwrap();
+        assert!(s.contains("USAGE"));
+        let s2 = run_to_string(&[]).unwrap();
+        assert!(s2.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_to_string(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn corpus_summary_lists_patterns() {
+        let s = run_to_string(&["corpus", "summary"]).unwrap();
+        assert!(s.contains("Flatliner"));
+        assert!(s.contains("151 projects"));
+        assert!(s.contains("Smoking Funnel"));
+    }
+
+    #[test]
+    fn corpus_subcommand_validation() {
+        assert!(run_to_string(&["corpus"]).is_err());
+        assert!(run_to_string(&["corpus", "generate"]).is_err()); // no --out
+        assert!(run_to_string(&["corpus", "summary", "--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn experiments_single_id() {
+        let s = run_to_string(&["experiments", "exp_table2"]).unwrap();
+        assert!(s.contains("Table 2"));
+        assert!(run_to_string(&["experiments", "exp_nope"]).is_err());
+    }
+
+    #[test]
+    fn positional_skips_option_values() {
+        assert_eq!(
+            positional(&["--seed", "7", "exp_table1"]),
+            Some("exp_table1")
+        );
+        assert_eq!(positional(&["--chart", "dir"]), Some("dir"));
+        assert_eq!(positional(&["--seed", "7"]), None);
+    }
+
+    #[test]
+    fn analyze_handmade_project_roundtrip() {
+        let tmp = std::env::temp_dir().join(format!("schemachron-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let dir = tmp.join("tiny");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("0001_2020-01-10.sql"),
+            "CREATE TABLE t (a INT, b INT);",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("0002_2021-06-10.sql"),
+            "ALTER TABLE t ADD COLUMN c INT;",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("source.csv"),
+            "date,lines_changed\n2020-01-05,10\n2021-12-20,5\n",
+        )
+        .unwrap();
+        let s = run_to_string(&["analyze", dir.to_str().unwrap(), "--chart"]).unwrap();
+        assert!(s.contains("PUP:"), "{s}");
+        assert!(s.contains("pattern:"), "{s}");
+        assert!(s.contains("time (%PUP)"), "{s}");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn study_runs_over_generated_corpus_subset() {
+        let tmp = std::env::temp_dir().join(format!("schemachron-study-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).unwrap();
+        // Three handmade projects with distinct shapes.
+        let mk = |name: &str, files: &[(&str, &str)]| {
+            let d = tmp.join(name);
+            std::fs::create_dir_all(&d).unwrap();
+            for (f, sql) in files {
+                std::fs::write(d.join(f), sql).unwrap();
+            }
+            std::fs::write(
+                d.join("source.csv"),
+                "date,lines_changed\n2019-01-05,10\n2021-12-20,5\n",
+            )
+            .unwrap();
+        };
+        mk(
+            "frozen",
+            &[("0001_2019-01-10.sql", "CREATE TABLE a (x INT, y INT);")],
+        );
+        mk(
+            "late",
+            &[(
+                "0001_2021-10-10.sql",
+                "CREATE TABLE b (x INT, y INT, z INT);",
+            )],
+        );
+        mk(
+            "tooshort",
+            &[("0001_2021-12-01.sql", "CREATE TABLE c (q INT);")],
+        );
+        // Shrink tooshort's lifespan below the 12-month study threshold.
+        std::fs::write(
+            tmp.join("tooshort").join("source.csv"),
+            "date,lines_changed\n2021-11-05,10\n2021-12-20,5\n",
+        )
+        .unwrap();
+        let s = run_to_string(&["study", tmp.to_str().unwrap()]).unwrap();
+        assert!(s.contains("study over 2 projects"), "{s}");
+        assert!(s.contains("Flatliner"), "{s}");
+        assert!(s.contains("P(sharp focused change"), "{s}");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn study_missing_root_errors() {
+        assert!(run_to_string(&["study"]).is_err());
+        assert!(run_to_string(&["study", "/nonexistent/nowhere"]).is_err());
+    }
+
+    #[test]
+    fn diff_two_dump_files() {
+        let tmp = std::env::temp_dir().join(format!("schemachron-diff-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).unwrap();
+        let v1 = tmp.join("v1.sql");
+        let v2 = tmp.join("v2.sql");
+        std::fs::write(&v1, "CREATE TABLE t (a INT, b INT);").unwrap();
+        std::fs::write(&v2, "CREATE TABLE t (a BIGINT, c INT);").unwrap();
+        let s = run_to_string(&["diff", v1.to_str().unwrap(), v2.to_str().unwrap()]).unwrap();
+        assert!(s.contains("t.a  [type-changed]"), "{s}");
+        assert!(s.contains("t.b  [ejected]"), "{s}");
+        assert!(s.contains("t.c  [injected]"), "{s}");
+        assert!(
+            s.contains("3 affected attributes (1 expansion, 2 maintenance)"),
+            "{s}"
+        );
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn diff_arg_validation() {
+        assert!(run_to_string(&["diff"]).is_err());
+        assert!(run_to_string(&["diff", "/nope.sql", "/nope2.sql"]).is_err());
+    }
+
+    #[test]
+    fn analyze_missing_dir_errors() {
+        assert!(run_to_string(&["analyze", "/nonexistent/nowhere"]).is_err());
+        assert!(run_to_string(&["analyze"]).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Joint schema/source **co-evolution** measures — the lineage of the
+//! study's companion paper on joint source and schema evolution (ref \[45\]),
+//! which the time-related patterns build on. Fig. 1 and Fig. 3 of the paper
+//! always draw the two cumulative lines together; this module quantifies
+//! their relationship.
+
+use schemachron_history::ProjectHistory;
+use schemachron_stats::spearman;
+use serde::{Deserialize, Serialize};
+
+/// How a project's schema line relates to its source line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoEvolution {
+    /// Normalized time at which the *schema* reaches 50% of its total.
+    pub schema_half_time: f64,
+    /// Normalized time at which the *source* reaches 50% of its total.
+    pub source_half_time: f64,
+    /// `source_half_time − schema_half_time`: positive when the schema
+    /// leads the source code (the typical case — "freeze the schema first;
+    /// then build all the applications on top of it").
+    pub lead: f64,
+    /// Mean vertical gap `schema_cum − source_cum` over normalized time;
+    /// positive when the schema line sits above the source line.
+    pub mean_gap: f64,
+    /// Spearman correlation of the two sampled cumulative lines. Zero when
+    /// either line is constant over the sampled window (rank correlation is
+    /// undefined there — e.g. a Flatliner's schema line sits at 100%
+    /// throughout).
+    pub line_correlation: f64,
+}
+
+/// Number of sample points used for the co-evolution comparison.
+pub const CO_EVOLUTION_SAMPLES: usize = 50;
+
+/// Computes the co-evolution measures, or `None` when either line carries
+/// no activity at all.
+pub fn co_evolution(p: &ProjectHistory) -> Option<CoEvolution> {
+    if p.schema_heartbeat().total() <= 0.0 || p.source_heartbeat().total() <= 0.0 {
+        return None;
+    }
+    let schema = p.schema_heartbeat().sample_normalized(CO_EVOLUTION_SAMPLES);
+    let source = p.source_heartbeat().sample_normalized(CO_EVOLUTION_SAMPLES);
+
+    let half_time = |line: &[f64]| -> f64 {
+        let n = line.len();
+        line.iter().position(|&v| v >= 0.5).map_or(1.0, |i| {
+            if n <= 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64
+            }
+        })
+    };
+    let schema_half_time = half_time(&schema);
+    let source_half_time = half_time(&source);
+    let mean_gap =
+        schema.iter().zip(&source).map(|(h, s)| h - s).sum::<f64>() / schema.len() as f64;
+    let rho = spearman(&schema, &source);
+    Some(CoEvolution {
+        schema_half_time,
+        source_half_time,
+        lead: source_half_time - schema_half_time,
+        mean_gap,
+        line_correlation: if rho.is_finite() { rho } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_history::MonthId;
+
+    fn project(schema: Vec<f64>, source: Vec<f64>) -> ProjectHistory {
+        ProjectHistory::from_heartbeats("lag", MonthId(0), schema, source, [0; 6])
+    }
+
+    #[test]
+    fn schema_leading_source_has_positive_lead() {
+        // Schema all at month 0; source spread evenly.
+        let mut schema = vec![0.0; 20];
+        schema[0] = 10.0;
+        let p = project(schema, vec![1.0; 20]);
+        let c = co_evolution(&p).unwrap();
+        assert_eq!(c.schema_half_time, 0.0);
+        assert!(c.source_half_time > 0.3);
+        assert!(c.lead > 0.3);
+        assert!(c.mean_gap > 0.4, "schema line sits above: {}", c.mean_gap);
+    }
+
+    #[test]
+    fn late_schema_has_negative_lead() {
+        let mut schema = vec![0.0; 20];
+        schema[18] = 10.0;
+        let p = project(schema, vec![1.0; 20]);
+        let c = co_evolution(&p).unwrap();
+        assert!(c.lead < -0.3);
+        assert!(c.mean_gap < 0.0);
+    }
+
+    #[test]
+    fn parallel_lines_correlate_strongly() {
+        let p = project(vec![2.0; 30], vec![5.0; 30]);
+        let c = co_evolution(&p).unwrap();
+        assert!((c.lead).abs() < 0.05);
+        assert!(c.line_correlation > 0.99);
+        assert!(c.mean_gap.abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_line_has_zero_correlation() {
+        // All schema change in month 0: the sampled line is constant 1.0.
+        let mut schema = vec![0.0; 20];
+        schema[0] = 10.0;
+        let mut c = co_evolution(&project(schema, vec![1.0; 20])).unwrap();
+        // Drop fractional noise: the line is constant from the first sample.
+        c.line_correlation = c.line_correlation.abs();
+        assert_eq!(c.line_correlation, 0.0);
+    }
+
+    #[test]
+    fn missing_activity_yields_none() {
+        assert!(co_evolution(&project(vec![0.0; 10], vec![1.0; 10])).is_none());
+        assert!(co_evolution(&project(vec![1.0; 10], vec![0.0; 10])).is_none());
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # schemachron-core
+//!
+//! The primary contribution of the EDBT 2025 study *"Time-Related Patterns
+//! Of Schema Evolution"*, as an executable library:
+//!
+//! * [`metrics`] — the §3.2 **time-related metrics** of a project's schema
+//!   evolution: schema birth (point and volume), top-band attainment (90% of
+//!   total activity), the intervals birth→top and top→end, vaults, and
+//!   active growth months;
+//! * [`quantize`] — the §3.3 **quantization** of those metrics into ordinal
+//!   labels with the exact published limits (Table 1);
+//! * [`patterns`] — the **8 patterns in 3 families** (§4) as executable
+//!   definitions, with a strict classifier and a nearest-pattern scorer;
+//! * [`validate`] — the §5 validation machinery: pattern **cohesion** (mean
+//!   distance to centroid of 20-point quantized lines), **disjointedness**
+//!   (label-space active-domain coverage) and **completeness**
+//!   (attainability of label combinations);
+//! * [`predict`] — the §6.2 birth-point predictor: P(pattern | month of
+//!   schema birth), including the headline rigidity probabilities;
+//! * [`tables`] — per-table evolution profiles and rigidity census (the
+//!   "gravitation to rigidity" companion-study lineage);
+//! * [`lag`] — joint schema/source co-evolution measures (who leads whom).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use schemachron_history::{ProjectHistory, MonthId};
+//! use schemachron_core::metrics::TimeMetrics;
+//! use schemachron_core::quantize::Labels;
+//! use schemachron_core::patterns::{classify, Pattern};
+//!
+//! // A schema fully born in the project's first month and never touched:
+//! let mut activity = vec![0.0; 24];
+//! activity[0] = 20.0;
+//! let p = ProjectHistory::from_heartbeats(
+//!     "frozen", MonthId::from_ym(2020, 1),
+//!     activity, vec![1.0; 24], [20, 0, 0, 0, 0, 0]);
+//!
+//! let m = TimeMetrics::from_project(&p).expect("schema exists");
+//! let labels = Labels::from_metrics(&m);
+//! assert_eq!(classify(&labels), Some(Pattern::Flatliner));
+//! ```
+
+pub mod lag;
+pub mod metrics;
+pub mod patterns;
+pub mod predict;
+pub mod quantize;
+pub mod tables;
+pub mod validate;
+
+pub use metrics::TimeMetrics;
+pub use patterns::{classify, classify_nearest, Family, Pattern};
+pub use quantize::Labels;

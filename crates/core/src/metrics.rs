@@ -1,0 +1,284 @@
+//! The §3.2 time-related metrics of schema evolution.
+//!
+//! All percentages are over the **Project Update Period** (PUP): the months
+//! from the project's originating version to its last commit. Month index 0
+//! is V⁰ₚ; a month index `i` maps to time fraction `i / (PUP − 1)` (so the
+//! last month is 100%). The **top band** is 90% of total schema activity.
+
+use schemachron_history::ProjectHistory;
+use serde::{Deserialize, Serialize};
+
+/// The fraction of total activity that marks top-band attainment.
+pub const TOP_BAND: f64 = 0.9;
+
+/// The maximum birth→top time fraction that still counts as a *vault*.
+pub const VAULT_THRESHOLD: f64 = 0.10;
+
+/// All §3.2 time-related measures for one project.
+///
+/// Produced by [`TimeMetrics::from_project`]; `None` when the project never
+/// shows any schema activity (such zero-evolution projects are excluded
+/// from the study's corpus).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeMetrics {
+    /// PUP length in months.
+    pub pup_months: usize,
+    /// Month index (0-based) of schema birth.
+    pub birth_index: usize,
+    /// Schema birth as a fraction of the PUP, in `[0, 1]`.
+    pub birth_pct_pup: f64,
+    /// Fraction of *total* schema activity carried by the birth month.
+    pub birth_volume_pct_total: f64,
+    /// Month index of top-band attainment (first month with cumulative
+    /// activity ≥ [`TOP_BAND`] of the total).
+    pub topband_index: usize,
+    /// Top-band attainment as a fraction of the PUP.
+    pub topband_pct_pup: f64,
+    /// Interval from schema birth to top-band, as a fraction of the PUP.
+    pub interval_birth_to_top_pct: f64,
+    /// Interval from top-band to project end, as a fraction of the PUP.
+    pub interval_top_to_end_pct: f64,
+    /// Whether the birth→top transition is a single *vault*
+    /// (< [`VAULT_THRESHOLD`] of the PUP).
+    pub has_single_vault: bool,
+    /// Active months in the **proper** interval between birth and top-band
+    /// (both endpoints excluded).
+    pub active_growth_months: usize,
+    /// [`TimeMetrics::active_growth_months`] as a fraction of the proper
+    /// growth interval's length (0 when that interval is empty).
+    pub active_pct_growth: f64,
+    /// [`TimeMetrics::active_growth_months`] as a fraction of the PUP.
+    pub active_pct_pup: f64,
+    /// Total schema activity (affected attributes) over the whole life.
+    pub total_activity: f64,
+    /// Schema activity in the birth month (the birth "volume" in units).
+    pub birth_volume: f64,
+    /// Total activity *after* the birth month — §6.1's "Total Schema
+    /// Activity ... that took place in the life of the project after schema
+    /// birth".
+    pub activity_after_birth: f64,
+    /// Total expansion changes (§6.3).
+    pub expansion_total: usize,
+    /// Total maintenance changes (§6.3).
+    pub maintenance_total: usize,
+}
+
+impl TimeMetrics {
+    /// Computes the metrics for a project, or `None` if the schema never
+    /// appears (no activity at all). Uses the paper's operating point
+    /// ([`TOP_BAND`] = 90%, [`VAULT_THRESHOLD`] = 10%).
+    pub fn from_project(p: &ProjectHistory) -> Option<TimeMetrics> {
+        TimeMetrics::from_project_with(p, TOP_BAND, VAULT_THRESHOLD)
+    }
+
+    /// Computes the metrics with explicit top-band and vault thresholds —
+    /// the knob the ablation experiments sweep to show the patterns are not
+    /// artifacts of the 90%/10% convention.
+    pub fn from_project_with(
+        p: &ProjectHistory,
+        top_band: f64,
+        vault_threshold: f64,
+    ) -> Option<TimeMetrics> {
+        let hb = p.schema_heartbeat();
+        let values = hb.values();
+        let birth_index = hb.first_active_index()?;
+        let pup_months = p.month_count();
+        let total: f64 = hb.total();
+
+        // Top band: first month with cumulative >= top_band * total.
+        let threshold = top_band * total;
+        let mut acc = 0.0;
+        let mut topband_index = birth_index;
+        for (i, v) in values.iter().enumerate() {
+            acc += v;
+            // Tolerate floating-point dust on the comparison.
+            if acc + 1e-9 >= threshold {
+                topband_index = i;
+                break;
+            }
+        }
+
+        let pct = |idx: usize| -> f64 {
+            if pup_months <= 1 {
+                0.0
+            } else {
+                idx as f64 / (pup_months - 1) as f64
+            }
+        };
+        let birth_pct_pup = pct(birth_index);
+        let topband_pct_pup = pct(topband_index);
+        let interval_birth_to_top_pct = topband_pct_pup - birth_pct_pup;
+        let interval_top_to_end_pct = 1.0 - topband_pct_pup;
+
+        // Active months strictly between birth and top-band.
+        let active_growth_months = if topband_index > birth_index + 1 {
+            hb.active_months_in(birth_index + 1, topband_index - 1)
+        } else {
+            0
+        };
+        let growth_interior = topband_index.saturating_sub(birth_index + 1);
+        let active_pct_growth = if growth_interior == 0 {
+            0.0
+        } else {
+            active_growth_months as f64 / growth_interior as f64
+        };
+        let active_pct_pup = if pup_months == 0 {
+            0.0
+        } else {
+            active_growth_months as f64 / pup_months as f64
+        };
+
+        let birth_volume = values[birth_index];
+        Some(TimeMetrics {
+            pup_months,
+            birth_index,
+            birth_pct_pup,
+            birth_volume_pct_total: if total > 0.0 {
+                birth_volume / total
+            } else {
+                0.0
+            },
+            topband_index,
+            topband_pct_pup,
+            interval_birth_to_top_pct,
+            interval_top_to_end_pct,
+            has_single_vault: interval_birth_to_top_pct < vault_threshold,
+            active_growth_months,
+            active_pct_growth,
+            active_pct_pup,
+            total_activity: total,
+            birth_volume,
+            activity_after_birth: total - birth_volume,
+            expansion_total: p.expansion_total(),
+            maintenance_total: p.maintenance_total(),
+        })
+    }
+
+    /// The absolute birth month (months since project start) — the
+    /// predictor input of §6.2 / Fig. 7.
+    pub fn birth_month_absolute(&self) -> usize {
+        self.birth_index
+    }
+
+    /// Quantizes the project's cumulative schema line to `n` points of
+    /// normalized time — the §5.2 vector representation (the paper uses
+    /// n = 20).
+    pub fn quantized_line(p: &ProjectHistory, n: usize) -> Vec<f64> {
+        p.schema_heartbeat().sample_normalized(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_history::MonthId;
+
+    fn project(schema: Vec<f64>) -> ProjectHistory {
+        let n = schema.len();
+        ProjectHistory::from_heartbeats("t", MonthId(0), schema, vec![1.0; n], [0; 6])
+    }
+
+    #[test]
+    fn no_schema_activity_yields_none() {
+        assert!(TimeMetrics::from_project(&project(vec![0.0; 10])).is_none());
+    }
+
+    #[test]
+    fn flatliner_shape() {
+        let mut v = vec![0.0; 20];
+        v[0] = 10.0;
+        let m = TimeMetrics::from_project(&project(v)).unwrap();
+        assert_eq!(m.birth_index, 0);
+        assert_eq!(m.topband_index, 0);
+        assert_eq!(m.birth_pct_pup, 0.0);
+        assert_eq!(m.birth_volume_pct_total, 1.0);
+        assert_eq!(m.interval_birth_to_top_pct, 0.0);
+        assert_eq!(m.interval_top_to_end_pct, 1.0);
+        assert!(m.has_single_vault);
+        assert_eq!(m.active_growth_months, 0);
+        assert_eq!(m.activity_after_birth, 0.0);
+    }
+
+    #[test]
+    fn topband_is_first_month_reaching_ninety_percent() {
+        // 50, 30, 15, 5 → cumulative 50%, 80%, 95%, 100%: top at index 2.
+        let m = TimeMetrics::from_project(&project(vec![50.0, 30.0, 15.0, 5.0])).unwrap();
+        assert_eq!(m.topband_index, 2);
+        assert!((m.topband_pct_pup - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.interval_top_to_end_pct - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_ninety_percent_counts() {
+        let m = TimeMetrics::from_project(&project(vec![90.0, 0.0, 10.0])).unwrap();
+        assert_eq!(m.topband_index, 0);
+    }
+
+    #[test]
+    fn late_birth_percentages() {
+        let mut v = vec![0.0; 11];
+        v[9] = 5.0;
+        v[10] = 1.0;
+        let m = TimeMetrics::from_project(&project(v)).unwrap();
+        assert_eq!(m.birth_index, 9);
+        assert!((m.birth_pct_pup - 0.9).abs() < 1e-12);
+        assert_eq!(m.topband_index, 10); // 5/6 < 0.9, needs the last month
+        assert!((m.interval_birth_to_top_pct - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_growth_months_counts_proper_interval_only() {
+        // birth at 0 (10), activity at 2 and 4, top at 8.
+        let mut v = vec![0.0; 20];
+        v[0] = 10.0;
+        v[2] = 20.0;
+        v[4] = 20.0;
+        v[8] = 40.0; // cum: 10,30,50,90 → top reached at index 8 (90/90... )
+        v[12] = 10.0;
+        let m = TimeMetrics::from_project(&project(v)).unwrap();
+        assert_eq!(m.topband_index, 8);
+        assert_eq!(m.active_growth_months, 2); // months 2 and 4
+        assert!((m.active_pct_growth - 2.0 / 7.0).abs() < 1e-12);
+        assert!((m.active_pct_pup - 0.1).abs() < 1e-12);
+        assert!(!m.has_single_vault);
+    }
+
+    #[test]
+    fn adjacent_birth_and_top_have_zero_growth_interior() {
+        let m = TimeMetrics::from_project(&project(vec![50.0, 50.0, 0.0, 0.0])).unwrap();
+        assert_eq!(m.birth_index, 0);
+        assert_eq!(m.topband_index, 1);
+        assert_eq!(m.active_growth_months, 0);
+        assert_eq!(m.active_pct_growth, 0.0);
+    }
+
+    #[test]
+    fn vault_threshold_is_strict() {
+        // 21 months: index 2 = 10% exactly → NOT a vault (must be < 10%).
+        let mut v = vec![0.0; 21];
+        v[0] = 50.0;
+        v[2] = 50.0;
+        let m = TimeMetrics::from_project(&project(v)).unwrap();
+        assert!((m.interval_birth_to_top_pct - 0.1).abs() < 1e-12);
+        assert!(!m.has_single_vault);
+    }
+
+    #[test]
+    fn single_month_project() {
+        let m = TimeMetrics::from_project(&project(vec![7.0])).unwrap();
+        assert_eq!(m.pup_months, 1);
+        assert_eq!(m.birth_pct_pup, 0.0);
+        assert_eq!(m.topband_pct_pup, 0.0);
+        assert_eq!(m.interval_top_to_end_pct, 1.0);
+    }
+
+    #[test]
+    fn quantized_line_has_requested_length() {
+        let mut v = vec![0.0; 40];
+        v[0] = 1.0;
+        let p = project(v);
+        let line = TimeMetrics::quantized_line(&p, 20);
+        assert_eq!(line.len(), 20);
+        assert!((line[19] - 1.0).abs() < 1e-12);
+    }
+}

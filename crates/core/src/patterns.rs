@@ -1,0 +1,417 @@
+//! The 8 time-related patterns of schema evolution in 3 families (§4).
+//!
+//! Each pattern is an executable predicate over the quantized profile
+//! ([`Labels`]). The definitions use exactly the four defining features of
+//! the paper: birth point class, top-band point class, birth→top interval
+//! class, and the active-growth-months bucket.
+//!
+//! The definitions are pairwise **disjoint** (verified by tests and by
+//! `validate::domain`), but not **complete**: real histories occasionally
+//! fall outside every definition — the paper keeps such projects in the
+//! pattern they resemble most and reports them as *exceptions* (Table 2).
+//! [`classify_nearest`] implements that "most-resembled" assignment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantize::{IntervalClass, Labels, TimepointClass};
+
+/// The three pattern families (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Focused change around schema birth, then freeze:
+    /// Flatliner, Radical Sign, Sigmoid, Late Riser.
+    BeQuickOrBeDead,
+    /// Regular steps of change: Quantum Steps, Regularly Curated.
+    StairwayToHeaven,
+    /// Change (re)starting late in the project's life:
+    /// Siesta, Smoking Funnel.
+    ScaredToFallAsleepAgain,
+}
+
+impl Family {
+    /// All families, in paper order.
+    pub const ALL: [Family; 3] = [
+        Family::BeQuickOrBeDead,
+        Family::StairwayToHeaven,
+        Family::ScaredToFallAsleepAgain,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::BeQuickOrBeDead => "Be Quick or Be Dead",
+            Family::StairwayToHeaven => "Stairway to Heaven",
+            Family::ScaredToFallAsleepAgain => "Scared to Fall Asleep Again",
+        }
+    }
+}
+
+/// The eight time-related patterns of schema evolution (§4.1–§4.8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// §4.1 — born at V⁰ₚ and immediately frozen; a flat line.
+    Flatliner,
+    /// §4.2 — born early, a sharp vault to the top, then a long flat tail.
+    RadicalSign,
+    /// §4.3 — born mid-life, sharp rise at birth, long frozen tail.
+    Sigmoid,
+    /// §4.4 — born late, the vault *is* the schema's whole life.
+    LateRiser,
+    /// §4.5 — few (≤ 3) focused steps between birth and top-band.
+    QuantumSteps,
+    /// §4.6 — many (> 3) steps of consistent maintenance.
+    RegularlyCurated,
+    /// §4.7 — born early, long sleep, change returns late in life.
+    Siesta,
+    /// §4.8 — born mid-life and regularly evolved afterwards.
+    SmokingFunnel,
+}
+
+impl Pattern {
+    /// All patterns, in paper order.
+    pub const ALL: [Pattern; 8] = [
+        Pattern::Flatliner,
+        Pattern::RadicalSign,
+        Pattern::Sigmoid,
+        Pattern::LateRiser,
+        Pattern::QuantumSteps,
+        Pattern::RegularlyCurated,
+        Pattern::Siesta,
+        Pattern::SmokingFunnel,
+    ];
+
+    /// The family the pattern belongs to.
+    pub fn family(self) -> Family {
+        match self {
+            Pattern::Flatliner | Pattern::RadicalSign | Pattern::Sigmoid | Pattern::LateRiser => {
+                Family::BeQuickOrBeDead
+            }
+            Pattern::QuantumSteps | Pattern::RegularlyCurated => Family::StairwayToHeaven,
+            Pattern::Siesta | Pattern::SmokingFunnel => Family::ScaredToFallAsleepAgain,
+        }
+    }
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Flatliner => "Flatliner",
+            Pattern::RadicalSign => "Radical Sign",
+            Pattern::Sigmoid => "Sigmoid",
+            Pattern::LateRiser => "Late Riser",
+            Pattern::QuantumSteps => "Quantum Steps",
+            Pattern::RegularlyCurated => "Regularly Curated",
+            Pattern::Siesta => "Siesta",
+            Pattern::SmokingFunnel => "Smoking Funnel",
+        }
+    }
+
+    /// Index in [`Pattern::ALL`] (stable ordinal for tables and trees).
+    pub fn ordinal(self) -> usize {
+        Pattern::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("in ALL")
+    }
+
+    /// The strict definition (§4): does the quantized profile satisfy this
+    /// pattern's defining clauses?
+    pub fn matches(self, l: &Labels) -> bool {
+        self.violations(l) == 0
+    }
+
+    /// Weighted count of defining clauses the profile violates
+    /// (0 = strict match). Used by [`classify_nearest`] to mimic the
+    /// paper's handling of exceptions ("the project remained in the pattern
+    /// to which it was originally assigned" when it *seems more related*
+    /// despite a violation).
+    ///
+    /// Weights reflect how strongly a clause shapes the line: the two
+    /// timing endpoints (birth, top-band) weigh 3 each, the change rate
+    /// (active growth months, the sole QS/RC discriminator) weighs 2, and
+    /// the interval class — largely implied by the endpoints — weighs 1.
+    /// With these weights the nearest pattern of every exception profile
+    /// reported in §5.2 agrees with the authors' manual assignment.
+    pub fn violations(self, l: &Labels) -> u32 {
+        use IntervalClass as I;
+        use TimepointClass as T;
+        const W_POINT: u32 = 3;
+        const W_AGM: u32 = 2;
+        const W_INTERVAL: u32 = 1;
+        let birth = l.birth_point;
+        let top = l.topband_point;
+        let iv = l.interval_birth_to_top;
+        let agm = l.agm_bucket(); // 0 → 0, 1 → 1..=3, 2 → >3
+        let b = |ok: bool, w: u32| if ok { 0 } else { w };
+        match self {
+            // Def 4.1: birth at V0 ∧ top-band at V0.
+            Pattern::Flatliner => b(birth == T::V0, W_POINT) + b(top == T::V0, W_POINT),
+            // Def 4.2: birth V0-or-early ∧ top-band early.
+            Pattern::RadicalSign => {
+                b(matches!(birth, T::V0 | T::Early), W_POINT) + b(top == T::Early, W_POINT)
+            }
+            // Def 4.3: birth middle ∧ top middle ∧ interval zero-or-soon.
+            Pattern::Sigmoid => {
+                b(birth == T::Middle, W_POINT)
+                    + b(top == T::Middle, W_POINT)
+                    + b(matches!(iv, I::Zero | I::Soon), W_INTERVAL)
+            }
+            // Def 4.4: birth late ∧ top late ∧ interval zero-or-soon.
+            Pattern::LateRiser => {
+                b(birth == T::Late, W_POINT)
+                    + b(top == T::Late, W_POINT)
+                    + b(matches!(iv, I::Zero | I::Soon), W_INTERVAL)
+            }
+            // Def 4.5: ≤3 active growth months ∧ (early→middle | middle→late).
+            Pattern::QuantumSteps => {
+                let variant = (matches!(birth, T::V0 | T::Early) && top == T::Middle)
+                    || (birth == T::Middle && top == T::Late);
+                b(agm <= 1, W_AGM) + b(variant, W_POINT)
+            }
+            // Def 4.6: >3 active growth months ∧ (early→{middle,late} | middle→late).
+            Pattern::RegularlyCurated => {
+                let variant = (matches!(birth, T::V0 | T::Early)
+                    && matches!(top, T::Middle | T::Late))
+                    || (birth == T::Middle && top == T::Late);
+                b(agm == 2, W_AGM) + b(variant, W_POINT)
+            }
+            // Def 4.7: birth V0-or-early ∧ top late ∧ interval very long ∧ ≤3 AGM.
+            Pattern::Siesta => {
+                b(matches!(birth, T::V0 | T::Early), W_POINT)
+                    + b(top == T::Late, W_POINT)
+                    + b(iv == I::VeryLong, W_INTERVAL)
+                    + b(agm <= 1, W_AGM)
+            }
+            // Def 4.8: birth middle ∧ top middle ∧ interval fair ∧ >3 AGM.
+            Pattern::SmokingFunnel => {
+                b(birth == T::Middle, W_POINT)
+                    + b(top == T::Middle, W_POINT)
+                    + b(iv == I::Fair, W_INTERVAL)
+                    + b(agm == 2, W_AGM)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies a quantized profile by the strict §4 definitions.
+///
+/// Returns `None` when no definition matches (an *exception* profile —
+/// see [`classify_nearest`]). The definitions are pairwise disjoint, so at
+/// most one pattern can match; this is asserted in debug builds.
+pub fn classify(l: &Labels) -> Option<Pattern> {
+    let mut hit = None;
+    for p in Pattern::ALL {
+        if p.matches(l) {
+            debug_assert!(
+                hit.is_none(),
+                "pattern definitions must be disjoint; {l:?} matches both {hit:?} and {p:?}"
+            );
+            hit = Some(p);
+            if !cfg!(debug_assertions) {
+                break;
+            }
+        }
+    }
+    hit
+}
+
+/// Finds the pattern whose definition the profile violates least, with the
+/// number of violated clauses. A result of `(p, 0)` is a strict match.
+/// Ties break in [`Pattern::ALL`] order (deterministic).
+pub fn classify_nearest(l: &Labels) -> (Pattern, u32) {
+    Pattern::ALL
+        .iter()
+        .map(|&p| (p, p.violations(l)))
+        .min_by_key(|&(p, v)| (v, p.ordinal()))
+        .expect("ALL is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::{ActiveGrowthClass, ActivePupClass, BirthVolumeClass, TailClass};
+
+    fn labels(birth: TimepointClass, top: TimepointClass, iv: IntervalClass, agm: usize) -> Labels {
+        Labels {
+            birth_volume: BirthVolumeClass::Fair,
+            birth_point: birth,
+            topband_point: top,
+            interval_birth_to_top: iv,
+            interval_top_to_end: TailClass::Fair,
+            active_growth: if agm == 0 {
+                ActiveGrowthClass::Zero
+            } else {
+                ActiveGrowthClass::Few
+            },
+            active_pup: ActivePupClass::Zero,
+            active_growth_months: agm,
+            has_single_vault: matches!(iv, IntervalClass::Zero | IntervalClass::Soon),
+        }
+    }
+
+    use IntervalClass as I;
+    use TimepointClass as T;
+
+    #[test]
+    fn flatliner_definition() {
+        assert_eq!(
+            classify(&labels(T::V0, T::V0, I::Zero, 0)),
+            Some(Pattern::Flatliner)
+        );
+    }
+
+    #[test]
+    fn radical_sign_definition() {
+        assert_eq!(
+            classify(&labels(T::V0, T::Early, I::Soon, 0)),
+            Some(Pattern::RadicalSign)
+        );
+        assert_eq!(
+            classify(&labels(T::Early, T::Early, I::Zero, 1)),
+            Some(Pattern::RadicalSign)
+        );
+    }
+
+    #[test]
+    fn sigmoid_definition() {
+        assert_eq!(
+            classify(&labels(T::Middle, T::Middle, I::Zero, 0)),
+            Some(Pattern::Sigmoid)
+        );
+        assert_eq!(
+            classify(&labels(T::Middle, T::Middle, I::Soon, 1)),
+            Some(Pattern::Sigmoid)
+        );
+    }
+
+    #[test]
+    fn late_riser_definition() {
+        assert_eq!(
+            classify(&labels(T::Late, T::Late, I::Zero, 0)),
+            Some(Pattern::LateRiser)
+        );
+    }
+
+    #[test]
+    fn quantum_steps_both_variants() {
+        assert_eq!(
+            classify(&labels(T::Early, T::Middle, I::Fair, 2)),
+            Some(Pattern::QuantumSteps)
+        );
+        assert_eq!(
+            classify(&labels(T::Middle, T::Late, I::Long, 3)),
+            Some(Pattern::QuantumSteps)
+        );
+        assert_eq!(
+            classify(&labels(T::V0, T::Middle, I::Long, 0)),
+            Some(Pattern::QuantumSteps)
+        );
+    }
+
+    #[test]
+    fn regularly_curated_both_variants() {
+        assert_eq!(
+            classify(&labels(T::V0, T::Middle, I::Long, 7)),
+            Some(Pattern::RegularlyCurated)
+        );
+        assert_eq!(
+            classify(&labels(T::Early, T::Late, I::Long, 5)),
+            Some(Pattern::RegularlyCurated)
+        );
+        assert_eq!(
+            classify(&labels(T::Middle, T::Late, I::Fair, 4)),
+            Some(Pattern::RegularlyCurated)
+        );
+    }
+
+    #[test]
+    fn siesta_definition() {
+        assert_eq!(
+            classify(&labels(T::V0, T::Late, I::VeryLong, 1)),
+            Some(Pattern::Siesta)
+        );
+        assert_eq!(
+            classify(&labels(T::Early, T::Late, I::VeryLong, 3)),
+            Some(Pattern::Siesta)
+        );
+    }
+
+    #[test]
+    fn smoking_funnel_definition() {
+        assert_eq!(
+            classify(&labels(T::Middle, T::Middle, I::Fair, 6)),
+            Some(Pattern::SmokingFunnel)
+        );
+    }
+
+    #[test]
+    fn definitions_are_pairwise_disjoint_over_full_domain() {
+        // Exhaustive sweep of the defining feature space.
+        for &birth in &TimepointClass::ALL {
+            for &top in &TimepointClass::ALL {
+                for &iv in &IntervalClass::ALL {
+                    for agm in [0usize, 1, 2, 3, 4, 10] {
+                        let l = labels(birth, top, iv, agm);
+                        let matching: Vec<Pattern> = Pattern::ALL
+                            .iter()
+                            .copied()
+                            .filter(|p| p.matches(&l))
+                            .collect();
+                        assert!(
+                            matching.len() <= 1,
+                            "overlap at {birth:?}/{top:?}/{iv:?}/agm={agm}: {matching:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_profiles_exist_and_nearest_resolves_them() {
+        // Early birth, late top, interval only Long (not VeryLong), AGM ≤ 3:
+        // the paper reports exactly this as a Siesta exception.
+        let l = labels(T::Early, T::Late, I::Long, 2);
+        assert_eq!(classify(&l), None);
+        let (p, v) = classify_nearest(&l);
+        assert_eq!(p, Pattern::Siesta);
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn nearest_on_strict_match_is_zero_violations() {
+        let l = labels(T::V0, T::V0, I::Zero, 0);
+        assert_eq!(classify_nearest(&l), (Pattern::Flatliner, 0));
+    }
+
+    #[test]
+    fn families_partition_the_patterns() {
+        let counts: Vec<usize> = Family::ALL
+            .iter()
+            .map(|f| Pattern::ALL.iter().filter(|p| p.family() == *f).count())
+            .collect();
+        assert_eq!(counts, vec![4, 2, 2]);
+    }
+
+    #[test]
+    fn names_and_ordinals_are_stable() {
+        assert_eq!(Pattern::Flatliner.ordinal(), 0);
+        assert_eq!(Pattern::SmokingFunnel.ordinal(), 7);
+        assert_eq!(Pattern::RadicalSign.to_string(), "Radical Sign");
+        assert_eq!(
+            Family::ScaredToFallAsleepAgain.to_string(),
+            "Scared to Fall Asleep Again"
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! §6.2 — predicting the evolution pattern from the point of schema birth.
+//!
+//! Fig. 7 of the paper tabulates, for the 151-project corpus, the
+//! probability of each pattern given the *absolute* month of schema birth,
+//! bucketed as M0, M1–M6, M7–M12 and "not born till M12".
+
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::{Family, Pattern};
+
+/// The birth-month buckets of Fig. 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BirthBucket {
+    /// Schema born in the project's first month.
+    M0,
+    /// Born in months 1–6.
+    M1toM6,
+    /// Born in months 7–12.
+    M7toM12,
+    /// Not born until after the first year.
+    AfterM12,
+}
+
+impl BirthBucket {
+    /// All buckets, in Fig. 7 column order.
+    pub const ALL: [BirthBucket; 4] = [
+        BirthBucket::M0,
+        BirthBucket::M1toM6,
+        BirthBucket::M7toM12,
+        BirthBucket::AfterM12,
+    ];
+
+    /// Buckets an absolute birth month (months since project start).
+    pub fn of(birth_month: usize) -> Self {
+        match birth_month {
+            0 => BirthBucket::M0,
+            1..=6 => BirthBucket::M1toM6,
+            7..=12 => BirthBucket::M7toM12,
+            _ => BirthBucket::AfterM12,
+        }
+    }
+
+    /// Display label as in Fig. 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            BirthBucket::M0 => "Born M0",
+            BirthBucket::M1toM6 => "Born [M1..M6]",
+            BirthBucket::M7toM12 => "Born [M7..M12]",
+            BirthBucket::AfterM12 => "Not born till M12",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            BirthBucket::M0 => 0,
+            BirthBucket::M1toM6 => 1,
+            BirthBucket::M7toM12 => 2,
+            BirthBucket::AfterM12 => 3,
+        }
+    }
+}
+
+/// The fitted birth-point predictor: a counts table
+/// (pattern × birth bucket), queried for conditional probabilities.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BirthPredictor {
+    counts: [[usize; 4]; 8], // [pattern ordinal][bucket index]
+}
+
+impl BirthPredictor {
+    /// Fits the predictor from `(absolute birth month, pattern)` pairs.
+    pub fn fit(data: &[(usize, Pattern)]) -> Self {
+        let mut p = BirthPredictor::default();
+        for &(birth, pattern) in data {
+            p.counts[pattern.ordinal()][BirthBucket::of(birth).index()] += 1;
+        }
+        p
+    }
+
+    /// The raw count for a (pattern, bucket) pair.
+    pub fn count(&self, pattern: Pattern, bucket: BirthBucket) -> usize {
+        self.counts[pattern.ordinal()][bucket.index()]
+    }
+
+    /// Total projects in a bucket.
+    pub fn bucket_total(&self, bucket: BirthBucket) -> usize {
+        self.counts.iter().map(|row| row[bucket.index()]).sum()
+    }
+
+    /// Total projects overall.
+    pub fn total(&self) -> usize {
+        BirthBucket::ALL.iter().map(|&b| self.bucket_total(b)).sum()
+    }
+
+    /// P(pattern | bucket), in [`Pattern::ALL`] order. All zeros when the
+    /// bucket is empty.
+    pub fn probabilities(&self, bucket: BirthBucket) -> [f64; 8] {
+        let total = self.bucket_total(bucket);
+        let mut out = [0.0; 8];
+        if total == 0 {
+            return out;
+        }
+        for (i, row) in self.counts.iter().enumerate() {
+            out[i] = row[bucket.index()] as f64 / total as f64;
+        }
+        out
+    }
+
+    /// Marginal P(pattern), in [`Pattern::ALL`] order.
+    pub fn overall_probabilities(&self) -> [f64; 8] {
+        let total = self.total();
+        let mut out = [0.0; 8];
+        if total == 0 {
+            return out;
+        }
+        for (i, row) in self.counts.iter().enumerate() {
+            out[i] = row.iter().sum::<usize>() as f64 / total as f64;
+        }
+        out
+    }
+
+    /// P(family | bucket): the probability mass of one pattern family.
+    pub fn family_probability(&self, family: Family, bucket: BirthBucket) -> f64 {
+        Pattern::ALL
+            .iter()
+            .filter(|p| p.family() == family)
+            .map(|p| self.probabilities(bucket)[p.ordinal()])
+            .sum()
+    }
+
+    /// §6.2's headline "rigidity" probability: the chance of a sharp,
+    /// focused evolution (the *Be Quick or Be Dead* family) given the birth
+    /// bucket. The paper reports 75% for M0 and 64% for birth after M12.
+    pub fn rigidity_probability(&self, bucket: BirthBucket) -> f64 {
+        self.family_probability(Family::BeQuickOrBeDead, bucket)
+    }
+
+    /// P(bucket): where schemata are born (the paper's side observation:
+    /// 34% at M0, 60% within the first 6 months, 68% within the first
+    /// year).
+    pub fn bucket_probability(&self, bucket: BirthBucket) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bucket_total(bucket) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_edges() {
+        assert_eq!(BirthBucket::of(0), BirthBucket::M0);
+        assert_eq!(BirthBucket::of(1), BirthBucket::M1toM6);
+        assert_eq!(BirthBucket::of(6), BirthBucket::M1toM6);
+        assert_eq!(BirthBucket::of(7), BirthBucket::M7toM12);
+        assert_eq!(BirthBucket::of(12), BirthBucket::M7toM12);
+        assert_eq!(BirthBucket::of(13), BirthBucket::AfterM12);
+    }
+
+    #[test]
+    fn fit_and_probabilities() {
+        let data = vec![
+            (0, Pattern::Flatliner),
+            (0, Pattern::Flatliner),
+            (0, Pattern::RadicalSign),
+            (3, Pattern::RadicalSign),
+            (20, Pattern::LateRiser),
+        ];
+        let p = BirthPredictor::fit(&data);
+        assert_eq!(p.total(), 5);
+        assert_eq!(p.bucket_total(BirthBucket::M0), 3);
+        let probs = p.probabilities(BirthBucket::M0);
+        assert!((probs[Pattern::Flatliner.ordinal()] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((probs[Pattern::RadicalSign.ordinal()] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.probabilities(BirthBucket::M7toM12), [0.0; 8]);
+    }
+
+    #[test]
+    fn rigidity_is_family_mass() {
+        let data = vec![
+            (0, Pattern::Flatliner),
+            (0, Pattern::RadicalSign),
+            (0, Pattern::Siesta),
+            (0, Pattern::QuantumSteps),
+        ];
+        let p = BirthPredictor::fit(&data);
+        assert!((p.rigidity_probability(BirthBucket::M0) - 0.5).abs() < 1e-12);
+        assert!(
+            (p.family_probability(Family::ScaredToFallAsleepAgain, BirthBucket::M0) - 0.25).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn overall_and_bucket_marginals() {
+        let data = vec![
+            (0, Pattern::Flatliner),
+            (5, Pattern::RadicalSign),
+            (30, Pattern::Sigmoid),
+            (30, Pattern::LateRiser),
+        ];
+        let p = BirthPredictor::fit(&data);
+        assert!((p.bucket_probability(BirthBucket::M0) - 0.25).abs() < 1e-12);
+        assert!((p.bucket_probability(BirthBucket::AfterM12) - 0.5).abs() < 1e-12);
+        let overall = p.overall_probabilities();
+        assert!((overall.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_predictor_is_safe() {
+        let p = BirthPredictor::fit(&[]);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.overall_probabilities(), [0.0; 8]);
+        assert_eq!(p.bucket_probability(BirthBucket::M0), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Early-horizon observation features (the paper's future-work direction:
+// "the provision of solid foundations for the prediction of future
+// behavior on the basis of a meaningful model", §7).
+
+/// Names of the features produced by [`horizon_features`].
+pub const HORIZON_FEATURE_NAMES: [&str; 5] = [
+    "BirthObserved",
+    "BirthBucket",
+    "VolumeSoFar",
+    "ActiveMonthsSoFar",
+    "MonthsSinceLastActivity",
+];
+
+/// Encodes what an observer knows about a project's schema after watching
+/// only its first `horizon` months — **absolute** months, because at
+/// observation time the project's eventual lifespan (and hence %PUP) is
+/// unknown.
+///
+/// Features (all small ordinals, usable by `schemachron-stats`' trees):
+/// birth observed (0/1); birth bucket (M0 / M1–6 / M7–12 / not yet);
+/// log-bucketized activity volume so far; active-month count so far;
+/// months since the last activity.
+pub fn horizon_features(schema_activity: &[f64], horizon: usize) -> [u8; 5] {
+    let window = &schema_activity[..horizon.min(schema_activity.len())];
+    let birth = window.iter().position(|&v| v > 0.0);
+    let birth_observed = u8::from(birth.is_some());
+    let birth_bucket = match birth {
+        Some(0) => 0u8,
+        Some(1..=6) => 1,
+        Some(7..=12) => 2,
+        Some(_) => 3,
+        None => 3,
+    };
+    let volume: f64 = window.iter().sum();
+    let volume_bucket = match volume as u64 {
+        0 => 0u8,
+        1..=9 => 1,
+        10..=49 => 2,
+        50..=199 => 3,
+        _ => 4,
+    };
+    let active = window.iter().filter(|&&v| v > 0.0).count();
+    let active_bucket = match active {
+        0 => 0u8,
+        1 => 1,
+        2..=3 => 2,
+        _ => 3,
+    };
+    let since_last = window
+        .iter()
+        .rposition(|&v| v > 0.0)
+        .map(|i| window.len() - 1 - i);
+    let since_bucket = match since_last {
+        None => 3u8, // never active
+        Some(0..=2) => 0,
+        Some(3..=6) => 1,
+        Some(_) => 2,
+    };
+    [
+        birth_observed,
+        birth_bucket,
+        volume_bucket,
+        active_bucket,
+        since_bucket,
+    ]
+}
+
+#[cfg(test)]
+mod horizon_tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_all_unknown() {
+        let f = horizon_features(&[0.0; 24], 12);
+        assert_eq!(f, [0, 3, 0, 0, 3]);
+    }
+
+    #[test]
+    fn early_birth_with_activity() {
+        let mut a = vec![0.0; 24];
+        a[0] = 30.0;
+        a[4] = 5.0;
+        let f = horizon_features(&a, 12);
+        assert_eq!(f[0], 1); // birth observed
+        assert_eq!(f[1], 0); // born M0
+        assert_eq!(f[2], 2); // 35 units → 10..=49
+        assert_eq!(f[3], 2); // 2 active months
+        assert_eq!(f[4], 2); // last activity 7 months before the window end
+    }
+
+    #[test]
+    fn horizon_clamps_to_history_length() {
+        let a = vec![1.0; 5];
+        let f = horizon_features(&a, 100);
+        assert_eq!(f[3], 3); // 5 active months
+    }
+
+    #[test]
+    fn unborn_after_first_year() {
+        let mut a = vec![0.0; 30];
+        a[20] = 10.0;
+        // At horizon 12 the schema is not yet born.
+        assert_eq!(horizon_features(&a, 12)[0], 0);
+        // At horizon 24 it is, in the ">M12" bucket.
+        let f = horizon_features(&a, 24);
+        assert_eq!(f[0], 1);
+        assert_eq!(f[1], 3);
+    }
+}

@@ -1,0 +1,522 @@
+//! The §3.3 quantization of time-related metrics into ordinal labels.
+//!
+//! The label limits are exactly those of Table 1 of the paper. Extreme
+//! values carry their own semantics: `0` means "at the originating version
+//! V⁰ₚ" (or "no time at all"), `1` means "the full project life" (or "the
+//! entire activity").
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::TimeMetrics;
+
+/// Volume of schema activity at birth, as % of total change.
+/// Limits: Low ≤ 0.25 < Fair ≤ 0.75 < High < 1 = Full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BirthVolumeClass {
+    /// ≤ 25% of total activity at birth.
+    Low,
+    /// (25%, 75%].
+    Fair,
+    /// (75%, 100%).
+    High,
+    /// Exactly 100% — all change happened at birth.
+    Full,
+}
+
+impl BirthVolumeClass {
+    /// Quantizes a `[0, 1]` fraction.
+    pub fn of(v: f64) -> Self {
+        if v >= 1.0 {
+            BirthVolumeClass::Full
+        } else if v > 0.75 {
+            BirthVolumeClass::High
+        } else if v > 0.25 {
+            BirthVolumeClass::Fair
+        } else {
+            BirthVolumeClass::Low
+        }
+    }
+
+    /// All values in ordinal order.
+    pub const ALL: [BirthVolumeClass; 4] = [
+        BirthVolumeClass::Low,
+        BirthVolumeClass::Fair,
+        BirthVolumeClass::High,
+        BirthVolumeClass::Full,
+    ];
+
+    /// Ordinal code (0-based).
+    pub fn ordinal(self) -> u8 {
+        self as u8
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BirthVolumeClass::Low => "low",
+            BirthVolumeClass::Fair => "fair",
+            BirthVolumeClass::High => "high",
+            BirthVolumeClass::Full => "full",
+        }
+    }
+}
+
+/// A time point as % of the PUP. Limits: V⁰ = 0 < Early ≤ 0.25 <
+/// Middle ≤ 0.75 < Late.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TimepointClass {
+    /// Exactly at the originating version (month 0).
+    V0,
+    /// (0%, 25%] of the PUP.
+    Early,
+    /// (25%, 75%].
+    Middle,
+    /// > 75%.
+    Late,
+}
+
+impl TimepointClass {
+    /// Quantizes a `[0, 1]` time fraction.
+    pub fn of(t: f64) -> Self {
+        if t <= 0.0 {
+            TimepointClass::V0
+        } else if t <= 0.25 {
+            TimepointClass::Early
+        } else if t <= 0.75 {
+            TimepointClass::Middle
+        } else {
+            TimepointClass::Late
+        }
+    }
+
+    /// All values in ordinal order.
+    pub const ALL: [TimepointClass; 4] = [
+        TimepointClass::V0,
+        TimepointClass::Early,
+        TimepointClass::Middle,
+        TimepointClass::Late,
+    ];
+
+    /// Ordinal code (0-based).
+    pub fn ordinal(self) -> u8 {
+        self as u8
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimepointClass::V0 => "V0",
+            TimepointClass::Early => "early",
+            TimepointClass::Middle => "middle",
+            TimepointClass::Late => "late",
+        }
+    }
+}
+
+/// The birth→top-band interval as % of PUP. Limits: Zero = 0 < Soon ≤ 0.1 <
+/// Fair ≤ 0.35 < Long ≤ 0.75 < VeryLong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IntervalClass {
+    /// Exactly zero time.
+    Zero,
+    /// (0%, 10%].
+    Soon,
+    /// (10%, 35%].
+    Fair,
+    /// (35%, 75%].
+    Long,
+    /// > 75%.
+    VeryLong,
+}
+
+impl IntervalClass {
+    /// Quantizes a `[0, 1]` interval fraction.
+    pub fn of(t: f64) -> Self {
+        if t <= 0.0 {
+            IntervalClass::Zero
+        } else if t <= 0.10 {
+            IntervalClass::Soon
+        } else if t <= 0.35 {
+            IntervalClass::Fair
+        } else if t <= 0.75 {
+            IntervalClass::Long
+        } else {
+            IntervalClass::VeryLong
+        }
+    }
+
+    /// All values in ordinal order.
+    pub const ALL: [IntervalClass; 5] = [
+        IntervalClass::Zero,
+        IntervalClass::Soon,
+        IntervalClass::Fair,
+        IntervalClass::Long,
+        IntervalClass::VeryLong,
+    ];
+
+    /// Ordinal code (0-based).
+    pub fn ordinal(self) -> u8 {
+        self as u8
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntervalClass::Zero => "zero",
+            IntervalClass::Soon => "soon",
+            IntervalClass::Fair => "fair",
+            IntervalClass::Long => "long",
+            IntervalClass::VeryLong => "vlong",
+        }
+    }
+}
+
+/// The top-band→end interval (the inactivity *tail*) as % of PUP.
+/// Limits: Soon ≤ 0.25 < Fair ≤ 0.75 < Long < 1 = Full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TailClass {
+    /// ≤ 25% — the project reached the top band late.
+    Soon,
+    /// (25%, 75%].
+    Fair,
+    /// (75%, 100%).
+    Long,
+    /// Exactly the full PUP — top band at V⁰.
+    Full,
+}
+
+impl TailClass {
+    /// Quantizes a `[0, 1]` tail fraction.
+    pub fn of(t: f64) -> Self {
+        if t >= 1.0 {
+            TailClass::Full
+        } else if t > 0.75 {
+            TailClass::Long
+        } else if t > 0.25 {
+            TailClass::Fair
+        } else {
+            TailClass::Soon
+        }
+    }
+
+    /// All values in ordinal order.
+    pub const ALL: [TailClass; 4] = [
+        TailClass::Soon,
+        TailClass::Fair,
+        TailClass::Long,
+        TailClass::Full,
+    ];
+
+    /// Ordinal code (0-based).
+    pub fn ordinal(self) -> u8 {
+        self as u8
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TailClass::Soon => "soon",
+            TailClass::Fair => "fair",
+            TailClass::Long => "long",
+            TailClass::Full => "full",
+        }
+    }
+}
+
+/// Active growth months as % of the growth period.
+/// Limits: Zero = 0 < Few ≤ 0.2 < Fair ≤ 0.75 < High.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ActiveGrowthClass {
+    /// No active months in the proper growth interval.
+    Zero,
+    /// (0%, 20%] of the growth period.
+    Few,
+    /// (20%, 75%].
+    Fair,
+    /// > 75%.
+    High,
+}
+
+impl ActiveGrowthClass {
+    /// Quantizes a `[0, 1]` fraction.
+    pub fn of(v: f64) -> Self {
+        if v <= 0.0 {
+            ActiveGrowthClass::Zero
+        } else if v <= 0.2 {
+            ActiveGrowthClass::Few
+        } else if v <= 0.75 {
+            ActiveGrowthClass::Fair
+        } else {
+            ActiveGrowthClass::High
+        }
+    }
+
+    /// All values in ordinal order.
+    pub const ALL: [ActiveGrowthClass; 4] = [
+        ActiveGrowthClass::Zero,
+        ActiveGrowthClass::Few,
+        ActiveGrowthClass::Fair,
+        ActiveGrowthClass::High,
+    ];
+
+    /// Ordinal code (0-based).
+    pub fn ordinal(self) -> u8 {
+        self as u8
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActiveGrowthClass::Zero => "zero",
+            ActiveGrowthClass::Few => "few",
+            ActiveGrowthClass::Fair => "fair",
+            ActiveGrowthClass::High => "high",
+        }
+    }
+}
+
+/// Active growth months as % of the PUP.
+/// Limits: Zero = 0 < Fair ≤ 0.08 < High ≤ 0.5 < Ultra.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ActivePupClass {
+    /// No active growth months.
+    Zero,
+    /// (0%, 8%] of the PUP.
+    Fair,
+    /// (8%, 50%].
+    High,
+    /// > 50% (empty in the paper's corpus).
+    Ultra,
+}
+
+impl ActivePupClass {
+    /// Quantizes a `[0, 1]` fraction.
+    pub fn of(v: f64) -> Self {
+        if v <= 0.0 {
+            ActivePupClass::Zero
+        } else if v <= 0.08 {
+            ActivePupClass::Fair
+        } else if v <= 0.5 {
+            ActivePupClass::High
+        } else {
+            ActivePupClass::Ultra
+        }
+    }
+
+    /// All values in ordinal order.
+    pub const ALL: [ActivePupClass; 4] = [
+        ActivePupClass::Zero,
+        ActivePupClass::Fair,
+        ActivePupClass::High,
+        ActivePupClass::Ultra,
+    ];
+
+    /// Ordinal code (0-based).
+    pub fn ordinal(self) -> u8 {
+        self as u8
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActivePupClass::Zero => "zero",
+            ActivePupClass::Fair => "fair",
+            ActivePupClass::High => "high",
+            ActivePupClass::Ultra => "ultra",
+        }
+    }
+}
+
+/// The complete quantized profile of a project — the feature space of the
+/// pattern definitions (§4), Figure 4, Figure 6 and the Figure 5 tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Labels {
+    /// Volume of activity at birth, % of total change.
+    pub birth_volume: BirthVolumeClass,
+    /// Time point of schema birth, % of PUP.
+    pub birth_point: TimepointClass,
+    /// Time point of top-band attainment, % of PUP.
+    pub topband_point: TimepointClass,
+    /// Interval birth → top-band, % of PUP.
+    pub interval_birth_to_top: IntervalClass,
+    /// Interval top-band → end (the tail), % of PUP.
+    pub interval_top_to_end: TailClass,
+    /// Active growth months, % of growth period.
+    pub active_growth: ActiveGrowthClass,
+    /// Active growth months, % of PUP.
+    pub active_pup: ActivePupClass,
+    /// Raw count of active growth months.
+    pub active_growth_months: usize,
+    /// Whether the birth→top transition is a single vault (< 10% PUP).
+    pub has_single_vault: bool,
+}
+
+impl Labels {
+    /// Quantizes a project's [`TimeMetrics`].
+    pub fn from_metrics(m: &TimeMetrics) -> Labels {
+        Labels {
+            birth_volume: BirthVolumeClass::of(m.birth_volume_pct_total),
+            birth_point: TimepointClass::of(m.birth_pct_pup),
+            topband_point: TimepointClass::of(m.topband_pct_pup),
+            interval_birth_to_top: IntervalClass::of(m.interval_birth_to_top_pct),
+            interval_top_to_end: TailClass::of(m.interval_top_to_end_pct),
+            active_growth: ActiveGrowthClass::of(m.active_pct_growth),
+            active_pup: ActivePupClass::of(m.active_pct_pup),
+            active_growth_months: m.active_growth_months,
+            has_single_vault: m.has_single_vault,
+        }
+    }
+
+    /// The active-growth-months bucket used by the pattern definitions:
+    /// `0` → 0, `1..=3` → 1, `>3` → 2.
+    pub fn agm_bucket(&self) -> u8 {
+        match self.active_growth_months {
+            0 => 0,
+            1..=3 => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// Names of the feature columns produced by [`tree_features`] (Fig. 5).
+pub const FEATURE_NAMES: [&str; 7] = [
+    "BirthVolume",
+    "BirthPoint",
+    "TopBandPoint",
+    "IntervalBirthToTop",
+    "IntervalTopToEnd",
+    "ActivePctGrowth",
+    "AgmBucket",
+];
+
+/// Per-feature level names, aligned with [`FEATURE_NAMES`].
+pub fn feature_value_names() -> Vec<Vec<&'static str>> {
+    vec![
+        BirthVolumeClass::ALL.iter().map(|c| c.label()).collect(),
+        TimepointClass::ALL.iter().map(|c| c.label()).collect(),
+        TimepointClass::ALL.iter().map(|c| c.label()).collect(),
+        IntervalClass::ALL.iter().map(|c| c.label()).collect(),
+        TailClass::ALL.iter().map(|c| c.label()).collect(),
+        ActiveGrowthClass::ALL.iter().map(|c| c.label()).collect(),
+        vec!["0", "1-3", ">3"],
+    ]
+}
+
+/// Encodes the quantized profile as an ordinal feature vector for the
+/// decision-tree classifier of Fig. 5.
+pub fn tree_features(l: &Labels) -> Vec<u8> {
+    vec![
+        l.birth_volume.ordinal(),
+        l.birth_point.ordinal(),
+        l.topband_point.ordinal(),
+        l.interval_birth_to_top.ordinal(),
+        l.interval_top_to_end.ordinal(),
+        l.active_growth.ordinal(),
+        l.agm_bucket(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn birth_volume_limits_match_table1() {
+        assert_eq!(BirthVolumeClass::of(0.0), BirthVolumeClass::Low);
+        assert_eq!(BirthVolumeClass::of(0.25), BirthVolumeClass::Low);
+        assert_eq!(BirthVolumeClass::of(0.2500001), BirthVolumeClass::Fair);
+        assert_eq!(BirthVolumeClass::of(0.75), BirthVolumeClass::Fair);
+        assert_eq!(BirthVolumeClass::of(0.76), BirthVolumeClass::High);
+        assert_eq!(BirthVolumeClass::of(0.9999), BirthVolumeClass::High);
+        assert_eq!(BirthVolumeClass::of(1.0), BirthVolumeClass::Full);
+    }
+
+    #[test]
+    fn timepoint_limits_match_table1() {
+        assert_eq!(TimepointClass::of(0.0), TimepointClass::V0);
+        assert_eq!(TimepointClass::of(0.001), TimepointClass::Early);
+        assert_eq!(TimepointClass::of(0.25), TimepointClass::Early);
+        assert_eq!(TimepointClass::of(0.26), TimepointClass::Middle);
+        assert_eq!(TimepointClass::of(0.75), TimepointClass::Middle);
+        assert_eq!(TimepointClass::of(0.751), TimepointClass::Late);
+        assert_eq!(TimepointClass::of(1.0), TimepointClass::Late);
+    }
+
+    #[test]
+    fn interval_limits_match_table1() {
+        assert_eq!(IntervalClass::of(0.0), IntervalClass::Zero);
+        assert_eq!(IntervalClass::of(0.1), IntervalClass::Soon);
+        assert_eq!(IntervalClass::of(0.11), IntervalClass::Fair);
+        assert_eq!(IntervalClass::of(0.35), IntervalClass::Fair);
+        assert_eq!(IntervalClass::of(0.36), IntervalClass::Long);
+        assert_eq!(IntervalClass::of(0.75), IntervalClass::Long);
+        assert_eq!(IntervalClass::of(0.76), IntervalClass::VeryLong);
+    }
+
+    #[test]
+    fn tail_limits() {
+        assert_eq!(TailClass::of(0.0), TailClass::Soon);
+        assert_eq!(TailClass::of(0.25), TailClass::Soon);
+        assert_eq!(TailClass::of(0.5), TailClass::Fair);
+        assert_eq!(TailClass::of(0.76), TailClass::Long);
+        assert_eq!(TailClass::of(1.0), TailClass::Full);
+    }
+
+    #[test]
+    fn active_growth_limits() {
+        assert_eq!(ActiveGrowthClass::of(0.0), ActiveGrowthClass::Zero);
+        assert_eq!(ActiveGrowthClass::of(0.2), ActiveGrowthClass::Few);
+        assert_eq!(ActiveGrowthClass::of(0.21), ActiveGrowthClass::Fair);
+        assert_eq!(ActiveGrowthClass::of(0.76), ActiveGrowthClass::High);
+    }
+
+    #[test]
+    fn active_pup_limits() {
+        assert_eq!(ActivePupClass::of(0.0), ActivePupClass::Zero);
+        assert_eq!(ActivePupClass::of(0.08), ActivePupClass::Fair);
+        assert_eq!(ActivePupClass::of(0.09), ActivePupClass::High);
+        assert_eq!(ActivePupClass::of(0.51), ActivePupClass::Ultra);
+    }
+
+    #[test]
+    fn agm_bucket_edges() {
+        let mut l = sample_labels();
+        l.active_growth_months = 0;
+        assert_eq!(l.agm_bucket(), 0);
+        l.active_growth_months = 3;
+        assert_eq!(l.agm_bucket(), 1);
+        l.active_growth_months = 4;
+        assert_eq!(l.agm_bucket(), 2);
+    }
+
+    #[test]
+    fn tree_features_shape_matches_names() {
+        let f = tree_features(&sample_labels());
+        assert_eq!(f.len(), FEATURE_NAMES.len());
+        assert_eq!(feature_value_names().len(), FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn ordinals_are_positional() {
+        for (i, c) in TimepointClass::ALL.iter().enumerate() {
+            assert_eq!(c.ordinal() as usize, i);
+        }
+        for (i, c) in IntervalClass::ALL.iter().enumerate() {
+            assert_eq!(c.ordinal() as usize, i);
+        }
+    }
+
+    fn sample_labels() -> Labels {
+        Labels {
+            birth_volume: BirthVolumeClass::High,
+            birth_point: TimepointClass::V0,
+            topband_point: TimepointClass::V0,
+            interval_birth_to_top: IntervalClass::Zero,
+            interval_top_to_end: TailClass::Full,
+            active_growth: ActiveGrowthClass::Zero,
+            active_pup: ActivePupClass::Zero,
+            active_growth_months: 0,
+            has_single_vault: true,
+        }
+    }
+}

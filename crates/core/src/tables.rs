@@ -1,0 +1,292 @@
+//! Per-**table** evolution profiles — the companion-study lineage the paper
+//! builds on ("Gravitating to rigidity" and the "Schema Evolution Survival
+//! Guide for Tables", refs \[47\] and \[46\], plus the foreign-key study \[44\]).
+//!
+//! While the paper's patterns describe the *whole schema's* timing, these
+//! profiles track each table from its birth version to its death (or the
+//! end of the history), counting the updates it receives — the substrate
+//! for table-level rigidity statistics and the foreign-key activity split.
+
+use std::collections::BTreeMap;
+
+use schemachron_history::SchemaHistory;
+use schemachron_model::{ChangeKind, Name};
+use serde::{Deserialize, Serialize};
+
+/// The life of one table inside a schema history.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableProfile {
+    /// The table name.
+    pub name: Name,
+    /// Version index (0-based) at which the table appeared.
+    pub birth_version: usize,
+    /// Version index at which the table was dropped, if it was.
+    pub death_version: Option<usize>,
+    /// Attribute count at birth.
+    pub attributes_at_birth: usize,
+    /// Attribute count at death or at the end of the history.
+    pub attributes_at_end: usize,
+    /// Post-birth *updates*: attribute injections, ejections, type changes
+    /// and key changes on this table (excluding birth and death).
+    pub updates: usize,
+    /// Whether the table participates in any foreign key (on either side)
+    /// at any version of its life.
+    pub in_foreign_key: bool,
+}
+
+impl TableProfile {
+    /// A table is *rigid* when it never changes after birth — the
+    /// "gravitation to rigidity" the companion studies report for the
+    /// large majority of tables.
+    pub fn is_rigid(&self) -> bool {
+        self.updates == 0
+    }
+
+    /// Whether the table survives to the end of the history.
+    pub fn survived(&self) -> bool {
+        self.death_version.is_none()
+    }
+
+    /// Life span in versions (birth..death or history end). Saturates to 0
+    /// when `total_versions` predates the table's birth.
+    pub fn version_span(&self, total_versions: usize) -> usize {
+        self.death_version
+            .unwrap_or(total_versions)
+            .saturating_sub(self.birth_version)
+    }
+}
+
+/// Extracts the profile of every table that ever existed in the history.
+///
+/// A name that is dropped and later re-created yields **two** profiles (the
+/// second life is a different table as far as evolution is concerned).
+pub fn table_profiles(history: &SchemaHistory) -> Vec<TableProfile> {
+    let mut done: Vec<TableProfile> = Vec::new();
+    // Alive tables: name → index into `alive_profiles`.
+    let mut alive: BTreeMap<Name, TableProfile> = BTreeMap::new();
+
+    for (v, version) in history.versions().iter().enumerate() {
+        // Deaths first (a drop+create of the same name in one version is a
+        // rebirth; diff reports both sides).
+        for dead in &version.diff.tables_dropped {
+            if let Some(mut profile) = alive.remove(dead) {
+                profile.death_version = Some(v);
+                done.push(profile);
+            }
+        }
+        // Births.
+        for born in &version.diff.tables_added {
+            let attrs = version
+                .schema
+                .table(born.as_str())
+                .map_or(0, |t| t.attribute_count());
+            alive.insert(
+                born.clone(),
+                TableProfile {
+                    name: born.clone(),
+                    birth_version: v,
+                    death_version: None,
+                    attributes_at_birth: attrs,
+                    attributes_at_end: attrs,
+                    updates: 0,
+                    in_foreign_key: false,
+                },
+            );
+        }
+        // Updates on surviving tables.
+        for change in &version.diff.changes {
+            let counts_as_update = matches!(
+                change.kind,
+                ChangeKind::AttributeInjected
+                    | ChangeKind::AttributeEjected
+                    | ChangeKind::DataTypeChanged
+                    | ChangeKind::KeyParticipationChanged
+            );
+            if !counts_as_update {
+                continue;
+            }
+            if let Some(profile) = alive.get_mut(&change.table) {
+                if profile.birth_version != v {
+                    profile.updates += 1;
+                }
+            }
+        }
+        // Refresh sizes and FK participation of alive tables.
+        for (name, profile) in alive.iter_mut() {
+            if let Some(t) = version.schema.table(name.as_str()) {
+                profile.attributes_at_end = t.attribute_count();
+                if !t.foreign_keys.is_empty() {
+                    profile.in_foreign_key = true;
+                }
+            }
+        }
+        // Referenced side of FKs.
+        for t in version.schema.tables() {
+            for fk in &t.foreign_keys {
+                if let Some(p) = alive.get_mut(&fk.ref_table) {
+                    p.in_foreign_key = true;
+                }
+            }
+        }
+    }
+
+    done.extend(alive.into_values());
+    done.sort_by(|a, b| (a.birth_version, &a.name).cmp(&(b.birth_version, &b.name)));
+    done
+}
+
+/// Aggregate table-level statistics over one schema history.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableCensus {
+    /// Tables that ever existed.
+    pub total: usize,
+    /// Tables with zero post-birth updates.
+    pub rigid: usize,
+    /// Tables that survive to the end.
+    pub survivors: usize,
+    /// Post-birth update counts of foreign-key-involved tables.
+    pub fk_updates: Vec<usize>,
+    /// Post-birth update counts of tables not involved in any foreign key.
+    pub non_fk_updates: Vec<usize>,
+}
+
+impl TableCensus {
+    /// Fraction of rigid tables.
+    pub fn rigidity_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.rigid as f64 / self.total as f64
+        }
+    }
+}
+
+/// Computes the census of one history's tables.
+pub fn table_census(history: &SchemaHistory) -> TableCensus {
+    let profiles = table_profiles(history);
+    let mut census = TableCensus {
+        total: profiles.len(),
+        ..TableCensus::default()
+    };
+    for p in &profiles {
+        if p.is_rigid() {
+            census.rigid += 1;
+        }
+        if p.survived() {
+            census.survivors += 1;
+        }
+        if p.in_foreign_key {
+            census.fk_updates.push(p.updates);
+        } else {
+            census.non_fk_updates.push(p.updates);
+        }
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_history::{Date, IngestMode};
+
+    fn d(m: u8) -> Date {
+        Date::new(2020, m, 1)
+    }
+
+    fn history(scripts: &[&str]) -> SchemaHistory {
+        let mut h = SchemaHistory::new();
+        for (i, sql) in scripts.iter().enumerate() {
+            h.push(IngestMode::Migration, d(i as u8 + 1), sql);
+        }
+        h
+    }
+
+    #[test]
+    fn birth_death_and_updates_tracked() {
+        let h = history(&[
+            "CREATE TABLE a (x INT, y INT); CREATE TABLE b (z INT);",
+            "ALTER TABLE a ADD COLUMN w INT;",
+            "DROP TABLE b;",
+        ]);
+        let profiles = table_profiles(&h);
+        assert_eq!(profiles.len(), 2);
+        let a = profiles.iter().find(|p| p.name == Name::from("a")).unwrap();
+        assert_eq!(a.birth_version, 0);
+        assert_eq!(a.updates, 1);
+        assert_eq!(a.attributes_at_birth, 2);
+        assert_eq!(a.attributes_at_end, 3);
+        assert!(a.survived());
+        assert!(!a.is_rigid());
+        let b = profiles.iter().find(|p| p.name == Name::from("b")).unwrap();
+        assert_eq!(b.death_version, Some(2));
+        assert!(b.is_rigid());
+        assert_eq!(b.version_span(3), 2);
+    }
+
+    #[test]
+    fn same_version_birth_changes_do_not_count_as_updates() {
+        // Attributes born with the table are part of birth, not updates.
+        let h = history(&["CREATE TABLE t (a INT, b INT, c INT);"]);
+        let p = &table_profiles(&h)[0];
+        assert!(p.is_rigid());
+    }
+
+    #[test]
+    fn rebirth_creates_a_second_profile() {
+        let h = history(&[
+            "CREATE TABLE t (a INT);",
+            "DROP TABLE t;",
+            "CREATE TABLE t (a INT, b INT);",
+        ]);
+        let profiles = table_profiles(&h);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].death_version, Some(1));
+        assert_eq!(profiles[1].birth_version, 2);
+        assert!(profiles[1].survived());
+    }
+
+    #[test]
+    fn fk_participation_both_sides() {
+        let h = history(&["CREATE TABLE parent (id INT PRIMARY KEY);
+             CREATE TABLE child (pid INT, CONSTRAINT f FOREIGN KEY (pid) REFERENCES parent (id));
+             CREATE TABLE loner (x INT);"]);
+        let profiles = table_profiles(&h);
+        let by_name = |n: &str| profiles.iter().find(|p| p.name == Name::from(n)).unwrap();
+        assert!(by_name("parent").in_foreign_key, "referenced side");
+        assert!(by_name("child").in_foreign_key, "referencing side");
+        assert!(!by_name("loner").in_foreign_key);
+    }
+
+    #[test]
+    fn census_aggregates() {
+        let h = history(&[
+            "CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT);",
+            "ALTER TABLE a ADD COLUMN q INT; DROP TABLE b;",
+        ]);
+        let c = table_census(&h);
+        assert_eq!(c.total, 2);
+        assert_eq!(c.rigid, 1); // b never changed after birth
+        assert_eq!(c.survivors, 1);
+        assert!((c.rigidity_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.fk_updates.len() + c.non_fk_updates.len(), 2);
+    }
+
+    #[test]
+    fn empty_history_yields_empty_census() {
+        let h = SchemaHistory::new();
+        let c = table_census(&h);
+        assert_eq!(c.total, 0);
+        assert_eq!(c.rigidity_rate(), 0.0);
+    }
+
+    #[test]
+    fn type_and_key_changes_count_as_updates() {
+        let h = history(&[
+            "CREATE TABLE t (a INT, b INT);",
+            "ALTER TABLE t MODIFY COLUMN a BIGINT;",
+            "ALTER TABLE t ADD PRIMARY KEY (b);",
+        ]);
+        let p = &table_profiles(&h)[0];
+        assert_eq!(p.updates, 2);
+    }
+}

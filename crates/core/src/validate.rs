@@ -1,0 +1,367 @@
+//! §5 validation machinery: cohesion, disjointedness, completeness.
+
+use std::collections::BTreeMap;
+
+use schemachron_stats::mean_distance_to_centroid;
+
+use crate::patterns::Pattern;
+use crate::quantize::{IntervalClass, Labels, TimepointClass};
+
+/// Number of points the paper quantizes each cumulative line into (§5.2).
+pub const LINE_POINTS: usize = 20;
+
+/// A cell of the active domain space of Fig. 6: the Cartesian product of
+/// the defining class-based metrics (birth point × top-band point ×
+/// birth→top interval × active-growth-months bucket).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainCell {
+    /// Birth point class.
+    pub birth: TimepointClass,
+    /// Top-band point class.
+    pub top: TimepointClass,
+    /// Birth→top interval class.
+    pub interval: IntervalClass,
+    /// Active-growth-months bucket (0, 1–3, >3).
+    pub agm_bucket: u8,
+}
+
+impl DomainCell {
+    /// The cell a quantized profile lives in.
+    pub fn of(l: &Labels) -> DomainCell {
+        DomainCell {
+            birth: l.birth_point,
+            top: l.topband_point,
+            interval: l.interval_birth_to_top,
+            agm_bucket: l.agm_bucket(),
+        }
+    }
+
+    /// Whether this combination of classes is **attainable** at all — §5.5
+    /// argues several value combinations are impossible (e.g. a late-born
+    /// schema is obligatorily restricted to a late top-band and a short
+    /// tail). Implemented by interval arithmetic over the class ranges:
+    /// there must exist `birth ≤ top` within the class ranges with
+    /// `top − birth` inside the interval class's range.
+    pub fn attainable(&self) -> bool {
+        let (b_lo, b_hi) = timepoint_range(self.birth);
+        let (t_lo, t_hi) = timepoint_range(self.top);
+        let (i_lo, i_hi) = interval_range(self.interval);
+        // Feasibility of: b ∈ [b_lo,b_hi], t ∈ [t_lo,t_hi], t−b ∈ [i_lo,i_hi], t ≥ b.
+        let max_diff = t_hi - b_lo;
+        let min_diff = (t_lo - b_hi).max(0.0);
+        if max_diff < i_lo || min_diff > i_hi {
+            return false;
+        }
+        if t_hi < b_lo {
+            return false;
+        }
+        // An active-growth-months count needs room between birth and top:
+        // zero interval cannot host interior active months.
+        if self.agm_bucket > 0 && self.interval == IntervalClass::Zero {
+            return false;
+        }
+        true
+    }
+
+    /// Enumerates every cell of the full Cartesian space (4 × 4 × 5 × 3).
+    pub fn all() -> Vec<DomainCell> {
+        let mut v = Vec::new();
+        for &birth in &TimepointClass::ALL {
+            for &top in &TimepointClass::ALL {
+                for &interval in &IntervalClass::ALL {
+                    for agm_bucket in 0u8..3 {
+                        v.push(DomainCell {
+                            birth,
+                            top,
+                            interval,
+                            agm_bucket,
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }
+}
+
+fn timepoint_range(c: TimepointClass) -> (f64, f64) {
+    match c {
+        TimepointClass::V0 => (0.0, 0.0),
+        TimepointClass::Early => (0.0, 0.25),
+        TimepointClass::Middle => (0.25, 0.75),
+        TimepointClass::Late => (0.75, 1.0),
+    }
+}
+
+fn interval_range(c: IntervalClass) -> (f64, f64) {
+    match c {
+        IntervalClass::Zero => (0.0, 0.0),
+        IntervalClass::Soon => (0.0, 0.10),
+        IntervalClass::Fair => (0.10, 0.35),
+        IntervalClass::Long => (0.35, 0.75),
+        IntervalClass::VeryLong => (0.75, 1.0),
+    }
+}
+
+/// The census of one populated domain cell.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CellCensus {
+    /// Projects per pattern living in this cell.
+    pub per_pattern: BTreeMap<Pattern, usize>,
+}
+
+impl CellCensus {
+    /// Total projects in the cell.
+    pub fn total(&self) -> usize {
+        self.per_pattern.values().sum()
+    }
+
+    /// Whether more than one pattern populates the cell (a Fig. 6 overlap).
+    pub fn is_overlap(&self) -> bool {
+        self.per_pattern.len() > 1
+    }
+}
+
+/// The Fig. 6 active-domain map: which cells are populated, by whom.
+pub fn domain_coverage(items: &[(Pattern, Labels)]) -> BTreeMap<DomainCell, CellCensus> {
+    let mut map: BTreeMap<DomainCell, CellCensus> = BTreeMap::new();
+    for (p, l) in items {
+        let cell = DomainCell::of(l);
+        *map.entry(cell)
+            .or_default()
+            .per_pattern
+            .entry(*p)
+            .or_insert(0) += 1;
+    }
+    map
+}
+
+/// Summary of a disjointedness check over an annotated corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DisjointednessReport {
+    /// Number of populated cells.
+    pub populated_cells: usize,
+    /// Populated cells hosting more than one pattern.
+    pub overlap_cells: usize,
+    /// Projects living in overlap cells.
+    pub overlap_projects: usize,
+}
+
+/// Checks essential disjointedness (§5.3) over an annotated corpus.
+pub fn disjointedness(items: &[(Pattern, Labels)]) -> DisjointednessReport {
+    let map = domain_coverage(items);
+    let overlap_cells: Vec<&CellCensus> = map.values().filter(|c| c.is_overlap()).collect();
+    DisjointednessReport {
+        populated_cells: map.len(),
+        overlap_cells: overlap_cells.len(),
+        overlap_projects: overlap_cells.iter().map(|c| c.total()).sum(),
+    }
+}
+
+/// Summary of the §5.5 completeness check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletenessReport {
+    /// Cells of the full Cartesian space.
+    pub total_cells: usize,
+    /// Cells that are attainable at all.
+    pub attainable_cells: usize,
+    /// Attainable cells populated by the corpus.
+    pub covered_cells: usize,
+}
+
+impl CompletenessReport {
+    /// Fraction of attainable cells covered by the corpus.
+    pub fn coverage(&self) -> f64 {
+        if self.attainable_cells == 0 {
+            0.0
+        } else {
+            self.covered_cells as f64 / self.attainable_cells as f64
+        }
+    }
+}
+
+/// Computes the completeness report for an annotated corpus.
+pub fn completeness(items: &[(Pattern, Labels)]) -> CompletenessReport {
+    let all = DomainCell::all();
+    let attainable: Vec<&DomainCell> = all.iter().filter(|c| c.attainable()).collect();
+    let covered = domain_coverage(items);
+    let covered_cells = attainable
+        .iter()
+        .filter(|c| covered.contains_key(**c))
+        .count();
+    CompletenessReport {
+        total_cells: all.len(),
+        attainable_cells: attainable.len(),
+        covered_cells,
+    }
+}
+
+/// Per-pattern cohesion (§5.2): the Mean Distance to Centroid of the
+/// members' quantized cumulative lines. Patterns with no members are
+/// omitted; the paper reports MDC values in `[0.06, 1.25]` for vectors of
+/// 20 measurements.
+pub fn cohesion(lines_by_pattern: &BTreeMap<Pattern, Vec<Vec<f64>>>) -> BTreeMap<Pattern, f64> {
+    lines_by_pattern
+        .iter()
+        .filter(|(_, lines)| !lines.is_empty())
+        .map(|(p, lines)| (*p, mean_distance_to_centroid(lines)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::{ActiveGrowthClass, ActivePupClass, BirthVolumeClass, TailClass};
+
+    fn labels(birth: TimepointClass, top: TimepointClass, iv: IntervalClass, agm: usize) -> Labels {
+        Labels {
+            birth_volume: BirthVolumeClass::Fair,
+            birth_point: birth,
+            topband_point: top,
+            interval_birth_to_top: iv,
+            interval_top_to_end: TailClass::Fair,
+            active_growth: ActiveGrowthClass::Zero,
+            active_pup: ActivePupClass::Zero,
+            active_growth_months: agm,
+            has_single_vault: false,
+        }
+    }
+
+    #[test]
+    fn unattainable_late_birth_early_top() {
+        let c = DomainCell {
+            birth: TimepointClass::Late,
+            top: TimepointClass::Early,
+            interval: IntervalClass::Zero,
+            agm_bucket: 0,
+        };
+        assert!(!c.attainable());
+    }
+
+    #[test]
+    fn unattainable_v0_birth_with_late_top_but_soon_interval() {
+        let c = DomainCell {
+            birth: TimepointClass::V0,
+            top: TimepointClass::Late,
+            interval: IntervalClass::Soon,
+            agm_bucket: 0,
+        };
+        assert!(!c.attainable(), "0 → >0.75 cannot be a ≤0.1 interval");
+    }
+
+    #[test]
+    fn attainable_basic_cells() {
+        assert!(DomainCell {
+            birth: TimepointClass::V0,
+            top: TimepointClass::V0,
+            interval: IntervalClass::Zero,
+            agm_bucket: 0,
+        }
+        .attainable());
+        assert!(DomainCell {
+            birth: TimepointClass::Early,
+            top: TimepointClass::Late,
+            interval: IntervalClass::VeryLong,
+            agm_bucket: 1,
+        }
+        .attainable());
+    }
+
+    #[test]
+    fn zero_interval_cannot_host_active_months() {
+        let c = DomainCell {
+            birth: TimepointClass::Middle,
+            top: TimepointClass::Middle,
+            interval: IntervalClass::Zero,
+            agm_bucket: 1,
+        };
+        assert!(!c.attainable());
+    }
+
+    #[test]
+    fn full_space_has_240_cells_and_a_strict_subset_attainable() {
+        let all = DomainCell::all();
+        assert_eq!(all.len(), 4 * 4 * 5 * 3);
+        let attainable = all.iter().filter(|c| c.attainable()).count();
+        assert!(attainable > 20 && attainable < all.len(), "{attainable}");
+    }
+
+    #[test]
+    fn domain_coverage_counts_and_overlaps() {
+        let items = vec![
+            (
+                Pattern::Flatliner,
+                labels(
+                    TimepointClass::V0,
+                    TimepointClass::V0,
+                    IntervalClass::Zero,
+                    0,
+                ),
+            ),
+            (
+                Pattern::Flatliner,
+                labels(
+                    TimepointClass::V0,
+                    TimepointClass::V0,
+                    IntervalClass::Zero,
+                    0,
+                ),
+            ),
+            (
+                Pattern::RadicalSign,
+                labels(
+                    TimepointClass::V0,
+                    TimepointClass::Early,
+                    IntervalClass::Soon,
+                    0,
+                ),
+            ),
+        ];
+        let cov = domain_coverage(&items);
+        assert_eq!(cov.len(), 2);
+        let rep = disjointedness(&items);
+        assert_eq!(rep.populated_cells, 2);
+        assert_eq!(rep.overlap_cells, 0);
+        assert_eq!(rep.overlap_projects, 0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let l = labels(
+            TimepointClass::V0,
+            TimepointClass::V0,
+            IntervalClass::Zero,
+            0,
+        );
+        let items = vec![(Pattern::Flatliner, l), (Pattern::RadicalSign, l)];
+        let rep = disjointedness(&items);
+        assert_eq!(rep.overlap_cells, 1);
+        assert_eq!(rep.overlap_projects, 2);
+    }
+
+    #[test]
+    fn completeness_counts_covered_attainable_cells() {
+        let items = vec![(
+            Pattern::Flatliner,
+            labels(
+                TimepointClass::V0,
+                TimepointClass::V0,
+                IntervalClass::Zero,
+                0,
+            ),
+        )];
+        let rep = completeness(&items);
+        assert_eq!(rep.covered_cells, 1);
+        assert!(rep.coverage() > 0.0 && rep.coverage() < 1.0);
+    }
+
+    #[test]
+    fn cohesion_reports_mdc_per_pattern() {
+        let mut m: BTreeMap<Pattern, Vec<Vec<f64>>> = BTreeMap::new();
+        m.insert(Pattern::Flatliner, vec![vec![1.0; 20], vec![1.0; 20]]);
+        m.insert(Pattern::Siesta, vec![]);
+        let c = cohesion(&m);
+        assert_eq!(c.get(&Pattern::Flatliner), Some(&0.0));
+        assert!(!c.contains_key(&Pattern::Siesta));
+    }
+}

@@ -1,0 +1,428 @@
+//! The 151 project cards of the synthetic corpus.
+//!
+//! Every row below is derived from the paper's published aggregates:
+//!
+//! * pattern populations and per-pattern class profiles — Fig. 4 / Table 2;
+//! * the joint distribution of patterns × absolute birth-month buckets —
+//!   Fig. 7 (M0: 52, M1–6: 38, M7–12: 13, >M12: 48);
+//! * the label marginals of Table 1;
+//! * the per-pattern medians of post-birth activity — §6.1
+//!   (Radical Sign ≈ 13, Siesta ≈ 17, Quantum Steps ≈ 22, Smoking
+//!   Funnel ≈ 189, Regularly Curated ≈ 250, the rest < 3);
+//! * the exception counts of Table 2 (Sigmoid 2, Late Riser 1, Quantum
+//!   Steps 2, Siesta 3).
+//!
+//! The numbers are *plans*; the actual labels are measured downstream by
+//! the full pipeline. `tests/corpus_calibration.rs` asserts the emergent
+//! aggregates match the paper.
+
+use schemachron_core::Pattern;
+
+use crate::spec::Card;
+
+/// One compact card row: (birth, top, duration, total units, birth fraction,
+/// active growth months, tail units, tail months, exception?).
+struct Row {
+    b: u32,
+    t: u32,
+    d: u32,
+    total: u32,
+    f: f64,
+    agm: u32,
+    tail: u32,
+    tail_m: u32,
+    exc: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(b: u32, t: u32, d: u32, total: u32, f: f64, agm: u32, tail: u32, tail_m: u32) -> Row {
+    Row {
+        b,
+        t,
+        d,
+        total,
+        f,
+        agm,
+        tail,
+        tail_m,
+        exc: false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exc(b: u32, t: u32, d: u32, total: u32, f: f64, agm: u32, tail: u32, tail_m: u32) -> Row {
+    Row {
+        exc: true,
+        ..row(b, t, d, total, f, agm, tail, tail_m)
+    }
+}
+
+/// Builds all 151 cards, in pattern order.
+pub fn all_cards() -> Vec<Card> {
+    let mut out = Vec::with_capacity(151);
+    let mut push = |pattern: Pattern, maintenance_bias: f64, rows: Vec<Row>| {
+        for r in rows {
+            let idx = out.len();
+            out.push(Card {
+                name: format!("{}-{:03}", slug(pattern), idx),
+                pattern,
+                exception: r.exc,
+                duration: r.d,
+                birth_month: r.b,
+                top_month: r.t,
+                agm: r.agm,
+                birth_frac: r.f,
+                total_units: r.total,
+                tail_units: r.tail,
+                tail_months: r.tail_m,
+                maintenance_bias,
+            });
+        }
+    };
+
+    push(Pattern::Flatliner, 0.05, flatliner_rows());
+    push(Pattern::RadicalSign, 0.12, radical_sign_rows());
+    push(Pattern::Sigmoid, 0.08, sigmoid_rows());
+    push(Pattern::LateRiser, 0.06, late_riser_rows());
+    push(Pattern::QuantumSteps, 0.2, quantum_steps_rows());
+    push(Pattern::RegularlyCurated, 0.25, regularly_curated_rows());
+    push(Pattern::Siesta, 0.18, siesta_rows());
+    push(Pattern::SmokingFunnel, 0.3, smoking_funnel_rows());
+    assert_eq!(out.len(), 151, "the corpus must hold exactly 151 projects");
+    out
+}
+
+fn slug(p: Pattern) -> &'static str {
+    match p {
+        Pattern::Flatliner => "flatliner",
+        Pattern::RadicalSign => "radical",
+        Pattern::Sigmoid => "sigmoid",
+        Pattern::LateRiser => "latriser",
+        Pattern::QuantumSteps => "quantum",
+        Pattern::RegularlyCurated => "curated",
+        Pattern::Siesta => "siesta",
+        Pattern::SmokingFunnel => "funnel",
+    }
+}
+
+/// 23 Flatliners: born at V⁰, top band at V⁰.
+/// 18 with the full activity at birth, 5 with a ≥ 90% birth and a dribble.
+fn flatliner_rows() -> Vec<Row> {
+    let full: [(u32, u32); 18] = [
+        (14, 4),
+        (16, 5),
+        (19, 6),
+        (22, 7),
+        (25, 8),
+        (28, 9),
+        (31, 10),
+        (34, 11),
+        (38, 12),
+        (42, 13),
+        (47, 14),
+        (52, 15),
+        (58, 16),
+        (64, 18),
+        (71, 20),
+        (79, 22),
+        (88, 25),
+        (98, 30),
+    ];
+    let high: [(u32, u32); 5] = [(17, 20), (26, 25), (36, 30), (48, 35), (60, 40)];
+    let mut rows: Vec<Row> = full
+        .iter()
+        .map(|&(d, total)| row(0, 0, d, total, 1.0, 0, 0, 0))
+        .collect();
+    rows.extend(
+        high.iter()
+            .map(|&(d, total)| row(0, 0, d, total, 0.93, 0, total / 14, 1)),
+    );
+    rows
+}
+
+/// 41 Radical Signs: born V⁰/early, top band early, long flat tail.
+/// Interval mix: 15 zero, 17 soon, 9 fair. Post-birth activity median ≈ 13.
+fn radical_sign_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
+    // (a) Zero interval (top at birth): early-born, 12 full + 3 high.
+    for &(b, d, total) in &[
+        (1u32, 14u32, 10u32),
+        (2, 20, 12),
+        (3, 28, 15),
+        (1, 33, 18),
+        (2, 40, 20),
+        (4, 45, 22),
+        (5, 50, 25),
+        (6, 55, 28),
+        (2, 60, 30),
+        (3, 70, 35),
+        (7, 30, 26),
+        (8, 40, 24),
+    ] {
+        rows.push(row(b, b, d, total, 1.0, 0, 0, 0));
+    }
+    for &(b, d, total, tail) in &[(4u32, 30u32, 20u32, 1u32), (9, 44, 30, 2), (13, 61, 40, 3)] {
+        rows.push(row(b, b, d, total, 0.93, 0, tail, 1));
+    }
+    // (b) Soon interval, born M0 (12 projects, high birth volume).
+    //     Post-birth activity = total - round(f * total).
+    for &(t, d, total, f) in &[
+        (1u32, 15u32, 13u32, 0.85f64), // after ≈ 2
+        (1, 20, 27, 0.85),             // after ≈ 4
+        (2, 25, 40, 0.85),             // after ≈ 6
+        (2, 30, 53, 0.85),             // after ≈ 8
+        (3, 35, 67, 0.85),             // after ≈ 10
+        (3, 40, 60, 0.78),             // after ≈ 13
+        (2, 45, 65, 0.8),              // after ≈ 13
+        (4, 50, 75, 0.8),              // after ≈ 15
+        (1, 60, 85, 0.8),              // after ≈ 17
+        (5, 70, 100, 0.8),             // after ≈ 20
+        (6, 80, 120, 0.8),             // after ≈ 24
+        (3, 90, 140, 0.8),             // after ≈ 28
+    ] {
+        rows.push(row(0, t, d, total, f, 0, 0, 0));
+    }
+    // (c) Soon interval, born M1–M6 (5 projects, fair birth volume).
+    rows.push(row(1, 3, 25, 20, 0.3, 0, 0, 0)); // after 14
+    rows.push(row(2, 4, 30, 30, 0.5, 0, 0, 0)); // after 15
+    rows.push(row(3, 6, 35, 44, 0.55, 1, 0, 0)); // after 20
+    rows.push(row(4, 7, 45, 60, 0.6, 0, 0, 0)); // after 24
+    rows.push(row(5, 9, 50, 80, 0.6, 1, 0, 0)); // after 32
+                                                // (d) Fair interval (9 projects): 4 born M0, 3 M1–6, 2 M7–12.
+    rows.push(row(0, 10, 41, 50, 0.45, 1, 0, 0)); // top at exactly 25% of PUP
+    rows.push(row(0, 5, 30, 40, 0.5, 0, 0, 0));
+    rows.push(row(0, 8, 60, 60, 0.4, 1, 0, 0));
+    rows.push(row(0, 12, 70, 70, 0.55, 3, 0, 0));
+    rows.push(row(2, 9, 40, 56, 0.5, 1, 0, 0));
+    rows.push(row(4, 14, 80, 90, 0.6, 1, 0, 0));
+    rows.push(row(6, 18, 90, 100, 0.65, 3, 0, 0));
+    rows.push(row(7, 16, 75, 60, 0.15, 0, 0, 0)); // low birth volume
+    rows.push(row(10, 20, 85, 80, 0.2, 0, 0, 0)); // low birth volume
+    rows
+}
+
+/// 19 Sigmoids: born mid-life, immediate (zero/soon) rise, long tail.
+/// Two exceptions are born early (§5.2).
+fn sigmoid_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
+    // Zero interval: 1 full + 12 high (all born after the first year).
+    rows.push(row(20, 20, 40, 20, 1.0, 0, 0, 0));
+    for &(b, d, total) in &[
+        (15u32, 30u32, 20u32),
+        (18, 40, 25),
+        (20, 45, 30),
+        (25, 50, 22),
+        (14, 35, 18),
+        (30, 60, 28),
+        (35, 70, 35),
+        (22, 55, 26),
+        (40, 80, 30),
+        (28, 65, 24),
+        (45, 90, 40),
+        (13, 34, 16),
+    ] {
+        rows.push(row(b, b, d, total, 0.93, 0, (total / 15).max(1), 1));
+    }
+    // Soon interval: 4 clean (fair volume) + 2 early-born exceptions.
+    rows.push(row(20, 23, 50, 40, 0.6, 1, 0, 0));
+    rows.push(row(22, 28, 80, 36, 0.5, 1, 0, 0));
+    rows.push(row(30, 36, 75, 44, 0.55, 1, 0, 0));
+    rows.push(row(12, 14, 30, 30, 0.6, 0, 0, 0));
+    rows.push(exc(7, 10, 36, 28, 0.6, 0, 0, 0)); // born early (violation)
+    rows.push(exc(6, 9, 34, 26, 0.5, 0, 0, 0)); // born early (violation)
+    rows
+}
+
+/// 14 Late Risers: born late, immediate rise, short tail.
+/// One exception is born (and tops) in middle life (§5.2).
+fn late_riser_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(b, d, total) in &[
+        (16u32, 20u32, 12u32),
+        (20, 25, 15),
+        (24, 30, 14),
+        (30, 38, 16),
+        (36, 45, 18),
+        (44, 55, 20),
+        (52, 65, 22),
+        (60, 75, 25),
+    ] {
+        rows.push(row(b, b, d, total, 1.0, 0, 0, 0));
+    }
+    for &(b, d, total) in &[(18u32, 22u32, 20u32), (28, 34, 24), (40, 50, 30)] {
+        rows.push(row(b, b, d, total, 0.93, 0, (total / 15).max(1), 1));
+    }
+    rows.push(row(25, 27, 32, 20, 0.85, 0, 0, 0));
+    rows.push(row(48, 52, 60, 26, 0.85, 0, 0, 0));
+    rows.push(exc(13, 14, 20, 24, 0.6, 0, 0, 0)); // born/tops in middle life
+    rows
+}
+
+/// 23 Quantum Steps: few (≤ 3) focused steps between birth and top band.
+/// Post-birth activity median ≈ 22. Two exceptions (§5.2).
+fn quantum_steps_rows() -> Vec<Row> {
+    vec![
+        // Variant 1 (15 clean): born V0/early, top middle.
+        row(0, 10, 30, 40, 0.8, 1, 0, 0),  // high volume, after 8
+        row(0, 15, 40, 60, 0.4, 3, 0, 0),  // after 36
+        row(0, 20, 45, 55, 0.45, 3, 0, 0), // after 30
+        row(0, 14, 50, 44, 0.5, 0, 0, 0),  // after 22
+        row(2, 12, 35, 36, 0.8, 0, 0, 0),  // high volume, after 7
+        row(3, 20, 47, 40, 0.45, 2, 0, 0), // after 22
+        row(4, 25, 60, 52, 0.4, 3, 0, 0),  // after 31
+        row(5, 20, 50, 30, 0.5, 0, 0, 0),  // after 15
+        row(6, 30, 70, 64, 0.35, 2, 0, 0), // after 42
+        row(1, 14, 28, 24, 0.8, 0, 0, 0),  // high volume, after 5
+        row(2, 10, 34, 28, 0.55, 2, 0, 0), // interior 7, agm 2 → fair
+        row(3, 11, 38, 33, 0.55, 3, 0, 0), // interior 7, agm 3 → fair
+        row(1, 9, 26, 20, 0.55, 2, 0, 0),  // interior 7, agm 2 → fair
+        // Variant 1, born M7–M12 early (2 clean).
+        row(7, 22, 52, 48, 0.8, 0, 0, 0),  // high volume, after 10
+        row(9, 28, 64, 58, 0.45, 3, 0, 0), // interior 18, agm 3 → few
+        // Variant 2 (6 clean): born middle (after the first year), top late.
+        row(15, 35, 40, 50, 0.78, 0, 0, 0), // high volume, after 11
+        row(14, 30, 36, 46, 0.5, 1, 0, 0),  // after 23
+        row(18, 38, 46, 54, 0.4, 2, 0, 0),  // after 32
+        row(20, 44, 52, 44, 0.5, 3, 0, 0),  // interior 23, agm 3 → few
+        row(16, 36, 44, 26, 0.6, 0, 0, 0),  // after 10
+        row(17, 40, 47, 22, 0.2, 0, 0, 0),  // low volume, after 18
+        // Exceptions: one variant-1 project tops late; one is born middle.
+        exc(4, 30, 36, 45, 0.5, 1, 0, 0), // early → late (violation)
+        exc(6, 12, 21, 44, 0.5, 2, 0, 0), // middle-born (violation)
+    ]
+}
+
+/// 14 Regularly Curated: > 3 active growth months, consistent maintenance.
+/// Post-birth activity median ≈ 250; schemata start bigger.
+fn regularly_curated_rows() -> Vec<Row> {
+    vec![
+        // Variant 1: born V0/early (11 projects).
+        row(0, 30, 60, 330, 0.1, 6, 0, 0), // after ≈ 297, top middle
+        row(0, 50, 60, 390, 0.15, 11, 0, 0), // after ≈ 332, top late, vlong
+        row(0, 45, 55, 315, 0.2, 10, 0, 0), // after ≈ 252, top late, vlong
+        row(2, 40, 50, 340, 0.12, 9, 0, 0), // after ≈ 299, top late, vlong
+        row(3, 25, 55, 260, 0.3, 5, 0, 0), // after ≈ 182, top middle
+        row(5, 35, 65, 400, 0.25, 9, 0, 0), // after ≈ 300, top middle
+        row(6, 50, 60, 310, 0.2, 10, 0, 0), // after ≈ 248, top late, long
+        row(8, 45, 52, 295, 0.15, 8, 0, 0), // after ≈ 251, top late, long
+        row(10, 56, 70, 310, 0.3, 12, 0, 0), // after ≈ 217, top late, long
+        row(12, 64, 68, 430, 0.1, 12, 0, 0), // after ≈ 387, top late, vlong
+        row(13, 45, 80, 280, 0.2, 7, 0, 0), // after ≈ 224, top middle
+        // Variant 2: born middle, top late (3 projects, high change rate).
+        row(15, 32, 38, 250, 0.2, 13, 0, 0), // interior 16, agm 13 → high
+        row(18, 40, 48, 290, 0.15, 17, 0, 0), // interior 21, agm 17 → high
+        row(20, 42, 50, 360, 0.25, 16, 0, 0), // interior 21, agm 16 → high
+    ]
+}
+
+/// 10 Siestas: born early, long sleep, change returns late.
+/// Post-birth activity median ≈ 17. Three exceptions (§5.2).
+fn siesta_rows() -> Vec<Row> {
+    vec![
+        row(0, 35, 40, 24, 0.55, 0, 0, 0), // after ≈ 11
+        row(0, 40, 50, 20, 0.6, 0, 0, 0),  // after ≈ 8
+        row(0, 30, 36, 30, 0.55, 2, 0, 0), // after ≈ 14
+        row(0, 48, 58, 40, 0.6, 0, 0, 0),  // after ≈ 16
+        row(0, 55, 64, 36, 0.5, 3, 0, 0),  // after ≈ 18
+        row(0, 42, 48, 33, 0.4, 0, 0, 0),  // after ≈ 20
+        row(3, 50, 56, 48, 0.5, 2, 0, 0),  // after ≈ 24
+        exc(4, 60, 70, 80, 0.8, 4, 0, 0),  // >3 active months; high volume
+        exc(5, 52, 60, 90, 0.2, 5, 0, 0),  // >3 active months; low volume
+        exc(8, 58, 68, 60, 0.5, 1, 0, 0),  // interval long, not very long
+    ]
+}
+
+/// 7 Smoking Funnels: born mid-life at fair volume, dense change after.
+/// Post-birth activity median ≈ 189; the tail keeps changing.
+fn smoking_funnel_rows() -> Vec<Row> {
+    vec![
+        row(13, 20, 28, 260, 0.4, 5, 12, 2), // after ≈ 156, agm/interior high
+        row(14, 21, 30, 290, 0.4, 6, 14, 2), // after ≈ 174
+        row(15, 22, 31, 315, 0.4, 6, 15, 3), // after ≈ 189 (the median)
+        row(16, 24, 34, 340, 0.4, 5, 16, 2), // after ≈ 204
+        row(18, 27, 38, 480, 0.4, 7, 20, 3), // after ≈ 288
+        row(20, 29, 41, 520, 0.4, 8, 24, 3), // after ≈ 312
+        row(22, 32, 45, 560, 0.8, 8, 26, 3), // high-volume outlier, after 112
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn populations_match_figure4() {
+        let cards = all_cards();
+        let mut counts: BTreeMap<Pattern, usize> = BTreeMap::new();
+        for c in &cards {
+            *counts.entry(c.pattern).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&Pattern::Flatliner], 23);
+        assert_eq!(counts[&Pattern::RadicalSign], 41);
+        assert_eq!(counts[&Pattern::Sigmoid], 19);
+        assert_eq!(counts[&Pattern::LateRiser], 14);
+        assert_eq!(counts[&Pattern::QuantumSteps], 23);
+        assert_eq!(counts[&Pattern::RegularlyCurated], 14);
+        assert_eq!(counts[&Pattern::Siesta], 10);
+        assert_eq!(counts[&Pattern::SmokingFunnel], 7);
+    }
+
+    #[test]
+    fn exceptions_match_table2() {
+        let cards = all_cards();
+        let mut exc: BTreeMap<Pattern, usize> = BTreeMap::new();
+        for c in cards.iter().filter(|c| c.exception) {
+            *exc.entry(c.pattern).or_insert(0) += 1;
+        }
+        assert_eq!(exc.get(&Pattern::Sigmoid), Some(&2));
+        assert_eq!(exc.get(&Pattern::LateRiser), Some(&1));
+        assert_eq!(exc.get(&Pattern::QuantumSteps), Some(&2));
+        assert_eq!(exc.get(&Pattern::Siesta), Some(&3));
+        assert_eq!(exc.values().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn birth_buckets_match_figure7() {
+        let cards = all_cards();
+        let mut buckets = [0usize; 4];
+        for c in &cards {
+            let b = match c.birth_month {
+                0 => 0,
+                1..=6 => 1,
+                7..=12 => 2,
+                _ => 3,
+            };
+            buckets[b] += 1;
+        }
+        assert_eq!(buckets, [52, 38, 13, 48]);
+    }
+
+    #[test]
+    fn all_schedules_resolve() {
+        for c in all_cards() {
+            let s = c.schedule();
+            assert_eq!(s.total(), c.total_units, "{}", c.name);
+            assert!(s.events.first().unwrap().0 == c.birth_month, "{}", c.name);
+            assert!(
+                s.events.iter().all(|(m, _)| *m < c.duration),
+                "{}: event beyond duration",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let cards = all_cards();
+        let mut names: Vec<&str> = cards.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cards.len());
+    }
+
+    #[test]
+    fn durations_exceed_twelve_months() {
+        assert!(all_cards().iter().all(|c| c.duration >= 13));
+    }
+}

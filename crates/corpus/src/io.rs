@@ -1,0 +1,291 @@
+//! On-disk forms of the corpus: per-project SQL history directories and a
+//! metrics CSV — the shapes a real schema-history miner would work with.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use schemachron_history::{Date, IngestMode, ProjectHistory, ProjectHistoryBuilder};
+
+use crate::corpus::Corpus;
+use crate::materialize::materialize;
+
+/// Writes every project of the corpus as a directory of dated `.sql`
+/// migration scripts plus a `source.csv` of source-code activity:
+///
+/// ```text
+/// out/
+///   flatliner-000/
+///     0001_2013-04-10.sql
+///     source.csv            # date,lines_changed
+///   ...
+/// ```
+pub fn write_corpus_dir(corpus: &Corpus, out: &Path) -> io::Result<()> {
+    for p in corpus.projects() {
+        let mat = materialize(&p.card, corpus.seed());
+        let dir = out.join(&p.card.name);
+        fs::create_dir_all(&dir)?;
+        for (i, (date, sql)) in mat.ddl_commits.iter().enumerate() {
+            let file = dir.join(format!("{:04}_{date}.sql", i + 1));
+            fs::write(file, sql)?;
+        }
+        let mut src = fs::File::create(dir.join("source.csv"))?;
+        writeln!(src, "date,lines_changed")?;
+        for (date, lines) in &mat.source_commits {
+            writeln!(src, "{date},{lines:.0}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads one project directory written by [`write_corpus_dir`] (or
+/// hand-assembled in the same shape) back into a [`ProjectHistory`].
+///
+/// `mode` selects migration vs snapshot interpretation of the `.sql` files.
+pub fn load_project_dir(dir: &Path, mode: IngestMode) -> io::Result<ProjectHistory> {
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "project".to_owned());
+    let mut b = ProjectHistoryBuilder::new(name);
+
+    let mut sql_files: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sql"))
+        .collect();
+    sql_files.sort();
+    for path in sql_files {
+        let date = date_from_filename(&path).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("no date in file name: {}", path.display()),
+            )
+        })?;
+        let sql = fs::read_to_string(&path)?;
+        match mode {
+            IngestMode::Migration => b.migration(date, sql),
+            IngestMode::Snapshot => b.snapshot(date, sql),
+        };
+    }
+
+    let src = dir.join("source.csv");
+    if src.exists() {
+        for line in fs::read_to_string(src)?.lines().skip(1) {
+            let mut parts = line.splitn(2, ',');
+            let (Some(d), Some(l)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            if let (Ok(date), Ok(lines)) = (d.parse::<Date>(), l.trim().parse::<f64>()) {
+                b.source_commit(date, lines);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Extracts a date from file names like `0001_2013-04-10.sql` or
+/// `2013-04-10.sql`.
+fn date_from_filename(path: &Path) -> Option<Date> {
+    let stem = path.file_stem()?.to_string_lossy();
+    for part in stem.split(['_', ' ']) {
+        if let Ok(d) = part.parse::<Date>() {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// Writes the measured per-project metrics as CSV (one row per project),
+/// the tabular shape the paper's analyses start from.
+pub fn write_metrics_csv(corpus: &Corpus, out: &Path) -> io::Result<()> {
+    let mut f = fs::File::create(out)?;
+    writeln!(
+        f,
+        "name,pattern,exception,pup_months,birth_month,birth_pct,birth_volume_pct,\
+         topband_month,topband_pct,interval_birth_top_pct,interval_top_end_pct,\
+         active_growth_months,total_activity,expansion,maintenance"
+    )?;
+    for p in corpus.projects() {
+        let m = &p.metrics;
+        writeln!(
+            f,
+            "{},{},{},{},{},{:.4},{:.4},{},{:.4},{:.4},{:.4},{},{},{},{}",
+            p.card.name,
+            p.assigned.name(),
+            p.exception,
+            m.pup_months,
+            m.birth_index,
+            m.birth_pct_pup,
+            m.birth_volume_pct_total,
+            m.topband_index,
+            m.topband_pct_pup,
+            m.interval_birth_to_top_pct,
+            m.interval_top_to_end_pct,
+            m.active_growth_months,
+            m.total_activity,
+            m.expansion_total,
+            m.maintenance_total,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("schemachron-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_one_project_through_disk() {
+        let corpus = Corpus::generate(42);
+        let out = tmp_dir("roundtrip");
+        // Keep the test quick: write just the first few projects.
+        let small: Vec<_> = corpus.projects().iter().take(3).collect();
+        for p in &small {
+            let mat = materialize(&p.card, corpus.seed());
+            let dir = out.join(&p.card.name);
+            fs::create_dir_all(&dir).unwrap();
+            for (i, (date, sql)) in mat.ddl_commits.iter().enumerate() {
+                fs::write(dir.join(format!("{:04}_{date}.sql", i + 1)), sql).unwrap();
+            }
+            let mut src = fs::File::create(dir.join("source.csv")).unwrap();
+            writeln!(src, "date,lines_changed").unwrap();
+            for (date, lines) in &mat.source_commits {
+                writeln!(src, "{date},{lines:.0}").unwrap();
+            }
+        }
+        for p in &small {
+            let loaded = load_project_dir(&out.join(&p.card.name), IngestMode::Migration).unwrap();
+            assert_eq!(
+                loaded.month_count(),
+                p.history.month_count(),
+                "{}",
+                p.card.name
+            );
+            assert_eq!(loaded.schema_total(), p.history.schema_total());
+            assert_eq!(loaded.schema_birth_index(), p.history.schema_birth_index());
+        }
+        let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn date_extraction_variants() {
+        assert_eq!(
+            date_from_filename(Path::new("0001_2013-04-10.sql")),
+            Some(Date::new(2013, 4, 10))
+        );
+        assert_eq!(
+            date_from_filename(Path::new("2020-01-05.sql")),
+            Some(Date::new(2020, 1, 5))
+        );
+        assert_eq!(date_from_filename(Path::new("schema.sql")), None);
+    }
+
+    #[test]
+    fn metrics_csv_has_one_row_per_project() {
+        let corpus = Corpus::generate(42);
+        let out = tmp_dir("csv").join("metrics.csv");
+        write_metrics_csv(&corpus, &out).unwrap();
+        let text = fs::read_to_string(&out).unwrap();
+        assert_eq!(text.lines().count(), 152); // header + 151
+        let _ = fs::remove_dir_all(out.parent().unwrap());
+    }
+}
+
+#[cfg(test)]
+mod fault_tolerance_tests {
+    use super::*;
+    use schemachron_history::IngestMode;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("schemachron-fault-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn corrupted_sql_file_degrades_gracefully() {
+        let dir = tmp("corrupt");
+        fs::write(dir.join("0001_2020-01-10.sql"), "CREATE TABLE ok (a INT);").unwrap();
+        fs::write(
+            dir.join("0002_2020-03-10.sql"),
+            ");;CREATE TABLEE broken ((((' unterminated",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("0003_2020-05-10.sql"),
+            "ALTER TABLE ok ADD COLUMN b INT;",
+        )
+        .unwrap();
+        let p = load_project_dir(&dir, IngestMode::Migration).unwrap();
+        // The corrupted middle version parses to nothing; the history survives.
+        assert_eq!(p.schema_total(), 2.0);
+        assert_eq!(
+            p.schema_history()
+                .unwrap()
+                .last_schema()
+                .unwrap()
+                .table("ok")
+                .unwrap()
+                .attribute_count(),
+            2
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undated_sql_file_is_an_error() {
+        let dir = tmp("undated");
+        fs::write(dir.join("schema.sql"), "CREATE TABLE t (a INT);").unwrap();
+        let err = load_project_dir(&dir, IngestMode::Migration).unwrap_err();
+        assert!(err.to_string().contains("no date"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_source_csv_lines_are_skipped() {
+        let dir = tmp("badcsv");
+        fs::write(dir.join("0001_2020-01-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        let mut f = fs::File::create(dir.join("source.csv")).unwrap();
+        writeln!(f, "date,lines_changed").unwrap();
+        writeln!(f, "2020-01-05,100").unwrap();
+        writeln!(f, "not-a-date,50").unwrap();
+        writeln!(f, "2020-06-05,not-a-number").unwrap();
+        writeln!(f, "garbage line without comma").unwrap();
+        writeln!(f, "2020-12-05,25").unwrap();
+        drop(f);
+        let p = load_project_dir(&dir, IngestMode::Migration).unwrap();
+        assert_eq!(p.source_heartbeat().total(), 125.0);
+        assert_eq!(p.month_count(), 12);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_sql_files_are_ignored() {
+        let dir = tmp("mixed");
+        fs::write(dir.join("0001_2020-01-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        fs::write(dir.join("README.md"), "# notes").unwrap();
+        fs::write(dir.join("data.csv"), "x,y").unwrap();
+        let p = load_project_dir(&dir, IngestMode::Migration).unwrap();
+        assert_eq!(p.schema_total(), 1.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        assert!(load_project_dir(
+            std::path::Path::new("/definitely/not/here"),
+            IngestMode::Migration
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # schemachron-corpus
+//!
+//! A **calibrated synthetic corpus** of 151 schema histories standing in for
+//! the study's GitHub-mined dataset (\[42\]/\[45\] of the paper), which is not
+//! available offline.
+//!
+//! Every project is described by a [`Card`]: a concrete plan
+//! (duration, birth month, top-band month, active growth months, volume
+//! split) derived from the paper's published aggregates — pattern
+//! populations (Fig. 4), the birth-month joint distribution (Fig. 7), the
+//! Table 1 label marginals, the Table 2 exception counts and the §6.1
+//! per-pattern activity medians. The plan is then **materialized into real
+//! DDL commit histories** ([`materialize`]) and ingested through the full
+//! pipeline (`schemachron-ddl` → `schemachron-model` → `schemachron-history`),
+//! so every downstream number is *measured*, not asserted.
+//!
+//! Randomness (seeded, deterministic) affects only inconsequential detail:
+//! table/column names, the mixture of DDL statement forms, source-line
+//! volumes. The timing skeleton of each project is fixed by its card.
+//!
+//! ```
+//! use schemachron_corpus::Corpus;
+//!
+//! let corpus = Corpus::generate(42);
+//! assert_eq!(corpus.projects().len(), 151);
+//! // Two thirds of the corpus shows the paper's "aversion to change":
+//! let quick_or_dead = corpus.projects().iter()
+//!     .filter(|p| p.assigned.family() == schemachron_core::Family::BeQuickOrBeDead)
+//!     .count();
+//! assert_eq!(quick_or_dead, 97);
+//! ```
+
+pub mod cards;
+pub mod corpus;
+pub mod io;
+pub mod materialize;
+pub mod random;
+pub mod spec;
+
+pub use corpus::{Corpus, CorpusProject};
+pub use random::{random_card, random_cards};
+pub use spec::{Card, Schedule};

@@ -1,0 +1,583 @@
+//! Materializing a project card into a real DDL commit history.
+//!
+//! Each scheduled month becomes one migration script whose statements cause
+//! **exactly** the budgeted number of attribute-level changes when measured
+//! by `schemachron-model::diff`. The mixture of statement forms follows the
+//! §6.3 observations: change is biased towards expansion, and performed
+//! mostly at table granularity (whole tables added/dropped) rather than by
+//! restructuring surviving tables.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use schemachron_history::Date;
+
+use crate::spec::Card;
+
+/// A fully materialized synthetic project: dated DDL scripts plus a source
+/// heartbeat, ready for `ProjectHistoryBuilder` ingestion.
+#[derive(Clone, Debug)]
+pub struct MaterializedProject {
+    /// Project name (from the card).
+    pub name: String,
+    /// Dated migration scripts, in chronological order.
+    pub ddl_commits: Vec<(Date, String)>,
+    /// Dated source-activity events (lines changed).
+    pub source_commits: Vec<(Date, f64)>,
+}
+
+/// Materializes a card deterministically for a given corpus seed.
+pub fn materialize(card: &Card, seed: u64) -> MaterializedProject {
+    let mut rng = StdRng::seed_from_u64(seed ^ name_hash(&card.name));
+    let start = start_date(&card.name, seed);
+    let schedule = card.schedule();
+
+    let mut state = SchemaState::new();
+    let mut ddl_commits = Vec::new();
+    for &(month, units) in &schedule.events {
+        let sql = state.emit_month(units, card.maintenance_bias, &mut rng);
+        ddl_commits.push((month_date(start, month, 10), sql));
+    }
+
+    // Source activity: development happens over the whole PUP; the first
+    // and last months are always active (they pin the project lifespan).
+    let mut source_commits = Vec::new();
+    for m in 0..card.duration {
+        let pinned = m == 0 || m == card.duration - 1;
+        if pinned || rng.random_bool(0.7) {
+            let lines = rng.random_range(20.0..800.0);
+            source_commits.push((month_date(start, m, 20), lines));
+        }
+    }
+
+    MaterializedProject {
+        name: card.name.clone(),
+        ddl_commits,
+        source_commits,
+    }
+}
+
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn start_date(name: &str, seed: u64) -> Date {
+    let k = (name_hash(name) ^ seed) % 72; // spread starts over six years
+    let year = 2012 + (k / 12) as i32;
+    let month = (k % 12) as u8 + 1;
+    Date::new(year, month, 1)
+}
+
+fn month_date(start: Date, offset: u32, day: u8) -> Date {
+    let m = start.month_id().plus(offset as i32);
+    Date::new(m.year(), m.month(), day)
+}
+
+/// The materializer's mirror of the evolving schema: enough state to emit
+/// DDL whose measured change count is exact.
+struct SchemaState {
+    tables: Vec<TableState>,
+    next_table: usize,
+    next_col: usize,
+}
+
+struct TableState {
+    name: String,
+    /// `(column name, type index)` — the type index keys into [`TYPES`].
+    columns: Vec<(String, usize)>,
+    has_pk: bool,
+}
+
+/// The type palette; `MODIFY` picks a different index to guarantee a
+/// logical type change.
+const TYPES: [&str; 7] = [
+    "INT",
+    "BIGINT",
+    "VARCHAR(64)",
+    "VARCHAR(255)",
+    "TEXT",
+    "DECIMAL(10, 2)",
+    "TIMESTAMP",
+];
+
+const TABLE_STEMS: [&str; 12] = [
+    "customers",
+    "orders",
+    "invoices",
+    "products",
+    "sessions",
+    "audit_log",
+    "settings",
+    "tags",
+    "payments",
+    "messages",
+    "accounts",
+    "reports",
+];
+
+const COLUMN_STEMS: [&str; 12] = [
+    "name",
+    "status",
+    "amount",
+    "created_at",
+    "updated_at",
+    "owner_id",
+    "notes",
+    "kind",
+    "priority",
+    "email",
+    "token",
+    "flags",
+];
+
+impl SchemaState {
+    fn new() -> Self {
+        SchemaState {
+            tables: Vec::new(),
+            next_table: 0,
+            next_col: 0,
+        }
+    }
+
+    fn fresh_table_name(&mut self) -> String {
+        let stem = TABLE_STEMS[self.next_table % TABLE_STEMS.len()];
+        let n = self.next_table / TABLE_STEMS.len();
+        self.next_table += 1;
+        if n == 0 {
+            stem.to_owned()
+        } else {
+            format!("{stem}_{n}")
+        }
+    }
+
+    fn fresh_column_name(&mut self) -> String {
+        let stem = COLUMN_STEMS[self.next_col % COLUMN_STEMS.len()];
+        let n = self.next_col / COLUMN_STEMS.len();
+        self.next_col += 1;
+        if n == 0 {
+            stem.to_owned()
+        } else {
+            format!("{stem}_{n}")
+        }
+    }
+
+    /// Emits one month's migration script causing exactly `units` attribute
+    /// changes.
+    ///
+    /// Month-over-month diffs collapse multiple edits to the same object:
+    /// a table created and maintained in the same month diffs as a plain
+    /// creation, and a column modified twice counts once. To keep the
+    /// budget exact, maintenance is restricted to objects that existed at
+    /// the **start** of the month, each touched at most once ([`MonthCtx`]).
+    fn emit_month(&mut self, units: u32, maintenance_bias: f64, rng: &mut StdRng) -> String {
+        let mut sql = String::from("-- auto-generated migration\n");
+        let mut ctx = MonthCtx::snapshot(self);
+        let mut remaining = units;
+        while remaining > 0 {
+            let mut done = 0;
+            if rng.random_bool(maintenance_bias) {
+                done = self.emit_maintenance(&mut sql, remaining, rng, &mut ctx);
+            }
+            if done == 0 {
+                done = self.emit_expansion(&mut sql, remaining, rng, &mut ctx);
+            }
+            remaining -= done;
+        }
+        // A pinch of realistic noise the parser must skip.
+        if rng.random_bool(0.3) {
+            sql.push_str("INSERT INTO settings VALUES (1, 'seed');\n");
+        }
+        sql
+    }
+
+    /// Expansion: prefer whole-table additions (§6.3), fall back to column
+    /// injections. Returns the number of attribute changes caused.
+    fn emit_expansion(
+        &mut self,
+        sql: &mut String,
+        remaining: u32,
+        rng: &mut StdRng,
+        ctx: &mut MonthCtx,
+    ) -> u32 {
+        let prefer_table = remaining >= 3 && (self.tables.is_empty() || rng.random_bool(0.65));
+        if prefer_table {
+            let cols = rng.random_range(3..=8).min(remaining as usize);
+            let name = self.fresh_table_name();
+            let mut t = TableState {
+                name: name.clone(),
+                columns: Vec::new(),
+                has_pk: true,
+            };
+            // Reference an existing table from the second column sometimes:
+            // FKs never change the attribute-change count (the referencing
+            // column is *born*, which takes precedence), but they give the
+            // corpus the foreign-key texture real schemata have.
+            let fk_target = if cols >= 2 && !self.tables.is_empty() && rng.random_bool(0.4) {
+                Some(
+                    self.tables[rng.random_range(0..self.tables.len())]
+                        .name
+                        .clone(),
+                )
+            } else {
+                None
+            };
+            sql.push_str(&format!("CREATE TABLE {name} (\n"));
+            for i in 0..cols {
+                let (cname, ty_idx) = if i == 0 {
+                    ("id".to_owned(), 0)
+                } else {
+                    (self.fresh_column_name(), rng.random_range(0..TYPES.len()))
+                };
+                if i == 1 {
+                    if let Some(target) = &fk_target {
+                        sql.push_str(&format!("  {cname} INT REFERENCES {target} (id),\n"));
+                        t.columns.push((cname, 0));
+                        continue;
+                    }
+                }
+                let not_null = if i == 0 { " NOT NULL" } else { "" };
+                sql.push_str(&format!("  {cname} {}{not_null},\n", TYPES[ty_idx]));
+                t.columns.push((cname, ty_idx));
+            }
+            sql.push_str("  PRIMARY KEY (id)\n);\n");
+            self.tables.push(t);
+            cols as u32
+        } else if self.tables.is_empty() {
+            // remaining < 3 and nothing exists yet: a tiny table.
+            let name = self.fresh_table_name();
+            let mut t = TableState {
+                name: name.clone(),
+                columns: Vec::new(),
+                has_pk: false,
+            };
+            sql.push_str(&format!("CREATE TABLE {name} (\n"));
+            for i in 0..remaining {
+                let cname = if i == 0 {
+                    "id".to_owned()
+                } else {
+                    self.fresh_column_name()
+                };
+                let sep = if i + 1 == remaining { "\n" } else { ",\n" };
+                sql.push_str(&format!("  {cname} INT{sep}"));
+                t.columns.push((cname, 0));
+            }
+            sql.push_str(");\n");
+            self.tables.push(t);
+            remaining
+        } else {
+            // Inject one column into a random table.
+            let ti = rng.random_range(0..self.tables.len());
+            let cname = self.fresh_column_name();
+            let ty_idx = rng.random_range(0..TYPES.len());
+            let tname = self.tables[ti].name.clone();
+            sql.push_str(&format!(
+                "ALTER TABLE {tname} ADD COLUMN {cname} {};\n",
+                TYPES[ty_idx]
+            ));
+            self.tables[ti].columns.push((cname, ty_idx));
+            ctx.expanded.push(tname);
+            1
+        }
+    }
+
+    /// Maintenance: whole-table drops when the budget allows, otherwise
+    /// column ejections, type changes or key updates — always against
+    /// month-start objects untouched this month (see [`MonthCtx`]).
+    /// Returns the changes caused (0 when no applicable op exists — the
+    /// caller then falls back to expansion).
+    fn emit_maintenance(
+        &mut self,
+        sql: &mut String,
+        remaining: u32,
+        rng: &mut StdRng,
+        ctx: &mut MonthCtx,
+    ) -> u32 {
+        // Whole-table drop (the §6.3-preferred granule), if one fits.
+        if rng.random_bool(0.4) {
+            if let Some(ti) = self
+                .tables
+                .iter()
+                .position(|t| t.columns.len() as u32 <= remaining && ctx.droppable(t))
+            {
+                let t = self.tables.remove(ti);
+                sql.push_str(&format!("DROP TABLE {};\n", t.name));
+                let dropped = t.columns.len() as u32;
+                ctx.maintained_tables.push(t.name);
+                return dropped;
+            }
+        }
+        let Some(ti) = ctx.pick_maintainable(&self.tables, rng) else {
+            return 0;
+        };
+        match rng.random_range(0..3u8) {
+            // Eject the last untouched month-start column (keep ≥ 2 so the
+            // table stays meaningful).
+            0 if self.tables[ti].columns.len() > 2 => {
+                let Some(ci) = ctx.pick_column(&self.tables[ti], true) else {
+                    return 0;
+                };
+                let (cname, _) = self.tables[ti].columns.remove(ci);
+                let tname = self.tables[ti].name.clone();
+                sql.push_str(&format!("ALTER TABLE {tname} DROP COLUMN {cname};\n"));
+                ctx.touch(&tname, &cname);
+                1
+            }
+            // Change a column's data type.
+            1 => {
+                let Some(ci) = ctx.pick_column(&self.tables[ti], false) else {
+                    return 0;
+                };
+                let (cname, old_ty) = self.tables[ti].columns[ci].clone();
+                let new_ty = (old_ty + 1 + rng.random_range(0..TYPES.len() - 1)) % TYPES.len();
+                let tname = self.tables[ti].name.clone();
+                sql.push_str(&format!(
+                    "ALTER TABLE {tname} MODIFY COLUMN {cname} {};\n",
+                    TYPES[new_ty]
+                ));
+                self.tables[ti].columns[ci].1 = new_ty;
+                ctx.touch(&tname, &cname);
+                1
+            }
+            // Toggle a single-column primary key (the key column must be a
+            // month-start column untouched so far).
+            _ => {
+                let t = &mut self.tables[ti];
+                let tname = t.name.clone();
+                let key_col = t.columns[0].0.clone();
+                if !ctx.is_fresh(&tname, &key_col) {
+                    return 0;
+                }
+                if t.has_pk {
+                    sql.push_str(&format!("ALTER TABLE {tname} DROP PRIMARY KEY;\n"));
+                    t.has_pk = false;
+                } else {
+                    sql.push_str(&format!(
+                        "ALTER TABLE {tname} ADD PRIMARY KEY ({key_col});\n"
+                    ));
+                    t.has_pk = true;
+                }
+                ctx.touch(&tname, &key_col);
+                1
+            }
+        }
+    }
+}
+
+/// Per-month bookkeeping that keeps the change budget exact under
+/// month-granule diffing: maintenance may only touch objects that existed
+/// at the start of the month, and each object at most once.
+struct MonthCtx {
+    /// `(table, column)` pairs existing at month start.
+    baseline_cols: Vec<(String, String)>,
+    /// Tables existing at month start.
+    baseline_tables: Vec<String>,
+    /// `(table, column)` pairs already maintained this month.
+    touched: Vec<(String, String)>,
+    /// Tables that received maintenance this month (cannot be dropped).
+    maintained_tables: Vec<String>,
+    /// Tables that received injected columns this month (cannot be dropped).
+    expanded: Vec<String>,
+}
+
+impl MonthCtx {
+    fn snapshot(state: &SchemaState) -> MonthCtx {
+        MonthCtx {
+            baseline_cols: state
+                .tables
+                .iter()
+                .flat_map(|t| t.columns.iter().map(|(c, _)| (t.name.clone(), c.clone())))
+                .collect(),
+            baseline_tables: state.tables.iter().map(|t| t.name.clone()).collect(),
+            touched: Vec::new(),
+            maintained_tables: Vec::new(),
+            expanded: Vec::new(),
+        }
+    }
+
+    fn in_baseline(&self, table: &str) -> bool {
+        self.baseline_tables.iter().any(|t| t == table)
+    }
+
+    fn is_fresh(&self, table: &str, column: &str) -> bool {
+        self.baseline_cols
+            .iter()
+            .any(|(t, c)| t == table && c == column)
+            && !self.touched.iter().any(|(t, c)| t == table && c == column)
+    }
+
+    fn touch(&mut self, table: &str, column: &str) {
+        self.touched.push((table.to_owned(), column.to_owned()));
+        if !self.maintained_tables.iter().any(|t| t == table) {
+            self.maintained_tables.push(table.to_owned());
+        }
+    }
+
+    /// A table can be dropped only if it existed at month start and nothing
+    /// about it changed this month (no injected columns, no maintenance).
+    fn droppable(&self, t: &TableState) -> bool {
+        self.in_baseline(&t.name)
+            && !self.expanded.iter().any(|x| x == &t.name)
+            && !self.maintained_tables.iter().any(|x| x == &t.name)
+    }
+
+    /// Picks a month-start table that still has a fresh column to maintain.
+    fn pick_maintainable(&self, tables: &[TableState], rng: &mut StdRng) -> Option<usize> {
+        let candidates: Vec<usize> = tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                self.in_baseline(&t.name)
+                    && t.columns.iter().any(|(c, _)| self.is_fresh(&t.name, c))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.random_range(0..candidates.len())])
+        }
+    }
+
+    /// Picks a fresh month-start column of `t`; when `skip_first` the
+    /// leading (key) column is preserved.
+    fn pick_column(&self, t: &TableState, skip_first: bool) -> Option<usize> {
+        let start = usize::from(skip_first);
+        (start..t.columns.len())
+            .rev()
+            .find(|&ci| self.is_fresh(&t.name, &t.columns[ci].0))
+    }
+}
+
+/// Materializes a card as **full snapshot dumps** instead of migration
+/// scripts: each commit carries the complete schema as of that month
+/// (`schema.sql`-style histories, the other ingestion mode real miners
+/// meet). The underlying evolution is identical to [`materialize`]'s.
+pub fn materialize_snapshots(card: &Card, seed: u64) -> MaterializedProject {
+    let migrations = materialize(card, seed);
+    let mut builder = schemachron_ddl::SchemaBuilder::new();
+    let ddl_commits = migrations
+        .ddl_commits
+        .iter()
+        .map(|(date, sql)| {
+            builder.apply_script(sql);
+            (
+                *date,
+                schemachron_model::render_schema_sql(builder.schema()),
+            )
+        })
+        .collect();
+    MaterializedProject {
+        name: migrations.name,
+        ddl_commits,
+        source_commits: migrations.source_commits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_core::Pattern;
+    use schemachron_history::ProjectHistoryBuilder;
+
+    fn test_card() -> Card {
+        Card {
+            name: "mat-test".into(),
+            pattern: Pattern::QuantumSteps,
+            exception: false,
+            duration: 30,
+            birth_month: 2,
+            top_month: 12,
+            agm: 2,
+            birth_frac: 0.5,
+            total_units: 40,
+            tail_units: 0,
+            tail_months: 0,
+            maintenance_bias: 0.2,
+        }
+    }
+
+    #[test]
+    fn measured_activity_matches_schedule_exactly() {
+        let card = test_card();
+        let mat = materialize(&card, 42);
+        let mut b = ProjectHistoryBuilder::new(&card.name);
+        for (d, sql) in &mat.ddl_commits {
+            b.migration(*d, sql.clone());
+        }
+        for (d, lines) in &mat.source_commits {
+            b.source_commit(*d, *lines);
+        }
+        let p = b.build();
+        assert_eq!(p.month_count() as u32, card.duration);
+        assert_eq!(p.schema_total() as u32, card.total_units);
+        assert_eq!(p.schema_birth_index(), Some(card.birth_month as usize));
+
+        // Per-month activity equals the schedule.
+        let schedule = card.schedule();
+        for (m, u) in &schedule.events {
+            assert_eq!(
+                p.schema_heartbeat().values()[*m as usize] as u32,
+                *u,
+                "month {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let card = test_card();
+        let a = materialize(&card, 7);
+        let b = materialize(&card, 7);
+        assert_eq!(a.ddl_commits, b.ddl_commits);
+        let c = materialize(&card, 8);
+        assert_ne!(
+            a.ddl_commits, c.ddl_commits,
+            "different seeds should vary the DDL mixture"
+        );
+    }
+
+    #[test]
+    fn maintenance_bias_produces_maintenance_changes() {
+        let mut card = test_card();
+        card.maintenance_bias = 0.5;
+        card.total_units = 120;
+        card.agm = 5;
+        let mat = materialize(&card, 3);
+        let mut b = ProjectHistoryBuilder::new(&card.name);
+        for (d, sql) in &mat.ddl_commits {
+            b.migration(*d, sql.clone());
+        }
+        let p = b.build();
+        assert_eq!(p.schema_total() as u32, 120);
+        assert!(p.maintenance_total() > 0, "expected some maintenance");
+        assert!(
+            p.expansion_total() > p.maintenance_total(),
+            "expansion must dominate (§6.3)"
+        );
+    }
+
+    #[test]
+    fn parser_diagnostics_are_clean() {
+        let card = test_card();
+        let mat = materialize(&card, 42);
+        for (_, sql) in &mat.ddl_commits {
+            let (_, diags) = schemachron_ddl::parse_statements(sql);
+            assert!(
+                diags.iter().all(|d| !d.is_error()),
+                "generated DDL must parse: {diags:?}\n{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn start_dates_spread_but_deterministic() {
+        let c = test_card();
+        assert_eq!(start_date(&c.name, 1), start_date(&c.name, 1));
+    }
+}

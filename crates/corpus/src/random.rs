@@ -1,0 +1,338 @@
+//! The parameterized workload generator: random per-pattern project cards.
+//!
+//! While [`crate::cards`] encodes the 151 calibrated projects that reproduce
+//! the paper's aggregates, this module **synthesizes fresh cards** for any
+//! requested pattern mix — the workload generator behind scale benchmarks
+//! and what-if studies. Every sampled card is verified end to end: it must
+//! pass [`Card::validate`] *and* its emergent schedule must classify
+//! strictly as the requested pattern (generate-and-verify).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use schemachron_core::metrics::TimeMetrics;
+use schemachron_core::quantize::Labels;
+use schemachron_core::{classify, Pattern};
+use schemachron_history::{MonthId, ProjectHistory};
+
+use crate::spec::Card;
+
+/// Maximum resampling attempts before giving up on one card.
+const MAX_ATTEMPTS: usize = 200;
+
+/// Samples one feasible card of the requested pattern.
+///
+/// # Panics
+/// Panics if no feasible card is found within a generous attempt budget —
+/// which would indicate a bug in the samplers, not bad luck (each sampler's
+/// acceptance rate is far above 1%).
+pub fn random_card(pattern: Pattern, name: impl Into<String>, rng: &mut StdRng) -> Card {
+    let name = name.into();
+    for _ in 0..MAX_ATTEMPTS {
+        let Some(card) = sample(pattern, &name, rng) else {
+            continue;
+        };
+        if card.validate().is_err() {
+            continue;
+        }
+        if emergent_pattern(&card) == Some(pattern) {
+            return card;
+        }
+    }
+    panic!("no feasible {pattern:?} card in {MAX_ATTEMPTS} attempts");
+}
+
+/// Classifies the card's schedule as the measurement pipeline would.
+fn emergent_pattern(card: &Card) -> Option<Pattern> {
+    let mut activity = vec![0.0; card.duration as usize];
+    for (m, u) in card.schedule().events {
+        activity[m as usize] += f64::from(u);
+    }
+    let n = activity.len();
+    let p = ProjectHistory::from_heartbeats(&card.name, MonthId(0), activity, vec![1.0; n], [0; 6]);
+    let metrics = TimeMetrics::from_project(&p)?;
+    classify(&Labels::from_metrics(&metrics))
+}
+
+/// Integer months whose `m / (d-1)` fraction falls in `(lo, hi]`
+/// (`lo == hi == 0.0` means exactly month 0).
+fn month_range(d: u32, lo: f64, hi: f64) -> Option<(u32, u32)> {
+    let span = f64::from(d - 1);
+    let first = if lo <= 0.0 {
+        0
+    } else {
+        (lo * span).floor() as u32 + 1
+    };
+    let last = (hi * span).floor() as u32;
+    (first <= last && last < d).then_some((first, last))
+}
+
+fn pick(rng: &mut StdRng, range: (u32, u32)) -> u32 {
+    rng.random_range(range.0..=range.1)
+}
+
+fn sample(pattern: Pattern, name: &str, rng: &mut StdRng) -> Option<Card> {
+    let d = rng.random_range(16..=96u32);
+    let card = |b: u32, t: u32, agm: u32, frac: f64, total: u32, tail: u32, tail_m: u32| Card {
+        name: name.to_owned(),
+        pattern,
+        exception: false,
+        duration: d,
+        birth_month: b,
+        top_month: t,
+        agm,
+        birth_frac: frac,
+        total_units: total,
+        tail_units: tail,
+        tail_months: tail_m,
+        maintenance_bias: rng_bias(pattern),
+    };
+
+    match pattern {
+        Pattern::Flatliner => {
+            let total = rng.random_range(4..=40);
+            let full = rng.random_bool(0.7);
+            let frac = if full {
+                1.0
+            } else {
+                rng.random_range(0.93..0.99)
+            };
+            let tail = if full { 0 } else { (total / 12).max(1) };
+            Some(card(0, 0, 0, frac, total, tail, 1))
+        }
+        Pattern::RadicalSign => {
+            let early = month_range(d, 0.0, 0.25)?;
+            if rng.random_bool(0.35) {
+                // Zero interval: full volume at an early (non-V0) birth.
+                let b = pick(rng, (early.0.max(1), early.1));
+                let total = rng.random_range(8..=60);
+                Some(card(b, b, 0, rng.random_range(0.93..1.0), total, 0, 0))
+            } else {
+                let b = if rng.random_bool(0.4) {
+                    0
+                } else {
+                    pick(rng, early)
+                };
+                let t = pick(rng, (b + 1, early.1.max(b + 1)));
+                if t >= d {
+                    return None;
+                }
+                let agm = rng.random_range(0..=2u32.min(t.saturating_sub(b + 1)));
+                let total = rng.random_range(15..=140);
+                Some(card(b, t, agm, rng.random_range(0.35..0.85), total, 0, 0))
+            }
+        }
+        Pattern::Sigmoid => {
+            let middle = month_range(d, 0.25, 0.75)?;
+            let b = pick(rng, middle);
+            let soon = (f64::from(d - 1) * 0.10).floor() as u32;
+            if rng.random_bool(0.6) || soon == 0 || b + 1 > (b + soon).min(middle.1) {
+                let total = rng.random_range(10..=40);
+                Some(card(b, b, 0, rng.random_range(0.93..1.0), total, 0, 0))
+            } else {
+                let t = pick(rng, (b + 1, (b + soon).min(middle.1)));
+                let total = rng.random_range(15..=50);
+                let agm = u32::from(rng.random_bool(0.3) && t > b + 1);
+                Some(card(b, t, agm, rng.random_range(0.4..0.7), total, 0, 0))
+            }
+        }
+        Pattern::LateRiser => {
+            let late = month_range(d, 0.75, 1.0)?;
+            let b = pick(rng, late);
+            if rng.random_bool(0.7) || b + 1 >= d {
+                let total = rng.random_range(8..=30);
+                Some(card(b, b, 0, rng.random_range(0.93..1.0), total, 0, 0))
+            } else {
+                let soon = (f64::from(d - 1) * 0.10).floor() as u32;
+                let t = (b + 1 + rng.random_range(0..=soon.saturating_sub(1))).min(d - 1);
+                let total = rng.random_range(10..=30);
+                Some(card(b, t, 0, rng.random_range(0.76..0.88), total, 0, 0))
+            }
+        }
+        Pattern::QuantumSteps => {
+            let (b, t) = if rng.random_bool(0.7) {
+                // Variant 1: born V0/early, top middle.
+                let early = month_range(d, 0.0, 0.25)?;
+                let middle = month_range(d, 0.25, 0.75)?;
+                (
+                    if rng.random_bool(0.25) {
+                        0
+                    } else {
+                        pick(rng, early)
+                    },
+                    pick(rng, middle),
+                )
+            } else {
+                // Variant 2: born middle, top late.
+                let middle = month_range(d, 0.25, 0.75)?;
+                let late = month_range(d, 0.75, 1.0)?;
+                (pick(rng, middle), pick(rng, late))
+            };
+            if t <= b + 1 {
+                return None;
+            }
+            let agm = rng.random_range(0..=3u32).min(t - b - 1);
+            let total = rng.random_range(25..=110);
+            Some(card(b, t, agm, rng.random_range(0.3..0.7), total, 0, 0))
+        }
+        Pattern::RegularlyCurated => {
+            let (b, t) = if rng.random_bool(0.75) {
+                let early = month_range(d, 0.0, 0.25)?;
+                let rest = month_range(d, 0.25, 1.0)?;
+                (
+                    if rng.random_bool(0.25) {
+                        0
+                    } else {
+                        pick(rng, early)
+                    },
+                    pick(rng, rest),
+                )
+            } else {
+                let middle = month_range(d, 0.25, 0.75)?;
+                let late = month_range(d, 0.75, 1.0)?;
+                (pick(rng, middle), pick(rng, late))
+            };
+            if t < b + 6 {
+                return None;
+            }
+            let agm = rng.random_range(4..=12u32).min(t - b - 1);
+            let total = rng.random_range(160..=480);
+            Some(card(b, t, agm, rng.random_range(0.06..0.3), total, 0, 0))
+        }
+        Pattern::Siesta => {
+            // Very long interval: birth early, top late, gap > 75% of life.
+            let vlong = (f64::from(d - 1) * 0.75).floor() as u32 + 1;
+            let t_lo = vlong; // earliest top for a V0 birth
+            if t_lo >= d {
+                return None;
+            }
+            let t = pick(rng, (t_lo, d - 1));
+            let b_hi = t
+                .checked_sub(vlong)?
+                .min((f64::from(d - 1) * 0.25).floor() as u32);
+            let b = pick(rng, (0, b_hi));
+            let agm = rng.random_range(0..=3u32).min(t.saturating_sub(b + 1));
+            let total = rng.random_range(15..=90);
+            Some(card(b, t, agm, rng.random_range(0.3..0.7), total, 0, 0))
+        }
+        Pattern::SmokingFunnel => {
+            let middle = month_range(d, 0.25, 0.75)?;
+            let b = pick(rng, middle);
+            // Fair interval: (10%, 35%] of life, and enough interior for >3
+            // active months.
+            let span = f64::from(d - 1);
+            let gap_lo = ((span * 0.10).floor() as u32 + 1).max(5);
+            let gap_hi = (span * 0.35).floor() as u32;
+            if gap_lo > gap_hi {
+                return None;
+            }
+            let t = b + rng.random_range(gap_lo..=gap_hi);
+            if t > middle.1 {
+                return None;
+            }
+            let agm = rng.random_range(4..=8u32).min(t - b - 1);
+            if agm < 4 {
+                return None;
+            }
+            let total = rng.random_range(220..=620);
+            let tail = total / 25;
+            Some(card(b, t, agm, rng.random_range(0.3..0.5), total, tail, 2))
+        }
+    }
+}
+
+fn rng_bias(pattern: Pattern) -> f64 {
+    match pattern {
+        Pattern::Flatliner => 0.05,
+        Pattern::RadicalSign => 0.12,
+        Pattern::Sigmoid => 0.08,
+        Pattern::LateRiser => 0.06,
+        Pattern::QuantumSteps => 0.2,
+        Pattern::RegularlyCurated => 0.25,
+        Pattern::Siesta => 0.18,
+        Pattern::SmokingFunnel => 0.3,
+    }
+}
+
+/// Synthesizes a full card set for an arbitrary pattern mix.
+///
+/// `counts[i]` is the number of projects of `Pattern::ALL[i]` to generate.
+pub fn random_cards(seed: u64, counts: [usize; 8]) -> Vec<Card> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(counts.iter().sum());
+    for (pattern, &n) in Pattern::ALL.iter().zip(&counts) {
+        for k in 0..n {
+            out.push(random_card(
+                *pattern,
+                format!(
+                    "rnd-{}-{k:04}",
+                    pattern.name().to_lowercase().replace(' ', "-")
+                ),
+                &mut rng,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pattern_samples_and_verifies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for pattern in Pattern::ALL {
+            for k in 0..25 {
+                let c = random_card(pattern, format!("t-{k}"), &mut rng);
+                assert_eq!(c.pattern, pattern);
+                assert!(c.validate().is_ok(), "{pattern:?}: {c:?}");
+                assert_eq!(emergent_pattern(&c), Some(pattern), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_cards_honors_the_mix() {
+        let cards = random_cards(3, [2, 0, 1, 0, 3, 0, 0, 1]);
+        assert_eq!(cards.len(), 7);
+        assert_eq!(
+            cards
+                .iter()
+                .filter(|c| c.pattern == Pattern::Flatliner)
+                .count(),
+            2
+        );
+        assert_eq!(
+            cards
+                .iter()
+                .filter(|c| c.pattern == Pattern::QuantumSteps)
+                .count(),
+            3
+        );
+        // Names unique.
+        let mut names: Vec<&str> = cards.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_cards(11, [1, 1, 1, 1, 1, 1, 1, 1]);
+        let b = random_cards(11, [1, 1, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn month_range_edges() {
+        // d = 21 → span 20; early (0, 0.25] = months 1..=5.
+        assert_eq!(month_range(21, 0.0, 0.25), Some((0, 5)));
+        // middle (0.25, 0.75] = months 6..=15.
+        assert_eq!(month_range(21, 0.25, 0.75), Some((6, 15)));
+        // late (0.75, 1.0] = months 16..=20.
+        assert_eq!(month_range(21, 0.75, 1.0), Some((16, 20)));
+        // An impossible band on a tiny duration.
+        assert_eq!(month_range(14, 0.9, 0.92), None);
+    }
+}

@@ -1,0 +1,389 @@
+//! Project cards and their resolution into monthly activity schedules.
+//!
+//! A [`Card`] is the concrete plan for one synthetic project: where in its
+//! life the schema is born, when the top band is reached, how many active
+//! growth months it has and how its activity volume is split. [`Schedule`]
+//! turns the plan into exact per-month attribute-change budgets, which the
+//! materializer then realizes as DDL.
+
+use schemachron_core::Pattern;
+use serde::{Deserialize, Serialize};
+
+/// The concrete plan for one synthetic project.
+///
+/// Invariants (checked by [`Card::schedule`]):
+/// * `duration ≥ 13` (the study keeps projects longer than 12 months);
+/// * `birth_month ≤ top_month < duration`;
+/// * `agm` active months fit strictly between birth and top;
+/// * `birth_frac ≥ 0.9` **iff** `top_month == birth_month`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Card {
+    /// Project name (unique within the corpus).
+    pub name: String,
+    /// The pattern the project is annotated with (the ground truth of the
+    /// manual classification the corpus reproduces).
+    pub pattern: Pattern,
+    /// Whether the project violates its pattern's strict definition — a
+    /// Table 2 *exception*.
+    pub exception: bool,
+    /// Project lifetime in months (PUP).
+    pub duration: u32,
+    /// Month of schema birth (0-based).
+    pub birth_month: u32,
+    /// Month of top-band attainment.
+    pub top_month: u32,
+    /// Active months strictly between birth and top.
+    pub agm: u32,
+    /// Fraction of total activity at the birth month.
+    pub birth_frac: f64,
+    /// Total schema activity in affected attributes.
+    pub total_units: u32,
+    /// Activity placed strictly after the top month (the "tail change").
+    /// Capped at just under 10% of the total so the top month stays the
+    /// top-band crossing.
+    pub tail_units: u32,
+    /// Number of post-top active months carrying `tail_units`.
+    pub tail_months: u32,
+    /// Fraction of maintenance (vs expansion) DDL the materializer emits.
+    pub maintenance_bias: f64,
+}
+
+/// A resolved monthly activity schedule: exact attribute-change budgets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `(month, units)` pairs in chronological order; months are unique and
+    /// every `units > 0`.
+    pub events: Vec<(u32, u32)>,
+}
+
+impl Schedule {
+    /// Total units over all events.
+    pub fn total(&self) -> u32 {
+        self.events.iter().map(|(_, u)| u).sum()
+    }
+}
+
+impl Card {
+    /// Checks the card's feasibility without building the schedule — the
+    /// non-panicking twin of [`Card::schedule`], used by the random card
+    /// generator's generate-and-verify loop.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.duration < 13 {
+            return Err("duration must exceed 12 months".into());
+        }
+        if !(self.birth_month <= self.top_month && self.top_month < self.duration) {
+            return Err("need birth <= top < duration".into());
+        }
+        if self.total_units == 0 {
+            return Err("zero-evolution projects are excluded".into());
+        }
+        let total = self.total_units;
+        let topband = (0.9 * f64::from(total)).ceil() as u32;
+        let birth_units = ((self.birth_frac * f64::from(total)).round() as u32).clamp(1, total);
+        if self.top_month == self.birth_month {
+            if birth_units < topband {
+                return Err("top at birth requires birth_frac >= 0.9".into());
+            }
+            if self.agm != 0 {
+                return Err("no growth interior exists".into());
+            }
+            return Ok(());
+        }
+        if birth_units >= topband {
+            return Err("birth_frac too high for a later top month".into());
+        }
+        let interior_slots = self.top_month - self.birth_month - 1;
+        if self.agm > interior_slots {
+            return Err(format!(
+                "{} active months cannot fit in {interior_slots} interior slots",
+                self.agm
+            ));
+        }
+        if self.agm > 0 {
+            let tail = self.tail_units.min(total - topband);
+            let before_band_room = topband - 1 - birth_units;
+            let avail = total - birth_units - tail;
+            if self.agm > before_band_room.min(avail.saturating_sub(1)) {
+                return Err("cannot place interior units for the active months".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the card into a per-month activity schedule.
+    ///
+    /// The schedule is constructed so that, when measured by
+    /// `schemachron-core`, the emergent metrics land exactly where the card
+    /// says: birth at `birth_month`, top-band crossing at `top_month`,
+    /// `agm` active months strictly in between, `tail_units` after.
+    ///
+    /// # Panics
+    /// Panics when the card is internally inconsistent (see type-level
+    /// invariants); corpus construction is a build-time affair, so a loud
+    /// failure beats a silently mis-calibrated corpus.
+    pub fn schedule(&self) -> Schedule {
+        if let Err(e) = self.validate() {
+            panic!("{}: {e}", self.name);
+        }
+        let total = self.total_units;
+        let topband = (0.9 * f64::from(total)).ceil() as u32;
+
+        let birth_units = ((self.birth_frac * f64::from(total)).round() as u32).clamp(1, total);
+
+        if self.top_month == self.birth_month {
+            // The birth month itself crosses the top band.
+            let rest = total - birth_units;
+            let mut events = vec![(self.birth_month, birth_units)];
+            events.extend(self.spread_tail(rest));
+            return Schedule { events };
+        }
+
+        let interior_slots = self.top_month - self.birth_month - 1;
+
+        // Cap the tail below what keeps the crossing at `top_month`.
+        let max_tail = total - topband;
+        let tail = self.tail_units.min(max_tail);
+
+        // Interior gets `agm` months of visible steps (about half of an even
+        // share each), under two caps: the band must not be crossed before
+        // the top month, and the top month must keep at least one unit.
+        let before_band_room = topband - 1 - birth_units; // max interior total
+        let avail = total - birth_units - tail; // interior + top
+        let mut interior_total = if self.agm == 0 {
+            0
+        } else {
+            let step = (avail / (2 * (self.agm + 1))).max(1);
+            (step * self.agm)
+                .min(before_band_room)
+                .min(avail.saturating_sub(1))
+        };
+        if self.agm > 0 && interior_total < self.agm {
+            interior_total = self.agm.min(before_band_room).min(avail.saturating_sub(1));
+        }
+        if interior_total < self.agm {
+            // Not enough room for one unit per active month: fail loudly,
+            // the card is mis-calibrated.
+            panic!(
+                "{}: cannot place {} interior units for {} active months",
+                self.name, interior_total, self.agm
+            );
+        }
+        let top_units = total - birth_units - tail - interior_total;
+        // The caps above always leave the crossing month at least one unit
+        // (interior_total <= avail - 1), and validate() guaranteed room.
+        assert!(top_units >= 1, "{}: top month lost its activity", self.name);
+        // Re-check the band invariant after adjustments.
+        assert!(
+            birth_units + interior_total < topband,
+            "{}: interior crosses the band",
+            self.name
+        );
+        assert!(
+            birth_units + interior_total + top_units >= topband,
+            "{}: top month fails to cross the band",
+            self.name
+        );
+
+        let mut events = vec![(self.birth_month, birth_units)];
+        // Spread the active months evenly across the interior.
+        if let Some(base) = interior_total.checked_div(self.agm) {
+            let mut rem = interior_total % self.agm;
+            for k in 0..self.agm {
+                let month = self.birth_month
+                    + 1
+                    + ((u64::from(k) * u64::from(interior_slots)) / u64::from(self.agm)) as u32;
+                let mut units = base;
+                if rem > 0 {
+                    units += 1;
+                    rem -= 1;
+                }
+                events.push((month.min(self.top_month - 1), units));
+            }
+        }
+        events.push((self.top_month, top_units));
+        events.extend(self.spread_tail(tail));
+
+        // Merge any collided months (possible when agm ~ interior_slots).
+        events.sort_by_key(|(m, _)| *m);
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(events.len());
+        for (m, u) in events {
+            if u == 0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some((lm, lu)) if *lm == m => *lu += u,
+                _ => merged.push((m, u)),
+            }
+        }
+        let s = Schedule { events: merged };
+        debug_assert_eq!(s.total(), total, "{}: unit budget must be exact", self.name);
+        s
+    }
+
+    /// Distributes tail units over `tail_months` months after the top.
+    fn spread_tail(&self, tail: u32) -> Vec<(u32, u32)> {
+        if tail == 0 || self.tail_months == 0 {
+            return Vec::new();
+        }
+        let last = self.duration - 1;
+        let span = last.saturating_sub(self.top_month);
+        if span == 0 {
+            return Vec::new();
+        }
+        let months = self.tail_months.min(span).min(tail);
+        let base = tail / months;
+        let mut rem = tail % months;
+        let mut out = Vec::new();
+        for k in 0..months {
+            // Spread evenly over (top, last]; month k lands at the
+            // (k+1)/months fraction of the remaining span, so the last tail
+            // month is the project's final month.
+            let month = self.top_month + ((k + 1) * span) / months;
+            let mut units = base;
+            if rem > 0 {
+                units += 1;
+                rem -= 1;
+            }
+            out.push((month.min(last), units));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_card() -> Card {
+        Card {
+            name: "t".into(),
+            pattern: Pattern::RadicalSign,
+            exception: false,
+            duration: 40,
+            birth_month: 1,
+            top_month: 5,
+            agm: 0,
+            birth_frac: 0.8,
+            total_units: 50,
+            tail_units: 0,
+            tail_months: 0,
+            maintenance_bias: 0.15,
+        }
+    }
+
+    #[test]
+    fn simple_schedule_budget_is_exact() {
+        let s = base_card().schedule();
+        assert_eq!(s.total(), 50);
+        assert_eq!(s.events.first().unwrap().0, 1);
+        assert_eq!(s.events.last().unwrap().0, 5);
+    }
+
+    #[test]
+    fn top_at_birth_needs_high_fraction() {
+        let mut c = base_card();
+        c.top_month = c.birth_month;
+        c.birth_frac = 1.0;
+        let s = c.schedule();
+        assert_eq!(s.events, vec![(1, 50)]);
+    }
+
+    #[test]
+    fn crossing_happens_exactly_at_top_month() {
+        let c = Card {
+            agm: 2,
+            top_month: 10,
+            ..base_card()
+        };
+        let s = c.schedule();
+        let topband = (0.9 * 50.0f64).ceil() as u32; // 45
+        let mut cum = 0;
+        for (m, u) in &s.events {
+            let before = cum;
+            cum += u;
+            if cum >= topband {
+                assert_eq!(*m, 10, "crossing month");
+                assert!(before < topband);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn agm_months_land_strictly_inside() {
+        let c = Card {
+            agm: 3,
+            top_month: 12,
+            ..base_card()
+        };
+        let s = c.schedule();
+        let interior: Vec<u32> = s
+            .events
+            .iter()
+            .map(|(m, _)| *m)
+            .filter(|&m| m > c.birth_month && m < c.top_month)
+            .collect();
+        assert_eq!(interior.len(), 3);
+    }
+
+    #[test]
+    fn tail_respects_band_cap() {
+        let c = Card {
+            tail_units: 30, // would exceed 10% of 50; must be capped to 5
+            tail_months: 2,
+            ..base_card()
+        };
+        let s = c.schedule();
+        let after_top: u32 = s
+            .events
+            .iter()
+            .filter(|(m, _)| *m > c.top_month)
+            .map(|(_, u)| u)
+            .sum();
+        assert!(after_top <= 5, "tail {after_top} exceeds 10% of total");
+        assert_eq!(s.total(), 50);
+    }
+
+    #[test]
+    fn months_are_unique_and_sorted() {
+        let c = Card {
+            agm: 5,
+            top_month: 8,
+            birth_month: 1,
+            birth_frac: 0.4,
+            ..base_card()
+        };
+        let s = c.schedule();
+        let months: Vec<u32> = s.events.iter().map(|(m, _)| *m).collect();
+        let mut sorted = months.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(months, sorted);
+        assert!(s.events.iter().all(|(_, u)| *u > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn short_projects_rejected() {
+        let mut c = base_card();
+        c.duration = 12;
+        let _ = c.schedule();
+    }
+
+    #[test]
+    #[should_panic(expected = "birth_frac too high")]
+    fn high_fraction_with_later_top_rejected() {
+        let mut c = base_card();
+        c.birth_frac = 0.95;
+        let _ = c.schedule();
+    }
+
+    #[test]
+    #[should_panic(expected = "birth_frac >= 0.9")]
+    fn low_fraction_with_top_at_birth_rejected() {
+        let mut c = base_card();
+        c.top_month = c.birth_month;
+        c.birth_frac = 0.5;
+        let _ = c.schedule();
+    }
+}

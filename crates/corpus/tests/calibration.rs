@@ -1,0 +1,164 @@
+//! Corpus calibration: the emergent aggregates of the synthetic corpus must
+//! match the paper's published numbers (Table 1, Fig. 7, §3.4, §6.1).
+//!
+//! Exactly-engineered marginals are asserted exactly; the two documented
+//! deviations (birth-point ±2, active-%PUP split) get tolerance bounds.
+
+use schemachron_core::predict::BirthBucket;
+use schemachron_core::Pattern;
+use schemachron_corpus::Corpus;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+#[test]
+fn table1_marginals_match_paper() {
+    let c = Corpus::generate(42);
+    let mut vol = [0; 4];
+    let mut bp = [0i32; 4];
+    let mut tp = [0; 4];
+    let mut iv = [0; 5];
+    let mut tail = [0; 4];
+    let mut ag = [0; 4];
+    for p in c.projects() {
+        vol[p.labels.birth_volume.ordinal() as usize] += 1;
+        bp[p.labels.birth_point.ordinal() as usize] += 1;
+        tp[p.labels.topband_point.ordinal() as usize] += 1;
+        iv[p.labels.interval_birth_to_top.ordinal() as usize] += 1;
+        tail[p.labels.interval_top_to_end.ordinal() as usize] += 1;
+        ag[p.labels.active_growth.ordinal() as usize] += 1;
+    }
+    assert_eq!(vol, [16, 52, 44, 39], "birth volume (Table 1)");
+    assert_eq!(tp, [23, 41, 47, 40], "top-band point (Table 1)");
+    assert_eq!(iv, [62, 26, 27, 23, 13], "interval birth→top (Table 1)");
+    assert_eq!(tail, [40, 48, 40, 23], "interval top→end (Table 1)");
+    assert_eq!(ag, [98, 22, 22, 9], "active growth months (Table 1)");
+    // Birth point: paper [52, 53, 33, 13]; two middles vs earlies trade
+    // places in our construction (documented in EXPERIMENTS.md).
+    assert_eq!(bp[0], 52);
+    assert_eq!(bp[3], 13);
+    assert!((bp[1] - 53).abs() <= 2, "{bp:?}");
+    assert!((bp[2] - 33).abs() <= 2, "{bp:?}");
+}
+
+#[test]
+fn figure7_birth_buckets_match_paper() {
+    let c = Corpus::generate(42);
+    let mut buckets = [0usize; 4];
+    for p in c.projects() {
+        let b = match BirthBucket::of(p.metrics.birth_index) {
+            BirthBucket::M0 => 0,
+            BirthBucket::M1toM6 => 1,
+            BirthBucket::M7toM12 => 2,
+            BirthBucket::AfterM12 => 3,
+        };
+        buckets[b] += 1;
+    }
+    assert_eq!(buckets, [52, 38, 13, 48]);
+}
+
+#[test]
+fn section61_medians_match_paper() {
+    let c = Corpus::generate(42);
+    let med = |p: Pattern| {
+        median(
+            c.of_pattern(p)
+                .map(|x| x.metrics.activity_after_birth)
+                .collect(),
+        )
+    };
+    assert!(med(Pattern::Flatliner) < 3.0);
+    assert!(med(Pattern::Sigmoid) < 3.0);
+    assert!(med(Pattern::LateRiser) < 3.0);
+    assert_eq!(med(Pattern::RadicalSign), 13.0);
+    assert_eq!(med(Pattern::Siesta), 17.0);
+    assert_eq!(med(Pattern::QuantumSteps), 22.0);
+    assert_eq!(med(Pattern::SmokingFunnel), 189.0);
+    let rc = med(Pattern::RegularlyCurated);
+    assert!((rc - 250.0).abs() <= 10.0, "RC median {rc}");
+}
+
+#[test]
+fn section34_headline_stats_match_paper() {
+    let c = Corpus::generate(42);
+    // 58% of projects show a single vault.
+    let vaults = c
+        .projects()
+        .iter()
+        .filter(|p| p.metrics.has_single_vault)
+        .count();
+    assert_eq!(vaults, 88); // 88/151 = 58.3%
+                            // Two thirds have zero active growth months.
+    let zero_agm = c
+        .projects()
+        .iter()
+        .filter(|p| p.metrics.active_growth_months == 0)
+        .count();
+    assert_eq!(zero_agm, 98);
+    // About half are born within the first 10% of the project's life.
+    let early = c
+        .projects()
+        .iter()
+        .filter(|p| p.metrics.birth_pct_pup <= 0.10)
+        .count();
+    assert!((74..=84).contains(&early), "{early}");
+    // 42% reach the top band at V0 or before 25% of the PUP.
+    let quick_top = c
+        .projects()
+        .iter()
+        .filter(|p| p.metrics.topband_pct_pup <= 0.25)
+        .count();
+    assert_eq!(quick_top, 64); // 23 + 41
+}
+
+#[test]
+fn snapshot_and_migration_materializations_measure_identically() {
+    use schemachron_corpus::materialize::{materialize, materialize_snapshots};
+    use schemachron_history::ProjectHistoryBuilder;
+
+    // A representative card from each pattern (first of each block).
+    let cards = schemachron_corpus::cards::all_cards();
+    let picks = [0usize, 23, 64, 83, 97, 120, 134, 144];
+    for &i in &picks {
+        let card = &cards[i];
+        let mig = materialize(card, 42);
+        let snap = materialize_snapshots(card, 42);
+
+        let build = |commits: &[(schemachron_history::Date, String)], snapshot: bool| {
+            let mut b = ProjectHistoryBuilder::new(&card.name);
+            for (d, sql) in commits {
+                if snapshot {
+                    b.snapshot(*d, sql.clone());
+                } else {
+                    b.migration(*d, sql.clone());
+                }
+            }
+            for (d, l) in &mig.source_commits {
+                b.source_commit(*d, *l);
+            }
+            b.build()
+        };
+        let pm = build(&mig.ddl_commits, false);
+        let ps = build(&snap.ddl_commits, true);
+        assert_eq!(pm.schema_total(), ps.schema_total(), "{}", card.name);
+        assert_eq!(
+            pm.schema_heartbeat().values(),
+            ps.schema_heartbeat().values(),
+            "{}",
+            card.name
+        );
+        assert_eq!(
+            pm.schema_history().unwrap().last_schema(),
+            ps.schema_history().unwrap().last_schema(),
+            "{}",
+            card.name
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! The DDL abstract syntax tree.
+//!
+//! Only the statement forms that affect the *logical* schema level are
+//! modeled structurally; everything else is preserved as
+//! [`Statement::Other`] so the builder can count and report it.
+
+use schemachron_model::{DataType, Name};
+
+/// A parsed SQL statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Statement {
+    /// `CREATE TABLE ...`
+    CreateTable(CreateTable),
+    /// `DROP TABLE [IF EXISTS] a, b, ...`
+    DropTable {
+        /// Tables to drop.
+        names: Vec<Name>,
+        /// Whether `IF EXISTS` was present.
+        if_exists: bool,
+    },
+    /// `ALTER TABLE name action [, action ...]`
+    AlterTable {
+        /// The altered table.
+        name: Name,
+        /// The actions, in order.
+        actions: Vec<AlterAction>,
+    },
+    /// `CREATE [OR REPLACE] VIEW name AS select...`
+    CreateView {
+        /// The view name.
+        name: Name,
+        /// Whether `OR REPLACE` was present.
+        or_replace: bool,
+        /// The raw body after `AS`.
+        definition: String,
+    },
+    /// `DROP VIEW [IF EXISTS] a, b, ...`
+    DropView {
+        /// Views to drop.
+        names: Vec<Name>,
+    },
+    /// MySQL `RENAME TABLE a TO b [, c TO d ...]`
+    RenameTable {
+        /// `(old, new)` pairs.
+        renames: Vec<(Name, Name)>,
+    },
+    /// Any statement that does not touch the logical schema (e.g. `INSERT`,
+    /// `SET`, `CREATE INDEX`, `CREATE FUNCTION`). The leading keyword is kept
+    /// for diagnostics.
+    Other {
+        /// The statement's first keyword, uppercased.
+        keyword: String,
+    },
+}
+
+/// A parsed `CREATE TABLE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CreateTable {
+    /// The table name.
+    pub name: Name,
+    /// Whether `IF NOT EXISTS` was present.
+    pub if_not_exists: bool,
+    /// Column definitions, in order.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level constraints.
+    pub constraints: Vec<TableConstraint>,
+    /// `CREATE TABLE t LIKE other` / `(LIKE other)`: copy the structure of
+    /// another table (additional explicit columns, if any, are appended).
+    pub like: Option<Name>,
+}
+
+impl CreateTable {
+    /// An empty `CREATE TABLE` for the given name.
+    pub fn new(name: impl Into<Name>) -> Self {
+        CreateTable {
+            name: name.into(),
+            if_not_exists: false,
+            columns: Vec::new(),
+            constraints: Vec::new(),
+            like: None,
+        }
+    }
+}
+
+/// A column definition (in `CREATE TABLE` or `ALTER TABLE ADD/MODIFY`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// The column name.
+    pub name: Name,
+    /// The declared type.
+    pub data_type: DataType,
+    /// `NOT NULL` present.
+    pub not_null: bool,
+    /// Raw default expression, if any.
+    pub default: Option<String>,
+    /// Inline `PRIMARY KEY`.
+    pub primary_key: bool,
+    /// Inline `UNIQUE`.
+    pub unique: bool,
+    /// `AUTO_INCREMENT` / `AUTOINCREMENT` / serial types.
+    pub auto_increment: bool,
+    /// Inline `REFERENCES table (cols)`.
+    pub references: Option<(Name, Vec<Name>)>,
+}
+
+impl ColumnDef {
+    /// A minimal column definition.
+    pub fn new(name: impl Into<Name>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            not_null: false,
+            default: None,
+            primary_key: false,
+            unique: false,
+            auto_increment: false,
+            references: None,
+        }
+    }
+}
+
+/// A table-level constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableConstraint {
+    /// `PRIMARY KEY (cols)`
+    PrimaryKey(Vec<Name>),
+    /// `UNIQUE (cols)`
+    Unique(Vec<Name>),
+    /// `FOREIGN KEY (cols) REFERENCES t (cols)`
+    ForeignKey {
+        /// Optional constraint name.
+        name: Option<Name>,
+        /// Referencing columns.
+        columns: Vec<Name>,
+        /// Referenced table.
+        ref_table: Name,
+        /// Referenced columns (empty = referenced table's PK).
+        ref_columns: Vec<Name>,
+    },
+    /// `CHECK (expr)` — expression kept as raw text.
+    Check(String),
+}
+
+/// One action inside an `ALTER TABLE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlterAction {
+    /// `ADD [COLUMN] def [FIRST | AFTER col]`
+    AddColumn {
+        /// The new column.
+        def: ColumnDef,
+        /// Position hint: `None` = append, `Some(None)` = first,
+        /// `Some(Some(c))` = after column `c`.
+        position: Option<Option<Name>>,
+    },
+    /// `DROP [COLUMN] name`
+    DropColumn(Name),
+    /// `MODIFY [COLUMN] def` (MySQL) — full redefinition, same name.
+    ModifyColumn(ColumnDef),
+    /// `CHANGE [COLUMN] old def` (MySQL) — redefinition with rename.
+    ChangeColumn {
+        /// The column's previous name.
+        old: Name,
+        /// The full new definition (carries the new name).
+        def: ColumnDef,
+    },
+    /// `ALTER COLUMN c TYPE t` (PostgreSQL) / `ALTER COLUMN c SET DATA TYPE t`
+    AlterColumnType {
+        /// The column.
+        name: Name,
+        /// The new type.
+        data_type: DataType,
+    },
+    /// `ALTER COLUMN c SET DEFAULT expr` / `DROP DEFAULT`
+    AlterColumnDefault {
+        /// The column.
+        name: Name,
+        /// New default (None = drop).
+        default: Option<String>,
+    },
+    /// `ALTER COLUMN c SET NOT NULL` / `DROP NOT NULL`
+    AlterColumnNull {
+        /// The column.
+        name: Name,
+        /// Whether the column is NOT NULL after the action.
+        not_null: bool,
+    },
+    /// `ADD [CONSTRAINT name] <table constraint>`
+    AddConstraint(TableConstraint),
+    /// `DROP PRIMARY KEY` (MySQL)
+    DropPrimaryKey,
+    /// `DROP FOREIGN KEY name` (MySQL)
+    DropForeignKey(Name),
+    /// `DROP CONSTRAINT name` (standard)
+    DropConstraint(Name),
+    /// `RENAME TO t` / `RENAME AS t`
+    RenameTable(Name),
+    /// `RENAME [COLUMN] a TO b`
+    RenameColumn {
+        /// Previous name.
+        old: Name,
+        /// New name.
+        new: Name,
+    },
+    /// An unrecognized action, skipped tolerantly (kept for diagnostics).
+    Other(String),
+}

@@ -1,0 +1,496 @@
+//! Applying parsed statements to a logical schema.
+//!
+//! Two ingestion modes are supported:
+//!
+//! * **snapshot** — each file is a full dump; [`parse_schema`] builds a fresh
+//!   schema from it (the common case for `schema.sql`-style histories);
+//! * **migration** — statements are applied on top of a running schema via
+//!   [`SchemaBuilder`] (for `ALTER`-based histories).
+
+use schemachron_model::{Attribute, ForeignKey, Name, Schema, Table, View};
+
+use crate::ast::{AlterAction, ColumnDef, CreateTable, Statement, TableConstraint};
+use crate::diagnostics::Diagnostic;
+use crate::parser::parse_statements;
+
+/// Parses a script as a **full schema snapshot**: a fresh schema is built
+/// from every statement in the script.
+///
+/// Returns the schema plus all parser/builder diagnostics. This function
+/// never fails; the worst case is an empty schema and a pile of diagnostics.
+pub fn parse_schema(sql: &str) -> (Schema, Vec<Diagnostic>) {
+    let mut b = SchemaBuilder::new();
+    b.apply_script(sql);
+    b.finish()
+}
+
+/// Incrementally builds a schema by applying DDL scripts (migration mode).
+///
+/// ```
+/// use schemachron_ddl::SchemaBuilder;
+///
+/// let mut b = SchemaBuilder::new();
+/// b.apply_script("CREATE TABLE t (a INT);");
+/// b.apply_script("ALTER TABLE t ADD COLUMN b TEXT;");
+/// let (schema, _diags) = b.finish();
+/// assert_eq!(schema.table("t").unwrap().attribute_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    schema: Schema,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl SchemaBuilder {
+    /// Creates a builder over an empty schema.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Creates a builder seeded with an existing schema.
+    pub fn with_schema(schema: Schema) -> Self {
+        SchemaBuilder {
+            schema,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// A read-only view of the schema built so far.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Diagnostics accumulated so far.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Parses and applies a whole script.
+    pub fn apply_script(&mut self, sql: &str) {
+        let (stmts, mut diags) = parse_statements(sql);
+        self.diagnostics.append(&mut diags);
+        for s in &stmts {
+            self.apply_statement(s);
+        }
+    }
+
+    /// Applies one parsed statement.
+    pub fn apply_statement(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::CreateTable(ct) => self.apply_create_table(ct),
+            Statement::DropTable { names, .. } => {
+                for n in names {
+                    // Tolerant: dropping a missing table is a no-op either way.
+                    let _ = self.schema.remove_table(n.as_str());
+                }
+            }
+            Statement::AlterTable { name, actions } => self.apply_alter(name, actions),
+            Statement::CreateView {
+                name, definition, ..
+            } => {
+                self.schema.insert_view(View {
+                    name: name.clone(),
+                    definition: definition.clone(),
+                });
+            }
+            Statement::DropView { names } => {
+                for n in names {
+                    let _ = self.schema.remove_view(n.as_str());
+                }
+            }
+            Statement::RenameTable { renames } => {
+                for (old, new) in renames {
+                    let _ = self.schema.rename_table(old.as_str(), new.clone());
+                }
+            }
+            Statement::Other { .. } => {}
+        }
+    }
+
+    /// Consumes the builder, returning the schema and all diagnostics.
+    pub fn finish(self) -> (Schema, Vec<Diagnostic>) {
+        (self.schema, self.diagnostics)
+    }
+
+    fn apply_create_table(&mut self, ct: &CreateTable) {
+        if ct.if_not_exists && self.schema.table(ct.name.as_str()).is_some() {
+            return;
+        }
+        let mut t = Table::new(ct.name.clone());
+        // Structure copy (`LIKE other`): start from the source's attributes
+        // and primary key. FKs are not copied (neither MySQL nor PostgreSQL
+        // copies them by default).
+        if let Some(source) = &ct.like {
+            if let Some(src) = self.schema.table(source.as_str()) {
+                for a in src.attributes() {
+                    t.push_attribute(a.clone());
+                }
+                t.primary_key = src.primary_key.clone();
+                t.uniques = src.uniques.clone();
+            }
+        }
+        for col in &ct.columns {
+            install_column(&mut t, col);
+        }
+        for k in &ct.constraints {
+            install_constraint(&mut t, k);
+        }
+        self.schema.insert_table(t);
+    }
+
+    fn apply_alter(&mut self, name: &Name, actions: &[AlterAction]) {
+        // Handle renames first-class: RenameTable switches the target.
+        let mut current = name.clone();
+        for a in actions {
+            if self.schema.table(current.as_str()).is_none() {
+                // Altering a missing table: tolerated no-op (common in
+                // partially-applied migration histories).
+                if let AlterAction::RenameTable(n) = a {
+                    current = n.clone();
+                }
+                continue;
+            }
+            match a {
+                AlterAction::AddColumn { def, position } => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    let attr_pos = match position {
+                        None => t.attribute_count(),
+                        Some(None) => 0,
+                        Some(Some(after)) => t
+                            .attributes()
+                            .iter()
+                            .position(|x| x.name == *after)
+                            .map_or(t.attribute_count(), |i| i + 1),
+                    };
+                    let (attr, pk, unique, refs) = column_parts(def);
+                    t.insert_attribute(attr_pos, attr);
+                    if pk {
+                        t.primary_key = vec![def.name.clone()];
+                    }
+                    if unique {
+                        t.uniques.push(vec![def.name.clone()]);
+                    }
+                    if let Some((rt, rc)) = refs {
+                        t.foreign_keys.push(ForeignKey {
+                            name: None,
+                            columns: vec![def.name.clone()],
+                            ref_table: rt,
+                            ref_columns: rc,
+                        });
+                    }
+                }
+                AlterAction::DropColumn(c) => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    let _ = t.remove_attribute(c.as_str());
+                }
+                AlterAction::ModifyColumn(def) => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    if let Some(a) = t.attribute_mut(def.name.as_str()) {
+                        a.data_type = def.data_type.clone();
+                        a.not_null = def.not_null;
+                        a.default = def.default.clone();
+                        a.auto_increment = def.auto_increment;
+                    } else {
+                        let (attr, ..) = column_parts(def);
+                        t.push_attribute(attr);
+                    }
+                }
+                AlterAction::ChangeColumn { old, def } => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    if t.rename_attribute(old.as_str(), def.name.clone()) {
+                        if let Some(a) = t.attribute_mut(def.name.as_str()) {
+                            a.data_type = def.data_type.clone();
+                            a.not_null = def.not_null;
+                            a.default = def.default.clone();
+                            a.auto_increment = def.auto_increment;
+                        }
+                    } else {
+                        let (attr, ..) = column_parts(def);
+                        t.push_attribute(attr);
+                    }
+                }
+                AlterAction::AlterColumnType { name: c, data_type } => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    if let Some(a) = t.attribute_mut(c.as_str()) {
+                        a.data_type = data_type.clone();
+                    }
+                }
+                AlterAction::AlterColumnDefault { name: c, default } => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    if let Some(a) = t.attribute_mut(c.as_str()) {
+                        a.default = default.clone();
+                    }
+                }
+                AlterAction::AlterColumnNull { name: c, not_null } => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    if let Some(a) = t.attribute_mut(c.as_str()) {
+                        a.not_null = *not_null;
+                    }
+                }
+                AlterAction::AddConstraint(k) => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    install_constraint(t, k);
+                }
+                AlterAction::DropPrimaryKey => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    t.primary_key.clear();
+                }
+                AlterAction::DropForeignKey(n) | AlterAction::DropConstraint(n) => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    t.foreign_keys.retain(|fk| fk.name.as_ref() != Some(n));
+                }
+                AlterAction::RenameTable(n) => {
+                    let _ = self.schema.rename_table(current.as_str(), n.clone());
+                    current = n.clone();
+                }
+                AlterAction::RenameColumn { old, new } => {
+                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                    let _ = t.rename_attribute(old.as_str(), new.clone());
+                }
+                AlterAction::Other(_) => {}
+            }
+        }
+    }
+}
+
+/// Splits a parsed column definition into the model attribute plus the
+/// inline key information.
+#[allow(clippy::type_complexity)]
+fn column_parts(def: &ColumnDef) -> (Attribute, bool, bool, Option<(Name, Vec<Name>)>) {
+    let mut a = Attribute::new(def.name.clone(), def.data_type.clone());
+    a.not_null = def.not_null;
+    a.default = def.default.clone();
+    a.auto_increment = def.auto_increment;
+    (a, def.primary_key, def.unique, def.references.clone())
+}
+
+fn install_column(t: &mut Table, def: &ColumnDef) {
+    let (attr, pk, unique, refs) = column_parts(def);
+    let name = attr.name.clone();
+    t.push_attribute(attr);
+    if pk {
+        t.primary_key = vec![name.clone()];
+    }
+    if unique {
+        t.uniques.push(vec![name.clone()]);
+    }
+    if let Some((rt, rc)) = refs {
+        t.foreign_keys.push(ForeignKey {
+            name: None,
+            columns: vec![name],
+            ref_table: rt,
+            ref_columns: rc,
+        });
+    }
+}
+
+fn install_constraint(t: &mut Table, k: &TableConstraint) {
+    match k {
+        TableConstraint::PrimaryKey(cols) => t.primary_key = cols.clone(),
+        TableConstraint::Unique(cols) => t.uniques.push(cols.clone()),
+        TableConstraint::ForeignKey {
+            name,
+            columns,
+            ref_table,
+            ref_columns,
+        } => t.foreign_keys.push(ForeignKey {
+            name: name.clone(),
+            columns: columns.clone(),
+            ref_table: ref_table.clone(),
+            ref_columns: ref_columns.clone(),
+        }),
+        TableConstraint::Check(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_model::DataType;
+
+    #[test]
+    fn snapshot_mode_builds_full_schema() {
+        let (s, d) = parse_schema(
+            "CREATE TABLE a (x INT PRIMARY KEY);
+             CREATE TABLE b (y INT REFERENCES a (x));
+             CREATE VIEW v AS SELECT x FROM a;",
+        );
+        assert_eq!(s.table_count(), 2);
+        assert_eq!(s.views().count(), 1);
+        assert_eq!(s.table("a").unwrap().primary_key, vec![Name::from("x")]);
+        assert_eq!(s.table("b").unwrap().foreign_keys.len(), 1);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn migration_mode_add_modify_drop() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (a INT, b INT);");
+        b.apply_script("ALTER TABLE t ADD COLUMN c TEXT FIRST;");
+        b.apply_script("ALTER TABLE t MODIFY COLUMN a BIGINT;");
+        b.apply_script("ALTER TABLE t DROP COLUMN b;");
+        let (s, _d) = b.finish();
+        let t = s.table("t").unwrap();
+        assert_eq!(t.attribute_count(), 2);
+        assert_eq!(t.attributes()[0].name, Name::from("c"));
+        assert_eq!(
+            t.attribute("a").unwrap().data_type,
+            DataType::named("bigint")
+        );
+    }
+
+    #[test]
+    fn add_column_after_position() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (a INT, c INT);");
+        b.apply_script("ALTER TABLE t ADD COLUMN b INT AFTER a;");
+        let (s, _) = b.finish();
+        let names: Vec<String> = s
+            .table("t")
+            .unwrap()
+            .attributes()
+            .iter()
+            .map(|a| a.name.to_string())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn change_column_renames_and_retypes() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (old INT);");
+        b.apply_script("ALTER TABLE t CHANGE old fresh VARCHAR(10) NOT NULL;");
+        let (s, _) = b.finish();
+        let t = s.table("t").unwrap();
+        assert!(t.attribute("old").is_none());
+        let f = t.attribute("fresh").unwrap();
+        assert_eq!(f.data_type, DataType::with_params("varchar", vec![10]));
+        assert!(f.not_null);
+    }
+
+    #[test]
+    fn rename_table_midway_through_actions() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (a INT);");
+        b.apply_script("ALTER TABLE t RENAME TO t2, ADD COLUMN b INT;");
+        let (s, _) = b.finish();
+        assert!(s.table("t").is_none());
+        assert_eq!(s.table("t2").unwrap().attribute_count(), 2);
+    }
+
+    #[test]
+    fn drop_and_readd_primary_key() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));");
+        b.apply_script("ALTER TABLE t DROP PRIMARY KEY, ADD PRIMARY KEY (a, b);");
+        let (s, _) = b.finish();
+        assert_eq!(
+            s.table("t").unwrap().primary_key,
+            vec![Name::from("a"), Name::from("b")]
+        );
+    }
+
+    #[test]
+    fn drop_foreign_key_by_name() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script(
+            "CREATE TABLE t (x INT, CONSTRAINT fk_x FOREIGN KEY (x) REFERENCES p (id));",
+        );
+        b.apply_script("ALTER TABLE t DROP FOREIGN KEY fk_x;");
+        let (s, _) = b.finish();
+        assert!(s.table("t").unwrap().foreign_keys.is_empty());
+    }
+
+    #[test]
+    fn alter_missing_table_is_tolerated() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("ALTER TABLE ghost ADD COLUMN x INT;");
+        let (s, d) = b.finish();
+        assert!(s.is_empty());
+        assert!(d.iter().all(|x| !x.is_error()));
+    }
+
+    #[test]
+    fn create_if_not_exists_does_not_clobber() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (a INT, b INT);");
+        b.apply_script("CREATE TABLE IF NOT EXISTS t (z INT);");
+        let (s, _) = b.finish();
+        assert_eq!(s.table("t").unwrap().attribute_count(), 2);
+    }
+
+    #[test]
+    fn create_without_if_not_exists_replaces() {
+        // Tolerant semantics: later full definition wins (snapshot dumps
+        // sometimes repeat tables after a DROP that the miner did not see).
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (a INT, b INT);");
+        b.apply_script("CREATE TABLE t (z INT);");
+        let (s, _) = b.finish();
+        assert_eq!(s.table("t").unwrap().attribute_count(), 1);
+    }
+
+    #[test]
+    fn rename_table_statement_applies() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE a (x INT); RENAME TABLE a TO b;");
+        let (s, _) = b.finish();
+        assert!(s.table("b").is_some());
+    }
+
+    #[test]
+    fn drop_view() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE VIEW v AS SELECT 1; DROP VIEW v;");
+        let (s, _) = b.finish();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn create_table_like_copies_structure() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script(
+            "CREATE TABLE base (id INT NOT NULL, name VARCHAR(32), PRIMARY KEY (id));
+             CREATE TABLE mysql_copy LIKE base;
+             CREATE TABLE pg_copy (LIKE base INCLUDING ALL);
+             CREATE TABLE extended (LIKE base, extra TEXT);",
+        );
+        let (s, d) = b.finish();
+        assert!(d.iter().all(|x| !x.is_error()), "{d:?}");
+        let base = s.table("base").unwrap().clone();
+        let copy = s.table("mysql_copy").unwrap();
+        assert_eq!(copy.attribute_count(), 2);
+        assert_eq!(copy.primary_key, base.primary_key);
+        assert_eq!(s.table("pg_copy").unwrap().attribute_count(), 2);
+        let ext = s.table("extended").unwrap();
+        assert_eq!(ext.attribute_count(), 3);
+        assert!(ext.attribute("extra").is_some());
+    }
+
+    #[test]
+    fn like_missing_source_degrades_to_empty_table() {
+        let (s, _) = parse_schema("CREATE TABLE t LIKE ghost;");
+        assert_eq!(s.table("t").unwrap().attribute_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_render_then_parse() {
+        let (s1, _) = parse_schema(
+            "CREATE TABLE users (
+                id INT NOT NULL,
+                name VARCHAR(64) DEFAULT 'x',
+                PRIMARY KEY (id)
+            );
+            CREATE TABLE posts (
+                id INT NOT NULL,
+                author INT,
+                PRIMARY KEY (id),
+                CONSTRAINT fk_author FOREIGN KEY (author) REFERENCES users (id)
+            );",
+        );
+        let sql = schemachron_model::render_schema_sql(&s1);
+        let (s2, d) = parse_schema(&sql);
+        assert!(d.iter().all(|x| !x.is_error()), "{d:?}");
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Parse diagnostics: the tolerant parser never fails, it reports.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A statement irrelevant to the logical schema was skipped
+    /// (e.g. `INSERT`, `SET`, `CREATE INDEX`). Entirely expected in dumps.
+    Skipped,
+    /// A statement looked like DDL but could not be fully understood; it was
+    /// skipped after recovery. The surrounding statements still parsed.
+    Error,
+}
+
+/// One diagnostic produced while parsing a script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity of the event.
+    pub severity: Severity,
+    /// 1-based line where the offending statement started.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a [`Severity::Skipped`] diagnostic.
+    pub fn skipped(line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Skipped,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a [`Severity::Error`] diagnostic.
+    pub fn error(line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Whether this diagnostic marks a recovered parse error (as opposed to
+    /// an intentionally skipped, non-DDL statement).
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Skipped => "skipped",
+            Severity::Error => "error",
+        };
+        write!(f, "line {}: {}: {}", self.line, tag, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_severity() {
+        let d = Diagnostic::error(12, "unexpected token");
+        assert_eq!(d.to_string(), "line 12: error: unexpected token");
+        assert!(d.is_error());
+        let s = Diagnostic::skipped(3, "INSERT statement");
+        assert!(!s.is_error());
+        assert!(s.to_string().contains("skipped"));
+    }
+
+    #[test]
+    fn severity_orders_errors_above_skips() {
+        assert!(Severity::Error > Severity::Skipped);
+    }
+}

@@ -1,0 +1,442 @@
+//! The SQL lexer: text → tokens, dialect-tolerant.
+//!
+//! The lexer is deliberately permissive: it never fails. Bytes it cannot
+//! classify become single-character [`TokenKind::Symbol`] tokens, and the
+//! parser decides what to do with them.
+
+/// The kind of a lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A bare (unquoted) word: keyword or identifier. Keywords are
+    /// recognized case-insensitively by the parser, not the lexer.
+    Word(String),
+    /// A quoted identifier (`"x"`, `` `x` `` or `[x]`), quotes removed and
+    /// escapes resolved.
+    QuotedIdent(String),
+    /// A string literal (`'...'` or `$tag$...$tag$`), quotes removed.
+    StringLit(String),
+    /// A numeric literal, verbatim (`42`, `3.14`, `1e-9`, `0xFF`).
+    Number(String),
+    /// A punctuation or operator character/cluster: `(`, `)`, `,`, `;`,
+    /// `.`, `=`, `::`, ...
+    Symbol(String),
+}
+
+impl TokenKind {
+    /// The token's text for display/capture purposes.
+    pub fn text(&self) -> &str {
+        match self {
+            TokenKind::Word(s)
+            | TokenKind::QuotedIdent(s)
+            | TokenKind::StringLit(s)
+            | TokenKind::Number(s)
+            | TokenKind::Symbol(s) => s,
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based source line where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the bare word `kw` (case-insensitive).
+    pub fn is_word(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// True when the token is the symbol `sym`.
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(&self.kind, TokenKind::Symbol(s) if s == sym)
+    }
+}
+
+/// Lexes a whole script. Never fails; comments are dropped.
+///
+/// ```
+/// use schemachron_ddl::lexer::{lex, TokenKind};
+/// let toks = lex("CREATE TABLE `t` (x INT); -- done");
+/// assert!(matches!(&toks[0].kind, TokenKind::Word(w) if w == "CREATE"));
+/// assert!(matches!(&toks[2].kind, TokenKind::QuotedIdent(q) if q == "t"));
+/// ```
+pub fn lex(input: &str) -> Vec<Token> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            src: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek() {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'-' if self.peek2() == Some(b'-') => self.skip_line_comment(),
+                b'#' => self.skip_line_comment(),
+                b'/' if self.peek2() == Some(b'*') => self.skip_block_comment(),
+                b'\'' => {
+                    let s = self.lex_quoted(b'\'', true);
+                    self.push(TokenKind::StringLit(s), line);
+                }
+                b'"' => {
+                    let s = self.lex_quoted(b'"', false);
+                    self.push(TokenKind::QuotedIdent(s), line);
+                }
+                b'`' => {
+                    let s = self.lex_quoted(b'`', false);
+                    self.push(TokenKind::QuotedIdent(s), line);
+                }
+                b'[' => {
+                    let s = self.lex_bracket_ident();
+                    self.push(s, line);
+                }
+                b'$' => {
+                    let t = self.lex_dollar();
+                    self.push(t, line);
+                }
+                b'0'..=b'9' => {
+                    let s = self.lex_number();
+                    self.push(TokenKind::Number(s), line);
+                }
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    let s = self.lex_number();
+                    self.push(TokenKind::Number(s), line);
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                    let s = self.lex_word();
+                    self.push(TokenKind::Word(s), line);
+                }
+                b':' if self.peek2() == Some(b':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Symbol("::".into()), line);
+                }
+                _ => {
+                    let c = self.bump().expect("peeked byte present");
+                    self.push(TokenKind::Symbol((c as char).to_string()), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        while let Some(b) = self.bump() {
+            if b == b'*' && self.peek() == Some(b'/') {
+                self.bump();
+                return;
+            }
+        }
+        // Unterminated comment: consume to EOF, tolerated.
+    }
+
+    /// Lexes a quoted region. `quote` doubling always escapes; backslash
+    /// escapes apply only inside string literals (`allow_backslash`).
+    fn lex_quoted(&mut self, quote: u8, allow_backslash: bool) -> String {
+        self.bump(); // opening quote
+        let mut s = Vec::new();
+        while let Some(b) = self.bump() {
+            if b == quote {
+                if self.peek() == Some(quote) {
+                    self.bump();
+                    s.push(quote);
+                    continue;
+                }
+                break;
+            }
+            if b == b'\\' && allow_backslash {
+                if let Some(esc) = self.bump() {
+                    s.push(match esc {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'r' => b'\r',
+                        b'0' => 0,
+                        other => other,
+                    });
+                }
+                continue;
+            }
+            s.push(b);
+        }
+        String::from_utf8_lossy(&s).into_owned()
+    }
+
+    /// `[ident]` — SQL Server style. A lone `[` with no closing `]` before
+    /// the end of line degrades to a symbol.
+    fn lex_bracket_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        let start_line = self.line;
+        self.bump(); // '['
+        let mut s = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b']' {
+                if s.is_empty() {
+                    // `[]` is an array-type suffix, not an identifier.
+                    break;
+                }
+                self.bump();
+                return TokenKind::QuotedIdent(String::from_utf8_lossy(&s).into_owned());
+            }
+            if b == b'\n' {
+                break;
+            }
+            s.push(b);
+            self.bump();
+        }
+        // Not a bracketed identifier after all; restore and emit `[`.
+        self.pos = start + 1;
+        self.line = start_line;
+        TokenKind::Symbol("[".into())
+    }
+
+    /// PostgreSQL dollar quoting: `$$...$$` or `$tag$...$tag$`. A `$` that
+    /// does not open a dollar quote is a symbol.
+    fn lex_dollar(&mut self) -> TokenKind {
+        let start = self.pos;
+        let start_line = self.line;
+        self.bump(); // '$'
+        let mut tag = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'$' {
+                self.bump();
+                // We have an opening delimiter `$tag$`; scan for the closer.
+                let closer = format!("${}$", String::from_utf8_lossy(&tag));
+                let rest = &self.src[self.pos..];
+                if let Some(idx) = find_subslice(rest, closer.as_bytes()) {
+                    let body = String::from_utf8_lossy(&rest[..idx]).into_owned();
+                    for _ in 0..idx + closer.len() {
+                        self.bump();
+                    }
+                    return TokenKind::StringLit(body);
+                }
+                break; // unterminated: degrade to symbol
+            }
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                tag.push(b);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.pos = start + 1;
+        self.line = start_line;
+        TokenKind::Symbol("$".into())
+    }
+
+    fn lex_number(&mut self) -> String {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            while self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
+                self.bump();
+            }
+        } else {
+            while self.peek().is_some_and(|b| b.is_ascii_digit() || b == b'.') {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                let mark = self.pos;
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                        self.bump();
+                    }
+                } else {
+                    self.pos = mark; // 'e' belonged to a following word
+                }
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn lex_word(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80)
+        {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_symbols() {
+        let k = kinds("CREATE TABLE t (x INT DEFAULT 3.5);");
+        assert_eq!(k[0], TokenKind::Word("CREATE".into()));
+        assert_eq!(k[3], TokenKind::Symbol("(".into()));
+        assert_eq!(k[7], TokenKind::Number("3.5".into()));
+        assert_eq!(*k.last().unwrap(), TokenKind::Symbol(";".into()));
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        assert!(kinds("-- line\n# hash\n/* block\nmultiline */").is_empty());
+        let k = kinds("a /* mid */ b");
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\n\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn quoted_identifiers_all_styles() {
+        let k = kinds("`tick` \"dquote\" [bracket]");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::QuotedIdent("tick".into()),
+                TokenKind::QuotedIdent("dquote".into()),
+                TokenKind::QuotedIdent("bracket".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_doubling_escapes() {
+        let k = kinds("'it''s' \"a\"\"b\"");
+        assert_eq!(k[0], TokenKind::StringLit("it's".into()));
+        assert_eq!(k[1], TokenKind::QuotedIdent("a\"b".into()));
+    }
+
+    #[test]
+    fn backslash_escapes_in_strings_only() {
+        let k = kinds(r"'a\nb'");
+        assert_eq!(k[0], TokenKind::StringLit("a\nb".into()));
+    }
+
+    #[test]
+    fn dollar_quoted_strings() {
+        let k = kinds("$$plain$$ $fn$body; with ; semis$fn$");
+        assert_eq!(k[0], TokenKind::StringLit("plain".into()));
+        assert_eq!(k[1], TokenKind::StringLit("body; with ; semis".into()));
+    }
+
+    #[test]
+    fn lone_dollar_is_symbol() {
+        let k = kinds("$ 5");
+        assert_eq!(k[0], TokenKind::Symbol("$".into()));
+    }
+
+    #[test]
+    fn unterminated_bracket_degrades_to_symbol() {
+        let k = kinds("[ x");
+        assert_eq!(k[0], TokenKind::Symbol("[".into()));
+        assert_eq!(k[1], TokenKind::Word("x".into()));
+    }
+
+    #[test]
+    fn hex_and_scientific_numbers() {
+        let k = kinds("0xFF 1e-9 2E5 7e zz");
+        assert_eq!(k[0], TokenKind::Number("0xFF".into()));
+        assert_eq!(k[1], TokenKind::Number("1e-9".into()));
+        assert_eq!(k[2], TokenKind::Number("2E5".into()));
+        // `7e` followed by nothing numeric: the `e` is left for the next token.
+        assert_eq!(k[3], TokenKind::Number("7".into()));
+        assert_eq!(k[4], TokenKind::Word("e".into()));
+    }
+
+    #[test]
+    fn double_colon_is_one_symbol() {
+        let k = kinds("x::text");
+        assert_eq!(k[1], TokenKind::Symbol("::".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_tolerated() {
+        let k = kinds("'never closed");
+        assert_eq!(k[0], TokenKind::StringLit("never closed".into()));
+    }
+
+    #[test]
+    fn utf8_identifiers_survive() {
+        let k = kinds("naïve_column");
+        assert_eq!(k[0], TokenKind::Word("naïve_column".into()));
+    }
+
+    #[test]
+    fn helper_predicates() {
+        let toks = lex("Create ;");
+        assert!(toks[0].is_word("CREATE"));
+        assert!(toks[0].is_word("create"));
+        assert!(!toks[0].is_word("table"));
+        assert!(toks[1].is_symbol(";"));
+    }
+}

@@ -1,0 +1,1460 @@
+//! The tolerant DDL statement parser.
+//!
+//! The parser understands the DDL statement forms that affect the logical
+//! schema level (see [`crate::ast`]), across the MySQL, PostgreSQL and
+//! SQLite dialects found in FOSS schema histories. It **never fails on a
+//! whole script**: statements it cannot understand are skipped with a
+//! [`Diagnostic`], recovery resuming at the next top-level `;`.
+
+use schemachron_model::{DataType, Name};
+
+use crate::ast::{AlterAction, ColumnDef, CreateTable, Statement, TableConstraint};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a script into statements plus diagnostics.
+///
+/// ```
+/// use schemachron_ddl::parse_statements;
+/// use schemachron_ddl::ast::Statement;
+///
+/// let (stmts, diags) = parse_statements("DROP TABLE IF EXISTS old_stuff;");
+/// assert!(matches!(&stmts[0], Statement::DropTable { if_exists: true, .. }));
+/// assert!(diags.is_empty());
+/// ```
+pub fn parse_statements(sql: &str) -> (Vec<Statement>, Vec<Diagnostic>) {
+    Parser::new(lex(sql)).run()
+}
+
+type PResult<T> = Result<T, String>;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl Parser {
+    fn new(toks: Vec<Token>) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            diags: Vec::new(),
+        }
+    }
+
+    // ---- token cursor -------------------------------------------------
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Token> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> u32 {
+        self.peek()
+            .or_else(|| self.toks.last())
+            .map_or(1, |t| t.line)
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_symbol(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_word(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_word(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_word(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_word(kw))
+    }
+
+    fn peek_word_at(&self, n: usize, kw: &str) -> bool {
+        self.peek_at(n).is_some_and(|t| t.is_word(kw))
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> PResult<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{sym}`, found {}",
+                self.describe_current()
+            ))
+        }
+    }
+
+    fn expect_word(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_word(kw) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{kw}`, found {}",
+                self.describe_current()
+            ))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            None => "end of input".into(),
+            Some(t) => format!("`{}`", t.kind.text()),
+        }
+    }
+
+    /// Parses a (possibly schema-qualified) identifier, returning the last
+    /// segment: `mydb.users` → `users`.
+    fn ident(&mut self) -> PResult<Name> {
+        let mut name = self.ident_segment()?;
+        while self.peek().is_some_and(|t| t.is_symbol(".")) {
+            self.pos += 1;
+            name = self.ident_segment()?;
+        }
+        Ok(name)
+    }
+
+    fn ident_segment(&mut self) -> PResult<Name> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Word(w)) => {
+                self.pos += 1;
+                Ok(Name::from(w))
+            }
+            Some(TokenKind::QuotedIdent(q)) => {
+                self.pos += 1;
+                Ok(Name::from(q))
+            }
+            _ => Err(format!(
+                "expected identifier, found {}",
+                self.describe_current()
+            )),
+        }
+    }
+
+    /// Skips tokens until just after the next top-level `;` (or EOF).
+    fn skip_to_semicolon(&mut self) {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            if t.is_symbol("(") {
+                depth += 1;
+            } else if t.is_symbol(")") {
+                depth -= 1;
+            } else if t.is_symbol(";") && depth <= 0 {
+                self.pos += 1;
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skips until a top-level `,`, `)` or `;` without consuming it.
+    fn skip_to_element_boundary(&mut self) {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            if t.is_symbol("(") {
+                depth += 1;
+            } else if t.is_symbol(")") {
+                if depth == 0 {
+                    return;
+                }
+                depth -= 1;
+            } else if (t.is_symbol(",") || t.is_symbol(";")) && depth == 0 {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skips a balanced parenthesized group, assuming the cursor is at `(`.
+    fn skip_balanced_parens(&mut self) {
+        if !self.eat_symbol("(") {
+            return;
+        }
+        let mut depth = 1;
+        while let Some(t) = self.bump() {
+            if t.is_symbol("(") {
+                depth += 1;
+            } else if t.is_symbol(")") {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---- top level -----------------------------------------------------
+
+    fn run(mut self) -> (Vec<Statement>, Vec<Diagnostic>) {
+        let mut stmts = Vec::new();
+        while !self.at_end() {
+            if self.eat_symbol(";") {
+                continue;
+            }
+            let line = self.line();
+            let start = self.pos;
+            match self.statement() {
+                Ok(stmt) => {
+                    if let Statement::Other { keyword } = &stmt {
+                        self.diags
+                            .push(Diagnostic::skipped(line, format!("{keyword} statement")));
+                    }
+                    stmts.push(stmt);
+                    self.skip_to_semicolon();
+                }
+                Err(msg) => {
+                    self.diags.push(Diagnostic::error(line, msg));
+                    self.pos = start.max(self.pos);
+                    if self.pos == start {
+                        self.pos += 1; // guarantee progress
+                    }
+                    self.skip_to_semicolon();
+                }
+            }
+        }
+        (stmts, self.diags)
+    }
+
+    fn statement(&mut self) -> PResult<Statement> {
+        let first = match self.peek() {
+            None => return Err("empty statement".into()),
+            Some(t) => match &t.kind {
+                TokenKind::Word(w) => w.to_ascii_uppercase(),
+                other => {
+                    return Ok(Statement::Other {
+                        keyword: format!("`{}`", other.text()),
+                    })
+                }
+            },
+        };
+        match first.as_str() {
+            "CREATE" => self.create_statement(),
+            "DROP" => self.drop_statement(),
+            "ALTER" => self.alter_statement(),
+            "RENAME" => self.rename_statement(),
+            other => Ok(Statement::Other {
+                keyword: other.to_owned(),
+            }),
+        }
+    }
+
+    fn create_statement(&mut self) -> PResult<Statement> {
+        self.expect_word("CREATE")?;
+        let mut or_replace = false;
+        if self.peek_word("OR") && self.peek_word_at(1, "REPLACE") {
+            self.pos += 2;
+            or_replace = true;
+        }
+        // MySQL view clutter: ALGORITHM=..., DEFINER=..., SQL SECURITY ...
+        loop {
+            if self.peek_word("ALGORITHM") || self.peek_word("DEFINER") {
+                self.pos += 1;
+                self.eat_symbol("=");
+                self.bump();
+                // DEFINER may be `user`@`host`
+                if self.eat_symbol("@") {
+                    self.bump();
+                }
+            } else if self.peek_word("SQL") && self.peek_word_at(1, "SECURITY") {
+                self.pos += 2;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek_word("TEMPORARY") || self.peek_word("TEMP") || self.peek_word("UNLOGGED") {
+            // Temporary/unlogged tables are not part of the persistent
+            // logical schema; skip the whole statement.
+            return Ok(Statement::Other {
+                keyword: "CREATE TEMPORARY".into(),
+            });
+        }
+        if self.eat_word("TABLE") {
+            return self.create_table_body().map(Statement::CreateTable);
+        }
+        if self.eat_word("VIEW") {
+            return self.create_view_body(or_replace);
+        }
+        if self.eat_word("MATERIALIZED") {
+            return Ok(Statement::Other {
+                keyword: "CREATE MATERIALIZED VIEW".into(),
+            });
+        }
+        let kw = self
+            .peek()
+            .map(|t| t.kind.text().to_ascii_uppercase())
+            .unwrap_or_default();
+        Ok(Statement::Other {
+            keyword: format!("CREATE {kw}"),
+        })
+    }
+
+    fn create_table_body(&mut self) -> PResult<CreateTable> {
+        let mut if_not_exists = false;
+        if self.peek_word("IF") && self.peek_word_at(1, "NOT") && self.peek_word_at(2, "EXISTS") {
+            self.pos += 3;
+            if_not_exists = true;
+        }
+        let name = self.ident()?;
+        let mut out = CreateTable::new(name);
+        out.if_not_exists = if_not_exists;
+        // MySQL `CREATE TABLE t LIKE other`.
+        if self.eat_word("LIKE") {
+            out.like = Some(self.ident()?);
+            return Ok(out);
+        }
+        // `CREATE TABLE t AS SELECT ...` — no explicit columns.
+        if !self.peek().is_some_and(|t| t.is_symbol("(")) {
+            return Ok(out);
+        }
+        self.expect_symbol("(")?;
+        loop {
+            if self.eat_symbol(")") {
+                break;
+            }
+            match self.table_element()? {
+                TableElement::Column(c) => out.columns.push(c),
+                TableElement::Constraint(k) => out.constraints.push(k),
+                TableElement::Like(source) => out.like = Some(source),
+                TableElement::Ignored => {}
+            }
+            // Tolerate stray tokens until , or ).
+            self.skip_to_element_boundary();
+            if self.eat_symbol(",") {
+                continue;
+            }
+            if self.eat_symbol(")") {
+                break;
+            }
+            if self.at_end() || self.peek().is_some_and(|t| t.is_symbol(";")) {
+                break; // unterminated list, tolerated
+            }
+        }
+        // Table options (ENGINE=..., WITHOUT ROWID, ...) are consumed by the
+        // caller's skip-to-semicolon.
+        Ok(out)
+    }
+
+    fn table_element(&mut self) -> PResult<TableElement> {
+        let mut constraint_name: Option<Name> = None;
+        if self.eat_word("CONSTRAINT") {
+            // Name is optional in some dialects (`CONSTRAINT PRIMARY KEY`).
+            if !(self.peek_word("PRIMARY")
+                || self.peek_word("UNIQUE")
+                || self.peek_word("FOREIGN")
+                || self.peek_word("CHECK"))
+            {
+                constraint_name = Some(self.ident()?);
+            }
+        }
+        if self.peek_word("PRIMARY") {
+            self.pos += 1;
+            self.expect_word("KEY")?;
+            self.skip_index_type_hint();
+            let cols = self.paren_column_list()?;
+            return Ok(TableElement::Constraint(TableConstraint::PrimaryKey(cols)));
+        }
+        if self.peek_word("UNIQUE") {
+            self.pos += 1;
+            let _ = self.eat_word("KEY") || self.eat_word("INDEX");
+            if !self.peek().is_some_and(|t| t.is_symbol("(")) {
+                let _ = self.ident(); // optional index name
+            }
+            self.skip_index_type_hint();
+            let cols = self.paren_column_list()?;
+            return Ok(TableElement::Constraint(TableConstraint::Unique(cols)));
+        }
+        if self.peek_word("FOREIGN") {
+            self.pos += 1;
+            self.expect_word("KEY")?;
+            if !self.peek().is_some_and(|t| t.is_symbol("(")) {
+                let _ = self.ident(); // optional index name (MySQL)
+            }
+            let columns = self.paren_column_list()?;
+            let (ref_table, ref_columns) = self.references_clause()?;
+            return Ok(TableElement::Constraint(TableConstraint::ForeignKey {
+                name: constraint_name,
+                columns,
+                ref_table,
+                ref_columns,
+            }));
+        }
+        if self.peek_word("CHECK") {
+            self.pos += 1;
+            let expr = self.capture_balanced_parens()?;
+            return Ok(TableElement::Constraint(TableConstraint::Check(expr)));
+        }
+        if self.eat_word("LIKE") {
+            // PostgreSQL `(LIKE other [INCLUDING ...])`: structure copy.
+            let source = self.ident()?;
+            return Ok(TableElement::Like(source));
+        }
+        if self.peek_word("KEY")
+            || self.peek_word("INDEX")
+            || self.peek_word("FULLTEXT")
+            || self.peek_word("SPATIAL")
+            || self.peek_word("EXCLUDE")
+        {
+            // Physical-level elements: skipped (boundary skip handles the rest).
+            self.pos += 1;
+            return Ok(TableElement::Ignored);
+        }
+        let def = self.column_def()?;
+        Ok(TableElement::Column(def))
+    }
+
+    /// Skips `USING BTREE`-style index hints.
+    fn skip_index_type_hint(&mut self) {
+        if self.eat_word("USING") {
+            self.bump();
+        }
+    }
+
+    /// Parses `( col [(n)] [ASC|DESC] , ... )`.
+    fn paren_column_list(&mut self) -> PResult<Vec<Name>> {
+        self.expect_symbol("(")?;
+        let mut cols = Vec::new();
+        loop {
+            if self.eat_symbol(")") {
+                break;
+            }
+            cols.push(self.ident()?);
+            if self.peek().is_some_and(|t| t.is_symbol("(")) {
+                self.skip_balanced_parens(); // prefix length `col(10)`
+            }
+            let _ = self.eat_word("ASC") || self.eat_word("DESC");
+            if self.eat_symbol(",") {
+                continue;
+            }
+            self.expect_symbol(")")?;
+            break;
+        }
+        Ok(cols)
+    }
+
+    fn references_clause(&mut self) -> PResult<(Name, Vec<Name>)> {
+        self.expect_word("REFERENCES")?;
+        let table = self.ident()?;
+        let cols = if self.peek().is_some_and(|t| t.is_symbol("(")) {
+            self.paren_column_list()?
+        } else {
+            Vec::new()
+        };
+        // MATCH ... / ON DELETE ... / ON UPDATE ... / DEFERRABLE ...
+        loop {
+            if self.eat_word("MATCH") {
+                self.bump();
+            } else if self.peek_word("ON")
+                && (self.peek_word_at(1, "DELETE") || self.peek_word_at(1, "UPDATE"))
+            {
+                self.pos += 2;
+                // action: NO ACTION | SET NULL | SET DEFAULT | CASCADE | RESTRICT
+                if self.eat_word("NO") {
+                    let _ = self.eat_word("ACTION");
+                } else {
+                    let _ = self.eat_word("SET"); // SET NULL / SET DEFAULT
+                    self.bump();
+                }
+            } else if self.eat_word("NOT") {
+                let _ = self.eat_word("DEFERRABLE");
+            } else if self.eat_word("DEFERRABLE") || self.eat_word("INITIALLY") {
+                // INITIALLY DEFERRED/IMMEDIATE
+                if self.peek_word("DEFERRED") || self.peek_word("IMMEDIATE") {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        Ok((table, cols))
+    }
+
+    /// Captures the raw text of a balanced `( ... )` group.
+    fn capture_balanced_parens(&mut self) -> PResult<String> {
+        self.expect_symbol("(")?;
+        let mut depth = 1;
+        let mut parts: Vec<String> = Vec::new();
+        while let Some(t) = self.bump() {
+            if t.is_symbol("(") {
+                depth += 1;
+            } else if t.is_symbol(")") {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(parts.join(" "));
+                }
+            }
+            parts.push(render_token(&t.kind));
+        }
+        Err("unterminated parenthesized expression".into())
+    }
+
+    // ---- columns -------------------------------------------------------
+
+    fn column_def(&mut self) -> PResult<ColumnDef> {
+        let name = self.ident()?;
+        let data_type = self.data_type()?;
+        let mut def = ColumnDef::new(name, data_type);
+        if is_serial_base(def.data_type.base()) {
+            let mapped = match def.data_type.base() {
+                "smallserial" => "smallint",
+                "bigserial" => "bigint",
+                _ => "integer",
+            };
+            def.data_type = DataType::named(mapped);
+            def.auto_increment = true;
+            def.not_null = true;
+        }
+        self.column_options(&mut def)?;
+        Ok(def)
+    }
+
+    fn column_options(&mut self, def: &mut ColumnDef) -> PResult<()> {
+        loop {
+            if self.at_end() {
+                return Ok(());
+            }
+            // End of this element? (FIRST/AFTER are ALTER position hints the
+            // caller consumes.)
+            {
+                let t = self.peek().expect("not at end");
+                if t.is_symbol(",")
+                    || t.is_symbol(")")
+                    || t.is_symbol(";")
+                    || t.is_word("FIRST")
+                    || t.is_word("AFTER")
+                {
+                    return Ok(());
+                }
+            }
+            if self.eat_word("NOT") {
+                self.expect_word("NULL")?;
+                def.not_null = true;
+            } else if self.eat_word("NULL") {
+                def.not_null = false;
+            } else if self.eat_word("DEFAULT") {
+                def.default = Some(self.capture_value()?);
+            } else if self.peek_word("PRIMARY") {
+                self.pos += 1;
+                let _ = self.eat_word("KEY");
+                def.primary_key = true;
+            } else if self.eat_word("UNIQUE") {
+                let _ = self.eat_word("KEY");
+                def.unique = true;
+            } else if self.eat_word("KEY") {
+                // MySQL shorthand for "indexed": physical, ignore.
+            } else if self.eat_word("AUTO_INCREMENT") || self.eat_word("AUTOINCREMENT") {
+                def.auto_increment = true;
+            } else if self.eat_word("IDENTITY") {
+                def.auto_increment = true;
+                if self.peek().is_some_and(|t| t.is_symbol("(")) {
+                    self.skip_balanced_parens();
+                }
+            } else if self.eat_word("GENERATED") {
+                // GENERATED {ALWAYS | BY DEFAULT} AS IDENTITY [(...)]
+                // GENERATED ALWAYS AS (expr) [STORED|VIRTUAL]
+                let _ = self.eat_word("ALWAYS");
+                if self.eat_word("BY") {
+                    let _ = self.eat_word("DEFAULT");
+                }
+                let _ = self.eat_word("AS");
+                if self.eat_word("IDENTITY") {
+                    def.auto_increment = true;
+                    if self.peek().is_some_and(|t| t.is_symbol("(")) {
+                        self.skip_balanced_parens();
+                    }
+                } else if self.peek().is_some_and(|t| t.is_symbol("(")) {
+                    self.skip_balanced_parens();
+                    let _ = self.eat_word("STORED") || self.eat_word("VIRTUAL");
+                }
+            } else if self.eat_word("REFERENCES") {
+                self.pos -= 1; // rewind: references_clause expects the keyword
+                let (t, c) = self.references_clause()?;
+                def.references = Some((t, c));
+            } else if self.eat_word("CHECK") {
+                let _ = self.capture_balanced_parens()?;
+            } else if self.eat_word("COMMENT") || self.eat_word("COLLATE") {
+                self.bump();
+            } else if self.eat_word("CHARACTER") {
+                let _ = self.eat_word("SET");
+                self.bump();
+            } else if self.eat_word("CHARSET") {
+                self.bump();
+            } else if self.peek_word("ON")
+                && (self.peek_word_at(1, "UPDATE") || self.peek_word_at(1, "DELETE"))
+            {
+                self.pos += 2;
+                let _ = self.capture_value();
+            } else if self.eat_word("CONSTRAINT") {
+                // Named inline constraint: remember nothing, keep parsing.
+                let _ = self.ident();
+            } else {
+                // Unknown option: swallow one token (or a balanced group).
+                if self.peek().is_some_and(|t| t.is_symbol("(")) {
+                    self.skip_balanced_parens();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Captures a "value-like" expression: an optionally signed literal, a
+    /// word (possibly a function call with balanced arguments), `NULL`, or a
+    /// parenthesized expression. Returns its raw SQL text.
+    fn capture_value(&mut self) -> PResult<String> {
+        let mut parts: Vec<String> = Vec::new();
+        if self
+            .peek()
+            .is_some_and(|t| t.is_symbol("-") || t.is_symbol("+"))
+        {
+            parts.push(self.bump().expect("peeked").kind.text().to_owned());
+        }
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) => {
+                self.pos += 1;
+                parts.push(n);
+            }
+            Some(TokenKind::StringLit(s)) => {
+                self.pos += 1;
+                parts.push(format!("'{}'", s.replace('\'', "''")));
+            }
+            Some(TokenKind::Word(w)) => {
+                self.pos += 1;
+                parts.push(w);
+                if self.peek().is_some_and(|t| t.is_symbol("(")) {
+                    parts.push(format!("({})", self.capture_balanced_parens()?));
+                }
+            }
+            Some(TokenKind::QuotedIdent(q)) => {
+                self.pos += 1;
+                parts.push(q);
+            }
+            Some(TokenKind::Symbol(ref s)) if s == "(" => {
+                parts.push(format!("({})", self.capture_balanced_parens()?));
+            }
+            _ => return Err(format!("expected value, found {}", self.describe_current())),
+        }
+        // Postgres cast suffix: DEFAULT 'x'::character varying
+        while self.eat_symbol("::") {
+            let mut ty = String::new();
+            while let Some(t) = self.peek() {
+                match &t.kind {
+                    TokenKind::Word(w) => {
+                        if !ty.is_empty() {
+                            ty.push(' ');
+                        }
+                        ty.push_str(w);
+                        self.pos += 1;
+                    }
+                    TokenKind::Symbol(s) if s == "(" => {
+                        let inner = self.capture_balanced_parens()?;
+                        ty.push_str(&format!("({inner})"));
+                    }
+                    _ => break,
+                }
+            }
+            parts.push(format!("::{ty}"));
+        }
+        Ok(parts.join(" "))
+    }
+
+    fn data_type(&mut self) -> PResult<DataType> {
+        let first = self.ident()?;
+        let mut base = first.normalized();
+        // Multi-word types.
+        match base.as_str() {
+            "double" if self.eat_word("PRECISION") => {
+                base = "double".into();
+            }
+            "character" | "national" => {
+                if base == "national" {
+                    let _ = self.eat_word("CHARACTER") || self.eat_word("CHAR");
+                    base = "character".into();
+                }
+                if self.eat_word("VARYING") {
+                    base = "varchar".into();
+                } else if base == "character" {
+                    base = "char".into();
+                }
+            }
+            "char" if self.eat_word("VARYING") => {
+                base = "varchar".into();
+            }
+            "bit" if self.eat_word("VARYING") => {
+                base = "varbit".into();
+            }
+            "timestamp" | "time" if (self.peek_word("WITH") || self.peek_word("WITHOUT")) => {
+                let with = self.eat_word("WITH");
+                if !with {
+                    let _ = self.eat_word("WITHOUT");
+                }
+                let _ = self.eat_word("TIME");
+                let _ = self.eat_word("ZONE");
+                if with {
+                    base = format!("{base}tz");
+                }
+            }
+            "long" => {
+                if self.eat_word("VARCHAR") {
+                    base = "long varchar".into();
+                } else if self.eat_word("VARBINARY") {
+                    base = "long varbinary".into();
+                }
+            }
+            _ => {}
+        }
+
+        let mut params: Vec<i64> = Vec::new();
+        let mut enum_values: Vec<String> = Vec::new();
+        if self.peek().is_some_and(|t| t.is_symbol("(")) {
+            self.pos += 1;
+            loop {
+                match self.peek().map(|t| t.kind.clone()) {
+                    Some(TokenKind::Number(n)) => {
+                        self.pos += 1;
+                        if let Ok(v) = parse_num(&n) {
+                            params.push(v);
+                        }
+                    }
+                    Some(TokenKind::StringLit(s)) => {
+                        self.pos += 1;
+                        enum_values.push(s);
+                    }
+                    Some(TokenKind::Word(w)) => {
+                        self.pos += 1;
+                        enum_values.push(w); // e.g. `float(double)`-ish junk
+                    }
+                    _ => {}
+                }
+                if self.eat_symbol(",") {
+                    continue;
+                }
+                if self.eat_symbol(")") {
+                    break;
+                }
+                // Tolerate junk inside the parens.
+                if self.bump().is_none() {
+                    break;
+                }
+            }
+        }
+
+        let mut dt = DataType::with_params(base, params);
+        if !enum_values.is_empty() {
+            dt = dt.with_modifier(format!("values:{}", enum_values.join("|")));
+        }
+        loop {
+            if self.eat_word("UNSIGNED") {
+                dt = dt.with_modifier("unsigned");
+            } else if self.eat_word("ZEROFILL") {
+                dt = dt.with_modifier("zerofill");
+            } else if self.peek().is_some_and(|t| t.is_symbol("["))
+                && self.peek_at(1).is_some_and(|t| t.is_symbol("]"))
+            {
+                self.pos += 2;
+                dt = dt.with_modifier("array");
+            } else {
+                break;
+            }
+        }
+        Ok(dt)
+    }
+
+    // ---- other statements -----------------------------------------------
+
+    fn create_view_body(&mut self, or_replace: bool) -> PResult<Statement> {
+        let name = self.ident()?;
+        if self.peek().is_some_and(|t| t.is_symbol("(")) {
+            self.skip_balanced_parens();
+        }
+        self.expect_word("AS")?;
+        let mut parts = Vec::new();
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_symbol("(") {
+                depth += 1;
+            } else if t.is_symbol(")") {
+                depth -= 1;
+            } else if t.is_symbol(";") && depth <= 0 {
+                break;
+            }
+            parts.push(render_token(&t.kind));
+            self.pos += 1;
+        }
+        Ok(Statement::CreateView {
+            name,
+            or_replace,
+            definition: parts.join(" "),
+        })
+    }
+
+    fn drop_statement(&mut self) -> PResult<Statement> {
+        self.expect_word("DROP")?;
+        let is_view = self.peek_word("VIEW");
+        if !(self.eat_word("TABLE") || self.eat_word("VIEW")) {
+            let kw = self
+                .peek()
+                .map(|t| t.kind.text().to_ascii_uppercase())
+                .unwrap_or_default();
+            return Ok(Statement::Other {
+                keyword: format!("DROP {kw}"),
+            });
+        }
+        let mut if_exists = false;
+        if self.peek_word("IF") && self.peek_word_at(1, "EXISTS") {
+            self.pos += 2;
+            if_exists = true;
+        }
+        let mut names = vec![self.ident()?];
+        while self.eat_symbol(",") {
+            names.push(self.ident()?);
+        }
+        if is_view {
+            Ok(Statement::DropView { names })
+        } else {
+            Ok(Statement::DropTable { names, if_exists })
+        }
+    }
+
+    fn rename_statement(&mut self) -> PResult<Statement> {
+        self.expect_word("RENAME")?;
+        if !self.eat_word("TABLE") {
+            return Ok(Statement::Other {
+                keyword: "RENAME".into(),
+            });
+        }
+        let mut renames = Vec::new();
+        loop {
+            let old = self.ident()?;
+            self.expect_word("TO")?;
+            let new = self.ident()?;
+            renames.push((old, new));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Statement::RenameTable { renames })
+    }
+
+    fn alter_statement(&mut self) -> PResult<Statement> {
+        self.expect_word("ALTER")?;
+        if !self.eat_word("TABLE") {
+            let kw = self
+                .peek()
+                .map(|t| t.kind.text().to_ascii_uppercase())
+                .unwrap_or_default();
+            return Ok(Statement::Other {
+                keyword: format!("ALTER {kw}"),
+            });
+        }
+        let _ = self.eat_word("ONLY");
+        if self.peek_word("IF") && self.peek_word_at(1, "EXISTS") {
+            self.pos += 2;
+        }
+        let name = self.ident()?;
+        let mut actions = Vec::new();
+        loop {
+            let action = self.alter_action()?;
+            actions.push(action);
+            // Tolerate trailing junk in the action.
+            let mut depth = 0i32;
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_symbol("(") => {
+                        depth += 1;
+                        self.pos += 1;
+                    }
+                    Some(t) if t.is_symbol(")") => {
+                        depth -= 1;
+                        self.pos += 1;
+                    }
+                    Some(t) if depth == 0 && (t.is_symbol(",") || t.is_symbol(";")) => break,
+                    _ => {
+                        self.pos += 1;
+                    }
+                }
+            }
+            if self.eat_symbol(",") {
+                continue;
+            }
+            break;
+        }
+        Ok(Statement::AlterTable { name, actions })
+    }
+
+    fn alter_action(&mut self) -> PResult<AlterAction> {
+        if self.eat_word("ADD") {
+            return self.alter_add();
+        }
+        if self.eat_word("DROP") {
+            return self.alter_drop();
+        }
+        if self.eat_word("MODIFY") {
+            let _ = self.eat_word("COLUMN");
+            let def = self.column_def_in_alter()?;
+            return Ok(AlterAction::ModifyColumn(def));
+        }
+        if self.eat_word("CHANGE") {
+            let _ = self.eat_word("COLUMN");
+            let old = self.ident()?;
+            let def = self.column_def_in_alter()?;
+            return Ok(AlterAction::ChangeColumn { old, def });
+        }
+        if self.eat_word("ALTER") {
+            let _ = self.eat_word("COLUMN");
+            let name = self.ident()?;
+            if self.eat_word("TYPE") {
+                let dt = self.data_type()?;
+                return Ok(AlterAction::AlterColumnType {
+                    name,
+                    data_type: dt,
+                });
+            }
+            if self.eat_word("SET") {
+                if self.eat_word("DEFAULT") {
+                    let v = self.capture_value()?;
+                    return Ok(AlterAction::AlterColumnDefault {
+                        name,
+                        default: Some(v),
+                    });
+                }
+                if self.eat_word("NOT") {
+                    self.expect_word("NULL")?;
+                    return Ok(AlterAction::AlterColumnNull {
+                        name,
+                        not_null: true,
+                    });
+                }
+                if self.eat_word("DATA") {
+                    self.expect_word("TYPE")?;
+                    let dt = self.data_type()?;
+                    return Ok(AlterAction::AlterColumnType {
+                        name,
+                        data_type: dt,
+                    });
+                }
+                return Ok(AlterAction::Other("ALTER COLUMN SET ...".into()));
+            }
+            if self.eat_word("DROP") {
+                if self.eat_word("DEFAULT") {
+                    return Ok(AlterAction::AlterColumnDefault {
+                        name,
+                        default: None,
+                    });
+                }
+                if self.eat_word("NOT") {
+                    self.expect_word("NULL")?;
+                    return Ok(AlterAction::AlterColumnNull {
+                        name,
+                        not_null: false,
+                    });
+                }
+                return Ok(AlterAction::Other("ALTER COLUMN DROP ...".into()));
+            }
+            return Ok(AlterAction::Other("ALTER COLUMN ...".into()));
+        }
+        if self.eat_word("RENAME") {
+            if self.eat_word("TO") || self.eat_word("AS") {
+                let n = self.ident()?;
+                return Ok(AlterAction::RenameTable(n));
+            }
+            let _ = self.eat_word("COLUMN");
+            let old = self.ident()?;
+            self.expect_word("TO")?;
+            let new = self.ident()?;
+            return Ok(AlterAction::RenameColumn { old, new });
+        }
+        let kw = self
+            .peek()
+            .map(|t| t.kind.text().to_ascii_uppercase())
+            .unwrap_or_default();
+        Ok(AlterAction::Other(kw))
+    }
+
+    /// Column definition inside ALTER: like [`Self::column_def`] but stops at
+    /// top-level `,`/`;` (no surrounding parens) and understands
+    /// `FIRST`/`AFTER` hints (consumed by the caller's boundary skip).
+    fn column_def_in_alter(&mut self) -> PResult<ColumnDef> {
+        self.column_def()
+    }
+
+    fn alter_add(&mut self) -> PResult<AlterAction> {
+        let mut constraint_name: Option<Name> = None;
+        if self.eat_word("CONSTRAINT") {
+            constraint_name = Some(self.ident()?);
+        }
+        if self.peek_word("PRIMARY") {
+            self.pos += 1;
+            self.expect_word("KEY")?;
+            self.skip_index_type_hint();
+            let cols = self.paren_column_list()?;
+            return Ok(AlterAction::AddConstraint(TableConstraint::PrimaryKey(
+                cols,
+            )));
+        }
+        if self.peek_word("UNIQUE") {
+            self.pos += 1;
+            let _ = self.eat_word("KEY") || self.eat_word("INDEX");
+            if !self.peek().is_some_and(|t| t.is_symbol("(")) {
+                let _ = self.ident();
+            }
+            let cols = self.paren_column_list()?;
+            return Ok(AlterAction::AddConstraint(TableConstraint::Unique(cols)));
+        }
+        if self.peek_word("FOREIGN") {
+            self.pos += 1;
+            self.expect_word("KEY")?;
+            if !self.peek().is_some_and(|t| t.is_symbol("(")) {
+                let _ = self.ident();
+            }
+            let columns = self.paren_column_list()?;
+            let (ref_table, ref_columns) = self.references_clause()?;
+            return Ok(AlterAction::AddConstraint(TableConstraint::ForeignKey {
+                name: constraint_name,
+                columns,
+                ref_table,
+                ref_columns,
+            }));
+        }
+        if self.peek_word("CHECK") {
+            self.pos += 1;
+            let expr = self.capture_balanced_parens()?;
+            return Ok(AlterAction::AddConstraint(TableConstraint::Check(expr)));
+        }
+        if self.peek_word("INDEX")
+            || self.peek_word("KEY")
+            || self.peek_word("FULLTEXT")
+            || self.peek_word("SPATIAL")
+        {
+            return Ok(AlterAction::Other("ADD INDEX".into()));
+        }
+        let _ = self.eat_word("COLUMN");
+        if self.peek_word("IF") && self.peek_word_at(1, "NOT") && self.peek_word_at(2, "EXISTS") {
+            self.pos += 3;
+        }
+        let def = self.column_def_in_alter()?;
+        let mut position = None;
+        if self.eat_word("FIRST") {
+            position = Some(None);
+        } else if self.eat_word("AFTER") {
+            position = Some(Some(self.ident()?));
+        }
+        Ok(AlterAction::AddColumn { def, position })
+    }
+
+    fn alter_drop(&mut self) -> PResult<AlterAction> {
+        if self.peek_word("PRIMARY") {
+            self.pos += 1;
+            self.expect_word("KEY")?;
+            return Ok(AlterAction::DropPrimaryKey);
+        }
+        if self.eat_word("FOREIGN") {
+            self.expect_word("KEY")?;
+            let n = self.ident()?;
+            return Ok(AlterAction::DropForeignKey(n));
+        }
+        if self.eat_word("CONSTRAINT") {
+            if self.peek_word("IF") && self.peek_word_at(1, "EXISTS") {
+                self.pos += 2;
+            }
+            let n = self.ident()?;
+            return Ok(AlterAction::DropConstraint(n));
+        }
+        if self.eat_word("INDEX") || self.eat_word("KEY") {
+            let _ = self.ident();
+            return Ok(AlterAction::Other("DROP INDEX".into()));
+        }
+        let _ = self.eat_word("COLUMN");
+        if self.peek_word("IF") && self.peek_word_at(1, "EXISTS") {
+            self.pos += 2;
+        }
+        let n = self.ident()?;
+        // CASCADE / RESTRICT swallowed by boundary skip.
+        Ok(AlterAction::DropColumn(n))
+    }
+}
+
+enum TableElement {
+    Column(ColumnDef),
+    Constraint(TableConstraint),
+    Like(Name),
+    Ignored,
+}
+
+fn is_serial_base(base: &str) -> bool {
+    matches!(
+        base,
+        "serial" | "bigserial" | "smallserial" | "serial4" | "serial8" | "serial2"
+    )
+}
+
+fn parse_num(text: &str) -> Result<i64, ()> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).map_err(|_| ());
+    }
+    if let Ok(v) = text.parse::<i64>() {
+        return Ok(v);
+    }
+    text.parse::<f64>().map(|f| f as i64).map_err(|_| ())
+}
+
+/// Renders a token back to SQL-ish text (for captured raw expressions).
+fn render_token(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Word(w) => w.clone(),
+        TokenKind::QuotedIdent(q) => format!("\"{q}\""),
+        TokenKind::StringLit(s) => format!("'{}'", s.replace('\'', "''")),
+        TokenKind::Number(n) => n.clone(),
+        TokenKind::Symbol(s) => s.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(sql: &str) -> Statement {
+        let (stmts, _diags) = parse_statements(sql);
+        assert_eq!(
+            stmts.len(),
+            1,
+            "expected one statement from {sql:?}: {stmts:?}"
+        );
+        stmts.into_iter().next().unwrap()
+    }
+
+    fn create(sql: &str) -> CreateTable {
+        match one(sql) {
+            Statement::CreateTable(c) => c,
+            other => panic!("expected CREATE TABLE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_create_table() {
+        let c = create("CREATE TABLE t (a INT, b TEXT);");
+        assert_eq!(c.name, Name::from("t"));
+        assert_eq!(c.columns.len(), 2);
+        assert_eq!(c.columns[0].data_type, DataType::named("int"));
+        assert!(!c.if_not_exists);
+    }
+
+    #[test]
+    fn if_not_exists_and_schema_qualified_name() {
+        let c = create("CREATE TABLE IF NOT EXISTS mydb.users (id INT);");
+        assert!(c.if_not_exists);
+        assert_eq!(c.name, Name::from("users"));
+    }
+
+    #[test]
+    fn column_options_full_mysql() {
+        let c = create(
+            "CREATE TABLE `p` (
+                `id` int(11) NOT NULL AUTO_INCREMENT,
+                `name` varchar(100) NOT NULL DEFAULT '' COMMENT 'who',
+                `bal` decimal(10,2) unsigned DEFAULT 0.00,
+                `ts` timestamp NOT NULL DEFAULT CURRENT_TIMESTAMP ON UPDATE CURRENT_TIMESTAMP,
+                PRIMARY KEY (`id`),
+                UNIQUE KEY uq_name (`name`),
+                KEY idx_bal (`bal`)
+            ) ENGINE=InnoDB AUTO_INCREMENT=17 DEFAULT CHARSET=utf8;",
+        );
+        assert_eq!(c.columns.len(), 4);
+        let id = &c.columns[0];
+        assert!(id.not_null && id.auto_increment);
+        assert_eq!(id.data_type, DataType::with_params("int", vec![11]));
+        let name = &c.columns[1];
+        assert_eq!(name.default.as_deref(), Some("''"));
+        let bal = &c.columns[2];
+        assert_eq!(
+            bal.data_type,
+            DataType::with_params("decimal", vec![10, 2]).with_modifier("unsigned")
+        );
+        // PK + UNIQUE captured; plain KEY ignored.
+        assert_eq!(c.constraints.len(), 2);
+        assert_eq!(
+            c.constraints[0],
+            TableConstraint::PrimaryKey(vec![Name::from("id")])
+        );
+    }
+
+    #[test]
+    fn postgres_flavour() {
+        let c = create(
+            r#"CREATE TABLE accounts (
+                id BIGSERIAL PRIMARY KEY,
+                email character varying(255) NOT NULL UNIQUE,
+                created timestamp with time zone DEFAULT now(),
+                meta jsonb,
+                tags text[]
+            );"#,
+        );
+        let id = &c.columns[0];
+        assert_eq!(id.data_type, DataType::named("bigint"));
+        assert!(id.auto_increment && id.not_null && id.primary_key);
+        assert_eq!(
+            c.columns[1].data_type,
+            DataType::with_params("varchar", vec![255])
+        );
+        assert_eq!(c.columns[2].data_type, DataType::named("timestamptz"));
+        assert_eq!(c.columns[2].default.as_deref(), Some("now ()"));
+        assert_eq!(
+            c.columns[4].data_type,
+            DataType::named("text").with_modifier("array")
+        );
+    }
+
+    #[test]
+    fn foreign_keys_inline_and_table_level() {
+        let c = create(
+            "CREATE TABLE orders (
+                id INT PRIMARY KEY,
+                cust_id INT REFERENCES customers(id) ON DELETE CASCADE,
+                item_id INT,
+                CONSTRAINT fk_item FOREIGN KEY (item_id) REFERENCES items (id) ON UPDATE SET NULL
+            );",
+        );
+        assert_eq!(
+            c.columns[1].references,
+            Some((Name::from("customers"), vec![Name::from("id")]))
+        );
+        match &c.constraints[0] {
+            TableConstraint::ForeignKey {
+                name,
+                columns,
+                ref_table,
+                ref_columns,
+            } => {
+                assert_eq!(name.as_ref().unwrap(), &Name::from("fk_item"));
+                assert_eq!(columns, &vec![Name::from("item_id")]);
+                assert_eq!(ref_table, &Name::from("items"));
+                assert_eq!(ref_columns, &vec![Name::from("id")]);
+            }
+            other => panic!("expected FK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enum_type_values_become_modifier() {
+        let c = create("CREATE TABLE t (status ENUM('on','off') NOT NULL);");
+        let dt = &c.columns[0].data_type;
+        assert_eq!(dt.base(), "enum");
+        assert_eq!(dt.modifiers(), ["values:on|off"]);
+    }
+
+    #[test]
+    fn check_constraints_captured_raw() {
+        let c = create("CREATE TABLE t (x INT, CHECK (x > 0 AND x < 10));");
+        assert_eq!(
+            c.constraints[0],
+            TableConstraint::Check("x > 0 AND x < 10".into())
+        );
+    }
+
+    #[test]
+    fn drop_table_multi_and_if_exists() {
+        match one("DROP TABLE IF EXISTS a, b CASCADE;") {
+            Statement::DropTable { names, if_exists } => {
+                assert!(if_exists);
+                assert_eq!(names, vec![Name::from("a"), Name::from("b")]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alter_table_add_drop_modify() {
+        match one("ALTER TABLE t ADD COLUMN c1 INT NOT NULL DEFAULT 0 AFTER a,
+             DROP COLUMN old_col,
+             MODIFY COLUMN c2 BIGINT,
+             ADD CONSTRAINT fk FOREIGN KEY (c1) REFERENCES p (id);")
+        {
+            Statement::AlterTable { name, actions } => {
+                assert_eq!(name, Name::from("t"));
+                assert_eq!(actions.len(), 4);
+                assert!(matches!(
+                    &actions[0],
+                    AlterAction::AddColumn { def, position: Some(Some(p)) }
+                        if def.name == Name::from("c1") && *p == Name::from("a")
+                ));
+                assert!(
+                    matches!(&actions[1], AlterAction::DropColumn(n) if *n == Name::from("old_col"))
+                );
+                assert!(
+                    matches!(&actions[2], AlterAction::ModifyColumn(d) if d.data_type == DataType::named("bigint"))
+                );
+                assert!(matches!(
+                    &actions[3],
+                    AlterAction::AddConstraint(TableConstraint::ForeignKey { .. })
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alter_column_postgres_forms() {
+        match one("ALTER TABLE t
+               ALTER COLUMN a TYPE varchar(50),
+               ALTER COLUMN b SET DEFAULT 5,
+               ALTER COLUMN c DROP NOT NULL,
+               RENAME COLUMN d TO e;")
+        {
+            Statement::AlterTable { actions, .. } => {
+                assert!(
+                    matches!(&actions[0], AlterAction::AlterColumnType { data_type, .. }
+                    if *data_type == DataType::with_params("varchar", vec![50]))
+                );
+                assert!(
+                    matches!(&actions[1], AlterAction::AlterColumnDefault { default: Some(d), .. } if d == "5")
+                );
+                assert!(matches!(
+                    &actions[2],
+                    AlterAction::AlterColumnNull {
+                        not_null: false,
+                        ..
+                    }
+                ));
+                assert!(matches!(&actions[3], AlterAction::RenameColumn { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mysql_change_column() {
+        match one("ALTER TABLE t CHANGE old_name new_name VARCHAR(40) NOT NULL;") {
+            Statement::AlterTable { actions, .. } => match &actions[0] {
+                AlterAction::ChangeColumn { old, def } => {
+                    assert_eq!(*old, Name::from("old_name"));
+                    assert_eq!(def.name, Name::from("new_name"));
+                    assert!(def.not_null);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_table_statement() {
+        match one("RENAME TABLE a TO b, c TO d;") {
+            Statement::RenameTable { renames } => {
+                assert_eq!(renames.len(), 2);
+                assert_eq!(renames[0], (Name::from("a"), Name::from("b")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_view_captures_definition() {
+        match one("CREATE OR REPLACE VIEW v AS SELECT a, b FROM t WHERE a > 0;") {
+            Statement::CreateView {
+                name,
+                or_replace,
+                definition,
+            } => {
+                assert_eq!(name, Name::from("v"));
+                assert!(or_replace);
+                assert!(definition.contains("SELECT a , b FROM t"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn noise_statements_are_skipped_not_errors() {
+        let (stmts, diags) = parse_statements(
+            "SET NAMES utf8;
+             INSERT INTO t VALUES (1, 'a'), (2, 'b');
+             CREATE INDEX idx ON t (a);
+             CREATE TABLE real_one (x INT);",
+        );
+        assert_eq!(stmts.len(), 4);
+        assert!(matches!(&stmts[3], Statement::CreateTable(_)));
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| !d.is_error()));
+    }
+
+    #[test]
+    fn recovery_after_broken_statement() {
+        let (stmts, diags) = parse_statements(
+            "CREATE TABLE broken (a INT,,);
+             CREATE TABLE ok (b INT);",
+        );
+        // The broken one may parse partially or error; the good one must land.
+        assert!(stmts
+            .iter()
+            .any(|s| matches!(s, Statement::CreateTable(c) if c.name == Name::from("ok"))));
+        let _ = diags;
+    }
+
+    #[test]
+    fn garbage_does_not_panic_or_loop() {
+        // The point is termination without panic; diagnostics are expected.
+        let (_s, d) = parse_statements(");;;(((''\"\" CREATE ALTER DROP 42 -- x");
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn composite_primary_key_with_lengths_and_order() {
+        let c = create("CREATE TABLE t (a VARCHAR(10), b INT, PRIMARY KEY (a(5) DESC, b ASC));");
+        assert_eq!(
+            c.constraints[0],
+            TableConstraint::PrimaryKey(vec![Name::from("a"), Name::from("b")])
+        );
+    }
+
+    #[test]
+    fn default_with_cast_suffix() {
+        let c = create("CREATE TABLE t (s varchar(10) DEFAULT 'x'::character varying);");
+        assert_eq!(
+            c.columns[0].default.as_deref(),
+            Some("'x' ::character varying")
+        );
+    }
+
+    #[test]
+    fn temporary_tables_are_skipped() {
+        let (stmts, _d) = parse_statements("CREATE TEMPORARY TABLE tt (x INT);");
+        assert!(matches!(&stmts[0], Statement::Other { .. }));
+    }
+
+    #[test]
+    fn negative_default() {
+        let c = create("CREATE TABLE t (x INT DEFAULT -1);");
+        assert_eq!(c.columns[0].default.as_deref(), Some("- 1"));
+    }
+
+    #[test]
+    fn sqlite_autoincrement() {
+        let c = create("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT);");
+        assert!(c.columns[0].auto_increment);
+        assert!(c.columns[0].primary_key);
+    }
+}

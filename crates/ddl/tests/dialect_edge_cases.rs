@@ -1,0 +1,228 @@
+//! Dialect edge cases the measurement instrument meets in the wild.
+
+use schemachron_ddl::parse_schema;
+use schemachron_model::{DataType, Name};
+
+fn clean(sql: &str) -> schemachron_model::Schema {
+    let (schema, diags) = parse_schema(sql);
+    assert!(
+        diags.iter().all(|d| !d.is_error()),
+        "unexpected parse errors: {diags:?}\nfor:\n{sql}"
+    );
+    schema
+}
+
+// ------------------------------------------------------------------ MySQL
+
+#[test]
+fn mysql_set_type_and_using_btree() {
+    let s = clean(
+        "CREATE TABLE t (
+            flags SET('a','b','c') NOT NULL,
+            name VARCHAR(10),
+            UNIQUE KEY uq USING BTREE (name)
+         ) ENGINE=MyISAM;",
+    );
+    let t = s.table("t").unwrap();
+    assert_eq!(t.attribute("flags").unwrap().data_type.base(), "set");
+    assert_eq!(t.uniques.len(), 1);
+}
+
+#[test]
+fn mysql_partitioned_table_options_are_skipped() {
+    let s = clean(
+        "CREATE TABLE metrics (
+            id INT NOT NULL,
+            at DATE NOT NULL,
+            PRIMARY KEY (id, at)
+         ) ENGINE=InnoDB
+         PARTITION BY RANGE (YEAR(at)) (
+            PARTITION p0 VALUES LESS THAN (2020),
+            PARTITION p1 VALUES LESS THAN MAXVALUE
+         );",
+    );
+    assert_eq!(s.table("metrics").unwrap().attribute_count(), 2);
+    assert_eq!(
+        s.table("metrics").unwrap().primary_key,
+        vec![Name::from("id"), Name::from("at")]
+    );
+}
+
+#[test]
+fn mysql_character_set_and_collate_column_options() {
+    let s = clean(
+        "CREATE TABLE t (
+            a VARCHAR(10) CHARACTER SET utf8mb4 COLLATE utf8mb4_bin NOT NULL,
+            b TEXT CHARSET latin1
+         );",
+    );
+    let t = s.table("t").unwrap();
+    assert!(t.attribute("a").unwrap().not_null);
+    assert_eq!(t.attribute_count(), 2);
+}
+
+#[test]
+fn mysql_backslash_escaped_default() {
+    let s = clean(r#"CREATE TABLE t (path VARCHAR(64) DEFAULT 'C:\\data');"#);
+    assert!(s
+        .table("t")
+        .unwrap()
+        .attribute("path")
+        .unwrap()
+        .default
+        .is_some());
+}
+
+// --------------------------------------------------------------- Postgres
+
+#[test]
+fn postgres_inherits_clause_is_table_option() {
+    let s = clean(
+        "CREATE TABLE child (extra INT) INHERITS (parent);
+         CREATE TABLE plain (x INT);",
+    );
+    assert_eq!(s.table("child").unwrap().attribute_count(), 1);
+    assert!(s.table("plain").is_some());
+}
+
+#[test]
+fn postgres_multidim_arrays() {
+    let s = clean("CREATE TABLE t (grid INT[][]);");
+    let dt = &s.table("t").unwrap().attribute("grid").unwrap().data_type;
+    assert_eq!(dt.base(), "int");
+    assert_eq!(dt.modifiers(), ["array", "array"]);
+}
+
+#[test]
+fn postgres_quoted_schema_qualified_names() {
+    let s = clean(r#"CREATE TABLE "public"."User Accounts" ("Weird Col" INT);"#);
+    let t = s.table("User Accounts").unwrap();
+    assert!(t.attribute("Weird Col").is_some());
+}
+
+#[test]
+fn postgres_set_data_type_and_only() {
+    let s = clean(
+        "CREATE TABLE t (x INT);
+         ALTER TABLE ONLY t ALTER COLUMN x SET DATA TYPE numeric(12, 4);",
+    );
+    assert_eq!(
+        s.table("t").unwrap().attribute("x").unwrap().data_type,
+        DataType::with_params("numeric", vec![12, 4])
+    );
+}
+
+#[test]
+fn postgres_generated_identity_column() {
+    let s = clean(
+        "CREATE TABLE t (
+            id integer GENERATED ALWAYS AS IDENTITY (START WITH 10),
+            doubled integer GENERATED ALWAYS AS (id * 2) STORED
+         );",
+    );
+    let t = s.table("t").unwrap();
+    assert!(t.attribute("id").unwrap().auto_increment);
+    assert!(t.attribute("doubled").is_some());
+}
+
+// ----------------------------------------------------------------- SQLite
+
+#[test]
+fn sqlite_without_rowid_and_nested_checks() {
+    let s = clean(
+        "CREATE TABLE kv (
+            k TEXT PRIMARY KEY,
+            v TEXT CHECK (length(v) > 0 AND (v != 'x' OR k = 'ok'))
+         ) WITHOUT ROWID;",
+    );
+    assert_eq!(s.table("kv").unwrap().attribute_count(), 2);
+}
+
+// ------------------------------------------------------------- degenerate
+
+#[test]
+fn empty_and_comment_only_scripts() {
+    assert!(clean("").is_empty());
+    assert!(clean("-- nothing\n/* here */\n;;;").is_empty());
+}
+
+#[test]
+fn crlf_line_endings() {
+    let s = clean("CREATE TABLE t (\r\n  a INT,\r\n  b TEXT\r\n);\r\n");
+    assert_eq!(s.table("t").unwrap().attribute_count(), 2);
+}
+
+#[test]
+fn leading_dot_decimal_default() {
+    let s = clean("CREATE TABLE t (r REAL DEFAULT .5);");
+    assert_eq!(
+        s.table("t")
+            .unwrap()
+            .attribute("r")
+            .unwrap()
+            .default
+            .as_deref(),
+        Some(".5")
+    );
+}
+
+#[test]
+fn unicode_identifiers() {
+    let s = clean("CREATE TABLE пользователи (имя TEXT, 数量 INT);");
+    let t = s.table("пользователи").unwrap();
+    assert_eq!(t.attribute_count(), 2);
+    assert!(t.attribute("数量").is_some());
+}
+
+#[test]
+fn deep_paren_nesting_in_checks_does_not_recurse() {
+    // Expression capture is iterative; 200 nesting levels must be fine.
+    let open = "(".repeat(200);
+    let close = ")".repeat(200);
+    let sql = format!("CREATE TABLE t (x INT, CHECK ({open}x > 0{close}));");
+    let s = clean(&sql);
+    assert_eq!(s.table("t").unwrap().attribute_count(), 1);
+}
+
+#[test]
+fn statement_without_trailing_semicolon() {
+    let s = clean("CREATE TABLE t (a INT)");
+    assert_eq!(s.table("t").unwrap().attribute_count(), 1);
+}
+
+#[test]
+fn multiple_statements_one_line() {
+    let s = clean("CREATE TABLE a (x INT);CREATE TABLE b (y INT);DROP TABLE a;");
+    assert!(s.table("a").is_none());
+    assert!(s.table("b").is_some());
+}
+
+#[test]
+fn alter_add_multiple_columns_in_one_statement() {
+    let s = clean(
+        "CREATE TABLE t (a INT);
+         ALTER TABLE t ADD COLUMN b INT, ADD COLUMN c TEXT, ADD d DATE;",
+    );
+    assert_eq!(s.table("t").unwrap().attribute_count(), 4);
+}
+
+#[test]
+fn drop_column_with_cascade() {
+    let s = clean(
+        "CREATE TABLE t (a INT, b INT);
+         ALTER TABLE t DROP COLUMN b CASCADE;",
+    );
+    assert_eq!(s.table("t").unwrap().attribute_count(), 1);
+}
+
+#[test]
+fn if_exists_everywhere() {
+    let s = clean(
+        "DROP TABLE IF EXISTS ghost;
+         CREATE TABLE IF NOT EXISTS t (a INT);
+         ALTER TABLE IF EXISTS t ADD COLUMN IF NOT EXISTS b INT;
+         ALTER TABLE IF EXISTS phantom ADD COLUMN c INT;",
+    );
+    assert_eq!(s.table("t").unwrap().attribute_count(), 2);
+    assert!(s.table("phantom").is_none());
+}

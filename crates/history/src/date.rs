@@ -1,0 +1,194 @@
+//! Minimal date handling at the study's granule: the **month**.
+//!
+//! The study aggregates all maintenance activity by month (§3.2), so a full
+//! calendar implementation is unnecessary; [`MonthId`] is a flat month
+//! counter with simple arithmetic, and [`Date`] is a calendar date used for
+//! ingestion (commit timestamps, file names).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A flat month counter: `year * 12 + (month - 1)`.
+///
+/// Differences between `MonthId`s are exact month distances, which is all
+/// the study's time arithmetic needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MonthId(pub i32);
+
+impl MonthId {
+    /// Builds a `MonthId` from a calendar year and 1-based month.
+    pub fn from_ym(year: i32, month: u8) -> Self {
+        debug_assert!((1..=12).contains(&month), "month out of range: {month}");
+        MonthId(year * 12 + i32::from(month) - 1)
+    }
+
+    /// The calendar year.
+    pub fn year(self) -> i32 {
+        self.0.div_euclid(12)
+    }
+
+    /// The 1-based calendar month.
+    pub fn month(self) -> u8 {
+        (self.0.rem_euclid(12) + 1) as u8
+    }
+
+    /// Months elapsed since `earlier` (negative if `self` is earlier).
+    pub fn months_since(self, earlier: MonthId) -> i32 {
+        self.0 - earlier.0
+    }
+
+    /// The month `n` months after this one.
+    pub fn plus(self, n: i32) -> MonthId {
+        MonthId(self.0 + n)
+    }
+}
+
+impl fmt::Display for MonthId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year(), self.month())
+    }
+}
+
+/// A calendar date (year, month, day). Day precision is kept only for
+/// ordering versions within a month; all analysis happens on [`MonthId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Calendar year (e.g. 2020).
+    pub year: i32,
+    /// 1-based month.
+    pub month: u8,
+    /// 1-based day.
+    pub day: u8,
+}
+
+impl Date {
+    /// Creates a date. Months/days outside their calendar range are clamped
+    /// (tolerant ingestion beats panicking on a sloppy commit timestamp).
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        Date {
+            year,
+            month: month.clamp(1, 12),
+            day: day.clamp(1, 31),
+        }
+    }
+
+    /// The month this date falls in.
+    pub fn month_id(self) -> MonthId {
+        MonthId::from_ym(self.year, self.month)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Error parsing a date string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DateParseError(pub String);
+
+impl fmt::Display for DateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date: {}", self.0)
+    }
+}
+
+impl std::error::Error for DateParseError {}
+
+impl FromStr for Date {
+    type Err = DateParseError;
+
+    /// Parses `YYYY-MM-DD`, `YYYY-MM` (day defaults to 1) or `YYYY/MM/DD`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().replace('/', "-");
+        let mut parts = norm.splitn(3, '-');
+        let year: i32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| DateParseError(s.into()))?;
+        let month: u8 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| DateParseError(s.into()))?;
+        if !(1..=12).contains(&month) {
+            return Err(DateParseError(s.into()));
+        }
+        let day: u8 = match parts.next() {
+            None => 1,
+            Some(p) => p.parse().map_err(|_| DateParseError(s.into()))?,
+        };
+        if !(1..=31).contains(&day) {
+            return Err(DateParseError(s.into()));
+        }
+        Ok(Date::new(year, month, day))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_id_roundtrip() {
+        let m = MonthId::from_ym(2021, 7);
+        assert_eq!(m.year(), 2021);
+        assert_eq!(m.month(), 7);
+        assert_eq!(m.to_string(), "2021-07");
+    }
+
+    #[test]
+    fn month_arithmetic_crosses_year_boundaries() {
+        let dec = MonthId::from_ym(2019, 12);
+        let feb = MonthId::from_ym(2020, 2);
+        assert_eq!(feb.months_since(dec), 2);
+        assert_eq!(dec.plus(2), feb);
+        assert_eq!(dec.plus(-11), MonthId::from_ym(2019, 1));
+    }
+
+    #[test]
+    fn negative_years_work() {
+        let m = MonthId::from_ym(-1, 1);
+        assert_eq!(m.year(), -1);
+        assert_eq!(m.month(), 1);
+    }
+
+    #[test]
+    fn date_ordering_is_calendar_order() {
+        let a = Date::new(2020, 3, 15);
+        let b = Date::new(2020, 3, 16);
+        let c = Date::new(2021, 1, 1);
+        assert!(a < b && b < c);
+        assert_eq!(a.month_id(), b.month_id());
+    }
+
+    #[test]
+    fn parse_full_and_partial_dates() {
+        assert_eq!("2020-05-09".parse::<Date>().unwrap(), Date::new(2020, 5, 9));
+        assert_eq!("2020-05".parse::<Date>().unwrap(), Date::new(2020, 5, 1));
+        assert_eq!("2020/05/09".parse::<Date>().unwrap(), Date::new(2020, 5, 9));
+        assert_eq!(
+            " 2020-05-09 ".parse::<Date>().unwrap(),
+            Date::new(2020, 5, 9)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("not-a-date".parse::<Date>().is_err());
+        assert!("2020-13-01".parse::<Date>().is_err());
+        assert!("2020-00-01".parse::<Date>().is_err());
+        assert!("2020-01-32".parse::<Date>().is_err());
+        assert!("".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn new_clamps_out_of_range() {
+        let d = Date::new(2020, 0, 99);
+        assert_eq!(d.month, 1);
+        assert_eq!(d.day, 31);
+    }
+}

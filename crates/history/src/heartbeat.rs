@@ -1,0 +1,262 @@
+//! Monthly activity series and their cumulative, normalized forms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::MonthId;
+
+/// A month-granule activity series: one value per month over a contiguous
+/// month range, starting at [`Heartbeat::start`].
+///
+/// The value unit depends on what the heartbeat measures — affected
+/// attributes for schema heartbeats, changed lines for source heartbeats.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    start: Option<MonthId>,
+    values: Vec<f64>,
+}
+
+impl Heartbeat {
+    /// An empty heartbeat (no months, no activity).
+    pub fn new() -> Self {
+        Heartbeat::default()
+    }
+
+    /// Builds a heartbeat from a start month and per-month values.
+    pub fn from_values(start: MonthId, values: Vec<f64>) -> Self {
+        Heartbeat {
+            start: Some(start),
+            values,
+        }
+    }
+
+    /// The first month covered, if any month is.
+    pub fn start(&self) -> Option<MonthId> {
+        self.start
+    }
+
+    /// The number of covered months.
+    pub fn month_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Per-month activity values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Adds `amount` of activity in `month`, growing the covered range as
+    /// needed (padding with zero months).
+    pub fn add(&mut self, month: MonthId, amount: f64) {
+        match self.start {
+            None => {
+                self.start = Some(month);
+                self.values.push(amount);
+            }
+            Some(start) => {
+                let idx = month.months_since(start);
+                if idx < 0 {
+                    // Extend to the left.
+                    let pad = (-idx) as usize;
+                    let mut new_vals = vec![0.0; pad];
+                    new_vals.append(&mut self.values);
+                    self.values = new_vals;
+                    self.start = Some(month);
+                    self.values[0] += amount;
+                } else {
+                    let idx = idx as usize;
+                    if idx >= self.values.len() {
+                        self.values.resize(idx + 1, 0.0);
+                    }
+                    self.values[idx] += amount;
+                }
+            }
+        }
+    }
+
+    /// Extends the covered range so that it spans `[from, to]` inclusive
+    /// (used to align a schema heartbeat to the whole project lifespan).
+    pub fn extend_to_cover(&mut self, from: MonthId, to: MonthId) {
+        if to < from {
+            return;
+        }
+        if self.start.is_none() {
+            self.start = Some(from);
+            self.values = vec![0.0; (to.months_since(from) + 1) as usize];
+            return;
+        }
+        self.add(from, 0.0);
+        self.add(to, 0.0);
+    }
+
+    /// Total activity over the whole series.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Index of the first month with non-zero activity.
+    pub fn first_active_index(&self) -> Option<usize> {
+        self.values.iter().position(|&v| v > 0.0)
+    }
+
+    /// Index of the last month with non-zero activity.
+    pub fn last_active_index(&self) -> Option<usize> {
+        self.values.iter().rposition(|&v| v > 0.0)
+    }
+
+    /// Number of months with non-zero activity within `[from, to]`
+    /// (inclusive, clamped to the covered range).
+    pub fn active_months_in(&self, from: usize, to: usize) -> usize {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let to = to.min(self.values.len() - 1);
+        if from > to {
+            return 0;
+        }
+        self.values[from..=to].iter().filter(|&&v| v > 0.0).count()
+    }
+
+    /// The cumulative series, as a fraction of the total, one point per
+    /// month. All points are in `[0, 1]` and non-decreasing. A zero-activity
+    /// heartbeat yields all zeros.
+    pub fn cumulative_fraction(&self) -> Vec<f64> {
+        let total = self.total();
+        let mut acc = 0.0;
+        self.values
+            .iter()
+            .map(|v| {
+                acc += v;
+                if total > 0.0 {
+                    acc / total
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Samples the cumulative fraction at `n` evenly spaced points of
+    /// normalized time (0%, ..., 100% of the covered range), for centroid
+    /// analysis (§5.2 quantizes lines to 20 such points).
+    pub fn sample_normalized(&self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let cum = self.cumulative_fraction();
+        if cum.is_empty() {
+            return vec![0.0; n];
+        }
+        let last = cum.len() - 1;
+        (0..n)
+            .map(|i| {
+                let t = if n == 1 {
+                    1.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
+                let idx = (t * last as f64).round() as usize;
+                cum[idx.min(last)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(n: i32) -> MonthId {
+        MonthId(n)
+    }
+
+    #[test]
+    fn add_grows_right_with_zero_padding() {
+        let mut h = Heartbeat::new();
+        h.add(m(10), 2.0);
+        h.add(m(13), 3.0);
+        assert_eq!(h.start(), Some(m(10)));
+        assert_eq!(h.values(), &[2.0, 0.0, 0.0, 3.0]);
+        assert_eq!(h.total(), 5.0);
+    }
+
+    #[test]
+    fn add_grows_left() {
+        let mut h = Heartbeat::new();
+        h.add(m(10), 2.0);
+        h.add(m(8), 1.0);
+        assert_eq!(h.start(), Some(m(8)));
+        assert_eq!(h.values(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn add_accumulates_same_month() {
+        let mut h = Heartbeat::new();
+        h.add(m(5), 1.0);
+        h.add(m(5), 2.5);
+        assert_eq!(h.values(), &[3.5]);
+    }
+
+    #[test]
+    fn extend_to_cover_pads_both_sides() {
+        let mut h = Heartbeat::new();
+        h.add(m(5), 1.0);
+        h.extend_to_cover(m(3), m(7));
+        assert_eq!(h.start(), Some(m(3)));
+        assert_eq!(h.month_count(), 5);
+        assert_eq!(h.total(), 1.0);
+        // Covering an empty heartbeat works too.
+        let mut e = Heartbeat::new();
+        e.extend_to_cover(m(0), m(2));
+        assert_eq!(e.month_count(), 3);
+        assert_eq!(e.total(), 0.0);
+    }
+
+    #[test]
+    fn extend_with_inverted_range_is_noop() {
+        let mut h = Heartbeat::new();
+        h.extend_to_cover(m(5), m(3));
+        assert_eq!(h.month_count(), 0);
+    }
+
+    #[test]
+    fn cumulative_fraction_is_monotone_and_ends_at_one() {
+        let h = Heartbeat::from_values(m(0), vec![1.0, 0.0, 3.0, 0.0]);
+        let c = h.cumulative_fraction();
+        assert_eq!(c, vec![0.25, 0.25, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn cumulative_fraction_of_zero_series_is_zero() {
+        let h = Heartbeat::from_values(m(0), vec![0.0, 0.0]);
+        assert_eq!(h.cumulative_fraction(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn active_indices() {
+        let h = Heartbeat::from_values(m(0), vec![0.0, 2.0, 0.0, 1.0, 0.0]);
+        assert_eq!(h.first_active_index(), Some(1));
+        assert_eq!(h.last_active_index(), Some(3));
+        assert_eq!(h.active_months_in(0, 4), 2);
+        assert_eq!(h.active_months_in(2, 2), 0);
+        assert_eq!(h.active_months_in(2, 100), 1);
+        assert_eq!(h.active_months_in(4, 1), 0);
+    }
+
+    #[test]
+    fn sample_normalized_endpoints_and_size() {
+        let h = Heartbeat::from_values(m(0), vec![1.0, 1.0, 1.0, 1.0]);
+        let s = h.sample_normalized(5);
+        assert_eq!(s.len(), 5);
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!((s[4] - 1.0).abs() < 1e-12);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sample_normalized_degenerate_cases() {
+        assert_eq!(Heartbeat::new().sample_normalized(3), vec![0.0; 3]);
+        let h = Heartbeat::from_values(m(0), vec![2.0]);
+        assert_eq!(h.sample_normalized(1), vec![1.0]);
+        assert!(h.sample_normalized(0).is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! The change-detection engine: compares two schema versions and emits the
+//! paper's attribute-level change taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Name, Schema};
+
+/// The kind of change an affected attribute underwent between two versions.
+///
+/// This is exactly the taxonomy of §3.2 of the paper. The first two kinds are
+/// **expansion**, the rest are **maintenance** (§6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// The attribute appears in a table that is new in this version.
+    AttributeBornWithTable,
+    /// The attribute was added to a table that already existed.
+    AttributeInjected,
+    /// The attribute disappeared because its whole table was dropped.
+    AttributeDeletedWithTable,
+    /// The attribute was removed from a table that survives.
+    AttributeEjected,
+    /// The attribute's declared data type changed.
+    DataTypeChanged,
+    /// The attribute's participation in a primary or foreign key changed.
+    KeyParticipationChanged,
+}
+
+impl ChangeKind {
+    /// Whether this kind counts as schema *expansion* (§6.3).
+    pub fn is_expansion(self) -> bool {
+        matches!(
+            self,
+            ChangeKind::AttributeBornWithTable | ChangeKind::AttributeInjected
+        )
+    }
+
+    /// Whether this kind counts as schema *maintenance* (§6.3).
+    pub fn is_maintenance(self) -> bool {
+        !self.is_expansion()
+    }
+
+    /// All kinds, in taxonomy order.
+    pub fn all() -> [ChangeKind; 6] {
+        [
+            ChangeKind::AttributeBornWithTable,
+            ChangeKind::AttributeInjected,
+            ChangeKind::AttributeDeletedWithTable,
+            ChangeKind::AttributeEjected,
+            ChangeKind::DataTypeChanged,
+            ChangeKind::KeyParticipationChanged,
+        ]
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChangeKind::AttributeBornWithTable => "born-with-table",
+            ChangeKind::AttributeInjected => "injected",
+            ChangeKind::AttributeDeletedWithTable => "deleted-with-table",
+            ChangeKind::AttributeEjected => "ejected",
+            ChangeKind::DataTypeChanged => "type-changed",
+            ChangeKind::KeyParticipationChanged => "key-changed",
+        }
+    }
+}
+
+/// One affected attribute in a version transition.
+///
+/// An attribute is reported **at most once** per transition, with the most
+/// significant applicable kind (existence changes take precedence over type
+/// changes, which take precedence over key-participation changes) — the
+/// paper's unit is the *number of affected attributes*, not the number of
+/// micro-edits.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeChange {
+    /// The table holding the attribute (the *new* table name where relevant).
+    pub table: Name,
+    /// The affected attribute.
+    pub attribute: Name,
+    /// What happened to it.
+    pub kind: ChangeKind,
+}
+
+/// The result of diffing two schema versions.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaDiff {
+    /// Tables present only in the new version.
+    pub tables_added: Vec<Name>,
+    /// Tables present only in the old version.
+    pub tables_dropped: Vec<Name>,
+    /// One entry per affected attribute.
+    pub changes: Vec<AttributeChange>,
+}
+
+impl SchemaDiff {
+    /// The paper's activity measure: the number of affected attributes.
+    pub fn attribute_change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Number of expansion changes (attribute born with table or injected).
+    pub fn expansion_count(&self) -> usize {
+        self.changes
+            .iter()
+            .filter(|c| c.kind.is_expansion())
+            .count()
+    }
+
+    /// Number of maintenance changes (deletions, type and key updates).
+    pub fn maintenance_count(&self) -> usize {
+        self.changes
+            .iter()
+            .filter(|c| c.kind.is_maintenance())
+            .count()
+    }
+
+    /// Count of changes of one specific kind.
+    pub fn count_of(&self, kind: ChangeKind) -> usize {
+        self.changes.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// True when nothing changed at the logical level.
+    pub fn is_empty(&self) -> bool {
+        self.tables_added.is_empty() && self.tables_dropped.is_empty() && self.changes.is_empty()
+    }
+}
+
+/// Compares two schema versions and reports the logical-level changes.
+///
+/// Tables are matched by (case-insensitive) name; a renamed table therefore
+/// appears as a drop plus an addition, which is how history miners without
+/// rename heuristics (including the study's toolchain) measure it. Within a
+/// surviving table, attributes are likewise matched by name.
+///
+/// ```
+/// use schemachron_model::{Schema, Table, Attribute, DataType, diff, ChangeKind};
+///
+/// let mut old = Schema::new();
+/// let mut t = Table::new("orders");
+/// t.push_attribute(Attribute::new("id", DataType::named("int")));
+/// old.insert_table(t);
+///
+/// let new = Schema::new(); // table dropped
+/// let d = diff(&old, &new);
+/// assert_eq!(d.tables_dropped.len(), 1);
+/// assert_eq!(d.count_of(ChangeKind::AttributeDeletedWithTable), 1);
+/// ```
+pub fn diff(old: &Schema, new: &Schema) -> SchemaDiff {
+    let mut out = SchemaDiff::default();
+
+    // Dropped tables: every attribute deleted with the table.
+    for t in old.tables() {
+        if new.table(t.name.as_str()).is_none() {
+            out.tables_dropped.push(t.name.clone());
+            for a in t.attributes() {
+                out.changes.push(AttributeChange {
+                    table: t.name.clone(),
+                    attribute: a.name.clone(),
+                    kind: ChangeKind::AttributeDeletedWithTable,
+                });
+            }
+        }
+    }
+
+    for t_new in new.tables() {
+        match old.table(t_new.name.as_str()) {
+            None => {
+                // New table: every attribute born with it.
+                out.tables_added.push(t_new.name.clone());
+                for a in t_new.attributes() {
+                    out.changes.push(AttributeChange {
+                        table: t_new.name.clone(),
+                        attribute: a.name.clone(),
+                        kind: ChangeKind::AttributeBornWithTable,
+                    });
+                }
+            }
+            Some(t_old) => {
+                // Surviving table: match attributes by name.
+                for a_old in t_old.attributes() {
+                    if t_new.attribute(a_old.name.as_str()).is_none() {
+                        out.changes.push(AttributeChange {
+                            table: t_new.name.clone(),
+                            attribute: a_old.name.clone(),
+                            kind: ChangeKind::AttributeEjected,
+                        });
+                    }
+                }
+                for a_new in t_new.attributes() {
+                    let Some(a_old) = t_old.attribute(a_new.name.as_str()) else {
+                        out.changes.push(AttributeChange {
+                            table: t_new.name.clone(),
+                            attribute: a_new.name.clone(),
+                            kind: ChangeKind::AttributeInjected,
+                        });
+                        continue;
+                    };
+                    if a_old.data_type != a_new.data_type {
+                        out.changes.push(AttributeChange {
+                            table: t_new.name.clone(),
+                            attribute: a_new.name.clone(),
+                            kind: ChangeKind::DataTypeChanged,
+                        });
+                        continue;
+                    }
+                    let key_changed = t_old.in_primary_key(&a_new.name)
+                        != t_new.in_primary_key(&a_new.name)
+                        || t_old.fk_memberships(&a_new.name) != t_new.fk_memberships(&a_new.name);
+                    if key_changed {
+                        out.changes.push(AttributeChange {
+                            table: t_new.name.clone(),
+                            attribute: a_new.name.clone(),
+                            kind: ChangeKind::KeyParticipationChanged,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, DataType, ForeignKey, Table};
+
+    fn table(name: &str, cols: &[(&str, &str)]) -> Table {
+        let mut t = Table::new(name);
+        for (c, ty) in cols {
+            t.push_attribute(Attribute::new(*c, DataType::named(*ty)));
+        }
+        t
+    }
+
+    fn schema_of(tables: Vec<Table>) -> Schema {
+        let mut s = Schema::new();
+        for t in tables {
+            s.insert_table(t);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_schemas_produce_empty_diff() {
+        let s = schema_of(vec![table("a", &[("x", "int"), ("y", "text")])]);
+        let d = diff(&s, &s.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.attribute_change_count(), 0);
+    }
+
+    #[test]
+    fn new_table_counts_every_attribute_as_born() {
+        let old = Schema::new();
+        let new = schema_of(vec![table(
+            "t",
+            &[("a", "int"), ("b", "int"), ("c", "int")],
+        )]);
+        let d = diff(&old, &new);
+        assert_eq!(d.tables_added, vec![Name::from("t")]);
+        assert_eq!(d.count_of(ChangeKind::AttributeBornWithTable), 3);
+        assert_eq!(d.expansion_count(), 3);
+        assert_eq!(d.maintenance_count(), 0);
+    }
+
+    #[test]
+    fn dropped_table_counts_every_attribute_as_deleted() {
+        let old = schema_of(vec![table("t", &[("a", "int"), ("b", "int")])]);
+        let new = Schema::new();
+        let d = diff(&old, &new);
+        assert_eq!(d.tables_dropped, vec![Name::from("t")]);
+        assert_eq!(d.count_of(ChangeKind::AttributeDeletedWithTable), 2);
+        assert_eq!(d.maintenance_count(), 2);
+    }
+
+    #[test]
+    fn injected_and_ejected_in_surviving_table() {
+        let old = schema_of(vec![table("t", &[("keep", "int"), ("gone", "int")])]);
+        let new = schema_of(vec![table("t", &[("keep", "int"), ("fresh", "int")])]);
+        let d = diff(&old, &new);
+        assert_eq!(d.count_of(ChangeKind::AttributeInjected), 1);
+        assert_eq!(d.count_of(ChangeKind::AttributeEjected), 1);
+        assert!(d.tables_added.is_empty());
+        assert!(d.tables_dropped.is_empty());
+    }
+
+    #[test]
+    fn data_type_change_detected_and_shadows_key_change() {
+        let old = schema_of(vec![table("t", &[("x", "int")])]);
+        let mut new = schema_of(vec![table("t", &[("x", "bigint")])]);
+        // Also add x to the PK; the type change takes precedence.
+        new.table_mut("t").unwrap().primary_key = vec![Name::from("x")];
+        let d = diff(&old, &new);
+        assert_eq!(d.attribute_change_count(), 1);
+        assert_eq!(d.changes[0].kind, ChangeKind::DataTypeChanged);
+    }
+
+    #[test]
+    fn primary_key_participation_change_detected() {
+        let old = schema_of(vec![table("t", &[("x", "int")])]);
+        let mut new = old.clone();
+        new.table_mut("t").unwrap().primary_key = vec![Name::from("x")];
+        let d = diff(&old, &new);
+        assert_eq!(d.attribute_change_count(), 1);
+        assert_eq!(d.changes[0].kind, ChangeKind::KeyParticipationChanged);
+        assert_eq!(d.maintenance_count(), 1);
+    }
+
+    #[test]
+    fn foreign_key_participation_change_detected() {
+        let old = schema_of(vec![
+            table("t", &[("ref_id", "int")]),
+            table("parent", &[("id", "int")]),
+        ]);
+        let mut new = old.clone();
+        new.table_mut("t").unwrap().foreign_keys.push(ForeignKey {
+            name: None,
+            columns: vec![Name::from("ref_id")],
+            ref_table: Name::from("parent"),
+            ref_columns: vec![Name::from("id")],
+        });
+        let d = diff(&old, &new);
+        assert_eq!(d.attribute_change_count(), 1);
+        assert_eq!(d.changes[0].kind, ChangeKind::KeyParticipationChanged);
+    }
+
+    #[test]
+    fn table_rename_reported_as_drop_plus_add() {
+        let old = schema_of(vec![table("alpha", &[("x", "int")])]);
+        let new = schema_of(vec![table("beta", &[("x", "int")])]);
+        let d = diff(&old, &new);
+        assert_eq!(d.tables_dropped, vec![Name::from("alpha")]);
+        assert_eq!(d.tables_added, vec![Name::from("beta")]);
+        assert_eq!(d.attribute_change_count(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_matching_suppresses_spurious_changes() {
+        let old = schema_of(vec![table("Users", &[("Id", "int")])]);
+        let new = schema_of(vec![table("users", &[("id", "INT")])]);
+        let d = diff(&old, &new);
+        assert!(d.is_empty(), "case-only differences are not changes: {d:?}");
+    }
+
+    #[test]
+    fn expansion_plus_maintenance_equals_total() {
+        let old = schema_of(vec![
+            table("a", &[("x", "int")]),
+            table("b", &[("y", "int")]),
+        ]);
+        let mut new = schema_of(vec![table("a", &[("x", "bigint"), ("z", "int")])]);
+        new.insert_table(table("c", &[("w", "int")]));
+        let d = diff(&old, &new);
+        assert_eq!(
+            d.expansion_count() + d.maintenance_count(),
+            d.attribute_change_count()
+        );
+        // b dropped (1 deleted), c added (1 born), z injected, x type-changed.
+        assert_eq!(d.attribute_change_count(), 4);
+    }
+
+    #[test]
+    fn change_kind_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            ChangeKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

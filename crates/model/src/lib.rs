@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # schemachron-model
+//!
+//! The logical relational schema model and the change-detection (diff)
+//! engine used throughout `schemachron`.
+//!
+//! The model captures exactly the *logical level* the EDBT 2025 study
+//! "Time-Related Patterns Of Schema Evolution" measures: tables, attributes,
+//! data types, and primary-/foreign-key participation. Physical concerns
+//! (storage engines, indexes, tablespaces) are deliberately out of scope, as
+//! they are in the paper.
+//!
+//! ## The unit of change
+//!
+//! The study's unit of measurement is the **affected attribute** (§3.2 of the
+//! paper): an attribute that is
+//!
+//! * born with a new table ([`ChangeKind::AttributeBornWithTable`]),
+//! * injected into an existing table ([`ChangeKind::AttributeInjected`]),
+//! * deleted together with a removed table
+//!   ([`ChangeKind::AttributeDeletedWithTable`]),
+//! * ejected from a surviving table ([`ChangeKind::AttributeEjected`]),
+//! * has its data type changed ([`ChangeKind::DataTypeChanged`]), or
+//! * has its participation in a primary or foreign key updated
+//!   ([`ChangeKind::KeyParticipationChanged`]).
+//!
+//! [`diff`] compares two schema versions and emits one
+//! [`AttributeChange`] per affected attribute, so
+//! [`SchemaDiff::attribute_change_count`] is precisely the paper's measure of
+//! activity for a version transition.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use schemachron_model::{Schema, Table, Attribute, DataType, diff};
+//!
+//! let mut v1 = Schema::new();
+//! let mut t = Table::new("users");
+//! t.push_attribute(Attribute::new("id", DataType::named("int")));
+//! t.push_attribute(Attribute::new("name", DataType::with_params("varchar", vec![64])));
+//! v1.insert_table(t);
+//!
+//! let mut v2 = v1.clone();
+//! v2.table_mut("users")
+//!     .unwrap()
+//!     .push_attribute(Attribute::new("email", DataType::with_params("varchar", vec![128])));
+//!
+//! let d = diff(&v1, &v2);
+//! assert_eq!(d.attribute_change_count(), 1);
+//! assert_eq!(d.expansion_count(), 1);
+//! assert_eq!(d.maintenance_count(), 0);
+//! ```
+
+mod diff;
+mod name;
+mod render;
+mod schema;
+
+pub use diff::{diff, AttributeChange, ChangeKind, SchemaDiff};
+pub use name::Name;
+pub use render::render_schema_sql;
+pub use schema::{Attribute, DataType, ForeignKey, Schema, SchemaStats, Table, View};

@@ -1,0 +1,153 @@
+//! Case-insensitive SQL identifiers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A SQL identifier (table, attribute, or constraint name).
+///
+/// SQL identifiers compare case-insensitively in the dialects the study's
+/// corpus covers (MySQL, PostgreSQL, SQLite all fold unquoted identifiers).
+/// `Name` preserves the original spelling for display but implements
+/// [`PartialEq`], [`Ord`] and [`Hash`] on the ASCII-lowercased form, so
+/// `Name::from("Users") == Name::from("users")`.
+///
+/// ```
+/// use schemachron_model::Name;
+/// assert_eq!(Name::from("CUSTOMER"), Name::from("customer"));
+/// assert_eq!(Name::from("café"), Name::from("café"));
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Name(String);
+
+impl Name {
+    /// Creates a name from anything string-like.
+    pub fn new(raw: impl Into<String>) -> Self {
+        Name(raw.into())
+    }
+
+    /// The original spelling of the identifier.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The normalized (ASCII-lowercased) form used for comparisons.
+    pub fn normalized(&self) -> String {
+        self.0.to_ascii_lowercase()
+    }
+
+    fn norm_bytes(&self) -> impl Iterator<Item = u8> + '_ {
+        self.0.bytes().map(|b| b.to_ascii_lowercase())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.eq_ignore_ascii_case(&other.0)
+    }
+}
+
+impl Eq for Name {}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.norm_bytes().cmp(other.norm_bytes())
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for b in self.norm_bytes() {
+            state.write_u8(b);
+        }
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name(s.to_owned())
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(s)
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(n: &Name) -> u64 {
+        let mut h = DefaultHasher::new();
+        n.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_is_case_insensitive() {
+        assert_eq!(Name::from("Users"), Name::from("USERS"));
+        assert_ne!(Name::from("users"), Name::from("user"));
+    }
+
+    #[test]
+    fn display_preserves_original_spelling() {
+        assert_eq!(Name::from("OrderLine").to_string(), "OrderLine");
+    }
+
+    #[test]
+    fn hash_agrees_with_equality() {
+        assert_eq!(hash_of(&Name::from("ABC")), hash_of(&Name::from("abc")));
+    }
+
+    #[test]
+    fn ordering_is_case_insensitive() {
+        let mut v = [Name::from("b"), Name::from("A"), Name::from("C")];
+        v.sort();
+        let spellings: Vec<&str> = v.iter().map(Name::as_str).collect();
+        assert_eq!(spellings, vec!["A", "b", "C"]);
+    }
+
+    #[test]
+    fn ordering_total_on_equal_prefixes() {
+        assert!(Name::from("ab") < Name::from("abc"));
+        assert!(Name::from("abc") > Name::from("ab"));
+        assert_eq!(Name::from("ab").cmp(&Name::from("AB")), Ordering::Equal);
+    }
+
+    #[test]
+    fn non_ascii_names_compare_exactly() {
+        // Only ASCII case folding is applied; non-ASCII bytes compare verbatim.
+        assert_eq!(Name::from("café"), Name::from("café"));
+        assert_ne!(Name::from("café"), Name::from("cafe"));
+    }
+}

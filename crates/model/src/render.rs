@@ -1,0 +1,150 @@
+//! Rendering a [`Schema`] back to canonical SQL DDL.
+//!
+//! Used by the corpus materializer (to emit snapshot dumps) and by the
+//! round-trip property tests (`parse(render(s)) == s`).
+
+use std::fmt::Write as _;
+
+use crate::{Schema, Table};
+
+/// Renders the whole schema as a sequence of `CREATE TABLE` / `CREATE VIEW`
+/// statements in deterministic (name) order.
+///
+/// The output is plain ANSI-flavored SQL that `schemachron-ddl` parses back
+/// to an equal [`Schema`].
+pub fn render_schema_sql(schema: &Schema) -> String {
+    let mut out = String::new();
+    for t in schema.tables() {
+        render_table(&mut out, t);
+        out.push('\n');
+    }
+    for v in schema.views() {
+        let _ = writeln!(
+            out,
+            "CREATE VIEW {} AS {};",
+            quote_ident(v.name.as_str()),
+            v.definition
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn render_table(out: &mut String, t: &Table) {
+    let _ = writeln!(out, "CREATE TABLE {} (", quote_ident(t.name.as_str()));
+    let mut lines: Vec<String> = Vec::new();
+    for a in t.attributes() {
+        let mut line = format!("  {} {}", quote_ident(a.name.as_str()), a.data_type);
+        if a.not_null {
+            line.push_str(" NOT NULL");
+        }
+        if let Some(d) = &a.default {
+            let _ = write!(line, " DEFAULT {d}");
+        }
+        if a.auto_increment {
+            line.push_str(" AUTO_INCREMENT");
+        }
+        lines.push(line);
+    }
+    if !t.primary_key.is_empty() {
+        lines.push(format!("  PRIMARY KEY ({})", join_idents(&t.primary_key)));
+    }
+    for u in &t.uniques {
+        lines.push(format!("  UNIQUE ({})", join_idents(u)));
+    }
+    for fk in &t.foreign_keys {
+        let mut line = String::from("  ");
+        if let Some(n) = &fk.name {
+            let _ = write!(line, "CONSTRAINT {} ", quote_ident(n.as_str()));
+        }
+        let _ = write!(
+            line,
+            "FOREIGN KEY ({}) REFERENCES {}",
+            join_idents(&fk.columns),
+            quote_ident(fk.ref_table.as_str())
+        );
+        if !fk.ref_columns.is_empty() {
+            let _ = write!(line, " ({})", join_idents(&fk.ref_columns));
+        }
+        lines.push(line);
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n);\n");
+}
+
+fn join_idents(names: &[crate::Name]) -> String {
+    names
+        .iter()
+        .map(|n| quote_ident(n.as_str()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Quotes an identifier with double quotes when it is not a plain
+/// `[A-Za-z_][A-Za-z0-9_]*` word.
+fn quote_ident(s: &str) -> String {
+    let plain = !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if plain {
+        s.to_owned()
+    } else {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, DataType, ForeignKey, Name, View};
+
+    #[test]
+    fn renders_table_with_keys() {
+        let mut s = Schema::new();
+        let mut t = Table::new("orders");
+        t.push_attribute(Attribute::new("id", DataType::named("int")).not_null());
+        t.push_attribute(
+            Attribute::new("total", DataType::with_params("decimal", vec![10, 2]))
+                .with_default("0"),
+        );
+        t.primary_key = vec![Name::from("id")];
+        t.foreign_keys.push(ForeignKey {
+            name: Some(Name::from("fk_customer")),
+            columns: vec![Name::from("id")],
+            ref_table: Name::from("customers"),
+            ref_columns: vec![Name::from("id")],
+        });
+        s.insert_table(t);
+        let sql = render_schema_sql(&s);
+        assert!(sql.contains("CREATE TABLE orders ("));
+        assert!(sql.contains("id int NOT NULL"));
+        assert!(sql.contains("total decimal(10, 2) DEFAULT 0"));
+        assert!(sql.contains("PRIMARY KEY (id)"));
+        assert!(sql.contains("CONSTRAINT fk_customer FOREIGN KEY (id) REFERENCES customers (id)"));
+    }
+
+    #[test]
+    fn quotes_non_plain_identifiers() {
+        assert_eq!(quote_ident("plain_name2"), "plain_name2");
+        assert_eq!(quote_ident("has space"), "\"has space\"");
+        assert_eq!(quote_ident("3leading"), "\"3leading\"");
+        assert_eq!(quote_ident("qu\"ote"), "\"qu\"\"ote\"");
+    }
+
+    #[test]
+    fn renders_views() {
+        let mut s = Schema::new();
+        s.insert_view(View {
+            name: Name::from("v1"),
+            definition: "SELECT 1".into(),
+        });
+        assert!(render_schema_sql(&s).contains("CREATE VIEW v1 AS SELECT 1;"));
+    }
+
+    #[test]
+    fn empty_schema_renders_empty_string() {
+        assert_eq!(render_schema_sql(&Schema::new()), "");
+    }
+}

@@ -1,0 +1,586 @@
+//! The logical schema model: schemas, tables, attributes, data types, keys.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Name;
+
+/// A (simplified, logical-level) SQL data type: a base name plus optional
+/// numeric parameters, e.g. `varchar(255)` or `decimal(10, 2)`.
+///
+/// Type names are normalized to ASCII lowercase on construction so that
+/// `VARCHAR(40)` and `varchar(40)` compare equal; the study counts a
+/// data-type change only when the *logical* type actually differs.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataType {
+    base: String,
+    params: Vec<i64>,
+    /// Dialect modifiers that change the logical type (e.g. `unsigned`).
+    modifiers: Vec<String>,
+}
+
+impl DataType {
+    /// A parameterless type such as `int` or `text`.
+    pub fn named(base: impl Into<String>) -> Self {
+        DataType::with_params(base, Vec::new())
+    }
+
+    /// A parameterized type such as `varchar(255)`.
+    pub fn with_params(base: impl Into<String>, params: Vec<i64>) -> Self {
+        DataType {
+            base: base.into().to_ascii_lowercase(),
+            params,
+            modifiers: Vec::new(),
+        }
+    }
+
+    /// Adds a logical modifier (e.g. `unsigned`), normalized to lowercase.
+    pub fn with_modifier(mut self, modifier: impl Into<String>) -> Self {
+        self.modifiers.push(modifier.into().to_ascii_lowercase());
+        self
+    }
+
+    /// The normalized base type name (`varchar`, `int`, ...).
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The numeric parameters (length, precision/scale, ...).
+    pub fn params(&self) -> &[i64] {
+        &self.params
+    }
+
+    /// Logical modifiers such as `unsigned`.
+    pub fn modifiers(&self) -> &[String] {
+        &self.modifiers
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.base)?;
+        if !self.params.is_empty() {
+            write!(f, "(")?;
+            for (i, p) in self.params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, ")")?;
+        }
+        for m in &self.modifiers {
+            write!(f, " {m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DataType({self})")
+    }
+}
+
+/// A single attribute (column) of a table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// The attribute name.
+    pub name: Name,
+    /// The declared data type.
+    pub data_type: DataType,
+    /// Whether a `NOT NULL` constraint is present.
+    pub not_null: bool,
+    /// The raw text of the `DEFAULT` expression, if any.
+    pub default: Option<String>,
+    /// Whether the column auto-increments (`AUTO_INCREMENT`, `SERIAL`, ...).
+    pub auto_increment: bool,
+}
+
+impl Attribute {
+    /// Creates a nullable attribute with no default.
+    pub fn new(name: impl Into<Name>, data_type: DataType) -> Self {
+        Attribute {
+            name: name.into(),
+            data_type,
+            not_null: false,
+            default: None,
+            auto_increment: false,
+        }
+    }
+
+    /// Builder-style: marks the attribute `NOT NULL`.
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    /// Builder-style: sets the default expression.
+    pub fn with_default(mut self, expr: impl Into<String>) -> Self {
+        self.default = Some(expr.into());
+        self
+    }
+}
+
+/// A foreign-key constraint of a table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Optional constraint name.
+    pub name: Option<Name>,
+    /// Referencing columns (in this table).
+    pub columns: Vec<Name>,
+    /// The referenced table.
+    pub ref_table: Name,
+    /// The referenced columns; empty means "the primary key of `ref_table`".
+    pub ref_columns: Vec<Name>,
+}
+
+/// A table: an ordered list of attributes plus key constraints.
+///
+/// Attribute order is preserved (it matters for rendering and for
+/// dump-style diffs), but lookups are by case-insensitive name.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// The table name.
+    pub name: Name,
+    attributes: Vec<Attribute>,
+    /// The primary-key columns, in key order. Empty = no primary key.
+    pub primary_key: Vec<Name>,
+    /// Foreign keys declared on this table.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Columns under single- or multi-column `UNIQUE` constraints.
+    pub uniques: Vec<Vec<Name>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<Name>) -> Self {
+        Table {
+            name: name.into(),
+            attributes: Vec::new(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+            uniques: Vec::new(),
+        }
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn attribute_count(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Looks up an attribute by (case-insensitive) name.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        let key = Name::from(name);
+        self.attributes.iter().find(|a| a.name == key)
+    }
+
+    /// Mutable lookup by (case-insensitive) name.
+    pub fn attribute_mut(&mut self, name: &str) -> Option<&mut Attribute> {
+        let key = Name::from(name);
+        self.attributes.iter_mut().find(|a| a.name == key)
+    }
+
+    /// Appends an attribute. Replaces an existing attribute of the same name
+    /// in place (keeping its position), mirroring how repeated `ADD COLUMN`
+    /// in sloppy migration scripts behaves in tolerant miners.
+    pub fn push_attribute(&mut self, attr: Attribute) {
+        if let Some(existing) = self.attributes.iter_mut().find(|a| a.name == attr.name) {
+            *existing = attr;
+        } else {
+            self.attributes.push(attr);
+        }
+    }
+
+    /// Inserts an attribute at a specific position (for `ADD COLUMN ... AFTER c`).
+    /// Positions past the end append.
+    pub fn insert_attribute(&mut self, index: usize, attr: Attribute) {
+        if self.attributes.iter().any(|a| a.name == attr.name) {
+            self.push_attribute(attr);
+            return;
+        }
+        let index = index.min(self.attributes.len());
+        self.attributes.insert(index, attr);
+    }
+
+    /// Removes an attribute by name, returning it if present. Also scrubs the
+    /// attribute from the primary key, uniques and foreign keys.
+    pub fn remove_attribute(&mut self, name: &str) -> Option<Attribute> {
+        let key = Name::from(name);
+        let pos = self.attributes.iter().position(|a| a.name == key)?;
+        let attr = self.attributes.remove(pos);
+        self.primary_key.retain(|c| *c != key);
+        for u in &mut self.uniques {
+            u.retain(|c| *c != key);
+        }
+        self.uniques.retain(|u| !u.is_empty());
+        self.foreign_keys.retain(|fk| !fk.columns.contains(&key));
+        Some(attr)
+    }
+
+    /// Renames an attribute (for `CHANGE COLUMN` / `RENAME COLUMN`), updating
+    /// key participation. Returns `false` if the old name does not exist.
+    pub fn rename_attribute(&mut self, old: &str, new: impl Into<Name>) -> bool {
+        let old_key = Name::from(old);
+        let new_name: Name = new.into();
+        let Some(attr) = self.attributes.iter_mut().find(|a| a.name == old_key) else {
+            return false;
+        };
+        attr.name = new_name.clone();
+        for c in self.primary_key.iter_mut() {
+            if *c == old_key {
+                *c = new_name.clone();
+            }
+        }
+        for u in &mut self.uniques {
+            for c in u.iter_mut() {
+                if *c == old_key {
+                    *c = new_name.clone();
+                }
+            }
+        }
+        for fk in &mut self.foreign_keys {
+            for c in fk.columns.iter_mut() {
+                if *c == old_key {
+                    *c = new_name.clone();
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether `column` participates in the primary key.
+    pub fn in_primary_key(&self, column: &Name) -> bool {
+        self.primary_key.contains(column)
+    }
+
+    /// The set of foreign keys a column participates in, identified by the
+    /// referenced table (a stable identity across versions).
+    pub fn fk_memberships(&self, column: &Name) -> Vec<&Name> {
+        let mut v: Vec<&Name> = self
+            .foreign_keys
+            .iter()
+            .filter(|fk| fk.columns.contains(column))
+            .map(|fk| &fk.ref_table)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// A view; the study tracks views only by name and definition text.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    /// The view name.
+    pub name: Name,
+    /// The raw `SELECT` body.
+    pub definition: String,
+}
+
+/// A full logical schema: a set of tables (and views) keyed by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    tables: BTreeMap<Name, Table>,
+    views: BTreeMap<Name, View>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of attributes over all tables (the study's "schema size").
+    pub fn attribute_count(&self) -> usize {
+        self.tables.values().map(Table::attribute_count).sum()
+    }
+
+    /// Whether the schema holds no tables and no views.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.views.is_empty()
+    }
+
+    /// Iterates over tables in name order (deterministic).
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Looks up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&Name::from(name))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&Name::from(name))
+    }
+
+    /// Inserts (or replaces) a table.
+    pub fn insert_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Removes a table by name, returning it if present.
+    pub fn remove_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(&Name::from(name))
+    }
+
+    /// Renames a table, preserving its contents. Returns `false` if absent.
+    pub fn rename_table(&mut self, old: &str, new: impl Into<Name>) -> bool {
+        let Some(mut t) = self.tables.remove(&Name::from(old)) else {
+            return false;
+        };
+        let new_name: Name = new.into();
+        t.name = new_name.clone();
+        self.tables.insert(new_name, t);
+        true
+    }
+
+    /// Iterates over views in name order.
+    pub fn views(&self) -> impl Iterator<Item = &View> {
+        self.views.values()
+    }
+
+    /// Looks up a view by case-insensitive name.
+    pub fn view(&self, name: &str) -> Option<&View> {
+        self.views.get(&Name::from(name))
+    }
+
+    /// Inserts (or replaces) a view.
+    pub fn insert_view(&mut self, view: View) {
+        self.views.insert(view.name.clone(), view);
+    }
+
+    /// Removes a view by name.
+    pub fn remove_view(&mut self, name: &str) -> Option<View> {
+        self.views.remove(&Name::from(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users_table() -> Table {
+        let mut t = Table::new("users");
+        t.push_attribute(Attribute::new("id", DataType::named("int")).not_null());
+        t.push_attribute(Attribute::new(
+            "name",
+            DataType::with_params("varchar", vec![64]),
+        ));
+        t.primary_key = vec![Name::from("id")];
+        t
+    }
+
+    #[test]
+    fn data_type_display_and_equality() {
+        let d = DataType::with_params("VarChar", vec![255]);
+        assert_eq!(d.to_string(), "varchar(255)");
+        assert_eq!(d, DataType::with_params("varchar", vec![255]));
+        assert_ne!(d, DataType::with_params("varchar", vec![100]));
+        assert_ne!(
+            DataType::named("int"),
+            DataType::named("int").with_modifier("unsigned")
+        );
+    }
+
+    #[test]
+    fn table_attribute_lookup_is_case_insensitive() {
+        let t = users_table();
+        assert!(t.attribute("NAME").is_some());
+        assert!(t.attribute("missing").is_none());
+        assert_eq!(t.attribute_count(), 2);
+    }
+
+    #[test]
+    fn push_attribute_replaces_same_name_in_place() {
+        let mut t = users_table();
+        t.push_attribute(Attribute::new("NAME", DataType::named("text")));
+        assert_eq!(t.attribute_count(), 2);
+        assert_eq!(
+            t.attribute("name").unwrap().data_type,
+            DataType::named("text")
+        );
+        // Position retained: still the second attribute.
+        assert_eq!(t.attributes()[1].name, Name::from("name"));
+    }
+
+    #[test]
+    fn insert_attribute_respects_position_and_clamps() {
+        let mut t = users_table();
+        t.insert_attribute(1, Attribute::new("email", DataType::named("text")));
+        assert_eq!(t.attributes()[1].name, Name::from("email"));
+        t.insert_attribute(99, Attribute::new("bio", DataType::named("text")));
+        assert_eq!(t.attributes().last().unwrap().name, Name::from("bio"));
+    }
+
+    #[test]
+    fn remove_attribute_scrubs_keys() {
+        let mut t = users_table();
+        t.uniques.push(vec![Name::from("name")]);
+        t.foreign_keys.push(ForeignKey {
+            name: None,
+            columns: vec![Name::from("id")],
+            ref_table: Name::from("accounts"),
+            ref_columns: vec![],
+        });
+        let removed = t.remove_attribute("id").unwrap();
+        assert_eq!(removed.name, Name::from("id"));
+        assert!(t.primary_key.is_empty());
+        assert!(t.foreign_keys.is_empty());
+        assert_eq!(t.uniques.len(), 1);
+        assert!(t.remove_attribute("id").is_none());
+    }
+
+    #[test]
+    fn rename_attribute_updates_key_participation() {
+        let mut t = users_table();
+        assert!(t.rename_attribute("id", "user_id"));
+        assert!(t.attribute("user_id").is_some());
+        assert_eq!(t.primary_key, vec![Name::from("user_id")]);
+        assert!(!t.rename_attribute("ghost", "x"));
+    }
+
+    #[test]
+    fn fk_membership_identity_is_referenced_table() {
+        let mut t = users_table();
+        t.foreign_keys.push(ForeignKey {
+            name: Some(Name::from("fk1")),
+            columns: vec![Name::from("name")],
+            ref_table: Name::from("directory"),
+            ref_columns: vec![Name::from("full_name")],
+        });
+        assert_eq!(
+            t.fk_memberships(&Name::from("name")),
+            vec![&Name::from("directory")]
+        );
+        assert!(t.fk_memberships(&Name::from("id")).is_empty());
+    }
+
+    #[test]
+    fn schema_insert_lookup_remove_rename() {
+        let mut s = Schema::new();
+        s.insert_table(users_table());
+        assert_eq!(s.table_count(), 1);
+        assert_eq!(s.attribute_count(), 2);
+        assert!(s.table("USERS").is_some());
+        assert!(s.rename_table("users", "accounts"));
+        assert!(s.table("users").is_none());
+        assert!(s.table("accounts").is_some());
+        assert!(s.remove_table("accounts").is_some());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn schema_views_roundtrip() {
+        let mut s = Schema::new();
+        s.insert_view(View {
+            name: Name::from("v_active"),
+            definition: "SELECT * FROM users".into(),
+        });
+        assert!(s.view("V_ACTIVE").is_some());
+        assert!(!s.is_empty());
+        assert!(s.remove_view("v_active").is_some());
+        assert!(s.is_empty());
+    }
+}
+
+/// Aggregate statistics of one schema — the summary shape miners print.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaStats {
+    /// Number of tables.
+    pub tables: usize,
+    /// Total attributes over all tables.
+    pub attributes: usize,
+    /// Number of views.
+    pub views: usize,
+    /// Tables with a primary key.
+    pub tables_with_pk: usize,
+    /// Foreign-key constraints over all tables.
+    pub foreign_keys: usize,
+    /// Attribute count per base data type, in descending frequency.
+    pub type_distribution: Vec<(String, usize)>,
+}
+
+impl Schema {
+    /// Computes the aggregate statistics of this schema.
+    pub fn stats(&self) -> SchemaStats {
+        let mut by_type: BTreeMap<String, usize> = BTreeMap::new();
+        let mut tables_with_pk = 0;
+        let mut foreign_keys = 0;
+        for t in self.tables() {
+            if !t.primary_key.is_empty() {
+                tables_with_pk += 1;
+            }
+            foreign_keys += t.foreign_keys.len();
+            for a in t.attributes() {
+                *by_type.entry(a.data_type.base().to_owned()).or_insert(0) += 1;
+            }
+        }
+        let mut type_distribution: Vec<(String, usize)> = by_type.into_iter().collect();
+        type_distribution.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        SchemaStats {
+            tables: self.table_count(),
+            attributes: self.attribute_count(),
+            views: self.views().count(),
+            tables_with_pk,
+            foreign_keys,
+            type_distribution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate_structure() {
+        let mut s = Schema::new();
+        let mut a = Table::new("a");
+        a.push_attribute(Attribute::new("x", DataType::named("int")));
+        a.push_attribute(Attribute::new("y", DataType::named("int")));
+        a.primary_key = vec![Name::from("x")];
+        a.foreign_keys.push(ForeignKey {
+            name: None,
+            columns: vec![Name::from("y")],
+            ref_table: Name::from("b"),
+            ref_columns: vec![],
+        });
+        s.insert_table(a);
+        let mut b = Table::new("b");
+        b.push_attribute(Attribute::new("z", DataType::named("text")));
+        s.insert_table(b);
+        s.insert_view(View {
+            name: Name::from("v"),
+            definition: "SELECT 1".into(),
+        });
+        let stats = s.stats();
+        assert_eq!(stats.tables, 2);
+        assert_eq!(stats.attributes, 3);
+        assert_eq!(stats.views, 1);
+        assert_eq!(stats.tables_with_pk, 1);
+        assert_eq!(stats.foreign_keys, 1);
+        assert_eq!(
+            stats.type_distribution,
+            vec![("int".to_owned(), 2), ("text".to_owned(), 1)]
+        );
+    }
+
+    #[test]
+    fn empty_schema_stats_are_zero() {
+        assert_eq!(Schema::new().stats(), SchemaStats::default());
+    }
+}

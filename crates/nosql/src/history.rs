@@ -1,0 +1,148 @@
+//! Document-store version histories: snapshots of collections over time,
+//! flowing into the standard relational evolution pipeline.
+
+use schemachron_history::{Date, ProjectHistory, ProjectHistoryBuilder};
+
+use crate::infer::{infer_schema, Collections};
+
+/// Builds a [`ProjectHistory`] from dated **document-store snapshots**:
+/// each snapshot's implicit schema is inferred and diffed exactly like a
+/// relational schema version, so all time-related metrics and patterns
+/// apply unchanged.
+///
+/// ```
+/// use schemachron_history::Date;
+/// use schemachron_nosql::{Collections, DocumentHistoryBuilder};
+///
+/// let mut v1 = Collections::new();
+/// v1.add_json("posts", r#"{"id": 1, "title": "hello"}"#).unwrap();
+/// let mut v2 = Collections::new();
+/// v2.add_json("posts", r#"{"id": 1, "title": "hello", "likes": 3}"#).unwrap();
+///
+/// let mut b = DocumentHistoryBuilder::new("doc-store");
+/// b.snapshot(Date::new(2021, 1, 5), &v1);
+/// b.snapshot(Date::new(2021, 6, 5), &v2);
+/// b.source_commit(Date::new(2022, 6, 1), 10.0);
+/// let project = b.build();
+/// assert_eq!(project.schema_total(), 3.0); // id+title born, likes injected
+/// ```
+#[derive(Debug)]
+pub struct DocumentHistoryBuilder {
+    inner: ProjectHistoryBuilder,
+}
+
+impl DocumentHistoryBuilder {
+    /// Starts a builder for the named document store.
+    pub fn new(name: impl Into<String>) -> Self {
+        DocumentHistoryBuilder {
+            inner: ProjectHistoryBuilder::new(name),
+        }
+    }
+
+    /// Adds a dated snapshot of the whole store.
+    pub fn snapshot(&mut self, date: Date, store: &Collections) -> &mut Self {
+        self.inner.schema_version(date, infer_schema(store));
+        self
+    }
+
+    /// Records application-code activity (for the source heartbeat).
+    pub fn source_commit(&mut self, date: Date, lines_changed: f64) -> &mut Self {
+        self.inner.source_commit(date, lines_changed);
+        self
+    }
+
+    /// Finalizes the project history.
+    pub fn build(self) -> ProjectHistory {
+        self.inner.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_core::metrics::TimeMetrics;
+    use schemachron_core::quantize::Labels;
+    use schemachron_core::{classify, Pattern};
+    use schemachron_model::ChangeKind;
+
+    fn d(y: i32, m: u8) -> Date {
+        Date::new(y, m, 10)
+    }
+
+    fn snapshot(docs: &[(&str, &str)]) -> Collections {
+        let mut c = Collections::new();
+        for (entity, json) in docs {
+            c.add_json(*entity, json).expect("valid json");
+        }
+        c
+    }
+
+    #[test]
+    fn field_injection_measured_like_relational() {
+        let mut b = DocumentHistoryBuilder::new("t");
+        b.snapshot(d(2020, 1), &snapshot(&[("u", r#"{"a": 1}"#)]));
+        b.snapshot(d(2020, 6), &snapshot(&[("u", r#"{"a": 1, "b": 2}"#)]));
+        let p = b.build();
+        let hist = p.schema_history().unwrap();
+        assert_eq!(
+            hist.versions()[1]
+                .diff
+                .count_of(ChangeKind::AttributeInjected),
+            1
+        );
+    }
+
+    #[test]
+    fn entity_type_drop_counts_all_fields() {
+        let mut b = DocumentHistoryBuilder::new("t");
+        b.snapshot(
+            d(2020, 1),
+            &snapshot(&[("u", r#"{"a": 1}"#), ("logs", r#"{"msg": "x", "ts": 1}"#)]),
+        );
+        b.snapshot(d(2020, 9), &snapshot(&[("u", r#"{"a": 1}"#)]));
+        let p = b.build();
+        let hist = p.schema_history().unwrap();
+        assert_eq!(
+            hist.versions()[1]
+                .diff
+                .count_of(ChangeKind::AttributeDeletedWithTable),
+            2
+        );
+    }
+
+    #[test]
+    fn type_drift_is_a_type_change() {
+        let mut b = DocumentHistoryBuilder::new("t");
+        b.snapshot(d(2020, 1), &snapshot(&[("u", r#"{"x": 1}"#)]));
+        b.snapshot(d(2020, 7), &snapshot(&[("u", r#"{"x": "one"}"#)]));
+        let p = b.build();
+        let hist = p.schema_history().unwrap();
+        assert_eq!(
+            hist.versions()[1]
+                .diff
+                .count_of(ChangeKind::DataTypeChanged),
+            1
+        );
+    }
+
+    #[test]
+    fn document_store_classifies_into_the_same_patterns() {
+        // A store whose implicit schema is fully set up in month 0 and
+        // never changes: the Flatliner pattern, on documents.
+        let snap = snapshot(&[
+            ("users", r#"{"id": 1, "name": "a", "email": "x"}"#),
+            ("posts", r#"{"id": 1, "title": "t", "body": "b"}"#),
+        ]);
+        let mut b = DocumentHistoryBuilder::new("nosql-flatliner");
+        b.snapshot(d(2020, 1), &snap);
+        for m in 0..24u8 {
+            b.source_commit(d(2020 + i32::from(m / 12), m % 12 + 1), 50.0);
+        }
+        let p = b.build();
+        let metrics = TimeMetrics::from_project(&p).unwrap();
+        assert_eq!(
+            classify(&Labels::from_metrics(&metrics)),
+            Some(Pattern::Flatliner)
+        );
+    }
+}

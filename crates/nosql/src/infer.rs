@@ -1,0 +1,295 @@
+//! Implicit-schema inference from JSON document collections.
+
+use std::collections::BTreeMap;
+
+use schemachron_model::{Attribute, DataType, Schema, Table};
+use serde_json::Value;
+
+/// The inferred type of a document field, after unification over all
+/// documents of the entity type.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JsonType {
+    /// Only `null` values seen.
+    Null,
+    /// Boolean.
+    Bool,
+    /// Any JSON number.
+    Number,
+    /// String.
+    String,
+    /// Array (element types are not distinguished at the logical level).
+    Array,
+    /// Nested object deeper than the flattening limit.
+    Object,
+    /// Conflicting types across documents.
+    Mixed,
+}
+
+impl JsonType {
+    /// The type of a single JSON value.
+    pub fn of(v: &Value) -> JsonType {
+        match v {
+            Value::Null => JsonType::Null,
+            Value::Bool(_) => JsonType::Bool,
+            Value::Number(_) => JsonType::Number,
+            Value::String(_) => JsonType::String,
+            Value::Array(_) => JsonType::Array,
+            Value::Object(_) => JsonType::Object,
+        }
+    }
+
+    /// Unifies two observations of the same field.
+    pub fn unify(self, other: JsonType) -> JsonType {
+        match (self, other) {
+            (a, b) if a == b => a,
+            // Null unifies with anything (it marks optionality, not type).
+            (JsonType::Null, b) => b,
+            (a, JsonType::Null) => a,
+            _ => JsonType::Mixed,
+        }
+    }
+
+    /// The logical data-type name used in the mapped relational schema.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonType::Null => "null",
+            JsonType::Bool => "boolean",
+            JsonType::Number => "number",
+            JsonType::String => "string",
+            JsonType::Array => "array",
+            JsonType::Object => "object",
+            JsonType::Mixed => "mixed",
+        }
+    }
+}
+
+/// How deeply nested objects are flattened into dotted field paths
+/// (`address.city`); anything deeper maps to the opaque `object` type.
+pub const FLATTEN_DEPTH: usize = 2;
+
+/// A snapshot of a document store: entity type → documents.
+#[derive(Clone, Debug, Default)]
+pub struct Collections {
+    entities: BTreeMap<String, Vec<Value>>,
+}
+
+impl Collections {
+    /// An empty store snapshot.
+    pub fn new() -> Self {
+        Collections::default()
+    }
+
+    /// Adds one parsed document to an entity type's collection.
+    pub fn add(&mut self, entity: impl Into<String>, doc: Value) {
+        self.entities.entry(entity.into()).or_default().push(doc);
+    }
+
+    /// Adds one document from JSON text.
+    pub fn add_json(
+        &mut self,
+        entity: impl Into<String>,
+        json: &str,
+    ) -> Result<(), serde_json::Error> {
+        self.add(entity, serde_json::from_str(json)?);
+        Ok(())
+    }
+
+    /// Iterates over `(entity type, documents)`.
+    pub fn entities(&self) -> impl Iterator<Item = (&String, &Vec<Value>)> {
+        self.entities.iter()
+    }
+
+    /// Number of entity types.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+}
+
+/// One inferred field: unified type plus whether every document carries it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FieldInfo {
+    ty: JsonType,
+    seen: usize,
+    saw_null: bool,
+}
+
+/// Infers the field structure of one entity type from its documents and
+/// maps it to a [`Table`].
+///
+/// Fields of nested objects are flattened up to [`FLATTEN_DEPTH`] levels
+/// (`address.city`); non-object documents contribute a synthetic `_value`
+/// field. A field present in **every** document becomes `NOT NULL` — the
+/// document-store analogue of a required attribute.
+pub fn infer_entity(name: &str, docs: &[Value]) -> Table {
+    let mut fields: BTreeMap<String, FieldInfo> = BTreeMap::new();
+    for doc in docs {
+        match doc {
+            Value::Object(map) => collect_fields(map, "", 0, &mut fields),
+            other => {
+                let ty = JsonType::of(other);
+                upsert(&mut fields, "_value", ty);
+            }
+        }
+    }
+    let mut t = Table::new(name);
+    for (field, info) in &fields {
+        let mut a = Attribute::new(field.clone(), DataType::named(info.ty.type_name()));
+        a.not_null = info.seen == docs.len() && !info.saw_null && info.ty != JsonType::Null;
+        t.push_attribute(a);
+    }
+    t
+}
+
+fn collect_fields(
+    map: &serde_json::Map<String, Value>,
+    prefix: &str,
+    depth: usize,
+    fields: &mut BTreeMap<String, FieldInfo>,
+) {
+    for (k, v) in map {
+        let path = if prefix.is_empty() {
+            k.clone()
+        } else {
+            format!("{prefix}.{k}")
+        };
+        match v {
+            Value::Object(inner) if depth + 1 < FLATTEN_DEPTH => {
+                collect_fields(inner, &path, depth + 1, fields);
+            }
+            other => upsert(fields, &path, JsonType::of(other)),
+        }
+    }
+}
+
+fn upsert(fields: &mut BTreeMap<String, FieldInfo>, path: &str, ty: JsonType) {
+    let is_null = ty == JsonType::Null;
+    fields
+        .entry(path.to_owned())
+        .and_modify(|info| {
+            info.ty = info.ty.clone().unify(ty.clone());
+            info.seen += 1;
+            info.saw_null |= is_null;
+        })
+        .or_insert(FieldInfo {
+            ty,
+            seen: 1,
+            saw_null: is_null,
+        });
+}
+
+/// Infers the whole implicit schema of a store snapshot: one table per
+/// entity type.
+pub fn infer_schema(store: &Collections) -> Schema {
+    let mut schema = Schema::new();
+    for (entity, docs) in store.entities() {
+        schema.insert_table(infer_entity(entity, docs));
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(entity: &str, docs: &[&str]) -> Collections {
+        let mut s = Collections::new();
+        for d in docs {
+            s.add_json(entity, d).expect("valid json");
+        }
+        s
+    }
+
+    #[test]
+    fn fields_and_types_inferred() {
+        let s = store("users", &[r#"{"id": 1, "name": "a", "active": true}"#]);
+        let schema = infer_schema(&s);
+        let t = schema.table("users").unwrap();
+        assert_eq!(
+            t.attribute("id").unwrap().data_type,
+            DataType::named("number")
+        );
+        assert_eq!(
+            t.attribute("name").unwrap().data_type,
+            DataType::named("string")
+        );
+        assert_eq!(
+            t.attribute("active").unwrap().data_type,
+            DataType::named("boolean")
+        );
+    }
+
+    #[test]
+    fn optional_fields_are_nullable() {
+        let s = store("e", &[r#"{"a": 1, "b": 2}"#, r#"{"a": 3}"#]);
+        let t = infer_schema(&s);
+        let t = t.table("e").unwrap();
+        assert!(t.attribute("a").unwrap().not_null);
+        assert!(!t.attribute("b").unwrap().not_null);
+    }
+
+    #[test]
+    fn conflicting_types_become_mixed() {
+        let s = store("e", &[r#"{"x": 1}"#, r#"{"x": "one"}"#]);
+        let t = infer_schema(&s);
+        assert_eq!(
+            t.table("e").unwrap().attribute("x").unwrap().data_type,
+            DataType::named("mixed")
+        );
+    }
+
+    #[test]
+    fn null_marks_optionality_not_type() {
+        let s = store("e", &[r#"{"x": null}"#, r#"{"x": 5}"#]);
+        let t = infer_schema(&s);
+        let x = t.table("e").unwrap().attribute("x").unwrap();
+        assert_eq!(x.data_type, DataType::named("number"));
+        assert!(!x.not_null, "a null observation makes the field nullable");
+    }
+
+    #[test]
+    fn nested_objects_flatten_one_level() {
+        let s = store("e", &[r#"{"address": {"city": "x", "geo": {"lat": 1.0}}}"#]);
+        let t = infer_schema(&s);
+        let e = t.table("e").unwrap();
+        assert!(e.attribute("address.city").is_some());
+        // Depth limit: `geo` stays an opaque object.
+        assert_eq!(
+            e.attribute("address.geo").unwrap().data_type,
+            DataType::named("object")
+        );
+    }
+
+    #[test]
+    fn arrays_are_logical_arrays() {
+        let s = store("e", &[r#"{"tags": ["a", "b"]}"#]);
+        let t = infer_schema(&s);
+        assert_eq!(
+            t.table("e").unwrap().attribute("tags").unwrap().data_type,
+            DataType::named("array")
+        );
+    }
+
+    #[test]
+    fn scalar_documents_get_value_field() {
+        let mut s = Collections::new();
+        s.add("counters", serde_json::json!(42));
+        let t = infer_schema(&s);
+        assert!(t.table("counters").unwrap().attribute("_value").is_some());
+    }
+
+    #[test]
+    fn unify_is_commutative_and_idempotent() {
+        use JsonType::*;
+        for a in [Null, Bool, Number, String, Array, Object, Mixed] {
+            for b in [Null, Bool, Number, String, Array, Object, Mixed] {
+                assert_eq!(a.clone().unify(b.clone()), b.clone().unify(a.clone()));
+            }
+            assert_eq!(a.clone().unify(a.clone()), a);
+        }
+    }
+
+    #[test]
+    fn empty_store_yields_empty_schema() {
+        assert!(infer_schema(&Collections::new()).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # schemachron-nosql
+//!
+//! **Implicit-schema extraction from document stores**, mapped onto the
+//! relational evolution pipeline — the paper's first future-work direction
+//! ("NoSQL schemata are a clear case where this method can be applied",
+//! §7), following the document-schema mining approach of its ref \[34\].
+//!
+//! Document databases have no declared schema, but collections of JSON
+//! documents carry an **implicit** one: the set of entity types, their
+//! fields and the fields' types. This crate infers that implicit schema
+//! ([`infer_schema`]) and maps it onto [`schemachron_model::Schema`]
+//! (entity type → table, field → attribute, JSON type → data type), so a
+//! document store's version history flows through the exact same
+//! diff → heartbeat → metrics → pattern pipeline as a relational one —
+//! letting the time-related patterns be tested for universality.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use schemachron_nosql::{infer_schema, Collections};
+//!
+//! let mut store = Collections::new();
+//! store.add_json("users", r#"{"id": 1, "name": "ada", "tags": ["x"]}"#).unwrap();
+//! store.add_json("users", r#"{"id": 2, "name": "bob", "email": "b@c.d"}"#).unwrap();
+//!
+//! let schema = infer_schema(&store);
+//! let users = schema.table("users").unwrap();
+//! assert_eq!(users.attribute_count(), 4); // id, name, tags, email
+//! // `id`/`name` appear in every document → required:
+//! assert!(users.attribute("id").unwrap().not_null);
+//! // `email` is optional:
+//! assert!(!users.attribute("email").unwrap().not_null);
+//! ```
+
+mod history;
+mod infer;
+
+pub use history::DocumentHistoryBuilder;
+pub use infer::{infer_entity, infer_schema, Collections, JsonType, FLATTEN_DEPTH};

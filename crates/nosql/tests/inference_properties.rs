@@ -1,0 +1,89 @@
+//! Property-based tests for the implicit-schema inference.
+
+use proptest::prelude::*;
+
+use schemachron_nosql::{infer_entity, infer_schema, Collections, JsonType};
+use serde_json::{json, Value};
+
+/// A strategy over arbitrary JSON values of bounded depth/size.
+fn arb_json() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|n| json!(n)),
+        "[a-z]{0,8}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
+                .prop_map(|m| { Value::Object(m.into_iter().collect()) }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn inference_never_panics(docs in proptest::collection::vec(arb_json(), 0..8)) {
+        let _ = infer_entity("e", &docs);
+    }
+
+    #[test]
+    fn inference_is_deterministic(docs in proptest::collection::vec(arb_json(), 0..6)) {
+        prop_assert_eq!(infer_entity("e", &docs), infer_entity("e", &docs));
+    }
+
+    #[test]
+    fn duplicating_a_document_changes_nothing_but_nullability(
+        docs in proptest::collection::vec(arb_json(), 1..5)
+    ) {
+        // Field set and types are invariant under duplicating the corpus;
+        // presence counts double so NOT NULL flags are also invariant.
+        let once = infer_entity("e", &docs);
+        let mut doubled = docs.clone();
+        doubled.extend(docs.iter().cloned());
+        let twice = infer_entity("e", &doubled);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn every_scalar_field_appears_as_attribute(
+        keys in proptest::collection::btree_set("[a-z]{1,6}", 1..6)
+    ) {
+        let mut obj = serde_json::Map::new();
+        for (i, k) in keys.iter().enumerate() {
+            obj.insert(k.clone(), json!(i));
+        }
+        let t = infer_entity("e", &[Value::Object(obj)]);
+        prop_assert_eq!(t.attribute_count(), keys.len());
+        for k in &keys {
+            prop_assert!(t.attribute(k).is_some(), "{k} missing");
+        }
+    }
+
+    #[test]
+    fn unify_is_associative(
+        a in 0usize..7, b in 0usize..7, c in 0usize..7
+    ) {
+        use JsonType::*;
+        let all = [Null, Bool, Number, String, Array, Object, Mixed];
+        let (x, y, z) = (all[a].clone(), all[b].clone(), all[c].clone());
+        prop_assert_eq!(
+            x.clone().unify(y.clone()).unify(z.clone()),
+            x.unify(y.unify(z))
+        );
+    }
+}
+
+#[test]
+fn whole_store_inference_is_per_entity() {
+    let mut store = Collections::new();
+    store.add_json("a", r#"{"x": 1}"#).unwrap();
+    store.add_json("b", r#"{"y": "s"}"#).unwrap();
+    let schema = infer_schema(&store);
+    assert_eq!(schema.table_count(), 2);
+    assert_eq!(
+        schema.table("a").unwrap(),
+        &infer_entity("a", &[serde_json::from_str(r#"{"x": 1}"#).unwrap()])
+    );
+}

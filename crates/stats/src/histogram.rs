@@ -1,0 +1,146 @@
+//! Fixed-bucket histograms with pinned special values.
+//!
+//! The study quantizes its (mostly `[0, 1]`-normalized) metrics into
+//! histograms of 10 buckets "with special care for special values like 0
+//! and 1" (§3.4.1): exact zeros and exact ones carry semantics of their own
+//! (e.g. "born at V⁰", "all change at birth") and must not be smeared into
+//! the neighbouring interval.
+
+/// A histogram over `[lo, hi]` with dedicated bins for values exactly equal
+/// to `lo` and `hi`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PinnedHistogram {
+    lo: f64,
+    hi: f64,
+    /// Count of values exactly `lo`.
+    pub at_lo: usize,
+    /// Count of values exactly `hi`.
+    pub at_hi: usize,
+    /// Interior bucket counts over `(lo, hi)`, equal widths.
+    pub buckets: Vec<usize>,
+    /// Values outside `[lo, hi]` (counted, not binned).
+    pub out_of_range: usize,
+}
+
+impl PinnedHistogram {
+    /// Builds a histogram of `n_buckets` interior buckets over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics when `n_buckets == 0` or `hi <= lo`.
+    pub fn build(values: &[f64], lo: f64, hi: f64, n_buckets: usize) -> Self {
+        assert!(n_buckets > 0, "need at least one bucket");
+        assert!(hi > lo, "hi must exceed lo");
+        let mut h = PinnedHistogram {
+            lo,
+            hi,
+            at_lo: 0,
+            at_hi: 0,
+            buckets: vec![0; n_buckets],
+            out_of_range: 0,
+        };
+        let width = (hi - lo) / n_buckets as f64;
+        for &v in values {
+            if v == lo {
+                h.at_lo += 1;
+            } else if v == hi {
+                h.at_hi += 1;
+            } else if v < lo || v > hi || v.is_nan() {
+                h.out_of_range += 1;
+            } else {
+                let idx = (((v - lo) / width).floor() as usize).min(n_buckets - 1);
+                h.buckets[idx] += 1;
+            }
+        }
+        h
+    }
+
+    /// Builds the study's standard 10-bucket histogram over `[0, 1]`.
+    pub fn unit(values: &[f64]) -> Self {
+        PinnedHistogram::build(values, 0.0, 1.0, 10)
+    }
+
+    /// Total count of in-range values (pins + buckets).
+    pub fn total(&self) -> usize {
+        self.at_lo + self.at_hi + self.buckets.iter().sum::<usize>()
+    }
+
+    /// A compact one-line rendering: `0:{n} [b1 b2 ...] 1:{n}`.
+    pub fn render(&self) -> String {
+        let mid: Vec<String> = self.buckets.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{}:{} [{}] {}:{}",
+            self.lo,
+            self.at_lo,
+            mid.join(" "),
+            self.hi,
+            self.at_hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_capture_exact_bounds() {
+        let vals = [0.0, 0.0, 1.0, 0.5, 0.05, 0.951];
+        let h = PinnedHistogram::unit(&vals);
+        assert_eq!(h.at_lo, 2);
+        assert_eq!(h.at_hi, 1);
+        assert_eq!(h.buckets[0], 1); // 0.05
+        assert_eq!(h.buckets[5], 1); // 0.5
+        assert_eq!(h.buckets[9], 1); // 0.951
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.out_of_range, 0);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let h = PinnedHistogram::unit(&[-0.1, 1.5, 0.5]);
+        assert_eq!(h.out_of_range, 2);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn nan_counts_as_out_of_range() {
+        let h = PinnedHistogram::unit(&[f64::NAN, 0.5]);
+        assert_eq!(h.out_of_range, 1);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.buckets[0], 0, "NaN must not land in bucket 0");
+    }
+
+    #[test]
+    fn bucket_boundaries_are_half_open() {
+        // 0.1 falls into bucket 1 (buckets are [lo+k*w, lo+(k+1)*w)).
+        let h = PinnedHistogram::unit(&[0.1, 0.2]);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+    }
+
+    #[test]
+    fn custom_range() {
+        let h = PinnedHistogram::build(&[10.0, 15.0, 20.0], 10.0, 20.0, 2);
+        assert_eq!(h.at_lo, 1);
+        assert_eq!(h.at_hi, 1);
+        assert_eq!(h.buckets, vec![0, 1]);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let h = PinnedHistogram::build(&[0.0, 0.6, 1.0], 0.0, 1.0, 2);
+        assert_eq!(h.render(), "0:1 [0 1] 1:1");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_buckets_panics() {
+        let _ = PinnedHistogram::build(&[], 0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn inverted_range_panics() {
+        let _ = PinnedHistogram::build(&[], 1.0, 0.0, 2);
+    }
+}

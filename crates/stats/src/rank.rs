@@ -1,0 +1,147 @@
+//! Ranking and rank correlation.
+
+/// Assigns 1-based ranks with **average ranks for ties** (the convention
+/// Spearman's ρ requires).
+///
+/// ```
+/// use schemachron_stats::ranks;
+/// assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaNs in rank input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Tie group [i..=j]: average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson product-moment correlation. Returns `NaN` when either side has
+/// zero variance or fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation inputs must be same length");
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Spearman's rank correlation ρ (Pearson on tie-averaged ranks) — the
+/// correlation used in Fig. 2 of the paper.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// The full Spearman correlation matrix of a set of equally long columns.
+/// Entry `[i][j]` is ρ(columns\[i\], columns\[j\]); the diagonal is 1.
+pub fn spearman_matrix(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = columns.len();
+    let ranked: Vec<Vec<f64>> = columns.iter().map(|c| ranks(c)).collect();
+    let mut m = vec![vec![1.0; k]; k];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let r = pearson(&ranked[i], &ranked[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties() {
+        assert_eq!(ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_tie_groups() {
+        assert_eq!(ranks(&[5.0, 5.0, 5.0, 1.0]), vec![3.0, 3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_nan() {
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan());
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear: Spearman 1, Pearson < 1.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn spearman_known_value_with_ties() {
+        // ranks x = [1, 2.5, 2.5, 4], ranks y = [1, 3, 2, 4]
+        // → ρ = 4.5 / sqrt(4.5 * 5) = 0.948683...
+        let r = spearman(&[1.0, 2.0, 2.0, 3.0], &[1.0, 3.0, 2.0, 4.0]);
+        assert!((r - 0.948_683_298_050_513_8).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0, 4.0],
+        ];
+        let m = spearman_matrix(&cols);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, m[j][i]);
+            }
+        }
+        assert!((m[0][1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

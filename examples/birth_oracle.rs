@@ -1,0 +1,70 @@
+//! Birth oracle: the §6.2 use case — "assume a curator, or an external
+//! assessor, who extracts the history of changes of a software project...
+//! can the curator make an educated guess on the future of how the schema
+//! will evolve?"
+//!
+//! The example fits the birth-point predictor on the corpus and consults it
+//! for four hypothetical projects whose schemata were born at different
+//! points of their lives.
+//!
+//! Run with: `cargo run --example birth_oracle`
+
+use schemachron::core::predict::{BirthBucket, BirthPredictor};
+use schemachron::core::{Family, Pattern};
+use schemachron::corpus::Corpus;
+
+fn main() {
+    let corpus = Corpus::generate(42);
+    let oracle = BirthPredictor::fit(&corpus.birth_data());
+
+    println!(
+        "Where are schemata born? (over {} projects)",
+        oracle.total()
+    );
+    for bucket in BirthBucket::ALL {
+        println!(
+            "  {:<20} {:>3} projects ({:.0}%)",
+            bucket.label(),
+            oracle.bucket_total(bucket),
+            oracle.bucket_probability(bucket) * 100.0
+        );
+    }
+
+    for (scenario, birth_month) in [
+        ("schema committed with the very first sources", 0usize),
+        ("schema appears in the 4th month", 4),
+        ("schema appears in the 10th month", 10),
+        ("database added two years into the project", 24),
+    ] {
+        let bucket = BirthBucket::of(birth_month);
+        println!(
+            "\n── {scenario} (month {birth_month}, bucket {})",
+            bucket.label()
+        );
+        println!(
+            "   P(sharp focused change — the schema freezes early): {:.0}%",
+            oracle.rigidity_probability(bucket) * 100.0
+        );
+        println!(
+            "   P(regular curation — plan for ongoing schema work): {:.0}%",
+            oracle.family_probability(Family::StairwayToHeaven, bucket) * 100.0
+        );
+        println!(
+            "   P(late change — budget for a wake-up near the end):  {:.0}%",
+            oracle.family_probability(Family::ScaredToFallAsleepAgain, bucket) * 100.0
+        );
+        let probs = oracle.probabilities(bucket);
+        let mut ranked: Vec<(Pattern, f64)> = Pattern::ALL
+            .iter()
+            .map(|&p| (p, probs[p.ordinal()]))
+            .filter(|(_, pr)| *pr > 0.0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let top: Vec<String> = ranked
+            .iter()
+            .take(3)
+            .map(|(p, pr)| format!("{} {:.0}%", p.name(), pr * 100.0))
+            .collect();
+        println!("   most likely patterns: {}", top.join(", "));
+    }
+}

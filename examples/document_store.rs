@@ -1,0 +1,110 @@
+//! Document store: the paper's future-work direction — do the time-related
+//! patterns also describe **NoSQL** (implicit) schema evolution?
+//!
+//! The example simulates three years of a document database's life: the
+//! implicit schema of each monthly snapshot is inferred from the documents
+//! themselves, diffed, and classified with the exact same pipeline as a
+//! relational history.
+//!
+//! Run with: `cargo run --example document_store`
+
+use schemachron::chart::ascii::AsciiChart;
+use schemachron::core::metrics::TimeMetrics;
+use schemachron::core::quantize::Labels;
+use schemachron::core::{classify, classify_nearest};
+use schemachron::history::Date;
+use schemachron::nosql::{Collections, DocumentHistoryBuilder};
+
+fn main() {
+    let mut b = DocumentHistoryBuilder::new("startup-docstore");
+    let date = |m: u32| Date::new(2021 + (m / 12) as i32, (m % 12 + 1) as u8, 15);
+
+    // Month 0: the MVP — two entity types.
+    let mut v0 = Collections::new();
+    v0.add_json(
+        "users",
+        r#"{"id": 1, "handle": "ada", "joined": "2021-01-02"}"#,
+    )
+    .unwrap();
+    v0.add_json("posts", r#"{"id": 10, "author": 1, "text": "hello world"}"#)
+        .unwrap();
+    b.snapshot(date(0), &v0);
+
+    // Month 4: posts grow reactions; a settings singleton appears.
+    let mut v1 = Collections::new();
+    v1.add_json(
+        "users",
+        r#"{"id": 1, "handle": "ada", "joined": "2021-01-02"}"#,
+    )
+    .unwrap();
+    v1.add_json(
+        "posts",
+        r#"{"id": 10, "author": 1, "text": "hello world", "reactions": {"likes": 4, "reposts": 1}}"#,
+    )
+    .unwrap();
+    v1.add_json("settings", r#"{"theme": "dark", "beta": true}"#)
+        .unwrap();
+    b.snapshot(date(4), &v1);
+
+    // Month 9: schema drift — user ids become strings (a classic).
+    let mut v2 = Collections::new();
+    v2.add_json(
+        "users",
+        r#"{"id": "u-1", "handle": "ada", "joined": "2021-01-02", "bio": null}"#,
+    )
+    .unwrap();
+    v2.add_json(
+        "posts",
+        r#"{"id": 10, "author": "u-1", "text": "hello", "reactions": {"likes": 4, "reposts": 1}}"#,
+    )
+    .unwrap();
+    v2.add_json("settings", r#"{"theme": "dark", "beta": true}"#)
+        .unwrap();
+    b.snapshot(date(9), &v2);
+
+    // The application keeps shipping for three years.
+    for m in 0..36 {
+        b.source_commit(date(m), 80.0 + f64::from(m % 7) * 12.0);
+    }
+
+    let project = b.build();
+    let metrics = TimeMetrics::from_project(&project).expect("schema activity");
+    let labels = Labels::from_metrics(&metrics);
+
+    println!("document store: {}", project.name());
+    println!(
+        "  implicit-schema activity: {:.0} affected fields over {} months",
+        metrics.total_activity, metrics.pup_months
+    );
+    println!(
+        "  born at {:.0}% of life ({:.0}% of change at birth), top band at {:.0}%",
+        metrics.birth_pct_pup * 100.0,
+        metrics.birth_volume_pct_total * 100.0,
+        metrics.topband_pct_pup * 100.0
+    );
+    let verdict = classify(&labels)
+        .map(|p| format!("{} ({})", p.name(), p.family()))
+        .unwrap_or_else(|| {
+            let (p, _) = classify_nearest(&labels);
+            format!("exception; nearest {}", p.name())
+        });
+    println!("  time-related pattern: {verdict}");
+    println!("\nThe same pipeline, the same patterns — on documents instead of DDL:\n");
+    println!(
+        "{}",
+        AsciiChart {
+            width: 60,
+            height: 10
+        }
+        .render(&project)
+    );
+
+    // Show the inferred relational view of the final snapshot.
+    let final_schema = project
+        .schema_history()
+        .expect("built from snapshots")
+        .last_schema()
+        .expect("non-empty");
+    println!("inferred implicit schema (final snapshot):\n");
+    print!("{}", schemachron::model::render_schema_sql(final_schema));
+}

@@ -1,0 +1,78 @@
+//! Evolution report: the "schema-history miner" scenario from the paper's
+//! introduction — given a repository's `.sql` history on disk, reconstruct
+//! the logical schema timeline, measure the §3.2 metrics, classify the
+//! pattern, and draw the Fig. 1-style chart.
+//!
+//! The example materializes one synthetic project to a temp directory first
+//! (standing in for a cloned FOSS repository), then analyzes it purely from
+//! the files, exactly as the CLI's `analyze` command does.
+//!
+//! Run with: `cargo run --example evolution_report`
+
+use std::fs;
+
+use schemachron::chart::ascii::AsciiChart;
+use schemachron::core::metrics::TimeMetrics;
+use schemachron::core::quantize::Labels;
+use schemachron::core::{classify, classify_nearest, Pattern};
+use schemachron::corpus::io::{load_project_dir, write_corpus_dir};
+use schemachron::corpus::Corpus;
+use schemachron::history::IngestMode;
+
+fn main() {
+    let out = std::env::temp_dir().join(format!("schemachron-report-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+
+    // Stand-in for `git clone` + history extraction: write the corpus's
+    // project histories to disk as dated .sql files.
+    let corpus = Corpus::generate(42);
+    write_corpus_dir(&corpus, &out).expect("write corpus");
+
+    // Pick one project per family and analyze it from the files alone.
+    for pattern in [
+        Pattern::RadicalSign,
+        Pattern::RegularlyCurated,
+        Pattern::Siesta,
+    ] {
+        let name = &corpus
+            .of_pattern(pattern)
+            .next()
+            .expect("pattern populated")
+            .card
+            .name;
+        let project =
+            load_project_dir(&out.join(name), IngestMode::Migration).expect("load project");
+        let metrics = TimeMetrics::from_project(&project).expect("schema activity");
+        let labels = Labels::from_metrics(&metrics);
+
+        println!("{}", "=".repeat(70));
+        println!("repository: {name}");
+        println!(
+            "  {} months of history, {} affected attributes in total",
+            metrics.pup_months, metrics.total_activity
+        );
+        println!(
+            "  schema born at {:.0}% of life carrying {:.0}% of all change; top band at {:.0}%",
+            metrics.birth_pct_pup * 100.0,
+            metrics.birth_volume_pct_total * 100.0,
+            metrics.topband_pct_pup * 100.0
+        );
+        let verdict = classify(&labels)
+            .map(|p| p.name().to_owned())
+            .unwrap_or_else(|| {
+                let (p, _) = classify_nearest(&labels);
+                format!("exception, nearest {}", p.name())
+            });
+        println!("  pattern: {verdict}\n");
+        println!(
+            "{}",
+            AsciiChart {
+                width: 64,
+                height: 12
+            }
+            .render(&project)
+        );
+    }
+
+    let _ = fs::remove_dir_all(&out);
+}

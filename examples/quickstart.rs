@@ -1,0 +1,75 @@
+//! Quickstart: parse two schema versions, measure the change between them,
+//! then watch a whole project history classify itself.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use schemachron::core::metrics::TimeMetrics;
+use schemachron::core::quantize::Labels;
+use schemachron::core::{classify, classify_nearest};
+use schemachron::ddl::parse_schema;
+use schemachron::history::{Date, ProjectHistoryBuilder};
+use schemachron::model::diff;
+
+fn main() {
+    // ---- 1. Parse and diff two versions of a schema ---------------------
+    let v1 = r#"
+        CREATE TABLE users (
+            id INT NOT NULL AUTO_INCREMENT,
+            name VARCHAR(64),
+            PRIMARY KEY (id)
+        );
+    "#;
+    let v2 = r#"
+        CREATE TABLE users (
+            id INT NOT NULL AUTO_INCREMENT,
+            name VARCHAR(128),              -- type changed
+            email VARCHAR(255),             -- injected
+            PRIMARY KEY (id)
+        );
+        CREATE TABLE orders (               -- new table
+            id INT PRIMARY KEY,
+            user_id INT REFERENCES users (id),
+            total DECIMAL(10, 2)
+        );
+    "#;
+    let (old, _diags) = parse_schema(v1);
+    let (new, _diags) = parse_schema(v2);
+    let d = diff(&old, &new);
+    println!("version 1 → version 2:");
+    for c in &d.changes {
+        println!("  {}.{}  [{}]", c.table, c.attribute, c.kind.label());
+    }
+    println!(
+        "  = {} affected attributes ({} expansion, {} maintenance)\n",
+        d.attribute_change_count(),
+        d.expansion_count(),
+        d.maintenance_count()
+    );
+
+    // ---- 2. Build a project history and classify its pattern ------------
+    let mut b = ProjectHistoryBuilder::new("quickstart-demo");
+    b.snapshot(Date::new(2020, 1, 10), v1);
+    b.snapshot(Date::new(2020, 2, 20), v2);
+    // Source code keeps evolving long after the schema froze:
+    for month in 1..=36 {
+        let d = Date::new(2020 + (month - 1) / 12, ((month - 1) % 12 + 1) as u8, 25);
+        b.source_commit(d, 150.0);
+    }
+    let project = b.build();
+
+    let metrics = TimeMetrics::from_project(&project).expect("schema exists");
+    let labels = Labels::from_metrics(&metrics);
+    println!(
+        "project lifetime: {} months; schema born month {} carrying {:.0}% of all change",
+        metrics.pup_months,
+        metrics.birth_index,
+        metrics.birth_volume_pct_total * 100.0
+    );
+    match classify(&labels) {
+        Some(p) => println!("time-related pattern: {} (family: {})", p, p.family()),
+        None => {
+            let (p, _) = classify_nearest(&labels);
+            println!("exception profile; nearest pattern: {p}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! What-if workloads: use the parameterized workload generator to explore
+//! counterfactual corpora — what would the study's headline numbers look
+//! like in an ecosystem with a different mixture of evolution styles?
+//!
+//! Three worlds are generated with `Corpus::generate_random`:
+//!   * "FOSS-like"  — the paper's observed mixture (2/3 aversion to change);
+//!   * "curated"    — a world where most schemata are actively maintained;
+//!   * "late-blooming" — a world dominated by late schema change.
+//!
+//! Run with: `cargo run --example whatif_workloads`
+
+use schemachron::core::predict::{BirthBucket, BirthPredictor};
+use schemachron::core::{Family, Pattern};
+use schemachron::corpus::Corpus;
+
+fn describe(tag: &str, corpus: &Corpus) {
+    let n = corpus.projects().len();
+    println!("── {tag} ({n} projects)");
+    for family in Family::ALL {
+        let members = corpus
+            .projects()
+            .iter()
+            .filter(|p| p.assigned.family() == family)
+            .count();
+        println!(
+            "   {:<28} {:>3} ({:.0}%)",
+            family.name(),
+            members,
+            100.0 * members as f64 / n as f64
+        );
+    }
+    let zero_agm = corpus
+        .projects()
+        .iter()
+        .filter(|p| p.metrics.active_growth_months == 0)
+        .count();
+    let vaulted = corpus
+        .projects()
+        .iter()
+        .filter(|p| p.metrics.has_single_vault)
+        .count();
+    println!(
+        "   zero active growth months: {:.0}%   single vault: {:.0}%",
+        100.0 * zero_agm as f64 / n as f64,
+        100.0 * vaulted as f64 / n as f64
+    );
+    let oracle = BirthPredictor::fit(&corpus.birth_data());
+    println!(
+        "   P(frozen | born M0) = {:.0}%   P(frozen | born after M12) = {:.0}%\n",
+        oracle.rigidity_probability(BirthBucket::M0) * 100.0,
+        oracle.rigidity_probability(BirthBucket::AfterM12) * 100.0
+    );
+}
+
+fn main() {
+    // Pattern order: Flatliner, RadicalSign, Sigmoid, LateRiser,
+    // QuantumSteps, RegularlyCurated, Siesta, SmokingFunnel.
+    println!(
+        "pattern order: {}\n",
+        Pattern::ALL.map(|p| p.name()).join(" / ")
+    );
+
+    let foss_like = Corpus::generate_random(1, [15, 27, 13, 9, 15, 9, 7, 5]);
+    describe("FOSS-like mixture (the paper's world)", &foss_like);
+
+    let curated = Corpus::generate_random(2, [5, 10, 3, 2, 25, 40, 5, 10]);
+    describe("curated world (active maintenance dominates)", &curated);
+
+    let late = Corpus::generate_random(3, [5, 10, 25, 25, 5, 5, 15, 10]);
+    describe("late-blooming world (schemata wake up late)", &late);
+
+    println!(
+        "The generator lets the study's machinery answer questions its corpus\n\
+         cannot: the aversion-to-change statistics and the birth-point oracle\n\
+         are properties of the *mixture*, not of the method."
+    );
+}

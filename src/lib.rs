@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # schemachron
+//!
+//! Umbrella crate for the `schemachron` workspace: a full reproduction of
+//! the EDBT 2025 study *"Time-Related Patterns Of Schema Evolution"*.
+//!
+//! This crate re-exports every sub-crate under a stable module name, so a
+//! downstream user can depend on `schemachron` alone:
+//!
+//! ```
+//! use schemachron::model::{Schema, Table, Attribute, DataType};
+//! use schemachron::core::patterns::Pattern;
+//!
+//! let mut schema = Schema::new();
+//! let mut t = Table::new("users");
+//! t.push_attribute(Attribute::new("id", DataType::named("int")));
+//! schema.insert_table(t);
+//! assert_eq!(schema.table_count(), 1);
+//! assert_eq!(Pattern::ALL.len(), 8);
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+
+/// Logical schema model, diff engine and change taxonomy.
+pub use schemachron_model as model;
+
+/// Tolerant multi-dialect SQL DDL lexer, parser and schema builder.
+pub use schemachron_ddl as ddl;
+
+/// Version histories, month-granule heartbeats, cumulative activity.
+pub use schemachron_history as history;
+
+/// Statistics substrate (Spearman, Shapiro-Wilk, histograms, CART, centroids).
+pub use schemachron_stats as stats;
+
+/// The paper's contribution: time metrics, quantization, the 8 patterns,
+/// classification, validation and birth-point prediction.
+pub use schemachron_core as core;
+
+/// The calibrated synthetic corpus of 151 schema histories.
+pub use schemachron_corpus as corpus;
+
+/// ASCII and SVG renderers for cumulative evolution lines.
+pub use schemachron_chart as chart;
+
+/// Implicit-schema extraction from document stores (NoSQL adapter) — the
+/// paper's first future-work direction, demonstrating pattern universality.
+pub use schemachron_nosql as nosql;

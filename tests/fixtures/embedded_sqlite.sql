@@ -1,0 +1,20 @@
+PRAGMA foreign_keys=OFF;
+BEGIN TRANSACTION;
+CREATE TABLE IF NOT EXISTS "meta" (key TEXT PRIMARY KEY, value TEXT);
+CREATE TABLE contacts (
+  id INTEGER PRIMARY KEY AUTOINCREMENT,
+  name TEXT NOT NULL COLLATE NOCASE,
+  phone TEXT,
+  starred BOOLEAN DEFAULT 0 CHECK (starred IN (0, 1)),
+  created INTEGER DEFAULT (strftime('%s','now'))
+);
+CREATE TABLE call_log (
+  id INTEGER PRIMARY KEY,
+  contact_id INTEGER REFERENCES contacts(id) ON DELETE SET NULL,
+  duration REAL,
+  at TEXT
+);
+CREATE INDEX idx_log_contact ON call_log (contact_id);
+CREATE TRIGGER trg AFTER INSERT ON call_log BEGIN UPDATE meta SET value = 'x' WHERE key = 'last'; END;
+INSERT INTO meta VALUES ('version', '3');
+COMMIT;

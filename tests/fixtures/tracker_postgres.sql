@@ -1,0 +1,42 @@
+--
+-- PostgreSQL database dump
+--
+SET statement_timeout = 0;
+SET client_encoding = 'UTF8';
+SELECT pg_catalog.set_config('search_path', '', false);
+
+CREATE TABLE public.projects (
+    id bigserial PRIMARY KEY,
+    slug character varying(80) NOT NULL UNIQUE,
+    name text NOT NULL,
+    created_at timestamp with time zone DEFAULT now() NOT NULL,
+    settings jsonb DEFAULT '{}'::jsonb,
+    tags text[]
+);
+
+CREATE TABLE public.issues (
+    id bigserial NOT NULL,
+    project_id bigint NOT NULL,
+    title character varying(500) NOT NULL,
+    state character varying(16) DEFAULT 'open'::character varying,
+    weight double precision,
+    opened_at timestamp without time zone,
+    CONSTRAINT issues_pkey PRIMARY KEY (id),
+    CONSTRAINT fk_project FOREIGN KEY (project_id) REFERENCES public.projects (id) ON DELETE CASCADE DEFERRABLE INITIALLY DEFERRED,
+    CONSTRAINT positive_weight CHECK (weight > 0)
+);
+
+CREATE INDEX idx_issues_state ON public.issues (state);
+CREATE SEQUENCE public.audit_seq START WITH 1;
+
+CREATE OR REPLACE FUNCTION public.touch() RETURNS trigger AS $fn$
+BEGIN
+  NEW.updated_at = now(); RETURN NEW;
+END;
+$fn$ LANGUAGE plpgsql;
+
+CREATE VIEW public.open_issues AS
+  SELECT i.id, i.title FROM public.issues i WHERE i.state = 'open';
+
+ALTER TABLE public.issues ADD COLUMN updated_at timestamp with time zone;
+ALTER TABLE ONLY public.issues ALTER COLUMN state SET DEFAULT 'triage';

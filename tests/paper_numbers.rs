@@ -1,0 +1,236 @@
+//! The paper's headline numbers, asserted against the regenerated
+//! experiments (EXPERIMENTS.md records the same comparisons in prose).
+
+use schemachron::core::{Family, Pattern};
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{experiments as exp, DEFAULT_SEED};
+
+fn ctx() -> ExpContext {
+    ExpContext::new(DEFAULT_SEED)
+}
+
+#[test]
+fn families_split_two_thirds_quarter_tenth() {
+    let ctx = ctx();
+    let share = |f: Family| {
+        ctx.corpus
+            .projects()
+            .iter()
+            .filter(|p| p.assigned.family() == f)
+            .count()
+    };
+    assert_eq!(share(Family::BeQuickOrBeDead), 97); // 23+41+19+14 = 2/3
+    assert_eq!(share(Family::StairwayToHeaven), 37); // 23+14 ≈ 25%
+    assert_eq!(share(Family::ScaredToFallAsleepAgain), 17); // 10+7 ≈ 11%
+}
+
+#[test]
+fn table2_exceptions_match() {
+    let t2 = exp::table2(&ctx());
+    let get = |p: Pattern| {
+        t2.rows
+            .iter()
+            .find(|r| r.pattern == p)
+            .expect("row present")
+    };
+    for p in Pattern::ALL {
+        let row = get(p);
+        assert_eq!(
+            row.exceptions, row.paper_exceptions,
+            "{p}: measured {} vs paper {}",
+            row.exceptions, row.paper_exceptions
+        );
+    }
+    // Fig. 6: the patterns are essentially disjoint — the only label-space
+    // sharing comes from exception projects sitting in foreign regions
+    // (notably "a couple of Siesta projects ... overlapping with Regularly
+    // Curated projects of similar definition").
+    assert!(
+        get(Pattern::Siesta).overlaps >= 2,
+        "the paper's Siesta/RC overlap must be present"
+    );
+    let clean_pattern_overlaps: usize = [
+        Pattern::Flatliner,
+        Pattern::RadicalSign,
+        Pattern::SmokingFunnel,
+    ]
+    .iter()
+    .map(|&p| get(p).overlaps)
+    .sum();
+    assert_eq!(
+        clean_pattern_overlaps, 0,
+        "exception-free patterns must not overlap"
+    );
+}
+
+#[test]
+fn figure5_tree_misclassifies_four_of_151() {
+    let f5 = exp::figure5(&ctx());
+    assert_eq!(f5.misclassified.len(), 4, "{:?}", f5.misclassified);
+}
+
+#[test]
+fn figure2_headline_correlations() {
+    let f2 = exp::figure2(&ctx());
+    // Top-band point vs tail: "extremely strongly anti-correlated".
+    assert!(f2.rho("PointTopBand_pctPUP", "IntervalTopToEnd_pctPUP") < -0.98);
+    // Birth point vs top-band point: the paper reports 0.61.
+    let r = f2.rho("PointOfBirth_pctPUP", "PointTopBand_pctPUP");
+    assert!((r - 0.61).abs() < 0.1, "rho = {r}");
+    // Birth volume vs interval to top: anti-correlated.
+    assert!(f2.rho("BirthVolume_pctTotal", "IntervalBirthToTop_pctPUP") < -0.5);
+    // Active growth months and its normalizations: tightly related.
+    assert!(f2.rho("ActiveGrowthMonths", "Active_pctPUP") > 0.9);
+    assert!(f2.rho("ActiveGrowthMonths", "Active_pctGrowth") > 0.9);
+}
+
+#[test]
+fn figure7_key_cells() {
+    let f7 = exp::figure7(&ctx());
+    let row = |p: Pattern| f7.rows.iter().find(|r| r.pattern == p).expect("row");
+    // Born M0: Flatliner 44%, Radical Sign 31%.
+    assert!((row(Pattern::Flatliner).per_bucket[0].1 - 0.44).abs() < 0.01);
+    assert!((row(Pattern::RadicalSign).per_bucket[0].1 - 0.31).abs() < 0.01);
+    // Born M1-6: Radical Sign 50%.
+    assert!((row(Pattern::RadicalSign).per_bucket[1].1 - 0.50).abs() < 0.01);
+    // Not born till M12: Sigmoid 33%, Late Risers 29%, Smoking Funnel 15%.
+    assert!((row(Pattern::Sigmoid).per_bucket[3].1 - 0.33).abs() < 0.01);
+    assert!((row(Pattern::LateRiser).per_bucket[3].1 - 0.29).abs() < 0.01);
+    assert!((row(Pattern::SmokingFunnel).per_bucket[3].1 - 0.15).abs() < 0.01);
+    // Column totals.
+    assert_eq!(f7.bucket_totals, [52, 38, 13, 48]);
+}
+
+#[test]
+fn section62_rigidity_probabilities() {
+    let s62 = exp::stats62(&ctx());
+    // M0 → 75%, M1-6 → 53%, >M12 → 64%.
+    assert!((s62.rows[0].2 - 0.75).abs() < 0.01, "M0: {}", s62.rows[0].2);
+    assert!(
+        (s62.rows[1].2 - 0.53).abs() < 0.01,
+        "M1-6: {}",
+        s62.rows[1].2
+    );
+    assert!(
+        (s62.rows[3].2 - 0.64).abs() < 0.01,
+        ">M12: {}",
+        s62.rows[3].2
+    );
+    // Birth marginals: 34% at M0, 60% within 6 months, 68% within a year.
+    assert!((s62.born[0].1 - 0.34).abs() < 0.01);
+    assert!((s62.born[1].1 - 0.60).abs() < 0.01);
+    assert!((s62.born[2].1 - 0.68).abs() < 0.01);
+}
+
+#[test]
+fn section52_mdc_within_paper_range() {
+    let s52 = exp::stats52(&ctx());
+    let (lo, hi) = s52.range();
+    assert!(lo >= 0.05 && hi <= 1.25, "MDC range [{lo}, {hi}]");
+    // Flatliners are the most cohesive pattern.
+    let flat = s52
+        .rows
+        .iter()
+        .find(|(p, _, _)| *p == Pattern::Flatliner)
+        .map(|(_, _, v)| *v)
+        .expect("flatliner row");
+    assert!(s52.rows.iter().all(|(_, _, v)| *v >= flat));
+}
+
+#[test]
+fn section61_medians() {
+    let s61 = exp::stats61(&ctx());
+    for (p, _, med, _, paper) in &s61.rows {
+        let tolerance = (0.1 * paper).max(3.0);
+        assert!(
+            (med - paper).abs() <= tolerance,
+            "{p}: measured {med} vs paper {paper}"
+        );
+    }
+}
+
+#[test]
+fn section34_shapiro_wilk_rejects_normality() {
+    let s34 = exp::stats34(&ctx());
+    for m in &s34.metrics {
+        assert!(
+            m.p_value < 1e-9,
+            "{}: p = {} (paper: all p in the order of 1e-9 or below)",
+            m.name,
+            m.p_value
+        );
+    }
+    assert_eq!(s34.vaulted, 88);
+    assert_eq!(s34.zero_active_growth, 98);
+    assert_eq!(s34.top_within_25pct, 64);
+}
+
+#[test]
+fn section63_expansion_bias() {
+    let s63 = exp::stats63(&ctx());
+    for r in &s63.rows {
+        assert!(
+            r.expansion_share > 0.5,
+            "{}: expansion share {:.2} — change must be biased towards expansion",
+            r.pattern,
+            r.expansion_share
+        );
+    }
+    // Table-granular change: births/deletions-with-table dominate
+    // injections/ejections overall.
+    let total_with_table: usize = s63.rows.iter().map(|r| r.kinds[0] + r.kinds[2]).sum();
+    let total_in_table: usize = s63.rows.iter().map(|r| r.kinds[1] + r.kinds[3]).sum();
+    assert!(total_with_table > total_in_table);
+}
+
+#[test]
+fn table1_render_mentions_measured_and_paper() {
+    let t1 = exp::table1(&ctx());
+    let text = t1.render();
+    assert!(text.contains("measured"));
+    assert!(text.contains("paper"));
+    // All seven metric blocks are present.
+    assert_eq!(t1.censuses.len(), 7);
+}
+
+#[test]
+fn beyond_paper_experiments_hold() {
+    let ctx = ctx();
+
+    // Ablation: the taxonomy is stable at the paper's operating point.
+    let ab = exp::ablation(&ctx);
+    let baseline = ab
+        .topband_sweep
+        .iter()
+        .find(|p| (p.value - 0.90).abs() < 1e-9)
+        .expect("90% point swept");
+    assert_eq!(baseline.moved, 0, "baseline sweep point must be a no-op");
+    let vault_at_10 = ab
+        .vault_sweep
+        .iter()
+        .find(|(v, _)| (v - 0.10).abs() < 1e-9)
+        .expect("10% point swept");
+    assert_eq!(vault_at_10.1, 88);
+    let monthly = &ab.granule_sweep[0];
+    assert_eq!(monthly.moved, 0);
+
+    // Tables: the large majority of tables gravitates to rigidity.
+    let tables = exp::tables_exp(&ctx);
+    let rigidity = tables.rigid_tables as f64 / tables.total_tables as f64;
+    assert!(rigidity > 0.5, "rigidity rate {rigidity}");
+
+    // Co-evolution: the schema leads the source code in most projects.
+    let co = exp::co_evolution_exp(&ctx);
+    assert!(co.schema_leads_share > 0.5, "{}", co.schema_leads_share);
+
+    // Forecast: early observation beats both baselines at one year.
+    let fc = exp::forecast(&ctx);
+    let at_12 = fc
+        .horizons
+        .iter()
+        .find(|h| h.horizon == 12)
+        .expect("12-month horizon");
+    assert!(at_12.loo_accuracy > fc.majority_baseline);
+    assert!(at_12.loo_accuracy > fc.birth_oracle_accuracy);
+    assert!(at_12.loo_family_accuracy >= at_12.loo_accuracy);
+}

@@ -1,0 +1,195 @@
+//! End-to-end integration: raw DDL text in, time-related pattern out.
+//!
+//! Each test hand-writes a schema history whose *shape* matches one of the
+//! paper's patterns and checks the full pipeline (parser → diff →
+//! heartbeat → metrics → quantization → classifier) recovers it.
+
+use schemachron::core::metrics::TimeMetrics;
+use schemachron::core::quantize::Labels;
+use schemachron::core::{classify, Pattern};
+use schemachron::history::{Date, ProjectHistory, ProjectHistoryBuilder};
+
+/// A project skeleton: source activity every month over `months`, schema
+/// commits at the given `(month, sql)` points.
+fn project(months: u32, schema_commits: &[(u32, &str)]) -> ProjectHistory {
+    let mut b = ProjectHistoryBuilder::new("e2e");
+    let date = |m: u32, day: u8| Date::new(2018 + (m / 12) as i32, (m % 12 + 1) as u8, day);
+    for m in 0..months {
+        b.source_commit(date(m, 25), 100.0);
+    }
+    for (m, sql) in schema_commits {
+        b.migration(date(*m, 10), *sql);
+    }
+    b.build()
+}
+
+fn pattern_of(p: &ProjectHistory) -> Option<Pattern> {
+    let m = TimeMetrics::from_project(p)?;
+    classify(&Labels::from_metrics(&m))
+}
+
+const BIG_TABLE: &str = "CREATE TABLE core (
+    id INT NOT NULL AUTO_INCREMENT,
+    name VARCHAR(64) NOT NULL,
+    kind VARCHAR(16),
+    created TIMESTAMP,
+    amount DECIMAL(10,2),
+    PRIMARY KEY (id)
+);";
+
+#[test]
+fn flatliner_from_ddl() {
+    let p = project(24, &[(0, BIG_TABLE)]);
+    assert_eq!(pattern_of(&p), Some(Pattern::Flatliner));
+}
+
+#[test]
+fn radical_sign_from_ddl() {
+    // Born month 1, small follow-up in month 3, frozen for 4+ years after.
+    let p = project(
+        60,
+        &[
+            (1, BIG_TABLE),
+            (3, "CREATE TABLE extras (id INT, note TEXT);"),
+        ],
+    );
+    assert_eq!(pattern_of(&p), Some(Pattern::RadicalSign));
+}
+
+#[test]
+fn sigmoid_from_ddl() {
+    // Schema appears mid-life and freezes immediately.
+    let p = project(40, &[(20, BIG_TABLE)]);
+    assert_eq!(pattern_of(&p), Some(Pattern::Sigmoid));
+}
+
+#[test]
+fn late_riser_from_ddl() {
+    let p = project(40, &[(36, BIG_TABLE)]);
+    assert_eq!(pattern_of(&p), Some(Pattern::LateRiser));
+}
+
+#[test]
+fn quantum_steps_from_ddl() {
+    // Born early, two focused steps, top band reached mid-life.
+    let p = project(
+        40,
+        &[
+            (1, "CREATE TABLE a (x INT, y INT);"),
+            (6, "ALTER TABLE a ADD COLUMN z INT;"),
+            (
+                12,
+                "CREATE TABLE b (id INT, v INT, w INT); ALTER TABLE a ADD COLUMN q INT;",
+            ),
+        ],
+    );
+    assert_eq!(pattern_of(&p), Some(Pattern::QuantumSteps));
+}
+
+#[test]
+fn regularly_curated_from_ddl() {
+    // Born early, maintained every other month for most of its life.
+    let mut commits: Vec<(u32, String)> = vec![(0, "CREATE TABLE a (c0 INT);".to_owned())];
+    for k in 1..=12u32 {
+        commits.push((k * 3, format!("ALTER TABLE a ADD COLUMN c{k} INT;")));
+    }
+    let commits_ref: Vec<(u32, &str)> = commits.iter().map(|(m, s)| (*m, s.as_str())).collect();
+    let p = project(40, &commits_ref);
+    assert_eq!(pattern_of(&p), Some(Pattern::RegularlyCurated));
+}
+
+#[test]
+fn siesta_from_ddl() {
+    // Born at V0, a very long sleep, late burst of change.
+    let p = project(
+        50,
+        &[
+            (0, "CREATE TABLE a (x INT, y INT, z INT);"),
+            (45, "CREATE TABLE b (p INT, q INT, r INT, s INT);"),
+        ],
+    );
+    assert_eq!(pattern_of(&p), Some(Pattern::Siesta));
+}
+
+#[test]
+fn smoking_funnel_from_ddl() {
+    // Born mid-life at fair volume, then densely evolved to a mid-life top.
+    let mut commits: Vec<(u32, String)> = vec![(
+        15,
+        "CREATE TABLE a (c1 INT, c2 INT, c3 INT, c4 INT, c5 INT, c6 INT);".to_owned(),
+    )];
+    for k in 0..5u32 {
+        commits.push((16 + k, format!("ALTER TABLE a ADD COLUMN x{k} INT;")));
+    }
+    commits.push((
+        22,
+        "CREATE TABLE b (d1 INT, d2 INT, d3 INT, d4 INT);".to_owned(),
+    ));
+    // A little tail change.
+    commits.push((30, "ALTER TABLE b ADD COLUMN late1 INT;".to_owned()));
+    let commits_ref: Vec<(u32, &str)> = commits.iter().map(|(m, s)| (*m, s.as_str())).collect();
+    let p = project(40, &commits_ref);
+    assert_eq!(pattern_of(&p), Some(Pattern::SmokingFunnel));
+}
+
+#[test]
+fn zero_evolution_project_has_no_metrics() {
+    let p = project(20, &[]);
+    assert!(TimeMetrics::from_project(&p).is_none());
+}
+
+#[test]
+fn snapshot_and_migration_agree_on_equivalent_histories() {
+    // The same history expressed as snapshots vs migrations must yield the
+    // same metrics.
+    let date = |m: u32| Date::new(2019, m as u8 + 1, 10);
+    let mut snap = ProjectHistoryBuilder::new("snap");
+    snap.snapshot(date(0), "CREATE TABLE t (a INT);");
+    snap.snapshot(date(5), "CREATE TABLE t (a INT, b INT, c INT);");
+    snap.source_commit(date(0), 1.0);
+    snap.source_commit(date(11), 1.0);
+    let snap = snap.build();
+
+    let mut mig = ProjectHistoryBuilder::new("mig");
+    mig.migration(date(0), "CREATE TABLE t (a INT);");
+    mig.migration(date(5), "ALTER TABLE t ADD COLUMN b INT, ADD COLUMN c INT;");
+    mig.source_commit(date(0), 1.0);
+    mig.source_commit(date(11), 1.0);
+    let mig = mig.build();
+
+    let ms = TimeMetrics::from_project(&snap).unwrap();
+    let mm = TimeMetrics::from_project(&mig).unwrap();
+    assert_eq!(ms.total_activity, mm.total_activity);
+    assert_eq!(ms.birth_index, mm.birth_index);
+    assert_eq!(ms.topband_index, mm.topband_index);
+    assert_eq!(
+        snap.schema_history().unwrap().last_schema(),
+        mig.schema_history().unwrap().last_schema()
+    );
+}
+
+#[test]
+fn noisy_real_world_dump_still_classifies() {
+    let dump = r#"
+        -- MySQL dump 10.13
+        /*!40101 SET NAMES utf8 */;
+        SET FOREIGN_KEY_CHECKS=0;
+        DROP TABLE IF EXISTS `users`;
+        CREATE TABLE `users` (
+          `id` int(11) NOT NULL AUTO_INCREMENT,
+          `login` varchar(32) NOT NULL DEFAULT '',
+          `created_at` timestamp NULL DEFAULT CURRENT_TIMESTAMP,
+          PRIMARY KEY (`id`),
+          UNIQUE KEY `uq_login` (`login`)
+        ) ENGINE=InnoDB AUTO_INCREMENT=1234 DEFAULT CHARSET=utf8;
+        LOCK TABLES `users` WRITE;
+        INSERT INTO `users` VALUES (1,'admin','2020-01-01 00:00:00');
+        UNLOCK TABLES;
+    "#;
+    let p = project(30, &[(0, dump)]);
+    assert_eq!(pattern_of(&p), Some(Pattern::Flatliner));
+    let hist = p.schema_history().unwrap();
+    let schema = hist.last_schema().unwrap();
+    assert_eq!(schema.table_count(), 1);
+    assert_eq!(schema.table("users").unwrap().attribute_count(), 3);
+}

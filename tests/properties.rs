@@ -1,0 +1,274 @@
+//! Property-based tests over the core invariants of the pipeline.
+
+use proptest::prelude::*;
+
+use schemachron::core::metrics::TimeMetrics;
+use schemachron::core::quantize::{
+    ActiveGrowthClass, ActivePupClass, BirthVolumeClass, IntervalClass, Labels, TailClass,
+    TimepointClass,
+};
+use schemachron::core::{classify, classify_nearest, Pattern};
+use schemachron::ddl::parse_schema;
+use schemachron::history::{Heartbeat, MonthId, ProjectHistory};
+use schemachron::model::{diff, render_schema_sql, Attribute, DataType, Name, Schema, Table};
+use schemachron_corpus::{Card, Corpus};
+
+// ------------------------------------------------------------ strategies
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+fn data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::named("int")),
+        Just(DataType::named("bigint")),
+        Just(DataType::named("text")),
+        (1i64..500).prop_map(|n| DataType::with_params("varchar", vec![n])),
+        (1i64..20, 0i64..10).prop_map(|(p, s)| DataType::with_params("decimal", vec![p, s])),
+        Just(DataType::named("int").with_modifier("unsigned")),
+    ]
+}
+
+prop_compose! {
+    fn table()(name in ident(),
+               cols in proptest::collection::btree_set(ident(), 1..8),
+               types in proptest::collection::vec(data_type(), 8),
+               pk in any::<bool>())
+        -> Table
+    {
+        let mut t = Table::new(name);
+        for (i, c) in cols.iter().enumerate() {
+            t.push_attribute(Attribute::new(c.clone(), types[i % types.len()].clone()));
+        }
+        if pk {
+            t.primary_key = vec![t.attributes()[0].name.clone()];
+        }
+        t
+    }
+}
+
+fn schema() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec(table(), 0..6).prop_map(|tables| {
+        let mut s = Schema::new();
+        for t in tables {
+            s.insert_table(t);
+        }
+        s
+    })
+}
+
+// ------------------------------------------------------------ the tests
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,300}") {
+        let _ = parse_schema(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_input(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("CREATE TABLE".to_owned()),
+                Just("ALTER TABLE".to_owned()),
+                Just("DROP".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just(",".to_owned()),
+                Just(";".to_owned()),
+                Just("PRIMARY KEY".to_owned()),
+                Just("'str".to_owned()),
+                Just("`tick".to_owned()),
+                ident(),
+            ],
+            0..40,
+        )
+    ) {
+        let _ = parse_schema(&parts.join(" "));
+    }
+
+    #[test]
+    fn render_parse_roundtrip(s in schema()) {
+        let sql = render_schema_sql(&s);
+        let (parsed, diags) = parse_schema(&sql);
+        prop_assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}\n{sql}");
+        prop_assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn diff_of_identical_schemas_is_empty(s in schema()) {
+        prop_assert!(diff(&s, &s.clone()).is_empty());
+    }
+
+    #[test]
+    fn diff_from_empty_counts_every_attribute_as_born(s in schema()) {
+        let d = diff(&Schema::new(), &s);
+        prop_assert_eq!(d.attribute_change_count(), s.attribute_count());
+        prop_assert_eq!(d.expansion_count(), s.attribute_count());
+        prop_assert_eq!(d.maintenance_count(), 0);
+    }
+
+    #[test]
+    fn diff_partitions_into_expansion_and_maintenance(a in schema(), b in schema()) {
+        let d = diff(&a, &b);
+        prop_assert_eq!(
+            d.expansion_count() + d.maintenance_count(),
+            d.attribute_change_count()
+        );
+    }
+
+    #[test]
+    fn diff_direction_mirrors_births_and_deletions(a in schema(), b in schema()) {
+        use schemachron::model::ChangeKind;
+        let fwd = diff(&a, &b);
+        let back = diff(&b, &a);
+        prop_assert_eq!(
+            fwd.count_of(ChangeKind::AttributeBornWithTable),
+            back.count_of(ChangeKind::AttributeDeletedWithTable)
+        );
+        prop_assert_eq!(
+            fwd.count_of(ChangeKind::AttributeInjected),
+            back.count_of(ChangeKind::AttributeEjected)
+        );
+        prop_assert_eq!(fwd.tables_added.len(), back.tables_dropped.len());
+    }
+
+    #[test]
+    fn name_comparison_is_ascii_case_insensitive(s in "[a-zA-Z_][a-zA-Z0-9_]{0,12}") {
+        prop_assert_eq!(Name::from(s.to_ascii_uppercase()), Name::from(s.to_ascii_lowercase()));
+    }
+
+    #[test]
+    fn heartbeat_cumulative_is_monotone_unit_bounded(
+        events in proptest::collection::vec((0i32..120, 0.0f64..50.0), 1..30)
+    ) {
+        let mut h = Heartbeat::new();
+        for (m, v) in &events {
+            h.add(MonthId(*m), *v);
+        }
+        let c = h.cumulative_fraction();
+        prop_assert!(c.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        prop_assert!(c.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
+        let total: f64 = events.iter().map(|(_, v)| v).sum();
+        prop_assert!((h.total() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent(
+        activity in proptest::collection::vec(0.0f64..40.0, 13..80),
+        spark in 0usize..12,
+    ) {
+        // Ensure at least one active month.
+        let mut activity = activity;
+        let idx = spark % activity.len();
+        activity[idx] += 1.0;
+        let n = activity.len();
+        let p = ProjectHistory::from_heartbeats("prop", MonthId(0), activity, vec![1.0; n], [0; 6]);
+        let m = TimeMetrics::from_project(&p).expect("active");
+        prop_assert!(m.birth_index <= m.topband_index);
+        prop_assert!((0.0..=1.0).contains(&m.birth_pct_pup));
+        prop_assert!((0.0..=1.0).contains(&m.topband_pct_pup));
+        prop_assert!((0.0..=1.0).contains(&m.birth_volume_pct_total));
+        prop_assert!(m.interval_birth_to_top_pct >= -1e-12);
+        prop_assert!(
+            (m.interval_birth_to_top_pct + m.birth_pct_pup - m.topband_pct_pup).abs() < 1e-9
+        );
+        prop_assert!((m.interval_top_to_end_pct + m.topband_pct_pup - 1.0).abs() < 1e-9);
+        prop_assert_eq!(m.has_single_vault, m.interval_birth_to_top_pct < 0.10);
+        prop_assert!((m.birth_volume + m.activity_after_birth - m.total_activity).abs() < 1e-9);
+        // Quantization always succeeds and stays in-range.
+        let l = Labels::from_metrics(&m);
+        prop_assert!(l.birth_point.ordinal() < 4);
+        prop_assert!(l.interval_birth_to_top.ordinal() < 5);
+    }
+
+    #[test]
+    fn at_most_one_pattern_matches_any_profile(
+        bv in 0usize..4, bp in 0usize..4, tp in 0usize..4,
+        iv in 0usize..5, tl in 0usize..4, ag in 0usize..4,
+        ap in 0usize..4, agm in 0usize..20, vault in any::<bool>(),
+    ) {
+        let l = Labels {
+            birth_volume: BirthVolumeClass::ALL[bv],
+            birth_point: TimepointClass::ALL[bp],
+            topband_point: TimepointClass::ALL[tp],
+            interval_birth_to_top: IntervalClass::ALL[iv],
+            interval_top_to_end: TailClass::ALL[tl],
+            active_growth: ActiveGrowthClass::ALL[ag],
+            active_pup: ActivePupClass::ALL[ap],
+            active_growth_months: agm,
+            has_single_vault: vault,
+        };
+        let matching: Vec<Pattern> =
+            Pattern::ALL.iter().copied().filter(|p| p.matches(&l)).collect();
+        prop_assert!(matching.len() <= 1, "{matching:?}");
+        // classify agrees with the match; nearest agrees when strict.
+        prop_assert_eq!(classify(&l), matching.first().copied());
+        let (nearest, violations) = classify_nearest(&l);
+        match matching.first() {
+            Some(&p) => {
+                prop_assert_eq!(nearest, p);
+                prop_assert_eq!(violations, 0);
+            }
+            None => prop_assert!(violations > 0),
+        }
+    }
+
+    #[test]
+    fn feasible_cards_always_schedule_exactly(
+        duration in 13u32..90,
+        birth_frac_pct in 20u32..70,
+        total in 30u32..300,
+        agm in 0u32..4,
+        seed in 0u64..50,
+    ) {
+        // Construct a feasible card: birth early-ish, top well after birth.
+        let birth = duration / 10;
+        let top = (birth + 5 + agm).min(duration - 1);
+        let card = Card {
+            name: format!("prop-{duration}-{total}"),
+            pattern: Pattern::QuantumSteps,
+            exception: false,
+            duration,
+            birth_month: birth,
+            top_month: top,
+            agm,
+            birth_frac: birth_frac_pct as f64 / 100.0,
+            total_units: total,
+            tail_units: total / 20,
+            tail_months: 1,
+            maintenance_bias: 0.2,
+        };
+        let s = card.schedule();
+        prop_assert_eq!(s.total(), total);
+        let months: Vec<u32> = s.events.iter().map(|(m, _)| *m).collect();
+        let mut sorted = months.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&months, &sorted, "unique and sorted");
+        prop_assert!(months.iter().all(|&m| m < duration));
+        // Materialization reproduces the schedule exactly.
+        let mat = schemachron_corpus::materialize::materialize(&card, seed);
+        let mut b = schemachron::history::ProjectHistoryBuilder::new(&card.name);
+        for (d, sql) in &mat.ddl_commits {
+            b.migration(*d, sql.clone());
+        }
+        for (d, l) in &mat.source_commits {
+            b.source_commit(*d, *l);
+        }
+        let p = b.build();
+        prop_assert_eq!(p.schema_total() as u32, total);
+        prop_assert_eq!(p.schema_birth_index(), Some(birth as usize));
+    }
+}
+
+#[test]
+fn corpus_regeneration_is_deterministic() {
+    let a = Corpus::generate(7);
+    let b = Corpus::generate(7);
+    for (x, y) in a.projects().iter().zip(b.projects()) {
+        assert_eq!(x.labels, y.labels);
+        assert_eq!(x.metrics, y.metrics);
+    }
+}

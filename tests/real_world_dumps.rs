@@ -1,0 +1,122 @@
+//! The measurement instrument against realistic, messy dumps: a
+//! WordPress-style MySQL dump, a PostgreSQL `pg_dump`-style schema and an
+//! SQLite `.dump`-style script (the three dialect families of the study's
+//! FOSS corpus).
+
+use schemachron::ddl::parse_schema;
+use schemachron::model::{DataType, Name};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn wordpress_style_mysql_dump() {
+    let (schema, diags) = parse_schema(&fixture("blog_mysql.sql"));
+    assert!(
+        diags.iter().all(|d| !d.is_error()),
+        "only skips expected: {diags:?}"
+    );
+    assert_eq!(schema.table_count(), 3);
+
+    let users = schema.table("wp_users").unwrap();
+    assert_eq!(users.attribute_count(), 7);
+    assert_eq!(users.primary_key, vec![Name::from("ID")]);
+    assert_eq!(
+        users.attribute("ID").unwrap().data_type,
+        DataType::with_params("bigint", vec![20]).with_modifier("unsigned")
+    );
+    assert!(users.attribute("ID").unwrap().auto_increment);
+    assert_eq!(
+        users.attribute("user_login").unwrap().default.as_deref(),
+        Some("''")
+    );
+
+    let posts = schema.table("wp_posts").unwrap();
+    assert_eq!(posts.foreign_keys.len(), 1);
+    assert_eq!(posts.foreign_keys[0].ref_table, Name::from("wp_users"));
+
+    let options = schema.table("wp_options").unwrap();
+    assert_eq!(options.uniques.len(), 1);
+    let autoload = options.attribute("autoload").unwrap();
+    assert_eq!(autoload.data_type.base(), "enum");
+    assert_eq!(autoload.data_type.modifiers(), ["values:yes|no"]);
+}
+
+#[test]
+fn postgres_style_pg_dump() {
+    let (schema, diags) = parse_schema(&fixture("tracker_postgres.sql"));
+    assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    assert_eq!(schema.table_count(), 2);
+    assert_eq!(schema.views().count(), 1);
+
+    let projects = schema.table("projects").unwrap();
+    let id = projects.attribute("id").unwrap();
+    assert_eq!(id.data_type, DataType::named("bigint")); // bigserial mapped
+    assert!(id.auto_increment && id.not_null);
+    assert_eq!(projects.primary_key, vec![Name::from("id")]);
+    assert_eq!(
+        projects.attribute("slug").unwrap().data_type,
+        DataType::with_params("varchar", vec![80])
+    );
+    assert_eq!(
+        projects.attribute("created_at").unwrap().data_type,
+        DataType::named("timestamptz")
+    );
+    assert_eq!(
+        projects.attribute("tags").unwrap().data_type,
+        DataType::named("text").with_modifier("array")
+    );
+
+    let issues = schema.table("issues").unwrap();
+    // ALTER TABLE at the end of the dump added updated_at.
+    assert!(issues.attribute("updated_at").is_some());
+    assert_eq!(issues.attribute_count(), 7);
+    assert_eq!(issues.foreign_keys.len(), 1);
+    assert_eq!(
+        issues.attribute("weight").unwrap().data_type,
+        DataType::named("double")
+    );
+    // ALTER COLUMN SET DEFAULT applied.
+    assert!(issues
+        .attribute("state")
+        .unwrap()
+        .default
+        .as_deref()
+        .unwrap()
+        .contains("triage"));
+}
+
+#[test]
+fn sqlite_style_dump() {
+    let (schema, diags) = parse_schema(&fixture("embedded_sqlite.sql"));
+    assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    assert_eq!(schema.table_count(), 3);
+
+    let contacts = schema.table("contacts").unwrap();
+    assert!(contacts.attribute("id").unwrap().auto_increment);
+    assert_eq!(contacts.primary_key, vec![Name::from("id")]);
+    assert_eq!(contacts.attribute_count(), 5);
+
+    let log = schema.table("call_log").unwrap();
+    assert_eq!(log.foreign_keys.len(), 1);
+    assert_eq!(log.foreign_keys[0].ref_table, Name::from("contacts"));
+    // Quoted table name.
+    assert!(schema.table("meta").is_some());
+}
+
+#[test]
+fn dumps_survive_a_diff_against_their_evolution() {
+    // Pretend the blog schema evolved: one table dropped, one column added.
+    let v1 = fixture("blog_mysql.sql");
+    let mut v2 = v1.clone();
+    v2.push_str("\nDROP TABLE wp_options;\nALTER TABLE wp_posts ADD COLUMN post_excerpt TEXT;\n");
+    let (s1, _) = parse_schema(&v1);
+    let (s2, _) = parse_schema(&v2);
+    let d = schemachron::model::diff(&s1, &s2);
+    use schemachron::model::ChangeKind;
+    assert_eq!(d.count_of(ChangeKind::AttributeDeletedWithTable), 4);
+    assert_eq!(d.count_of(ChangeKind::AttributeInjected), 1);
+    assert_eq!(d.tables_dropped, vec![Name::from("wp_options")]);
+}
