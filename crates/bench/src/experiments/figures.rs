@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use serde::Serialize;
 
 use schemachron_chart::ascii::{render_annotated, AsciiChart};
-use schemachron_core::predict::{BirthBucket, BirthPredictor};
+use schemachron_core::predict::BirthBucket;
 use schemachron_core::validate::{completeness, disjointedness, domain_coverage, DomainCell};
 use schemachron_core::Pattern;
 use schemachron_stats::spearman_matrix;
@@ -240,14 +240,14 @@ pub fn figure5(ctx: &ExpContext) -> Figure5 {
         .corpus
         .projects()
         .iter()
-        .zip(&features)
+        .zip(features)
         .filter_map(|(p, f)| {
             let predicted = Pattern::ALL[tree.predict(f)];
             (predicted != p.assigned).then(|| (p.card.name.clone(), p.assigned, predicted))
         })
         .collect();
     Figure5 {
-        tree_rendering: ctx.render_tree(&tree),
+        tree_rendering: ctx.render_tree(tree),
         leaves: tree.leaf_count(),
         depth: tree.depth(),
         misclassified,
@@ -383,7 +383,7 @@ pub struct Figure7Row {
 
 /// Regenerates Figure 7 from the fitted predictor.
 pub fn figure7(ctx: &ExpContext) -> Figure7 {
-    let pred: BirthPredictor = ctx.birth_predictor();
+    let pred = ctx.birth_predictor();
     let overall = pred.overall_probabilities();
     let rows = Pattern::ALL
         .iter()

@@ -10,10 +10,10 @@
 //! schemachron analyze <dir> [--snapshot] [--chart] [--svg <file>]
 //! schemachron study <root-dir> [--snapshot]
 //! schemachron diff <old.sql> <new.sql>
-//! schemachron corpus generate --out <dir> [--seed N]
-//! schemachron corpus summary [--seed N]
-//! schemachron corpus csv --out <file> [--seed N]
-//! schemachron experiments [<id> | all] [--seed N]
+//! schemachron corpus generate --out <dir> [--seed N] [--jobs N]
+//! schemachron corpus summary [--seed N] [--jobs N]
+//! schemachron corpus csv --out <file> [--seed N] [--jobs N]
+//! schemachron experiments [<id> | all] [--seed N] [--jobs N]
 //! schemachron chart <dir> [--snapshot]
 //! schemachron help
 //! ```
@@ -91,20 +91,23 @@ pub fn usage() -> &'static str {
      \x20 schemachron study <root-dir> [--snapshot]\n\
      \x20     Run the whole study over a directory of project histories: per-\n\
      \x20     pattern populations, exception census, birth-point probabilities.\n\
-     \x20 schemachron corpus generate --out <dir> [--seed N]\n\
+     \x20 schemachron corpus generate --out <dir> [--seed N] [--jobs N]\n\
      \x20     Materialize the 151-project corpus as SQL history directories.\n\
-     \x20 schemachron corpus summary [--seed N]\n\
+     \x20 schemachron corpus summary [--seed N] [--jobs N]\n\
      \x20     Print the corpus pattern populations.\n\
-     \x20 schemachron corpus csv --out <file> [--seed N]\n\
+     \x20 schemachron corpus csv --out <file> [--seed N] [--jobs N]\n\
      \x20     Export the measured per-project metrics as CSV.\n\
-     \x20 schemachron experiments [<id> | all] [--seed N]\n\
+     \x20 schemachron experiments [<id> | all] [--seed N] [--jobs N]\n\
      \x20     Regenerate the paper's tables/figures and the beyond-paper\n\
      \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
      \x20     exp_coevolution, exp_forecast).\n\
      \x20 schemachron chart <dir> [--snapshot]\n\
      \x20     Draw the cumulative schema/source chart of a project directory.\n\
      \x20 schemachron diff <old.sql> <new.sql>\n\
-     \x20     Parse two schema dumps and report the attribute-level changes."
+     \x20     Parse two schema dumps and report the attribute-level changes.\n\
+     \n\
+     \x20 --jobs N controls the corpus-ingestion worker count (default: the\n\
+     \x20 SCHEMACHRON_JOBS environment variable, else available parallelism)."
 }
 
 fn flag(args: &[&str], name: &str) -> bool {
@@ -127,6 +130,23 @@ fn seed_of(args: &[&str]) -> Result<u64, CliError> {
     }
 }
 
+/// Parses `--jobs N` and installs it as the process-wide worker count for
+/// corpus generation. `N` must be a positive integer.
+fn apply_jobs(args: &[&str]) -> Result<(), CliError> {
+    let Some(v) = opt_value(args, "--jobs") else {
+        return Ok(());
+    };
+    match v.parse::<std::num::NonZeroUsize>() {
+        Ok(n) => {
+            schemachron_corpus::set_jobs(Some(n));
+            Ok(())
+        }
+        Err(_) => Err(CliError::new(format!(
+            "invalid --jobs value `{v}` (expected a positive integer)"
+        ))),
+    }
+}
+
 /// Finds the first positional argument (not an option, not an option's
 /// value).
 fn positional<'a>(argv: &'a [&'a str]) -> Option<&'a str> {
@@ -146,7 +166,7 @@ fn positional<'a>(argv: &'a [&'a str]) -> Option<&'a str> {
 }
 
 fn takes_value(opt: &str) -> bool {
-    matches!(opt, "--seed" | "--out" | "--svg")
+    matches!(opt, "--seed" | "--out" | "--svg" | "--jobs")
 }
 
 fn analyze(args: &[String], out: &mut dyn Write) -> CliResult {
@@ -336,6 +356,7 @@ fn study(args: &[String], out: &mut dyn Write) -> CliResult {
 fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
     let argv: Vec<&str> = args.iter().map(String::as_str).collect();
     let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
     match argv.first() {
         Some(&"generate") => {
             let dir = opt_value(&argv, "--out")
@@ -409,7 +430,15 @@ pub const EXPERIMENT_IDS: [&str; 18] = [
 fn experiments(args: &[String], out: &mut dyn Write) -> CliResult {
     let argv: Vec<&str> = args.iter().map(String::as_str).collect();
     let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
     let which = positional(&argv).unwrap_or("all");
+    // Validate the id before paying for the corpus build.
+    if which != "all" && !EXPERIMENT_IDS.contains(&which) {
+        return Err(CliError::new(format!(
+            "unknown experiment `{which}`; valid ids: {} or `all`",
+            EXPERIMENT_IDS.join(", ")
+        )));
+    }
     let ctx = ExpContext::new(seed);
     let render = |id: &str| -> Option<String> {
         Some(match id {
@@ -564,6 +593,25 @@ mod tests {
         assert!(run_to_string(&["corpus"]).is_err());
         assert!(run_to_string(&["corpus", "generate"]).is_err()); // no --out
         assert!(run_to_string(&["corpus", "summary", "--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_validation() {
+        for bad in ["0", "-2", "abc", "1.5", ""] {
+            let err = run_to_string(&["corpus", "summary", "--jobs", bad])
+                .expect_err(&format!("--jobs {bad} should be rejected"));
+            assert!(err.message.contains("--jobs"), "{}", err.message);
+        }
+        // A valid count is accepted and the summary still comes out right.
+        let s = run_to_string(&["corpus", "summary", "--jobs", "2"]).unwrap();
+        assert!(s.contains("151 projects"));
+        // Restore auto-detection for other tests in this process.
+        schemachron_corpus::set_jobs(None);
+    }
+
+    #[test]
+    fn usage_documents_jobs_flag() {
+        assert!(usage().contains("--jobs"));
     }
 
     #[test]

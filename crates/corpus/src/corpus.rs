@@ -1,5 +1,7 @@
 //! Corpus assembly: cards → DDL → pipeline → annotated projects.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use schemachron_core::metrics::TimeMetrics;
 use schemachron_core::quantize::Labels;
 use schemachron_core::Pattern;
@@ -7,7 +9,13 @@ use schemachron_history::{ProjectHistory, ProjectHistoryBuilder};
 
 use crate::cards::all_cards;
 use crate::materialize::{materialize, MaterializedProject};
+use crate::parallel::{effective_jobs, par_map};
 use crate::spec::Card;
+
+/// Number of corpora built by this process, across all generation entry
+/// points. Observable via [`Corpus::build_count`]; the experiment runner
+/// asserts on it to prove its corpus cache builds the corpus exactly once.
+static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// One corpus project after full-pipeline ingestion.
 #[derive(Clone, Debug)]
@@ -39,12 +47,17 @@ impl Corpus {
     /// DDL mixture, identifiers and source-line volumes.
     ///
     /// The default seed used throughout the experiments is **42**.
+    ///
+    /// Ingestion fans out over worker threads (see [`crate::parallel`]);
+    /// the output is identical to a serial run because each project is
+    /// seeded independently and results are reassembled in card order.
     pub fn generate(seed: u64) -> Corpus {
-        let projects = all_cards()
-            .into_iter()
-            .map(|card| Self::ingest(card, seed))
-            .collect();
-        Corpus { seed, projects }
+        Self::generate_jobs(seed, effective_jobs())
+    }
+
+    /// [`Corpus::generate`] with an explicit worker count.
+    pub fn generate_jobs(seed: u64, jobs: usize) -> Corpus {
+        Self::from_cards(all_cards(), seed, jobs)
     }
 
     /// Generates a corpus of arbitrary size by cycling the 151 calibrated
@@ -53,26 +66,44 @@ impl Corpus {
     /// Intended for scale/throughput benchmarking; the calibrated aggregates
     /// hold per 151-card cycle.
     pub fn generate_scaled(seed: u64, size: usize) -> Corpus {
+        Self::generate_scaled_jobs(seed, size, effective_jobs())
+    }
+
+    /// [`Corpus::generate_scaled`] with an explicit worker count.
+    pub fn generate_scaled_jobs(seed: u64, size: usize, jobs: usize) -> Corpus {
         let cards = all_cards();
-        let projects = (0..size)
+        let scaled: Vec<Card> = (0..size)
             .map(|i| {
                 let mut card = cards[i % cards.len()].clone();
                 card.name = format!("{}-x{}", card.name, i / cards.len());
-                Self::ingest(card, seed)
+                card
             })
             .collect();
-        Corpus { seed, projects }
+        Self::from_cards(scaled, seed, jobs)
     }
 
     /// Generates a corpus from freshly synthesized random cards with the
     /// requested pattern mix (`counts[i]` projects of `Pattern::ALL[i]`) —
     /// the workload-generator entry point for what-if studies.
     pub fn generate_random(seed: u64, counts: [usize; 8]) -> Corpus {
-        let projects = crate::random::random_cards(seed, counts)
-            .into_iter()
-            .map(|card| Self::ingest(card, seed))
-            .collect();
+        Self::generate_random_jobs(seed, counts, effective_jobs())
+    }
+
+    /// [`Corpus::generate_random`] with an explicit worker count.
+    pub fn generate_random_jobs(seed: u64, counts: [usize; 8], jobs: usize) -> Corpus {
+        Self::from_cards(crate::random::random_cards(seed, counts), seed, jobs)
+    }
+
+    fn from_cards(cards: Vec<Card>, seed: u64, jobs: usize) -> Corpus {
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
+        let projects = par_map(cards, jobs, |card| Self::ingest(card, seed));
         Corpus { seed, projects }
+    }
+
+    /// How many corpora this process has built so far (any entry point) —
+    /// lets callers with a corpus cache assert the cache actually hit.
+    pub fn build_count() -> u64 {
+        BUILD_COUNT.load(Ordering::Relaxed)
     }
 
     fn ingest(card: Card, seed: u64) -> CorpusProject {

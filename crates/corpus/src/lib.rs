@@ -36,9 +36,11 @@ pub mod cards;
 pub mod corpus;
 pub mod io;
 pub mod materialize;
+pub mod parallel;
 pub mod random;
 pub mod spec;
 
 pub use corpus::{Corpus, CorpusProject};
+pub use parallel::{effective_jobs, par_map, set_jobs};
 pub use random::{random_card, random_cards};
 pub use spec::{Card, Schedule};

@@ -33,7 +33,7 @@ pub fn materialize(card: &Card, seed: u64) -> MaterializedProject {
     let schedule = card.schedule();
 
     let mut state = SchemaState::new();
-    let mut ddl_commits = Vec::new();
+    let mut ddl_commits = Vec::with_capacity(schedule.events.len());
     for &(month, units) in &schedule.events {
         let sql = state.emit_month(units, card.maintenance_bias, &mut rng);
         ddl_commits.push((month_date(start, month, 10), sql));
@@ -41,7 +41,7 @@ pub fn materialize(card: &Card, seed: u64) -> MaterializedProject {
 
     // Source activity: development happens over the whole PUP; the first
     // and last months are always active (they pin the project lifespan).
-    let mut source_commits = Vec::new();
+    let mut source_commits = Vec::with_capacity(card.duration as usize);
     for m in 0..card.duration {
         let pinned = m == 0 || m == card.duration - 1;
         if pinned || rng.random_bool(0.7) {
@@ -207,7 +207,7 @@ impl SchemaState {
     ) -> u32 {
         let prefer_table = remaining >= 3 && (self.tables.is_empty() || rng.random_bool(0.65));
         if prefer_table {
-            let cols = rng.random_range(3..=8).min(remaining as usize);
+            let cols = rng.random_range(3..=8usize).min(remaining as usize);
             let name = self.fresh_table_name();
             let mut t = TableState {
                 name: name.clone(),

@@ -1,0 +1,149 @@
+//! Work scheduling for corpus ingestion.
+//!
+//! Every corpus project is ingested independently — the materializer seeds
+//! its PRNG per project name (`seed ^ name_hash(name)`), so no project's
+//! output depends on any other's. That makes ingestion embarrassingly
+//! parallel, and this module provides the fan-out: [`par_map`] distributes
+//! items over scoped worker threads with an atomic work-stealing-style
+//! index counter, then reassembles results **in input order**, so parallel
+//! and serial runs produce identical corpora.
+//!
+//! The worker count is resolved by [`effective_jobs`]:
+//!
+//! 1. a process-wide override installed with [`set_jobs`] (the CLI's
+//!    `--jobs` flag),
+//! 2. else the `SCHEMACHRON_JOBS` environment variable,
+//! 3. else [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide jobs override; `0` means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide worker-count override (`None` clears it),
+/// taking precedence over `SCHEMACHRON_JOBS` and auto-detection.
+pub fn set_jobs(jobs: Option<NonZeroUsize>) {
+    JOBS_OVERRIDE.store(jobs.map_or(0, NonZeroUsize::get), Ordering::Relaxed);
+}
+
+/// The worker count corpus generation will use: the [`set_jobs`] override,
+/// else `SCHEMACHRON_JOBS`, else available parallelism (min 1).
+pub fn effective_jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("SCHEMACHRON_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on `jobs` scoped worker threads, preserving input
+/// order in the output.
+///
+/// Workers pull the next unclaimed index from a shared atomic counter
+/// (self-balancing: a worker stuck on an expensive project simply claims
+/// fewer items), so the schedule adapts to uneven item costs without any
+/// partitioning heuristics. With `jobs <= 1` or fewer than two items the
+/// map runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`; remaining items may be skipped.
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let workers = jobs.min(items.len());
+    // Wrap the items so workers can claim them by index without moving the
+    // vector: each slot is taken exactly once (the counter hands out each
+    // index to exactly one worker).
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let next = AtomicUsize::new(0);
+
+    let mut results: Vec<Option<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("corpus slot lock")
+                            .take()
+                            .expect("each slot is claimed exactly once");
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        let mut merged: Vec<Option<R>> = (0..slots.len()).map(|_| None).collect();
+        for h in handles {
+            for (i, r) in h.join().expect("corpus worker panicked") {
+                merged[i] = Some(r);
+            }
+        }
+        merged
+    });
+
+    results
+        .iter_mut()
+        .map(|slot| slot.take().expect("every index was produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(items, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = par_map(items.clone(), 1, |i| i.wrapping_mul(0x9e37_79b9));
+        let parallel = par_map(items, 5, |i| i.wrapping_mul(0x9e37_79b9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        assert_eq!(par_map(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![7], 4, |x| x + 1), vec![8]);
+        assert_eq!(par_map(vec![1, 2], 16, |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn override_beats_env_and_detection() {
+        set_jobs(NonZeroUsize::new(3));
+        assert_eq!(effective_jobs(), 3);
+        set_jobs(None);
+        assert!(effective_jobs() >= 1);
+    }
+}

@@ -90,7 +90,7 @@ fn sample(pattern: Pattern, name: &str, rng: &mut StdRng) -> Option<Card> {
 
     match pattern {
         Pattern::Flatliner => {
-            let total = rng.random_range(4..=40);
+            let total = rng.random_range(4..=40u32);
             let full = rng.random_bool(0.7);
             let frac = if full {
                 1.0

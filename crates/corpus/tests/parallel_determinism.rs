@@ -1,0 +1,47 @@
+//! Regression tests: parallel ingestion must be byte-for-byte equivalent
+//! to a serial run. Each project is independently seeded and results are
+//! reassembled in card order, so worker count must never leak into output.
+
+use schemachron_corpus::Corpus;
+
+fn assert_same(a: &Corpus, b: &Corpus) {
+    assert_eq!(a.projects().len(), b.projects().len());
+    for (x, y) in a.projects().iter().zip(b.projects()) {
+        assert_eq!(x.card, y.card);
+        assert_eq!(x.assigned, y.assigned);
+        assert_eq!(x.metrics, y.metrics, "{}", x.card.name);
+        assert_eq!(x.labels, y.labels, "{}", x.card.name);
+        assert_eq!(x.history, y.history, "{}", x.card.name);
+    }
+}
+
+#[test]
+fn generate_is_jobs_invariant() {
+    let serial = Corpus::generate_jobs(42, 1);
+    assert_eq!(serial.projects().len(), 151);
+    for jobs in [2, 3, 8] {
+        assert_same(&serial, &Corpus::generate_jobs(42, jobs));
+    }
+}
+
+#[test]
+fn generate_scaled_is_jobs_invariant() {
+    let serial = Corpus::generate_scaled_jobs(42, 604, 1);
+    assert_eq!(serial.projects().len(), 604);
+    assert_same(&serial, &Corpus::generate_scaled_jobs(42, 604, 4));
+}
+
+#[test]
+fn generate_random_is_jobs_invariant() {
+    let counts = [2, 2, 1, 1, 2, 1, 1, 1];
+    let serial = Corpus::generate_random_jobs(9, counts, 1);
+    assert_same(&serial, &Corpus::generate_random_jobs(9, counts, 4));
+}
+
+#[test]
+fn build_count_increments_per_generation() {
+    let before = Corpus::build_count();
+    let _ = Corpus::generate_jobs(1, 2);
+    let _ = Corpus::generate_jobs(1, 2);
+    assert_eq!(Corpus::build_count(), before + 2);
+}

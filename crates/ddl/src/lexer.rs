@@ -81,7 +81,9 @@ impl<'a> Lexer<'a> {
             src: input.as_bytes(),
             pos: 0,
             line: 1,
-            out: Vec::new(),
+            // DDL averages roughly one token per five bytes; pre-sizing
+            // avoids repeated regrowth on dump-sized scripts.
+            out: Vec::with_capacity(input.len() / 5 + 8),
         }
     }
 

@@ -10,7 +10,7 @@ use crate::{Date, Heartbeat, IngestMode, MonthId, SchemaHistory};
 /// Both heartbeats are aligned to the same month range (index 0 is the
 /// project's first month), so time indices are directly comparable — this
 /// is the structure every §3.2 metric is computed from.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProjectHistory {
     name: String,
     start: MonthId,

@@ -15,7 +15,7 @@ pub enum IngestMode {
 }
 
 /// One version of the schema, with the diff from its predecessor.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SchemaVersion {
     /// When the version was committed.
     pub date: Date,
@@ -31,7 +31,7 @@ pub struct SchemaVersion {
 /// Build one by feeding dated DDL texts via [`SchemaHistory::push`]; versions
 /// may arrive out of order, they are sorted by date at construction time via
 /// [`SchemaHistory::from_entries`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SchemaHistory {
     versions: Vec<SchemaVersion>,
     diagnostics: Vec<Diagnostic>,
@@ -58,15 +58,16 @@ impl SchemaHistory {
     /// Appends one version. The caller must push in chronological order
     /// (use [`SchemaHistory::from_entries`] otherwise).
     pub fn push(&mut self, mode: IngestMode, date: Date, sql: &str) {
-        let prev_schema = self
-            .versions
-            .last()
-            .map(|v| v.schema.clone())
-            .unwrap_or_default();
         let (schema, mut diags) = match mode {
             IngestMode::Snapshot => parse_schema(sql),
             IngestMode::Migration => {
-                let mut b = SchemaBuilder::with_schema(prev_schema.clone());
+                // Clone the previous schema only on the path that mutates it.
+                let prev_schema = self
+                    .versions
+                    .last()
+                    .map(|v| v.schema.clone())
+                    .unwrap_or_default();
+                let mut b = SchemaBuilder::with_schema(prev_schema);
                 b.apply_script(sql);
                 b.finish()
             }
@@ -80,12 +81,9 @@ impl SchemaHistory {
     /// inferred from document stores). The caller must push in
     /// chronological order.
     pub fn push_schema(&mut self, date: Date, schema: Schema) {
-        let prev_schema = self
-            .versions
-            .last()
-            .map(|v| v.schema.clone())
-            .unwrap_or_default();
-        let d = diff(&prev_schema, &schema);
+        let empty = Schema::default();
+        let prev_schema = self.versions.last().map_or(&empty, |v| &v.schema);
+        let d = diff(prev_schema, &schema);
         self.versions.push(SchemaVersion {
             date,
             schema,

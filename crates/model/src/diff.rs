@@ -146,11 +146,13 @@ impl SchemaDiff {
 /// assert_eq!(d.count_of(ChangeKind::AttributeDeletedWithTable), 1);
 /// ```
 pub fn diff(old: &Schema, new: &Schema) -> SchemaDiff {
+    use std::collections::HashMap;
+
     let mut out = SchemaDiff::default();
 
     // Dropped tables: every attribute deleted with the table.
     for t in old.tables() {
-        if new.table(t.name.as_str()).is_none() {
+        if new.table_of(&t.name).is_none() {
             out.tables_dropped.push(t.name.clone());
             for a in t.attributes() {
                 out.changes.push(AttributeChange {
@@ -163,7 +165,7 @@ pub fn diff(old: &Schema, new: &Schema) -> SchemaDiff {
     }
 
     for t_new in new.tables() {
-        match old.table(t_new.name.as_str()) {
+        match old.table_of(&t_new.name) {
             None => {
                 // New table: every attribute born with it.
                 out.tables_added.push(t_new.name.clone());
@@ -176,9 +178,14 @@ pub fn diff(old: &Schema, new: &Schema) -> SchemaDiff {
                 }
             }
             Some(t_old) => {
-                // Surviving table: match attributes by name.
+                // Surviving table: match attributes by name. Index each
+                // side once so matching is linear rather than quadratic.
+                let new_attrs: HashMap<&Name, &crate::Attribute> =
+                    t_new.attributes().iter().map(|a| (&a.name, a)).collect();
+                let old_attrs: HashMap<&Name, &crate::Attribute> =
+                    t_old.attributes().iter().map(|a| (&a.name, a)).collect();
                 for a_old in t_old.attributes() {
-                    if t_new.attribute(a_old.name.as_str()).is_none() {
+                    if !new_attrs.contains_key(&a_old.name) {
                         out.changes.push(AttributeChange {
                             table: t_new.name.clone(),
                             attribute: a_old.name.clone(),
@@ -187,7 +194,7 @@ pub fn diff(old: &Schema, new: &Schema) -> SchemaDiff {
                     }
                 }
                 for a_new in t_new.attributes() {
-                    let Some(a_old) = t_old.attribute(a_new.name.as_str()) else {
+                    let Some(a_old) = old_attrs.get(&a_new.name) else {
                         out.changes.push(AttributeChange {
                             table: t_new.name.clone(),
                             attribute: a_new.name.clone(),

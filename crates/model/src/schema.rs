@@ -182,6 +182,12 @@ impl Table {
         self.attributes.iter().find(|a| a.name == key)
     }
 
+    /// Like [`Table::attribute`], but keyed by an existing [`Name`] — no
+    /// normalization allocation, for hot paths like diffing.
+    pub fn attribute_of(&self, name: &Name) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == *name)
+    }
+
     /// Mutable lookup by (case-insensitive) name.
     pub fn attribute_mut(&mut self, name: &str) -> Option<&mut Attribute> {
         let key = Name::from(name);
@@ -320,6 +326,12 @@ impl Schema {
     /// Looks up a table by case-insensitive name.
     pub fn table(&self, name: &str) -> Option<&Table> {
         self.tables.get(&Name::from(name))
+    }
+
+    /// Like [`Schema::table`], but keyed by an existing [`Name`] — no
+    /// normalization allocation, for hot paths like diffing.
+    pub fn table_of(&self, name: &Name) -> Option<&Table> {
+        self.tables.get(name)
     }
 
     /// Mutable table lookup.

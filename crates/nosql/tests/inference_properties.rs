@@ -1,77 +1,121 @@
-//! Property-based tests for the implicit-schema inference.
+//! Randomized tests for the implicit-schema inference.
+//!
+//! Originally proptest properties; the offline build vendors no proptest,
+//! so each property is driven by a seeded [`StdRng`] loop over generated
+//! JSON documents (same invariants, deterministic inputs).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use schemachron_nosql::{infer_entity, infer_schema, Collections, JsonType};
 use serde_json::{json, Value};
 
-/// A strategy over arbitrary JSON values of bounded depth/size.
-fn arb_json() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i32>().prop_map(|n| json!(n)),
-        "[a-z]{0,8}".prop_map(Value::String),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
-            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
-                .prop_map(|m| { Value::Object(m.into_iter().collect()) }),
-        ]
-    })
+fn key(r: &mut StdRng) -> String {
+    let len = r.random_range(1..=6usize);
+    (0..len)
+        .map(|_| (b'a' + r.random_range(0..26u8)) as char)
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn inference_never_panics(docs in proptest::collection::vec(arb_json(), 0..8)) {
-        let _ = infer_entity("e", &docs);
+/// An arbitrary JSON value of bounded depth and size.
+fn arb_json(r: &mut StdRng, depth: u32) -> Value {
+    let scalar_only = depth == 0 || r.random_bool(0.5);
+    if scalar_only {
+        match r.random_range(0..4u8) {
+            0 => Value::Null,
+            1 => Value::Bool(r.random_bool(0.5)),
+            2 => json!(r.random_range(i64::from(i32::MIN)..=i64::from(i32::MAX))),
+            _ => Value::String(key(r)),
+        }
+    } else if r.random_bool(0.5) {
+        let n = r.random_range(0..4usize);
+        Value::Array((0..n).map(|_| arb_json(r, depth - 1)).collect())
+    } else {
+        let n = r.random_range(0..4usize);
+        let mut m = serde_json::Map::new();
+        for _ in 0..n {
+            let k = key(r);
+            let v = arb_json(r, depth - 1);
+            m.insert(k, v);
+        }
+        Value::Object(m)
     }
+}
 
-    #[test]
-    fn inference_is_deterministic(docs in proptest::collection::vec(arb_json(), 0..6)) {
-        prop_assert_eq!(infer_entity("e", &docs), infer_entity("e", &docs));
+fn docs(r: &mut StdRng, max: usize) -> Vec<Value> {
+    let n = r.random_range(0..max);
+    (0..n).map(|_| arb_json(r, 3)).collect()
+}
+
+#[test]
+fn inference_never_panics() {
+    let mut r = StdRng::seed_from_u64(0x1FE6);
+    for _ in 0..150 {
+        let _ = infer_entity("e", &docs(&mut r, 8));
     }
+}
 
-    #[test]
-    fn duplicating_a_document_changes_nothing_but_nullability(
-        docs in proptest::collection::vec(arb_json(), 1..5)
-    ) {
+#[test]
+fn inference_is_deterministic() {
+    let mut r = StdRng::seed_from_u64(0xDE7E);
+    for _ in 0..100 {
+        let d = docs(&mut r, 6);
+        assert_eq!(infer_entity("e", &d), infer_entity("e", &d));
+    }
+}
+
+#[test]
+fn duplicating_a_document_changes_nothing_but_nullability() {
+    let mut r = StdRng::seed_from_u64(0xD0B1);
+    for _ in 0..100 {
+        let mut d = docs(&mut r, 5);
+        if d.is_empty() {
+            d.push(arb_json(&mut r, 3));
+        }
         // Field set and types are invariant under duplicating the corpus;
         // presence counts double so NOT NULL flags are also invariant.
-        let once = infer_entity("e", &docs);
-        let mut doubled = docs.clone();
-        doubled.extend(docs.iter().cloned());
+        let once = infer_entity("e", &d);
+        let mut doubled = d.clone();
+        doubled.extend(d.iter().cloned());
         let twice = infer_entity("e", &doubled);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn every_scalar_field_appears_as_attribute(
-        keys in proptest::collection::btree_set("[a-z]{1,6}", 1..6)
-    ) {
+#[test]
+fn every_scalar_field_appears_as_attribute() {
+    let mut r = StdRng::seed_from_u64(0x5CA1);
+    for _ in 0..100 {
+        let mut keys: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let want = r.random_range(1..6usize);
+        while keys.len() < want {
+            keys.insert(key(&mut r));
+        }
         let mut obj = serde_json::Map::new();
         for (i, k) in keys.iter().enumerate() {
             obj.insert(k.clone(), json!(i));
         }
         let t = infer_entity("e", &[Value::Object(obj)]);
-        prop_assert_eq!(t.attribute_count(), keys.len());
+        assert_eq!(t.attribute_count(), keys.len());
         for k in &keys {
-            prop_assert!(t.attribute(k).is_some(), "{k} missing");
+            assert!(t.attribute(k).is_some(), "{k} missing");
         }
     }
+}
 
-    #[test]
-    fn unify_is_associative(
-        a in 0usize..7, b in 0usize..7, c in 0usize..7
-    ) {
-        use JsonType::*;
-        let all = [Null, Bool, Number, String, Array, Object, Mixed];
-        let (x, y, z) = (all[a].clone(), all[b].clone(), all[c].clone());
-        prop_assert_eq!(
-            x.clone().unify(y.clone()).unify(z.clone()),
-            x.unify(y.unify(z))
-        );
+#[test]
+fn unify_is_associative() {
+    use JsonType::*;
+    let all = [Null, Bool, Number, String, Array, Object, Mixed];
+    for x in &all {
+        for y in &all {
+            for z in &all {
+                assert_eq!(
+                    x.clone().unify(y.clone()).unify(z.clone()),
+                    x.clone().unify(y.clone().unify(z.clone()))
+                );
+            }
+        }
     }
 }
 

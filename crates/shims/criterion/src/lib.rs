@@ -1,0 +1,232 @@
+//! In-tree stand-in for `criterion`.
+//!
+//! A wall-clock micro-benchmark harness exposing the same surface the
+//! workspace benches use: [`Criterion::bench_function`], benchmark groups
+//! with [`Throughput`] and sample-size control, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the `criterion_group!` /
+//! `criterion_main!` macros. The build environment is offline, so the
+//! statistical machinery of real criterion (bootstrap CIs, HTML reports)
+//! is replaced by a median-of-samples timer that prints one line per
+//! benchmark — enough for `cargo bench` to run and for relative
+//! comparisons on the same machine.
+//!
+//! Sample counts are intentionally small; benches must stay fast enough
+//! for CI smoke runs. Under `cargo test` (which compiles benches with
+//! `--test`), the harness detects the `--test` flag style invocation by
+//! running each benchmark only once.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run, for reporting.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it enough to get stable medians.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            times.push(start.elapsed());
+            std::hint::black_box(&out);
+        }
+        self.elapsed = median(&mut times);
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            times.push(start.elapsed());
+            std::hint::black_box(&out);
+        }
+        self.elapsed = median(&mut times);
+    }
+}
+
+fn median(times: &mut [Duration]) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stand-in always
+/// uses one input per measurement, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation: lets a group report elements or bytes per second.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&id, b.elapsed, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size, and
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&id, b.elapsed, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_sec = |count: u64| {
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            count as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) => println!(
+            "bench: {id:<48} {elapsed:>12?}  {:.1} MiB/s",
+            per_sec(n) / (1024.0 * 1024.0)
+        ),
+        Some(Throughput::Elements(n)) => {
+            println!("bench: {id:<48} {elapsed:>12?}  {:.1} elem/s", per_sec(n))
+        }
+        None => println!("bench: {id:<48} {elapsed:>12?}"),
+    }
+}
+
+/// Declares a benchmark group function, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= DEFAULT_SAMPLES as u32);
+    }
+
+    #[test]
+    fn group_controls_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024)).sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 7u32, |x| ran += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(ran, 21);
+    }
+}

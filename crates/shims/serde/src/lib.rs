@@ -1,0 +1,208 @@
+//! In-tree stand-in for `serde`.
+//!
+//! The build environment is offline, so this workspace vendors a reduced
+//! serde: a single self-describing data model ([`Content`]), a
+//! [`Serialize`] trait producing it, a [`Deserialize`] marker, and derive
+//! macros re-exported from the in-tree `serde_derive`. `serde_json` (also
+//! vendored) renders [`Content`] as JSON.
+//!
+//! The reduction is deliberate: the repo only ever serializes experiment
+//! results *out* (JSON artifacts under `target/experiments/`) and parses
+//! JSON documents *in* as dynamic [`serde_json::Value`]s — nothing
+//! round-trips through typed deserialization, so the visitor machinery of
+//! real serde would be dead weight here.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing serialization data model — a superset of JSON's.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can render themselves into the [`Content`] data model.
+pub trait Serialize {
+    /// The content form of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait: the type opted into deserialization.
+///
+/// The stand-in never deserializes typed values (see the crate docs), so
+/// the trait carries no methods; the derive exists so `#[derive(Serialize,
+/// Deserialize)]` lines compile unchanged.
+pub trait Deserialize {}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    };
+}
+
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_content_forms() {
+        assert_eq!(3u32.to_content(), Content::U64(3));
+        assert_eq!((-3i32).to_content(), Content::I64(-3));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn composite_content_forms() {
+        assert_eq!(
+            vec![1u8, 2].to_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+        assert_eq!(
+            ("a".to_owned(), 7usize).to_content(),
+            Content::Seq(vec![Content::Str("a".into()), Content::U64(7)])
+        );
+        let m: std::collections::BTreeMap<String, usize> =
+            [("k".to_owned(), 1)].into_iter().collect();
+        assert_eq!(
+            m.to_content(),
+            Content::Map(vec![("k".into(), Content::U64(1))])
+        );
+    }
+}

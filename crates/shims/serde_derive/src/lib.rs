@@ -1,0 +1,329 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! The offline build vendors a minimal `serde`; this crate provides its
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` using nothing but the
+//! compiler's own `proc_macro` API (no `syn`/`quote`, which we cannot
+//! fetch). It supports the shapes this workspace actually uses:
+//!
+//! - structs with named fields → a JSON-style map, field name → value;
+//! - tuple structs → a sequence (or the inner value for 1-field structs
+//!   marked `#[serde(transparent)]`);
+//! - enums with unit variants → the variant name as a string;
+//! - enums with payload variants → `{"Variant": <payload>}`.
+//!
+//! Generic types are intentionally unsupported (none of the workspace's
+//! serialized types are generic); the derive panics with a clear message if
+//! it meets one, so a future refactor fails loudly instead of silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the in-tree reduced trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    format!(
+        "impl serde::Serialize for {} {{\n\
+         fn to_content(&self) -> serde::Content {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (a marker in the in-tree stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants as (name, payload shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Leading attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let text = g.stream().to_string().replace(' ', "");
+                    if text.starts_with("serde(") && text.contains("transparent") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive does not support generic type `{name}`");
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Shape::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(tuple_arity(g.stream()))
+            }
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(enum_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        k => panic!("cannot derive for `{k} {name}`"),
+    };
+
+    Item {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+/// Field names of a `{ ... }` struct body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (incl. doc comments) and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name followed by `:`.
+        let TokenTree::Ident(id) = &tokens[i] else {
+            panic!("expected field name, found {:?}", tokens[i]);
+        };
+        fields.push(id.to_string());
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        i += 1;
+        // Skip the type up to the next top-level comma. Track angle-bracket
+        // depth so `BTreeMap<String, usize>` does not split the field list.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a `( ... )` tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    arity
+}
+
+/// Variants of an `enum { ... }` body.
+fn enum_variants(body: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let TokenTree::Ident(id) = &tokens[i] else {
+            panic!("expected variant name, found {:?}", tokens[i]);
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a `= discriminant` if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 2;
+            }
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::Unit => "serde::Content::Null".to_owned(),
+        Shape::Tuple(1) if item.transparent => {
+            "serde::Serialize::to_content(&self.0)".to_owned()
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(fields) if item.transparent && fields.len() == 1 => {
+            format!("serde::Serialize::to_content(&self.{})", fields[0])
+        }
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_owned(), serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let ty = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{ty}::{v} => serde::Content::Str(\"{v}\".to_owned()),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_content(__f0)".to_owned()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("serde::Content::Seq(vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{ty}::{v}({}) => serde::Content::Map(vec![(\"{v}\".to_owned(), {payload})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_owned(), serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{ty}::{v} {{ {binds} }} => serde::Content::Map(vec![(\"{v}\".to_owned(), serde::Content::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    }
+}

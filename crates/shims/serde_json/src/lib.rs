@@ -1,0 +1,483 @@
+//! In-tree stand-in for `serde_json`.
+//!
+//! Implements the subset this workspace uses, over the vendored `serde`
+//! stand-in: the dynamic [`Value`] tree, a strict JSON parser
+//! ([`from_str`]), compact and pretty printers ([`to_string`],
+//! [`to_string_pretty`]), [`to_value`] for any [`serde::Serialize`] type,
+//! the insertion-ordered [`Map`], and a [`json!`] macro for literals.
+//!
+//! ```
+//! let v = serde_json::from_str(r#"{"a": [1, 2.5, null, "x"]}"#).unwrap();
+//! assert_eq!(serde_json::to_string(&v).unwrap(), r#"{"a":[1,2.5,null,"x"]}"#);
+//! ```
+
+use std::fmt;
+
+pub mod map;
+mod parse;
+
+pub use map::Map;
+
+/// A JSON number: integer or float, mirroring `serde_json::Number`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Number(pub(crate) N);
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::I(v) => v as f64,
+            N::U(v) => v as f64,
+            N::F(v) => v,
+        })
+    }
+
+    /// The value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::I(v) => Some(v),
+            N::U(v) => i64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// The value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::I(v) => u64::try_from(v).ok(),
+            N::U(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+
+    /// Builds a float number; `None` for NaN/infinity (not valid JSON).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number(N::F(f)))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Number {
+        Number(N::I(v))
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Number {
+        Number(N::U(v))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::I(v) => write!(f, "{v}"),
+            N::U(v) => write!(f, "{v}"),
+            N::F(v) => {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    // Match serde_json: floats keep a decimal point.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A dynamically-typed JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member access: `v["key"]` / `v[0]`-style lookup returning `Null`
+    /// for misses, like `serde_json::Value::get` composed over both shapes.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self, f)
+    }
+}
+
+/// A JSON error (parse or serialization).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a JSON document.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    parse::parse(s)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Result<Value, Error> {
+    Ok(content_to_value(v.to_content()))
+}
+
+fn content_to_value(c: serde::Content) -> Value {
+    use serde::Content as C;
+    match c {
+        C::Null => Value::Null,
+        C::Bool(b) => Value::Bool(b),
+        C::I64(v) => Value::Number(Number(N::I(v))),
+        C::U64(v) => Value::Number(Number(N::U(v))),
+        C::F64(v) => match Number::from_f64(v) {
+            Some(n) => Value::Number(n),
+            // serde_json rejects non-finite floats; artifacts prefer null.
+            None => Value::Null,
+        },
+        C::Str(s) => Value::String(s),
+        C::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        C::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Serializes compactly.
+pub fn to_string<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    Ok(to_value(v)?.to_string())
+}
+
+/// Serializes with two-space indentation (serde_json's pretty layout).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let value = to_value(v)?;
+    let mut out = String::new();
+    write_pretty(&value, 0, &mut out);
+    Ok(out)
+}
+
+fn write_escaped(s: &str, out: &mut impl fmt::Write) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+fn write_compact(v: &Value, f: &mut impl fmt::Write) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(n) => write!(f, "{n}"),
+        Value::String(s) => write_escaped(s, f),
+        Value::Array(items) => {
+            f.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                write_compact(item, f)?;
+            }
+            f.write_char(']')
+        }
+        Value::Object(map) => {
+            f.write_char('{')?;
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                write_escaped(k, f)?;
+                f.write_char(':')?;
+                write_compact(item, f)?;
+            }
+            f.write_char('}')
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if map.len() > 0 => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&STEP.repeat(indent + 1));
+                let _ = write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => {
+            let _ = write_compact(other, out);
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:expr),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { $variant(v) }
+        }
+    )*};
+}
+
+value_from!(bool => Value::Bool, String => Value::String);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number(N::I(v as i64))) }
+        }
+    )*};
+}
+macro_rules! value_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number(N::U(v as u64))) }
+        }
+    )*};
+}
+
+value_from_int!(i8, i16, i32, i64, isize);
+value_from_uint!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(f64::from(v))
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl serde::Serialize for Value {
+    fn to_content(&self) -> serde::Content {
+        use serde::Content as C;
+        match self {
+            Value::Null => C::Null,
+            Value::Bool(b) => C::Bool(*b),
+            Value::Number(Number(N::I(v))) => C::I64(*v),
+            Value::Number(Number(N::U(v))) => C::U64(*v),
+            Value::Number(Number(N::F(v))) => C::F64(*v),
+            Value::String(s) => C::Str(s.clone()),
+            Value::Array(items) => {
+                C::Seq(items.iter().map(serde::Serialize::to_content).collect())
+            }
+            Value::Object(map) => C::Map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), serde::Serialize::to_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Builds a [`Value`] from a Rust expression (`json!(42)`, `json!("x")`),
+/// an array literal, or an object literal with string keys.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        let text = r#"{"a":[1,2.5,null,"x\n"],"b":{"c":true},"d":-7}"#;
+        let v = from_str(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn pretty_printer_layout() {
+        let v = from_str(r#"{"a":[1],"b":{}}"#).unwrap();
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3), Value::Number(Number(N::I(3))));
+        assert_eq!(json!([1, 2]).as_array().unwrap().len(), 2);
+        let obj = json!({"k": 1, "s": "v"});
+        assert_eq!(obj.get("k").and_then(Value::as_i64), Some(1));
+        assert_eq!(obj.get("s").and_then(Value::as_str), Some("v"));
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal_point() {
+        assert_eq!(json!(1.0).to_string(), "1.0");
+        assert_eq!(json!(0.5).to_string(), "0.5");
+        assert_eq!(json!(f64::NAN), Value::Null);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{invalid}").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn to_value_runs_through_serde() {
+        let v = to_value(&vec![("k".to_owned(), 2usize)]).unwrap();
+        assert_eq!(v.to_string(), r#"[["k",2]]"#);
+    }
+
+    #[test]
+    fn number_accessors() {
+        assert_eq!(json!(3).as_u64(), Some(3));
+        assert_eq!(json!(-3).as_i64(), Some(-3));
+        assert_eq!(json!(-3).as_u64(), None);
+        assert_eq!(json!(2.5).as_f64(), Some(2.5));
+        assert_eq!(json!(2.5).as_i64(), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! The insertion-ordered JSON object map.
+
+use std::fmt;
+
+/// An insertion-ordered map, mirroring `serde_json::Map`.
+///
+/// Backed by a `Vec` of pairs: JSON objects in this workspace are small
+/// (document fields, experiment artifacts), where linear probing beats a
+/// tree and insertion order matches what real serde_json produces with
+/// `preserve_order`.
+#[derive(Clone, PartialEq, Default)]
+pub struct Map<K = String, V = super::Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> Map<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a value, replacing (in place) an existing entry of the same
+    /// key. Returns the previous value, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up by key.
+    pub fn get<Q: ?Sized>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: PartialEq,
+    {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key<Q: ?Sized>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: PartialEq,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for Map<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(k, v)| (k, v)))
+            .finish()
+    }
+}
+
+impl<K: PartialEq, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = MapIter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        MapIter {
+            inner: self.entries.iter(),
+        }
+    }
+}
+
+/// Borrowing iterator over a [`Map`].
+pub struct MapIter<'a, K, V> {
+    inner: std::slice::Iter<'a, (K, V)>,
+}
+
+impl<'a, K, V> Iterator for MapIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_preserves_order_and_replaces() {
+        let mut m: Map<String, u32> = Map::new();
+        assert!(m.is_empty());
+        m.insert("b".into(), 1);
+        m.insert("a".into(), 2);
+        assert_eq!(m.insert("b".into(), 3), Some(1));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&3));
+        assert_eq!(m.len(), 2);
+        assert!(m.contains_key("a"));
+        assert!(!m.contains_key("z"));
+    }
+
+    #[test]
+    fn iteration_forms_agree() {
+        let m: Map<String, u32> = [("x".to_owned(), 1), ("y".to_owned(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.values().sum::<u32>(), 3);
+        let by_ref: Vec<(&String, &u32)> = (&m).into_iter().collect();
+        assert_eq!(by_ref.len(), 2);
+        let owned: Vec<(String, u32)> = m.into_iter().collect();
+        assert_eq!(owned[0].0, "x");
+    }
+}
