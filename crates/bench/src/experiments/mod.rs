@@ -19,3 +19,80 @@ pub use sections::{
     Stats63,
 };
 pub use tables::{figure4, table1, table2, Figure4, Table1, Table2};
+
+use crate::context::ExpContext;
+
+/// The valid experiment ids, in paper order — the single registry shared by
+/// the CLI, the `exp_*` binaries and the HTTP service.
+pub const EXPERIMENT_IDS: [&str; 18] = [
+    "exp_table1",
+    "exp_table2",
+    "exp_figure1",
+    "exp_figure2",
+    "exp_figure3",
+    "exp_figure4",
+    "exp_figure5",
+    "exp_figure6",
+    "exp_figure7",
+    "exp_stats34",
+    "exp_stats52",
+    "exp_stats61",
+    "exp_stats62",
+    "exp_stats63",
+    "exp_ablation",
+    "exp_tables",
+    "exp_coevolution",
+    "exp_forecast",
+];
+
+/// Runs experiment `id` against `ctx` and returns its plain-text rendering
+/// plus the JSON form persisted under `target/experiments/` and served by
+/// `schemachron serve`. `None` for an unknown id (see [`EXPERIMENT_IDS`]).
+pub fn run_experiment(id: &str, ctx: &ExpContext) -> Option<(String, serde_json::Value)> {
+    macro_rules! case {
+        ($f:ident) => {{
+            let r = $f(ctx);
+            (r.render(), serde_json::to_value(&r).expect("serializable"))
+        }};
+    }
+    Some(match id {
+        "exp_table1" => case!(table1),
+        "exp_table2" => case!(table2),
+        "exp_figure1" => case!(figure1),
+        "exp_figure2" => case!(figure2),
+        "exp_figure3" => case!(figure3),
+        "exp_figure4" => case!(figure4),
+        "exp_figure5" => case!(figure5),
+        "exp_figure6" => case!(figure6),
+        "exp_figure7" => case!(figure7),
+        "exp_stats34" => case!(stats34),
+        "exp_stats52" => case!(stats52),
+        "exp_stats61" => case!(stats61),
+        "exp_stats62" => case!(stats62),
+        "exp_stats63" => case!(stats63),
+        "exp_ablation" => case!(ablation),
+        "exp_tables" => case!(tables_exp),
+        "exp_coevolution" => case!(co_evolution_exp),
+        "exp_forecast" => case!(forecast),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn every_id_runs_and_serializes() {
+        let ctx = ExpContext::new(crate::DEFAULT_SEED);
+        for id in EXPERIMENT_IDS {
+            let (text, json) = run_experiment(id, &ctx).expect(id);
+            assert!(!text.is_empty(), "{id}: empty rendering");
+            assert!(
+                matches!(json, serde_json::Value::Object(_)),
+                "{id}: non-object JSON"
+            );
+        }
+        assert!(run_experiment("exp_nope", &ctx).is_none());
+    }
+}

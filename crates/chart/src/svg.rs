@@ -31,6 +31,22 @@ impl Default for SvgChart {
 const MARGIN: f64 = 30.0;
 
 impl SvgChart {
+    /// Smallest/largest canvas dimension [`SvgChart::sized`] will accept.
+    pub const MIN_DIM: u32 = 80;
+    /// See [`SvgChart::MIN_DIM`].
+    pub const MAX_DIM: u32 = 4096;
+
+    /// A chart with the requested canvas, clamped to
+    /// [`MIN_DIM`](Self::MIN_DIM)`..=`[`MAX_DIM`](Self::MAX_DIM) so callers
+    /// can pass through untrusted dimensions (e.g. HTTP query parameters)
+    /// without producing degenerate or absurdly large documents.
+    pub fn sized(width: u32, height: u32) -> Self {
+        SvgChart {
+            width: width.clamp(Self::MIN_DIM, Self::MAX_DIM),
+            height: height.clamp(Self::MIN_DIM, Self::MAX_DIM),
+            ..SvgChart::default()
+        }
+    }
     /// Renders the project as an SVG document string.
     pub fn render(&self, p: &ProjectHistory) -> String {
         let schema = p.schema_heartbeat().sample_normalized(self.samples);
@@ -131,5 +147,15 @@ mod tests {
     fn empty_series_yield_no_points() {
         let svg = SvgChart::default().render_series("t", &[], &[]);
         assert!(svg.contains(r#"points="""#));
+    }
+
+    #[test]
+    fn sized_clamps_untrusted_dimensions() {
+        let c = SvgChart::sized(0, 9_999_999);
+        assert_eq!(c.width, SvgChart::MIN_DIM);
+        assert_eq!(c.height, SvgChart::MAX_DIM);
+        let ok = SvgChart::sized(640, 360);
+        assert_eq!((ok.width, ok.height), (640, 360));
+        assert!(ok.render_series("t", &[0.1, 0.9], &[0.2, 0.8]).contains(r#"width="640""#));
     }
 }

@@ -9,7 +9,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {}", e.message);
-            ExitCode::FAILURE
+            ExitCode::from(e.code)
         }
     }
 }

@@ -35,17 +35,33 @@ use schemachron_corpus::io::{load_project_dir, write_corpus_dir, write_metrics_c
 use schemachron_corpus::Corpus;
 use schemachron_history::IngestMode;
 
-/// CLI failure: message for the user.
+/// Exit code for general failures (bad arguments, missing files, ...).
+pub const EXIT_FAILURE: u8 = 1;
+/// Exit code for `serve` failing to bind its address — distinct so
+/// supervisors can tell "port problem" from "bad invocation".
+pub const EXIT_BIND: u8 = 2;
+
+/// CLI failure: message for the user plus the process exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
+    /// Process exit code ([`EXIT_FAILURE`] unless a variant applies).
+    pub code: u8,
 }
 
 impl CliError {
     fn new(message: impl Into<String>) -> Self {
         CliError {
             message: message.into(),
+            code: EXIT_FAILURE,
+        }
+    }
+
+    fn with_code(message: impl Into<String>, code: u8) -> Self {
+        CliError {
+            message: message.into(),
+            code,
         }
     }
 }
@@ -72,6 +88,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
         Some("diff") => diff_cmd(&args[1..], out),
         Some("corpus") => corpus(&args[1..], out),
         Some("experiments") => experiments(&args[1..], out),
+        Some("serve") => serve(&args[1..], out),
         Some("chart") => chart(&args[1..], out),
         Some(other) => Err(CliError::new(format!(
             "unknown command `{other}`\n{}",
@@ -101,13 +118,18 @@ pub fn usage() -> &'static str {
      \x20     Regenerate the paper's tables/figures and the beyond-paper\n\
      \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
      \x20     exp_coevolution, exp_forecast).\n\
+     \x20 schemachron serve [--addr HOST:PORT] [--seed N] [--jobs N]\n\
+     \x20     Serve corpora, patterns and experiments over HTTP/JSON (default\n\
+     \x20     address 127.0.0.1:8080; GET / lists the routes). Ctrl-C stops\n\
+     \x20     gracefully.\n\
      \x20 schemachron chart <dir> [--snapshot]\n\
      \x20     Draw the cumulative schema/source chart of a project directory.\n\
      \x20 schemachron diff <old.sql> <new.sql>\n\
      \x20     Parse two schema dumps and report the attribute-level changes.\n\
      \n\
-     \x20 --jobs N controls the corpus-ingestion worker count (default: the\n\
-     \x20 SCHEMACHRON_JOBS environment variable, else available parallelism)."
+     \x20 --jobs N controls the corpus-ingestion worker count — and, for\n\
+     \x20 `serve`, the HTTP worker pool (default: the SCHEMACHRON_JOBS\n\
+     \x20 environment variable, else available parallelism)."
 }
 
 fn flag(args: &[&str], name: &str) -> bool {
@@ -166,7 +188,67 @@ fn positional<'a>(argv: &'a [&'a str]) -> Option<&'a str> {
 }
 
 fn takes_value(opt: &str) -> bool {
-    matches!(opt, "--seed" | "--out" | "--svg" | "--jobs")
+    matches!(opt, "--seed" | "--out" | "--svg" | "--jobs" | "--addr")
+}
+
+/// The default `schemachron serve` listen address.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8080";
+
+/// Parses and validates `--addr` the same way `--jobs` is validated:
+/// eagerly, with the offending value echoed back.
+fn addr_of(args: &[&str]) -> Result<std::net::SocketAddr, CliError> {
+    let raw = opt_value(args, "--addr").unwrap_or(DEFAULT_SERVE_ADDR);
+    raw.parse().map_err(|_| {
+        CliError::new(format!(
+            "invalid --addr value `{raw}` (expected HOST:PORT, e.g. 127.0.0.1:8080)"
+        ))
+    })
+}
+
+/// `schemachron serve` — run the HTTP/JSON query service until SIGINT.
+fn serve(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
+    let addr = addr_of(&argv)?;
+    let config = schemachron_serve::ServerConfig {
+        addr,
+        jobs: schemachron_corpus::effective_jobs().max(2),
+        seed,
+        ..schemachron_serve::ServerConfig::default()
+    };
+    let jobs = config.jobs;
+    let server = schemachron_serve::Server::bind(config).map_err(|e| bind_error(addr, &e))?;
+    server.install_signal_handler();
+    let _ = writeln!(
+        out,
+        "serving on http://{} (seed {seed}, {jobs} workers); GET / lists routes; Ctrl-C stops",
+        server.local_addr()
+    );
+    out.flush()?;
+    let served = server.run()?;
+    let _ = writeln!(out, "shut down after {served} requests");
+    Ok(())
+}
+
+/// Maps a bind failure to [`EXIT_BIND`] with a one-line actionable hint.
+fn bind_error(addr: std::net::SocketAddr, e: &std::io::Error) -> CliError {
+    use std::io::ErrorKind;
+    let hint = match e.kind() {
+        ErrorKind::AddrInUse => {
+            "hint: the address is already in use — is another `schemachron serve` \
+             running? Pick a free port with --addr"
+        }
+        ErrorKind::PermissionDenied => {
+            "hint: permission denied — ports below 1024 need elevated privileges; \
+             pick a higher port with --addr"
+        }
+        ErrorKind::AddrNotAvailable => {
+            "hint: that address does not belong to this machine — try 127.0.0.1 or 0.0.0.0"
+        }
+        _ => "hint: check the --addr value",
+    };
+    CliError::with_code(format!("serve: cannot bind {addr}: {e}\n{hint}"), EXIT_BIND)
 }
 
 fn analyze(args: &[String], out: &mut dyn Write) -> CliResult {
@@ -405,27 +487,9 @@ fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
     }
 }
 
-/// The valid experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
-    "exp_table1",
-    "exp_table2",
-    "exp_figure1",
-    "exp_figure2",
-    "exp_figure3",
-    "exp_figure4",
-    "exp_figure5",
-    "exp_figure6",
-    "exp_figure7",
-    "exp_stats34",
-    "exp_stats52",
-    "exp_stats61",
-    "exp_stats62",
-    "exp_stats63",
-    "exp_ablation",
-    "exp_tables",
-    "exp_coevolution",
-    "exp_forecast",
-];
+/// The valid experiment ids, in paper order (re-exported from the bench
+/// crate's registry — the single source also behind `schemachron serve`).
+pub use schemachron_bench::experiments::EXPERIMENT_IDS;
 
 fn experiments(args: &[String], out: &mut dyn Write) -> CliResult {
     let argv: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -440,47 +504,17 @@ fn experiments(args: &[String], out: &mut dyn Write) -> CliResult {
         )));
     }
     let ctx = ExpContext::new(seed);
-    let render = |id: &str| -> Option<String> {
-        Some(match id {
-            "exp_table1" => exp::table1(&ctx).render(),
-            "exp_table2" => exp::table2(&ctx).render(),
-            "exp_figure1" => exp::figure1(&ctx).render(),
-            "exp_figure2" => exp::figure2(&ctx).render(),
-            "exp_figure3" => exp::figure3(&ctx).render(),
-            "exp_figure4" => exp::figure4(&ctx).render(),
-            "exp_figure5" => exp::figure5(&ctx).render(),
-            "exp_figure6" => exp::figure6(&ctx).render(),
-            "exp_figure7" => exp::figure7(&ctx).render(),
-            "exp_stats34" => exp::stats34(&ctx).render(),
-            "exp_stats52" => exp::stats52(&ctx).render(),
-            "exp_stats61" => exp::stats61(&ctx).render(),
-            "exp_stats62" => exp::stats62(&ctx).render(),
-            "exp_stats63" => exp::stats63(&ctx).render(),
-            "exp_ablation" => exp::ablation(&ctx).render(),
-            "exp_tables" => exp::tables_exp(&ctx).render(),
-            "exp_coevolution" => exp::co_evolution_exp(&ctx).render(),
-            "exp_forecast" => exp::forecast(&ctx).render(),
-            _ => return None,
-        })
-    };
     if which == "all" {
         for id in EXPERIMENT_IDS {
-            let _ = writeln!(out, "{}", render(id).expect("known id"));
+            let (text, _json) = exp::run_experiment(id, &ctx).expect("known id");
+            let _ = writeln!(out, "{text}");
             let _ = writeln!(out, "{}", "=".repeat(78));
         }
-        Ok(())
     } else {
-        match render(which) {
-            Some(text) => {
-                let _ = writeln!(out, "{text}");
-                Ok(())
-            }
-            None => Err(CliError::new(format!(
-                "unknown experiment `{which}`; valid ids: {} or `all`",
-                EXPERIMENT_IDS.join(", ")
-            ))),
-        }
+        let (text, _json) = exp::run_experiment(which, &ctx).expect("validated above");
+        let _ = writeln!(out, "{text}");
     }
+    Ok(())
 }
 
 /// Diffs two schema dumps and reports the paper's change taxonomy.
@@ -612,6 +646,30 @@ mod tests {
     #[test]
     fn usage_documents_jobs_flag() {
         assert!(usage().contains("--jobs"));
+        assert!(usage().contains("--addr"));
+        assert!(usage().contains("serve"));
+    }
+
+    #[test]
+    fn serve_addr_flag_validation() {
+        for bad in ["localhost", "127.0.0.1", ":8080", "999.0.0.1:80", ""] {
+            let err = run_to_string(&["serve", "--addr", bad])
+                .expect_err(&format!("--addr {bad} should be rejected"));
+            assert!(err.message.contains("--addr"), "{}", err.message);
+            assert_eq!(err.code, EXIT_FAILURE, "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn serve_bind_failure_is_exit_bind_with_hint() {
+        // Occupy a port, then ask the CLI to serve on it.
+        let blocker = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = blocker.local_addr().unwrap().to_string();
+        let err = run_to_string(&["serve", "--addr", &addr])
+            .expect_err("bind on an occupied port must fail");
+        assert_eq!(err.code, EXIT_BIND, "{}", err.message);
+        assert!(err.message.contains("cannot bind"), "{}", err.message);
+        assert!(err.message.contains("already"), "{}", err.message);
     }
 
     #[test]

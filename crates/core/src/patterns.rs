@@ -113,6 +113,23 @@ impl Pattern {
             .expect("in ALL")
     }
 
+    /// Parses a pattern from its paper name, case-insensitively and
+    /// ignoring spaces/hyphens/underscores, so user-facing surfaces (CLI
+    /// arguments, HTTP query strings) accept `"Radical Sign"`,
+    /// `"radical-sign"` and `"radicalsign"` alike.
+    pub fn from_name(name: &str) -> Option<Pattern> {
+        let fold = |s: &str| -> String {
+            s.chars()
+                .filter(|c| !matches!(c, ' ' | '-' | '_'))
+                .map(|c| c.to_ascii_lowercase())
+                .collect()
+        };
+        let wanted = fold(name);
+        Pattern::ALL
+            .into_iter()
+            .find(|p| fold(p.name()) == wanted)
+    }
+
     /// The strict definition (§4): does the quantized profile satisfy this
     /// pattern's defining clauses?
     pub fn matches(self, l: &Labels) -> bool {
@@ -241,6 +258,17 @@ pub fn classify_nearest(l: &Labels) -> (Pattern, u32) {
 mod tests {
     use super::*;
     use crate::quantize::{ActiveGrowthClass, ActivePupClass, BirthVolumeClass, TailClass};
+
+    #[test]
+    fn from_name_roundtrips_and_normalizes() {
+        for p in Pattern::ALL {
+            assert_eq!(Pattern::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Pattern::from_name("radical-sign"), Some(Pattern::RadicalSign));
+        assert_eq!(Pattern::from_name("SMOKING_FUNNEL"), Some(Pattern::SmokingFunnel));
+        assert_eq!(Pattern::from_name("flatliner"), Some(Pattern::Flatliner));
+        assert_eq!(Pattern::from_name("no such pattern"), None);
+    }
 
     fn labels(birth: TimepointClass, top: TimepointClass, iv: IntervalClass, agm: usize) -> Labels {
         Labels {

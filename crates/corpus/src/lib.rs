@@ -41,6 +41,6 @@ pub mod random;
 pub mod spec;
 
 pub use corpus::{Corpus, CorpusProject};
-pub use parallel::{effective_jobs, par_map, set_jobs};
+pub use parallel::{effective_jobs, effective_workers, par_map, set_jobs, MIN_ITEMS_PER_WORKER};
 pub use random::{random_card, random_cards};
 pub use spec::{Card, Schedule};

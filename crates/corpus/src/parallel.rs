@@ -44,14 +44,35 @@ pub fn effective_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
+/// Minimum number of items each worker must have to justify spawning
+/// threads at all. Below `jobs * MIN_ITEMS_PER_WORKER` items, thread
+/// spawn/teardown and slot locking outweigh the per-item pipeline work
+/// (`BENCH_pipeline.json` recorded a 0.84× "speedup" for the 151-project
+/// corpus on two workers) and [`par_map`] runs serially instead. Output is
+/// identical on either side of the threshold — only the schedule changes.
+pub const MIN_ITEMS_PER_WORKER: usize = 128;
+
+/// The worker count [`par_map`] will actually use for `len` items and a
+/// requested `jobs`: `0..=1` means the map runs inline on the caller's
+/// thread (too little work to amortize thread spawns), otherwise the
+/// requested count capped by the item count.
+pub fn effective_workers(len: usize, jobs: usize) -> usize {
+    if jobs <= 1 || len < 2 || len < jobs.min(len) * MIN_ITEMS_PER_WORKER {
+        1
+    } else {
+        jobs.min(len)
+    }
+}
+
 /// Maps `f` over `items` on `jobs` scoped worker threads, preserving input
 /// order in the output.
 ///
 /// Workers pull the next unclaimed index from a shared atomic counter
 /// (self-balancing: a worker stuck on an expensive project simply claims
 /// fewer items), so the schedule adapts to uneven item costs without any
-/// partitioning heuristics. With `jobs <= 1` or fewer than two items the
-/// map runs inline on the caller's thread.
+/// partitioning heuristics. With `jobs <= 1`, fewer than two items, or a
+/// batch too small to amortize thread spawns (see [`effective_workers`] and
+/// [`MIN_ITEMS_PER_WORKER`]) the map runs inline on the caller's thread.
 ///
 /// # Panics
 ///
@@ -62,11 +83,10 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    if jobs <= 1 || items.len() < 2 {
+    let workers = effective_workers(items.len(), jobs);
+    if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-
-    let workers = jobs.min(items.len());
     // Wrap the items so workers can claim them by index without moving the
     // vector: each slot is taken exactly once (the counter hands out each
     // index to exactly one worker).
@@ -117,16 +137,20 @@ where
 mod tests {
     use super::*;
 
+    /// Big enough that 8 workers clear the serial-fallback threshold.
+    const BIG: usize = MIN_ITEMS_PER_WORKER * 8;
+
     #[test]
     fn preserves_input_order() {
-        let items: Vec<usize> = (0..100).collect();
+        let items: Vec<usize> = (0..BIG).collect();
+        assert_eq!(effective_workers(BIG, 8), 8, "meant to hit the pool");
         let out = par_map(items, 8, |i| i * 3);
-        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(out, (0..BIG).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]
     fn serial_and_parallel_agree() {
-        let items: Vec<u64> = (0..64).collect();
+        let items: Vec<u64> = (0..BIG as u64).collect();
         let serial = par_map(items.clone(), 1, |i| i.wrapping_mul(0x9e37_79b9));
         let parallel = par_map(items, 5, |i| i.wrapping_mul(0x9e37_79b9));
         assert_eq!(serial, parallel);
@@ -137,6 +161,33 @@ mod tests {
         assert_eq!(par_map(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
         assert_eq!(par_map(vec![7], 4, |x| x + 1), vec![8]);
         assert_eq!(par_map(vec![1, 2], 16, |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn small_batches_fall_back_to_serial() {
+        // The 151-card corpus on 2 workers sits below the threshold: the
+        // measured parallel run was *slower* than serial there.
+        assert_eq!(effective_workers(151, 2), 1);
+        assert_eq!(effective_workers(2 * MIN_ITEMS_PER_WORKER - 1, 2), 1);
+        // At and above the threshold the requested pool is used.
+        assert_eq!(effective_workers(2 * MIN_ITEMS_PER_WORKER, 2), 2);
+        assert_eq!(effective_workers(BIG, 8), 8);
+        // Degenerate shapes stay inline regardless of size.
+        assert_eq!(effective_workers(0, 8), 1);
+        assert_eq!(effective_workers(1, 8), 1);
+        assert_eq!(effective_workers(BIG, 1), 1);
+    }
+
+    #[test]
+    fn threshold_crossing_is_invisible_in_output() {
+        // Identical input → identical output on either side of the serial
+        // fallback, for the exact sizes that straddle it.
+        let cut = 2 * MIN_ITEMS_PER_WORKER;
+        for n in [cut - 1, cut, cut + 1] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let expect: Vec<u64> = items.iter().map(|i| i * 7 + 1).collect();
+            assert_eq!(par_map(items, 2, |i| i * 7 + 1), expect, "size {n}");
+        }
     }
 
     #[test]

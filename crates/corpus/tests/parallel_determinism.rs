@@ -39,6 +39,20 @@ fn generate_random_is_jobs_invariant() {
 }
 
 #[test]
+fn serial_fallback_threshold_is_output_invariant() {
+    // Corpora sized just under and just over the serial-fallback cutoff
+    // (jobs * MIN_ITEMS_PER_WORKER) must come out identical to a serial
+    // build: the fallback may change the schedule, never the corpus.
+    let cut = 2 * schemachron_corpus::MIN_ITEMS_PER_WORKER;
+    for size in [cut - 1, cut + 1] {
+        let serial = Corpus::generate_scaled_jobs(42, size, 1);
+        let threaded = Corpus::generate_scaled_jobs(42, size, 2);
+        assert_eq!(serial.projects().len(), size);
+        assert_same(&serial, &threaded);
+    }
+}
+
+#[test]
 fn build_count_increments_per_generation() {
     let before = Corpus::build_count();
     let _ = Corpus::generate_jobs(1, 2);

@@ -1,0 +1,115 @@
+//! A tiny HTTP client for CI smoke tests against `schemachron serve`.
+//!
+//! ```text
+//! serve_probe <url> [--golden <file>] [--expect <substring>] [--retries N]
+//! ```
+//!
+//! Fetches `url` (plain `http://host:port/path` only). With `--golden` the
+//! response body and the file are both parsed as JSON and compared
+//! structurally; with `--expect` the body must contain the substring.
+//! Otherwise the body is printed. `--retries` re-attempts the *connection*
+//! (200 ms apart) so the probe can wait for a server that is still
+//! starting. Exit code 0 on success, 1 on any failure.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_probe: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut url = None;
+    let mut golden = None;
+    let mut expect = None;
+    let mut retries: u32 = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--golden" => golden = it.next().cloned(),
+            "--expect" => expect = it.next().cloned(),
+            "--retries" => {
+                retries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--retries needs a positive integer"));
+            }
+            other if url.is_none() => url = Some(other.to_owned()),
+            other => fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let url = url.unwrap_or_else(|| fail("usage: serve_probe <url> [--golden f] [--expect s] [--retries n]"));
+    let rest = url
+        .strip_prefix("http://")
+        .unwrap_or_else(|| fail("only http:// urls are supported"));
+    let (host, path) = match rest.split_once('/') {
+        Some((h, p)) => (h.to_owned(), format!("/{p}")),
+        None => (rest.to_owned(), "/".to_owned()),
+    };
+
+    let body = fetch(&host, &path, retries.max(1));
+
+    if let Some(file) = golden {
+        let want_text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| fail(&format!("cannot read golden {file}: {e}")));
+        let want = serde_json::from_str(&want_text)
+            .unwrap_or_else(|e| fail(&format!("golden {file} is not JSON: {e:?}")));
+        let got = serde_json::from_str(&body)
+            .unwrap_or_else(|e| fail(&format!("response body is not JSON: {e:?}\n{body}")));
+        if got != want {
+            fail(&format!(
+                "response does not match golden {file}\n--- got ---\n{body}"
+            ));
+        }
+        println!("serve_probe: {path} matches {file}");
+    } else if let Some(needle) = expect {
+        if !body.contains(&needle) {
+            fail(&format!("body does not contain `{needle}`:\n{body}"));
+        }
+        println!("serve_probe: {path} contains `{needle}`");
+    } else {
+        print!("{body}");
+    }
+}
+
+/// Connects (with retries), sends a GET, returns the response body after
+/// verifying a `200` status line.
+fn fetch(host: &str, path: &str, retries: u32) -> String {
+    let mut last_err = String::new();
+    for attempt in 0..retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        let mut stream = match TcpStream::connect(host) {
+            Ok(s) => s,
+            Err(e) => {
+                last_err = format!("connect {host}: {e}");
+                continue;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        if let Err(e) = write!(stream, "GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n") {
+            last_err = format!("send: {e}");
+            continue;
+        }
+        let mut raw = String::new();
+        if let Err(e) = stream.read_to_string(&mut raw) {
+            last_err = format!("read: {e}");
+            continue;
+        }
+        let Some((head, body)) = raw.split_once("\r\n\r\n") else {
+            last_err = format!("malformed response:\n{raw}");
+            continue;
+        };
+        let status_line = head.lines().next().unwrap_or("");
+        if !status_line.starts_with("HTTP/1.1 200") {
+            last_err = format!("non-200 response: {status_line}\n{body}");
+            continue;
+        }
+        return body.to_owned();
+    }
+    fail(&format!("giving up after {retries} attempt(s): {last_err}"));
+}

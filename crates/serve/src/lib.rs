@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # schemachron-serve
+//!
+//! An embedded, dependency-free HTTP/1.1 JSON service over the corpus,
+//! pattern classification and experiment artifacts — the long-lived query
+//! form of the batch pipeline, exposed by the CLI as `schemachron serve`.
+//!
+//! ## Routes
+//!
+//! | route | payload |
+//! |-------|---------|
+//! | `GET /health` | liveness, uptime, per-route request counters |
+//! | `GET /corpus/{seed}/projects[?pattern=p]` | per-project summaries of the seed's corpus |
+//! | `GET /project/{id}/history[?seed=s]` | monthly schema/source heartbeats |
+//! | `GET /project/{id}/pattern[?seed=s]` | classification + the Table-1 label tuple |
+//! | `GET /experiments/{id}` | a paper table/figure as JSON (matches `goldens/experiments/`) |
+//! | `GET /chart/{id}.svg[?seed=s&w=&h=]` | the cumulative evolution chart as SVG |
+//!
+//! ## Architecture
+//!
+//! [`Server`] owns a `std::net::TcpListener` and a bounded [`pool`] of
+//! worker threads; the accept loop hands each connection to the pool and
+//! answers `503` itself when the queue is full (backpressure instead of
+//! unbounded buffering). All routes read from the process-wide, seed-keyed
+//! `Arc<Corpus>` cache and the memoized `ExpContext` models, so a server
+//! under concurrent load builds each corpus exactly once
+//! (`Corpus::build_count()` is the observable proof). Shutdown is graceful:
+//! a [`ShutdownHandle`] (wired to SIGINT/SIGTERM by the CLI) stops the
+//! accept loop, poison pills drain the workers, and in-flight requests
+//! complete before the process exits.
+
+pub mod http;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use router::AppState;
+pub use server::{Server, ServerConfig, ShutdownHandle};

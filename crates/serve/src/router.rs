@@ -1,0 +1,431 @@
+//! Route dispatch over the shared corpus cache and experiment registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::experiments::{run_experiment, EXPERIMENT_IDS};
+use schemachron_chart::svg::SvgChart;
+use schemachron_core::{classify, classify_nearest, Pattern};
+use schemachron_corpus::CorpusProject;
+use serde_json::{json, Value};
+
+use crate::http::{Request, Response};
+
+/// Per-route hit counters, exported on `/health`. Everything is relaxed
+/// atomics — the counters are observability, not accounting.
+#[derive(Debug, Default)]
+pub struct Counters {
+    total: AtomicU64,
+    health: AtomicU64,
+    corpus_projects: AtomicU64,
+    project_history: AtomicU64,
+    project_pattern: AtomicU64,
+    experiments: AtomicU64,
+    chart: AtomicU64,
+    other: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> Value {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        json!({
+            "total": (get(&self.total)),
+            "health": (get(&self.health)),
+            "corpus_projects": (get(&self.corpus_projects)),
+            "project_history": (get(&self.project_history)),
+            "project_pattern": (get(&self.project_pattern)),
+            "experiments": (get(&self.experiments)),
+            "chart": (get(&self.chart)),
+            "other": (get(&self.other)),
+        })
+    }
+}
+
+/// Shared service state: the default seed, per-seed memoized experiment
+/// contexts (each wrapping the process-wide `Arc<Corpus>` cache), uptime
+/// and counters.
+pub struct AppState {
+    default_seed: u64,
+    started: Instant,
+    counters: Counters,
+    contexts: Mutex<HashMap<u64, Arc<ExpContext>>>,
+}
+
+impl AppState {
+    /// Builds the state. `default_seed` is used by `/project`, `/chart` and
+    /// `/experiments` routes when the request carries no `?seed=`.
+    pub fn new(default_seed: u64) -> AppState {
+        AppState {
+            default_seed,
+            started: Instant::now(),
+            counters: Counters::default(),
+            contexts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The memoized context for a seed; the underlying corpus comes from
+    /// the process-wide seed-keyed cache, so it is built at most once per
+    /// process no matter how many requests race here.
+    pub fn context(&self, seed: u64) -> Arc<ExpContext> {
+        let mut map = self.contexts.lock().expect("context cache lock");
+        Arc::clone(
+            map.entry(seed)
+                .or_insert_with(|| Arc::new(ExpContext::new(seed))),
+        )
+    }
+
+    /// Total requests handled so far.
+    pub fn total_requests(&self) -> u64 {
+        self.counters.total.load(Ordering::Relaxed)
+    }
+
+    /// Dispatches one parsed request to its route handler.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.counters.total.fetch_add(1, Ordering::Relaxed);
+        if req.method != "GET" {
+            self.counters.other.fetch_add(1, Ordering::Relaxed);
+            return Response::json(
+                405,
+                &json!({"error": "method not allowed", "allowed": ["GET"]}),
+            );
+        }
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match segments.as_slice() {
+            [] => {
+                self.counters.other.fetch_add(1, Ordering::Relaxed);
+                index()
+            }
+            ["health"] => {
+                self.counters.health.fetch_add(1, Ordering::Relaxed);
+                self.health()
+            }
+            ["corpus", seed, "projects"] => {
+                self.counters.corpus_projects.fetch_add(1, Ordering::Relaxed);
+                self.corpus_projects(seed, req)
+            }
+            ["project", id, "history"] => {
+                self.counters.project_history.fetch_add(1, Ordering::Relaxed);
+                self.with_project(id, req, |p, _| project_history(p))
+            }
+            ["project", id, "pattern"] => {
+                self.counters.project_pattern.fetch_add(1, Ordering::Relaxed);
+                self.with_project(id, req, |p, _| project_pattern(p))
+            }
+            ["experiments", id] => {
+                self.counters.experiments.fetch_add(1, Ordering::Relaxed);
+                self.experiment(id)
+            }
+            ["chart", file] => {
+                self.counters.chart.fetch_add(1, Ordering::Relaxed);
+                self.chart(file, req)
+            }
+            _ => {
+                self.counters.other.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    404,
+                    &json!({"error": "no such route", "path": (req.path.as_str()), "index": "/"}),
+                )
+            }
+        }
+    }
+
+    fn health(&self) -> Response {
+        Response::json(
+            200,
+            &json!({
+                "status": "ok",
+                "service": "schemachron-serve",
+                "seed": (self.default_seed),
+                "uptime_secs": (self.started.elapsed().as_secs_f64()),
+                "corpora_built": (schemachron_corpus::Corpus::build_count()),
+                "requests": (self.counters.snapshot()),
+            }),
+        )
+    }
+
+    fn corpus_projects(&self, seed: &str, req: &Request) -> Response {
+        let Ok(seed) = seed.parse::<u64>() else {
+            return Response::json(
+                400,
+                &json!({"error": "seed must be an unsigned integer", "got": seed}),
+            );
+        };
+        let filter = match req.query_param("pattern") {
+            None => None,
+            Some(name) => match Pattern::from_name(name) {
+                Some(p) => Some(p),
+                None => {
+                    let valid: Vec<&str> = Pattern::ALL.iter().map(|p| p.name()).collect();
+                    return Response::json(
+                        400,
+                        &json!({"error": "unknown pattern", "got": name, "valid": valid}),
+                    );
+                }
+            },
+        };
+        let ctx = self.context(seed);
+        let projects: Vec<Value> = ctx
+            .corpus
+            .projects()
+            .iter()
+            .filter(|p| filter.is_none_or(|f| p.assigned == f))
+            .map(|p| {
+                json!({
+                    "name": (p.card.name.as_str()),
+                    "pattern": (p.assigned.name()),
+                    "family": (p.assigned.family().name()),
+                    "exception": (p.exception),
+                    "pup_months": (p.metrics.pup_months),
+                    "birth_index": (p.metrics.birth_index),
+                    "total_activity": (p.metrics.total_activity),
+                })
+            })
+            .collect();
+        Response::json(
+            200,
+            &json!({"seed": seed, "count": (projects.len()), "projects": projects}),
+        )
+    }
+
+    /// Looks up `id` in the request's corpus (`?seed=`, else the default)
+    /// and applies `render`; `404` with the seed echoed when absent.
+    fn with_project(
+        &self,
+        id: &str,
+        req: &Request,
+        render: impl Fn(&CorpusProject, &Request) -> Response,
+    ) -> Response {
+        let seed = match req.query_param("seed") {
+            None => self.default_seed,
+            Some(s) => match s.parse::<u64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    return Response::json(
+                        400,
+                        &json!({"error": "seed must be an unsigned integer", "got": s}),
+                    )
+                }
+            },
+        };
+        let ctx = self.context(seed);
+        match ctx.corpus.projects().iter().find(|p| p.card.name == id) {
+            Some(p) => render(p, req),
+            None => Response::json(
+                404,
+                &json!({
+                    "error": "no such project",
+                    "id": id,
+                    "seed": seed,
+                    "hint": (format!("GET /corpus/{seed}/projects lists valid ids")),
+                }),
+            ),
+        }
+    }
+
+    fn experiment(&self, id: &str) -> Response {
+        let ctx = self.context(self.default_seed);
+        match run_experiment(id, &ctx) {
+            Some((_text, value)) => Response::json(200, &value),
+            None => Response::json(
+                404,
+                &json!({
+                    "error": "unknown experiment",
+                    "got": id,
+                    "valid": (EXPERIMENT_IDS.to_vec()),
+                }),
+            ),
+        }
+    }
+
+    fn chart(&self, file: &str, req: &Request) -> Response {
+        let Some(id) = file.strip_suffix(".svg") else {
+            return Response::json(
+                404,
+                &json!({"error": "charts are served as {id}.svg", "got": file}),
+            );
+        };
+        let defaults = SvgChart::default();
+        let dim = |key: &str, fallback: u32| -> u32 {
+            req.query_param(key)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(fallback)
+        };
+        let chart = SvgChart::sized(dim("w", defaults.width), dim("h", defaults.height));
+        self.with_project(id, req, move |p, _| Response::svg(chart.render(&p.history)))
+    }
+}
+
+/// `GET /` — a machine-readable route index.
+fn index() -> Response {
+    Response::json(
+        200,
+        &json!({
+            "service": "schemachron-serve",
+            "routes": [
+                "GET /health",
+                "GET /corpus/{seed}/projects[?pattern=name]",
+                "GET /project/{id}/history[?seed=s]",
+                "GET /project/{id}/pattern[?seed=s]",
+                "GET /experiments/{id}",
+                "GET /chart/{id}.svg[?seed=s&w=px&h=px]",
+            ],
+        }),
+    )
+}
+
+/// `GET /project/{id}/history` — the monthly heartbeats.
+fn project_history(p: &CorpusProject) -> Response {
+    let h = &p.history;
+    Response::json(
+        200,
+        &json!({
+            "name": (h.name()),
+            "start": (h.start().to_string()),
+            "months": (h.month_count()),
+            "schema": (h.schema_heartbeat().values()),
+            "source": (h.source_heartbeat().values()),
+            "expansion_total": (h.expansion_total()),
+            "maintenance_total": (h.maintenance_total()),
+        }),
+    )
+}
+
+/// `GET /project/{id}/pattern` — classification plus the Table-1 label
+/// tuple and the underlying §3.2 metrics.
+fn project_pattern(p: &CorpusProject) -> Response {
+    let l = &p.labels;
+    let strict = classify(l);
+    let (nearest, violation_weight) = classify_nearest(l);
+    Response::json(
+        200,
+        &json!({
+            "name": (p.card.name.as_str()),
+            "assigned": (p.assigned.name()),
+            "family": (p.assigned.family().name()),
+            "exception": (p.exception),
+            "classified": (strict.map(|c| c.name())),
+            "nearest": {
+                "pattern": (nearest.name()),
+                "violation_weight": violation_weight,
+            },
+            "labels": {
+                "birth_volume": (l.birth_volume.label()),
+                "birth_point": (l.birth_point.label()),
+                "topband_point": (l.topband_point.label()),
+                "interval_birth_to_top": (l.interval_birth_to_top.label()),
+                "interval_top_to_end": (l.interval_top_to_end.label()),
+                "active_growth": (l.active_growth.label()),
+                "active_pup": (l.active_pup.label()),
+                "active_growth_months": (l.active_growth_months),
+                "has_single_vault": (l.has_single_vault),
+            },
+            "metrics": (serde_json::to_value(&p.metrics).expect("metrics serialize")),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        let (p, q) = path.split_once('?').unwrap_or((path, ""));
+        Request {
+            method: "GET".into(),
+            target: path.into(),
+            path: p.into(),
+            query: q
+                .split('&')
+                .filter(|s| !s.is_empty())
+                .map(|kv| {
+                    let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                    (k.to_owned(), v.to_owned())
+                })
+                .collect(),
+        }
+    }
+
+    fn body_json(r: &Response) -> Value {
+        serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn routes_answer_with_expected_shapes() {
+        let state = AppState::new(42);
+        let name = {
+            let ctx = state.context(42);
+            ctx.corpus.projects()[0].card.name.clone()
+        };
+
+        let health = state.handle(&get("/health"));
+        assert_eq!(health.status, 200);
+        assert_eq!(body_json(&health)["status"].as_str(), Some("ok"));
+
+        let listing = state.handle(&get("/corpus/42/projects"));
+        assert_eq!(listing.status, 200);
+        assert_eq!(body_json(&listing)["count"].as_u64(), Some(151));
+
+        let filtered = state.handle(&get("/corpus/42/projects?pattern=flatliner"));
+        let n = body_json(&filtered)["count"].as_u64().unwrap();
+        assert!(n > 0 && n < 151, "{n}");
+
+        let hist = state.handle(&get(&format!("/project/{name}/history")));
+        assert_eq!(hist.status, 200);
+        let hist_json = body_json(&hist);
+        assert!(hist_json["months"].as_u64().unwrap() > 0);
+        assert!(hist_json["schema"].as_array().is_some());
+
+        let pat = state.handle(&get(&format!("/project/{name}/pattern")));
+        assert_eq!(pat.status, 200);
+        let pat_json = body_json(&pat);
+        assert!(pat_json["labels"]["birth_point"].as_str().is_some());
+        assert!(pat_json["metrics"]["pup_months"].as_u64().is_some());
+
+        let chart = state.handle(&get(&format!("/chart/{name}.svg?w=320&h=200")));
+        assert_eq!(chart.status, 200);
+        assert_eq!(chart.content_type, "image/svg+xml");
+        let svg = String::from_utf8(chart.body).unwrap();
+        assert!(svg.starts_with("<svg") && svg.contains(r#"width="320""#), "{svg}");
+
+        // Seven requests so far, all counted.
+        assert_eq!(
+            body_json(&state.handle(&get("/health")))["requests"]["total"].as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn experiment_route_matches_registry_json() {
+        let state = AppState::new(42);
+        let resp = state.handle(&get("/experiments/exp_table2"));
+        assert_eq!(resp.status, 200);
+        let direct = run_experiment("exp_table2", &state.context(42)).unwrap().1;
+        assert_eq!(body_json(&resp), direct);
+    }
+
+    #[test]
+    fn error_paths_are_json() {
+        let state = AppState::new(42);
+        assert_eq!(state.handle(&get("/nope/nowhere")).status, 404);
+        assert_eq!(state.handle(&get("/corpus/abc/projects")).status, 400);
+        assert_eq!(
+            state.handle(&get("/corpus/42/projects?pattern=zigzag")).status,
+            400
+        );
+        assert_eq!(state.handle(&get("/experiments/exp_nope")).status, 404);
+        assert_eq!(state.handle(&get("/project/ghost/pattern")).status, 404);
+        assert_eq!(state.handle(&get("/project/ghost/history?seed=oops")).status, 400);
+        assert_eq!(state.handle(&get("/chart/ghost.svg")).status, 404);
+        assert_eq!(state.handle(&get("/chart/noext")).status, 404);
+        let mut post = get("/health");
+        post.method = "POST".into();
+        assert_eq!(state.handle(&post).status, 405);
+        for path in ["/nope", "/experiments/exp_nope"] {
+            let r = state.handle(&get(path));
+            assert!(body_json(&r)["error"].as_str().is_some(), "{path}");
+        }
+    }
+}

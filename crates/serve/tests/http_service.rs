@@ -1,0 +1,255 @@
+//! End-to-end tests of the HTTP service over real sockets: protocol
+//! guards, all documented routes, cache sharing under concurrency, and
+//! graceful shutdown with in-flight requests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use schemachron_corpus::Corpus;
+use schemachron_serve::{Server, ServerConfig, ShutdownHandle};
+
+struct Running {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: JoinHandle<std::io::Result<u64>>,
+}
+
+impl Running {
+    fn start(jobs: usize) -> Running {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            jobs,
+            quiet: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind 127.0.0.1:0");
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        Running {
+            addr,
+            handle,
+            thread,
+        }
+    }
+
+    fn stop(self) -> u64 {
+        self.handle.request_shutdown();
+        self.thread.join().unwrap().unwrap()
+    }
+}
+
+/// Sends raw bytes, returns the full response (head + body) as a string.
+fn raw(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(bytes).expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let resp = raw(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes());
+    let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_owned())
+}
+
+fn json_body(addr: SocketAddr, path: &str) -> (u16, serde_json::Value) {
+    let (status, body) = get(addr, path);
+    let v = serde_json::from_str(&body)
+        .unwrap_or_else(|e| panic!("{path}: non-JSON body ({e:?}):\n{body}"));
+    (status, v)
+}
+
+#[test]
+fn protocol_guards_and_all_routes() {
+    let srv = Running::start(4);
+    let addr = srv.addr;
+
+    // -- protocol guards ---------------------------------------------------
+    let bad = raw(addr, b"GARBAGE\r\n\r\n");
+    assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+    assert!(bad.contains("malformed request"), "{bad}");
+
+    let huge_decl = raw(
+        addr,
+        b"GET /health HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+    );
+    assert!(huge_decl.starts_with("HTTP/1.1 413"), "{huge_decl}");
+
+    let mut huge_head = Vec::from(&b"GET /health HTTP/1.1\r\n"[..]);
+    while huge_head.len() <= schemachron_serve::http::MAX_HEAD_BYTES {
+        huge_head.extend_from_slice(b"X-Filler: yadda yadda yadda yadda\r\n");
+    }
+    huge_head.extend_from_slice(b"\r\n");
+    let huge = raw(addr, &huge_head);
+    assert!(huge.starts_with("HTTP/1.1 413"), "{huge}");
+
+    let post = raw(addr, b"POST /health HTTP/1.1\r\n\r\n");
+    assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+
+    let (nf_status, nf) = json_body(addr, "/definitely/not/a/route");
+    assert_eq!(nf_status, 404);
+    assert!(nf["error"].as_str().is_some(), "404 body must be JSON");
+
+    // -- the six documented routes ----------------------------------------
+    let (s, health) = json_body(addr, "/health");
+    assert_eq!(s, 200);
+    assert_eq!(health["status"].as_str(), Some("ok"));
+
+    let (s, listing) = json_body(addr, "/corpus/42/projects");
+    assert_eq!(s, 200);
+    assert_eq!(listing["count"].as_u64(), Some(151));
+    let name = listing["projects"][0]["name"].as_str().unwrap().to_owned();
+
+    let (s, hist) = json_body(addr, &format!("/project/{name}/history"));
+    assert_eq!(s, 200);
+    assert!(!hist["schema"].as_array().unwrap().is_empty());
+
+    let (s, pat) = json_body(addr, &format!("/project/{name}/pattern"));
+    assert_eq!(s, 200);
+    assert!(pat["labels"]["birth_volume"].as_str().is_some());
+    assert!(pat["nearest"]["pattern"].as_str().is_some());
+
+    let (s, exp) = json_body(addr, "/experiments/exp_table1");
+    assert_eq!(s, 200);
+    assert!(exp["censuses"].as_array().is_some());
+
+    let (s, svg) = get(addr, &format!("/chart/{name}.svg"));
+    assert_eq!(s, 200);
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"), "{svg}");
+
+    srv.stop();
+}
+
+#[test]
+fn concurrent_clients_share_one_corpus_build() {
+    let srv = Running::start(4);
+    let addr = srv.addr;
+
+    // The server warms the default corpus before accepting; whatever the
+    // process-wide count is now, 32 concurrent clients must not raise it.
+    let (_, listing) = json_body(addr, "/corpus/42/projects");
+    let name = Arc::new(
+        listing["projects"][0]["name"]
+            .as_str()
+            .unwrap()
+            .to_owned(),
+    );
+    let builds_before = Corpus::build_count();
+
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            let name = Arc::clone(&name);
+            std::thread::spawn(move || {
+                // Mix the corpus-backed routes; every client reconnects per
+                // request like real HTTP/1.0-style traffic.
+                let paths = [
+                    format!("/project/{name}/pattern"),
+                    format!("/project/{name}/history"),
+                    "/corpus/42/projects".to_owned(),
+                ];
+                let path = &paths[i % paths.len()];
+                for _ in 0..3 {
+                    let (status, _) = get(addr, path);
+                    assert_eq!(status, 200, "{path}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    assert_eq!(
+        Corpus::build_count(),
+        builds_before,
+        "concurrent load must be served from the cached corpus"
+    );
+
+    let (_, health) = json_body(addr, "/health");
+    assert!(health["requests"]["total"].as_u64().unwrap() >= 97);
+    srv.stop();
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_requests() {
+    let srv = Running::start(2);
+    let addr = srv.addr;
+    // Warm up and grab a project id.
+    let (_, listing) = json_body(addr, "/corpus/42/projects");
+    let name = listing["projects"][0]["name"].as_str().unwrap().to_owned();
+
+    // Every client connects and fully sends its request, *then* signals;
+    // shutdown is requested only after all 8 are in flight. The accept
+    // loop's drain-until-empty guarantee must still deliver every reply.
+    let sent = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let path = format!("/project/{name}/pattern");
+            let sent = Arc::clone(&sent);
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                    .expect("send");
+                sent.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let mut out = String::new();
+                s.read_to_string(&mut out).expect("read response");
+                let (head, body) = out.split_once("\r\n\r\n").expect("head/body");
+                let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+                (status, body.to_owned())
+            })
+        })
+        .collect();
+    while sent.load(std::sync::atomic::Ordering::SeqCst) < 8 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let served = srv.stop();
+
+    for c in clients {
+        let (status, body) = c.join().unwrap();
+        assert_eq!(status, 200, "in-flight request dropped: {body}");
+        assert!(body.trim_end().ends_with('}'), "truncated body: {body}");
+    }
+    assert!(served >= 9, "server undercounted: {served}");
+}
+
+#[test]
+fn queue_overflow_sheds_load_with_503() {
+    // One worker and a tiny queue: a burst of slow-ish requests must see
+    // some 503s rather than unbounded queueing — and no hung connections.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        jobs: 1,
+        queue_depth: 1,
+        quiet: true,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let clients: Vec<_> = (0..24)
+        .map(|_| std::thread::spawn(move || get(addr, "/corpus/42/projects").0))
+        .collect();
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert!(
+        statuses.iter().all(|s| *s == 200 || *s == 503),
+        "{statuses:?}"
+    );
+    assert!(statuses.contains(&200), "{statuses:?}");
+
+    handle.request_shutdown();
+    thread.join().unwrap().unwrap();
+}

@@ -48,3 +48,7 @@ pub use schemachron_chart as chart;
 /// Implicit-schema extraction from document stores (NoSQL adapter) — the
 /// paper's first future-work direction, demonstrating pattern universality.
 pub use schemachron_nosql as nosql;
+
+/// Embedded HTTP/JSON query service over corpora, patterns and experiment
+/// artifacts (`schemachron serve`).
+pub use schemachron_serve as serve;
