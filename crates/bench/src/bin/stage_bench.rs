@@ -1,0 +1,122 @@
+//! Incremental-rebuild benchmark for the staged ingestion pipeline.
+//!
+//! Measures three corpus builds over the 151 calibrated cards:
+//!
+//! 1. **full** — cold stage cache, every stage of every project recomputes;
+//! 2. **warm** — identical cards again, everything served from the cache;
+//! 3. **incremental** — one card mutated, so exactly one project re-runs its
+//!    stage chain while the other 150 stay cached.
+//!
+//! Writes `BENCH_stages.json` at the workspace root (next to
+//! `BENCH_pipeline.json`) with the timings, the full/incremental speedup and
+//! the per-stage hit/miss/busy counters of the full and incremental windows.
+//! Exits nonzero when the single-project-invalidated rebuild is not faster
+//! than the full rebuild — the property the stage cache exists to provide.
+
+use std::time::Instant;
+
+use schemachron_corpus::cards::all_cards;
+use schemachron_corpus::pipeline::{self, StageStats};
+use schemachron_corpus::{Card, Corpus};
+
+/// Timing repetitions; the minimum is reported to damp scheduler noise.
+const REPS: usize = 3;
+
+fn stats_json(stats: &[StageStats]) -> serde_json::Value {
+    serde_json::Value::Array(
+        stats
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "stage": (s.stage),
+                    "hits": (s.hits),
+                    "misses": (s.misses),
+                    "busy_ms": (s.busy_ns as f64 / 1e6),
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Times one `from_cards` build, returning milliseconds.
+fn time_build(cards: Vec<Card>, seed: u64, jobs: usize) -> f64 {
+    let start = Instant::now();
+    let corpus = Corpus::from_cards(cards, seed, jobs);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(corpus.projects().len(), 151);
+    ms
+}
+
+fn main() {
+    let seed = schemachron_bench::DEFAULT_SEED;
+    let jobs = schemachron_corpus::effective_jobs();
+    let cards = all_cards();
+
+    // Full rebuild: cold cache every repetition.
+    let mut full_ms = f64::INFINITY;
+    let mut full_stages = Vec::new();
+    for _ in 0..REPS {
+        pipeline::clear_stage_cache();
+        pipeline::reset_stage_stats();
+        let ms = time_build(cards.clone(), seed, jobs);
+        if ms < full_ms {
+            full_ms = ms;
+            full_stages = pipeline::stage_stats();
+        }
+    }
+
+    // Warm rebuild: same cards, everything cached.
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        warm_ms = warm_ms.min(time_build(cards.clone(), seed, jobs));
+    }
+
+    // Incremental rebuild: one card renamed per repetition (a fresh name
+    // each time, so the mutant is never pre-cached), 150 projects cached.
+    let mut incremental_ms = f64::INFINITY;
+    let mut incremental_stages = Vec::new();
+    for rep in 0..REPS {
+        let mut mutated = cards.clone();
+        mutated[0].name = format!("{}-stagebench-{rep}", mutated[0].name);
+        pipeline::reset_stage_stats();
+        let ms = time_build(mutated, seed, jobs);
+        if ms < incremental_ms {
+            incremental_ms = ms;
+            incremental_stages = pipeline::stage_stats();
+        }
+    }
+
+    let speedup = full_ms / incremental_ms;
+    println!(
+        "bench: stages  full {full_ms:>9.3}ms  warm {warm_ms:>9.3}ms  \
+         incremental(1 card) {incremental_ms:>9.3}ms  speedup {speedup:.1}x"
+    );
+
+    let report = serde_json::json!({
+        "bench": "stages/incremental_rebuild",
+        "seed": seed,
+        "jobs": jobs,
+        "projects": (cards.len()),
+        "reps": REPS,
+        "full_ms": full_ms,
+        "warm_ms": warm_ms,
+        "incremental_ms": incremental_ms,
+        "speedup": speedup,
+        "full_stages": (stats_json(&full_stages)),
+        "incremental_stages": (stats_json(&incremental_stages)),
+    });
+    // CARGO_MANIFEST_DIR = crates/bench, so ../.. is the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");
+    match std::fs::write(out, serde_json::to_string_pretty(&report).unwrap()) {
+        Ok(()) => println!("bench: wrote {out}"),
+        Err(e) => eprintln!("bench: could not write {out}: {e}"),
+    }
+
+    if incremental_ms >= full_ms {
+        eprintln!(
+            "bench: FAIL — invalidating one project must rebuild faster than \
+             the full corpus ({incremental_ms:.3}ms vs {full_ms:.3}ms)"
+        );
+        std::process::exit(1);
+    }
+}

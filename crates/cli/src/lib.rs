@@ -13,6 +13,7 @@
 //! schemachron corpus generate --out <dir> [--seed N] [--jobs N]
 //! schemachron corpus summary [--seed N] [--jobs N]
 //! schemachron corpus csv --out <file> [--seed N] [--jobs N]
+//! schemachron corpus verify
 //! schemachron experiments [<id> | all] [--seed N] [--jobs N]
 //! schemachron chart <dir> [--snapshot]
 //! schemachron help
@@ -72,6 +73,16 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<schemachron_corpus::SpecError> for CliError {
+    fn from(e: schemachron_corpus::SpecError) -> Self {
+        CliError::new(format!(
+            "invalid card spec: {e}\n\
+             hint: adjust the card's duration/birth/top plan until the \
+             schedule is feasible (see `corpus verify`)"
+        ))
+    }
+}
+
 type CliResult = Result<(), CliError>;
 
 /// Runs the CLI with `args` (excluding the program name), writing output to
@@ -114,6 +125,9 @@ pub fn usage() -> &'static str {
      \x20     Print the corpus pattern populations.\n\
      \x20 schemachron corpus csv --out <file> [--seed N] [--jobs N]\n\
      \x20     Export the measured per-project metrics as CSV.\n\
+     \x20 schemachron corpus verify\n\
+     \x20     Check every calibrated card's timing plan for feasibility and\n\
+     \x20     report the violated constraint of any infeasible spec.\n\
      \x20 schemachron experiments [<id> | all] [--seed N] [--jobs N]\n\
      \x20     Regenerate the paper's tables/figures and the beyond-paper\n\
      \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
@@ -481,8 +495,32 @@ fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
             );
             Ok(())
         }
+        Some(&"verify") => {
+            let cards = schemachron_corpus::cards::all_cards();
+            let mut bad = 0usize;
+            for card in &cards {
+                if let Err(e) = card.try_schedule() {
+                    bad += 1;
+                    let _ = writeln!(out, "  {}: {e}", card.name);
+                }
+            }
+            if bad > 0 {
+                return Err(CliError::new(format!(
+                    "corpus verify: {bad} of {} cards have infeasible plans\n\
+                     hint: fix the card specs above — every error names the \
+                     violated timing constraint",
+                    cards.len()
+                )));
+            }
+            let _ = writeln!(
+                out,
+                "verified {} cards: every timing plan schedules cleanly",
+                cards.len()
+            );
+            Ok(())
+        }
         _ => Err(CliError::new(
-            "corpus: expected `generate`, `summary` or `csv`",
+            "corpus: expected `generate`, `summary`, `csv` or `verify`",
         )),
     }
 }
@@ -627,6 +665,23 @@ mod tests {
         assert!(run_to_string(&["corpus"]).is_err());
         assert!(run_to_string(&["corpus", "generate"]).is_err()); // no --out
         assert!(run_to_string(&["corpus", "summary", "--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn corpus_verify_accepts_calibrated_cards() {
+        let s = run_to_string(&["corpus", "verify"]).unwrap();
+        assert!(s.contains("verified 151 cards"), "{s}");
+    }
+
+    #[test]
+    fn spec_error_converts_with_hint() {
+        let card = schemachron_corpus::cards::all_cards().remove(0);
+        let bad = schemachron_corpus::Card { duration: 6, ..card };
+        let spec_err = bad.try_schedule().expect_err("6-month card is too short");
+        let cli_err = CliError::from(spec_err);
+        assert_eq!(cli_err.code, EXIT_FAILURE);
+        assert!(cli_err.message.contains("duration"), "{}", cli_err.message);
+        assert!(cli_err.message.contains("hint:"), "{}", cli_err.message);
     }
 
     #[test]

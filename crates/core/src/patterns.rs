@@ -110,7 +110,7 @@ impl Pattern {
         Pattern::ALL
             .iter()
             .position(|p| *p == self)
-            .expect("in ALL")
+            .expect("Pattern::ALL lists every variant, so ordinal() is total")
     }
 
     /// Parses a pattern from its paper name, case-insensitively and
@@ -251,7 +251,7 @@ pub fn classify_nearest(l: &Labels) -> (Pattern, u32) {
         .iter()
         .map(|&p| (p, p.violations(l)))
         .min_by_key(|&(p, v)| (v, p.ordinal()))
-        .expect("ALL is non-empty")
+        .expect("Pattern::ALL is non-empty, so a minimum always exists")
 }
 
 #[cfg(test)]

@@ -1,15 +1,16 @@
 //! Corpus assembly: cards → DDL → pipeline → annotated projects.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use schemachron_core::metrics::TimeMetrics;
 use schemachron_core::quantize::Labels;
 use schemachron_core::Pattern;
-use schemachron_history::{ProjectHistory, ProjectHistoryBuilder};
+use schemachron_history::ProjectHistory;
 
 use crate::cards::all_cards;
-use crate::materialize::{materialize, MaterializedProject};
 use crate::parallel::{effective_jobs, par_map};
+use crate::pipeline;
 use crate::spec::Card;
 
 /// Number of corpora built by this process, across all generation entry
@@ -27,7 +28,9 @@ pub struct CorpusProject {
     /// Whether the project is a Table 2 exception.
     pub exception: bool,
     /// The measured project history (built from the materialized DDL).
-    pub history: ProjectHistory,
+    /// Shared with the stage cache: cached rebuilds hand out the same
+    /// allocation instead of deep-cloning every schema version.
+    pub history: Arc<ProjectHistory>,
     /// The measured §3.2 time metrics.
     pub metrics: TimeMetrics,
     /// The measured §3.3 quantized labels.
@@ -94,9 +97,18 @@ impl Corpus {
         Self::from_cards(crate::random::random_cards(seed, counts), seed, jobs)
     }
 
-    fn from_cards(cards: Vec<Card>, seed: u64, jobs: usize) -> Corpus {
+    /// Builds a corpus from an explicit card list — the entry point every
+    /// `generate*` constructor funnels into, public for benches and tools
+    /// that assemble their own card sets.
+    ///
+    /// Each card is ingested through the staged pipeline
+    /// ([`crate::pipeline`]): projects whose full stage chain is already
+    /// cached are assembled from cached artifacts; everything else fans out
+    /// over `jobs` workers (see [`crate::parallel`]). The result is
+    /// identical for any worker count and any cache state.
+    pub fn from_cards(cards: Vec<Card>, seed: u64, jobs: usize) -> Corpus {
         BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
-        let projects = par_map(cards, jobs, |card| Self::ingest(card, seed));
+        let projects = par_map(cards, jobs, |card| pipeline::build_project(&card, seed));
         Corpus { seed, projects }
     }
 
@@ -104,23 +116,6 @@ impl Corpus {
     /// lets callers with a corpus cache assert the cache actually hit.
     pub fn build_count() -> u64 {
         BUILD_COUNT.load(Ordering::Relaxed)
-    }
-
-    fn ingest(card: Card, seed: u64) -> CorpusProject {
-        let mat = materialize(&card, seed);
-        let history = build_history(&mat);
-        let metrics = TimeMetrics::from_project(&history).unwrap_or_else(|| {
-            panic!("{}: corpus projects always have schema activity", card.name)
-        });
-        let labels = Labels::from_metrics(&metrics);
-        CorpusProject {
-            assigned: card.pattern,
-            exception: card.exception,
-            card,
-            history,
-            metrics,
-            labels,
-        }
     }
 
     /// The seed the corpus was generated with.
@@ -155,17 +150,6 @@ impl Corpus {
             .map(|p| (p.metrics.birth_index, p.assigned))
             .collect()
     }
-}
-
-fn build_history(mat: &MaterializedProject) -> ProjectHistory {
-    let mut b = ProjectHistoryBuilder::new(&mat.name);
-    for (d, sql) in &mat.ddl_commits {
-        b.migration(*d, sql.clone());
-    }
-    for (d, lines) in &mat.source_commits {
-        b.source_commit(*d, *lines);
-    }
-    b.build()
 }
 
 #[cfg(test)]

@@ -37,10 +37,12 @@ pub mod corpus;
 pub mod io;
 pub mod materialize;
 pub mod parallel;
+pub mod pipeline;
 pub mod random;
 pub mod spec;
 
 pub use corpus::{Corpus, CorpusProject};
 pub use parallel::{effective_jobs, effective_workers, par_map, set_jobs, MIN_ITEMS_PER_WORKER};
+pub use pipeline::{StageStats, StageTrace};
 pub use random::{random_card, random_cards};
-pub use spec::{Card, Schedule};
+pub use spec::{Card, Schedule, SpecError};

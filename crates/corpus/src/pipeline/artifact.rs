@@ -1,0 +1,150 @@
+//! The typed artifacts flowing between pipeline stages.
+//!
+//! Each type is the output of exactly one stage (see
+//! [`crate::pipeline::stages`]) and the input of the next:
+//!
+//! ```text
+//! CardSpec → RawScripts → ParsedDdl → LogicalSchema → DiffSeq
+//!          → ProjectHistory → MetricVector → LabelTuple → PatternClass
+//! ```
+//!
+//! Heavyweight intermediates share [`Schema`] values via `Arc`, so the
+//! logical-schema and diff artifacts of one project reference the same
+//! reconstructed schemas instead of cloning them per stage.
+
+use std::sync::Arc;
+
+use schemachron_core::metrics::TimeMetrics;
+use schemachron_core::quantize::Labels;
+use schemachron_core::Pattern;
+use schemachron_ddl::ast::Statement;
+use schemachron_ddl::Diagnostic;
+use schemachron_history::Date;
+use schemachron_model::{Schema, SchemaDiff};
+
+use crate::materialize::MaterializedProject;
+use crate::spec::Card;
+
+use super::stage::{fnv1a, StageKey, FNV_OFFSET};
+
+/// The root input of a project chain: one trait card plus the corpus seed.
+#[derive(Clone, Debug)]
+pub struct CardSpec {
+    /// The project's trait card.
+    pub card: Card,
+    /// The corpus seed (varies DDL mixture and identifiers, not timing).
+    pub seed: u64,
+}
+
+/// Content hash of a chain's root input: the card's full serialized content
+/// mixed with the seed. Any edit to any card field (or a different seed)
+/// yields a different root key and thereby invalidates every downstream
+/// stage of that project — and only that project.
+pub fn card_fingerprint(card: &Card, seed: u64) -> StageKey {
+    let body = serde_json::to_string(card).expect("cards are plain serializable data");
+    fnv1a(fnv1a(FNV_OFFSET, body.as_bytes()), &seed.to_le_bytes())
+}
+
+/// Stage 1 output: the materialized DDL commit history and source heartbeat.
+#[derive(Clone, Debug)]
+pub struct RawScripts {
+    /// Dated migration scripts plus source-activity events.
+    pub project: MaterializedProject,
+}
+
+/// One parsed DDL commit.
+#[derive(Clone, Debug)]
+pub struct ParsedCommit {
+    /// Commit date.
+    pub date: Date,
+    /// The parsed statements, in script order.
+    pub statements: Vec<Statement>,
+    /// Parser diagnostics for this commit's script.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Stage 2 output: every commit's script parsed into statements.
+#[derive(Clone, Debug)]
+pub struct ParsedDdl {
+    /// Parsed commits in chronological order (stable-sorted by date, same
+    /// as `ProjectHistoryBuilder::build`).
+    pub commits: Vec<ParsedCommit>,
+}
+
+/// Stage 3 output: the reconstructed logical schema after each commit.
+#[derive(Clone, Debug)]
+pub struct LogicalSchema {
+    /// `(date, schema-after-commit)` in chronological order.
+    pub snapshots: Vec<(Date, Arc<Schema>)>,
+    /// All parser + builder diagnostics, in ingestion order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// One versioned diff step.
+#[derive(Clone, Debug)]
+pub struct DiffStep {
+    /// Commit date.
+    pub date: Date,
+    /// The schema at this version (shared with [`LogicalSchema`]).
+    pub schema: Arc<Schema>,
+    /// The delta from the previous version (from the empty schema for the
+    /// first version).
+    pub diff: SchemaDiff,
+}
+
+/// Stage 4 output: the version-over-version diff sequence.
+#[derive(Clone, Debug)]
+pub struct DiffSeq {
+    /// The diff steps in chronological order.
+    pub steps: Vec<DiffStep>,
+    /// Diagnostics carried through from [`LogicalSchema`].
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Stage 6 output: the measured §3.2 time metrics.
+#[derive(Clone, Debug)]
+pub struct MetricVector {
+    /// The metrics vector.
+    pub metrics: TimeMetrics,
+}
+
+/// Stage 7 output: the quantized §3.3 label tuple.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelTuple {
+    /// The measured labels.
+    pub labels: Labels,
+}
+
+/// Stage 8 output: the project's pattern classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternClass {
+    /// The strict §4 classification, when exactly one definition matches.
+    pub strict: Option<Pattern>,
+    /// The nearest pattern under the violation-count relaxation.
+    pub nearest: Pattern,
+    /// How many of the nearest pattern's clauses the labels violate.
+    pub violations: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cards::all_cards;
+
+    #[test]
+    fn fingerprint_separates_cards_and_seeds() {
+        let cards = all_cards();
+        let a = card_fingerprint(&cards[0], 42);
+        assert_eq!(a, card_fingerprint(&cards[0], 42));
+        assert_ne!(a, card_fingerprint(&cards[0], 43), "seed must matter");
+        assert_ne!(a, card_fingerprint(&cards[1], 42), "card must matter");
+
+        let mut edited = cards[0].clone();
+        edited.maintenance_bias += 0.01;
+        assert_ne!(
+            a,
+            card_fingerprint(&edited, 42),
+            "every card field must contribute"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The staged ingestion pipeline: typed artifacts, content-hashed stage
+//! cache, incremental per-project recompute.
+//!
+//! The study's computation is a fixed chain of substrates; this module
+//! materializes each substrate as a first-class [`Stage`] with a typed
+//! output artifact:
+//!
+//! ```text
+//! CardSpec ──materialize──▶ RawScripts ──parse──▶ ParsedDdl
+//!   ──schema──▶ LogicalSchema ──diff──▶ DiffSeq ──history──▶ ProjectHistory
+//!   ──metrics──▶ MetricVector ──labels──▶ LabelTuple ──classify──▶ PatternClass
+//! ```
+//!
+//! Every stage output is keyed by a content hash of its inputs: the root
+//! key fingerprints the trait card's full content plus the corpus seed, and
+//! each stage chains `hash(stage name, stage version, input key)` on top
+//! (see [`derive_key`]). Artifacts live in a process-wide cache — the
+//! generalization of the old seed-keyed `Arc<Corpus>` cache — so editing one
+//! project's card re-runs only that project's downstream stages; every
+//! other project, and every untouched upstream artifact, is a cache hit.
+//!
+//! Chains are walked lazily downstream-first by [`build_project`]: a fully
+//! cached project fetches its terminal artifacts and never touches the
+//! early stages. Corpus construction fans chains out over the existing
+//! `par_map` worker pool, so per-stage caching and parallelism compose.
+//!
+//! Observability: global per-stage hit/miss/wall-time counters
+//! ([`stage_stats`], surfaced on the HTTP service's `/health` and in
+//! `BENCH_stages.json`) plus an exact per-call [`StageTrace`] for tests.
+
+mod artifact;
+mod stage;
+mod stages;
+
+pub use artifact::{
+    card_fingerprint, CardSpec, DiffSeq, DiffStep, LabelTuple, LogicalSchema, MetricVector,
+    ParsedCommit, ParsedDdl, PatternClass, RawScripts,
+};
+pub use stage::{derive_key, Stage, StageKey, StageStats, StageTrace, TraceEntry};
+pub use stages::{
+    build_project, build_project_traced, chain_keys, classify_project, ClassifyStage, DiffStage,
+    HistoryInput, HistoryStage, LabelsStage, MaterializeStage, MetricsStage, ParseStage,
+    SchemaStage, STAGE_ORDER,
+};
+
+/// Snapshots the global per-stage counters, in pipeline order. Stages that
+/// never ran report zeros.
+pub fn stage_stats() -> Vec<StageStats> {
+    stage::cache().stats_snapshot(&STAGE_ORDER)
+}
+
+/// Zeroes the global per-stage counters (cached artifacts are kept).
+pub fn reset_stage_stats() {
+    stage::cache().reset_stats();
+}
+
+/// Drops every cached artifact, forcing the next build to recompute all
+/// stages. Counters are kept; pair with [`reset_stage_stats`] for a clean
+/// measurement window.
+pub fn clear_stage_cache() {
+    stage::cache().clear();
+}
+
+/// Number of artifacts currently cached across all stages.
+pub fn stage_cache_len() -> usize {
+    stage::cache().len()
+}

@@ -1,0 +1,285 @@
+//! Generic stage machinery: the [`Stage`] trait, content-hash keys, the
+//! process-wide stage cache and its hit/miss/wall-time accounting.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A content-hash cache key. Keys are chained: each stage's output key is a
+/// hash of its name, its version and its input key, so the key of any
+/// artifact transitively fingerprints the whole upstream computation
+/// (seed + trait card + every stage version on the path).
+pub type StageKey = u64;
+
+/// One typed pipeline step: a pure function from an input artifact to an
+/// output artifact, with a stable identity for caching.
+///
+/// Implementors are stateless unit structs; identity lives in the inherent
+/// `NAME`/`VERSION` consts each one carries (exposed here as methods so the
+/// trait stays object-light and generic code can reach them).
+pub trait Stage<In, Out> {
+    /// Stable stage identifier — the cache namespace and counters key.
+    fn name(&self) -> &'static str;
+
+    /// Logic version, mixed into the output key. Bump it when the stage's
+    /// computation changes so stale cached artifacts can never be served.
+    fn version(&self) -> u32;
+
+    /// The computation. Must be pure: same input artifact, same output.
+    fn run(&self, input: &In) -> Out;
+}
+
+/// FNV-1a over a byte slice, continuing from `h` (seed the first call with
+/// [`FNV_OFFSET`]). Stable across runs and platforms.
+pub(crate) fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The FNV-1a offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Derives a stage's output key from its identity and its input key.
+pub fn derive_key(name: &str, version: u32, in_key: StageKey) -> StageKey {
+    let h = fnv1a(FNV_OFFSET, name.as_bytes());
+    let h = fnv1a(h, &version.to_le_bytes());
+    fnv1a(h, &in_key.to_le_bytes())
+}
+
+/// Per-call record of which stages hit the cache and which recomputed while
+/// building one project. Unlike the global counters (which every concurrent
+/// build in the process feeds), a trace belongs to exactly one chain walk,
+/// so tests can make exact assertions on it.
+#[derive(Clone, Debug, Default)]
+pub struct StageTrace {
+    entries: Vec<TraceEntry>,
+}
+
+/// One consulted stage in a [`StageTrace`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEntry {
+    /// The stage name.
+    pub stage: &'static str,
+    /// Whether the artifact came from the cache (`true`) or was recomputed.
+    pub hit: bool,
+}
+
+impl StageTrace {
+    pub(crate) fn record(&mut self, stage: &'static str, hit: bool) {
+        self.entries.push(TraceEntry { stage, hit });
+    }
+
+    /// Every consulted stage, in consultation order (downstream-first: the
+    /// chain asks for the last artifact and walks up only on misses).
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of cache hits in this walk.
+    pub fn hits(&self) -> usize {
+        self.entries.iter().filter(|e| e.hit).count()
+    }
+
+    /// Number of recomputed stages in this walk.
+    pub fn misses(&self) -> usize {
+        self.entries.iter().filter(|e| !e.hit).count()
+    }
+
+    /// Names of the recomputed stages, in consultation order.
+    pub fn missed_stages(&self) -> Vec<&'static str> {
+        self.entries
+            .iter()
+            .filter(|e| !e.hit)
+            .map(|e| e.stage)
+            .collect()
+    }
+}
+
+/// A snapshot of one stage's global counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageStats {
+    /// The stage name.
+    pub stage: &'static str,
+    /// Artifacts served from the cache.
+    pub hits: u64,
+    /// Artifacts recomputed (cache misses).
+    pub misses: u64,
+    /// Total wall time spent recomputing, in nanoseconds.
+    pub busy_ns: u128,
+}
+
+#[derive(Default)]
+struct StatCell {
+    hits: u64,
+    misses: u64,
+    busy: Duration,
+}
+
+struct CacheInner {
+    map: HashMap<(&'static str, StageKey), Arc<dyn Any + Send + Sync>>,
+    order: VecDeque<(&'static str, StageKey)>,
+    capacity: usize,
+}
+
+/// The process-wide stage cache: type-erased artifacts keyed by
+/// `(stage name, content-hash key)`, with FIFO eviction past `capacity`
+/// entries and per-stage counters.
+///
+/// Lookups and insertions are short critical sections; stage computation
+/// always happens outside the lock, so two threads racing on the same key
+/// at worst duplicate one computation (both results are identical by the
+/// purity contract of [`Stage::run`]).
+pub(crate) struct PipelineCache {
+    inner: Mutex<CacheInner>,
+    stats: Mutex<HashMap<&'static str, StatCell>>,
+}
+
+/// Default bound on cached artifacts; generous for every corpus size the
+/// test suite and benches build (8 stages x a few thousand projects).
+const DEFAULT_CAPACITY: usize = 32_768;
+
+static CACHE: OnceLock<PipelineCache> = OnceLock::new();
+
+pub(crate) fn cache() -> &'static PipelineCache {
+    CACHE.get_or_init(|| PipelineCache {
+        inner: Mutex::new(CacheInner {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+        }),
+        stats: Mutex::new(HashMap::new()),
+    })
+}
+
+impl PipelineCache {
+    /// Fetches a typed artifact; records a global hit when found.
+    pub(crate) fn get<T: Send + Sync + 'static>(
+        &self,
+        stage: &'static str,
+        key: StageKey,
+    ) -> Option<Arc<T>> {
+        let found = {
+            let inner = self.inner.lock().expect("stage cache lock");
+            inner
+                .map
+                .get(&(stage, key))
+                .cloned()
+                .and_then(|v| v.downcast::<T>().ok())
+        };
+        if found.is_some() {
+            let mut stats = self.stats.lock().expect("stage stats lock");
+            stats.entry(stage).or_default().hits += 1;
+        }
+        found
+    }
+
+    /// Stores a freshly computed artifact; records a global miss plus the
+    /// compute wall time.
+    pub(crate) fn insert(
+        &self,
+        stage: &'static str,
+        key: StageKey,
+        value: Arc<dyn Any + Send + Sync>,
+        busy: Duration,
+    ) {
+        {
+            let mut inner = self.inner.lock().expect("stage cache lock");
+            if inner.map.insert((stage, key), value).is_none() {
+                inner.order.push_back((stage, key));
+            }
+            while inner.order.len() > inner.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+        let mut stats = self.stats.lock().expect("stage stats lock");
+        let cell = stats.entry(stage).or_default();
+        cell.misses += 1;
+        cell.busy += busy;
+    }
+
+    /// Drops every cached artifact (counters are kept; see
+    /// [`PipelineCache::reset_stats`]).
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.lock().expect("stage cache lock");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Number of cached artifacts across all stages.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("stage cache lock").map.len()
+    }
+
+    /// Zeroes all per-stage counters.
+    pub(crate) fn reset_stats(&self) {
+        self.stats.lock().expect("stage stats lock").clear();
+    }
+
+    /// Snapshots the counters for the given stages, in the given order
+    /// (stages that never ran report zeros).
+    pub(crate) fn stats_snapshot(&self, order: &[&'static str]) -> Vec<StageStats> {
+        let stats = self.stats.lock().expect("stage stats lock");
+        order
+            .iter()
+            .map(|&stage| {
+                let cell = stats.get(stage);
+                StageStats {
+                    stage,
+                    hits: cell.map_or(0, |c| c.hits),
+                    misses: cell.map_or(0, |c| c.misses),
+                    busy_ns: cell.map_or(0, |c| c.busy.as_nanos()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_keys_separate_stages_versions_and_inputs() {
+        let k = derive_key("parse", 1, 7);
+        assert_ne!(k, derive_key("schema", 1, 7), "stage name must matter");
+        assert_ne!(k, derive_key("parse", 2, 7), "stage version must matter");
+        assert_ne!(k, derive_key("parse", 1, 8), "input key must matter");
+        assert_eq!(k, derive_key("parse", 1, 7), "keys are deterministic");
+    }
+
+    #[test]
+    fn trace_counts_hits_and_misses() {
+        let mut t = StageTrace::default();
+        t.record("a", true);
+        t.record("b", false);
+        t.record("c", false);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.missed_stages(), ["b", "c"]);
+    }
+
+    #[test]
+    fn cache_evicts_fifo_past_capacity() {
+        let cache = PipelineCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: 2,
+            }),
+            stats: Mutex::new(HashMap::new()),
+        };
+        for key in 0..3u64 {
+            cache.insert("s", key, Arc::new(key), Duration::ZERO);
+        }
+        assert!(cache.get::<u64>("s", 0).is_none(), "oldest entry evicted");
+        assert_eq!(cache.get::<u64>("s", 2).as_deref(), Some(&2));
+        assert_eq!(cache.len(), 2);
+    }
+}

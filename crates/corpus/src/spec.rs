@@ -6,8 +6,75 @@
 //! turns the plan into exact per-month attribute-change budgets, which the
 //! materializer then realizes as DDL.
 
+use std::error::Error;
+use std::fmt;
+
 use schemachron_core::Pattern;
 use serde::{Deserialize, Serialize};
+
+/// Why a [`Card`] cannot be resolved into a feasible schedule.
+///
+/// Carries the structured reason (and the offending numbers where they
+/// matter), so callers can react programmatically; the `Display` text is the
+/// human-facing message the CLI converts into its exit-code/hint scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// `duration < 13`: the study keeps projects longer than 12 months.
+    TooShort {
+        /// The card's PUP length in months.
+        duration: u32,
+    },
+    /// The `birth ≤ top < duration` milestone ordering is violated.
+    MilestoneOrder {
+        /// Month of schema birth.
+        birth: u32,
+        /// Month of top-band attainment.
+        top: u32,
+        /// PUP length in months.
+        duration: u32,
+    },
+    /// `total_units == 0`: zero-evolution projects are excluded by the study.
+    ZeroEvolution,
+    /// `top == birth` but the birth fraction cannot cross the 90% band.
+    BirthFracTooLow,
+    /// `top == birth` leaves no interior, yet `agm > 0` months were asked for.
+    NoGrowthInterior,
+    /// `top > birth` but the birth month alone already crosses the band.
+    BirthFracTooHigh,
+    /// More active growth months than strictly-interior slots.
+    AgmOverflow {
+        /// Requested active growth months.
+        agm: u32,
+        /// Available slots strictly between birth and top.
+        slots: u32,
+    },
+    /// The unit budget cannot give every active month at least one unit
+    /// while keeping the band crossing at the top month.
+    InteriorBudget,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::TooShort { .. } => f.write_str("duration must exceed 12 months"),
+            SpecError::MilestoneOrder { .. } => f.write_str("need birth <= top < duration"),
+            SpecError::ZeroEvolution => f.write_str("zero-evolution projects are excluded"),
+            SpecError::BirthFracTooLow => f.write_str("top at birth requires birth_frac >= 0.9"),
+            SpecError::NoGrowthInterior => f.write_str("no growth interior exists"),
+            SpecError::BirthFracTooHigh => {
+                f.write_str("birth_frac too high for a later top month")
+            }
+            SpecError::AgmOverflow { agm, slots } => {
+                write!(f, "{agm} active months cannot fit in {slots} interior slots")
+            }
+            SpecError::InteriorBudget => {
+                f.write_str("cannot place interior units for the active months")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
 
 /// The concrete plan for one synthetic project.
 ///
@@ -67,44 +134,50 @@ impl Card {
     /// Checks the card's feasibility without building the schedule — the
     /// non-panicking twin of [`Card::schedule`], used by the random card
     /// generator's generate-and-verify loop.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SpecError> {
         if self.duration < 13 {
-            return Err("duration must exceed 12 months".into());
+            return Err(SpecError::TooShort {
+                duration: self.duration,
+            });
         }
         if !(self.birth_month <= self.top_month && self.top_month < self.duration) {
-            return Err("need birth <= top < duration".into());
+            return Err(SpecError::MilestoneOrder {
+                birth: self.birth_month,
+                top: self.top_month,
+                duration: self.duration,
+            });
         }
         if self.total_units == 0 {
-            return Err("zero-evolution projects are excluded".into());
+            return Err(SpecError::ZeroEvolution);
         }
         let total = self.total_units;
         let topband = (0.9 * f64::from(total)).ceil() as u32;
         let birth_units = ((self.birth_frac * f64::from(total)).round() as u32).clamp(1, total);
         if self.top_month == self.birth_month {
             if birth_units < topband {
-                return Err("top at birth requires birth_frac >= 0.9".into());
+                return Err(SpecError::BirthFracTooLow);
             }
             if self.agm != 0 {
-                return Err("no growth interior exists".into());
+                return Err(SpecError::NoGrowthInterior);
             }
             return Ok(());
         }
         if birth_units >= topband {
-            return Err("birth_frac too high for a later top month".into());
+            return Err(SpecError::BirthFracTooHigh);
         }
         let interior_slots = self.top_month - self.birth_month - 1;
         if self.agm > interior_slots {
-            return Err(format!(
-                "{} active months cannot fit in {interior_slots} interior slots",
-                self.agm
-            ));
+            return Err(SpecError::AgmOverflow {
+                agm: self.agm,
+                slots: interior_slots,
+            });
         }
         if self.agm > 0 {
             let tail = self.tail_units.min(total - topband);
             let before_band_room = topband - 1 - birth_units;
             let avail = total - birth_units - tail;
             if self.agm > before_band_room.min(avail.saturating_sub(1)) {
-                return Err("cannot place interior units for the active months".into());
+                return Err(SpecError::InteriorBudget);
             }
         }
         Ok(())
@@ -120,11 +193,20 @@ impl Card {
     /// # Panics
     /// Panics when the card is internally inconsistent (see type-level
     /// invariants); corpus construction is a build-time affair, so a loud
-    /// failure beats a silently mis-calibrated corpus.
+    /// failure beats a silently mis-calibrated corpus. Use
+    /// [`Card::try_schedule`] for the non-panicking form.
     pub fn schedule(&self) -> Schedule {
-        if let Err(e) = self.validate() {
-            panic!("{}: {e}", self.name);
+        match self.try_schedule() {
+            Ok(s) => s,
+            Err(e) => panic!("{}: {e}", self.name),
         }
+    }
+
+    /// Resolves the card into a schedule, returning the structured
+    /// infeasibility reason instead of panicking — the CLI-facing twin of
+    /// [`Card::schedule`].
+    pub fn try_schedule(&self) -> Result<Schedule, SpecError> {
+        self.validate()?;
         let total = self.total_units;
         let topband = (0.9 * f64::from(total)).ceil() as u32;
 
@@ -135,7 +217,7 @@ impl Card {
             let rest = total - birth_units;
             let mut events = vec![(self.birth_month, birth_units)];
             events.extend(self.spread_tail(rest));
-            return Schedule { events };
+            return Ok(Schedule { events });
         }
 
         let interior_slots = self.top_month - self.birth_month - 1;
@@ -217,7 +299,7 @@ impl Card {
         }
         let s = Schedule { events: merged };
         debug_assert_eq!(s.total(), total, "{}: unit budget must be exact", self.name);
-        s
+        Ok(s)
     }
 
     /// Distributes tail units over `tail_months` months after the top.

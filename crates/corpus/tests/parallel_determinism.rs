@@ -1,8 +1,12 @@
 //! Regression tests: parallel ingestion must be byte-for-byte equivalent
 //! to a serial run. Each project is independently seeded and results are
 //! reassembled in card order, so worker count must never leak into output.
+//!
+//! Every comparison clears the stage cache between builds — otherwise the
+//! second build would assemble from the first build's cached artifacts and
+//! the equivalence check would be vacuous.
 
-use schemachron_corpus::Corpus;
+use schemachron_corpus::{pipeline, Corpus};
 
 fn assert_same(a: &Corpus, b: &Corpus) {
     assert_eq!(a.projects().len(), b.projects().len());
@@ -15,27 +19,33 @@ fn assert_same(a: &Corpus, b: &Corpus) {
     }
 }
 
+/// Builds with a cleared stage cache so the run actually recomputes.
+fn fresh(build: impl FnOnce() -> Corpus) -> Corpus {
+    pipeline::clear_stage_cache();
+    build()
+}
+
 #[test]
 fn generate_is_jobs_invariant() {
-    let serial = Corpus::generate_jobs(42, 1);
+    let serial = fresh(|| Corpus::generate_jobs(42, 1));
     assert_eq!(serial.projects().len(), 151);
     for jobs in [2, 3, 8] {
-        assert_same(&serial, &Corpus::generate_jobs(42, jobs));
+        assert_same(&serial, &fresh(|| Corpus::generate_jobs(42, jobs)));
     }
 }
 
 #[test]
 fn generate_scaled_is_jobs_invariant() {
-    let serial = Corpus::generate_scaled_jobs(42, 604, 1);
+    let serial = fresh(|| Corpus::generate_scaled_jobs(42, 604, 1));
     assert_eq!(serial.projects().len(), 604);
-    assert_same(&serial, &Corpus::generate_scaled_jobs(42, 604, 4));
+    assert_same(&serial, &fresh(|| Corpus::generate_scaled_jobs(42, 604, 4)));
 }
 
 #[test]
 fn generate_random_is_jobs_invariant() {
     let counts = [2, 2, 1, 1, 2, 1, 1, 1];
-    let serial = Corpus::generate_random_jobs(9, counts, 1);
-    assert_same(&serial, &Corpus::generate_random_jobs(9, counts, 4));
+    let serial = fresh(|| Corpus::generate_random_jobs(9, counts, 1));
+    assert_same(&serial, &fresh(|| Corpus::generate_random_jobs(9, counts, 4)));
 }
 
 #[test]
@@ -45,8 +55,8 @@ fn serial_fallback_threshold_is_output_invariant() {
     // build: the fallback may change the schedule, never the corpus.
     let cut = 2 * schemachron_corpus::MIN_ITEMS_PER_WORKER;
     for size in [cut - 1, cut + 1] {
-        let serial = Corpus::generate_scaled_jobs(42, size, 1);
-        let threaded = Corpus::generate_scaled_jobs(42, size, 2);
+        let serial = fresh(|| Corpus::generate_scaled_jobs(42, size, 1));
+        let threaded = fresh(|| Corpus::generate_scaled_jobs(42, size, 2));
         assert_eq!(serial.projects().len(), size);
         assert_same(&serial, &threaded);
     }

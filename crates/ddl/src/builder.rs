@@ -69,7 +69,14 @@ impl SchemaBuilder {
     pub fn apply_script(&mut self, sql: &str) {
         let (stmts, mut diags) = parse_statements(sql);
         self.diagnostics.append(&mut diags);
-        for s in &stmts {
+        self.apply_statements(&stmts);
+    }
+
+    /// Applies a slice of already-parsed statements, in order — the entry
+    /// point for staged pipelines that parse and apply as separate cached
+    /// steps.
+    pub fn apply_statements(&mut self, stmts: &[Statement]) {
+        for s in stmts {
             self.apply_statement(s);
         }
     }

@@ -1,0 +1,116 @@
+//! Typed parse errors with span context.
+//!
+//! The tolerant parser never fails a whole script, but each unparsable
+//! statement produces one [`DdlError`] internally before being downgraded to
+//! a [`crate::Diagnostic`]. The typed form carries the failure line and a
+//! structured kind, so staged pipelines and the CLI can react to *what* went
+//! wrong instead of string-matching messages.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while parsing a DDL statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DdlErrorKind {
+    /// A specific symbol or keyword was required but something else was found.
+    Expected {
+        /// The symbol/keyword the grammar required (e.g. `(` or `KEY`).
+        what: String,
+        /// A description of what was found instead (`` `foo` `` or
+        /// `end of input`).
+        found: String,
+    },
+    /// An identifier was required but something else was found.
+    ExpectedIdentifier {
+        /// A description of what was found instead.
+        found: String,
+    },
+    /// A value-like expression (literal, function call, …) was required.
+    ExpectedValue {
+        /// A description of what was found instead.
+        found: String,
+    },
+    /// A `( … )` group was opened but never closed.
+    UnterminatedParens,
+    /// The statement had no tokens at all.
+    EmptyStatement,
+}
+
+impl fmt::Display for DdlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdlErrorKind::Expected { what, found } => {
+                write!(f, "expected `{what}`, found {found}")
+            }
+            DdlErrorKind::ExpectedIdentifier { found } => {
+                write!(f, "expected identifier, found {found}")
+            }
+            DdlErrorKind::ExpectedValue { found } => {
+                write!(f, "expected value, found {found}")
+            }
+            DdlErrorKind::UnterminatedParens => f.write_str("unterminated parenthesized expression"),
+            DdlErrorKind::EmptyStatement => f.write_str("empty statement"),
+        }
+    }
+}
+
+/// A typed DDL parse error: a [`DdlErrorKind`] plus the 1-based source line
+/// where parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DdlError {
+    /// The structured failure kind.
+    pub kind: DdlErrorKind,
+    /// 1-based line of the token that triggered the failure.
+    pub line: u32,
+}
+
+impl DdlError {
+    /// Creates an error at a line.
+    pub fn new(kind: DdlErrorKind, line: u32) -> Self {
+        DdlError { kind, line }
+    }
+
+    /// The message without the line prefix — the exact text the tolerant
+    /// parser has always put into its diagnostics.
+    pub fn message(&self) -> String {
+        self.kind.to_string()
+    }
+}
+
+impl fmt::Display for DdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl Error for DdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_diagnostic_text() {
+        let e = DdlError::new(
+            DdlErrorKind::Expected {
+                what: "(".into(),
+                found: "`;`".into(),
+            },
+            3,
+        );
+        assert_eq!(e.message(), "expected `(`, found `;`");
+        assert_eq!(e.to_string(), "line 3: expected `(`, found `;`");
+        assert_eq!(
+            DdlErrorKind::ExpectedIdentifier {
+                found: "end of input".into()
+            }
+            .to_string(),
+            "expected identifier, found end of input"
+        );
+        assert_eq!(
+            DdlErrorKind::UnterminatedParens.to_string(),
+            "unterminated parenthesized expression"
+        );
+        assert_eq!(DdlErrorKind::EmptyStatement.to_string(), "empty statement");
+    }
+}

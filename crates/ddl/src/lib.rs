@@ -46,6 +46,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod error;
 pub mod lexer;
 pub mod parser;
 
@@ -53,4 +54,5 @@ mod diagnostics;
 
 pub use builder::{parse_schema, SchemaBuilder};
 pub use diagnostics::{Diagnostic, Severity};
+pub use error::{DdlError, DdlErrorKind};
 pub use parser::parse_statements;

@@ -10,6 +10,7 @@ use schemachron_model::{DataType, Name};
 
 use crate::ast::{AlterAction, ColumnDef, CreateTable, Statement, TableConstraint};
 use crate::diagnostics::Diagnostic;
+use crate::error::{DdlError, DdlErrorKind};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// Parses a script into statements plus diagnostics.
@@ -26,7 +27,7 @@ pub fn parse_statements(sql: &str) -> (Vec<Statement>, Vec<Diagnostic>) {
     Parser::new(lex(sql)).run()
 }
 
-type PResult<T> = Result<T, String>;
+type PResult<T> = Result<T, DdlError>;
 
 struct Parser {
     toks: Vec<Token>,
@@ -71,6 +72,11 @@ impl Parser {
             .map_or(1, |t| t.line)
     }
 
+    /// Builds a typed error anchored at the current token's line.
+    fn err(&self, kind: DdlErrorKind) -> DdlError {
+        DdlError::new(kind, self.line())
+    }
+
     fn eat_symbol(&mut self, sym: &str) -> bool {
         if self.peek().is_some_and(|t| t.is_symbol(sym)) {
             self.pos += 1;
@@ -101,10 +107,10 @@ impl Parser {
         if self.eat_symbol(sym) {
             Ok(())
         } else {
-            Err(format!(
-                "expected `{sym}`, found {}",
-                self.describe_current()
-            ))
+            Err(self.err(DdlErrorKind::Expected {
+                what: sym.into(),
+                found: self.describe_current(),
+            }))
         }
     }
 
@@ -112,10 +118,10 @@ impl Parser {
         if self.eat_word(kw) {
             Ok(())
         } else {
-            Err(format!(
-                "expected `{kw}`, found {}",
-                self.describe_current()
-            ))
+            Err(self.err(DdlErrorKind::Expected {
+                what: kw.into(),
+                found: self.describe_current(),
+            }))
         }
     }
 
@@ -147,10 +153,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(Name::from(q))
             }
-            _ => Err(format!(
-                "expected identifier, found {}",
-                self.describe_current()
-            )),
+            _ => Err(self.err(DdlErrorKind::ExpectedIdentifier {
+                found: self.describe_current(),
+            })),
         }
     }
 
@@ -225,8 +230,8 @@ impl Parser {
                     stmts.push(stmt);
                     self.skip_to_semicolon();
                 }
-                Err(msg) => {
-                    self.diags.push(Diagnostic::error(line, msg));
+                Err(e) => {
+                    self.diags.push(Diagnostic::error(line, e.message()));
                     self.pos = start.max(self.pos);
                     if self.pos == start {
                         self.pos += 1; // guarantee progress
@@ -240,7 +245,7 @@ impl Parser {
 
     fn statement(&mut self) -> PResult<Statement> {
         let first = match self.peek() {
-            None => return Err("empty statement".into()),
+            None => return Err(self.err(DdlErrorKind::EmptyStatement)),
             Some(t) => match &t.kind {
                 TokenKind::Word(w) => w.to_ascii_uppercase(),
                 other => {
@@ -508,7 +513,10 @@ impl Parser {
             }
             parts.push(render_token(&t.kind));
         }
-        Err("unterminated parenthesized expression".into())
+        Err(DdlError::new(
+            DdlErrorKind::UnterminatedParens,
+            self.toks.last().map_or(1, |t| t.line),
+        ))
     }
 
     // ---- columns -------------------------------------------------------
@@ -655,7 +663,11 @@ impl Parser {
             Some(TokenKind::Symbol(ref s)) if s == "(" => {
                 parts.push(format!("({})", self.capture_balanced_parens()?));
             }
-            _ => return Err(format!("expected value, found {}", self.describe_current())),
+            _ => {
+                return Err(self.err(DdlErrorKind::ExpectedValue {
+                    found: self.describe_current(),
+                }))
+            }
         }
         // Postgres cast suffix: DEFAULT 'x'::character varying
         while self.eat_symbol("::") {

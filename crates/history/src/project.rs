@@ -127,6 +127,69 @@ impl ProjectHistory {
     pub fn schema_history(&self) -> Option<&SchemaHistory> {
         self.schema_history.as_ref()
     }
+
+    /// Assembles a project history from an already-built [`SchemaHistory`]
+    /// plus dated source-commit events.
+    ///
+    /// This is the final assembly step shared by [`ProjectHistoryBuilder`]
+    /// and staged pipelines that cache the schema history separately: the
+    /// per-version diffs become the schema/expansion/maintenance heartbeats,
+    /// the source events become the source heartbeat, and all four are
+    /// aligned to the full PUP (earliest to latest event of either line).
+    pub fn from_schema_history(
+        name: impl Into<String>,
+        history: SchemaHistory,
+        source_events: &[(Date, f64)],
+    ) -> ProjectHistory {
+        let mut schema = Heartbeat::new();
+        let mut expansion = Heartbeat::new();
+        let mut maintenance = Heartbeat::new();
+        let mut kind_totals = [0usize; 6];
+        for v in history.versions() {
+            let m = v.date.month_id();
+            schema.add(m, v.diff.attribute_change_count() as f64);
+            expansion.add(m, v.diff.expansion_count() as f64);
+            maintenance.add(m, v.diff.maintenance_count() as f64);
+            for (i, k) in ChangeKind::all().iter().enumerate() {
+                kind_totals[i] += v.diff.count_of(*k);
+            }
+        }
+
+        let mut source = Heartbeat::new();
+        for (date, lines) in source_events {
+            source.add(date.month_id(), *lines);
+        }
+
+        // PUP spans from the earliest to the latest event of either line.
+        let starts = [schema.start(), source.start()];
+        let start = starts.iter().flatten().min().copied();
+        let ends = [
+            schema
+                .start()
+                .map(|s| s.plus(schema.month_count() as i32 - 1)),
+            source
+                .start()
+                .map(|s| s.plus(source.month_count() as i32 - 1)),
+        ];
+        let end = ends.iter().flatten().max().copied();
+        if let (Some(start), Some(end)) = (start, end) {
+            schema.extend_to_cover(start, end);
+            expansion.extend_to_cover(start, end);
+            maintenance.extend_to_cover(start, end);
+            source.extend_to_cover(start, end);
+        }
+
+        ProjectHistory {
+            name: name.into(),
+            start: start.unwrap_or(MonthId(0)),
+            schema,
+            schema_expansion: expansion,
+            schema_maintenance: maintenance,
+            source,
+            kind_totals,
+            schema_history: Some(history),
+        }
+    }
 }
 
 /// One pending schema version: DDL text or a pre-built logical schema.
@@ -195,55 +258,7 @@ impl ProjectHistoryBuilder {
                 SchemaEntry::Direct(schema) => history.push_schema(date, schema),
             }
         }
-
-        let mut schema = Heartbeat::new();
-        let mut expansion = Heartbeat::new();
-        let mut maintenance = Heartbeat::new();
-        let mut kind_totals = [0usize; 6];
-        for v in history.versions() {
-            let m = v.date.month_id();
-            schema.add(m, v.diff.attribute_change_count() as f64);
-            expansion.add(m, v.diff.expansion_count() as f64);
-            maintenance.add(m, v.diff.maintenance_count() as f64);
-            for (i, k) in ChangeKind::all().iter().enumerate() {
-                kind_totals[i] += v.diff.count_of(*k);
-            }
-        }
-
-        let mut source = Heartbeat::new();
-        for (date, lines) in &self.source_events {
-            source.add(date.month_id(), *lines);
-        }
-
-        // PUP spans from the earliest to the latest event of either line.
-        let starts = [schema.start(), source.start()];
-        let start = starts.iter().flatten().min().copied();
-        let ends = [
-            schema
-                .start()
-                .map(|s| s.plus(schema.month_count() as i32 - 1)),
-            source
-                .start()
-                .map(|s| s.plus(source.month_count() as i32 - 1)),
-        ];
-        let end = ends.iter().flatten().max().copied();
-        if let (Some(start), Some(end)) = (start, end) {
-            schema.extend_to_cover(start, end);
-            expansion.extend_to_cover(start, end);
-            maintenance.extend_to_cover(start, end);
-            source.extend_to_cover(start, end);
-        }
-
-        ProjectHistory {
-            name: self.name,
-            start: start.unwrap_or(MonthId(0)),
-            schema,
-            schema_expansion: expansion,
-            schema_maintenance: maintenance,
-            source,
-            kind_totals,
-            schema_history: Some(history),
-        }
+        ProjectHistory::from_schema_history(self.name, history, &self.source_events)
     }
 }
 

@@ -43,6 +43,20 @@ impl SchemaHistory {
         SchemaHistory::default()
     }
 
+    /// Builds a history from already-computed versions and diagnostics.
+    ///
+    /// This is the assembly entry point for staged pipelines that parse,
+    /// build and diff schemas as separate cached steps. The caller
+    /// guarantees `versions` is in chronological order and every `diff` is
+    /// the delta from its predecessor (from the empty schema for the first
+    /// version) — exactly what [`SchemaHistory::push`] would have produced.
+    pub fn from_versions(versions: Vec<SchemaVersion>, diagnostics: Vec<Diagnostic>) -> Self {
+        SchemaHistory {
+            versions,
+            diagnostics,
+        }
+    }
+
     /// Builds a history from `(date, ddl-text)` entries. Entries are sorted
     /// by date (stable, so same-date entries keep insertion order).
     pub fn from_entries(mode: IngestMode, entries: Vec<(Date, String)>) -> Self {

@@ -133,6 +133,20 @@ impl AppState {
     }
 
     fn health(&self) -> Response {
+        // Per-stage hit/miss/wall-time counters of the corpus ingestion
+        // pipeline, in pipeline order — the live view of the same numbers
+        // `stage_bench` writes to BENCH_stages.json.
+        let stages: Vec<Value> = schemachron_corpus::pipeline::stage_stats()
+            .iter()
+            .map(|s| {
+                json!({
+                    "stage": (s.stage),
+                    "hits": (s.hits),
+                    "misses": (s.misses),
+                    "busy_ms": (s.busy_ns as f64 / 1e6),
+                })
+            })
+            .collect();
         Response::json(
             200,
             &json!({
@@ -141,6 +155,8 @@ impl AppState {
                 "seed": (self.default_seed),
                 "uptime_secs": (self.started.elapsed().as_secs_f64()),
                 "corpora_built": (schemachron_corpus::Corpus::build_count()),
+                "stage_cache_entries": (schemachron_corpus::pipeline::stage_cache_len()),
+                "stages": stages,
                 "requests": (self.counters.snapshot()),
             }),
         )
