@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # schemachron-cli
@@ -14,6 +15,7 @@
 //! schemachron corpus summary [--seed N] [--jobs N]
 //! schemachron corpus csv --out <file> [--seed N] [--jobs N]
 //! schemachron corpus verify
+//! schemachron lint [--seed N] [--jobs N] [--format json] [--deny warnings] [--dir <dir>]
 //! schemachron experiments [<id> | all] [--seed N] [--jobs N]
 //! schemachron chart <dir> [--snapshot]
 //! schemachron help
@@ -97,6 +99,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
         Some("analyze") => analyze(&args[1..], out),
         Some("study") => study(&args[1..], out),
         Some("diff") => diff_cmd(&args[1..], out),
+        Some("lint") => lint(&args[1..], out),
         Some("corpus") => corpus(&args[1..], out),
         Some("experiments") => experiments(&args[1..], out),
         Some("serve") => serve(&args[1..], out),
@@ -126,8 +129,15 @@ pub fn usage() -> &'static str {
      \x20 schemachron corpus csv --out <file> [--seed N] [--jobs N]\n\
      \x20     Export the measured per-project metrics as CSV.\n\
      \x20 schemachron corpus verify\n\
-     \x20     Check every calibrated card's timing plan for feasibility and\n\
-     \x20     report the violated constraint of any infeasible spec.\n\
+     \x20     Run the static spec linter over every calibrated card (field\n\
+     \x20     domains, plan feasibility, exception flags, corpus invariants)\n\
+     \x20     and exit non-zero with a diagnostic summary on any error.\n\
+     \x20 schemachron lint [--seed N] [--jobs N] [--format json]\n\
+     \x20                  [--deny warnings] [--dir <dir>]\n\
+     \x20     Statically analyze the corpus without executing the pipeline:\n\
+     \x20     DDL flow (L0xx), card specs (S0xx) and stage-cache coherence\n\
+     \x20     (H0xx). With --dir, lint one on-disk .sql history instead.\n\
+     \x20     Exits 1 on errors (with --deny warnings, also on warnings).\n\
      \x20 schemachron experiments [<id> | all] [--seed N] [--jobs N]\n\
      \x20     Regenerate the paper's tables/figures and the beyond-paper\n\
      \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
@@ -202,7 +212,10 @@ fn positional<'a>(argv: &'a [&'a str]) -> Option<&'a str> {
 }
 
 fn takes_value(opt: &str) -> bool {
-    matches!(opt, "--seed" | "--out" | "--svg" | "--jobs" | "--addr")
+    matches!(
+        opt,
+        "--seed" | "--out" | "--svg" | "--jobs" | "--addr" | "--format" | "--deny" | "--dir"
+    )
 }
 
 /// The default `schemachron serve` listen address.
@@ -497,25 +510,26 @@ fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
         }
         Some(&"verify") => {
             let cards = schemachron_corpus::cards::all_cards();
-            let mut bad = 0usize;
+            let mut report = schemachron_lint::Report::new();
             for card in &cards {
-                if let Err(e) = card.try_schedule() {
-                    bad += 1;
-                    let _ = writeln!(out, "  {}: {e}", card.name);
-                }
+                schemachron_lint::spec::lint_card(card, &mut report);
             }
-            if bad > 0 {
+            schemachron_lint::spec::lint_corpus_invariants(&cards, &mut report);
+            report.sort();
+            if report.failed(false) {
                 return Err(CliError::new(format!(
-                    "corpus verify: {bad} of {} cards have infeasible plans\n\
-                     hint: fix the card specs above — every error names the \
-                     violated timing constraint",
-                    cards.len()
+                    "{}corpus verify failed ({})\n\
+                     hint: every finding leads with its rule code — fix the \
+                     named card spec or corpus aggregate",
+                    report.render_human(),
+                    report.summary_line()
                 )));
             }
             let _ = writeln!(
                 out,
-                "verified {} cards: every timing plan schedules cleanly",
-                cards.len()
+                "verified {} cards: {}",
+                cards.len(),
+                report.summary_line()
             );
             Ok(())
         }
@@ -523,6 +537,55 @@ fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
             "corpus: expected `generate`, `summary`, `csv` or `verify`",
         )),
     }
+}
+
+/// `schemachron lint` — static semantic analysis of the corpus (or one
+/// on-disk history) without executing the measurement pipeline.
+fn lint(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
+    let json = match opt_value(&argv, "--format") {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::new(format!(
+                "invalid --format value `{other}` (expected `human` or `json`)"
+            )))
+        }
+    };
+    let deny_warnings = match opt_value(&argv, "--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(CliError::new(format!(
+                "invalid --deny value `{other}` (expected `warnings`)"
+            )))
+        }
+    };
+    let report = if let Some(dir) = opt_value(&argv, "--dir") {
+        let mut r = schemachron_lint::Report::new();
+        schemachron_lint::lint_dir(Path::new(dir), &mut r)
+            .map_err(|e| CliError::new(format!("lint: cannot read `{dir}`: {e}")))?;
+        r
+    } else {
+        let cards = schemachron_corpus::cards::all_cards();
+        let opts = schemachron_lint::LintOptions {
+            seed,
+            ..schemachron_lint::LintOptions::default()
+        };
+        schemachron_lint::lint_cards(&cards, &opts)
+    };
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    let _ = write!(out, "{rendered}");
+    if report.failed(deny_warnings) {
+        return Err(CliError::new(format!("lint: {}", report.summary_line())));
+    }
+    Ok(())
 }
 
 /// The valid experiment ids, in paper order (re-exported from the bench
@@ -671,6 +734,47 @@ mod tests {
     fn corpus_verify_accepts_calibrated_cards() {
         let s = run_to_string(&["corpus", "verify"]).unwrap();
         assert!(s.contains("verified 151 cards"), "{s}");
+    }
+
+    #[test]
+    fn lint_pristine_corpus_passes_deny_warnings() {
+        let s = run_to_string(&["lint", "--deny", "warnings"]).unwrap();
+        assert!(s.contains("0 errors, 0 warnings"), "{s}");
+    }
+
+    #[test]
+    fn lint_json_is_byte_identical_across_jobs() {
+        let a = run_to_string(&["lint", "--format", "json", "--jobs", "1"]).unwrap();
+        let b = run_to_string(&["lint", "--format", "json", "--jobs", "8"]).unwrap();
+        schemachron_corpus::set_jobs(None);
+        assert_eq!(a, b);
+        assert!(a.trim_start().starts_with('{'), "{a}");
+    }
+
+    #[test]
+    fn lint_flag_validation() {
+        assert!(run_to_string(&["lint", "--format", "xml"]).is_err());
+        assert!(run_to_string(&["lint", "--deny", "notes"]).is_err());
+        assert!(run_to_string(&["lint", "--dir", "/no/such/dir-schemachron"]).is_err());
+    }
+
+    #[test]
+    fn lint_dir_mode_reports_flow_findings() {
+        let dir = std::env::temp_dir().join(format!("schemachron-cli-lint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("0001_2020-01-10.sql"), "DROP TABLE t;").unwrap();
+        std::fs::write(dir.join("0002_2020-02-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        let argv: Vec<String> = ["lint", "--dir", dir.to_str().unwrap()]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let mut buf = Vec::new();
+        let err = run(&argv, &mut buf).expect_err("drop-before-create must fail the lint");
+        std::fs::remove_dir_all(&dir).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("L003"), "{out}");
+        assert!(out.contains("0001_2020-01-10.sql:1"), "{out}");
+        assert!(err.message.contains("1 error"), "{}", err.message);
     }
 
     #[test]

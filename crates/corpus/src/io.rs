@@ -86,7 +86,7 @@ pub fn load_project_dir(dir: &Path, mode: IngestMode) -> io::Result<ProjectHisto
 
 /// Extracts a date from file names like `0001_2013-04-10.sql` or
 /// `2013-04-10.sql`.
-fn date_from_filename(path: &Path) -> Option<Date> {
+pub fn date_from_filename(path: &Path) -> Option<Date> {
     let stem = path.file_stem()?.to_string_lossy();
     for part in stem.split(['_', ' ']) {
         if let Ok(d) = part.parse::<Date>() {

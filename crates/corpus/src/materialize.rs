@@ -59,12 +59,7 @@ pub fn materialize(card: &Card, seed: u64) -> MaterializedProject {
 
 fn name_hash(name: &str) -> u64 {
     // FNV-1a: stable across runs and platforms.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    schemachron_hash::fnv1a_once(name.as_bytes())
 }
 
 fn start_date(name: &str, seed: u64) -> Date {

@@ -106,11 +106,15 @@ where
                         if i >= slots.len() {
                             break;
                         }
-                        let item = slots[i]
+                        // `f` runs outside the lock, so the guard can only
+                        // be poisoned mid-`take`, which cannot panic.
+                        let Some(item) = slots[i]
                             .lock()
-                            .expect("corpus slot lock")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .take()
-                            .expect("each slot is claimed exactly once");
+                        else {
+                            unreachable!("the atomic counter hands out index {i} exactly once");
+                        };
                         out.push((i, f(item)));
                     }
                     out
@@ -120,8 +124,15 @@ where
 
         let mut merged: Vec<Option<R>> = (0..slots.len()).map(|_| None).collect();
         for h in handles {
-            for (i, r) in h.join().expect("corpus worker panicked") {
-                merged[i] = Some(r);
+            // Re-raise a worker panic with its original payload instead of
+            // wrapping it in a second, less informative one.
+            match h.join() {
+                Ok(batch) => {
+                    for (i, r) in batch {
+                        merged[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
         merged
@@ -129,7 +140,12 @@ where
 
     results
         .iter_mut()
-        .map(|slot| slot.take().expect("every index was produced"))
+        .map(|slot| {
+            let Some(r) = slot.take() else {
+                unreachable!("every index was produced by exactly one worker");
+            };
+            r
+        })
         .collect()
 }
 

@@ -65,3 +65,25 @@ pub fn clear_stage_cache() {
 pub fn stage_cache_len() -> usize {
     stage::cache().len()
 }
+
+/// Snapshots the `(stage name, content key)` identity of every cached
+/// artifact, sorted by stage then key. A read-only view: the lint
+/// cache-coherence auditor walks it to re-derive each key from the card
+/// set and report any entry whose chained hash disagrees.
+pub fn stage_cache_entries() -> Vec<(&'static str, StageKey)> {
+    stage::cache().entry_keys()
+}
+
+/// Re-files one cached artifact under a different `(stage, key)` identity,
+/// returning whether the source entry existed.
+///
+/// This deliberately violates the content-hash invariant — it exists only
+/// so fault-injection tests can plant the exact corruption the lint
+/// auditor's `H0xx` rules detect. Never call it in production code.
+#[doc(hidden)]
+pub fn corrupt_stage_cache_entry(
+    from: (&'static str, StageKey),
+    to: (&'static str, StageKey),
+) -> bool {
+    stage::cache().rekey(from, to)
+}

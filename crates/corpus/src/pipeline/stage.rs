@@ -3,8 +3,17 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
+
+pub(crate) use schemachron_hash::{fnv1a, FNV_OFFSET};
+
+/// Locks a cache mutex, ignoring poisoning: the critical sections below
+/// only move plain data, so a panic mid-section cannot leave the map in a
+/// logically inconsistent state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A content-hash cache key. Keys are chained: each stage's output key is a
 /// hash of its name, its version and its input key, so the key of any
@@ -29,20 +38,6 @@ pub trait Stage<In, Out> {
     /// The computation. Must be pure: same input artifact, same output.
     fn run(&self, input: &In) -> Out;
 }
-
-/// FNV-1a over a byte slice, continuing from `h` (seed the first call with
-/// [`FNV_OFFSET`]). Stable across runs and platforms.
-pub(crate) fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
-    let mut h = h;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// The FNV-1a offset basis.
-pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Derives a stage's output key from its identity and its input key.
 pub fn derive_key(name: &str, version: u32, in_key: StageKey) -> StageKey {
@@ -164,7 +159,7 @@ impl PipelineCache {
         key: StageKey,
     ) -> Option<Arc<T>> {
         let found = {
-            let inner = self.inner.lock().expect("stage cache lock");
+            let inner = lock(&self.inner);
             inner
                 .map
                 .get(&(stage, key))
@@ -172,8 +167,7 @@ impl PipelineCache {
                 .and_then(|v| v.downcast::<T>().ok())
         };
         if found.is_some() {
-            let mut stats = self.stats.lock().expect("stage stats lock");
-            stats.entry(stage).or_default().hits += 1;
+            lock(&self.stats).entry(stage).or_default().hits += 1;
         }
         found
     }
@@ -188,7 +182,7 @@ impl PipelineCache {
         busy: Duration,
     ) {
         {
-            let mut inner = self.inner.lock().expect("stage cache lock");
+            let mut inner = lock(&self.inner);
             if inner.map.insert((stage, key), value).is_none() {
                 inner.order.push_back((stage, key));
             }
@@ -198,7 +192,7 @@ impl PipelineCache {
                 }
             }
         }
-        let mut stats = self.stats.lock().expect("stage stats lock");
+        let mut stats = lock(&self.stats);
         let cell = stats.entry(stage).or_default();
         cell.misses += 1;
         cell.busy += busy;
@@ -207,25 +201,55 @@ impl PipelineCache {
     /// Drops every cached artifact (counters are kept; see
     /// [`PipelineCache::reset_stats`]).
     pub(crate) fn clear(&self) {
-        let mut inner = self.inner.lock().expect("stage cache lock");
+        let mut inner = lock(&self.inner);
         inner.map.clear();
         inner.order.clear();
     }
 
     /// Number of cached artifacts across all stages.
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("stage cache lock").map.len()
+        lock(&self.inner).map.len()
+    }
+
+    /// Snapshots every cached entry's `(stage, key)` identity, sorted by
+    /// stage then key — the read-only view the lint cache auditor walks.
+    pub(crate) fn entry_keys(&self) -> Vec<(&'static str, StageKey)> {
+        let mut keys: Vec<_> = lock(&self.inner).map.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Re-files an artifact under a different `(stage, key)` identity,
+    /// returning whether the source entry existed. Deliberately breaks the
+    /// content-hash invariant — the fault-injection hook behind
+    /// [`crate::pipeline::corrupt_stage_cache_entry`].
+    pub(crate) fn rekey(
+        &self,
+        from: (&'static str, StageKey),
+        to: (&'static str, StageKey),
+    ) -> bool {
+        let mut inner = lock(&self.inner);
+        let Some(value) = inner.map.remove(&from) else {
+            return false;
+        };
+        inner.map.insert(to, value);
+        for slot in inner.order.iter_mut() {
+            if *slot == from {
+                *slot = to;
+            }
+        }
+        true
     }
 
     /// Zeroes all per-stage counters.
     pub(crate) fn reset_stats(&self) {
-        self.stats.lock().expect("stage stats lock").clear();
+        lock(&self.stats).clear();
     }
 
     /// Snapshots the counters for the given stages, in the given order
     /// (stages that never ran report zeros).
     pub(crate) fn stats_snapshot(&self, order: &[&'static str]) -> Vec<StageStats> {
-        let stats = self.stats.lock().expect("stage stats lock");
+        let stats = lock(&self.stats);
         order
             .iter()
             .map(|&stage| {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # schemachron-ddl
@@ -55,4 +56,4 @@ mod diagnostics;
 pub use builder::{parse_schema, SchemaBuilder};
 pub use diagnostics::{Diagnostic, Severity};
 pub use error::{DdlError, DdlErrorKind};
-pub use parser::parse_statements;
+pub use parser::{parse_statements, parse_statements_spanned, SpannedStatement};

@@ -24,6 +24,29 @@ use crate::lexer::{lex, Token, TokenKind};
 /// assert!(diags.is_empty());
 /// ```
 pub fn parse_statements(sql: &str) -> (Vec<Statement>, Vec<Diagnostic>) {
+    let (spanned, diags) = Parser::new(lex(sql)).run();
+    (spanned.into_iter().map(|s| s.statement).collect(), diags)
+}
+
+/// A parsed statement paired with the 1-based line of its first token —
+/// the span static analyzers report against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedStatement {
+    /// 1-based source line where the statement starts.
+    pub line: u32,
+    /// The parsed statement.
+    pub statement: Statement,
+}
+
+/// [`parse_statements`], but each statement carries its source line.
+///
+/// ```
+/// use schemachron_ddl::parser::parse_statements_spanned;
+///
+/// let (stmts, _) = parse_statements_spanned("CREATE TABLE a (x INT);\nDROP TABLE a;");
+/// assert_eq!((stmts[0].line, stmts[1].line), (1, 2));
+/// ```
+pub fn parse_statements_spanned(sql: &str) -> (Vec<SpannedStatement>, Vec<Diagnostic>) {
     Parser::new(lex(sql)).run()
 }
 
@@ -213,7 +236,7 @@ impl Parser {
 
     // ---- top level -----------------------------------------------------
 
-    fn run(mut self) -> (Vec<Statement>, Vec<Diagnostic>) {
+    fn run(mut self) -> (Vec<SpannedStatement>, Vec<Diagnostic>) {
         let mut stmts = Vec::new();
         while !self.at_end() {
             if self.eat_symbol(";") {
@@ -227,7 +250,10 @@ impl Parser {
                         self.diags
                             .push(Diagnostic::skipped(line, format!("{keyword} statement")));
                     }
-                    stmts.push(stmt);
+                    stmts.push(SpannedStatement {
+                        line,
+                        statement: stmt,
+                    });
                     self.skip_to_semicolon();
                 }
                 Err(e) => {

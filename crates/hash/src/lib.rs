@@ -1,0 +1,78 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # schemachron-hash
+//!
+//! The workspace's one FNV-1a implementation.
+//!
+//! Content-hash keys fingerprint every artifact of the staged ingestion
+//! pipeline (`schemachron-corpus`), and the static cache auditor
+//! (`schemachron-lint`) re-derives those same keys independently to detect
+//! drift. Both sides therefore need byte-identical hashing — this crate is
+//! the single definition they share, extracted from the two copies that
+//! used to live in `corpus::pipeline` and `corpus::materialize`.
+//!
+//! The chaining convention: seed the first call with [`FNV_OFFSET`], then
+//! feed each byte slice through [`fnv1a`] in order. Chaining is equivalent
+//! to hashing the concatenation, so `fnv1a(fnv1a(FNV_OFFSET, a), b) ==
+//! fnv1a(FNV_OFFSET, a ++ b)` — the property the pipeline's key derivation
+//! relies on and the tests below pin down.
+
+/// The 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The 64-bit FNV prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, continuing from `h` (seed the first call with
+/// [`FNV_OFFSET`]). Stable across runs and platforms.
+#[must_use]
+pub fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a of a single byte slice from the offset basis — the common
+/// "hash one string" case.
+#[must_use]
+pub fn fnv1a_once(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors (64-bit).
+        assert_eq!(fnv1a_once(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_once(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_once(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn chaining_equals_concatenation() {
+        // The property the pipeline's derive_key chaining relies on.
+        let ab = fnv1a(fnv1a(FNV_OFFSET, b"stage-name"), b"\x01\x00\x00\x00");
+        let whole = fnv1a_once(b"stage-name\x01\x00\x00\x00");
+        assert_eq!(ab, whole);
+    }
+
+    #[test]
+    fn chaining_order_matters() {
+        let ab = fnv1a(fnv1a(FNV_OFFSET, b"a"), b"b");
+        let ba = fnv1a(fnv1a(FNV_OFFSET, b"b"), b"a");
+        assert_ne!(ab, ba, "FNV-1a chaining is order-sensitive");
+    }
+
+    #[test]
+    fn empty_slices_are_identity() {
+        let h = fnv1a_once(b"seed");
+        assert_eq!(fnv1a(h, b""), h);
+    }
+}

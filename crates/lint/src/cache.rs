@@ -1,0 +1,165 @@
+//! The cache-coherence auditor: recomputes stage-cache fingerprints from
+//! first principles and reports artifacts whose chained FNV-1a key
+//! disagrees.
+//!
+//! The pipeline's content-hash discipline (see `corpus::pipeline`) is only
+//! trustworthy if the keys actually *are* content hashes. This pass
+//! re-derives every project's 8-stage key chain independently — straight
+//! from the [`schemachron_hash`] primitives and the stages' published
+//! `NAME`/`VERSION` constants, without calling the pipeline's own
+//! `derive_key` — then audits the live cache against the expected key set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use schemachron_corpus::pipeline::{
+    self, card_fingerprint, chain_keys, StageKey, STAGE_ORDER,
+};
+use schemachron_corpus::Card;
+use schemachron_hash::{fnv1a, FNV_OFFSET};
+
+use crate::diag::{Diagnostic, Report};
+
+/// The stage versions in [`STAGE_ORDER`] order, restated here so the audit
+/// does not share code with the audited implementation.
+const STAGE_VERSIONS: [u32; 8] = [1, 1, 1, 1, 1, 1, 1, 1];
+
+/// Independent re-derivation of one chain link:
+/// `fnv1a(fnv1a(fnv1a(offset, name), version_le), in_key_le)`.
+fn rederive(name: &str, version: u32, in_key: StageKey) -> StageKey {
+    let h = fnv1a(FNV_OFFSET, name.as_bytes());
+    let h = fnv1a(h, &version.to_le_bytes());
+    fnv1a(h, &in_key.to_le_bytes())
+}
+
+/// Independent re-derivation of a card's full key chain.
+fn rederive_chain(card: &Card, seed: u64) -> [StageKey; 8] {
+    let mut key = card_fingerprint(card, seed);
+    let mut keys = [0; 8];
+    for (i, (name, version)) in STAGE_ORDER.iter().zip(STAGE_VERSIONS).enumerate() {
+        key = rederive(name, version, key);
+        keys[i] = key;
+    }
+    keys
+}
+
+/// Audits the process-wide stage cache against the given card set.
+///
+/// * **H003** — the pipeline's own [`chain_keys`] disagrees with this
+///   module's independent re-derivation for some card: the key-derivation
+///   scheme itself has drifted.
+/// * **H002** — a cached artifact lives under a stage namespace that is not
+///   in [`STAGE_ORDER`].
+/// * **H001** — a cached artifact's key is not derivable from any card in
+///   the set under the given seed: either the entry was corrupted/re-keyed,
+///   or it belongs to an input outside the audited card set.
+pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
+    const PROJECT: &str = "(stage-cache)";
+
+    // Expected key set per stage, plus the owning project for messages.
+    let mut expected: BTreeMap<&'static str, BTreeMap<StageKey, &str>> = BTreeMap::new();
+    for card in cards {
+        let ours = rederive_chain(card, seed);
+        let theirs = chain_keys(card, seed);
+        if ours != theirs {
+            report.push(Diagnostic::new(
+                "H003",
+                &card.name,
+                format!(
+                    "pipeline chain keys disagree with the independent FNV-1a re-derivation \
+                     (pipeline {theirs:016x?}, re-derived {ours:016x?})"
+                ),
+            ));
+        }
+        // Audit the cache against the pipeline's own notion of the chain:
+        // H001 must flag corrupted *entries*, not re-report a drifted
+        // derivation scheme (that is H003's job).
+        for (stage, key) in STAGE_ORDER.iter().zip(theirs) {
+            expected.entry(stage).or_default().insert(key, &card.name);
+        }
+    }
+
+    let known: BTreeSet<&str> = STAGE_ORDER.iter().copied().collect();
+    for (stage, key) in pipeline::stage_cache_entries() {
+        if !known.contains(stage) {
+            report.push(Diagnostic::new(
+                "H002",
+                PROJECT,
+                format!("cached artifact {key:016x} lives under unknown stage namespace `{stage}`"),
+            ));
+            continue;
+        }
+        let derivable = expected
+            .get(stage)
+            .is_some_and(|keys| keys.contains_key(&key));
+        if !derivable {
+            report.push(Diagnostic::new(
+                "H001",
+                PROJECT,
+                format!(
+                    "cached `{stage}` artifact {key:016x} is not derivable from any card \
+                     in the audited set (seed {seed})"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_corpus::cards::all_cards;
+    use schemachron_corpus::pipeline::{build_project, corrupt_stage_cache_entry};
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn rederivation_matches_pipeline() {
+        for card in all_cards().iter().take(5) {
+            assert_eq!(rederive_chain(card, 42), chain_keys(card, 42));
+        }
+    }
+
+    #[test]
+    fn pristine_cache_audits_clean_and_corruption_is_caught() {
+        // One test, sequenced: the stage cache is process-wide, so a clean
+        // audit must be asserted *before* this test corrupts it.
+        let cards: Vec<Card> = all_cards().into_iter().take(3).collect();
+        let seed = 4242; // private to this test: no cross-test interference
+        for card in &cards {
+            let _ = build_project(card, seed);
+        }
+
+        let mut clean = Report::new();
+        audit_stage_cache(&cards, seed, &mut clean);
+        assert!(clean.diagnostics().is_empty(), "{}", clean.render_human());
+
+        // Corrupt one entry's key: H001.
+        let victim = chain_keys(&cards[0], seed);
+        let stage = STAGE_ORDER[2];
+        assert!(corrupt_stage_cache_entry(
+            (stage, victim[2]),
+            (stage, victim[2] ^ 0xdead_beef)
+        ));
+        let mut tampered = Report::new();
+        audit_stage_cache(&cards, seed, &mut tampered);
+        assert_eq!(codes(&tampered), ["H001"]);
+        assert!(tampered.render_human().contains("not derivable"));
+
+        // Re-file the same entry under a bogus stage namespace: H002.
+        assert!(corrupt_stage_cache_entry(
+            (stage, victim[2] ^ 0xdead_beef),
+            ("bogus-stage", victim[2])
+        ));
+        let mut bogus = Report::new();
+        audit_stage_cache(&cards, seed, &mut bogus);
+        assert_eq!(codes(&bogus), ["H002"]);
+
+        // Restore so other tests sharing the process cache are unaffected.
+        assert!(corrupt_stage_cache_entry(
+            ("bogus-stage", victim[2]),
+            (stage, victim[2])
+        ));
+    }
+}

@@ -1,0 +1,465 @@
+//! The shared diagnostics framework: stable rule codes, severities, spans
+//! into generated migration scripts, and the human/JSON renderers every
+//! entry point (CLI, `corpus verify`, the serve route) reuses.
+
+use std::fmt;
+
+use serde_json::{json, Value};
+
+/// How serious a finding is.
+///
+/// `Info` notes never fail a lint run (they describe legal-but-noteworthy
+/// facts like type narrowing); `Warning` fails under `--deny warnings`;
+/// `Error` always fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; never counts as a finding.
+    Info,
+    /// Suspicious but not definitely wrong; fails under `--deny warnings`.
+    Warning,
+    /// Definitely wrong input; always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase tag used by both renderers.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A source span: the generated migration script (its `NNNN_YYYY-MM-DD.sql`
+/// name, as written by `corpus generate`) and the 1-based line within it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Script file name, e.g. `0003_2014-06-10.sql`.
+    pub script: String,
+    /// 1-based line within the script.
+    pub line: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.script, self.line)
+    }
+}
+
+/// One finding: a stable rule code, its severity, the project it concerns,
+/// an optional script span and the human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable rule code (`L0xx`/`S0xx`/`H0xx`, see [`RULES`]).
+    pub code: &'static str,
+    /// Severity (fixed per rule).
+    pub severity: Severity,
+    /// The project (card) the finding concerns; empty for corpus-level
+    /// findings.
+    pub project: String,
+    /// Where in the project's scripts the finding anchors, when it does.
+    pub span: Option<Span>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding for a registered rule; the severity comes from the
+    /// registry so a code can never drift from its documented level.
+    pub fn new(code: &'static str, project: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: rule_severity(code),
+            project: project.into(),
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a script span.
+    #[must_use]
+    pub fn at(mut self, script: impl Into<String>, line: u32) -> Self {
+        self.span = Some(Span {
+            script: script.into(),
+            line,
+        });
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.code, self.severity.tag())?;
+        if !self.project.is_empty() {
+            write!(f, " {}", self.project)?;
+        }
+        if let Some(span) = &self.span {
+            write!(f, " {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// One registered rule: its stable code, fixed severity, and the one-line
+/// documentation the registry test demands.
+#[derive(Clone, Copy, Debug)]
+pub struct Rule {
+    /// The stable code. `L` = DDL flow, `S` = spec, `H` = cache hash.
+    pub code: &'static str,
+    /// The fixed severity every finding of this rule carries.
+    pub severity: Severity,
+    /// One-line description (the rule catalog in DESIGN.md mirrors these).
+    pub summary: &'static str,
+}
+
+/// The complete rule registry. Codes are append-only: a published code is
+/// never renumbered or reused.
+pub const RULES: [Rule; 19] = [
+    Rule {
+        code: "L001",
+        severity: Severity::Error,
+        summary: "duplicate CREATE: table or view created while it already exists",
+    },
+    Rule {
+        code: "L002",
+        severity: Severity::Error,
+        summary: "DROP of a table or view that never exists in the history",
+    },
+    Rule {
+        code: "L003",
+        severity: Severity::Error,
+        summary: "drop-before-create ordering: object dropped before its creation commit",
+    },
+    Rule {
+        code: "L004",
+        severity: Severity::Error,
+        summary: "ALTER TABLE on a table that does not exist at that point",
+    },
+    Rule {
+        code: "L005",
+        severity: Severity::Error,
+        summary: "ALTER action references a column the table does not have",
+    },
+    Rule {
+        code: "L006",
+        severity: Severity::Error,
+        summary: "foreign-key target table does not exist at that point",
+    },
+    Rule {
+        code: "L007",
+        severity: Severity::Info,
+        summary: "type change narrows a column (possible data loss)",
+    },
+    Rule {
+        code: "L008",
+        severity: Severity::Error,
+        summary: "script contains DDL the tolerant parser had to skip",
+    },
+    Rule {
+        code: "S001",
+        severity: Severity::Error,
+        summary: "card timing plan is infeasible (no schedule satisfies it)",
+    },
+    Rule {
+        code: "S002",
+        severity: Severity::Error,
+        summary: "card field outside its domain (fractions must be finite in [0, 1])",
+    },
+    Rule {
+        code: "S003",
+        severity: Severity::Error,
+        summary: "exception flag contradicts the labels the plan produces",
+    },
+    Rule {
+        code: "S010",
+        severity: Severity::Error,
+        summary: "corpus does not contain exactly 151 projects",
+    },
+    Rule {
+        code: "S011",
+        severity: Severity::Error,
+        summary: "duplicate project name in the corpus",
+    },
+    Rule {
+        code: "S012",
+        severity: Severity::Error,
+        summary: "per-pattern populations disagree with Fig. 4",
+    },
+    Rule {
+        code: "S013",
+        severity: Severity::Error,
+        summary: "birth-month buckets disagree with Fig. 7",
+    },
+    Rule {
+        code: "S014",
+        severity: Severity::Error,
+        summary: "per-pattern exception counts disagree with Table 2",
+    },
+    Rule {
+        code: "H001",
+        severity: Severity::Error,
+        summary: "cached artifact's key matches no key derivable from the audited cards",
+    },
+    Rule {
+        code: "H002",
+        severity: Severity::Error,
+        summary: "cached artifact filed under an unknown stage namespace",
+    },
+    Rule {
+        code: "H003",
+        severity: Severity::Error,
+        summary: "pipeline chain keys disagree with the independent FNV-1a re-derivation",
+    },
+];
+
+/// Looks up a rule by code.
+pub fn rule(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+fn rule_severity(code: &'static str) -> Severity {
+    match rule(code) {
+        Some(r) => r.severity,
+        // Unregistered codes cannot happen from in-crate constructors (the
+        // registry test pins every constructor's code); treat defensively
+        // as an error rather than panicking.
+        None => Severity::Error,
+    }
+}
+
+/// An ordered collection of findings plus severity counts — the unit of
+/// output every lint pass produces and every renderer consumes.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Absorbs another pass's findings.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Sorts findings into the canonical order: project, script, line,
+    /// code, message. Every entry point sorts before rendering, which is
+    /// what makes the JSON output byte-identical across worker counts.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let a_span = a.span.as_ref().map(|s| (s.script.as_str(), s.line));
+            let b_span = b.span.as_ref().map(|s| (s.script.as_str(), s.line));
+            (a.project.as_str(), a_span, a.code, a.message.as_str()).cmp(&(
+                b.project.as_str(),
+                b_span,
+                b.code,
+                b.message.as_str(),
+            ))
+        });
+    }
+
+    /// All findings, in insertion (or, after [`Report::sort`], canonical)
+    /// order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-level findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-level findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of informational notes.
+    pub fn notes(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether the run fails: errors always do, warnings only under
+    /// `deny_warnings`.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// One-line severity summary, e.g. `3 errors, 1 warning, 2 notes`.
+    pub fn summary_line(&self) -> String {
+        let plural = |n: usize, word: &str| {
+            if n == 1 {
+                format!("{n} {word}")
+            } else {
+                format!("{n} {word}s")
+            }
+        };
+        format!(
+            "{}, {}, {}",
+            plural(self.errors(), "error"),
+            plural(self.warnings(), "warning"),
+            plural(self.notes(), "note")
+        )
+    }
+
+    /// The human renderer: one `code [severity] project script:line:
+    /// message` row per finding plus the summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// The JSON form shared by `--format json` and the serve route.
+    pub fn to_json(&self) -> Value {
+        let diagnostics: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                json!({
+                    "code": (d.code),
+                    "severity": (d.severity.tag()),
+                    "project": (d.project.as_str()),
+                    "script": (d.span.as_ref().map(|s| s.script.as_str())),
+                    "line": (d.span.as_ref().map(|s| s.line)),
+                    "message": (d.message.as_str()),
+                })
+            })
+            .collect();
+        json!({
+            "diagnostics": diagnostics,
+            "summary": {
+                "errors": (self.errors()),
+                "warnings": (self.warnings()),
+                "notes": (self.notes()),
+            },
+        })
+    }
+
+    /// The JSON renderer: pretty-printed, newline-terminated, with the
+    /// shim's deterministic key order — byte-stable for goldens.
+    pub fn render_json(&self) -> String {
+        // A `Value` tree always serializes; fall back to an empty document
+        // rather than panicking inside a diagnostics renderer.
+        let mut s = serde_json::to_string_pretty(&self.to_json()).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_documented() {
+        let mut codes: Vec<&str> = RULES.iter().map(|r| r.code).collect();
+        codes.sort_unstable();
+        let mut deduped = codes.clone();
+        deduped.dedup();
+        assert_eq!(codes, deduped, "duplicate rule code in the registry");
+        for r in &RULES {
+            assert!(
+                !r.summary.trim().is_empty(),
+                "{}: every rule needs documentation",
+                r.code
+            );
+            let class = r.code.as_bytes()[0];
+            assert!(
+                matches!(class, b'L' | b'S' | b'H'),
+                "{}: codes are L/S/H-classed",
+                r.code
+            );
+            assert_eq!(r.code.len(), 4, "{}: codes are letter + 3 digits", r.code);
+        }
+    }
+
+    #[test]
+    fn diagnostics_inherit_registry_severity() {
+        let d = Diagnostic::new("L007", "p", "narrowed");
+        assert_eq!(d.severity, Severity::Info);
+        let e = Diagnostic::new("L001", "p", "dup");
+        assert_eq!(e.severity, Severity::Error);
+    }
+
+    #[test]
+    fn human_renderer_contains_code_and_span_per_finding() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new("L004", "proj-a", "no such table `x`").at("0002_2014-01-10.sql", 7));
+        r.push(Diagnostic::new("S001", "proj-b", "infeasible"));
+        r.sort();
+        let text = r.render_human();
+        assert!(text.contains("L004"), "{text}");
+        assert!(text.contains("0002_2014-01-10.sql:7"), "{text}");
+        assert!(text.contains("S001"), "{text}");
+        assert!(text.contains("2 errors, 0 warnings, 0 notes"), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips_code_span_and_counts() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new("L001", "p", "dup table").at("0001_2013-02-10.sql", 3));
+        r.push(Diagnostic::new("L007", "p", "narrowed"));
+        r.sort();
+        let v: Value = serde_json::from_str(&r.render_json()).expect("renderer emits valid JSON");
+        assert_eq!(v["summary"]["errors"].as_u64(), Some(1));
+        assert_eq!(v["summary"]["notes"].as_u64(), Some(1));
+        // Span-less project-level findings sort before spanned ones.
+        assert_eq!(v["diagnostics"][0]["code"].as_str(), Some("L007"));
+        let d1 = &v["diagnostics"][1];
+        assert_eq!(d1["code"].as_str(), Some("L001"));
+        assert_eq!(d1["script"].as_str(), Some("0001_2013-02-10.sql"));
+        assert_eq!(d1["line"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn sort_is_canonical_and_stable() {
+        let mut a = Report::new();
+        a.push(Diagnostic::new("L002", "zz", "later"));
+        a.push(Diagnostic::new("L001", "aa", "first").at("0001_x.sql", 2));
+        a.push(Diagnostic::new("L001", "aa", "first").at("0001_x.sql", 1));
+        a.sort();
+        let rows: Vec<String> = a.diagnostics().iter().map(ToString::to_string).collect();
+        assert!(rows[0].contains("aa"), "{rows:?}");
+        assert!(rows[0].contains(":1"), "{rows:?}");
+        assert!(rows[2].contains("zz"), "{rows:?}");
+    }
+
+    #[test]
+    fn failure_depends_on_severity_and_deny() {
+        let mut r = Report::new();
+        assert!(!r.failed(true));
+        r.push(Diagnostic::new("L007", "p", "note"));
+        assert!(!r.failed(true), "notes never fail");
+        let mut w = Report::new();
+        // No warning-severity rules exist yet; simulate one directly.
+        w.push(Diagnostic {
+            code: "L999",
+            severity: Severity::Warning,
+            project: "p".into(),
+            span: None,
+            message: "warn".into(),
+        });
+        assert!(!w.failed(false));
+        assert!(w.failed(true));
+    }
+}

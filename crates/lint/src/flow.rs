@@ -1,0 +1,630 @@
+//! The DDL flow analyzer: symbolic execution of a project's commit history
+//! over an abstract schema state.
+//!
+//! The pass parses each migration script (statement spans included) and
+//! tracks only what reference checking needs — which tables and views
+//! exist, and which columns (with their declared types) each table has. No
+//! schema is built, no diff is computed, no metric is touched: the whole
+//! project history is checked without executing the ingestion pipeline.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use schemachron_ddl::ast::{AlterAction, ColumnDef, CreateTable, Statement, TableConstraint};
+use schemachron_ddl::parse_statements_spanned;
+use schemachron_model::{DataType, Name};
+
+use crate::diag::{Diagnostic, Report};
+
+/// One script of a project history: its file name (the span anchor) and
+/// its SQL text.
+pub type ScriptSource = (String, String);
+
+/// The abstract state: existing tables with their columns, plus views.
+#[derive(Default)]
+struct AbstractSchema {
+    tables: BTreeMap<String, BTreeMap<String, DataType>>,
+    views: BTreeSet<String>,
+}
+
+impl AbstractSchema {
+    fn key(name: &Name) -> String {
+        name.normalized()
+    }
+}
+
+/// Lints one project's chronologically ordered scripts, appending findings
+/// to `report`.
+pub fn lint_scripts(project: &str, scripts: &[ScriptSource], report: &mut Report) {
+    // First sweep: every table/view name the history ever creates, so a
+    // premature DROP (name created only later) can be told apart from a
+    // reference that is wrong everywhere.
+    let mut ever_created: BTreeSet<String> = BTreeSet::new();
+    let mut parsed = Vec::with_capacity(scripts.len());
+    for (script, sql) in scripts {
+        let (stmts, diags) = parse_statements_spanned(sql);
+        for stmt in &stmts {
+            match &stmt.statement {
+                Statement::CreateTable(ct) => {
+                    ever_created.insert(AbstractSchema::key(&ct.name));
+                }
+                Statement::CreateView { name, .. } => {
+                    ever_created.insert(AbstractSchema::key(name));
+                }
+                Statement::RenameTable { renames } => {
+                    for (_, new) in renames {
+                        ever_created.insert(AbstractSchema::key(new));
+                    }
+                }
+                Statement::AlterTable { actions, .. } => {
+                    for a in actions {
+                        if let AlterAction::RenameTable(new) = a {
+                            ever_created.insert(AbstractSchema::key(new));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        parsed.push((script.as_str(), stmts, diags));
+    }
+
+    // Second sweep: symbolic execution with reference checking.
+    let mut state = AbstractSchema::default();
+    for (script, stmts, diags) in parsed {
+        for d in diags.iter().filter(|d| d.is_error()) {
+            report.push(
+                Diagnostic::new(
+                    "L008",
+                    project,
+                    format!("unparseable DDL skipped: {}", d.message),
+                )
+                .at(script, d.line),
+            );
+        }
+        for stmt in stmts {
+            check_statement(project, script, stmt.line, &stmt.statement, &mut state, &ever_created, report);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_statement(
+    project: &str,
+    script: &str,
+    line: u32,
+    stmt: &Statement,
+    state: &mut AbstractSchema,
+    ever_created: &BTreeSet<String>,
+    report: &mut Report,
+) {
+    let mut push = |d: Diagnostic| report.push(d.at(script, line));
+    match stmt {
+        Statement::CreateTable(ct) => {
+            let key = AbstractSchema::key(&ct.name);
+            if state.tables.contains_key(&key) && !ct.if_not_exists {
+                push(Diagnostic::new(
+                    "L001",
+                    project,
+                    format!("table `{}` created while it already exists", ct.name),
+                ));
+            }
+            check_create_fks(project, ct, state, &mut push);
+            let columns = ct
+                .columns
+                .iter()
+                .map(|c| (AbstractSchema::key(&c.name), c.data_type.clone()))
+                .collect();
+            state.tables.insert(key, columns);
+        }
+        Statement::DropTable { names, if_exists } => {
+            for name in names {
+                let key = AbstractSchema::key(name);
+                if state.tables.remove(&key).is_none() && !if_exists {
+                    if ever_created.contains(&key) {
+                        push(Diagnostic::new(
+                            "L003",
+                            project,
+                            format!("table `{name}` dropped before its creation commit"),
+                        ));
+                    } else {
+                        push(Diagnostic::new(
+                            "L002",
+                            project,
+                            format!("table `{name}` is never created in this history"),
+                        ));
+                    }
+                }
+            }
+        }
+        Statement::AlterTable { name, actions } => {
+            let key = AbstractSchema::key(name);
+            if !state.tables.contains_key(&key) {
+                push(Diagnostic::new(
+                    "L004",
+                    project,
+                    format!("ALTER TABLE on unknown table `{name}`"),
+                ));
+                return;
+            }
+            for action in actions {
+                check_alter_action(project, name, &key, action, state, &mut push);
+            }
+        }
+        Statement::CreateView {
+            name, or_replace, ..
+        } => {
+            let key = AbstractSchema::key(name);
+            if state.views.contains(&key) && !or_replace {
+                push(Diagnostic::new(
+                    "L001",
+                    project,
+                    format!("view `{name}` created while it already exists"),
+                ));
+            }
+            state.views.insert(key);
+        }
+        Statement::DropView { names } => {
+            for name in names {
+                let key = AbstractSchema::key(name);
+                if !state.views.remove(&key) {
+                    if ever_created.contains(&key) {
+                        push(Diagnostic::new(
+                            "L003",
+                            project,
+                            format!("view `{name}` dropped before its creation commit"),
+                        ));
+                    } else {
+                        push(Diagnostic::new(
+                            "L002",
+                            project,
+                            format!("view `{name}` is never created in this history"),
+                        ));
+                    }
+                }
+            }
+        }
+        Statement::RenameTable { renames } => {
+            for (old, new) in renames {
+                let old_key = AbstractSchema::key(old);
+                match state.tables.remove(&old_key) {
+                    Some(columns) => {
+                        state.tables.insert(AbstractSchema::key(new), columns);
+                    }
+                    None => push(Diagnostic::new(
+                        "L004",
+                        project,
+                        format!("RENAME TABLE on unknown table `{old}`"),
+                    )),
+                }
+            }
+        }
+        Statement::Other { .. } => {}
+    }
+}
+
+/// Checks the foreign keys of a `CREATE TABLE` (inline `REFERENCES` and
+/// table-level constraints). Self-references are legal.
+fn check_create_fks(
+    project: &str,
+    ct: &CreateTable,
+    state: &AbstractSchema,
+    push: &mut impl FnMut(Diagnostic),
+) {
+    let self_key = AbstractSchema::key(&ct.name);
+    let mut check_target = |target: &Name| {
+        let key = AbstractSchema::key(target);
+        if key != self_key && !state.tables.contains_key(&key) {
+            push(Diagnostic::new(
+                "L006",
+                project,
+                format!(
+                    "`{}` references `{target}`, which does not exist at this point",
+                    ct.name
+                ),
+            ));
+        }
+    };
+    for col in &ct.columns {
+        if let Some((target, _)) = &col.references {
+            check_target(target);
+        }
+    }
+    for constraint in &ct.constraints {
+        if let TableConstraint::ForeignKey { ref_table, .. } = constraint {
+            check_target(ref_table);
+        }
+    }
+}
+
+fn check_alter_action(
+    project: &str,
+    table: &Name,
+    table_key: &str,
+    action: &AlterAction,
+    state: &mut AbstractSchema,
+    push: &mut impl FnMut(Diagnostic),
+) {
+    // Column lookups and updates borrow the table map transiently so FK
+    // checks can still read the whole state in between.
+    let has_column = |state: &AbstractSchema, col: &Name| {
+        state
+            .tables
+            .get(table_key)
+            .is_some_and(|cols| cols.contains_key(&AbstractSchema::key(col)))
+    };
+    let unknown_column = |col: &Name| {
+        Diagnostic::new(
+            "L005",
+            project,
+            format!("`{table}` has no column `{col}` at this point"),
+        )
+    };
+    match action {
+        AlterAction::AddColumn { def, .. } => {
+            check_fk_reference(project, table, def, state, push);
+            set_column(state, table_key, def);
+        }
+        AlterAction::DropColumn(col) => {
+            if !has_column(state, col) {
+                push(unknown_column(col));
+            } else if let Some(cols) = state.tables.get_mut(table_key) {
+                cols.remove(&AbstractSchema::key(col));
+            }
+        }
+        AlterAction::ModifyColumn(def) => {
+            if has_column(state, &def.name) {
+                check_narrowing(project, table, &def.name, &def.data_type, state, table_key, push);
+            } else {
+                push(unknown_column(&def.name));
+            }
+            set_column(state, table_key, def);
+        }
+        AlterAction::ChangeColumn { old, def } => {
+            if has_column(state, old) {
+                check_narrowing(project, table, old, &def.data_type, state, table_key, push);
+                if let Some(cols) = state.tables.get_mut(table_key) {
+                    cols.remove(&AbstractSchema::key(old));
+                }
+            } else {
+                push(unknown_column(old));
+            }
+            set_column(state, table_key, def);
+        }
+        AlterAction::AlterColumnType { name, data_type } => {
+            if has_column(state, name) {
+                check_narrowing(project, table, name, data_type, state, table_key, push);
+                if let Some(cols) = state.tables.get_mut(table_key) {
+                    cols.insert(AbstractSchema::key(name), data_type.clone());
+                }
+            } else {
+                push(unknown_column(name));
+            }
+        }
+        AlterAction::AlterColumnDefault { name, .. }
+        | AlterAction::AlterColumnNull { name, .. } => {
+            if !has_column(state, name) {
+                push(unknown_column(name));
+            }
+        }
+        AlterAction::AddConstraint(TableConstraint::ForeignKey {
+            ref_table, columns, ..
+        }) => {
+            for col in columns {
+                if !has_column(state, col) {
+                    push(unknown_column(col));
+                }
+            }
+            let ref_key = AbstractSchema::key(ref_table);
+            if ref_key != table_key && !state.tables.contains_key(&ref_key) {
+                push(Diagnostic::new(
+                    "L006",
+                    project,
+                    format!("`{table}` references `{ref_table}`, which does not exist at this point"),
+                ));
+            }
+        }
+        AlterAction::RenameColumn { old, new } => {
+            if has_column(state, old) {
+                if let Some(cols) = state.tables.get_mut(table_key) {
+                    if let Some(ty) = cols.remove(&AbstractSchema::key(old)) {
+                        cols.insert(AbstractSchema::key(new), ty);
+                    }
+                }
+            } else {
+                push(unknown_column(old));
+            }
+        }
+        AlterAction::RenameTable(new) => {
+            if let Some(cols) = state.tables.remove(table_key) {
+                state.tables.insert(AbstractSchema::key(new), cols);
+            }
+        }
+        // Constraint bookkeeping beyond FK targets is out of scope for the
+        // abstract state (PKs, uniques, checks, defaults don't dangle).
+        AlterAction::AddConstraint(_)
+        | AlterAction::DropPrimaryKey
+        | AlterAction::DropForeignKey(_)
+        | AlterAction::DropConstraint(_)
+        | AlterAction::Other(_) => {}
+    }
+}
+
+fn set_column(state: &mut AbstractSchema, table_key: &str, def: &ColumnDef) {
+    if let Some(cols) = state.tables.get_mut(table_key) {
+        cols.insert(AbstractSchema::key(&def.name), def.data_type.clone());
+    }
+}
+
+fn check_fk_reference(
+    project: &str,
+    table: &Name,
+    def: &ColumnDef,
+    state: &AbstractSchema,
+    push: &mut impl FnMut(Diagnostic),
+) {
+    if let Some((target, _)) = &def.references {
+        let key = AbstractSchema::key(target);
+        if key != AbstractSchema::key(table) && !state.tables.contains_key(&key) {
+            push(Diagnostic::new(
+                "L006",
+                project,
+                format!("`{table}` references `{target}`, which does not exist at this point"),
+            ));
+        }
+    }
+}
+
+fn check_narrowing(
+    project: &str,
+    table: &Name,
+    column: &Name,
+    new_type: &DataType,
+    state: &AbstractSchema,
+    table_key: &str,
+    push: &mut impl FnMut(Diagnostic),
+) {
+    let old_type = state
+        .tables
+        .get(table_key)
+        .and_then(|cols| cols.get(&AbstractSchema::key(column)));
+    if let Some(old) = old_type {
+        if narrows(old, new_type) {
+            push(Diagnostic::new(
+                "L007",
+                project,
+                format!("`{table}.{column}` narrows from {old} to {new_type}"),
+            ));
+        }
+    }
+}
+
+/// Rank within the integer-width family; `None` for non-integers.
+fn int_rank(base: &str) -> Option<u8> {
+    match base {
+        "tinyint" => Some(0),
+        "smallint" => Some(1),
+        "mediumint" => Some(2),
+        "int" | "integer" => Some(3),
+        "bigint" => Some(4),
+        _ => None,
+    }
+}
+
+fn is_textual(base: &str) -> bool {
+    matches!(base, "varchar" | "char" | "character" | "text")
+}
+
+/// Whether changing a column from `old` to `new` narrows it — a conversion
+/// that can lose data within the same type family. Cross-family changes
+/// (e.g. `varchar` → `timestamp`) are conversions, not narrowings; the
+/// study's corpus performs them routinely.
+fn narrows(old: &DataType, new: &DataType) -> bool {
+    if let (Some(o), Some(n)) = (int_rank(old.base()), int_rank(new.base())) {
+        return n < o;
+    }
+    if is_textual(old.base()) && is_textual(new.base()) {
+        // TEXT is unbounded; parameterless char types default to length 1.
+        let cap = |t: &DataType| -> i64 {
+            if t.base() == "text" {
+                i64::MAX
+            } else {
+                t.params().first().copied().unwrap_or(1)
+            }
+        };
+        return cap(new) < cap(old);
+    }
+    if old.base() == "decimal" && new.base() == "decimal" {
+        let precision = |t: &DataType| t.params().first().copied().unwrap_or(10);
+        return precision(new) < precision(old);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_sql(scripts: &[(&str, &str)]) -> Report {
+        let owned: Vec<ScriptSource> = scripts
+            .iter()
+            .map(|(n, s)| ((*n).to_owned(), (*s).to_owned()))
+            .collect();
+        let mut report = Report::new();
+        lint_scripts("test-project", &owned, &mut report);
+        report.sort();
+        report
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_history_has_no_findings() {
+        let r = lint_sql(&[
+            (
+                "0001_2013-01-10.sql",
+                "CREATE TABLE users (id INT, name VARCHAR(64));\n\
+                 CREATE TABLE orders (id INT, user_id INT REFERENCES users (id));",
+            ),
+            (
+                "0002_2013-02-10.sql",
+                "ALTER TABLE users ADD COLUMN email VARCHAR(255);\n\
+                 ALTER TABLE users MODIFY COLUMN name TEXT;\n\
+                 DROP TABLE orders;",
+            ),
+        ]);
+        assert!(r.diagnostics().is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn duplicate_create_is_l001() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE t (id INT);\nCREATE TABLE t (id INT);",
+        )]);
+        assert_eq!(codes(&r), ["L001"]);
+        let span = r.diagnostics()[0].span.as_ref().unwrap();
+        assert_eq!((span.script.as_str(), span.line), ("0001_2013-01-10.sql", 2));
+    }
+
+    #[test]
+    fn if_not_exists_suppresses_l001() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE t (id INT);\nCREATE TABLE IF NOT EXISTS t (id INT);",
+        )]);
+        assert!(r.diagnostics().is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn drop_of_never_created_table_is_l002() {
+        let r = lint_sql(&[("0001_2013-01-10.sql", "DROP TABLE ghost;")]);
+        assert_eq!(codes(&r), ["L002"]);
+    }
+
+    #[test]
+    fn drop_before_create_is_l003() {
+        let r = lint_sql(&[
+            ("0001_2013-01-10.sql", "DROP TABLE t;"),
+            ("0002_2013-02-10.sql", "CREATE TABLE t (id INT);"),
+        ]);
+        assert_eq!(codes(&r), ["L003"]);
+        assert_eq!(
+            r.diagnostics()[0].span.as_ref().unwrap().script,
+            "0001_2013-01-10.sql"
+        );
+    }
+
+    #[test]
+    fn if_exists_suppresses_drop_findings() {
+        let r = lint_sql(&[("0001_2013-01-10.sql", "DROP TABLE IF EXISTS ghost;")]);
+        assert!(r.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn alter_unknown_table_is_l004() {
+        let r = lint_sql(&[("0001_2013-01-10.sql", "ALTER TABLE ghost ADD COLUMN x INT;")]);
+        assert_eq!(codes(&r), ["L004"]);
+    }
+
+    #[test]
+    fn alter_unknown_column_is_l005() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE t (id INT);\nALTER TABLE t DROP COLUMN ghost;",
+        )]);
+        assert_eq!(codes(&r), ["L005"]);
+    }
+
+    #[test]
+    fn dangling_fk_target_is_l006() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE orders (id INT, user_id INT REFERENCES users (id));",
+        )]);
+        assert_eq!(codes(&r), ["L006"]);
+        // The same table created *after* the reference still dangles at the
+        // point of use — FK targets must exist at creation time.
+        let late = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE orders (id INT, user_id INT REFERENCES users (id));\n\
+             CREATE TABLE users (id INT);",
+        )]);
+        assert_eq!(codes(&late), ["L006"]);
+    }
+
+    #[test]
+    fn table_level_fk_and_self_reference() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE nodes (\n  id INT,\n  parent_id INT,\n  FOREIGN KEY (parent_id) REFERENCES nodes (id)\n);",
+        )]);
+        assert!(r.diagnostics().is_empty(), "{}", r.render_human());
+        let bad = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE a (\n  id INT,\n  b_id INT,\n  FOREIGN KEY (b_id) REFERENCES b (id)\n);",
+        )]);
+        assert_eq!(codes(&bad), ["L006"]);
+    }
+
+    #[test]
+    fn type_narrowing_is_an_info_note() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE t (id BIGINT, name VARCHAR(255));\n\
+             ALTER TABLE t MODIFY COLUMN id INT;\n\
+             ALTER TABLE t MODIFY COLUMN name VARCHAR(64);",
+        )]);
+        assert_eq!(codes(&r), ["L007", "L007"]);
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.notes(), 2);
+        assert!(!r.failed(true), "notes must not fail even under deny");
+    }
+
+    #[test]
+    fn widening_and_cross_family_changes_are_silent() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE t (a INT, b VARCHAR(64), c TEXT);\n\
+             ALTER TABLE t MODIFY COLUMN a BIGINT;\n\
+             ALTER TABLE t MODIFY COLUMN b TEXT;\n\
+             ALTER TABLE t MODIFY COLUMN c TIMESTAMP;",
+        )]);
+        assert!(r.diagnostics().is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn text_to_varchar_narrows() {
+        assert!(narrows(
+            &DataType::named("text"),
+            &DataType::with_params("varchar", vec![255])
+        ));
+        assert!(!narrows(
+            &DataType::with_params("varchar", vec![64]),
+            &DataType::named("text")
+        ));
+        assert!(narrows(
+            &DataType::with_params("decimal", vec![10, 2]),
+            &DataType::with_params("decimal", vec![6, 2])
+        ));
+    }
+
+    #[test]
+    fn unparseable_ddl_is_l008() {
+        let r = lint_sql(&[("0001_2013-01-10.sql", "CREATE TABLE t (;")]);
+        assert_eq!(codes(&r), ["L008"]);
+    }
+
+    #[test]
+    fn rename_moves_state() {
+        let r = lint_sql(&[(
+            "0001_2013-01-10.sql",
+            "CREATE TABLE old_name (id INT);\n\
+             RENAME TABLE old_name TO new_name;\n\
+             ALTER TABLE new_name ADD COLUMN x INT;\n\
+             DROP TABLE new_name;",
+        )]);
+        assert!(r.diagnostics().is_empty(), "{}", r.render_human());
+    }
+}

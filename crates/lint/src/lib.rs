@@ -1,0 +1,219 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # schemachron-lint
+//!
+//! Static semantic analysis for DDL histories, trait cards, and pipeline
+//! cache artifacts — **without executing the measurement pipeline**.
+//!
+//! Three passes share one diagnostics framework ([`diag`]):
+//!
+//! * the **DDL flow analyzer** ([`flow`]) symbolically executes each
+//!   project's commit history over an abstract schema state, catching
+//!   dangling references (`L00x`);
+//! * the **spec linter** ([`spec`]) checks trait cards against the paper's
+//!   label domains and, for the calibrated corpus, the published aggregates
+//!   (`S00x`/`S01x`);
+//! * the **cache auditor** ([`cache`]) recomputes the stage cache's chained
+//!   FNV-1a fingerprints from first principles (`H00x`).
+//!
+//! Every diagnostic carries a stable rule code from the [`diag::RULES`]
+//! registry, a severity, and (for flow findings) a source span into the
+//! generated `.sql` script. Reports render human-readable or as
+//! deterministic JSON; per-card work fans out over the corpus worker pool
+//! and is reassembled in card order, so output is byte-identical at any
+//! `--jobs` level.
+
+pub mod cache;
+pub mod diag;
+pub mod flow;
+pub mod spec;
+
+use schemachron_corpus::io::date_from_filename;
+use schemachron_corpus::materialize::materialize;
+use schemachron_corpus::{par_map, Card};
+
+pub use diag::{Diagnostic, Report, Rule, Severity, Span, RULES};
+
+/// What to lint and how.
+#[derive(Clone, Copy, Debug)]
+pub struct LintOptions {
+    /// Corpus seed: cards are materialized (and cache chains derived) for
+    /// this seed.
+    pub seed: u64,
+    /// Worker count for the per-card fan-out (`0` = the corpus worker
+    /// pool's own resolution: `--jobs` override, `SCHEMACHRON_JOBS`, else
+    /// available parallelism). Findings are reassembled in card order, so
+    /// this never changes the output.
+    pub jobs: usize,
+    /// Enforce the cross-card invariants of the calibrated 151-project
+    /// corpus (S010–S014). Off when linting arbitrary card sets.
+    pub corpus_invariants: bool,
+    /// Audit the process-wide stage cache against the card set (H001–H003).
+    pub audit_cache: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            seed: 42,
+            jobs: 0,
+            corpus_invariants: true,
+            audit_cache: true,
+        }
+    }
+}
+
+/// Lints one card end to end: spec checks first, then — only if the plan
+/// is feasible — the DDL flow analysis of its materialized history.
+///
+/// This is the per-project unit of work behind [`lint_cards`], exposed so
+/// single-project surfaces (the serve `/project/{id}/diagnostics` route)
+/// reuse the exact same passes. The returned report is sorted.
+pub fn lint_project(card: &Card, seed: u64) -> Report {
+    let mut report = Report::new();
+    spec::lint_card(card, &mut report);
+    if report.errors() > 0 {
+        // An infeasible or out-of-domain card cannot be materialized
+        // (`Card::schedule` would panic); its flow findings would be noise.
+        report.sort();
+        return report;
+    }
+    let project = materialize(card, seed);
+    let scripts: Vec<(String, String)> = project
+        .ddl_commits
+        .iter()
+        .enumerate()
+        .map(|(i, (date, sql))| (format!("{:04}_{date}.sql", i + 1), sql.clone()))
+        .collect();
+    flow::lint_scripts(&card.name, &scripts, &mut report);
+    report.sort();
+    report
+}
+
+/// Runs all passes over a card set and returns the sorted report.
+pub fn lint_cards(cards: &[Card], opts: &LintOptions) -> Report {
+    let seed = opts.seed;
+    let jobs = if opts.jobs == 0 {
+        schemachron_corpus::effective_jobs()
+    } else {
+        opts.jobs
+    };
+    let per_card = par_map(cards.to_vec(), jobs, |card| lint_project(&card, seed));
+    let mut report = Report::new();
+    for r in per_card {
+        report.extend(r);
+    }
+    if opts.corpus_invariants {
+        spec::lint_corpus_invariants(cards, &mut report);
+    }
+    if opts.audit_cache {
+        cache::audit_stage_cache(cards, seed, &mut report);
+    }
+    report.sort();
+    report
+}
+
+/// Lints a directory of `.sql` migration scripts (one project checked out
+/// on disk, in the same layout `corpus io` writes) with the flow analyzer.
+///
+/// Scripts are ordered by the date embedded in their file name, then by
+/// name — the same chronology the ingestion pipeline would use. Files
+/// without a parseable date sort last; non-`.sql` files are ignored.
+///
+/// # Errors
+/// Returns the underlying I/O error when the directory cannot be read.
+pub fn lint_dir(dir: &std::path::Path, report: &mut Report) -> std::io::Result<()> {
+    let project = dir
+        .file_name()
+        .map_or_else(|| "(project)".to_owned(), |n| n.to_string_lossy().into_owned());
+    let mut entries: Vec<(Option<String>, String, String)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_none_or(|e| e != "sql") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        let date = date_from_filename(&path).map(|d| d.to_string());
+        let sql = std::fs::read_to_string(&path)?;
+        entries.push((date, name, sql));
+    }
+    entries.sort();
+    let scripts: Vec<(String, String)> = entries
+        .into_iter()
+        .map(|(_, name, sql)| (name, sql))
+        .collect();
+    flow::lint_scripts(&project, &scripts, report);
+    report.sort();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_corpus::cards::all_cards;
+
+    #[test]
+    fn pristine_corpus_is_clean_under_deny_warnings() {
+        let cards = all_cards();
+        let opts = LintOptions {
+            audit_cache: false, // the process cache is shared across tests
+            ..LintOptions::default()
+        };
+        let report = lint_cards(&cards, &opts);
+        assert_eq!(report.errors(), 0, "{}", report.render_human());
+        assert_eq!(report.warnings(), 0, "{}", report.render_human());
+        assert!(!report.failed(true), "deny-warnings must pass");
+    }
+
+    #[test]
+    fn jobs_level_never_changes_the_json() {
+        let cards: Vec<Card> = all_cards().into_iter().take(24).collect();
+        let base = LintOptions {
+            corpus_invariants: false,
+            audit_cache: false,
+            ..LintOptions::default()
+        };
+        let serial = lint_cards(&cards, &LintOptions { jobs: 1, ..base }).render_json();
+        let parallel = lint_cards(&cards, &LintOptions { jobs: 8, ..base }).render_json();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn injected_bad_card_surfaces_with_its_code() {
+        let mut cards = all_cards();
+        cards[0].birth_frac = 1.5;
+        let opts = LintOptions {
+            corpus_invariants: false,
+            audit_cache: false,
+            ..LintOptions::default()
+        };
+        let report = lint_cards(&cards, &opts);
+        // The pristine corpus legitimately carries L007 narrowing notes;
+        // the injected fault must be the only *error*.
+        let errors: Vec<&str> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(errors, ["S002"]);
+        assert!(report.failed(false));
+    }
+
+    #[test]
+    fn lint_dir_orders_scripts_by_embedded_date() {
+        let dir = std::env::temp_dir().join(format!("schemachron-lint-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Written "out of order" on purpose: the date decides.
+        std::fs::write(dir.join("0002_2020-03-10.sql"), "DROP TABLE t;").unwrap();
+        std::fs::write(dir.join("0001_2020-01-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        std::fs::write(dir.join("source.csv"), "2020-01-10,5").unwrap();
+        let mut report = Report::new();
+        lint_dir(&dir, &mut report).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(report.diagnostics().is_empty(), "{}", report.render_human());
+    }
+}

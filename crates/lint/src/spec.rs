@@ -1,0 +1,312 @@
+//! The spec linter: trait cards against the paper's label domains, plus
+//! cross-card corpus invariants.
+//!
+//! Per-card checks run on *any* card set (including user-supplied ones).
+//! The cross-card invariants (S010–S014) pin the calibrated 151-project
+//! corpus against the paper's published aggregates — Fig. 4 populations,
+//! Fig. 7 birth buckets, Table 2 exception counts — and are only enabled
+//! when the caller says the card set claims to *be* that corpus.
+
+use std::collections::BTreeMap;
+
+use schemachron_core::metrics::TimeMetrics;
+use schemachron_core::quantize::Labels;
+use schemachron_core::Pattern;
+use schemachron_corpus::Card;
+use schemachron_history::{MonthId, ProjectHistory};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Fig. 4 pattern populations of the 151-project corpus, in
+/// [`Pattern::ALL`] order.
+const FIG4_POPULATIONS: [(Pattern, usize); 8] = [
+    (Pattern::Flatliner, 23),
+    (Pattern::RadicalSign, 41),
+    (Pattern::Sigmoid, 19),
+    (Pattern::LateRiser, 14),
+    (Pattern::QuantumSteps, 23),
+    (Pattern::RegularlyCurated, 14),
+    (Pattern::Siesta, 10),
+    (Pattern::SmokingFunnel, 7),
+];
+
+/// Table 2 exception counts (patterns with zero exceptions omitted).
+const TABLE2_EXCEPTIONS: [(Pattern, usize); 4] = [
+    (Pattern::Sigmoid, 2),
+    (Pattern::LateRiser, 1),
+    (Pattern::QuantumSteps, 2),
+    (Pattern::Siesta, 3),
+];
+
+/// Fig. 7 birth-bucket populations: month 0, months 1–6, months 7–12,
+/// beyond the first year.
+const FIG7_BUCKETS: [usize; 4] = [52, 38, 13, 48];
+
+/// The study's corpus size (§3).
+const CORPUS_SIZE: usize = 151;
+
+/// Lints one card: field domains, plan feasibility, exception-flag
+/// consistency against the statically predicted labels.
+pub fn lint_card(card: &Card, report: &mut Report) {
+    let mut clean = true;
+    let mut domain = |field: &str, value: f64, ok: bool| {
+        if !ok {
+            clean = false;
+            report.push(Diagnostic::new(
+                "S002",
+                &card.name,
+                format!("`{field}` = {value} is outside the domain [0, 1]"),
+            ));
+        }
+    };
+    domain(
+        "birth_frac",
+        card.birth_frac,
+        card.birth_frac.is_finite() && (0.0..=1.0).contains(&card.birth_frac),
+    );
+    domain(
+        "maintenance_bias",
+        card.maintenance_bias,
+        card.maintenance_bias.is_finite() && (0.0..=1.0).contains(&card.maintenance_bias),
+    );
+    if !clean {
+        // Out-of-domain fields make feasibility and label prediction
+        // meaningless; don't cascade.
+        return;
+    }
+
+    let schedule = match card.try_schedule() {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                "S001",
+                &card.name,
+                format!("infeasible plan: {e}"),
+            ));
+            return;
+        }
+    };
+
+    // Statically predict the labels the measurement pipeline would emit:
+    // the schedule *is* the schema heartbeat, up to DDL realization.
+    let mut activity = vec![0.0; card.duration as usize];
+    for (m, u) in &schedule.events {
+        activity[*m as usize] += f64::from(*u);
+    }
+    let n = activity.len();
+    let project =
+        ProjectHistory::from_heartbeats(&card.name, MonthId(0), activity, vec![1.0; n], [0; 6]);
+    let Some(metrics) = TimeMetrics::from_project(&project) else {
+        // Unreachable after try_schedule succeeded (ZeroEvolution is
+        // rejected there), but a lint must never panic on odd input.
+        report.push(Diagnostic::new(
+            "S001",
+            &card.name,
+            "infeasible plan: schedule produces no schema activity".to_owned(),
+        ));
+        return;
+    };
+    let labels = Labels::from_metrics(&metrics);
+    let matches = card.pattern.matches(&labels);
+    if matches && card.exception {
+        report.push(Diagnostic::new(
+            "S003",
+            &card.name,
+            format!(
+                "flagged as a Table 2 exception, but its plan satisfies the strict {} definition",
+                card.pattern.name()
+            ),
+        ));
+    } else if !matches && !card.exception {
+        report.push(Diagnostic::new(
+            "S003",
+            &card.name,
+            format!(
+                "plan violates the strict {} definition but the card is not flagged as an exception",
+                card.pattern.name()
+            ),
+        ));
+    }
+}
+
+/// Lints the cross-card invariants of the calibrated corpus (S010–S014).
+pub fn lint_corpus_invariants(cards: &[Card], report: &mut Report) {
+    const PROJECT: &str = "(corpus)";
+    if cards.len() != CORPUS_SIZE {
+        report.push(Diagnostic::new(
+            "S010",
+            PROJECT,
+            format!("corpus has {} cards, the study has {CORPUS_SIZE}", cards.len()),
+        ));
+    }
+
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for c in cards {
+        *seen.entry(c.name.as_str()).or_insert(0) += 1;
+    }
+    for (name, count) in seen {
+        if count > 1 {
+            report.push(Diagnostic::new(
+                "S011",
+                PROJECT,
+                format!("project name `{name}` appears {count} times"),
+            ));
+        }
+    }
+
+    let mut populations: BTreeMap<Pattern, usize> = BTreeMap::new();
+    let mut exceptions: BTreeMap<Pattern, usize> = BTreeMap::new();
+    for c in cards {
+        *populations.entry(c.pattern).or_insert(0) += 1;
+        if c.exception {
+            *exceptions.entry(c.pattern).or_insert(0) += 1;
+        }
+    }
+    for (pattern, expected) in FIG4_POPULATIONS {
+        let got = populations.get(&pattern).copied().unwrap_or(0);
+        if got != expected {
+            report.push(Diagnostic::new(
+                "S012",
+                PROJECT,
+                format!(
+                    "{} population is {got}, Fig. 4 reports {expected}",
+                    pattern.name()
+                ),
+            ));
+        }
+    }
+    for pattern in Pattern::ALL {
+        let expected = TABLE2_EXCEPTIONS
+            .iter()
+            .find(|(p, _)| *p == pattern)
+            .map_or(0, |(_, n)| *n);
+        let got = exceptions.get(&pattern).copied().unwrap_or(0);
+        if got != expected {
+            report.push(Diagnostic::new(
+                "S014",
+                PROJECT,
+                format!(
+                    "{} has {got} exception cards, Table 2 reports {expected}",
+                    pattern.name()
+                ),
+            ));
+        }
+    }
+
+    let mut buckets = [0usize; 4];
+    for c in cards {
+        let b = match c.birth_month {
+            0 => 0,
+            1..=6 => 1,
+            7..=12 => 2,
+            _ => 3,
+        };
+        buckets[b] += 1;
+    }
+    if buckets != FIG7_BUCKETS {
+        report.push(Diagnostic::new(
+            "S013",
+            PROJECT,
+            format!("birth buckets are {buckets:?}, Fig. 7 reports {FIG7_BUCKETS:?}"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_corpus::cards::all_cards;
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    fn feasible_card() -> Card {
+        Card {
+            name: "probe".into(),
+            pattern: Pattern::RadicalSign,
+            exception: false,
+            duration: 40,
+            birth_month: 1,
+            top_month: 3,
+            agm: 0,
+            birth_frac: 0.8,
+            total_units: 50,
+            tail_units: 0,
+            tail_months: 0,
+            maintenance_bias: 0.15,
+        }
+    }
+
+    #[test]
+    fn calibrated_corpus_is_clean() {
+        let cards = all_cards();
+        let mut report = Report::new();
+        for c in &cards {
+            lint_card(c, &mut report);
+        }
+        lint_corpus_invariants(&cards, &mut report);
+        assert!(report.diagnostics().is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn out_of_domain_birth_frac_is_s002() {
+        let mut card = feasible_card();
+        card.birth_frac = 1.5;
+        let mut report = Report::new();
+        lint_card(&card, &mut report);
+        assert_eq!(codes(&report), ["S002"]);
+    }
+
+    #[test]
+    fn infeasible_plan_is_s001() {
+        let mut card = feasible_card();
+        card.duration = 12;
+        let mut report = Report::new();
+        lint_card(&card, &mut report);
+        assert_eq!(codes(&report), ["S001"]);
+    }
+
+    #[test]
+    fn exception_flag_contradiction_is_s003() {
+        // A clean Radical Sign plan wrongly flagged as an exception.
+        let mut card = feasible_card();
+        card.exception = true;
+        let mut report = Report::new();
+        lint_card(&card, &mut report);
+        assert_eq!(codes(&report), ["S003"]);
+    }
+
+    #[test]
+    fn missing_exception_flag_is_s003() {
+        // A Flatliner-labelled card whose plan clearly is not a Flatliner.
+        let mut card = feasible_card();
+        card.pattern = Pattern::Flatliner;
+        let mut report = Report::new();
+        lint_card(&card, &mut report);
+        assert_eq!(codes(&report), ["S003"]);
+    }
+
+    #[test]
+    fn truncated_corpus_trips_the_invariants() {
+        let cards: Vec<Card> = all_cards().into_iter().skip(1).collect();
+        let mut report = Report::new();
+        lint_corpus_invariants(&cards, &mut report);
+        let codes = codes(&report);
+        assert!(codes.contains(&"S010"), "{codes:?}");
+        // Dropping one card also perturbs a Fig. 4 population and a
+        // Fig. 7 bucket.
+        assert!(codes.contains(&"S012"), "{codes:?}");
+        assert!(codes.contains(&"S013"), "{codes:?}");
+    }
+
+    #[test]
+    fn duplicate_name_is_s011() {
+        let mut cards = all_cards();
+        let clone = cards[0].clone();
+        cards.push(clone);
+        let mut report = Report::new();
+        lint_corpus_invariants(&cards, &mut report);
+        assert!(codes(&report).contains(&"S011"));
+    }
+}

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # schemachron-serve
@@ -14,6 +15,7 @@
 //! | `GET /corpus/{seed}/projects[?pattern=p]` | per-project summaries of the seed's corpus |
 //! | `GET /project/{id}/history[?seed=s]` | monthly schema/source heartbeats |
 //! | `GET /project/{id}/pattern[?seed=s]` | classification + the Table-1 label tuple |
+//! | `GET /project/{id}/diagnostics[?seed=s]` | the static analyzer's findings (`schemachron lint` JSON shape) |
 //! | `GET /experiments/{id}` | a paper table/figure as JSON (matches `goldens/experiments/`) |
 //! | `GET /chart/{id}.svg[?seed=s&w=&h=]` | the cumulative evolution chart as SVG |
 //!

@@ -36,7 +36,7 @@ impl WorkerPool {
         let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
         let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
         let workers = (0..jobs)
-            .map(|i| {
+            .filter_map(|i| {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
                 std::thread::Builder::new()
@@ -53,7 +53,10 @@ impl WorkerPool {
                             Ok(Job::Poison) | Err(_) => break,
                         }
                     })
-                    .expect("spawn serve worker")
+                    // A failed spawn (resource exhaustion) shrinks the pool
+                    // instead of killing the server; with zero workers the
+                    // bounded queue fills and the accept loop sheds 503s.
+                    .ok()
             })
             .collect();
         WorkerPool { tx, workers }

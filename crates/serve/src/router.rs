@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use schemachron_bench::context::ExpContext;
@@ -23,6 +23,7 @@ pub struct Counters {
     corpus_projects: AtomicU64,
     project_history: AtomicU64,
     project_pattern: AtomicU64,
+    project_diagnostics: AtomicU64,
     experiments: AtomicU64,
     chart: AtomicU64,
     other: AtomicU64,
@@ -37,6 +38,7 @@ impl Counters {
             "corpus_projects": (get(&self.corpus_projects)),
             "project_history": (get(&self.project_history)),
             "project_pattern": (get(&self.project_pattern)),
+            "project_diagnostics": (get(&self.project_diagnostics)),
             "experiments": (get(&self.experiments)),
             "chart": (get(&self.chart)),
             "other": (get(&self.other)),
@@ -70,7 +72,12 @@ impl AppState {
     /// the process-wide seed-keyed cache, so it is built at most once per
     /// process no matter how many requests race here.
     pub fn context(&self, seed: u64) -> Arc<ExpContext> {
-        let mut map = self.contexts.lock().expect("context cache lock");
+        // A context build never leaves the map half-written, so a poisoned
+        // lock (panicking builder on another worker) is safe to re-enter.
+        let mut map = self
+            .contexts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             map.entry(seed)
                 .or_insert_with(|| Arc::new(ExpContext::new(seed))),
@@ -113,6 +120,15 @@ impl AppState {
             ["project", id, "pattern"] => {
                 self.counters.project_pattern.fetch_add(1, Ordering::Relaxed);
                 self.with_project(id, req, |p, _| project_pattern(p))
+            }
+            ["project", id, "diagnostics"] => {
+                self.counters
+                    .project_diagnostics
+                    .fetch_add(1, Ordering::Relaxed);
+                let default_seed = self.default_seed;
+                self.with_project(id, req, move |p, req| {
+                    project_diagnostics(p, req, default_seed)
+                })
             }
             ["experiments", id] => {
                 self.counters.experiments.fetch_add(1, Ordering::Relaxed);
@@ -285,6 +301,7 @@ fn index() -> Response {
                 "GET /corpus/{seed}/projects[?pattern=name]",
                 "GET /project/{id}/history[?seed=s]",
                 "GET /project/{id}/pattern[?seed=s]",
+                "GET /project/{id}/diagnostics[?seed=s]",
                 "GET /experiments/{id}",
                 "GET /chart/{id}.svg[?seed=s&w=px&h=px]",
             ],
@@ -338,9 +355,23 @@ fn project_pattern(p: &CorpusProject) -> Response {
                 "active_growth_months": (l.active_growth_months),
                 "has_single_vault": (l.has_single_vault),
             },
-            "metrics": (serde_json::to_value(&p.metrics).expect("metrics serialize")),
+            "metrics": (serde_json::to_value(&p.metrics).unwrap_or(Value::Null)),
         }),
     )
+}
+
+/// `GET /project/{id}/diagnostics` — the static analyzer's findings for
+/// this project, in the exact JSON shape `schemachron lint --format json`
+/// emits per project (the renderer is shared).
+fn project_diagnostics(p: &CorpusProject, req: &Request, default_seed: u64) -> Response {
+    // `with_project` has already rejected malformed `?seed=` with a 400,
+    // so a plain fallback re-resolves the same seed it used.
+    let seed = req
+        .query_param("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_seed);
+    let report = schemachron_lint::lint_project(&p.card, seed);
+    Response::json(200, &report.to_json())
 }
 
 #[cfg(test)]
@@ -406,10 +437,25 @@ mod tests {
         let svg = String::from_utf8(chart.body).unwrap();
         assert!(svg.starts_with("<svg") && svg.contains(r#"width="320""#), "{svg}");
 
-        // Seven requests so far, all counted.
+        let diags = state.handle(&get(&format!("/project/{name}/diagnostics")));
+        assert_eq!(diags.status, 200);
+        let diags_json = body_json(&diags);
+        // Same JSON shape as `schemachron lint --format json`: a sorted
+        // diagnostics array plus the severity summary. A calibrated card
+        // has no errors or warnings (narrowing notes are allowed).
+        assert!(diags_json["diagnostics"].as_array().is_some(), "{diags_json}");
+        assert_eq!(diags_json["summary"]["errors"].as_u64(), Some(0));
+        assert_eq!(diags_json["summary"]["warnings"].as_u64(), Some(0));
+        let direct = schemachron_lint::lint_project(
+            &state.context(42).corpus.projects()[0].card,
+            42,
+        );
+        assert_eq!(diags_json, direct.to_json());
+
+        // Eight requests so far, all counted.
         assert_eq!(
             body_json(&state.handle(&get("/health")))["requests"]["total"].as_u64(),
-            Some(7)
+            Some(8)
         );
     }
 

@@ -87,9 +87,11 @@ impl Server {
         })
     }
 
-    /// The actually-bound address (resolves port `0`).
+    /// The actually-bound address (resolves port `0`). Falls back to the
+    /// configured address in the (theoretical) case the OS cannot report
+    /// the bound one.
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener has addr")
+        self.listener.local_addr().unwrap_or(self.config.addr)
     }
 
     /// A handle that stops this server from another thread or a signal.
@@ -198,7 +200,18 @@ fn handle_connection(state: &AppState, mut stream: TcpStream, quiet: bool) {
 /// SIGINT/SIGTERM → [`ShutdownHandle`] wiring, dependency-free: the C
 /// `signal(2)` entry point ships with `std`'s own libc linkage. The handler
 /// body is a single atomic store, which is async-signal-safe.
+///
+/// This module is the one audited `unsafe` exception in the workspace
+/// (every other crate is `#![forbid(unsafe_code)]`; this crate denies it
+/// and re-allows it here only).
+// SAFETY: the only unsafe operations are the `signal(2)` FFI declaration
+// and its two call sites below. `signal` is a libc entry point with the
+// declared C ABI; the handler passed in is an `extern "C" fn` whose body
+// performs a single `AtomicBool` store via `ShutdownHandle` — an
+// async-signal-safe operation — and reads a `OnceLock` that is only ever
+// written before the handler is installed.
 #[cfg(unix)]
+#[allow(unsafe_code)]
 mod signal {
     use super::ShutdownHandle;
     use std::sync::OnceLock;

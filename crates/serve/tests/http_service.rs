@@ -2,6 +2,10 @@
 //! guards, all documented routes, cache sharing under concurrency, and
 //! graceful shutdown with in-flight requests.
 
+// Integration-test helpers sit outside `#[test]` fns, so clippy's
+// allow-in-tests escape hatch does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;

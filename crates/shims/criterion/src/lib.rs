@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! In-tree stand-in for `criterion`.
 //!
 //! A wall-clock micro-benchmark harness exposing the same surface the

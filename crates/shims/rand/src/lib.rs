@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! In-tree stand-in for the `rand` crate.
 //!
 //! The build environment is fully offline, so instead of the crates.io

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! In-tree stand-in for `serde`.
 //!
 //! The build environment is offline, so this workspace vendors a reduced

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Derive macros for the in-tree `serde` stand-in.
 //!
 //! The offline build vendors a minimal `serde`; this crate provides its

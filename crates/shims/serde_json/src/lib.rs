@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! In-tree stand-in for `serde_json`.
 //!
 //! Implements the subset this workspace uses, over the vendored `serde`

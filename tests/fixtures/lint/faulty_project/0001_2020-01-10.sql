@@ -1,0 +1,5 @@
+DROP TABLE users;
+CREATE TABLE orders (
+  id INT,
+  customer_id INT REFERENCES customers (id)
+);
