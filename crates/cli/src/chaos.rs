@@ -1,0 +1,418 @@
+//! `schemachron chaos` — the deterministic fault drill.
+//!
+//! Installs a seed-keyed [`schemachron_fault::FaultPlan`] and pushes the
+//! whole system through its paces: corpus ingestion (self-healing
+//! `par_map` + stage quarantine), crash-safe materialization (atomic
+//! writes + `MANIFEST` verification + epoch-bumped resume), a fault-free
+//! rebuild diffed against the recovered state and the experiment goldens,
+//! and finally the guarded serve path (deadlines + circuit breaker).
+//!
+//! Because every injection decision is a pure hash of
+//! `(fault seed, site, key, epoch, attempt)` — never of call counts or
+//! thread schedule — the whole report is **byte-identical at any `--jobs`
+//! level** for a fixed `(corpus seed, fault seed, rate, sites)` tuple.
+//! The report deliberately prints no wall-clock times, paths or worker
+//! counts.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::experiments as exp;
+use schemachron_corpus::io::write_corpus_dir;
+use schemachron_corpus::pipeline::clear_stage_cache;
+use schemachron_corpus::{load_project_dir, verify_project_dir, Corpus, LoadError};
+use schemachron_fault as fault;
+use schemachron_history::IngestMode;
+use schemachron_serve::http::{Request, Response};
+use schemachron_serve::{AppState, GuardConfig};
+
+use crate::{apply_jobs, opt_value, seed_of, CliError, CliResult, EXPERIMENT_IDS};
+
+/// How often a materialization attempt may be resumed before the drill
+/// declares non-convergence (mirrors the `par_map` retry bound).
+const WRITE_ATTEMPTS: u32 = 3;
+
+/// Entry point for `schemachron chaos`.
+pub fn run_chaos(args: &[String], out: &mut dyn Write) -> CliResult {
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
+    let fault_seed: u64 = parse_or(&argv, "--fault-seed", 7)?;
+    let slow_ms: u64 = parse_or(&argv, "--slow-ms", 150)?;
+    let rate: f64 = parse_or(&argv, "--rate", 0.05)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::new(format!(
+            "invalid --rate value `{rate}` (expected a probability in [0, 1])"
+        )));
+    }
+    let sites = site_args(&argv)?;
+    let plan = fault::FaultPlan::new(fault_seed, rate)
+        .with_sites(sites.iter().cloned())
+        .with_slow(Duration::from_millis(slow_ms));
+
+    let _ = writeln!(out, "schemachron chaos — deterministic fault drill");
+    let _ = writeln!(out, "  corpus seed: {seed}");
+    let _ = writeln!(out, "  fault seed:  {fault_seed}");
+    let _ = writeln!(out, "  rate:        {rate}");
+    let _ = writeln!(
+        out,
+        "  sites:       {}",
+        if sites.is_empty() {
+            "all".to_owned()
+        } else {
+            sites.join(", ")
+        }
+    );
+
+    silence_injected_panics();
+    let result = drill(seed, &plan, slow_ms, out);
+    // Never leak fault state into the rest of the process (tests, serve).
+    fault::clear();
+    fault::set_epoch(0);
+    result
+}
+
+/// Injected worker panics are caught and retried by design; the default
+/// panic hook would still spray a backtrace per injection onto stderr.
+/// Filter those (and only those) out; genuine panics keep the full hook.
+fn silence_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !fault::is_injected_payload(msg) {
+            prev(info);
+        }
+    }));
+}
+
+/// Parses an optional numeric flag with a default.
+fn parse_or<T: std::str::FromStr>(argv: &[&str], name: &str, default: T) -> Result<T, CliError> {
+    match opt_value(argv, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::new(format!("invalid {name} value `{v}`"))),
+    }
+}
+
+/// Collects every `--site` occurrence, validated against the registry.
+fn site_args(argv: &[&str]) -> Result<Vec<String>, CliError> {
+    let mut sites = Vec::new();
+    for (i, a) in argv.iter().enumerate() {
+        if *a != "--site" {
+            continue;
+        }
+        let Some(v) = argv.get(i + 1) else {
+            return Err(CliError::new("chaos: --site needs a value"));
+        };
+        if !fault::site::ALL.contains(v) {
+            return Err(CliError::new(format!(
+                "unknown --site `{v}` (valid: {})",
+                fault::site::ALL.join(", ")
+            )));
+        }
+        if !sites.contains(&(*v).to_owned()) {
+            sites.push((*v).to_owned());
+        }
+    }
+    Ok(sites)
+}
+
+/// The four drill phases. Returns `Err` only on **invariant violations**
+/// (corrupt state accepted, recovered state diverging from the fault-free
+/// reference, golden mismatches) — injected faults that surface as typed
+/// errors or shed requests are the expected, healthy outcome.
+fn drill(seed: u64, plan: &fault::FaultPlan, slow_ms: u64, out: &mut dyn Write) -> CliResult {
+    let mut violations: Vec<String> = Vec::new();
+
+    // [1/4] ingest under faults: par_map isolates poisoned workers, the
+    // stage cache quarantines failed stages, bounded retries re-roll.
+    let _ = writeln!(out, "\n[1/4] ingest under faults");
+    fault::reset_counters();
+    fault::set_epoch(0);
+    fault::install(plan.clone());
+    clear_stage_cache();
+    let cards = schemachron_corpus::cards::all_cards();
+    let total_projects = cards.len();
+    let jobs = schemachron_corpus::effective_jobs();
+    let corpus = match Corpus::try_from_cards(cards, seed, jobs) {
+        Ok(c) => {
+            let _ = writeln!(
+                out,
+                "  recovered: built {}/{total_projects} projects through injected faults",
+                c.projects().len()
+            );
+            c
+        }
+        Err(failures) => {
+            let first = failures
+                .0
+                .first()
+                .map_or_else(String::new, std::string::ToString::to_string);
+            let _ = writeln!(
+                out,
+                "  typed failure: {} item(s) failed after bounded retries (first: {first})",
+                failures.0.len()
+            );
+            let _ = writeln!(out, "  rebuilt fault-free for the remaining phases");
+            fault::clear();
+            clear_stage_cache();
+            let c = Corpus::generate(seed);
+            fault::install(plan.clone());
+            c
+        }
+    };
+
+    // [2/4] crash-safe materialization: atomic per-project staging, a
+    // checksum MANIFEST committed by rename, epoch-bumped resume.
+    let _ = writeln!(out, "\n[2/4] crash-safe materialization");
+    let stage_root = std::env::temp_dir().join(format!("schemachron-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&stage_root);
+    let mut wrote = false;
+    for attempt in 1..=WRITE_ATTEMPTS {
+        fault::set_epoch(attempt);
+        match write_corpus_dir(&corpus, &stage_root) {
+            Ok(()) => {
+                let _ = writeln!(out, "  attempt {attempt}: complete");
+                wrote = true;
+                break;
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  attempt {attempt}: {}", sanitize_io(&e));
+            }
+        }
+    }
+    if !wrote {
+        let _ = writeln!(
+            out,
+            "  did not converge in {WRITE_ATTEMPTS} attempts; incomplete directories must stay rejected"
+        );
+    }
+    let mut complete = 0usize;
+    for p in corpus.projects() {
+        let dir = stage_root.join(&p.card.name);
+        if !dir.exists() {
+            continue;
+        }
+        match verify_project_dir(&dir) {
+            Ok(()) => match load_project_dir(&dir, IngestMode::Migration) {
+                Ok(_) => complete += 1,
+                Err(e) => violations.push(format!(
+                    "{}: verified clean but failed to load: {e}",
+                    p.card.name
+                )),
+            },
+            // An interrupted write correctly rejected — the invariant holds.
+            Err(LoadError::Corrupt(_)) => {}
+            Err(LoadError::Io(e)) => {
+                violations.push(format!("{}: verify I/O error: {e}", p.card.name));
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  complete project directories: {complete}/{total_projects}"
+    );
+    if wrote && complete != total_projects {
+        violations.push(format!(
+            "write reported success but only {complete}/{total_projects} directories verify"
+        ));
+    }
+    let mut staged = 0usize;
+    if let Ok(entries) = std::fs::read_dir(&stage_root) {
+        for entry in entries.filter_map(Result::ok) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".partial") {
+                continue;
+            }
+            staged += 1;
+            if load_project_dir(&entry.path(), IngestMode::Migration).is_ok() {
+                violations.push(format!("staging directory `{name}` was accepted as a project"));
+            }
+        }
+    }
+    let _ = writeln!(out, "  interrupted staging directories: {staged} (all rejected)");
+    let _ = std::fs::remove_dir_all(&stage_root);
+
+    // [3/4] the recovered corpus must be indistinguishable from a
+    // fault-free build, and the goldens must hold byte-for-byte.
+    let _ = writeln!(out, "\n[3/4] fault-free rebuild and goldens");
+    fault::clear();
+    clear_stage_cache();
+    let reference = Corpus::generate(seed);
+    let mismatched: Vec<&str> = corpus
+        .projects()
+        .iter()
+        .zip(reference.projects())
+        .filter(|(a, b)| {
+            a.card.name != b.card.name
+                || a.assigned != b.assigned
+                || a.metrics != b.metrics
+                || a.labels != b.labels
+        })
+        .map(|(a, _)| a.card.name.as_str())
+        .collect();
+    if mismatched.is_empty() {
+        let _ = writeln!(
+            out,
+            "  recovered corpus ≡ fault-free corpus ({total_projects}/{total_projects} projects identical)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  recovered corpus DIVERGES on {} project(s)",
+            mismatched.len()
+        );
+        violations.push(format!(
+            "recovered corpus diverges from the fault-free build: {}",
+            mismatched.join(", ")
+        ));
+    }
+    let goldens = Path::new("goldens").join("experiments");
+    if goldens.is_dir() {
+        let ctx = ExpContext::new(seed);
+        let mut identical = 0usize;
+        for id in EXPERIMENT_IDS {
+            let Some((_text, json)) = exp::run_experiment(id, &ctx) else {
+                continue;
+            };
+            let rendered = format!(
+                "{}\n",
+                serde_json::to_string_pretty(&json).unwrap_or_default()
+            );
+            match std::fs::read(goldens.join(format!("{id}.json"))) {
+                Ok(bytes) if bytes == rendered.as_bytes() => identical += 1,
+                _ => violations.push(format!("experiment golden `{id}` is not byte-identical")),
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  experiment goldens: {identical}/{} byte-identical",
+            EXPERIMENT_IDS.len()
+        );
+    } else {
+        let _ = writeln!(out, "  experiment goldens: not present, skipped");
+    }
+
+    // [4/4] serve under faults: per-request deadline, per-route breaker,
+    // degraded cached answers. The cooldown is set far past the drill so
+    // breaker transitions never race wall time — the report stays
+    // deterministic.
+    let _ = writeln!(out, "\n[4/4] serve under faults");
+    fault::install(plan.clone());
+    fault::set_epoch(10);
+    let deadline = Duration::from_millis((slow_ms * 2 / 3).max(40));
+    let state = Arc::new(AppState::with_guard(
+        seed,
+        GuardConfig {
+            deadline,
+            breaker_cooldown: Duration::from_secs(3600),
+        },
+    ));
+    // Warm the corpus/context caches outside the guard so the drill's
+    // deadline measures injected stalls, not first-touch builds.
+    let _ = state.handle(&get_req(&format!("/corpus/{seed}/projects")));
+    let _ = state.handle(&get_req("/experiments/exp_table1"));
+    let mut targets: Vec<String> = (0..12)
+        .map(|i| format!("/corpus/{seed}/projects?probe={i}"))
+        .collect();
+    targets.push("/experiments/exp_table1".to_owned());
+    targets.push("/experiments/exp_table2".to_owned());
+    // Revisit early probes: if the breaker opened, these come back from
+    // the degraded cache instead of 503.
+    for i in 0..3 {
+        targets.push(format!("/corpus/{seed}/projects?probe={i}"));
+    }
+    for t in &targets {
+        let resp = state.handle_guarded(&get_req(t));
+        let _ = writeln!(out, "  GET {t} → {}{}", resp.status, outcome_marker(&resp));
+    }
+    let health = state.handle(&get_req("/health"));
+    let parsed: Result<serde_json::Value, _> =
+        serde_json::from_str(&String::from_utf8_lossy(&health.body));
+    if let Ok(v) = parsed {
+        if let Some(breakers) = v
+            .get("guard")
+            .and_then(|g| g.get("breakers"))
+            .and_then(serde_json::Value::as_object)
+        {
+            for (route, st) in breakers {
+                let _ = writeln!(out, "  breaker[{route}]: {}", st.as_str().unwrap_or("?"));
+            }
+        }
+    }
+
+    let _ = writeln!(out, "\nfault summary");
+    let counters = fault::counters();
+    for (site, n) in &counters {
+        let _ = writeln!(out, "  {site}: {n}");
+    }
+    let _ = writeln!(out, "  total injected: {}", fault::injected_total());
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "verdict: OK — every fault was contained, retried or shed; state stayed consistent"
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            let _ = writeln!(out, "violation: {v}");
+        }
+        Err(CliError::new(format!(
+            "chaos: {} invariant violation(s)",
+            violations.len()
+        )))
+    }
+}
+
+/// Keeps the report deterministic: injected I/O errors carry stable,
+/// path-free messages and print verbatim; anything else (a real disk
+/// problem) prints by kind only, since OS messages embed paths.
+fn sanitize_io(e: &std::io::Error) -> String {
+    let msg = e.to_string();
+    if msg.contains("schemachron-fault:") {
+        msg
+    } else {
+        format!("I/O error ({:?})", e.kind())
+    }
+}
+
+/// Classifies a guarded response for the report.
+fn outcome_marker(resp: &Response) -> &'static str {
+    let body = String::from_utf8_lossy(&resp.body);
+    if body.contains("\"degraded\": true") {
+        " (degraded cache)"
+    } else if resp.status == 504 {
+        " (deadline)"
+    } else if body.contains("circuit open") {
+        " (shed)"
+    } else {
+        ""
+    }
+}
+
+/// Builds a GET [`Request`] the way the HTTP parser would.
+fn get_req(target: &str) -> Request {
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    Request {
+        method: "GET".to_owned(),
+        target: target.to_owned(),
+        path: path.to_owned(),
+        query: query
+            .split('&')
+            .filter(|s| !s.is_empty())
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                (k.to_owned(), v.to_owned())
+            })
+            .collect(),
+    }
+}

@@ -18,11 +18,14 @@
 //! schemachron lint [--seed N] [--jobs N] [--format json] [--deny warnings] [--dir <dir>]
 //! schemachron experiments [<id> | all] [--seed N] [--jobs N]
 //! schemachron chart <dir> [--snapshot]
+//! schemachron chaos [--seed N] [--fault-seed N] [--rate R] [--site S]...
 //! schemachron help
 //! ```
 //!
 //! The library form ([`run`]) takes the argument vector and an output sink,
 //! which keeps the whole tool unit-testable.
+
+mod chaos;
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -75,6 +78,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<schemachron_corpus::LoadError> for CliError {
+    fn from(e: schemachron_corpus::LoadError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
 impl From<schemachron_corpus::SpecError> for CliError {
     fn from(e: schemachron_corpus::SpecError) -> Self {
         CliError::new(format!(
@@ -104,6 +113,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
         Some("experiments") => experiments(&args[1..], out),
         Some("serve") => serve(&args[1..], out),
         Some("chart") => chart(&args[1..], out),
+        Some("chaos") => chaos::run_chaos(&args[1..], out),
         Some(other) => Err(CliError::new(format!(
             "unknown command `{other}`\n{}",
             usage()
@@ -143,9 +153,19 @@ pub fn usage() -> &'static str {
      \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
      \x20     exp_coevolution, exp_forecast).\n\
      \x20 schemachron serve [--addr HOST:PORT] [--seed N] [--jobs N]\n\
+     \x20                   [--deadline-ms MS]\n\
      \x20     Serve corpora, patterns and experiments over HTTP/JSON (default\n\
-     \x20     address 127.0.0.1:8080; GET / lists the routes). Ctrl-C stops\n\
+     \x20     address 127.0.0.1:8080; GET / lists the routes). Every request\n\
+     \x20     runs behind a deadline and a per-route circuit breaker; /health\n\
+     \x20     reports breaker states. Honors SCHEMACHRON_FAULTS. Ctrl-C stops\n\
      \x20     gracefully.\n\
+     \x20 schemachron chaos [--seed N] [--fault-seed N] [--rate R] [--site S]...\n\
+     \x20                   [--slow-ms MS] [--jobs N]\n\
+     \x20     Deterministic fault drill: run ingest, materialization, goldens\n\
+     \x20     and the serve guard under seed-keyed injected faults (sites:\n\
+     \x20     io::write, pipeline::stage, par_map::worker, serve::request,\n\
+     \x20     serve::conn) and assert recovery. The report is byte-identical\n\
+     \x20     at any --jobs level; exits non-zero on invariant violations.\n\
      \x20 schemachron chart <dir> [--snapshot]\n\
      \x20     Draw the cumulative schema/source chart of a project directory.\n\
      \x20 schemachron diff <old.sql> <new.sql>\n\
@@ -214,7 +234,19 @@ fn positional<'a>(argv: &'a [&'a str]) -> Option<&'a str> {
 fn takes_value(opt: &str) -> bool {
     matches!(
         opt,
-        "--seed" | "--out" | "--svg" | "--jobs" | "--addr" | "--format" | "--deny" | "--dir"
+        "--seed"
+            | "--out"
+            | "--svg"
+            | "--jobs"
+            | "--addr"
+            | "--format"
+            | "--deny"
+            | "--dir"
+            | "--fault-seed"
+            | "--rate"
+            | "--site"
+            | "--slow-ms"
+            | "--deadline-ms"
     )
 }
 
@@ -238,12 +270,29 @@ fn serve(args: &[String], out: &mut dyn Write) -> CliResult {
     let seed = seed_of(&argv)?;
     apply_jobs(&argv)?;
     let addr = addr_of(&argv)?;
-    let config = schemachron_serve::ServerConfig {
+    let deadline = match opt_value(&argv, "--deadline-ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(std::time::Duration::from_millis(ms)),
+            _ => {
+                return Err(CliError::new(format!(
+                    "invalid --deadline-ms value `{v}` (expected a positive integer)"
+                )))
+            }
+        },
+    };
+    // Operators opt into fault injection via the environment (never a
+    // default): SCHEMACHRON_FAULTS="rate=0.05;seed=7;sites=serve::request".
+    let faults_active = schemachron_fault::install_from_env().map_err(CliError::new)?;
+    let mut config = schemachron_serve::ServerConfig {
         addr,
         jobs: schemachron_corpus::effective_jobs().max(2),
         seed,
         ..schemachron_serve::ServerConfig::default()
     };
+    if let Some(d) = deadline {
+        config.request_deadline = d;
+    }
     let jobs = config.jobs;
     let server = schemachron_serve::Server::bind(config).map_err(|e| bind_error(addr, &e))?;
     server.install_signal_handler();
@@ -252,6 +301,13 @@ fn serve(args: &[String], out: &mut dyn Write) -> CliResult {
         "serving on http://{} (seed {seed}, {jobs} workers); GET / lists routes; Ctrl-C stops",
         server.local_addr()
     );
+    if faults_active {
+        let _ = writeln!(
+            out,
+            "fault injection ACTIVE from {} — not for production traffic",
+            schemachron_fault::ENV_VAR
+        );
+    }
     out.flush()?;
     let served = server.run()?;
     let _ = writeln!(out, "shut down after {served} requests");

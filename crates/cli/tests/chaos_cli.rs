@@ -1,0 +1,92 @@
+//! `schemachron chaos` end-to-end through the library entry point: flag
+//! validation, the healthy-path verdict, and the headline determinism
+//! guarantee — the report is byte-identical at any `--jobs` level.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Chaos drives process-global state (fault plan, stage cache, worker
+/// count); serialize the tests in this binary.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn run_chaos(args: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    let mut buf = Vec::new();
+    let result = schemachron_cli::run(&argv, &mut buf);
+    let out = String::from_utf8(buf).expect("utf8 output");
+    schemachron_corpus::set_jobs(None);
+    match result {
+        Ok(()) => Ok(out),
+        Err(e) => Err(format!("{}\n{out}", e.message)),
+    }
+}
+
+#[test]
+fn chaos_flag_validation() {
+    let _g = exclusive();
+    for bad in [
+        &["chaos", "--rate", "1.5"][..],
+        &["chaos", "--rate", "abc"],
+        &["chaos", "--fault-seed", "xyz"],
+        &["chaos", "--site", "bogus::site"],
+        &["chaos", "--slow-ms", "-4"],
+    ] {
+        let err = run_chaos(bad).expect_err(&format!("{bad:?} must be rejected"));
+        assert!(err.contains("invalid") || err.contains("unknown"), "{err}");
+    }
+}
+
+#[test]
+fn chaos_rate_zero_is_a_clean_pass_with_no_injections() {
+    let _g = exclusive();
+    // A generous --slow-ms widens the serve deadline (derived from it), so
+    // a loaded test machine cannot produce a spurious timeout.
+    let out =
+        run_chaos(&["chaos", "--rate", "0.0", "--slow-ms", "600"]).expect("rate 0 drill must pass");
+    assert!(
+        out.contains("recovered: built 151/151 projects"),
+        "{out}"
+    );
+    assert!(out.contains("attempt 1: complete"), "{out}");
+    assert!(
+        out.contains("complete project directories: 151/151"),
+        "{out}"
+    );
+    assert!(
+        out.contains("recovered corpus ≡ fault-free corpus (151/151 projects identical)"),
+        "{out}"
+    );
+    assert!(out.contains("total injected: 0"), "{out}");
+    assert!(out.contains("verdict: OK"), "{out}");
+    // No request may time out or shed when nothing is injected.
+    assert!(!out.contains("504") && !out.contains("503"), "{out}");
+}
+
+#[test]
+fn chaos_report_is_byte_identical_across_jobs() {
+    let _g = exclusive();
+    // --slow-ms 300 keeps injected stalls decisively past the derived
+    // deadline while giving healthy requests ample headroom.
+    let args = ["--fault-seed", "3", "--rate", "0.3", "--slow-ms", "300"];
+    let jobs1 = run_chaos(&[&["chaos", "--jobs", "1"][..], &args].concat())
+        .expect("jobs 1 drill must pass");
+    let jobs8 = run_chaos(&[&["chaos", "--jobs", "8"][..], &args].concat())
+        .expect("jobs 8 drill must pass");
+    assert_eq!(jobs1, jobs8, "the chaos report must not depend on --jobs");
+    assert!(jobs1.contains("verdict: OK"), "{jobs1}");
+    // The drill actually injected at this rate — the determinism is not
+    // vacuous.
+    assert!(!jobs1.contains("total injected: 0"), "{jobs1}");
+}
+
+#[test]
+fn usage_documents_chaos_and_deadline() {
+    let _g = exclusive();
+    let usage = schemachron_cli::usage();
+    assert!(usage.contains("chaos"), "{usage}");
+    assert!(usage.contains("--fault-seed"), "{usage}");
+    assert!(usage.contains("--deadline-ms"), "{usage}");
+}

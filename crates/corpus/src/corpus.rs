@@ -9,7 +9,7 @@ use schemachron_core::Pattern;
 use schemachron_history::ProjectHistory;
 
 use crate::cards::all_cards;
-use crate::parallel::{effective_jobs, par_map};
+use crate::parallel::{effective_jobs, par_map_isolated, WorkerFailures};
 use crate::pipeline;
 use crate::spec::Card;
 
@@ -106,10 +106,34 @@ impl Corpus {
     /// cached are assembled from cached artifacts; everything else fans out
     /// over `jobs` workers (see [`crate::parallel`]). The result is
     /// identical for any worker count and any cache state.
+    /// # Panics
+    /// Panics if any project's ingestion panics; [`Corpus::try_from_cards`]
+    /// surfaces that as a typed error instead.
     pub fn from_cards(cards: Vec<Card>, seed: u64, jobs: usize) -> Corpus {
+        match Self::try_from_cards(cards, seed, jobs) {
+            Ok(c) => c,
+            Err(failures) => panic!("corpus build: {failures}"),
+        }
+    }
+
+    /// [`Corpus::from_cards`] with worker failures surfaced as a typed
+    /// error: a panicking project (a bug, or an injected fault that
+    /// exhausted its retries) costs only its own slot — every other
+    /// project still ingests, and the aggregated [`WorkerFailures`] names
+    /// exactly which cards were lost.
+    ///
+    /// # Errors
+    /// Returns [`WorkerFailures`] when any project's ingestion panicked
+    /// past retry.
+    pub fn try_from_cards(
+        cards: Vec<Card>,
+        seed: u64,
+        jobs: usize,
+    ) -> Result<Corpus, WorkerFailures> {
         BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
-        let projects = par_map(cards, jobs, |card| pipeline::build_project(&card, seed));
-        Corpus { seed, projects }
+        let projects = par_map_isolated(cards, jobs, |card| pipeline::build_project(&card, seed))
+            .into_result()?;
+        Ok(Corpus { seed, projects })
     }
 
     /// How many corpora this process has built so far (any entry point) —

@@ -1,39 +1,322 @@
 //! On-disk forms of the corpus: per-project SQL history directories and a
 //! metrics CSV — the shapes a real schema-history miner would work with.
+//!
+//! # Crash safety
+//!
+//! A project directory is materialized **atomically**: every file is first
+//! written into a `<name>.partial` staging directory (each file itself via
+//! temp-file + rename), a `MANIFEST` of FNV-1a checksums is written and
+//! fsynced last, and only then is the staging directory renamed into place.
+//! A crash — or an injected fault — at any point leaves either the previous
+//! complete directory, a `.partial` directory that [`load_project_dir`]
+//! refuses, or nothing; never a half-written directory that loads as
+//! complete. Re-running [`write_corpus_dir`] is idempotent: projects whose
+//! `MANIFEST` already verifies are skipped, everything else (including
+//! stale `.partial` leftovers) is rebuilt from scratch.
+//!
+//! [`load_project_dir`] verifies the `MANIFEST` when one is present and
+//! reports disagreement as a typed [`CorruptCorpus`] error so callers can
+//! distinguish "resume by rewriting this project" from a plain I/O failure.
+//! Hand-assembled directories without a `MANIFEST` still load (the lint
+//! rule `F001` flags checksum disagreement in directories that have one).
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use schemachron_fault as fault;
+use schemachron_hash::fnv1a_once;
 use schemachron_history::{Date, IngestMode, ProjectHistory, ProjectHistoryBuilder};
 
 use crate::corpus::Corpus;
-use crate::materialize::materialize;
+use crate::materialize::{materialize, MaterializedProject};
+
+/// File name of the per-project checksum manifest.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// First line of a v1 manifest.
+const MANIFEST_HEADER: &str = "# schemachron corpus manifest v1";
+
+/// Suffix of the staging directory a project is assembled in before the
+/// atomic rename into place. [`load_project_dir`] rejects directories with
+/// this suffix: their contents are by definition incomplete.
+pub const PARTIAL_SUFFIX: &str = ".partial";
+
+/// A corpus directory that exists but cannot be trusted: its `MANIFEST`
+/// disagrees with the on-disk files, is unparsable, or the directory is a
+/// leftover `.partial` staging area.
+#[derive(Debug)]
+pub struct CorruptCorpus {
+    /// The offending project directory.
+    pub dir: PathBuf,
+    /// What exactly disagreed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CorruptCorpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt corpus directory {}: {}",
+            self.dir.display(),
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for CorruptCorpus {}
+
+/// Typed failure of [`load_project_dir`]: either a plain I/O error or a
+/// directory whose contents fail integrity verification. Only the latter
+/// means "rewrite this project to recover".
+#[derive(Debug)]
+pub enum LoadError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The directory exists but fails integrity verification.
+    Corrupt(CorruptCorpus),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => e.fmt(f),
+            LoadError::Corrupt(c) => c.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Corrupt(c) => Some(c),
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn corrupt(dir: &Path, detail: impl Into<String>) -> LoadError {
+    LoadError::Corrupt(CorruptCorpus {
+        dir: dir.to_path_buf(),
+        detail: detail.into(),
+    })
+}
+
+/// The exact file set of one materialized project, in manifest order:
+/// `(file name, bytes)` for every dated script plus `source.csv`.
+fn project_files(mat: &MaterializedProject) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = mat
+        .ddl_commits
+        .iter()
+        .enumerate()
+        .map(|(i, (date, sql))| (format!("{:04}_{date}.sql", i + 1), sql.clone().into_bytes()))
+        .collect();
+    let mut src = String::from("date,lines_changed\n");
+    for (date, lines) in &mat.source_commits {
+        src.push_str(&format!("{date},{lines:.0}\n"));
+    }
+    files.push(("source.csv".to_owned(), src.into_bytes()));
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+/// Renders the manifest body for a file set: a header line followed by
+/// `"{checksum:016x}  {name}"` per file, sorted by name.
+fn render_manifest(files: &[(String, Vec<u8>)]) -> String {
+    let mut out = String::from(MANIFEST_HEADER);
+    out.push('\n');
+    for (name, bytes) in files {
+        out.push_str(&format!("{:016x}  {name}\n", fnv1a_once(bytes)));
+    }
+    out
+}
+
+/// Parses the `MANIFEST` of `dir` if one exists: `Ok(None)` when absent,
+/// `Ok(Some(name → checksum))` when readable, [`LoadError::Corrupt`] when
+/// present but unparsable.
+///
+/// # Errors
+/// I/O failure reading the file, or corrupt-manifest contents.
+pub fn read_manifest(dir: &Path) -> Result<Option<BTreeMap<String, u64>>, LoadError> {
+    let path = dir.join(MANIFEST_NAME);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(LoadError::Io(e)),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(corrupt(dir, "MANIFEST has an unrecognized header"));
+    }
+    let mut entries = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (hash, name) = line
+            .split_once("  ")
+            .ok_or_else(|| corrupt(dir, format!("unparsable MANIFEST line: {line:?}")))?;
+        let hash = u64::from_str_radix(hash, 16)
+            .map_err(|_| corrupt(dir, format!("bad checksum in MANIFEST line: {line:?}")))?;
+        if name.is_empty() || name.contains('/') || name.contains('\\') {
+            return Err(corrupt(dir, format!("bad file name in MANIFEST: {name:?}")));
+        }
+        entries.insert(name.to_owned(), hash);
+    }
+    Ok(Some(entries))
+}
+
+/// Verifies the integrity of one project directory against its `MANIFEST`:
+/// every listed file must exist with a matching checksum, and no unlisted
+/// `.sql` or `source.csv` file may be present.
+///
+/// # Errors
+/// [`LoadError::Corrupt`] on any disagreement (including a missing
+/// `MANIFEST`); [`LoadError::Io`] on filesystem failure.
+pub fn verify_project_dir(dir: &Path) -> Result<(), LoadError> {
+    let Some(entries) = read_manifest(dir)? else {
+        return Err(corrupt(dir, "missing MANIFEST"));
+    };
+    verify_against(dir, &entries)
+}
+
+/// The body of [`verify_project_dir`] for an already-parsed manifest.
+fn verify_against(dir: &Path, entries: &BTreeMap<String, u64>) -> Result<(), LoadError> {
+    for (name, want) in entries {
+        let bytes = fs::read(dir.join(name)).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                corrupt(dir, format!("MANIFEST lists {name} but it is missing"))
+            } else {
+                LoadError::Io(e)
+            }
+        })?;
+        let got = fnv1a_once(&bytes);
+        if got != *want {
+            return Err(corrupt(
+                dir,
+                format!("checksum mismatch for {name}: MANIFEST says {want:016x}, file is {got:016x}"),
+            ));
+        }
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let fname = entry.file_name().to_string_lossy().into_owned();
+        let tracked = fname.ends_with(".sql") || fname == "source.csv";
+        if tracked && !entries.contains_key(&fname) {
+            return Err(corrupt(dir, format!("{fname} is on disk but not in MANIFEST")));
+        }
+    }
+    Ok(())
+}
+
+/// Best-effort directory fsync (a no-op on platforms where directories
+/// cannot be opened for sync).
+fn fsync_dir(dir: &Path) {
+    if let Ok(f) = fs::File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+/// Writes one file durably inside `dir`: bytes go to a hidden temp file
+/// first and are renamed over `name`, so a crash mid-write never leaves a
+/// half-written file under its final name. Fault-injection site
+/// `io::write`, keyed `"{project}/{name}"`.
+fn write_atomic(dir: &Path, project: &str, name: &str, bytes: &[u8], durable: bool) -> io::Result<()> {
+    let key = format!("{project}/{name}");
+    match fault::roll(
+        fault::site::IO_WRITE,
+        &key,
+        &[fault::FaultKind::IoError, fault::FaultKind::PartialWrite],
+    ) {
+        Some(fault::FaultKind::PartialWrite) => {
+            // Simulate the crash mid-write: half the bytes reach the temp
+            // file, the rename never happens.
+            let tmp = dir.join(format!(".{name}.tmp"));
+            fs::write(&tmp, &bytes[..bytes.len() / 2])?;
+            return Err(fault::injected_io_error(fault::site::IO_WRITE, &key));
+        }
+        Some(_) => return Err(fault::injected_io_error(fault::site::IO_WRITE, &key)),
+        None => {}
+    }
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        if durable {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, dir.join(name))?;
+    Ok(())
+}
+
+/// Materializes one project into `out/<name>` atomically: files are staged
+/// in `out/<name>.partial` (`MANIFEST` written and fsynced last) and the
+/// staging directory is renamed into place in one step. Idempotent: if the
+/// final directory already verifies against the expected manifest, nothing
+/// is rewritten; a stale `.partial` from an earlier crash is discarded and
+/// rebuilt.
+pub fn write_project_dir(out: &Path, name: &str, mat: &MaterializedProject) -> io::Result<()> {
+    let files = project_files(mat);
+    let manifest = render_manifest(&files);
+    let final_dir = out.join(name);
+
+    // Idempotence fast path: an existing directory whose MANIFEST equals
+    // what we are about to write, and whose files verify, needs no work.
+    if fs::read_to_string(final_dir.join(MANIFEST_NAME)).is_ok_and(|existing| existing == manifest)
+        && verify_project_dir(&final_dir).is_ok()
+    {
+        return Ok(());
+    }
+
+    let staging = out.join(format!("{name}{PARTIAL_SUFFIX}"));
+    if staging.exists() {
+        fs::remove_dir_all(&staging)?;
+    }
+    fs::create_dir_all(&staging)?;
+    for (fname, bytes) in &files {
+        write_atomic(&staging, name, fname, bytes, false)?;
+    }
+    // The manifest is the commit record: durable before the directory
+    // itself is published.
+    write_atomic(&staging, name, MANIFEST_NAME, manifest.as_bytes(), true)?;
+    fsync_dir(&staging);
+
+    if final_dir.exists() {
+        fs::remove_dir_all(&final_dir)?;
+    }
+    fs::rename(&staging, &final_dir)?;
+    fsync_dir(out);
+    Ok(())
+}
 
 /// Writes every project of the corpus as a directory of dated `.sql`
-/// migration scripts plus a `source.csv` of source-code activity:
+/// migration scripts, a `source.csv` of source-code activity, and a
+/// `MANIFEST` of checksums:
 ///
 /// ```text
 /// out/
 ///   flatliner-000/
 ///     0001_2013-04-10.sql
 ///     source.csv            # date,lines_changed
+///     MANIFEST              # fnv1a checksums, written last
 ///   ...
 /// ```
+///
+/// Each project directory appears atomically (see [`write_project_dir`]);
+/// re-running after a crash resumes where the previous run stopped.
 pub fn write_corpus_dir(corpus: &Corpus, out: &Path) -> io::Result<()> {
+    fs::create_dir_all(out)?;
     for p in corpus.projects() {
         let mat = materialize(&p.card, corpus.seed());
-        let dir = out.join(&p.card.name);
-        fs::create_dir_all(&dir)?;
-        for (i, (date, sql)) in mat.ddl_commits.iter().enumerate() {
-            let file = dir.join(format!("{:04}_{date}.sql", i + 1));
-            fs::write(file, sql)?;
-        }
-        let mut src = fs::File::create(dir.join("source.csv"))?;
-        writeln!(src, "date,lines_changed")?;
-        for (date, lines) in &mat.source_commits {
-            writeln!(src, "{date},{lines:.0}")?;
-        }
+        write_project_dir(out, &p.card.name, &mat)?;
     }
     Ok(())
 }
@@ -41,12 +324,28 @@ pub fn write_corpus_dir(corpus: &Corpus, out: &Path) -> io::Result<()> {
 /// Loads one project directory written by [`write_corpus_dir`] (or
 /// hand-assembled in the same shape) back into a [`ProjectHistory`].
 ///
+/// When the directory carries a `MANIFEST`, its checksums are verified
+/// first and any disagreement is a typed [`LoadError::Corrupt`] — the
+/// signal to re-materialize that project. Directories without one (the
+/// pre-manifest layout, or hand-built fixtures) load unverified.
+/// `.partial` staging directories are always rejected as corrupt.
+///
 /// `mode` selects migration vs snapshot interpretation of the `.sql` files.
-pub fn load_project_dir(dir: &Path, mode: IngestMode) -> io::Result<ProjectHistory> {
+///
+/// # Errors
+/// [`LoadError::Corrupt`] on integrity failure, [`LoadError::Io`] on
+/// filesystem failure or undated `.sql` file names.
+pub fn load_project_dir(dir: &Path, mode: IngestMode) -> Result<ProjectHistory, LoadError> {
     let name = dir
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "project".to_owned());
+    if name.ends_with(PARTIAL_SUFFIX) {
+        return Err(corrupt(dir, "unfinished .partial staging directory"));
+    }
+    if let Some(entries) = read_manifest(dir)? {
+        verify_against(dir, &entries)?;
+    }
     let mut b = ProjectHistoryBuilder::new(name);
 
     let mut sql_files: Vec<_> = fs::read_dir(dir)?
@@ -176,6 +475,99 @@ mod tests {
     }
 
     #[test]
+    fn written_project_has_verifying_manifest_and_loads_identically() {
+        let corpus = Corpus::generate(42);
+        let out = tmp_dir("manifest");
+        let p = &corpus.projects()[0];
+        let mat = materialize(&p.card, corpus.seed());
+        write_project_dir(&out, &p.card.name, &mat).unwrap();
+        let dir = out.join(&p.card.name);
+        assert!(dir.join(MANIFEST_NAME).exists());
+        verify_project_dir(&dir).unwrap();
+        let loaded = load_project_dir(&dir, IngestMode::Migration).unwrap();
+        assert_eq!(loaded.month_count(), p.history.month_count());
+        assert_eq!(loaded.schema_total(), p.history.schema_total());
+        // No staging residue after a successful write.
+        assert!(!out.join(format!("{}{PARTIAL_SUFFIX}", p.card.name)).exists());
+        let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn rewrite_is_idempotent() {
+        let corpus = Corpus::generate(42);
+        let out = tmp_dir("idem");
+        let p = &corpus.projects()[0];
+        let mat = materialize(&p.card, corpus.seed());
+        write_project_dir(&out, &p.card.name, &mat).unwrap();
+        let manifest_path = out.join(&p.card.name).join(MANIFEST_NAME);
+        let before = fs::read(&manifest_path).unwrap();
+        write_project_dir(&out, &p.card.name, &mat).unwrap();
+        assert_eq!(fs::read(&manifest_path).unwrap(), before);
+        let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn tampered_file_is_detected_and_rewrite_repairs() {
+        let corpus = Corpus::generate(42);
+        let out = tmp_dir("tamper");
+        let p = &corpus.projects()[0];
+        let mat = materialize(&p.card, corpus.seed());
+        write_project_dir(&out, &p.card.name, &mat).unwrap();
+        let dir = out.join(&p.card.name);
+        fs::write(dir.join("source.csv"), "date,lines_changed\n").unwrap();
+        let err = load_project_dir(&dir, IngestMode::Migration).unwrap_err();
+        assert!(
+            matches!(err, LoadError::Corrupt(_)),
+            "want Corrupt, got {err}"
+        );
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Resume: rewriting the project repairs it.
+        write_project_dir(&out, &p.card.name, &mat).unwrap();
+        load_project_dir(&dir, IngestMode::Migration).unwrap();
+        let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn partial_staging_dir_is_rejected() {
+        let out = tmp_dir("partial");
+        let staging = out.join(format!("proj{PARTIAL_SUFFIX}"));
+        fs::create_dir_all(&staging).unwrap();
+        fs::write(staging.join("0001_2020-01-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        let err = load_project_dir(&staging, IngestMode::Migration).unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt(_)), "{err}");
+        let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn unlisted_and_missing_files_are_corrupt() {
+        let corpus = Corpus::generate(42);
+        let out = tmp_dir("drift");
+        let p = &corpus.projects()[0];
+        let mat = materialize(&p.card, corpus.seed());
+        write_project_dir(&out, &p.card.name, &mat).unwrap();
+        let dir = out.join(&p.card.name);
+        // An extra on-disk script the MANIFEST doesn't know about.
+        fs::write(dir.join("9999_2030-01-01.sql"), "CREATE TABLE x (a INT);").unwrap();
+        let err = verify_project_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("not in MANIFEST"), "{err}");
+        fs::remove_file(dir.join("9999_2030-01-01.sql")).unwrap();
+        // A listed file gone missing.
+        fs::remove_file(dir.join("source.csv")).unwrap();
+        let err = verify_project_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+        let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn manifestless_legacy_dir_still_loads() {
+        let out = tmp_dir("legacy");
+        fs::write(out.join("0001_2020-01-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        let p = load_project_dir(&out, IngestMode::Migration).unwrap();
+        assert_eq!(p.schema_total(), 1.0);
+        let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
     fn date_extraction_variants() {
         assert_eq!(
             date_from_filename(Path::new("0001_2013-04-10.sql")),
@@ -287,5 +679,16 @@ mod fault_tolerance_tests {
             IngestMode::Migration
         )
         .is_err());
+    }
+
+    #[test]
+    fn unparsable_manifest_is_corrupt() {
+        let dir = tmp("badmanifest");
+        fs::write(dir.join("0001_2020-01-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        fs::write(dir.join(MANIFEST_NAME), "totally not a manifest\n").unwrap();
+        let err = load_project_dir(&dir, IngestMode::Migration).unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("header"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -104,6 +104,10 @@ pub struct StageStats {
     pub hits: u64,
     /// Artifacts recomputed (cache misses).
     pub misses: u64,
+    /// Recomputations that panicked before producing an artifact: their
+    /// key was never published, so the next consumer sees a plain
+    /// (retryable) miss instead of a poisoned entry.
+    pub quarantined: u64,
     /// Total wall time spent recomputing, in nanoseconds.
     pub busy_ns: u128,
 }
@@ -112,6 +116,7 @@ pub struct StageStats {
 struct StatCell {
     hits: u64,
     misses: u64,
+    quarantined: u64,
     busy: Duration,
 }
 
@@ -241,6 +246,14 @@ impl PipelineCache {
         true
     }
 
+    /// Records a quarantined recomputation: the stage panicked mid-run, so
+    /// no artifact was published under its key. The cache itself needs no
+    /// cleanup (insertion only happens after a successful run); the counter
+    /// exists so chaos runs and `/health` can see how often it happened.
+    pub(crate) fn record_quarantine(&self, stage: &'static str) {
+        lock(&self.stats).entry(stage).or_default().quarantined += 1;
+    }
+
     /// Zeroes all per-stage counters.
     pub(crate) fn reset_stats(&self) {
         lock(&self.stats).clear();
@@ -258,6 +271,7 @@ impl PipelineCache {
                     stage,
                     hits: cell.map_or(0, |c| c.hits),
                     misses: cell.map_or(0, |c| c.misses),
+                    quarantined: cell.map_or(0, |c| c.quarantined),
                     busy_ns: cell.map_or(0, |c| c.busy.as_nanos()),
                 }
             })

@@ -7,8 +7,11 @@
 //! experiment goldens pin this down.
 
 use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+
+use schemachron_fault as fault;
 
 use schemachron_core::metrics::TimeMetrics;
 use schemachron_core::quantize::Labels;
@@ -340,9 +343,34 @@ struct Chain<'a> {
     labels: Option<Arc<LabelTuple>>,
 }
 
+/// Runs one stage computation under the `pipeline::stage` fault-injection
+/// point with quarantine-on-panic: a run that panics (a stage bug, or an
+/// injected fault) records a quarantine for the stage and re-raises
+/// **without publishing anything** under the stage's key — the next
+/// consumer of that key sees a plain retryable miss, never a poisoned or
+/// half-built artifact.
+fn run_quarantined<Out>(
+    stage_name: &'static str,
+    key: StageKey,
+    run: impl FnOnce() -> Out,
+) -> Out {
+    match catch_unwind(AssertUnwindSafe(|| {
+        fault::stage_point(&format!("{stage_name}:{key:016x}"));
+        run()
+    })) {
+        Ok(out) => out,
+        Err(payload) => {
+            cache().record_quarantine(stage_name);
+            resume_unwind(payload);
+        }
+    }
+}
+
 /// One memoized, cache-consulting stage step: returns the memo if present,
 /// else the cached artifact (recording a hit), else computes `$input` and
-/// runs the stage (recording a miss and the compute wall time).
+/// runs the stage (recording a miss and the compute wall time). The run is
+/// quarantined: a panicking stage publishes nothing (see
+/// [`run_quarantined`]).
 macro_rules! step {
     ($self:ident, $field:ident, $stage:ident, $out:ty, $idx:expr, $input:expr) => {{
         if let Some(v) = &$self.$field {
@@ -356,7 +384,7 @@ macro_rules! step {
         }
         let input = $input;
         let started = Instant::now();
-        let out = Arc::new($stage.run(&input));
+        let out = Arc::new(run_quarantined($stage::NAME, key, || $stage.run(&input)));
         let busy = started.elapsed();
         cache().insert(
             $stage::NAME,
@@ -435,7 +463,9 @@ impl<'a> Chain<'a> {
         }
         let input = self.labels();
         let started = Instant::now();
-        let out = Arc::new(ClassifyStage.run(&input));
+        let out = Arc::new(run_quarantined(ClassifyStage::NAME, key, || {
+            ClassifyStage.run(&input)
+        }));
         let busy = started.elapsed();
         cache().insert(
             ClassifyStage::NAME,

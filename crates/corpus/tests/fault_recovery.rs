@@ -1,0 +1,215 @@
+//! Fault-injection recovery: the corpus layer under an installed
+//! `schemachron-fault` plan must heal transient faults deterministically,
+//! quarantine poisoned stages, and never let an interrupted write produce
+//! a directory that loads as a complete project.
+//!
+//! Fault state is process-global, so every test here holds [`GUARD`].
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use schemachron_corpus::io::write_corpus_dir;
+use schemachron_corpus::pipeline::{clear_stage_cache, stage_stats};
+use schemachron_corpus::{
+    load_project_dir, par_map_isolated, verify_project_dir, Card, Corpus, LoadError,
+};
+use schemachron_fault as fault;
+use schemachron_history::IngestMode;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Uninstalls the plan and resets epoch/caches, also on panic unwind.
+struct Cleanup;
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        fault::clear();
+        fault::set_epoch(0);
+        clear_stage_cache();
+    }
+}
+
+fn small_cards(n: usize) -> Vec<Card> {
+    let mut cards = schemachron_corpus::cards::all_cards();
+    cards.truncate(n);
+    cards
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "schemachron-fault-recovery-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn transient_worker_faults_heal_identically_at_any_jobs() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    fault::set_epoch(0);
+    fault::install(
+        fault::FaultPlan::new(13, 0.2).with_sites([fault::site::PAR_MAP_WORKER.to_owned()]),
+    );
+    let items: Vec<u64> = (0..2048).collect();
+    // 2048 items ≥ jobs*128, so jobs=8 genuinely runs the threaded pool.
+    let runs: Vec<(Vec<Option<u64>>, Vec<String>)> = [1, 8, 1, 8]
+        .iter()
+        .map(|&jobs| {
+            let outcome = par_map_isolated(items.clone(), jobs, |i| i * 3 + 1);
+            let failures: Vec<String> = outcome.failures.iter().map(ToString::to_string).collect();
+            (outcome.results, failures)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "jobs 1 vs 8 must agree");
+    assert_eq!(runs[0], runs[2], "reruns must agree");
+    assert_eq!(runs[1], runs[3], "reruns must agree");
+    // Rate 0.2 with 3 attempts: most items heal, the healed values are real.
+    let healed = runs[0].0.iter().flatten().count();
+    assert!(healed > 1900, "rate 0.2 should mostly heal, got {healed}/2048");
+    for (i, v) in runs[0].0.iter().enumerate() {
+        if let Some(v) = v {
+            assert_eq!(*v, i as u64 * 3 + 1);
+        }
+    }
+}
+
+#[test]
+fn rate_zero_plan_changes_nothing() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    fault::set_epoch(0);
+    fault::install(fault::FaultPlan::new(5, 0.0));
+    clear_stage_cache();
+    let with_plan = Corpus::try_from_cards(small_cards(6), 42, 2).expect("rate 0 cannot fail");
+    fault::clear();
+    clear_stage_cache();
+    let without = Corpus::try_from_cards(small_cards(6), 42, 2).expect("fault-free build");
+    for (a, b) in with_plan.projects().iter().zip(without.projects()) {
+        assert_eq!(a.card.name, b.card.name);
+        assert_eq!(a.assigned, b.assigned);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.labels, b.labels);
+    }
+}
+
+#[test]
+fn stage_faults_yield_typed_errors_then_clean_rebuild_matches() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    fault::set_epoch(0);
+    fault::install(
+        fault::FaultPlan::new(3, 1.0)
+            .with_sites([fault::site::PIPELINE_STAGE.to_owned()])
+            .with_kinds([fault::FaultKind::WorkerPanic]),
+    );
+    clear_stage_cache();
+    let failures = Corpus::try_from_cards(small_cards(4), 42, 1)
+        .expect_err("rate 1.0 stage panics must fail every item");
+    assert_eq!(failures.0.len(), 4, "{failures}");
+    for f in &failures.0 {
+        assert!(
+            f.message.contains("schemachron-fault: injected"),
+            "typed failure must carry the injected payload: {f}"
+        );
+    }
+    // The failed stages never published into the cache...
+    let quarantined: u64 = stage_stats().iter().map(|s| s.quarantined).sum();
+    assert!(quarantined > 0, "quarantine counter must have fired");
+    // ...so a fault-free rebuild on the same (possibly warm) cache is clean.
+    fault::clear();
+    let rebuilt = Corpus::try_from_cards(small_cards(4), 42, 1).expect("clean rebuild");
+    clear_stage_cache();
+    let reference = Corpus::try_from_cards(small_cards(4), 42, 1).expect("cold reference");
+    for (a, b) in rebuilt.projects().iter().zip(reference.projects()) {
+        assert_eq!(a.metrics, b.metrics, "{}", a.card.name);
+        assert_eq!(a.labels, b.labels, "{}", a.card.name);
+    }
+}
+
+#[test]
+fn interrupted_writes_never_leave_an_acceptable_directory() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    clear_stage_cache();
+    let corpus = Corpus::try_from_cards(small_cards(3), 42, 1).expect("fault-free build");
+    let out = tmp("partial");
+
+    // Every write faults: partial tmp files, then the error surfaces.
+    fault::set_epoch(0);
+    fault::install(
+        fault::FaultPlan::new(21, 1.0)
+            .with_sites([fault::site::IO_WRITE.to_owned()])
+            .with_slow(Duration::from_millis(1)),
+    );
+    let err = write_corpus_dir(&corpus, &out).expect_err("rate 1.0 writes must fail");
+    assert!(
+        err.to_string().contains("schemachron-fault:"),
+        "the failure must be the injected one: {err}"
+    );
+    // Whatever landed on disk is either a complete, verifying project or
+    // gets rejected with the typed corruption error — nothing in between.
+    for p in corpus.projects() {
+        let final_dir = out.join(&p.card.name);
+        if final_dir.exists() {
+            verify_project_dir(&final_dir).expect("a committed dir must verify");
+            load_project_dir(&final_dir, IngestMode::Migration).expect("and load");
+        }
+        let staging = out.join(format!("{}.partial", p.card.name));
+        if staging.exists() {
+            match load_project_dir(&staging, IngestMode::Migration) {
+                Err(LoadError::Corrupt(_)) => {}
+                other => panic!("staging dir must be rejected as corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    // Resume: bump the epoch, lift the faults, and the same call converges.
+    fault::clear();
+    fault::set_epoch(1);
+    write_corpus_dir(&corpus, &out).expect("fault-free resume");
+    for p in corpus.projects() {
+        let dir = out.join(&p.card.name);
+        verify_project_dir(&dir).expect("resumed dir verifies");
+        let loaded = load_project_dir(&dir, IngestMode::Migration).expect("resumed dir loads");
+        assert_eq!(loaded.name(), p.card.name);
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn tampering_after_a_clean_write_is_caught_and_repaired() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    clear_stage_cache();
+    let corpus = Corpus::try_from_cards(small_cards(2), 42, 1).expect("fault-free build");
+    let out = tmp("tamper");
+    write_corpus_dir(&corpus, &out).expect("clean write");
+
+    let victim = out.join(&corpus.projects()[0].card.name);
+    let script = std::fs::read_dir(&victim)
+        .expect("read project dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "sql"))
+        .expect("a .sql script");
+    std::fs::write(&script, "-- bitrot --\n").expect("tamper");
+
+    match load_project_dir(&victim, IngestMode::Migration) {
+        Err(LoadError::Corrupt(c)) => {
+            assert!(c.detail.contains("checksum mismatch"), "{}", c.detail)
+        }
+        other => panic!("tampered dir must be CorruptCorpus, got {other:?}"),
+    }
+
+    // Re-running the writer repairs in place (idempotent fast path misses,
+    // the stale dir is replaced atomically).
+    write_corpus_dir(&corpus, &out).expect("repair write");
+    verify_project_dir(&victim).expect("repaired dir verifies");
+    load_project_dir(&victim, IngestMode::Migration).expect("repaired dir loads");
+    let _ = std::fs::remove_dir_all(&out);
+}

@@ -52,7 +52,7 @@ impl fmt::Display for Span {
 /// an optional script span and the human-readable message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// The stable rule code (`L0xx`/`S0xx`/`H0xx`, see [`RULES`]).
+    /// The stable rule code (`L0xx`/`S0xx`/`H0xx`/`F0xx`, see [`RULES`]).
     pub code: &'static str,
     /// Severity (fixed per rule).
     pub severity: Severity,
@@ -106,7 +106,8 @@ impl fmt::Display for Diagnostic {
 /// documentation the registry test demands.
 #[derive(Clone, Copy, Debug)]
 pub struct Rule {
-    /// The stable code. `L` = DDL flow, `S` = spec, `H` = cache hash.
+    /// The stable code. `L` = DDL flow, `S` = spec, `H` = cache hash,
+    /// `F` = on-disk corpus integrity (fsck).
     pub code: &'static str,
     /// The fixed severity every finding of this rule carries.
     pub severity: Severity,
@@ -116,7 +117,7 @@ pub struct Rule {
 
 /// The complete rule registry. Codes are append-only: a published code is
 /// never renumbered or reused.
-pub const RULES: [Rule; 19] = [
+pub const RULES: [Rule; 20] = [
     Rule {
         code: "L001",
         severity: Severity::Error,
@@ -211,6 +212,11 @@ pub const RULES: [Rule; 19] = [
         code: "H003",
         severity: Severity::Error,
         summary: "pipeline chain keys disagree with the independent FNV-1a re-derivation",
+    },
+    Rule {
+        code: "F001",
+        severity: Severity::Error,
+        summary: "project directory MANIFEST disagrees with the on-disk scripts (missing, unlisted or checksum-mismatched file)",
     },
 ];
 
@@ -385,8 +391,8 @@ mod tests {
             );
             let class = r.code.as_bytes()[0];
             assert!(
-                matches!(class, b'L' | b'S' | b'H'),
-                "{}: codes are L/S/H-classed",
+                matches!(class, b'L' | b'S' | b'H' | b'F'),
+                "{}: codes are L/S/H/F-classed",
                 r.code
             );
             assert_eq!(r.code.len(), 4, "{}: codes are letter + 3 digits", r.code);

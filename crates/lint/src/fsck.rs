@@ -1,0 +1,148 @@
+//! On-disk corpus integrity pass (`F001`): checks a checked-out project
+//! directory's `MANIFEST` against the files actually on disk.
+//!
+//! `corpus io` writes every project atomically with a checksum manifest
+//! (see `schemachron_corpus::io`); this pass re-verifies that record
+//! without loading the project — the lint-time complement to the
+//! load-time verification, for auditing corpora at rest. Directories
+//! without a `MANIFEST` (hand-assembled fixtures, pre-manifest checkouts)
+//! produce no findings: there is no record to disagree with.
+
+use std::path::Path;
+
+use schemachron_corpus::io::{read_manifest, verify_project_dir, LoadError};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Checks `dir`'s `MANIFEST` (if any) against the on-disk files, pushing
+/// an `F001` finding per disagreement: unparsable manifest, listed file
+/// missing or checksum-mismatched, or a tracked file on disk the manifest
+/// does not list.
+///
+/// # Errors
+/// Returns the underlying I/O error when the directory cannot be read;
+/// integrity disagreements are findings, not errors.
+pub fn lint_manifest_dir(dir: &Path, report: &mut Report) -> std::io::Result<()> {
+    let project = dir
+        .file_name()
+        .map_or_else(|| "(project)".to_owned(), |n| n.to_string_lossy().into_owned());
+    match read_manifest(dir) {
+        Ok(None) => return Ok(()),
+        Ok(Some(_)) => {}
+        Err(LoadError::Io(e)) => return Err(e),
+        Err(LoadError::Corrupt(c)) => {
+            report.push(Diagnostic::new("F001", project, c.detail));
+            return Ok(());
+        }
+    }
+    match verify_project_dir(dir) {
+        Ok(()) => Ok(()),
+        Err(LoadError::Io(e)) => Err(e),
+        Err(LoadError::Corrupt(c)) => {
+            report.push(Diagnostic::new("F001", project, c.detail));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_hash::fnv1a_once;
+    use std::fs;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("schemachron-fsck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn manifest_for(files: &[(&str, &str)]) -> String {
+        let mut out = String::from("# schemachron corpus manifest v1\n");
+        for (name, body) in files {
+            out.push_str(&format!("{:016x}  {name}\n", fnv1a_once(body.as_bytes())));
+        }
+        out
+    }
+
+    #[test]
+    fn consistent_dir_is_clean_and_manifestless_dir_is_silent() {
+        let dir = tmp("clean");
+        let sql = "CREATE TABLE t (a INT);";
+        fs::write(dir.join("0001_2020-01-10.sql"), sql).unwrap();
+        let mut report = Report::new();
+        lint_manifest_dir(&dir, &mut report).unwrap();
+        assert!(report.diagnostics().is_empty(), "no MANIFEST, no findings");
+        fs::write(
+            dir.join("MANIFEST"),
+            manifest_for(&[("0001_2020-01-10.sql", sql)]),
+        )
+        .unwrap();
+        lint_manifest_dir(&dir, &mut report).unwrap();
+        assert!(report.diagnostics().is_empty(), "{}", report.render_human());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_f001() {
+        let dir = tmp("mismatch");
+        fs::write(dir.join("0001_2020-01-10.sql"), "CREATE TABLE t (a INT);").unwrap();
+        fs::write(
+            dir.join("MANIFEST"),
+            manifest_for(&[("0001_2020-01-10.sql", "something else entirely")]),
+        )
+        .unwrap();
+        let mut report = Report::new();
+        lint_manifest_dir(&dir, &mut report).unwrap();
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["F001"]);
+        assert!(
+            report.diagnostics()[0].message.contains("checksum mismatch"),
+            "{}",
+            report.diagnostics()[0].message
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unlisted_and_missing_files_are_f001() {
+        let dir = tmp("drift");
+        let sql = "CREATE TABLE t (a INT);";
+        fs::write(dir.join("0001_2020-01-10.sql"), sql).unwrap();
+        // MANIFEST lists a second script that is not on disk.
+        fs::write(
+            dir.join("MANIFEST"),
+            manifest_for(&[("0001_2020-01-10.sql", sql), ("0002_2020-02-10.sql", "x")]),
+        )
+        .unwrap();
+        let mut report = Report::new();
+        lint_manifest_dir(&dir, &mut report).unwrap();
+        assert_eq!(report.diagnostics().len(), 1);
+        assert!(report.diagnostics()[0].message.contains("missing"));
+
+        // Now the mirror image: a tracked on-disk file the MANIFEST omits.
+        fs::write(
+            dir.join("MANIFEST"),
+            manifest_for(&[("0001_2020-01-10.sql", sql)]),
+        )
+        .unwrap();
+        fs::write(dir.join("source.csv"), "date,lines_changed\n").unwrap();
+        let mut report = Report::new();
+        lint_manifest_dir(&dir, &mut report).unwrap();
+        assert_eq!(report.diagnostics().len(), 1);
+        assert!(report.diagnostics()[0].message.contains("not in MANIFEST"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unparsable_manifest_is_f001() {
+        let dir = tmp("garbled");
+        fs::write(dir.join("MANIFEST"), "not a manifest at all\n").unwrap();
+        let mut report = Report::new();
+        lint_manifest_dir(&dir, &mut report).unwrap();
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["F001"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -27,6 +27,7 @@
 pub mod cache;
 pub mod diag;
 pub mod flow;
+pub mod fsck;
 pub mod spec;
 
 use schemachron_corpus::io::date_from_filename;
@@ -115,7 +116,9 @@ pub fn lint_cards(cards: &[Card], opts: &LintOptions) -> Report {
 }
 
 /// Lints a directory of `.sql` migration scripts (one project checked out
-/// on disk, in the same layout `corpus io` writes) with the flow analyzer.
+/// on disk, in the same layout `corpus io` writes) with the flow analyzer,
+/// plus the `MANIFEST` integrity pass ([`fsck`], `F001`) when the
+/// directory carries one.
 ///
 /// Scripts are ordered by the date embedded in their file name, then by
 /// name — the same chronology the ingestion pipeline would use. Files
@@ -124,6 +127,7 @@ pub fn lint_cards(cards: &[Card], opts: &LintOptions) -> Report {
 /// # Errors
 /// Returns the underlying I/O error when the directory cannot be read.
 pub fn lint_dir(dir: &std::path::Path, report: &mut Report) -> std::io::Result<()> {
+    fsck::lint_manifest_dir(dir, report)?;
     let project = dir
         .file_name()
         .map_or_else(|| "(project)".to_owned(), |n| n.to_string_lossy().into_owned());

@@ -1,0 +1,209 @@
+//! A per-route circuit breaker: a sliding window of recent request
+//! outcomes that sheds load while a route keeps failing.
+//!
+//! States follow the classic three-phase machine:
+//!
+//! - **closed** — requests proceed; outcomes feed the window. When at
+//!   least [`MIN_SAMPLES`] outcomes are in the window and half or more
+//!   failed, the breaker opens.
+//! - **open** — every request is shed (the caller answers from its
+//!   degraded cache or with `503`) until the cooldown elapses.
+//! - **half-open** — exactly one probe request proceeds; its outcome
+//!   decides between closing (success) and re-opening (failure). Further
+//!   requests are shed while the probe is in flight.
+//!
+//! The breaker has no clock of its own: callers pass `Instant::now()` and
+//! the cooldown in, which keeps the state machine deterministic under test.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Sliding-window size: only the most recent outcomes vote.
+pub const WINDOW: usize = 16;
+
+/// Minimum outcomes in the window before the failure rate can open the
+/// breaker — a single failing first request must not blackhole a route.
+pub const MIN_SAMPLES: usize = 8;
+
+/// The admission decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Run the request and report its outcome via [`Breaker::record`].
+    Proceed,
+    /// Do not run the request; answer degraded.
+    Shed,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Closed,
+    Open { opened: Instant },
+    /// One probe is in flight; its [`Breaker::record`] resolves the state.
+    HalfOpen,
+}
+
+/// One route's breaker: the current state plus the outcome window
+/// (`true` = success) consulted while closed.
+#[derive(Debug)]
+pub struct Breaker {
+    state: State,
+    window: VecDeque<bool>,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker {
+            state: State::Closed,
+            window: VecDeque::with_capacity(WINDOW),
+        }
+    }
+}
+
+impl Breaker {
+    /// Admission check for one request at time `now`. An open breaker past
+    /// its cooldown transitions to half-open and admits the caller as the
+    /// probe.
+    pub fn check(&mut self, now: Instant, cooldown: Duration) -> Gate {
+        match self.state {
+            State::Closed => Gate::Proceed,
+            State::Open { opened } => {
+                if now.duration_since(opened) >= cooldown {
+                    self.state = State::HalfOpen;
+                    Gate::Proceed
+                } else {
+                    Gate::Shed
+                }
+            }
+            State::HalfOpen => Gate::Shed,
+        }
+    }
+
+    /// Reports the outcome of an admitted request. In half-open state this
+    /// is the probe verdict: success closes the breaker, failure re-opens
+    /// it for another cooldown.
+    pub fn record(&mut self, ok: bool, now: Instant) {
+        match self.state {
+            State::HalfOpen => {
+                if ok {
+                    self.state = State::Closed;
+                    self.window.clear();
+                } else {
+                    self.state = State::Open { opened: now };
+                }
+            }
+            // A straggler finishing after the breaker already opened (e.g.
+            // a request admitted just before the opening one) has no vote.
+            State::Open { .. } => {}
+            State::Closed => {
+                self.window.push_back(ok);
+                while self.window.len() > WINDOW {
+                    self.window.pop_front();
+                }
+                let failures = self.window.iter().filter(|&&s| !s).count();
+                if self.window.len() >= MIN_SAMPLES && failures * 2 >= self.window.len() {
+                    self.state = State::Open { opened: now };
+                    self.window.clear();
+                }
+            }
+        }
+    }
+
+    /// The state as reported on `/health`. An open breaker past its
+    /// cooldown reports `half-open` (the next request will probe) without
+    /// mutating anything.
+    pub fn state_name(&self, now: Instant, cooldown: Duration) -> &'static str {
+        match self.state {
+            State::Closed => "closed",
+            State::Open { opened } => {
+                if now.duration_since(opened) >= cooldown {
+                    "half-open"
+                } else {
+                    "open"
+                }
+            }
+            State::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLDOWN: Duration = Duration::from_millis(100);
+
+    fn failed_open_breaker(now: Instant) -> Breaker {
+        let mut b = Breaker::default();
+        for _ in 0..MIN_SAMPLES {
+            assert_eq!(b.check(now, COOLDOWN), Gate::Proceed);
+            b.record(false, now);
+        }
+        b
+    }
+
+    #[test]
+    fn stays_closed_on_successes_and_sparse_failures() {
+        let now = Instant::now();
+        let mut b = Breaker::default();
+        for i in 0..50 {
+            assert_eq!(b.check(now, COOLDOWN), Gate::Proceed, "request {i}");
+            // One failure in four: well under the 50% threshold.
+            b.record(i % 4 != 0, now);
+        }
+        assert_eq!(b.state_name(now, COOLDOWN), "closed");
+    }
+
+    #[test]
+    fn opens_at_half_failures_but_not_before_min_samples() {
+        let now = Instant::now();
+        let mut b = Breaker::default();
+        for _ in 0..MIN_SAMPLES - 1 {
+            b.record(false, now);
+        }
+        assert_eq!(
+            b.state_name(now, COOLDOWN),
+            "closed",
+            "below the sample floor"
+        );
+        b.record(false, now);
+        assert_eq!(b.state_name(now, COOLDOWN), "open");
+        assert_eq!(b.check(now, COOLDOWN), Gate::Shed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let start = Instant::now();
+        let mut b = failed_open_breaker(start);
+        let later = start + COOLDOWN;
+        assert_eq!(b.state_name(later, COOLDOWN), "half-open");
+        assert_eq!(b.check(later, COOLDOWN), Gate::Proceed, "the probe");
+        assert_eq!(b.check(later, COOLDOWN), Gate::Shed, "probe in flight");
+        b.record(true, later);
+        assert_eq!(b.state_name(later, COOLDOWN), "closed");
+        assert_eq!(b.check(later, COOLDOWN), Gate::Proceed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let start = Instant::now();
+        let mut b = failed_open_breaker(start);
+        let later = start + COOLDOWN;
+        assert_eq!(b.check(later, COOLDOWN), Gate::Proceed);
+        b.record(false, later);
+        assert_eq!(b.state_name(later, COOLDOWN), "open");
+        assert_eq!(b.check(later, COOLDOWN), Gate::Shed);
+        // And the cycle repeats after another cooldown.
+        let again = later + COOLDOWN;
+        assert_eq!(b.check(again, COOLDOWN), Gate::Proceed);
+        b.record(true, again);
+        assert_eq!(b.state_name(again, COOLDOWN), "closed");
+    }
+
+    #[test]
+    fn stragglers_do_not_vote_while_open() {
+        let now = Instant::now();
+        let mut b = failed_open_breaker(now);
+        b.record(true, now);
+        assert_eq!(b.state_name(now, COOLDOWN), "open");
+    }
+}

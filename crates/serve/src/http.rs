@@ -255,6 +255,7 @@ impl Response {
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }

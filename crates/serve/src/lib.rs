@@ -31,11 +31,21 @@
 //! a [`ShutdownHandle`] (wired to SIGINT/SIGTERM by the CLI) stops the
 //! accept loop, poison pills drain the workers, and in-flight requests
 //! complete before the process exits.
+//!
+//! ## Resilience
+//!
+//! Every non-`/health` request runs behind a guard
+//! ([`AppState::handle_guarded`]): a per-request wall-clock deadline
+//! (`504` past it) and a per-route circuit [`breaker`] that sheds load
+//! to a degraded cached answer (or `503`) while a route keeps failing,
+//! then probes half-open after a cooldown. `/health` reports breaker
+//! states and `schemachron-fault` injection counters.
 
+pub mod breaker;
 pub mod http;
 pub mod pool;
 pub mod router;
 pub mod server;
 
-pub use router::AppState;
+pub use router::{route_key, AppState, GuardConfig};
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,18 +1,28 @@
-//! Route dispatch over the shared corpus cache and experiment registry.
+//! Route dispatch over the shared corpus cache and experiment registry,
+//! plus the request guard: per-request deadlines and per-route circuit
+//! breakers that shed to a degraded cached answer while a route misbehaves.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use schemachron_bench::context::ExpContext;
 use schemachron_bench::experiments::{run_experiment, EXPERIMENT_IDS};
 use schemachron_chart::svg::SvgChart;
 use schemachron_core::{classify, classify_nearest, Pattern};
 use schemachron_corpus::CorpusProject;
+use schemachron_fault as fault;
 use serde_json::{json, Value};
 
+use crate::breaker::{Breaker, Gate};
 use crate::http::{Request, Response};
+
+/// Locks a state mutex, ignoring poisoning: every critical section below
+/// moves plain data, so a panic mid-section cannot corrupt the map.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-route hit counters, exported on `/health`. Everything is relaxed
 /// atomics — the counters are observability, not accounting.
@@ -27,6 +37,8 @@ pub struct Counters {
     experiments: AtomicU64,
     chart: AtomicU64,
     other: AtomicU64,
+    shed: AtomicU64,
+    deadline_timeouts: AtomicU64,
 }
 
 impl Counters {
@@ -42,7 +54,48 @@ impl Counters {
             "experiments": (get(&self.experiments)),
             "chart": (get(&self.chart)),
             "other": (get(&self.other)),
+            "shed": (get(&self.shed)),
+            "deadline_timeouts": (get(&self.deadline_timeouts)),
         })
+    }
+}
+
+/// Request-guard parameters: the per-request wall-clock deadline and the
+/// breaker cooldown. Both are plumbed from `ServerConfig` (and from the
+/// chaos harness, which uses much shorter values).
+#[derive(Clone, Copy, Debug)]
+pub struct GuardConfig {
+    /// Wall-clock budget per guarded request; exceeding it answers `504`
+    /// while the handler finishes (and is discarded) in the background.
+    pub deadline: Duration,
+    /// How long an open breaker sheds before admitting a half-open probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            deadline: Duration::from_secs(10),
+            breaker_cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The stable route class of a request path — the unit at which breakers
+/// trip and degraded answers are cached. Mirrors the dispatch in
+/// [`AppState::handle`].
+pub fn route_key(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        [] => "index",
+        ["health"] => "health",
+        ["corpus", _, "projects"] => "corpus_projects",
+        ["project", _, "history"] => "project_history",
+        ["project", _, "pattern"] => "project_pattern",
+        ["project", _, "diagnostics"] => "project_diagnostics",
+        ["experiments", _] => "experiments",
+        ["chart", _] => "chart",
+        _ => "other",
     }
 }
 
@@ -54,18 +107,37 @@ pub struct AppState {
     started: Instant,
     counters: Counters,
     contexts: Mutex<HashMap<u64, Arc<ExpContext>>>,
+    guard: GuardConfig,
+    breakers: Mutex<BTreeMap<&'static str, Breaker>>,
+    /// Last good JSON answer per route: `(request target, body bytes)`.
+    /// While a route's breaker is open, an exact-target repeat is answered
+    /// from here (marked degraded) instead of with a bare `503`.
+    degraded: Mutex<BTreeMap<&'static str, (String, Vec<u8>)>>,
 }
 
 impl AppState {
     /// Builds the state. `default_seed` is used by `/project`, `/chart` and
     /// `/experiments` routes when the request carries no `?seed=`.
     pub fn new(default_seed: u64) -> AppState {
+        Self::with_guard(default_seed, GuardConfig::default())
+    }
+
+    /// [`AppState::new`] with explicit request-guard parameters.
+    pub fn with_guard(default_seed: u64, guard: GuardConfig) -> AppState {
         AppState {
             default_seed,
             started: Instant::now(),
             counters: Counters::default(),
             contexts: Mutex::new(HashMap::new()),
+            guard,
+            breakers: Mutex::new(BTreeMap::new()),
+            degraded: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The guard parameters this state was built with.
+    pub fn guard_config(&self) -> GuardConfig {
+        self.guard
     }
 
     /// The memoized context for a seed; the underlying corpus comes from
@@ -148,6 +220,102 @@ impl AppState {
         }
     }
 
+    /// [`AppState::handle`] behind the request guard: a per-route circuit
+    /// breaker decides admission, an admitted request runs on its own
+    /// thread under the configured wall-clock deadline, and its outcome
+    /// (status `< 500`) feeds the breaker back.
+    ///
+    /// - breaker **shed** → a degraded `200` from the per-route cache when
+    ///   the exact target was answered before, else `503`;
+    /// - deadline exceeded → `504` (the handler finishes detached and its
+    ///   response is discarded);
+    /// - handler panic → `500`.
+    ///
+    /// `/health` is exempt from the guard entirely — it must stay
+    /// answerable while everything else is on fire, and the chaos fault
+    /// plans never reach it.
+    pub fn handle_guarded(self: &Arc<Self>, req: &Request) -> Response {
+        let route = route_key(&req.path);
+        if route == "health" {
+            return self.handle(req);
+        }
+        let now = Instant::now();
+        let gate = lock(&self.breakers)
+            .entry(route)
+            .or_default()
+            .check(now, self.guard.breaker_cooldown);
+        if gate == Gate::Shed {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return self.shed_response(route, req);
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let state = Arc::clone(self);
+        let request = req.clone();
+        std::thread::spawn(move || {
+            fault::slow_point(fault::site::SERVE_REQUEST, &request.target);
+            // The receiver may have given up at the deadline; a dead
+            // channel just discards the late response.
+            let _ = tx.send(state.handle(&request));
+        });
+        let resp = match rx.recv_timeout(self.guard.deadline) {
+            Ok(resp) => resp,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.counters.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    504,
+                    &json!({
+                        "error": "request deadline exceeded",
+                        "route": route,
+                        "deadline_ms": (self.guard.deadline.as_millis() as u64),
+                    }),
+                )
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Response::json(
+                500,
+                &json!({"error": "handler panicked", "route": route}),
+            ),
+        };
+        let ok = resp.status < 500;
+        lock(&self.breakers)
+            .entry(route)
+            .or_default()
+            .record(ok, Instant::now());
+        if ok && resp.status == 200 && resp.content_type == "application/json" {
+            lock(&self.degraded).insert(route, (req.target.clone(), resp.body.clone()));
+        }
+        resp
+    }
+
+    /// The answer for a shed request: the cached last-good body for the
+    /// exact same target, wrapped and marked `degraded`, else a `503`.
+    fn shed_response(&self, route: &'static str, req: &Request) -> Response {
+        let cached = lock(&self.degraded)
+            .get(route)
+            .filter(|(target, _)| *target == req.target)
+            .and_then(|(_, body)| std::str::from_utf8(body).ok().map(str::to_owned))
+            .and_then(|body| serde_json::from_str(&body).ok());
+        match cached {
+            Some(value) => Response::json(
+                200,
+                &json!({
+                    "degraded": true,
+                    "route": route,
+                    "reason": "circuit open, serving cached answer",
+                    "cached": value,
+                }),
+            ),
+            None => Response::json(
+                503,
+                &json!({
+                    "error": "circuit open",
+                    "route": route,
+                    "retry_after_ms": (self.guard.breaker_cooldown.as_millis() as u64),
+                }),
+            ),
+        }
+    }
+
     fn health(&self) -> Response {
         // Per-stage hit/miss/wall-time counters of the corpus ingestion
         // pipeline, in pipeline order — the live view of the same numbers
@@ -159,10 +327,17 @@ impl AppState {
                     "stage": (s.stage),
                     "hits": (s.hits),
                     "misses": (s.misses),
+                    "quarantined": (s.quarantined),
                     "busy_ms": (s.busy_ns as f64 / 1e6),
                 })
             })
             .collect();
+        let now = Instant::now();
+        let breakers: BTreeMap<&'static str, &'static str> = lock(&self.breakers)
+            .iter()
+            .map(|(route, b)| (*route, b.state_name(now, self.guard.breaker_cooldown)))
+            .collect();
+        let injected: BTreeMap<String, u64> = fault::counters();
         Response::json(
             200,
             &json!({
@@ -174,6 +349,16 @@ impl AppState {
                 "stage_cache_entries": (schemachron_corpus::pipeline::stage_cache_len()),
                 "stages": stages,
                 "requests": (self.counters.snapshot()),
+                "guard": {
+                    "deadline_ms": (self.guard.deadline.as_millis() as u64),
+                    "breaker_cooldown_ms": (self.guard.breaker_cooldown.as_millis() as u64),
+                    "breakers": (serde_json::to_value(&breakers).unwrap_or(Value::Null)),
+                },
+                "faults": {
+                    "active": (fault::is_active()),
+                    "injected_total": (fault::injected_total()),
+                    "injected": (serde_json::to_value(&injected).unwrap_or(Value::Null)),
+                },
             }),
         )
     }

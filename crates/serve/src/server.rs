@@ -28,16 +28,25 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Suppress the per-request log lines (used by tests and benches).
     pub quiet: bool,
+    /// Wall-clock budget per request; past it the worker answers `504`
+    /// while the handler finishes detached.
+    pub request_deadline: Duration,
+    /// How long an opened per-route circuit breaker sheds load before
+    /// admitting a half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let guard = crate::router::GuardConfig::default();
         ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 8080)),
             jobs: schemachron_corpus::effective_jobs().max(2),
             queue_depth: 128,
             seed: schemachron_bench::DEFAULT_SEED,
             quiet: false,
+            request_deadline: guard.deadline,
+            breaker_cooldown: guard.breaker_cooldown,
         }
     }
 }
@@ -77,9 +86,13 @@ impl Server {
     /// real request never pays the build.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(config.addr)?;
+        let guard = crate::router::GuardConfig {
+            deadline: config.request_deadline,
+            breaker_cooldown: config.breaker_cooldown,
+        };
         Ok(Server {
             listener,
-            state: Arc::new(AppState::new(config.seed)),
+            state: Arc::new(AppState::with_guard(config.seed, guard)),
             config,
             shutdown: ShutdownHandle {
                 flag: Arc::new(AtomicBool::new(false)),
@@ -168,16 +181,28 @@ impl Server {
     }
 }
 
-/// One connection: parse (bounded, timed), route, respond, log, close.
-fn handle_connection(state: &AppState, mut stream: TcpStream, quiet: bool) {
+/// One connection: parse (bounded, timed), route through the request
+/// guard, respond, log, close.
+fn handle_connection(state: &Arc<AppState>, mut stream: TcpStream, quiet: bool) {
     let started = Instant::now();
     let (resp, method, target) = match http::read_request(&mut stream) {
         Ok(req) => {
-            let resp = state.handle(&req);
+            let resp = state.handle_guarded(&req);
             (resp, req.method, req.target)
         }
         Err(e) => (e.response(), "-".to_owned(), "-".to_owned()),
     };
+    // Injected connection drop: the response is computed but never makes
+    // it onto the wire — the client sees the connection die.
+    if schemachron_fault::conn_drop_point(&target) {
+        if !quiet {
+            eprintln!(
+                "{}",
+                serde_json::json!({"evt": "conn-drop", "target": (target.as_str())})
+            );
+        }
+        return;
+    }
     let ok = resp.write_to(&mut stream).is_ok();
     http::finish(&mut stream);
     if !quiet {

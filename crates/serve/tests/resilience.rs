@@ -1,0 +1,160 @@
+//! Serve-path resilience: request deadlines, circuit breaking, degraded
+//! cached answers and recovery, driven through [`AppState::handle_guarded`]
+//! with an installed fault plan. Fault state is process-global, so every
+//! test holds [`GUARD`].
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use schemachron_fault as fault;
+use schemachron_serve::http::Request;
+use schemachron_serve::{AppState, GuardConfig};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Cleanup;
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        fault::clear();
+        fault::set_epoch(0);
+    }
+}
+
+fn get(target: &str) -> Request {
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    Request {
+        method: "GET".to_owned(),
+        target: target.to_owned(),
+        path: path.to_owned(),
+        query: query
+            .split('&')
+            .filter(|s| !s.is_empty())
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                (k.to_owned(), v.to_owned())
+            })
+            .collect(),
+    }
+}
+
+fn state(deadline_ms: u64, cooldown_ms: u64) -> Arc<AppState> {
+    let state = Arc::new(AppState::with_guard(
+        42,
+        GuardConfig {
+            deadline: Duration::from_millis(deadline_ms),
+            breaker_cooldown: Duration::from_millis(cooldown_ms),
+        },
+    ));
+    // Warm the corpus/context caches outside the guard so deadlines below
+    // measure injected stalls, not the first-touch corpus build.
+    let warm = state.handle(&get("/corpus/42/projects"));
+    assert_eq!(warm.status, 200);
+    state
+}
+
+fn body_of(resp: &schemachron_serve::http::Response) -> String {
+    String::from_utf8_lossy(&resp.body).into_owned()
+}
+
+#[test]
+fn stalled_handler_times_out_with_504() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    let state = state(75, 60_000);
+    fault::install(
+        fault::FaultPlan::new(1, 1.0)
+            .with_sites([fault::site::SERVE_REQUEST.to_owned()])
+            .with_kinds([fault::FaultKind::Slow])
+            .with_slow(Duration::from_millis(400)),
+    );
+    let resp = state.handle_guarded(&get("/corpus/42/projects?probe=timeout"));
+    assert_eq!(resp.status, 504, "{}", body_of(&resp));
+    let body = body_of(&resp);
+    assert!(body.contains("request deadline exceeded"), "{body}");
+    assert!(body.contains("\"deadline_ms\": 75"), "{body}");
+}
+
+#[test]
+fn health_stays_reachable_under_full_fault_rate() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    let state = state(75, 60_000);
+    fault::install(
+        fault::FaultPlan::new(1, 1.0)
+            .with_sites([fault::site::SERVE_REQUEST.to_owned()])
+            .with_kinds([fault::FaultKind::Slow])
+            .with_slow(Duration::from_millis(400)),
+    );
+    // /health is exempt from the guard: probes and CI smokes must always
+    // land, even while every guarded route is stalling.
+    let resp = state.handle_guarded(&get("/health"));
+    assert_eq!(resp.status, 200);
+    let body = body_of(&resp);
+    assert!(body.contains("\"faults\""), "{body}");
+    assert!(body.contains("\"active\": true"), "{body}");
+}
+
+#[test]
+fn breaker_opens_serves_degraded_and_recovers_via_half_open() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    let state = state(60, 300);
+
+    // A clean 200 first, so the degraded cache has this exact target.
+    let cached_target = "/corpus/42/projects?probe=cached";
+    let ok = state.handle_guarded(&get(cached_target));
+    assert_eq!(ok.status, 200);
+
+    // Now stall every request until the route's breaker opens
+    // (window ≥ 8 samples, ≥ half failures).
+    fault::install(
+        fault::FaultPlan::new(1, 1.0)
+            .with_sites([fault::site::SERVE_REQUEST.to_owned()])
+            .with_kinds([fault::FaultKind::Slow])
+            .with_slow(Duration::from_millis(400)),
+    );
+    let mut opened = false;
+    for i in 0..12 {
+        let resp = state.handle_guarded(&get(&format!("/corpus/42/projects?probe=fail{i}")));
+        if resp.status == 503 || body_of(&resp).contains("\"degraded\": true") {
+            opened = true;
+            break;
+        }
+        assert_eq!(resp.status, 504, "{}", body_of(&resp));
+    }
+    assert!(opened, "12 consecutive timeouts must open the breaker");
+
+    // Shed requests for a previously-served target come from the degraded
+    // cache: 200, flagged, carrying the cached payload.
+    let degraded = state.handle_guarded(&get(cached_target));
+    assert_eq!(degraded.status, 200, "{}", body_of(&degraded));
+    let body = body_of(&degraded);
+    assert!(body.contains("\"degraded\": true"), "{body}");
+    assert!(body.contains("\"cached\""), "{body}");
+
+    // A never-served target has nothing cached: shed as 503 + retry hint.
+    let shed = state.handle_guarded(&get("/corpus/42/projects?probe=fresh"));
+    assert_eq!(shed.status, 503, "{}", body_of(&shed));
+    assert!(body_of(&shed).contains("circuit open"), "{}", body_of(&shed));
+
+    // Lift the faults and wait out the cooldown: the next request is the
+    // half-open probe; its success closes the breaker for good.
+    fault::clear();
+    std::thread::sleep(Duration::from_millis(400));
+    let probe = state.handle_guarded(&get("/corpus/42/projects?probe=recovered"));
+    assert_eq!(probe.status, 200, "{}", body_of(&probe));
+    let after = state.handle_guarded(&get("/corpus/42/projects?probe=steady"));
+    assert_eq!(after.status, 200, "{}", body_of(&after));
+
+    // /health agrees the route is closed again.
+    let health = state.handle_guarded(&get("/health"));
+    let body = body_of(&health);
+    assert!(
+        body.contains("\"corpus_projects\": \"closed\""),
+        "{body}"
+    );
+}

@@ -1,0 +1,58 @@
+//! Acceptance gate for the fault layer: with faults disabled (rate 0) the
+//! chaos drill must find every experiment golden byte-identical, and an
+//! injected drill must still converge back to the exact golden state.
+//!
+//! Runs from the workspace root (cargo sets the package cwd), where
+//! `goldens/experiments/` is reachable.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn run_chaos(args: &[&str]) -> (Result<(), String>, String) {
+    let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    let mut buf = Vec::new();
+    let result = schemachron_cli::run(&argv, &mut buf).map_err(|e| e.message);
+    (result, String::from_utf8(buf).expect("utf8 output"))
+}
+
+#[test]
+fn faults_disabled_keeps_all_goldens_byte_identical() {
+    let _g = exclusive();
+    assert!(
+        std::path::Path::new("goldens/experiments").is_dir(),
+        "must run from the workspace root"
+    );
+    let (result, out) = run_chaos(&["chaos", "--rate", "0.0", "--slow-ms", "600"]);
+    result.expect(&out);
+    assert!(
+        out.contains("experiment goldens: 18/18 byte-identical"),
+        "{out}"
+    );
+    assert!(out.contains("total injected: 0"), "{out}");
+    assert!(out.contains("verdict: OK"), "{out}");
+}
+
+#[test]
+fn injected_faults_still_converge_to_the_goldens() {
+    let _g = exclusive();
+    let (result, out) = run_chaos(&[
+        "chaos", "--rate", "0.25", "--fault-seed", "11", "--slow-ms", "300",
+    ]);
+    result.expect(&out);
+    assert!(
+        out.contains("experiment goldens: 18/18 byte-identical"),
+        "{out}"
+    );
+    assert!(
+        out.contains("recovered corpus ≡ fault-free corpus (151/151 projects identical)"),
+        "{out}"
+    );
+    assert!(out.contains("verdict: OK"), "{out}");
+    // The drill genuinely injected — the convergence is not vacuous.
+    assert!(!out.contains("total injected: 0"), "{out}");
+}
