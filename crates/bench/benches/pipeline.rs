@@ -125,18 +125,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-/// Times one `generate_scaled_jobs` run and returns (seconds, projects/sec).
-fn time_scaled(size: usize, jobs: usize) -> (f64, f64) {
-    let start = std::time::Instant::now();
-    let corpus = Corpus::generate_scaled_jobs(42, size, jobs);
-    let secs = start.elapsed().as_secs_f64();
-    assert_eq!(corpus.projects().len(), size);
-    (secs, size as f64 / secs)
-}
-
 fn bench_parallel_generate(c: &mut Criterion) {
-    // Exercise the worker pool even on a single-core host; real speedups
-    // need real cores, and the JSON below records how many we had.
+    // Exercise the worker pool even on a single-core host. The jobs × size
+    // throughput grid (and the `BENCH_pipeline.json` it writes) lives in
+    // the `par_bench` binary, which also records the host's detected cores
+    // and the effective worker count per point.
     let jobs = schemachron_corpus::effective_jobs().max(2);
 
     let mut g = c.benchmark_group("parallel_generate");
@@ -149,40 +142,6 @@ fn bench_parallel_generate(c: &mut Criterion) {
         b.iter(|| Corpus::generate_jobs(std::hint::black_box(42), jobs))
     });
     g.finish();
-
-    // Scaled throughput curve, serial vs parallel, emitted both as bench
-    // lines and as a machine-readable summary for tooling.
-    let mut rows = Vec::new();
-    for &size in &[151usize, 604, 1510] {
-        let (serial_s, serial_pps) = time_scaled(size, 1);
-        let (par_s, par_pps) = time_scaled(size, jobs);
-        println!(
-            "bench: scaled_curve/{size:<5} serial {serial_s:>8.3}s ({serial_pps:>7.1}/s)  \
-             j{jobs} {par_s:>8.3}s ({par_pps:>7.1}/s)  speedup {:.2}x",
-            serial_s / par_s
-        );
-        rows.push(serde_json::json!({
-            "size": size,
-            "jobs": jobs,
-            "serial_secs": serial_s,
-            "serial_projects_per_sec": serial_pps,
-            "parallel_secs": par_s,
-            "parallel_projects_per_sec": par_pps,
-            "speedup": (serial_s / par_s),
-        }));
-    }
-    let report = serde_json::json!({
-        "bench": "pipeline/parallel_generate",
-        "seed": 42,
-        "detected_parallelism": (schemachron_corpus::effective_jobs()),
-        "scaled_curve": rows,
-    });
-    // CARGO_MANIFEST_DIR = crates/bench, so ../.. is the workspace root.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    match std::fs::write(out, serde_json::to_string_pretty(&report).unwrap()) {
-        Ok(()) => println!("bench: wrote {out}"),
-        Err(e) => eprintln!("bench: could not write {out}: {e}"),
-    }
 }
 
 criterion_group!(

@@ -1,0 +1,178 @@
+//! Parallel-ingestion benchmark: a jobs × size grid over the stratified
+//! corpus, written to `BENCH_pipeline.json`.
+//!
+//! For every `(size, jobs)` cell the stage cache is cleared and one full
+//! ingestion of `size` stratified projects is timed through the streaming
+//! [`summarize_cards`] path (same per-project compute as a corpus build,
+//! no retained histories — so the 151k-project points stay memory-bounded).
+//! Each row records the *requested* jobs, the *effective* worker count
+//! after the small-batch serial fallback, and the speedup against the
+//! serial (`jobs = 1`) row of the same size; the report header records the
+//! host's detected core count and the stage-cache shard count, so a curve
+//! measured on a single-core host can never masquerade as a scaling proof
+//! again.
+//!
+//! `--gate <min-speedup>` turns the bench into a CI regression gate: it
+//! exits nonzero when any threaded `jobs = 2` row of size ≥ 604 falls below
+//! the threshold. On a single-core host the gate is skipped (two workers on
+//! one core cannot beat serial; the old 0.41× regression this bench
+//! polices was *contention*, which sharding removed — not core scarcity).
+//!
+//! ```text
+//! par_bench [--sizes 151,604,1510,15100] [--jobs-list 1,2,4,8]
+//!           [--seed N] [--gate MIN] [--out PATH]
+//! ```
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use schemachron_corpus::cards::scaled_cards;
+use schemachron_corpus::{pipeline, summarize_cards};
+
+/// Default size axis: the historical curve points plus one 10^4-scale
+/// point. The 151k point (`--sizes ...,151000`) is opt-in — it is minutes
+/// of wall time on small hosts.
+const DEFAULT_SIZES: [usize; 4] = [151, 604, 1510, 15_100];
+
+/// Default jobs axis.
+const DEFAULT_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sizes at or above this run a single repetition; smaller sizes take the
+/// minimum of [`REPS`] to damp scheduler noise.
+const SINGLE_REP_AT: usize = 10_000;
+const REPS: usize = 3;
+
+fn parse_list(v: &str, flag: &str) -> Vec<usize> {
+    v.split(',')
+        .map(|s| {
+            s.trim().parse::<NonZeroUsize>().map_or_else(
+                |_| {
+                    eprintln!("par_bench: {flag}: expected positive integers, got `{s}`");
+                    std::process::exit(2);
+                },
+                NonZeroUsize::get,
+            )
+        })
+        .collect()
+}
+
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Times one full stratified ingestion; returns seconds.
+fn time_ingest(size: usize, seed: u64, jobs: usize) -> f64 {
+    pipeline::clear_stage_cache();
+    let start = Instant::now();
+    let summaries = match summarize_cards(scaled_cards(size), seed, jobs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("par_bench: ingestion failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(summaries.len(), size);
+    secs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes = opt_value(&args, "--sizes")
+        .map_or_else(|| DEFAULT_SIZES.to_vec(), |v| parse_list(v, "--sizes"));
+    let jobs_axis = opt_value(&args, "--jobs-list")
+        .map_or_else(|| DEFAULT_JOBS.to_vec(), |v| parse_list(v, "--jobs-list"));
+    let seed = opt_value(&args, "--seed").map_or(schemachron_bench::DEFAULT_SEED, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("par_bench: --seed: expected an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+    let gate: Option<f64> = opt_value(&args, "--gate").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("par_bench: --gate: expected a number, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+
+    let detected_cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let shard_count = pipeline::stage_cache_shard_count();
+
+    let mut rows = Vec::new();
+    let mut gate_failures = Vec::new();
+    for &size in &sizes {
+        let reps = if size >= SINGLE_REP_AT { 1 } else { REPS };
+        let mut serial_secs = f64::NAN;
+        for &jobs in &jobs_axis {
+            let workers = schemachron_corpus::effective_workers(size, jobs);
+            let mut secs = f64::INFINITY;
+            for _ in 0..reps {
+                secs = secs.min(time_ingest(size, seed, jobs));
+            }
+            if jobs == 1 {
+                serial_secs = secs;
+            }
+            let speedup = serial_secs / secs;
+            let pps = size as f64 / secs;
+            println!(
+                "bench: grid size {size:>6}  jobs {jobs} (workers {workers})  \
+                 {secs:>8.3}s ({pps:>8.1}/s)  speedup {speedup:>5.2}x"
+            );
+            rows.push(serde_json::json!({
+                "size": size,
+                "jobs_requested": jobs,
+                "workers_effective": workers,
+                "secs": secs,
+                "projects_per_sec": pps,
+                "speedup_vs_serial": speedup,
+            }));
+            if let Some(min) = gate {
+                // The regression gate: threaded two-worker ingestion of any
+                // non-trivial size must never lose to serial again.
+                if detected_cores >= 2 && jobs == 2 && workers >= 2 && size >= 604 && speedup < min
+                {
+                    gate_failures.push(format!(
+                        "size {size} jobs 2: speedup {speedup:.2}x < required {min:.2}x"
+                    ));
+                }
+            }
+        }
+    }
+
+    let report = serde_json::json!({
+        "bench": "pipeline/parallel_grid",
+        "seed": seed,
+        "detected_cores": detected_cores,
+        "stage_cache_shards": shard_count,
+        "grid": rows,
+    });
+    let out_path = opt_value(&args, "--out")
+        .map(str::to_owned)
+        .unwrap_or_else(|| {
+            // CARGO_MANIFEST_DIR = crates/bench, so ../.. is the workspace root.
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_owned()
+        });
+    match std::fs::write(&out_path, serde_json::to_string_pretty(&report).unwrap()) {
+        Ok(()) => println!("bench: wrote {out_path}"),
+        Err(e) => eprintln!("bench: could not write {out_path}: {e}"),
+    }
+
+    if gate.is_some() {
+        if detected_cores < 2 {
+            println!(
+                "bench: gate skipped — single-core host (detected_cores = 1), \
+                 parallel speedup is core-bound"
+            );
+        } else if gate_failures.is_empty() {
+            println!("bench: gate passed");
+        } else {
+            for f in &gate_failures {
+                eprintln!("bench: GATE FAIL — {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

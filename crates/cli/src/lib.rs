@@ -133,10 +133,12 @@ pub fn usage() -> &'static str {
      \x20     Run the whole study over a directory of project histories: per-\n\
      \x20     pattern populations, exception census, birth-point probabilities.\n\
      \x20 schemachron corpus generate --out <dir> [--seed N] [--jobs N]\n\
+     \x20                             [--scale N]\n\
      \x20     Materialize the 151-project corpus as SQL history directories.\n\
-     \x20 schemachron corpus summary [--seed N] [--jobs N]\n\
+     \x20 schemachron corpus summary [--seed N] [--jobs N] [--scale N]\n\
      \x20     Print the corpus pattern populations.\n\
      \x20 schemachron corpus csv --out <file> [--seed N] [--jobs N]\n\
+     \x20                        [--scale N]\n\
      \x20     Export the measured per-project metrics as CSV.\n\
      \x20 schemachron corpus verify\n\
      \x20     Run the static spec linter over every calibrated card (field\n\
@@ -173,7 +175,10 @@ pub fn usage() -> &'static str {
      \n\
      \x20 --jobs N controls the corpus-ingestion worker count — and, for\n\
      \x20 `serve`, the HTTP worker pool (default: the SCHEMACHRON_JOBS\n\
-     \x20 environment variable, else available parallelism)."
+     \x20 environment variable, else available parallelism).\n\
+     \x20 --scale N expands the corpus build paths to N stratified cycles of\n\
+     \x20 the 151 calibrated cards (N x 151 projects) with the paper's joint\n\
+     \x20 label distribution preserved exactly."
 }
 
 fn flag(args: &[&str], name: &str) -> bool {
@@ -238,6 +243,7 @@ fn takes_value(opt: &str) -> bool {
             | "--out"
             | "--svg"
             | "--jobs"
+            | "--scale"
             | "--addr"
             | "--format"
             | "--deny"
@@ -518,15 +524,39 @@ fn study(args: &[String], out: &mut dyn Write) -> CliResult {
     Ok(())
 }
 
+/// Parses `--scale N` (stratified cycles of the 151 cards; default 1).
+fn scale_of(args: &[&str]) -> Result<usize, CliError> {
+    match opt_value(args, "--scale") {
+        None => Ok(1),
+        Some(v) => match v.parse::<std::num::NonZeroUsize>() {
+            Ok(n) => Ok(n.get()),
+            Err(_) => Err(CliError::new(format!(
+                "--scale: expected a positive integer (whole 151-card cycles), got `{v}`"
+            ))),
+        },
+    }
+}
+
+/// Builds the corpus the `corpus` subcommands operate on: the calibrated
+/// 151 projects, or `scale` stratified cycles of them under `--scale`.
+fn corpus_at_scale(seed: u64, scale: usize) -> Corpus {
+    if scale == 1 {
+        Corpus::generate(seed)
+    } else {
+        Corpus::generate_stratified(seed, scale)
+    }
+}
+
 fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
     let argv: Vec<&str> = args.iter().map(String::as_str).collect();
     let seed = seed_of(&argv)?;
     apply_jobs(&argv)?;
+    let scale = scale_of(&argv)?;
     match argv.first() {
         Some(&"generate") => {
             let dir = opt_value(&argv, "--out")
                 .ok_or_else(|| CliError::new("corpus generate: missing --out <dir>"))?;
-            let c = Corpus::generate(seed);
+            let c = corpus_at_scale(seed, scale);
             write_corpus_dir(&c, Path::new(dir))?;
             write_metrics_csv(&c, &PathBuf::from(dir).join("metrics.csv"))?;
             let _ = writeln!(
@@ -537,7 +567,7 @@ fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
             Ok(())
         }
         Some(&"summary") => {
-            let c = Corpus::generate(seed);
+            let c = corpus_at_scale(seed, scale);
             let _ = writeln!(out, "corpus seed {seed}: {} projects", c.projects().len());
             for p in schemachron_core::Pattern::ALL {
                 let n = c.of_pattern(p).count();
@@ -555,7 +585,7 @@ fn corpus(args: &[String], out: &mut dyn Write) -> CliResult {
         Some(&"csv") => {
             let file = opt_value(&argv, "--out")
                 .ok_or_else(|| CliError::new("corpus csv: missing --out <file>"))?;
-            let c = Corpus::generate(seed);
+            let c = corpus_at_scale(seed, scale);
             write_metrics_csv(&c, Path::new(file))?;
             let _ = writeln!(
                 out,

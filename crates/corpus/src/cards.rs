@@ -92,6 +92,34 @@ pub fn all_cards() -> Vec<Card> {
     out
 }
 
+/// Cycles the 151 calibrated cards out to `size` entries: card `i` reuses
+/// calibrated card `i % 151` under a fresh name (`{name}-x{cycle}`), so it
+/// gets its own DDL mixture (the materializer seeds per project name) while
+/// keeping the card's exact timing skeleton. Every **complete** 151-card
+/// cycle reproduces the paper's joint label distribution exactly; see
+/// [`stratified_cards`] for the mode that only emits complete cycles.
+pub fn scaled_cards(size: usize) -> Vec<Card> {
+    let cards = all_cards();
+    (0..size)
+        .map(|i| {
+            let mut card = cards[i % cards.len()].clone();
+            card.name = format!("{}-x{}", card.name, i / cards.len());
+            card
+        })
+        .collect()
+}
+
+/// The stratified corpus generator: `scale` complete cycles of the 151
+/// calibrated cards (`scale × 151` projects). Because only whole cycles are
+/// emitted, every population the paper reports is preserved **exactly** at
+/// any scale — Fig. 4 pattern populations, Fig. 6 label-space coverage,
+/// Fig. 7 birth buckets and the Table 1 label marginals all multiply by
+/// `scale`, and Table 2 exception counts scale with them (asserted in
+/// `tests/stratified.rs`).
+pub fn stratified_cards(scale: usize) -> Vec<Card> {
+    scaled_cards(scale * 151)
+}
+
 fn slug(p: Pattern) -> &'static str {
     match p {
         Pattern::Flatliner => "flatliner",

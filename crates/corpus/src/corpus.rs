@@ -44,6 +44,63 @@ pub struct Corpus {
     projects: Vec<CorpusProject>,
 }
 
+/// The compact per-project result of a streaming build: everything the
+/// distribution checks (Fig. 4/6/7 populations, Table 1 marginals, Table 2
+/// exceptions) and the throughput benches need, without the project
+/// history. A summary is ~100 bytes where a [`CorpusProject`] retains every
+/// monthly schema snapshot — the difference between a 151k-project scale
+/// run fitting comfortably in memory or not.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProjectSummary {
+    /// Project name (unique within the corpus).
+    pub name: String,
+    /// The manually-assigned pattern (the corpus ground truth).
+    pub assigned: Pattern,
+    /// Whether the project is a Table 2 exception.
+    pub exception: bool,
+    /// The measured §3.3 quantized labels.
+    pub labels: Labels,
+    /// Absolute birth month (the Fig. 7 bucket input).
+    pub birth_index: usize,
+    /// The strict §4 classification of the measured labels.
+    pub strict: Option<Pattern>,
+}
+
+impl ProjectSummary {
+    fn of(p: &CorpusProject) -> ProjectSummary {
+        ProjectSummary {
+            name: p.card.name.clone(),
+            assigned: p.assigned,
+            exception: p.exception,
+            labels: p.labels,
+            birth_index: p.metrics.birth_index,
+            strict: schemachron_core::classify(&p.labels),
+        }
+    }
+}
+
+/// Ingests every card through the staged pipeline — same fan-out, same
+/// stage cache, same per-project compute as [`Corpus::from_cards`] — but
+/// returns only compact [`ProjectSummary`] rows instead of retaining full
+/// histories. The streaming entry point for 10^4–10^5-project scale runs:
+/// peak memory is bounded by the stage cache's capacity plus the summaries,
+/// not by the corpus size.
+///
+/// # Errors
+/// Returns [`WorkerFailures`] when any project's ingestion panicked past
+/// retry, exactly like [`Corpus::try_from_cards`].
+pub fn summarize_cards(
+    cards: Vec<Card>,
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<ProjectSummary>, WorkerFailures> {
+    BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
+    par_map_isolated(cards, jobs, |card| {
+        ProjectSummary::of(&pipeline::build_project(&card, seed))
+    })
+    .into_result()
+}
+
 impl Corpus {
     /// Generates the corpus for a seed. The timing skeleton of every project
     /// is seed-independent (it comes from the cards); the seed only varies
@@ -74,15 +131,22 @@ impl Corpus {
 
     /// [`Corpus::generate_scaled`] with an explicit worker count.
     pub fn generate_scaled_jobs(seed: u64, size: usize, jobs: usize) -> Corpus {
-        let cards = all_cards();
-        let scaled: Vec<Card> = (0..size)
-            .map(|i| {
-                let mut card = cards[i % cards.len()].clone();
-                card.name = format!("{}-x{}", card.name, i / cards.len());
-                card
-            })
-            .collect();
-        Self::from_cards(scaled, seed, jobs)
+        Self::from_cards(crate::cards::scaled_cards(size), seed, jobs)
+    }
+
+    /// Generates the stratified corpus at `scale`: `scale` complete cycles
+    /// of the 151 calibrated cards (`scale × 151` projects), preserving the
+    /// paper's joint label distribution exactly (see
+    /// [`crate::cards::stratified_cards`]). This is the `--scale` mode of
+    /// the CLI build paths and the scale axis of the parallel-ingestion
+    /// bench.
+    pub fn generate_stratified(seed: u64, scale: usize) -> Corpus {
+        Self::generate_stratified_jobs(seed, scale, effective_jobs())
+    }
+
+    /// [`Corpus::generate_stratified`] with an explicit worker count.
+    pub fn generate_stratified_jobs(seed: u64, scale: usize, jobs: usize) -> Corpus {
+        Self::from_cards(crate::cards::stratified_cards(scale), seed, jobs)
     }
 
     /// Generates a corpus from freshly synthesized random cards with the
@@ -140,6 +204,12 @@ impl Corpus {
     /// lets callers with a corpus cache assert the cache actually hit.
     pub fn build_count() -> u64 {
         BUILD_COUNT.load(Ordering::Relaxed)
+    }
+
+    /// Streaming census of this corpus (no extra computation; the compact
+    /// per-project view [`summarize_cards`] would produce).
+    pub fn summaries(&self) -> Vec<ProjectSummary> {
+        self.projects.iter().map(ProjectSummary::of).collect()
     }
 
     /// The seed the corpus was generated with.

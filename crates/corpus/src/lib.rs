@@ -42,11 +42,11 @@ pub mod pipeline;
 pub mod random;
 pub mod spec;
 
-pub use corpus::{Corpus, CorpusProject};
+pub use corpus::{summarize_cards, Corpus, CorpusProject, ProjectSummary};
 pub use io::{load_project_dir, verify_project_dir, CorruptCorpus, LoadError};
 pub use parallel::{
     effective_jobs, effective_workers, par_map, par_map_isolated, set_jobs, MapOutcome,
-    WorkerFailure, WorkerFailures, MAX_ATTEMPTS, MIN_ITEMS_PER_WORKER,
+    WorkerFailure, WorkerFailures, CLAIM_CHUNK, MAX_ATTEMPTS, MIN_ITEMS_PER_WORKER,
 };
 pub use pipeline::{StageStats, StageTrace};
 pub use random::{random_card, random_cards};

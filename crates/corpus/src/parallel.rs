@@ -4,9 +4,10 @@
 //! its PRNG per project name (`seed ^ name_hash(name)`), so no project's
 //! output depends on any other's. That makes ingestion embarrassingly
 //! parallel, and this module provides the fan-out: [`par_map`] distributes
-//! items over scoped worker threads with an atomic work-stealing-style
-//! index counter, then reassembles results **in input order**, so parallel
-//! and serial runs produce identical corpora.
+//! items over scoped worker threads via a chunked work-claiming index (one
+//! shared atomic cursor; each worker claims [`CLAIM_CHUNK`] indices per
+//! bump), then reassembles results **in input order**, so parallel and
+//! serial runs produce identical corpora.
 //!
 //! Workers are **panic-isolated**: each item runs under `catch_unwind`, so
 //! one poisoned item can never abort the whole build or take its worker's
@@ -77,6 +78,13 @@ pub const MAX_ATTEMPTS: u32 = 3;
 const RETRY_BACKOFF: Duration = Duration::from_millis(2);
 /// Upper bound on the per-retry backoff.
 const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(8);
+
+/// How many indices a worker claims from the shared cursor per bump.
+/// Batch claiming amortizes the cursor's cache-line ping-pong over 8 items
+/// — small items no longer pay one contended atomic (let alone the old
+/// per-item mutex) each — while keeping the schedule self-balancing: a
+/// worker stuck on an expensive chunk simply claims fewer chunks.
+pub const CLAIM_CHUNK: usize = 8;
 
 /// The worker count [`par_map`] will actually use for `len` items and a
 /// requested `jobs`: `0..=1` means the map runs inline on the caller's
@@ -225,7 +233,7 @@ where
 /// every other item's result is preserved.
 pub fn par_map_isolated<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> MapOutcome<R>
 where
-    T: Send + Clone,
+    T: Send + Sync + Clone,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
@@ -244,14 +252,14 @@ where
         }
         return MapOutcome { results, failures };
     }
-    // Wrap the items so workers can claim them by index without moving the
-    // vector: each slot is taken exactly once (the counter hands out each
-    // index to exactly one worker).
-    let slots: Vec<std::sync::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
-        .collect();
+    // Workers claim *chunks* of indices from one shared cursor and read the
+    // items through a shared slice — no per-item lock, no per-item atomic.
+    // `run_item` clones the item per attempt anyway, so moving items out of
+    // the vector (the old per-item `Mutex<Option<T>>` slots) bought nothing
+    // and cost one lock round-trip per element.
+    let len = items.len();
     let next = AtomicUsize::new(0);
+    let items = &items;
 
     let (results, mut failures) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -259,28 +267,22 @@ where
                 scope.spawn(|| {
                     let mut out: Vec<(usize, Result<R, WorkerFailure>)> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= slots.len() {
+                        let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= len {
                             break;
                         }
-                        // `f` runs under catch_unwind outside the lock, so
-                        // the guard can only be poisoned mid-`take`, which
-                        // cannot panic.
-                        let Some(item) = slots[i]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .take()
-                        else {
-                            unreachable!("the atomic counter hands out index {i} exactly once");
-                        };
-                        out.push((i, run_item(i, &item, &f)));
+                        let end = (start + CLAIM_CHUNK).min(len);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let i = start + i;
+                            out.push((i, run_item(i, item, &f)));
+                        }
                     }
                     out
                 })
             })
             .collect();
 
-        let mut merged: Vec<Option<R>> = (0..slots.len()).map(|_| None).collect();
+        let mut merged: Vec<Option<R>> = (0..len).map(|_| None).collect();
         let mut failed: Vec<WorkerFailure> = Vec::new();
         for h in handles {
             // Workers cannot panic (every item runs under catch_unwind);
@@ -307,10 +309,11 @@ where
 /// Maps `f` over `items` on `jobs` scoped worker threads, preserving input
 /// order in the output.
 ///
-/// Workers pull the next unclaimed index from a shared atomic counter
-/// (self-balancing: a worker stuck on an expensive project simply claims
-/// fewer items), so the schedule adapts to uneven item costs without any
-/// partitioning heuristics. With `jobs <= 1`, fewer than two items, or a
+/// Workers pull the next unclaimed chunk of [`CLAIM_CHUNK`] indices from a
+/// shared atomic cursor (self-balancing: a worker stuck on an expensive
+/// project simply claims fewer chunks), so the schedule adapts to uneven
+/// item costs without any partitioning heuristics and cheap items don't pay
+/// per-item synchronization. With `jobs <= 1`, fewer than two items, or a
 /// batch too small to amortize thread spawns (see [`effective_workers`] and
 /// [`MIN_ITEMS_PER_WORKER`]) the map runs inline on the caller's thread.
 ///
@@ -322,7 +325,7 @@ where
 /// the typed path use [`par_map_isolated`].
 pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
 where
-    T: Send + Clone,
+    T: Send + Sync + Clone,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
@@ -345,6 +348,17 @@ mod tests {
         assert_eq!(effective_workers(BIG, 8), 8, "meant to hit the pool");
         let out = par_map(items, 8, |i| i * 3);
         assert_eq!(out, (0..BIG).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_claim_covers_ragged_tails() {
+        // Sizes straddling chunk boundaries: every index claimed exactly
+        // once even when the last chunk is partial.
+        for n in [BIG - 1, BIG + 1, BIG + CLAIM_CHUNK - 1, BIG + CLAIM_CHUNK] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(items, 8, |i| i + 1);
+            assert_eq!(out, (1..=n).collect::<Vec<_>>(), "size {n}");
+        }
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub use artifact::{
     card_fingerprint, CardSpec, DiffSeq, DiffStep, LabelTuple, LogicalSchema, MetricVector,
     ParsedCommit, ParsedDdl, PatternClass, RawScripts,
 };
-pub use stage::{derive_key, Stage, StageKey, StageStats, StageTrace, TraceEntry};
+pub use stage::{
+    derive_key, shard_count_for, shard_of_key, Stage, StageKey, StageStats, StageTrace, TraceEntry,
+};
 pub use stages::{
     build_project, build_project_traced, chain_keys, classify_project, ClassifyStage, DiffStage,
     HistoryInput, HistoryStage, LabelsStage, MaterializeStage, MetricsStage, ParseStage,
@@ -74,6 +76,20 @@ pub fn stage_cache_entries() -> Vec<(&'static str, StageKey)> {
     stage::cache().entry_keys()
 }
 
+/// Number of lock stripes in the process-wide stage cache: the next power
+/// of two at or above 4 × available parallelism (see [`shard_count_for`]).
+pub fn stage_cache_shard_count() -> usize {
+    stage::cache().shard_count()
+}
+
+/// Snapshots every cached entry as `(stage name, content key, resident
+/// shard)`, sorted by stage then key. The lint `H004` shard-placement audit
+/// walks it to verify every entry lives in the shard its key selects
+/// (`key & (shard_count - 1)`).
+pub fn stage_cache_shard_entries() -> Vec<(&'static str, StageKey, usize)> {
+    stage::cache().shard_entries()
+}
+
 /// Re-files one cached artifact under a different `(stage, key)` identity,
 /// returning whether the source entry existed.
 ///
@@ -86,4 +102,17 @@ pub fn corrupt_stage_cache_entry(
     to: (&'static str, StageKey),
 ) -> bool {
     stage::cache().rekey(from, to)
+}
+
+/// Plants one cached artifact in an explicit (possibly foreign) shard,
+/// returning whether the entry existed.
+///
+/// This deliberately violates the key → shard invariant — it exists only so
+/// fault-injection tests can plant the exact misplacement the lint
+/// auditor's `H004` rule detects. A misplaced entry is invisible to normal
+/// lookups (which only consult the key's home shard). Never call it in
+/// production code.
+#[doc(hidden)]
+pub fn misplace_stage_cache_entry(entry: (&'static str, StageKey), shard: usize) -> bool {
+    stage::cache().misplace(entry, shard)
 }

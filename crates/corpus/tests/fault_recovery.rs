@@ -132,6 +132,67 @@ fn stage_faults_yield_typed_errors_then_clean_rebuild_matches() {
 }
 
 #[test]
+fn quarantine_under_sharded_cache_keeps_placement_and_determinism() {
+    use schemachron_corpus::pipeline::{
+        shard_of_key, stage_cache_shard_count, stage_cache_shard_entries,
+    };
+
+    let _g = exclusive();
+    let _c = Cleanup;
+    fault::set_epoch(0);
+    // Partial-rate stage panics across a 4-worker pool: some stage runs
+    // quarantine and retry, the rest publish into their key-selected
+    // shards concurrently.
+    fault::install(
+        fault::FaultPlan::new(7, 0.3)
+            .with_sites([fault::site::PIPELINE_STAGE.to_owned()])
+            .with_kinds([fault::FaultKind::WorkerPanic]),
+    );
+    clear_stage_cache();
+    let chaotic = Corpus::try_from_cards(small_cards(8), 42, 4);
+    let quarantined: u64 = stage_stats().iter().map(|s| s.quarantined).sum();
+    assert!(quarantined > 0, "rate 0.3 must trip the quarantine counter");
+
+    // PR-5 invariant, now per-shard: a quarantined stage never publishes,
+    // and whatever *did* publish sits exactly in the shard its key selects.
+    let count = stage_cache_shard_count();
+    assert!(count.is_power_of_two());
+    let entries = stage_cache_shard_entries();
+    assert!(!entries.is_empty(), "healed stages must have published");
+    for (stage, key, shard) in entries {
+        assert_eq!(
+            shard,
+            shard_of_key(key, count),
+            "`{stage}` artifact {key:016x} landed outside its home shard"
+        );
+    }
+
+    // Chaos healed (or failed) deterministically: the same plan and seed
+    // on a cold cache at jobs=1 reaches the same outcome.
+    clear_stage_cache();
+    let serial = Corpus::try_from_cards(small_cards(8), 42, 1);
+    match (&chaotic, &serial) {
+        (Ok(a), Ok(b)) => {
+            for (x, y) in a.projects().iter().zip(b.projects()) {
+                assert_eq!(x.metrics, y.metrics, "{}", x.card.name);
+                assert_eq!(x.labels, y.labels, "{}", x.card.name);
+            }
+        }
+        (Err(a), Err(b)) => {
+            let names = |f: &schemachron_corpus::WorkerFailures| {
+                f.0.iter().map(|x| x.index).collect::<Vec<_>>()
+            };
+            assert_eq!(names(a), names(b), "failed items must agree across jobs");
+        }
+        (a, b) => panic!(
+            "jobs=4 and jobs=1 disagree on success: {:?} vs {:?}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+}
+
+#[test]
 fn interrupted_writes_never_leave_an_acceptable_directory() {
     let _g = exclusive();
     let _c = Cleanup;

@@ -42,6 +42,20 @@ fn generate_scaled_is_jobs_invariant() {
 }
 
 #[test]
+fn generate_stratified_scale10_is_jobs_invariant() {
+    // The headline scale point: 10× the paper corpus (1510 projects),
+    // serial vs. an 8-worker pool over the sharded stage cache. Histories
+    // are compared member-by-member — worker count, shard placement and
+    // chunked work claiming must never leak into any project's bytes.
+    let serial = fresh(|| Corpus::generate_stratified_jobs(42, 10, 1));
+    assert_eq!(serial.projects().len(), 1510);
+    let threaded = fresh(|| Corpus::generate_stratified_jobs(42, 10, 8));
+    assert_same(&serial, &threaded);
+    // The streaming summary path (what the bench grid measures) agrees too.
+    assert_eq!(serial.summaries(), threaded.summaries());
+}
+
+#[test]
 fn generate_random_is_jobs_invariant() {
     let counts = [2, 2, 1, 1, 2, 1, 1, 1];
     let serial = fresh(|| Corpus::generate_random_jobs(9, counts, 1));

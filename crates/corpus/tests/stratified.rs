@@ -1,0 +1,184 @@
+//! Stratified-scaling calibration: a `--scale N` corpus must preserve the
+//! paper's joint label distribution *exactly* — every Fig. 4 population,
+//! Fig. 7 birth bucket, Table 1 marginal and Table 2 exception count scales
+//! by N, and the Fig. 6 joint label census keeps the same support with
+//! every cell multiplied by N.
+//!
+//! This holds by construction (the generator cycles the 151 calibrated
+//! cards in complete cycles, and every timing metric is card-determined),
+//! but these tests pin the construction: a future "improvement" that
+//! samples cards instead of cycling them would break scaling silently.
+
+// Integration-test helpers sit outside `#[test]` fns, so clippy's
+// allow-in-tests escape hatch does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use schemachron_core::predict::BirthBucket;
+use schemachron_core::quantize::Labels;
+use schemachron_core::Pattern;
+use schemachron_corpus::cards::{all_cards, stratified_cards};
+use schemachron_corpus::{Corpus, ProjectSummary};
+
+fn bucket_index(birth_index: usize) -> usize {
+    match BirthBucket::of(birth_index) {
+        BirthBucket::M0 => 0,
+        BirthBucket::M1toM6 => 1,
+        BirthBucket::M7toM12 => 2,
+        BirthBucket::AfterM12 => 3,
+    }
+}
+
+fn label_census(summaries: &[ProjectSummary]) -> BTreeMap<String, usize> {
+    let mut census = BTreeMap::new();
+    for s in summaries {
+        *census.entry(joint_key(&s.labels)).or_insert(0) += 1;
+    }
+    census
+}
+
+/// A total-order key over the §3.3 joint label tuple.
+fn joint_key(l: &Labels) -> String {
+    format!(
+        "{}/{}/{}/{}/{}/{}",
+        l.birth_volume.ordinal(),
+        l.birth_point.ordinal(),
+        l.topband_point.ordinal(),
+        l.interval_birth_to_top.ordinal(),
+        l.interval_top_to_end.ordinal(),
+        l.active_growth.ordinal()
+    )
+}
+
+/// One built corpus at scale 10 (1510 projects) shared by the assertions:
+/// building it is the expensive part, so the test checks every scaled
+/// aggregate on a single pass.
+#[test]
+fn scale10_built_corpus_scales_every_paper_aggregate_exactly() {
+    const SCALE: usize = 10;
+    let base = Corpus::generate_jobs(42, 2);
+    let scaled = Corpus::generate_stratified_jobs(42, SCALE, 2);
+    assert_eq!(scaled.projects().len(), SCALE * 151);
+
+    // Fig. 4 pattern populations, ×N.
+    let mut patterns: BTreeMap<Pattern, usize> = BTreeMap::new();
+    for p in scaled.projects() {
+        *patterns.entry(p.assigned).or_insert(0) += 1;
+    }
+    for (pattern, expect) in [
+        (Pattern::Flatliner, 23),
+        (Pattern::RadicalSign, 41),
+        (Pattern::Sigmoid, 19),
+        (Pattern::LateRiser, 14),
+        (Pattern::QuantumSteps, 23),
+        (Pattern::RegularlyCurated, 14),
+        (Pattern::Siesta, 10),
+        (Pattern::SmokingFunnel, 7),
+    ] {
+        assert_eq!(patterns[&pattern], SCALE * expect, "{pattern:?} (Fig. 4)");
+    }
+
+    // Fig. 7 birth buckets, ×N.
+    let mut buckets = [0usize; 4];
+    for p in scaled.projects() {
+        buckets[bucket_index(p.metrics.birth_index)] += 1;
+    }
+    assert_eq!(
+        buckets,
+        [SCALE * 52, SCALE * 38, SCALE * 13, SCALE * 48],
+        "birth buckets (Fig. 7)"
+    );
+
+    // Table 1 marginals, ×N. The engineered-exact ones are asserted exactly;
+    // birth point keeps the base corpus's documented ±2 deviation, scaled.
+    let mut vol = [0; 4];
+    let mut bp = [0usize; 4];
+    let mut tp = [0; 4];
+    let mut iv = [0; 5];
+    let mut tail = [0; 4];
+    let mut ag = [0; 4];
+    for p in scaled.projects() {
+        vol[p.labels.birth_volume.ordinal() as usize] += 1;
+        bp[p.labels.birth_point.ordinal() as usize] += 1;
+        tp[p.labels.topband_point.ordinal() as usize] += 1;
+        iv[p.labels.interval_birth_to_top.ordinal() as usize] += 1;
+        tail[p.labels.interval_top_to_end.ordinal() as usize] += 1;
+        ag[p.labels.active_growth.ordinal() as usize] += 1;
+    }
+    let by = |xs: [usize; 4]| xs.map(|x| SCALE * x);
+    assert_eq!(vol, by([16, 52, 44, 39]), "birth volume (Table 1)");
+    assert_eq!(tp, by([23, 41, 47, 40]), "top-band point (Table 1)");
+    assert_eq!(
+        iv,
+        [62, 26, 27, 23, 13].map(|x| SCALE * x),
+        "interval birth→top (Table 1)"
+    );
+    assert_eq!(tail, by([40, 48, 40, 23]), "interval top→end (Table 1)");
+    assert_eq!(ag, by([98, 22, 22, 9]), "active growth (Table 1)");
+    assert_eq!(bp[0], SCALE * 52, "birth point P0 (Table 1)");
+    assert_eq!(bp[3], SCALE * 13, "birth point P3 (Table 1)");
+    assert_eq!(bp.iter().sum::<usize>(), SCALE * 151);
+
+    // Table 2 exceptions, ×N.
+    let exceptions = scaled.projects().iter().filter(|p| p.exception).count();
+    assert_eq!(exceptions, SCALE * 8, "exception count (Table 2)");
+
+    // Fig. 6 joint label census: same support as the base corpus, every
+    // cell exactly ×N. This is the strongest form of "the joint label
+    // distribution is preserved" — not just the marginals.
+    let base_census = label_census(&base.summaries());
+    let scaled_census = label_census(&scaled.summaries());
+    assert_eq!(
+        base_census.keys().collect::<Vec<_>>(),
+        scaled_census.keys().collect::<Vec<_>>(),
+        "label-space support must not grow or shrink (Fig. 6)"
+    );
+    for (cell, count) in &base_census {
+        assert_eq!(scaled_census[cell], SCALE * count, "census cell {cell}");
+    }
+
+    // Project names stay unique at scale.
+    let names: BTreeSet<&str> = scaled.projects().iter().map(|p| p.card.name.as_str()).collect();
+    assert_eq!(names.len(), SCALE * 151);
+}
+
+/// At scale 1000 (151 000 cards) building every project is a bench-only
+/// affair, but the stratification guarantee is decided at the card level:
+/// timing plans and label targets are card fields, so the card census *is*
+/// the corpus census.
+#[test]
+fn scale1000_card_census_scales_exactly() {
+    const SCALE: usize = 1000;
+    let base = all_cards();
+    let cards = stratified_cards(SCALE);
+    assert_eq!(cards.len(), SCALE * 151);
+
+    // Pattern populations (Fig. 4) and exceptions (Table 2), ×N.
+    let mut patterns: BTreeMap<Pattern, usize> = BTreeMap::new();
+    let mut exceptions = 0usize;
+    for c in &cards {
+        *patterns.entry(c.pattern).or_insert(0) += 1;
+        exceptions += usize::from(c.exception);
+    }
+    let mut base_patterns: BTreeMap<Pattern, usize> = BTreeMap::new();
+    for c in &base {
+        *base_patterns.entry(c.pattern).or_insert(0) += 1;
+    }
+    for (pattern, count) in &base_patterns {
+        assert_eq!(patterns[pattern], SCALE * count, "{pattern:?}");
+    }
+    assert_eq!(exceptions, SCALE * 8, "exceptions (Table 2)");
+
+    // Every cycle is a verbatim copy of the base deck (names aside): cards
+    // i and i+151 differ only in the `-x{cycle}` suffix.
+    for (i, card) in cards.iter().enumerate().take(3 * 151) {
+        let mut expected = base[i % 151].clone();
+        expected.name = format!("{}-x{}", expected.name, i / 151);
+        assert_eq!(card, &expected);
+    }
+
+    // Names are unique across all 151k cards.
+    let names: BTreeSet<&str> = cards.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names.len(), SCALE * 151);
+}

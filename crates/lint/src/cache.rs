@@ -23,6 +23,15 @@ use crate::diag::{Diagnostic, Report};
 /// does not share code with the audited implementation.
 const STAGE_VERSIONS: [u32; 8] = [1, 1, 1, 1, 1, 1, 1, 1];
 
+/// Independent restatement of the cache's shard-count formula: the next
+/// power of two at or above 4 × available parallelism. Deliberately does
+/// not call `pipeline::shard_count_for` — drift between the two is exactly
+/// what H004 exists to flag.
+fn rederive_shard_count() -> usize {
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (4 * parallelism.max(1)).next_power_of_two()
+}
+
 /// Independent re-derivation of one chain link:
 /// `fnv1a(fnv1a(fnv1a(offset, name), version_le), in_key_le)`.
 fn rederive(name: &str, version: u32, in_key: StageKey) -> StageKey {
@@ -52,6 +61,11 @@ fn rederive_chain(card: &Card, seed: u64) -> [StageKey; 8] {
 /// * **H001** — a cached artifact's key is not derivable from any card in
 ///   the set under the given seed: either the entry was corrupted/re-keyed,
 ///   or it belongs to an input outside the audited card set.
+/// * **H004** — the shard layout drifted: the live shard count disagrees
+///   with this module's restated formula (`next_pow2(4 × parallelism)`),
+///   the count is not a power of two, or an entry resides outside the
+///   shard its key selects (`key & (count - 1)`). A misplaced entry is
+///   invisible to lookups, so it silently degrades the cache to a miss.
 pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
     const PROJECT: &str = "(stage-cache)";
 
@@ -98,6 +112,38 @@ pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
                 format!(
                     "cached `{stage}` artifact {key:016x} is not derivable from any card \
                      in the audited set (seed {seed})"
+                ),
+            ));
+        }
+    }
+
+    // H004: shard-layout audit. The shard count must match the restated
+    // formula, and every resident entry must live in the shard its key
+    // selects — the same FNV-1a key the H001 pass just validated, masked by
+    // the restated count. Anything else means lookups can no longer find
+    // the entry, which silently turns the cache into a miss machine.
+    let live = pipeline::stage_cache_shard_count();
+    let restated = rederive_shard_count();
+    if live != restated || !live.is_power_of_two() {
+        report.push(Diagnostic::new(
+            "H004",
+            PROJECT,
+            format!(
+                "stage-cache shard count {live} disagrees with the restated formula \
+                 next_pow2(4 × parallelism) = {restated}"
+            ),
+        ));
+    }
+    let mask = live.max(1) - 1;
+    for (stage, key, shard) in pipeline::stage_cache_shard_entries() {
+        let selected = (key as usize) & mask;
+        if shard != selected {
+            report.push(Diagnostic::new(
+                "H004",
+                PROJECT,
+                format!(
+                    "cached `{stage}` artifact {key:016x} resides in shard {shard} but its \
+                     key selects shard {selected} (count {live})"
                 ),
             ));
         }
@@ -161,5 +207,27 @@ mod tests {
             ("bogus-stage", victim[2]),
             (stage, victim[2])
         ));
+
+        // Strand the entry in the wrong shard (key untouched, so H001 stays
+        // quiet): H004.
+        let count = pipeline::stage_cache_shard_count();
+        let home = pipeline::shard_of_key(victim[2], count);
+        let wrong = (home + 1) % count;
+        assert!(pipeline::misplace_stage_cache_entry((stage, victim[2]), wrong));
+        let mut misplaced = Report::new();
+        audit_stage_cache(&cards, seed, &mut misplaced);
+        assert_eq!(codes(&misplaced), ["H004"]);
+        assert!(misplaced.render_human().contains(&format!("shard {wrong}")));
+
+        // Restore residency and confirm the audit is clean again.
+        assert!(pipeline::misplace_stage_cache_entry((stage, victim[2]), home));
+        let mut restored = Report::new();
+        audit_stage_cache(&cards, seed, &mut restored);
+        assert!(restored.diagnostics().is_empty(), "{}", restored.render_human());
+    }
+
+    #[test]
+    fn restated_shard_formula_matches_pipeline() {
+        assert_eq!(rederive_shard_count(), pipeline::stage_cache_shard_count());
     }
 }

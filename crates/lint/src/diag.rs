@@ -117,7 +117,7 @@ pub struct Rule {
 
 /// The complete rule registry. Codes are append-only: a published code is
 /// never renumbered or reused.
-pub const RULES: [Rule; 20] = [
+pub const RULES: [Rule; 21] = [
     Rule {
         code: "L001",
         severity: Severity::Error,
@@ -212,6 +212,12 @@ pub const RULES: [Rule; 20] = [
         code: "H003",
         severity: Severity::Error,
         summary: "pipeline chain keys disagree with the independent FNV-1a re-derivation",
+    },
+    Rule {
+        code: "H004",
+        severity: Severity::Error,
+        summary: "stage-cache shard layout drifted: shard count disagrees with the restated \
+                  formula, or an entry resides outside its key-selected shard",
     },
     Rule {
         code: "F001",
