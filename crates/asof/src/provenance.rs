@@ -1,0 +1,176 @@
+//! Inverse-evolution queries: which version introduced or ejected a
+//! table/column (à la the Auge provenance work).
+//!
+//! Provenance is read straight off the measurement diffs the history
+//! already carries: every version transition names the tables it added or
+//! dropped and each affected attribute with its change kind, so the full
+//! lineage of any `table[.column]` is the chronological filter of those
+//! records. Liveness is checked against the final schema.
+
+use schemachron_history::{Date, MonthId};
+use schemachron_model::Name;
+
+use crate::index::AsOfIndex;
+
+/// One lineage event of a table or column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceEvent {
+    /// The month of the version that made the change.
+    pub month: MonthId,
+    /// The exact commit date of that version.
+    pub date: Date,
+    /// What happened, in the taxonomy's human labels (`table-added`,
+    /// `injected`, `ejected`, `type-changed`, …).
+    pub change: &'static str,
+}
+
+/// The answer to a provenance query over one `table[.column]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// The queried table name (as given).
+    pub table: String,
+    /// The queried column name, when the query targeted a column.
+    pub column: Option<String>,
+    /// Whether the subject exists in the final schema.
+    pub alive: bool,
+    /// The version that introduced the current (or, when dead, the last)
+    /// incarnation of the subject.
+    pub introduced: Option<ProvenanceEvent>,
+    /// The version that ejected the subject — populated when it is dead.
+    pub ejected: Option<ProvenanceEvent>,
+    /// Every lineage event, chronological.
+    pub events: Vec<ProvenanceEvent>,
+}
+
+impl AsOfIndex {
+    /// Full lineage of `table` (or `table.column` when `column` is given).
+    /// Name matching is case-insensitive, like the model's [`Name`].
+    /// Returns `None` when the subject never existed in any version.
+    pub fn provenance(&self, table: &str, column: Option<&str>) -> Option<Provenance> {
+        let table_name = Name::from(table);
+        let column_name = column.map(Name::from);
+
+        let mut events = Vec::new();
+        for delta in self.deltas() {
+            match &column_name {
+                None => {
+                    if delta.diff.tables_added.contains(&table_name) {
+                        events.push(event(delta.month, delta.date, "table-added"));
+                    }
+                    if delta.diff.tables_dropped.contains(&table_name) {
+                        events.push(event(delta.month, delta.date, "table-dropped"));
+                    }
+                }
+                Some(col) => {
+                    for change in &delta.diff.changes {
+                        if change.table == table_name && change.attribute == *col {
+                            events.push(event(delta.month, delta.date, change.kind.label()));
+                        }
+                    }
+                }
+            }
+        }
+        if events.is_empty() {
+            return None;
+        }
+
+        let final_schema = self.final_schema();
+        let alive = match &column_name {
+            None => final_schema.table_of(&table_name).is_some(),
+            Some(col) => final_schema
+                .table_of(&table_name)
+                .is_some_and(|t| t.attribute_of(col).is_some()),
+        };
+
+        // Labels match `ChangeKind::label()`; the unit tests pin them.
+        let (births, deaths): (&[&str], &[&str]) = if column.is_none() {
+            (&["table-added"], &["table-dropped"])
+        } else {
+            (
+                &["born-with-table", "injected"],
+                &["deleted-with-table", "ejected"],
+            )
+        };
+        let introduced = events.iter().rev().find(|e| births.contains(&e.change)).cloned();
+        let ejected = events.iter().rev().find(|e| deaths.contains(&e.change)).cloned();
+
+        Some(Provenance {
+            table: table.to_owned(),
+            column: column.map(str::to_owned),
+            alive,
+            introduced,
+            ejected: if alive { None } else { ejected },
+            events,
+        })
+    }
+}
+
+fn event(month: MonthId, date: Date, change: &'static str) -> ProvenanceEvent {
+    ProvenanceEvent {
+        month,
+        date,
+        change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_history::ProjectHistoryBuilder;
+
+    fn index() -> AsOfIndex {
+        let mut b = ProjectHistoryBuilder::new("prov");
+        b.snapshot(Date::new(2020, 1, 10), "CREATE TABLE t (a INT);");
+        b.snapshot(Date::new(2020, 4, 2), "CREATE TABLE t (a INT, b INT);");
+        b.snapshot(Date::new(2020, 9, 2), "CREATE TABLE t (a INT);");
+        b.snapshot(Date::new(2021, 2, 20), "CREATE TABLE v (x INT);");
+        AsOfIndex::build(&b.build(), 12).unwrap()
+    }
+
+    #[test]
+    fn live_column_reports_its_introducing_version() {
+        let idx = index();
+        let p = idx.provenance("v", Some("x")).unwrap();
+        assert!(p.alive);
+        assert_eq!(p.introduced.as_ref().unwrap().month, MonthId::from_ym(2021, 2));
+        assert_eq!(p.introduced.as_ref().unwrap().change, "born-with-table");
+        assert!(p.ejected.is_none());
+    }
+
+    #[test]
+    fn dead_column_reports_its_ejecting_version() {
+        let idx = index();
+        let p = idx.provenance("t", Some("b")).unwrap();
+        assert!(!p.alive);
+        assert_eq!(p.introduced.as_ref().unwrap().change, "injected");
+        let ejected = p.ejected.unwrap();
+        assert_eq!(ejected.month, MonthId::from_ym(2020, 9));
+        assert_eq!(ejected.change, "ejected");
+    }
+
+    #[test]
+    fn dead_table_lineage_spans_add_and_drop() {
+        let idx = index();
+        let p = idx.provenance("T", None).unwrap(); // case-insensitive
+        assert!(!p.alive);
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.ejected.unwrap().month, MonthId::from_ym(2021, 2));
+    }
+
+    #[test]
+    fn never_existed_is_none() {
+        assert!(index().provenance("ghost", None).is_none());
+        assert!(index().provenance("t", Some("ghost")).is_none());
+    }
+
+    #[test]
+    fn birth_and_death_labels_track_the_taxonomy() {
+        use schemachron_model::ChangeKind;
+        // `provenance` classifies events by these literal labels; they must
+        // stay in lockstep with the model's taxonomy labels.
+        assert_eq!(ChangeKind::AttributeBornWithTable.label(), "born-with-table");
+        assert_eq!(ChangeKind::AttributeInjected.label(), "injected");
+        assert_eq!(ChangeKind::AttributeDeletedWithTable.label(), "deleted-with-table");
+        assert_eq!(ChangeKind::AttributeEjected.label(), "ejected");
+    }
+}

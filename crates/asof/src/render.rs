@@ -1,0 +1,171 @@
+//! Human and JSON renderers for as-of query results.
+//!
+//! Mirroring the lint diagnostics framework's renderer split, the query
+//! engine returns plain data and this module owns presentation. Both the
+//! CLI and the HTTP service call these functions, so a CLI golden and a
+//! `curl` response for the same query are byte-identical JSON.
+
+use schemachron_history::MonthId;
+use schemachron_model::{render_schema_sql, Schema, SchemaDiff};
+use serde_json::{json, Value};
+
+use crate::index::AsOfIndex;
+use crate::provenance::Provenance;
+
+/// Shared response envelope: the project and its observed lifespan.
+fn envelope(index: &AsOfIndex) -> Value {
+    json!({
+        "project": (index.project()),
+        "lifespan": {
+            "start": (index.start().to_string()),
+            "last": (index.last_month().to_string()),
+            "months": (index.months()),
+        },
+        "k_months": (index.k_months()),
+        "checkpoints": (index.checkpoint_count()),
+    })
+}
+
+fn with_envelope(index: &AsOfIndex, extra: Value) -> Value {
+    let mut base = envelope(index);
+    if let (Value::Object(b), Value::Object(e)) = (&mut base, extra) {
+        for (k, v) in e {
+            b.insert(k, v);
+        }
+    }
+    base
+}
+
+/// The JSON form of a `schema?asof=` answer.
+pub fn schema_json(index: &AsOfIndex, m: MonthId, schema: &Schema) -> Value {
+    with_envelope(
+        index,
+        json!({
+            "asof": (m.to_string()),
+            "table_count": (schema.table_count()),
+            "attribute_count": (schema.attribute_count()),
+            "schema": (serde_json::to_value(schema).unwrap_or(Value::Null)),
+        }),
+    )
+}
+
+/// The human form of a `schema?asof=` answer: a header plus the SQL dump.
+pub fn schema_human(index: &AsOfIndex, m: MonthId, schema: &Schema) -> String {
+    let mut out = format!(
+        "{} as of {m}: {} tables, {} attributes (lifespan {}..{}, K={})\n",
+        index.project(),
+        schema.table_count(),
+        schema.attribute_count(),
+        index.start(),
+        index.last_month(),
+        index.k_months(),
+    );
+    if schema.is_empty() {
+        out.push_str("-- empty schema\n");
+    } else {
+        out.push_str(&render_schema_sql(schema));
+    }
+    out
+}
+
+/// The JSON form of a `diff?from=&to=` answer.
+pub fn diff_json(index: &AsOfIndex, from: MonthId, to: MonthId, d: &SchemaDiff) -> Value {
+    with_envelope(
+        index,
+        json!({
+            "from": (from.to_string()),
+            "to": (to.to_string()),
+            "tables_added": (d.tables_added.iter().map(|n| n.as_str()).collect::<Vec<_>>()),
+            "tables_dropped": (d.tables_dropped.iter().map(|n| n.as_str()).collect::<Vec<_>>()),
+            "changes": (d
+                .changes
+                .iter()
+                .map(|c| {
+                    json!({
+                        "table": (c.table.as_str()),
+                        "attribute": (c.attribute.as_str()),
+                        "kind": (c.kind.label()),
+                    })
+                })
+                .collect::<Vec<_>>()),
+            "attribute_changes": (d.attribute_change_count()),
+            "expansion": (d.expansion_count()),
+            "maintenance": (d.maintenance_count()),
+        }),
+    )
+}
+
+/// The human form of a `diff?from=&to=` answer.
+pub fn diff_human(index: &AsOfIndex, from: MonthId, to: MonthId, d: &SchemaDiff) -> String {
+    let mut out = format!(
+        "{} diff {from} -> {to}: {} affected attributes ({} expansion, {} maintenance)\n",
+        index.project(),
+        d.attribute_change_count(),
+        d.expansion_count(),
+        d.maintenance_count(),
+    );
+    for n in &d.tables_added {
+        out.push_str(&format!("  + table {}\n", n.as_str()));
+    }
+    for n in &d.tables_dropped {
+        out.push_str(&format!("  - table {}\n", n.as_str()));
+    }
+    for c in &d.changes {
+        out.push_str(&format!(
+            "    {}.{}: {}\n",
+            c.table.as_str(),
+            c.attribute.as_str(),
+            c.kind.label()
+        ));
+    }
+    if d.is_empty() {
+        out.push_str("  (no logical changes)\n");
+    }
+    out
+}
+
+/// The JSON form of a provenance answer.
+pub fn provenance_json(index: &AsOfIndex, p: &Provenance) -> Value {
+    let event = |e: &crate::provenance::ProvenanceEvent| {
+        json!({
+            "month": (e.month.to_string()),
+            "date": (e.date.to_string()),
+            "change": (e.change),
+        })
+    };
+    with_envelope(
+        index,
+        json!({
+            "table": (p.table.clone()),
+            "column": (p.column.clone().map(Value::String).unwrap_or(Value::Null)),
+            "alive": (p.alive),
+            "introduced": (p.introduced.as_ref().map(&event).unwrap_or(Value::Null)),
+            "ejected": (p.ejected.as_ref().map(&event).unwrap_or(Value::Null)),
+            "events": (p.events.iter().map(&event).collect::<Vec<_>>()),
+        }),
+    )
+}
+
+/// The human form of a provenance answer.
+pub fn provenance_human(index: &AsOfIndex, p: &Provenance) -> String {
+    let subject = match &p.column {
+        Some(col) => format!("{}.{col}", p.table),
+        None => p.table.clone(),
+    };
+    let mut out = format!(
+        "{} provenance of {subject}: {}\n",
+        index.project(),
+        if p.alive { "alive" } else { "dead" },
+    );
+    if let Some(e) = &p.introduced {
+        out.push_str(&format!("  introduced {} ({}, {})\n", e.month, e.date, e.change));
+    }
+    if let Some(e) = &p.ejected {
+        out.push_str(&format!("  ejected    {} ({}, {})\n", e.month, e.date, e.change));
+    }
+    out.push_str("  lineage:\n");
+    for e in &p.events {
+        out.push_str(&format!("    {} {} {}\n", e.month, e.date, e.change));
+    }
+    out
+}

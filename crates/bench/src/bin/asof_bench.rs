@@ -1,0 +1,173 @@
+//! Time-travel lookup benchmark for the checkpointed as-of index.
+//!
+//! Answers "what did the schema look like in month m?" for **every month of
+//! every project** in the seed-42 corpus, two ways:
+//!
+//! 1. **cold** — naive full replay: rebuild the schema from the project's
+//!    birth forward for each queried month (no checkpoints; what a caller
+//!    without the index would do);
+//! 2. **warm** — the checkpointed index: binary-search the replay state,
+//!    answer with a shared `Arc` once it is materialized (first contact
+//!    replays at most K−1 months of deltas from the nearest checkpoint),
+//!    with the index itself served from the pipeline stage cache.
+//!
+//! Runs the warm path at every checkpoint spacing K ∈ {1, 6, 12, 48} and
+//! also times the index builds (the cost the cache amortizes). Writes
+//! `BENCH_asof.json` at the workspace root and exits nonzero when the warm
+//! lookup sweep is not at least 10x faster than cold full replay at the
+//! default spacing (K = 12) — the property the checkpoints exist to provide.
+
+use std::time::Instant;
+
+use schemachron_asof::{index_for, AsOfArtifact};
+use schemachron_corpus::{pipeline, Corpus};
+
+/// Timing repetitions; the minimum is reported to damp scheduler noise.
+const REPS: usize = 3;
+
+/// The checkpoint spacings under test; 12 is the engine default.
+const SPACINGS: [usize; 4] = [1, 6, 12, 48];
+
+/// The spacing the speedup gate applies to.
+const GATE_K: usize = 12;
+
+/// Minimum cold/warm ratio the gate demands at [`GATE_K`].
+const GATE_SPEEDUP: f64 = 10.0;
+
+/// Sweeps every month of every project through `lookup`, returning
+/// (elapsed ms, total tables seen). The table count both defeats
+/// dead-code elimination and cross-checks that the two paths visit the
+/// same schemas.
+fn sweep<F>(indexes: &[std::sync::Arc<AsOfArtifact>], mut lookup: F) -> (f64, u64)
+where
+    F: FnMut(&AsOfArtifact, schemachron_history::MonthId) -> Option<u64>,
+{
+    let start = Instant::now();
+    let mut tables: u64 = 0;
+    for index in indexes {
+        let index: &AsOfArtifact = index;
+        let mut m = index.start();
+        while m <= index.last_month() {
+            if let Some(count) = lookup(index, m) {
+                tables += count;
+            }
+            m = m.plus(1);
+        }
+    }
+    (start.elapsed().as_secs_f64() * 1e3, tables)
+}
+
+fn main() {
+    let seed = schemachron_bench::DEFAULT_SEED;
+    let jobs = schemachron_corpus::effective_jobs();
+    let corpus = Corpus::generate(seed);
+    let projects = corpus.projects();
+    let months: usize = projects
+        .iter()
+        .filter_map(|p| schemachron_asof::AsOfIndex::build(&p.history, 1))
+        .map(|i| i.months())
+        .sum();
+    println!(
+        "bench: asof    {} projects, {months} project-months, jobs {jobs}",
+        projects.len()
+    );
+
+    let mut per_k = Vec::new();
+    let mut cold_ms = f64::INFINITY;
+    let mut cold_tables = 0;
+    let mut gate_warm_ms = f64::INFINITY;
+
+    for k in SPACINGS {
+        // Index build, cold cache: the one-off cost a checkpoint spacing
+        // buys its lookups with.
+        let mut build_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            pipeline::clear_stage_cache();
+            let start = Instant::now();
+            let built: usize = projects
+                .iter()
+                .filter_map(|p| index_for(p, seed, k))
+                .count();
+            build_ms = build_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(built, projects.len());
+        }
+
+        // The cache is warm now: collecting the indexes is a pure lookup.
+        let indexes: Vec<_> = projects
+            .iter()
+            .filter_map(|p| index_for(p, seed, k))
+            .collect();
+        let checkpoints: usize = indexes.iter().map(|i| i.checkpoint_count()).sum();
+
+        // Cold baseline: naive full replay, measured once (it has no K).
+        if cold_ms.is_infinite() {
+            for _ in 0..REPS {
+                let (ms, tables) =
+                    sweep(&indexes, |i, m| i.schema_by_full_replay(m).map(|s| s.table_count() as u64));
+                cold_ms = cold_ms.min(ms);
+                cold_tables = tables;
+            }
+        }
+
+        // Warm sweep: binary search + shared materialized replay states.
+        let mut warm_ms = f64::INFINITY;
+        let mut warm_tables = 0;
+        for _ in 0..REPS {
+            let (ms, tables) =
+                sweep(&indexes, |i, m| i.schema_as_of(m).map(|s| s.table_count() as u64));
+            warm_ms = warm_ms.min(ms);
+            warm_tables = tables;
+        }
+        assert_eq!(
+            warm_tables, cold_tables,
+            "K={k}: the two lookup paths must visit identical schemas"
+        );
+        if k == GATE_K {
+            gate_warm_ms = warm_ms;
+        }
+
+        let speedup = cold_ms / warm_ms;
+        println!(
+            "bench: asof    K={k:<3} build {build_ms:>9.3}ms  checkpoints {checkpoints:>5}  \
+             warm sweep {warm_ms:>9.3}ms  vs cold {cold_ms:>9.3}ms  speedup {speedup:.1}x"
+        );
+        per_k.push(serde_json::json!({
+            "k_months": k,
+            "build_ms": build_ms,
+            "checkpoints": checkpoints,
+            "warm_lookup_ms": warm_ms,
+            "speedup_vs_full_replay": speedup,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "asof/checkpointed_lookup",
+        "seed": seed,
+        "jobs": jobs,
+        "projects": (projects.len()),
+        "project_months": months,
+        "reps": REPS,
+        "cold_full_replay_ms": cold_ms,
+        "per_k": (serde_json::Value::Array(per_k)),
+        "gate": {
+            "k_months": GATE_K,
+            "min_speedup": GATE_SPEEDUP,
+            "warm_lookup_ms": gate_warm_ms,
+            "speedup": (cold_ms / gate_warm_ms),
+        },
+    });
+    // CARGO_MANIFEST_DIR = crates/bench, so ../.. is the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_asof.json");
+    match std::fs::write(out, serde_json::to_string_pretty(&report).unwrap()) {
+        Ok(()) => println!("bench: wrote {out}"),
+        Err(e) => eprintln!("bench: could not write {out}: {e}"),
+    }
+
+    if cold_ms < gate_warm_ms * GATE_SPEEDUP {
+        eprintln!(
+            "bench: FAIL — the K={GATE_K} warm sweep must be at least {GATE_SPEEDUP}x \
+             faster than cold full replay ({gate_warm_ms:.3}ms vs {cold_ms:.3}ms)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@
 //! schemachron corpus verify
 //! schemachron lint [--seed N] [--jobs N] [--format json] [--deny warnings] [--dir <dir>]
 //! schemachron experiments [<id> | all] [--seed N] [--jobs N]
+//! schemachron asof <project> --at YYYY-MM [--diff YYYY-MM] [--provenance SUBJ]
 //! schemachron chart <dir> [--snapshot]
 //! schemachron chaos [--seed N] [--fault-seed N] [--rate R] [--site S]...
 //! schemachron help
@@ -111,6 +112,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
         Some("lint") => lint(&args[1..], out),
         Some("corpus") => corpus(&args[1..], out),
         Some("experiments") => experiments(&args[1..], out),
+        Some("asof") => asof(&args[1..], out),
         Some("serve") => serve(&args[1..], out),
         Some("chart") => chart(&args[1..], out),
         Some("chaos") => chaos::run_chaos(&args[1..], out),
@@ -154,6 +156,15 @@ pub fn usage() -> &'static str {
      \x20     Regenerate the paper's tables/figures and the beyond-paper\n\
      \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
      \x20     exp_coevolution, exp_forecast).\n\
+     \x20 schemachron asof <project> --at YYYY-MM [--diff YYYY-MM]\n\
+     \x20                  [--provenance TABLE[.COLUMN]] [--k N] [--seed N]\n\
+     \x20                  [--jobs N] [--format json]\n\
+     \x20     Time-travel queries over one corpus project's history: the\n\
+     \x20     schema as of a month, the attribute-level diff between --at and\n\
+     \x20     --diff, or the provenance (introduction/ejection lineage) of a\n\
+     \x20     table or column. --k sets the checkpoint spacing in months\n\
+     \x20     (default 12). JSON output is byte-identical to the serve\n\
+     \x20     routes' answers for the same query.\n\
      \x20 schemachron serve [--addr HOST:PORT] [--seed N] [--jobs N]\n\
      \x20                   [--deadline-ms MS]\n\
      \x20     Serve corpora, patterns and experiments over HTTP/JSON (default\n\
@@ -166,8 +177,9 @@ pub fn usage() -> &'static str {
      \x20     Deterministic fault drill: run ingest, materialization, goldens\n\
      \x20     and the serve guard under seed-keyed injected faults (sites:\n\
      \x20     io::write, pipeline::stage, par_map::worker, serve::request,\n\
-     \x20     serve::conn) and assert recovery. The report is byte-identical\n\
-     \x20     at any --jobs level; exits non-zero on invariant violations.\n\
+     \x20     serve::conn, asof::checkpoint) and assert recovery. The report\n\
+     \x20     is byte-identical at any --jobs level; exits non-zero on\n\
+     \x20     invariant violations.\n\
      \x20 schemachron chart <dir> [--snapshot]\n\
      \x20     Draw the cumulative schema/source chart of a project directory.\n\
      \x20 schemachron diff <old.sql> <new.sql>\n\
@@ -253,6 +265,10 @@ fn takes_value(opt: &str) -> bool {
             | "--site"
             | "--slow-ms"
             | "--deadline-ms"
+            | "--at"
+            | "--diff"
+            | "--provenance"
+            | "--k"
     )
 }
 
@@ -704,6 +720,128 @@ fn experiments(args: &[String], out: &mut dyn Write) -> CliResult {
     Ok(())
 }
 
+/// `schemachron asof` — time-travel queries over one corpus project.
+fn asof(args: &[String], out: &mut dyn Write) -> CliResult {
+    use schemachron_asof::render;
+    use schemachron_history::MonthId;
+
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
+    let json = match opt_value(&argv, "--format") {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::new(format!(
+                "invalid --format value `{other}` (expected `human` or `json`)"
+            )))
+        }
+    };
+    let k = match opt_value(&argv, "--k") {
+        None => schemachron_asof::DEFAULT_K_MONTHS,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(CliError::new(format!(
+                    "invalid --k value `{v}` (expected a positive checkpoint spacing in months)"
+                )))
+            }
+        },
+    };
+    let name =
+        positional(&argv).ok_or_else(|| CliError::new("asof: missing <project> name"))?;
+    let corpus = Corpus::generate(seed);
+    let project = corpus
+        .projects()
+        .iter()
+        .find(|p| p.card.name == name)
+        .ok_or_else(|| {
+            CliError::new(format!(
+                "asof: no project `{name}` in the seed-{seed} corpus\n\
+                 hint: `schemachron serve` route /corpus/{seed}/projects lists the names"
+            ))
+        })?;
+    let index = schemachron_asof::index_for(project, seed, k).ok_or_else(|| {
+        CliError::new(format!(
+            "asof: {name} retains no schema versions to index"
+        ))
+    })?;
+
+    let month = |key: &str| -> Result<MonthId, CliError> {
+        let raw = opt_value(&argv, key)
+            .ok_or_else(|| CliError::new(format!("asof: missing {key} YYYY-MM")))?;
+        raw.parse().map_err(|e: schemachron_history::MonthParseError| {
+            CliError::new(format!(
+                "asof: {e}\nhint: months are written YYYY-MM, e.g. 2009-06"
+            ))
+        })
+    };
+    let in_lifespan = |m: MonthId| -> Result<(), CliError> {
+        if index.in_lifespan(m) {
+            return Ok(());
+        }
+        Err(CliError::new(format!(
+            "asof: {m} is outside {name}'s lifespan {}..{} ({} months)",
+            index.start(),
+            index.last_month(),
+            index.months()
+        )))
+    };
+    let emit = |out: &mut dyn Write, value: &serde_json::Value, human: String| -> CliResult {
+        if json {
+            // Matches the serve routes byte for byte: pretty JSON + newline.
+            let body =
+                serde_json::to_string_pretty(value).unwrap_or_else(|_| "{}".to_owned());
+            let _ = writeln!(out, "{body}");
+        } else {
+            let _ = write!(out, "{human}");
+        }
+        Ok(())
+    };
+
+    if let Some(subject) = opt_value(&argv, "--provenance") {
+        let (table, column) = match subject.split_once('.') {
+            Some((t, c)) => (t, Some(c)),
+            None => (subject, None),
+        };
+        let p = index.provenance(table, column).ok_or_else(|| {
+            CliError::new(format!(
+                "asof: {name} never defined `{subject}`\n\
+                 hint: provenance subjects are TABLE or TABLE.COLUMN"
+            ))
+        })?;
+        return emit(
+            out,
+            &render::provenance_json(&index, &p),
+            render::provenance_human(&index, &p),
+        );
+    }
+    if opt_value(&argv, "--diff").is_some() {
+        let from = month("--at")?;
+        let to = month("--diff")?;
+        in_lifespan(from)?;
+        in_lifespan(to)?;
+        let d = index
+            .diff_between(from, to)
+            .ok_or_else(|| CliError::new("asof: diff endpoints left the lifespan"))?;
+        return emit(
+            out,
+            &render::diff_json(&index, from, to, &d),
+            render::diff_human(&index, from, to, &d),
+        );
+    }
+    let m = month("--at")?;
+    in_lifespan(m)?;
+    let schema = index
+        .schema_as_of(m)
+        .ok_or_else(|| CliError::new("asof: month left the lifespan"))?;
+    emit(
+        out,
+        &render::schema_json(&index, m, &schema),
+        render::schema_human(&index, m, &schema),
+    )
+}
+
 /// Diffs two schema dumps and reports the paper's change taxonomy.
 fn diff_cmd(args: &[String], out: &mut dyn Write) -> CliResult {
     let argv: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -1012,6 +1150,103 @@ mod tests {
     fn study_missing_root_errors() {
         assert!(run_to_string(&["study"]).is_err());
         assert!(run_to_string(&["study", "/nonexistent/nowhere"]).is_err());
+    }
+
+    /// The seed-42 corpus project the asof tests query, plus the bounds of
+    /// its lifespan as `YYYY-MM` strings.
+    fn asof_subject() -> (String, String, String, String) {
+        let corpus = Corpus::generate(schemachron_bench::DEFAULT_SEED);
+        let p = &corpus.projects()[0];
+        let index = schemachron_asof::AsOfIndex::build(&p.history, 12).unwrap();
+        let table = p
+            .history
+            .schema_history()
+            .unwrap()
+            .versions()
+            .last()
+            .unwrap()
+            .schema
+            .tables()
+            .next()
+            .unwrap()
+            .name
+            .as_str()
+            .to_owned();
+        (
+            p.card.name.clone(),
+            index.start().to_string(),
+            index.last_month().to_string(),
+            table,
+        )
+    }
+
+    #[test]
+    fn asof_answers_schema_diff_and_provenance_queries() {
+        let (name, start, last, table) = asof_subject();
+
+        let s = run_to_string(&["asof", &name, "--at", &last]).unwrap();
+        assert!(s.contains(&format!("{name} as of {last}:")), "{s}");
+
+        let j = run_to_string(&["asof", &name, "--at", &last, "--format", "json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["project"].as_str(), Some(name.as_str()));
+        assert_eq!(v["asof"].as_str(), Some(last.as_str()));
+        assert!(v["table_count"].as_u64().unwrap() > 0, "{j}");
+
+        let d = run_to_string(&["asof", &name, "--at", &start, "--diff", &last]).unwrap();
+        assert!(d.contains(&format!("diff {start} -> {last}")), "{d}");
+
+        let p = run_to_string(&["asof", &name, "--provenance", &table]).unwrap();
+        assert!(p.contains(&format!("provenance of {table}")), "{p}");
+        assert!(p.contains("introduced"), "{p}");
+    }
+
+    #[test]
+    fn asof_json_matches_the_serve_route_byte_for_byte() {
+        let (name, _, last, table) = asof_subject();
+        let state = schemachron_serve::AppState::new(schemachron_bench::DEFAULT_SEED);
+        let via_serve = |path: &str, query: &[(&str, &str)]| -> String {
+            let req = schemachron_serve::http::Request {
+                method: "GET".to_owned(),
+                target: path.to_owned(),
+                path: path.to_owned(),
+                query: query
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                    .collect(),
+            };
+            let resp = state.handle(&req);
+            assert_eq!(resp.status, 200, "{path}");
+            String::from_utf8(resp.body).unwrap()
+        };
+
+        let cli = run_to_string(&["asof", &name, "--at", &last, "--format", "json"]).unwrap();
+        let srv = via_serve(&format!("/project/{name}/schema"), &[("asof", &last)]);
+        assert_eq!(cli, srv, "schema answers must be byte-identical");
+
+        let cli =
+            run_to_string(&["asof", &name, "--provenance", &table, "--format", "json"]).unwrap();
+        let srv = via_serve(&format!("/project/{name}/provenance/{table}"), &[]);
+        assert_eq!(cli, srv, "provenance answers must be byte-identical");
+    }
+
+    #[test]
+    fn asof_argument_validation() {
+        let (name, _, last, _) = asof_subject();
+        assert!(run_to_string(&["asof"]).is_err());
+        assert!(run_to_string(&["asof", "no-such-project", "--at", &last]).is_err());
+        assert!(run_to_string(&["asof", &name, "--at", &last, "--format", "xml"]).is_err());
+        assert!(run_to_string(&["asof", &name, "--at", &last, "--k", "0"]).is_err());
+
+        let err = run_to_string(&["asof", &name]).expect_err("--at is required");
+        assert!(err.message.contains("--at"), "{}", err.message);
+
+        let err = run_to_string(&["asof", &name, "--at", "2009-13"]).expect_err("bad month");
+        assert!(err.message.contains("YYYY-MM"), "{}", err.message);
+
+        let err = run_to_string(&["asof", &name, "--at", "1901-01"])
+            .expect_err("out of lifespan");
+        assert!(err.message.contains("lifespan"), "{}", err.message);
     }
 
     #[test]

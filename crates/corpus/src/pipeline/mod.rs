@@ -51,6 +51,61 @@ pub fn stage_stats() -> Vec<StageStats> {
     stage::cache().stats_snapshot(&STAGE_ORDER)
 }
 
+/// Snapshots the global counters for an arbitrary stage-name list — for
+/// consumers (like the as-of index) whose namespaces are not part of
+/// [`STAGE_ORDER`].
+pub fn stage_stats_for(order: &[&'static str]) -> Vec<StageStats> {
+    stage::cache().stats_snapshot(order)
+}
+
+/// Fetches a typed artifact from the process-wide stage cache, recording a
+/// global hit when found. External subsystems (e.g. `schemachron-asof`)
+/// that keep their artifacts in this cache under their own stage namespace
+/// go through this; the 8 ingestion stages use their internal chain walk.
+pub fn stage_artifact<T: Send + Sync + 'static>(
+    stage: &'static str,
+    key: StageKey,
+) -> Option<std::sync::Arc<T>> {
+    stage::cache().get(stage, key)
+}
+
+/// Fetches a typed artifact **without** recording a hit — for observers
+/// (lint audits, tests) that must not perturb the cache telemetry.
+pub fn peek_stage_artifact<T: Send + Sync + 'static>(
+    stage: &'static str,
+    key: StageKey,
+) -> Option<std::sync::Arc<T>> {
+    stage::cache().peek(stage, key)
+}
+
+/// Publishes a freshly computed artifact into the process-wide stage cache
+/// under `(stage, key)`, recording a global miss plus `busy` compute time.
+/// The key must be a content hash chained from the artifact's inputs — the
+/// lint cache auditor (`H001`/`H002`/`H005`) walks every resident entry and
+/// flags any key it cannot re-derive.
+pub fn insert_stage_artifact(
+    stage: &'static str,
+    key: StageKey,
+    value: std::sync::Arc<dyn std::any::Any + Send + Sync>,
+    busy: std::time::Duration,
+) {
+    stage::cache().insert(stage, key, value, busy);
+}
+
+/// Records a quarantined recomputation for an external stage namespace: the
+/// build panicked before producing an artifact, so nothing was published
+/// under its key (see [`StageStats::quarantined`]).
+pub fn record_stage_quarantine(stage: &'static str) {
+    stage::cache().record_quarantine(stage);
+}
+
+/// The content-hash key of a card's **history** stage artifact (chain link
+/// 5 of 8): the `ProjectHistory` fingerprint downstream consumers chain
+/// their own keys from, so a card edit invalidates them transitively.
+pub fn history_stage_key(card: &crate::Card, seed: u64) -> StageKey {
+    chain_keys(card, seed)[4]
+}
+
 /// Zeroes the global per-stage counters (cached artifacts are kept).
 pub fn reset_stage_stats() {
     stage::cache().reset_stats();

@@ -301,6 +301,22 @@ impl PipelineCache {
         found
     }
 
+    /// Fetches a typed artifact **without** touching the hit/miss counters.
+    /// For observers (lint audits, tests) that must not perturb the
+    /// telemetry the benches and `/health` report.
+    pub(crate) fn peek<T: Send + Sync + 'static>(
+        &self,
+        stage: &'static str,
+        key: StageKey,
+    ) -> Option<Arc<T>> {
+        let inner = lock(&self.shards[self.shard_of(key)].inner);
+        inner
+            .map
+            .get(&(stage, key))
+            .cloned()
+            .and_then(|v| v.downcast::<T>().ok())
+    }
+
     /// Stores a freshly computed artifact; records a global miss plus the
     /// compute wall time.
     pub(crate) fn insert(

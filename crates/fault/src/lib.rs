@@ -59,9 +59,18 @@ pub mod site {
     pub const SERVE_REQUEST: &str = "serve::request";
     /// One HTTP connection, after the response is computed (drops it).
     pub const SERVE_CONN: &str = "serve::conn";
+    /// One as-of index checkpoint build (keyed by `stage:cache-key`).
+    pub const ASOF_CHECKPOINT: &str = "asof::checkpoint";
 
     /// Every registered site, for validation and documentation.
-    pub const ALL: [&str; 5] = [IO_WRITE, PIPELINE_STAGE, PAR_MAP_WORKER, SERVE_REQUEST, SERVE_CONN];
+    pub const ALL: [&str; 6] = [
+        IO_WRITE,
+        PIPELINE_STAGE,
+        PAR_MAP_WORKER,
+        SERVE_REQUEST,
+        SERVE_CONN,
+        ASOF_CHECKPOINT,
+    ];
 }
 
 /// What kind of fault to act out at an injection point.
@@ -347,6 +356,28 @@ pub fn stage_point(key: &str) {
         }
         Some(FaultKind::WorkerPanic) => {
             panic!("{INJECTED_PANIC_PREFIX} stage fault ({key})");
+        }
+        _ => {}
+    }
+}
+
+/// Combined point for as-of index checkpoint builds (slow or panic).
+///
+/// # Panics
+/// By design, when the installed plan injects a [`FaultKind::WorkerPanic`].
+pub fn checkpoint_point(key: &str) {
+    match roll(
+        site::ASOF_CHECKPOINT,
+        key,
+        &[FaultKind::Slow, FaultKind::WorkerPanic],
+    ) {
+        Some(FaultKind::Slow) => {
+            if let Some(p) = plan() {
+                std::thread::sleep(p.slow);
+            }
+        }
+        Some(FaultKind::WorkerPanic) => {
+            panic!("{INJECTED_PANIC_PREFIX} checkpoint fault ({key})");
         }
         _ => {}
     }

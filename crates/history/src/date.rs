@@ -20,9 +20,28 @@ pub struct MonthId(pub i32);
 
 impl MonthId {
     /// Builds a `MonthId` from a calendar year and 1-based month.
+    ///
+    /// For **trusted internal callers** only: the month-range check is a
+    /// `debug_assert!`, so `from_ym(2009, 13)` silently yields 2010-01 in
+    /// release builds. Anything parsing external input (CLI flags, HTTP
+    /// query strings) must go through [`MonthId::try_from_ym`] or the
+    /// [`FromStr`] impl instead.
     pub fn from_ym(year: i32, month: u8) -> Self {
         debug_assert!((1..=12).contains(&month), "month out of range: {month}");
         MonthId(year * 12 + i32::from(month) - 1)
+    }
+
+    /// Checked construction from a calendar year and 1-based month: the
+    /// untrusted-input counterpart of [`MonthId::from_ym`], which only
+    /// range-checks the month in debug builds.
+    pub fn try_from_ym(year: i32, month: u8) -> Result<Self, MonthParseError> {
+        if (1..=12).contains(&month) {
+            Ok(MonthId(year * 12 + i32::from(month) - 1))
+        } else {
+            Err(MonthParseError(format!(
+                "{year:04}-{month:02} (month must be 01..=12)"
+            )))
+        }
     }
 
     /// The calendar year.
@@ -49,6 +68,40 @@ impl MonthId {
 impl fmt::Display for MonthId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:04}-{:02}", self.year(), self.month())
+    }
+}
+
+/// Error from parsing or checked construction of a [`MonthId`]: the input
+/// was not a `YYYY-MM` string with a month in `01..=12`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonthParseError(pub String);
+
+impl fmt::Display for MonthParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid month: {} (expected YYYY-MM)", self.0)
+    }
+}
+
+impl std::error::Error for MonthParseError {}
+
+impl FromStr for MonthId {
+    type Err = MonthParseError;
+
+    /// Parses a strict `YYYY-MM` string with a checked month range. This is
+    /// the parse path for untrusted input (`--at 2009-03`, `?asof=2009-03`);
+    /// unlike [`MonthId::from_ym`], out-of-range months are an error in
+    /// every build profile.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        let err = || MonthParseError(s.into());
+        // Split on the *last* dash so negative years (`-0001-07`) parse.
+        let (year_part, month_part) = trimmed.rsplit_once('-').ok_or_else(err)?;
+        if year_part.is_empty() || month_part.len() != 2 {
+            return Err(err());
+        }
+        let year: i32 = year_part.parse().map_err(|_| err())?;
+        let month: u8 = month_part.parse().map_err(|_| err())?;
+        MonthId::try_from_ym(year, month).map_err(|_| err())
     }
 }
 
@@ -154,6 +207,28 @@ mod tests {
         let m = MonthId::from_ym(-1, 1);
         assert_eq!(m.year(), -1);
         assert_eq!(m.month(), 1);
+    }
+
+    #[test]
+    fn try_from_ym_checks_the_month_in_every_profile() {
+        assert_eq!(MonthId::try_from_ym(2009, 3), Ok(MonthId::from_ym(2009, 3)));
+        assert_eq!(MonthId::try_from_ym(2009, 12), Ok(MonthId::from_ym(2009, 12)));
+        // The silent release-mode wraparound `from_ym(2009, 13) == 2010-01`
+        // must be an error on the checked path.
+        assert!(MonthId::try_from_ym(2009, 13).is_err());
+        assert!(MonthId::try_from_ym(2009, 0).is_err());
+    }
+
+    #[test]
+    fn month_id_parses_strict_yyyy_mm() {
+        assert_eq!("2009-03".parse::<MonthId>().unwrap(), MonthId::from_ym(2009, 3));
+        assert_eq!(" 2021-12 ".parse::<MonthId>().unwrap(), MonthId::from_ym(2021, 12));
+        assert_eq!("-0001-07".parse::<MonthId>().unwrap(), MonthId::from_ym(-1, 7));
+        for bad in ["2009-13", "2009-00", "2009", "2009-3", "2009-03-01", "x-03", ""] {
+            assert!(bad.parse::<MonthId>().is_err(), "{bad:?} should not parse");
+        }
+        let err = "2009-13".parse::<MonthId>().unwrap_err();
+        assert!(err.to_string().contains("expected YYYY-MM"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod heartbeat;
 mod project;
 mod version;
 
-pub use date::{Date, DateParseError, MonthId};
+pub use date::{Date, DateParseError, MonthId, MonthParseError};
 pub use heartbeat::Heartbeat;
 pub use project::{ProjectHistory, ProjectHistoryBuilder};
 pub use version::{IngestMode, SchemaHistory, SchemaVersion};

@@ -23,6 +23,23 @@ use crate::diag::{Diagnostic, Report};
 /// does not share code with the audited implementation.
 const STAGE_VERSIONS: [u32; 8] = [1, 1, 1, 1, 1, 1, 1, 1];
 
+/// The as-of checkpoint cache namespace, restated (the engine publishes it
+/// as [`schemachron_asof::CHECKPOINT_STAGE`]; a registry test pins the two
+/// together so drift is caught, not silently tolerated).
+const ASOF_STAGE: &str = "asof-checkpoint";
+
+/// The as-of checkpoint artifact version, restated from
+/// [`schemachron_asof::CHECKPOINT_VERSION`].
+const ASOF_VERSION: u32 = 1;
+
+/// Independent restatement of the as-of checkpoint key derivation:
+/// `derive(name, version, fnv1a(fnv1a(offset, K_le), history_key_le))`.
+fn rederive_asof_key(history_key: StageKey, k_months: usize) -> StageKey {
+    let salted = fnv1a(FNV_OFFSET, &(k_months as u64).to_le_bytes());
+    let salted = fnv1a(salted, &history_key.to_le_bytes());
+    rederive(ASOF_STAGE, ASOF_VERSION, salted)
+}
+
 /// Independent restatement of the cache's shard-count formula: the next
 /// power of two at or above 4 × available parallelism. Deliberately does
 /// not call `pipeline::shard_count_for` — drift between the two is exactly
@@ -66,6 +83,12 @@ fn rederive_chain(card: &Card, seed: u64) -> [StageKey; 8] {
 ///   the count is not a power of two, or an entry resides outside the
 ///   shard its key selects (`key & (count - 1)`). A misplaced entry is
 ///   invisible to lookups, so it silently degrades the cache to a miss.
+/// * **H005** — an as-of checkpoint artifact (the time-travel engine's
+///   namespace) carries a key that disagrees with this module's restated
+///   derivation from the history key and checkpoint spacing the payload
+///   itself records, or the payload is not an as-of index at all. Unlike
+///   H001 this audit is seed-free: the artifact restates its own inputs,
+///   so its key is checkable without knowing which corpus built it.
 pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
     const PROJECT: &str = "(stage-cache)";
 
@@ -94,6 +117,10 @@ pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
 
     let known: BTreeSet<&str> = STAGE_ORDER.iter().copied().collect();
     for (stage, key) in pipeline::stage_cache_entries() {
+        if stage == ASOF_STAGE {
+            audit_asof_entry(key, report);
+            continue;
+        }
         if !known.contains(stage) {
             report.push(Diagnostic::new(
                 "H002",
@@ -150,11 +177,48 @@ pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
     }
 }
 
+/// H005: audits one artifact in the as-of checkpoint namespace against the
+/// restated key derivation (see [`rederive_asof_key`]).
+fn audit_asof_entry(key: StageKey, report: &mut Report) {
+    const PROJECT: &str = "(stage-cache)";
+    let Some(artifact) =
+        pipeline::peek_stage_artifact::<schemachron_asof::AsOfArtifact>(ASOF_STAGE, key)
+    else {
+        report.push(Diagnostic::new(
+            "H005",
+            PROJECT,
+            format!(
+                "cached `{ASOF_STAGE}` artifact {key:016x} is not an as-of index payload"
+            ),
+        ));
+        return;
+    };
+    let restated = rederive_asof_key(artifact.history_key, artifact.k_months);
+    if restated != key {
+        report.push(Diagnostic::new(
+            "H005",
+            PROJECT,
+            format!(
+                "cached `{ASOF_STAGE}` artifact {key:016x} disagrees with the restated \
+                 derivation {restated:016x} for history key {:016x} at K={} \
+                 (project `{}`)",
+                artifact.history_key,
+                artifact.k_months,
+                artifact.index.project(),
+            ),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use schemachron_corpus::cards::all_cards;
     use schemachron_corpus::pipeline::{build_project, corrupt_stage_cache_entry};
+
+    /// The stage cache is process-wide and these tests assert *cache-global*
+    /// facts, so each one takes this lock and starts from an empty cache.
+    static CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn codes(r: &Report) -> Vec<&'static str> {
         r.diagnostics().iter().map(|d| d.code).collect()
@@ -171,6 +235,10 @@ mod tests {
     fn pristine_cache_audits_clean_and_corruption_is_caught() {
         // One test, sequenced: the stage cache is process-wide, so a clean
         // audit must be asserted *before* this test corrupts it.
+        let _lock = CACHE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pipeline::clear_stage_cache();
         let cards: Vec<Card> = all_cards().into_iter().take(3).collect();
         let seed = 4242; // private to this test: no cross-test interference
         for card in &cards {
@@ -229,5 +297,65 @@ mod tests {
     #[test]
     fn restated_shard_formula_matches_pipeline() {
         assert_eq!(rederive_shard_count(), pipeline::stage_cache_shard_count());
+    }
+
+    #[test]
+    fn restated_asof_constants_match_the_engine() {
+        assert_eq!(ASOF_STAGE, schemachron_asof::CHECKPOINT_STAGE);
+        assert_eq!(ASOF_VERSION, schemachron_asof::CHECKPOINT_VERSION);
+        // And the full key derivation, on an arbitrary input pair.
+        assert_eq!(
+            rederive_asof_key(0x1234_5678_9abc_def0, 12),
+            schemachron_asof::checkpoint_key(0x1234_5678_9abc_def0, 12)
+        );
+    }
+
+    #[test]
+    fn asof_entries_audit_clean_and_rekeying_is_caught() {
+        // Sequenced like the stage-cache test above: the cache is
+        // process-wide, so the clean audit comes before the corruption.
+        let _lock = CACHE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pipeline::clear_stage_cache();
+        let cards: Vec<Card> = all_cards().into_iter().take(1).collect();
+        let seed = 52_424; // private to this test: no cross-test interference
+        let corpus = schemachron_corpus::Corpus::from_cards(cards.clone(), seed, 1);
+        let built = schemachron_asof::index_for(&corpus.projects()[0], seed, 12)
+            .expect("corpus projects retain schema versions");
+        let key = schemachron_asof::checkpoint_key(built.history_key, built.k_months);
+
+        let mut clean = Report::new();
+        audit_stage_cache(&cards, seed, &mut clean);
+        assert!(clean.diagnostics().is_empty(), "{}", clean.render_human());
+
+        // Re-key the artifact: its payload restates the real inputs, so the
+        // restated derivation no longer lands on the cached key — H005.
+        let stage = schemachron_asof::CHECKPOINT_STAGE;
+        assert!(corrupt_stage_cache_entry(
+            (stage, key),
+            (stage, key ^ 0x0bad_cafe)
+        ));
+        let mut rekeyed = Report::new();
+        audit_stage_cache(&cards, seed, &mut rekeyed);
+        assert_eq!(codes(&rekeyed), ["H005"]);
+        assert!(
+            rekeyed.render_human().contains("restated"),
+            "{}",
+            rekeyed.render_human()
+        );
+
+        // Restore so other tests sharing the process cache are unaffected.
+        assert!(corrupt_stage_cache_entry(
+            (stage, key ^ 0x0bad_cafe),
+            (stage, key)
+        ));
+        let mut restored = Report::new();
+        audit_stage_cache(&cards, seed, &mut restored);
+        assert!(
+            restored.diagnostics().is_empty(),
+            "{}",
+            restored.render_human()
+        );
     }
 }

@@ -117,7 +117,7 @@ pub struct Rule {
 
 /// The complete rule registry. Codes are append-only: a published code is
 /// never renumbered or reused.
-pub const RULES: [Rule; 21] = [
+pub const RULES: [Rule; 22] = [
     Rule {
         code: "L001",
         severity: Severity::Error,
@@ -218,6 +218,13 @@ pub const RULES: [Rule; 21] = [
         severity: Severity::Error,
         summary: "stage-cache shard layout drifted: shard count disagrees with the restated \
                   formula, or an entry resides outside its key-selected shard",
+    },
+    Rule {
+        code: "H005",
+        severity: Severity::Error,
+        summary: "as-of checkpoint artifact's key disagrees with the restated derivation \
+                  (stage name, version and K-salted history key), or the payload is not \
+                  an as-of index",
     },
     Rule {
         code: "F001",

@@ -253,6 +253,7 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             413 => "Payload Too Large",
+            422 => "Unprocessable Content",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             504 => "Gateway Timeout",

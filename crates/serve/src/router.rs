@@ -7,12 +7,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use schemachron_asof::{index_for, render as asof_render, AsOfArtifact, DEFAULT_K_MONTHS};
 use schemachron_bench::context::ExpContext;
 use schemachron_bench::experiments::{run_experiment, EXPERIMENT_IDS};
 use schemachron_chart::svg::SvgChart;
 use schemachron_core::{classify, classify_nearest, Pattern};
 use schemachron_corpus::CorpusProject;
 use schemachron_fault as fault;
+use schemachron_history::MonthId;
 use serde_json::{json, Value};
 
 use crate::breaker::{Breaker, Gate};
@@ -34,6 +36,9 @@ pub struct Counters {
     project_history: AtomicU64,
     project_pattern: AtomicU64,
     project_diagnostics: AtomicU64,
+    project_schema: AtomicU64,
+    project_diff: AtomicU64,
+    project_provenance: AtomicU64,
     experiments: AtomicU64,
     chart: AtomicU64,
     other: AtomicU64,
@@ -51,6 +56,9 @@ impl Counters {
             "project_history": (get(&self.project_history)),
             "project_pattern": (get(&self.project_pattern)),
             "project_diagnostics": (get(&self.project_diagnostics)),
+            "project_schema": (get(&self.project_schema)),
+            "project_diff": (get(&self.project_diff)),
+            "project_provenance": (get(&self.project_provenance)),
             "experiments": (get(&self.experiments)),
             "chart": (get(&self.chart)),
             "other": (get(&self.other)),
@@ -93,6 +101,9 @@ pub fn route_key(path: &str) -> &'static str {
         ["project", _, "history"] => "project_history",
         ["project", _, "pattern"] => "project_pattern",
         ["project", _, "diagnostics"] => "project_diagnostics",
+        ["project", _, "schema"] => "project_schema",
+        ["project", _, "diff"] => "project_diff",
+        ["project", _, "provenance", _] => "project_provenance",
         ["experiments", _] => "experiments",
         ["chart", _] => "chart",
         _ => "other",
@@ -200,6 +211,28 @@ impl AppState {
                 let default_seed = self.default_seed;
                 self.with_project(id, req, move |p, req| {
                     project_diagnostics(p, req, default_seed)
+                })
+            }
+            ["project", id, "schema"] => {
+                self.counters.project_schema.fetch_add(1, Ordering::Relaxed);
+                let default_seed = self.default_seed;
+                self.with_project(id, req, move |p, req| {
+                    project_schema(p, req, default_seed)
+                })
+            }
+            ["project", id, "diff"] => {
+                self.counters.project_diff.fetch_add(1, Ordering::Relaxed);
+                let default_seed = self.default_seed;
+                self.with_project(id, req, move |p, req| project_diff(p, req, default_seed))
+            }
+            ["project", id, "provenance", subject] => {
+                self.counters
+                    .project_provenance
+                    .fetch_add(1, Ordering::Relaxed);
+                let default_seed = self.default_seed;
+                let subject = (*subject).to_owned();
+                self.with_project(id, req, move |p, req| {
+                    project_provenance(p, req, &subject, default_seed)
                 })
             }
             ["experiments", id] => {
@@ -487,6 +520,9 @@ fn index() -> Response {
                 "GET /project/{id}/history[?seed=s]",
                 "GET /project/{id}/pattern[?seed=s]",
                 "GET /project/{id}/diagnostics[?seed=s]",
+                "GET /project/{id}/schema?asof=YYYY-MM[&seed=s&k=months]",
+                "GET /project/{id}/diff?from=YYYY-MM&to=YYYY-MM[&seed=s&k=months]",
+                "GET /project/{id}/provenance/{table}[.{column}][?seed=s&k=months]",
                 "GET /experiments/{id}",
                 "GET /chart/{id}.svg[?seed=s&w=px&h=px]",
             ],
@@ -545,17 +581,162 @@ fn project_pattern(p: &CorpusProject) -> Response {
     )
 }
 
+/// Re-resolves the seed `with_project` already validated (malformed
+/// `?seed=` was rejected with a 400 before any of these handlers run).
+fn resolved_seed(req: &Request, default_seed: u64) -> u64 {
+    req.query_param("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_seed)
+}
+
+/// Parses a required `?{key}=YYYY-MM` month through the checked
+/// [`MonthId`] path: missing or malformed values answer `400` with a hint
+/// (out-of-range months like `2009-13` never wrap around silently).
+fn month_param(req: &Request, key: &str) -> Result<MonthId, Response> {
+    let Some(raw) = req.query_param(key) else {
+        return Err(Response::json(
+            400,
+            &json!({
+                "error": (format!("missing `{key}` month parameter")),
+                "hint": (format!("pass ?{key}=YYYY-MM, e.g. ?{key}=2009-03")),
+            }),
+        ));
+    };
+    raw.parse::<MonthId>().map_err(|e| {
+        Response::json(
+            400,
+            &json!({
+                "error": (e.to_string()),
+                "got": raw,
+                "hint": (format!("`{key}` takes a YYYY-MM month with month 01..=12")),
+            }),
+        )
+    })
+}
+
+/// The cached as-of index for a project at the request's `?k=` checkpoint
+/// spacing (default 12 months); malformed `?k=` answers `400`.
+fn project_index(
+    p: &CorpusProject,
+    req: &Request,
+    default_seed: u64,
+) -> Result<Arc<AsOfArtifact>, Response> {
+    let k = match req.query_param("k") {
+        None => DEFAULT_K_MONTHS,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => {
+                return Err(Response::json(
+                    400,
+                    &json!({
+                        "error": "k must be a positive month count",
+                        "got": raw,
+                    }),
+                ))
+            }
+        },
+    };
+    index_for(p, resolved_seed(req, default_seed), k).ok_or_else(|| {
+        Response::json(
+            404,
+            &json!({
+                "error": "project retains no schema versions to index",
+                "id": (p.card.name.as_str()),
+            }),
+        )
+    })
+}
+
+/// `422` for a parseable month outside the project's observed lifespan.
+fn out_of_lifespan(index: &AsOfArtifact, key: &str, m: MonthId) -> Response {
+    Response::json(
+        422,
+        &json!({
+            "error": (format!(
+                "`{key}` month {m} is outside the project's observed lifespan"
+            )),
+            "lifespan": {
+                "start": (index.start().to_string()),
+                "last": (index.last_month().to_string()),
+                "months": (index.months()),
+            },
+        }),
+    )
+}
+
+/// `GET /project/{id}/schema?asof=YYYY-MM` — the full logical schema as of
+/// an arbitrary month, answered from the checkpointed as-of index.
+fn project_schema(p: &CorpusProject, req: &Request, default_seed: u64) -> Response {
+    let index = match project_index(p, req, default_seed) {
+        Ok(index) => index,
+        Err(resp) => return resp,
+    };
+    let m = match month_param(req, "asof") {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    match index.schema_as_of(m) {
+        Some(schema) => Response::json(200, &asof_render::schema_json(&index, m, &schema)),
+        None => out_of_lifespan(&index, "asof", m),
+    }
+}
+
+/// `GET /project/{id}/diff?from=YYYY-MM&to=YYYY-MM` — the point-in-time
+/// diff between the schemas of two months.
+fn project_diff(p: &CorpusProject, req: &Request, default_seed: u64) -> Response {
+    let index = match project_index(p, req, default_seed) {
+        Ok(index) => index,
+        Err(resp) => return resp,
+    };
+    let (from, to) = match (month_param(req, "from"), month_param(req, "to")) {
+        (Ok(from), Ok(to)) => (from, to),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    for (key, m) in [("from", from), ("to", to)] {
+        if !index.in_lifespan(m) {
+            return out_of_lifespan(&index, key, m);
+        }
+    }
+    match index.diff_between(from, to) {
+        Some(d) => Response::json(200, &asof_render::diff_json(&index, from, to, &d)),
+        None => out_of_lifespan(&index, "from", from),
+    }
+}
+
+/// `GET /project/{id}/provenance/{table}[.{column}]` — which version
+/// introduced (and, for dead subjects, ejected) a table or column.
+fn project_provenance(
+    p: &CorpusProject,
+    req: &Request,
+    subject: &str,
+    default_seed: u64,
+) -> Response {
+    let index = match project_index(p, req, default_seed) {
+        Ok(index) => index,
+        Err(resp) => return resp,
+    };
+    let (table, column) = match subject.split_once('.') {
+        Some((t, c)) => (t, Some(c)),
+        None => (subject, None),
+    };
+    match index.provenance(table, column) {
+        Some(prov) => Response::json(200, &asof_render::provenance_json(&index, &prov)),
+        None => Response::json(
+            404,
+            &json!({
+                "error": "no version ever defined this subject",
+                "subject": subject,
+                "hint": "provenance targets are {table} or {table}.{column}",
+            }),
+        ),
+    }
+}
+
 /// `GET /project/{id}/diagnostics` — the static analyzer's findings for
 /// this project, in the exact JSON shape `schemachron lint --format json`
 /// emits per project (the renderer is shared).
 fn project_diagnostics(p: &CorpusProject, req: &Request, default_seed: u64) -> Response {
-    // `with_project` has already rejected malformed `?seed=` with a 400,
-    // so a plain fallback re-resolves the same seed it used.
-    let seed = req
-        .query_param("seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default_seed);
-    let report = schemachron_lint::lint_project(&p.card, seed);
+    let report = schemachron_lint::lint_project(&p.card, resolved_seed(req, default_seed));
     Response::json(200, &report.to_json())
 }
 
@@ -642,6 +823,87 @@ mod tests {
             body_json(&state.handle(&get("/health")))["requests"]["total"].as_u64(),
             Some(8)
         );
+    }
+
+    #[test]
+    fn asof_routes_answer_and_reject_bad_months() {
+        // A fresh state: `routes_answer_with_expected_shapes` pins its own
+        // request total and must not see these requests.
+        let state = AppState::new(42);
+        let (name, start, last) = {
+            let ctx = state.context(42);
+            // A project whose schema still changes after its first month,
+            // so the start→last diff below is non-empty (a flatliner's
+            // would be: its whole schema is born in month one).
+            ctx.corpus
+                .projects()
+                .iter()
+                .find_map(|p| {
+                    let index = schemachron_asof::AsOfIndex::build(&p.history, 12)?;
+                    let d = index.diff_between(index.start(), index.last_month())?;
+                    (d.attribute_change_count() > 0).then(|| {
+                        (
+                            p.card.name.clone(),
+                            index.start().to_string(),
+                            index.last_month().to_string(),
+                        )
+                    })
+                })
+                .unwrap()
+        };
+
+        let ok = state.handle(&get(&format!("/project/{name}/schema?asof={last}")));
+        assert_eq!(ok.status, 200);
+        let ok_json = body_json(&ok);
+        assert_eq!(ok_json["project"].as_str(), Some(name.as_str()));
+        assert_eq!(ok_json["asof"].as_str(), Some(last.as_str()));
+        assert!(ok_json["table_count"].as_u64().unwrap() > 0);
+        assert!(ok_json["schema"]["tables"].as_object().is_some());
+
+        let d = state.handle(&get(&format!(
+            "/project/{name}/diff?from={start}&to={last}"
+        )));
+        assert_eq!(d.status, 200);
+        let d_json = body_json(&d);
+        assert!(d_json["attribute_changes"].as_u64().unwrap() > 0);
+
+        // Any table of the final schema has provenance, and the route
+        // accepts both `table` and `table.column` subjects.
+        let table = ok_json["schema"]["tables"]
+            .as_object()
+            .and_then(|m| m.keys().next())
+            .cloned()
+            .unwrap();
+        let prov = state.handle(&get(&format!("/project/{name}/provenance/{table}")));
+        assert_eq!(prov.status, 200);
+        let prov_json = body_json(&prov);
+        assert_eq!(prov_json["alive"].as_bool(), Some(true));
+        assert!(prov_json["introduced"]["month"].as_str().is_some());
+
+        // Missing and malformed months: 400 with a hint, never 404.
+        for bad in [
+            format!("/project/{name}/schema"),
+            format!("/project/{name}/schema?asof=2009-13"),
+            format!("/project/{name}/schema?asof=March-2009"),
+            format!("/project/{name}/diff?from={start}"),
+            format!("/project/{name}/diff?from=x&to={last}"),
+        ] {
+            let r = state.handle(&get(&bad));
+            assert_eq!(r.status, 400, "{bad}");
+            assert!(body_json(&r)["hint"].as_str().is_some(), "{bad}");
+        }
+        // Parseable but outside the observed lifespan: 422, echoing it.
+        let out = state.handle(&get(&format!("/project/{name}/schema?asof=1901-01")));
+        assert_eq!(out.status, 422);
+        assert_eq!(
+            body_json(&out)["lifespan"]["start"].as_str(),
+            Some(start.as_str())
+        );
+        // Bad `?k=` is also a 400; a ghost subject is a 404.
+        let bad_k = state.handle(&get(&format!("/project/{name}/schema?asof={last}&k=zero")));
+        assert_eq!(bad_k.status, 400);
+        let ghost = state.handle(&get(&format!("/project/{name}/provenance/no_such_table")));
+        assert_eq!(ghost.status, 404);
     }
 
     #[test]

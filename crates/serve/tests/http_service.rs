@@ -136,6 +136,64 @@ fn protocol_guards_and_all_routes() {
 }
 
 #[test]
+fn asof_routes_distinguish_bad_months_from_out_of_lifespan() {
+    let srv = Running::start(2);
+    let addr = srv.addr;
+
+    let (_, listing) = json_body(addr, "/corpus/42/projects");
+    let name = listing["projects"][0]["name"].as_str().unwrap().to_owned();
+
+    // A well-formed as-of query answers 200 with the schema envelope.
+    let (s, schema) = json_body(addr, &format!("/project/{name}/schema?asof=2009-06"));
+    if s == 200 {
+        assert_eq!(schema["asof"].as_str(), Some("2009-06"));
+        assert!(schema["schema"]["tables"].as_array().is_some(), "{schema:?}");
+    } else {
+        // 2009-06 may fall outside this project's lifespan; then the
+        // service must say so precisely, not claim a bad request.
+        assert_eq!(s, 422, "{schema:?}");
+    }
+
+    // Malformed months are 400 with a hint, on every month-taking route.
+    for path in [
+        format!("/project/{name}/schema?asof=2009-13"),
+        format!("/project/{name}/schema?asof=June-2009"),
+        format!("/project/{name}/schema"),
+        format!("/project/{name}/diff?from=2009-01"),
+        format!("/project/{name}/diff?from=x&to=2009-02"),
+    ] {
+        let (s, body) = json_body(addr, &path);
+        assert_eq!(s, 400, "{path}: {body:?}");
+        assert!(body["error"].as_str().is_some(), "{path}: {body:?}");
+        assert!(
+            body["hint"].as_str().is_some_and(|h| h.contains("YYYY-MM")),
+            "{path}: {body:?}"
+        );
+    }
+
+    // A syntactically fine month outside the lifespan is 422, and the
+    // body tells the caller where the lifespan actually is.
+    let (s, body) = json_body(addr, &format!("/project/{name}/schema?asof=1901-01"));
+    assert_eq!(s, 422, "{body:?}");
+    assert!(body["lifespan"]["start"].as_str().is_some(), "{body:?}");
+    assert!(body["lifespan"]["months"].as_u64().is_some(), "{body:?}");
+
+    let start = body["lifespan"]["start"].as_str().unwrap().to_owned();
+    let (s, body) = json_body(
+        addr,
+        &format!("/project/{name}/diff?from={start}&to=2525-01"),
+    );
+    assert_eq!(s, 422, "{body:?}");
+
+    // Provenance of a table nobody ever created is 404, not 422.
+    let (s, body) = json_body(addr, &format!("/project/{name}/provenance/no_such_table"));
+    assert_eq!(s, 404, "{body:?}");
+    assert_eq!(body["subject"].as_str(), Some("no_such_table"));
+
+    srv.stop();
+}
+
+#[test]
 fn concurrent_clients_share_one_corpus_build() {
     let srv = Running::start(4);
     let addr = srv.addr;

@@ -1,0 +1,60 @@
+//! Property: for every project in the seed-42 corpus and every month of its
+//! lifespan, the checkpointed as-of lookup equals both the stored version
+//! snapshots (an independent oracle) and naive full replay from birth, at
+//! every checkpoint spacing.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use schemachron_asof::AsOfIndex;
+use schemachron_bench::DEFAULT_SEED;
+use schemachron_corpus::Corpus;
+use schemachron_model::Schema;
+
+#[test]
+fn checkpoint_replay_equals_full_replay_for_every_month_of_every_project() {
+    let corpus = Corpus::generate(DEFAULT_SEED);
+    assert_eq!(corpus.projects().len(), 151);
+    for k in [1usize, 3, 12, usize::MAX] {
+        for project in corpus.projects() {
+            let Some(index) = AsOfIndex::build(&project.history, k) else {
+                panic!("{}: every corpus project has schema versions", project.card.name);
+            };
+            let versions = project.history.schema_history().unwrap().versions();
+
+            // Independent oracle: the stored snapshot of the last version
+            // committed in or before each month (empty before the first).
+            let empty = Schema::default();
+            let mut next_version = 0;
+            let mut expected = &empty;
+            let mut m = index.start();
+            while m <= index.last_month() {
+                while next_version < versions.len()
+                    && versions[next_version].date.month_id() <= m
+                {
+                    expected = &versions[next_version].schema;
+                    next_version += 1;
+                }
+                let got = index.schema_as_of(m).unwrap_or_else(|| {
+                    panic!("{} K={k}: month {m} is in the lifespan", index.project())
+                });
+                assert_eq!(got.as_ref(), expected, "{} K={k} month {m}", index.project());
+                // Full replay is O(versions) per call; sampling it every few
+                // months keeps the suite fast while still pinning the
+                // checkpoint path against the naive baseline everywhere the
+                // oracle walk runs.
+                if m.months_since(index.start()) % 5 == 0 || m == index.last_month() {
+                    assert_eq!(
+                        index.schema_by_full_replay(m).as_ref(),
+                        Some(got.as_ref()),
+                        "{} K={k} month {m}: full replay disagrees",
+                        index.project()
+                    );
+                }
+                m = m.plus(1);
+            }
+            // Outside the lifespan: no answer on either path.
+            assert!(index.schema_as_of(index.start().plus(-1)).is_none());
+            assert!(index.schema_as_of(index.last_month().plus(1)).is_none());
+        }
+    }
+}
