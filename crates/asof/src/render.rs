@@ -5,6 +5,7 @@
 //! CLI and the HTTP service call these functions, so a CLI golden and a
 //! `curl` response for the same query are byte-identical JSON.
 
+use schemachron_dialect::report::PlanRequest;
 use schemachron_history::MonthId;
 use schemachron_model::{render_schema_sql, Schema, SchemaDiff};
 use serde_json::{json, Value};
@@ -122,6 +123,20 @@ pub fn diff_human(index: &AsOfIndex, from: MonthId, to: MonthId, d: &SchemaDiff)
         out.push_str("  (no logical changes)\n");
     }
     out
+}
+
+/// Fills the migration-plan renderer's envelope from an as-of index: the
+/// adapter that lets `schemachron_dialect::report` stay independent of the
+/// index while the CLI and serve answers share one byte-identical shape.
+pub fn plan_request(index: &AsOfIndex, from: MonthId, to: MonthId) -> PlanRequest {
+    PlanRequest {
+        project: index.project().to_string(),
+        lifespan_start: index.start().to_string(),
+        lifespan_last: index.last_month().to_string(),
+        lifespan_months: index.months(),
+        from: from.to_string(),
+        to: to.to_string(),
+    }
 }
 
 /// The JSON form of a provenance answer.

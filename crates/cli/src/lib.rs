@@ -47,6 +47,9 @@ pub const EXIT_FAILURE: u8 = 1;
 /// Exit code for `serve` failing to bind its address — distinct so
 /// supervisors can tell "port problem" from "bad invocation".
 pub const EXIT_BIND: u8 = 2;
+/// Exit code when a migration plan cannot be produced: the dialect refused
+/// an op (under `--no-rebuild`) or the plan did not replay faithfully.
+pub const EXIT_PLAN: u8 = 2;
 
 /// CLI failure: message for the user plus the process exit code.
 #[derive(Debug)]
@@ -113,6 +116,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
         Some("corpus") => corpus(&args[1..], out),
         Some("experiments") => experiments(&args[1..], out),
         Some("asof") => asof(&args[1..], out),
+        Some("plan") => plan_cmd(&args[1..], out),
         Some("serve") => serve(&args[1..], out),
         Some("chart") => chart(&args[1..], out),
         Some("chaos") => chaos::run_chaos(&args[1..], out),
@@ -165,6 +169,17 @@ pub fn usage() -> &'static str {
      \x20     table or column. --k sets the checkpoint spacing in months\n\
      \x20     (default 12). JSON output is byte-identical to the serve\n\
      \x20     routes' answers for the same query.\n\
+     \x20 schemachron plan <project> --from YYYY-MM --to YYYY-MM\n\
+     \x20                  --dialect pg|mysql|sqlite [--no-rebuild] [--k N]\n\
+     \x20                  [--seed N] [--jobs N] [--format json]\n\
+     \x20     Plan the forward migration between two months of a corpus\n\
+     \x20     project's history: the DDL script that evolves schema(from)\n\
+     \x20     into schema(to), rendered in the chosen dialect and verified\n\
+     \x20     by replaying it through that dialect's parser. Ops a dialect\n\
+     \x20     cannot express become whole-table rebuilds unless\n\
+     \x20     --no-rebuild is given, in which case the typed refusal is\n\
+     \x20     reported and the exit code is 2. JSON output is byte-identical\n\
+     \x20     to the serve plan route's answer for the same query.\n\
      \x20 schemachron serve [--addr HOST:PORT] [--seed N] [--jobs N]\n\
      \x20                   [--deadline-ms MS]\n\
      \x20     Serve corpora, patterns and experiments over HTTP/JSON (default\n\
@@ -269,6 +284,9 @@ fn takes_value(opt: &str) -> bool {
             | "--diff"
             | "--provenance"
             | "--k"
+            | "--from"
+            | "--to"
+            | "--dialect"
     )
 }
 
@@ -840,6 +858,100 @@ fn asof(args: &[String], out: &mut dyn Write) -> CliResult {
         &render::schema_json(&index, m, &schema),
         render::schema_human(&index, m, &schema),
     )
+}
+
+/// Plans the forward migration between two months of a project's history.
+fn plan_cmd(args: &[String], out: &mut dyn Write) -> CliResult {
+    use schemachron_asof::render;
+    use schemachron_dialect::{dialect_named, report, PlanOptions, DIALECT_KEYWORDS};
+    use schemachron_history::MonthId;
+
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
+    let json = match opt_value(&argv, "--format") {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::new(format!(
+                "invalid --format value `{other}` (expected `human` or `json`)"
+            )))
+        }
+    };
+    let keywords = DIALECT_KEYWORDS.join("|");
+    let dialect = match opt_value(&argv, "--dialect") {
+        None => {
+            return Err(CliError::new(format!(
+                "plan: missing --dialect {keywords}"
+            )))
+        }
+        Some(kw) => dialect_named(kw).ok_or_else(|| {
+            CliError::new(format!(
+                "plan: unknown dialect `{kw}` (expected {keywords})"
+            ))
+        })?,
+    };
+    let name = positional(&argv).ok_or_else(|| CliError::new("plan: missing <project> name"))?;
+    let corpus = Corpus::generate(seed);
+    let project = corpus
+        .projects()
+        .iter()
+        .find(|p| p.card.name == name)
+        .ok_or_else(|| {
+            CliError::new(format!(
+                "plan: no project `{name}` in the seed-{seed} corpus\n\
+                 hint: `schemachron serve` route /corpus/{seed}/projects lists the names"
+            ))
+        })?;
+    let index = schemachron_asof::index_for(project, seed, schemachron_asof::DEFAULT_K_MONTHS)
+        .ok_or_else(|| {
+            CliError::new(format!("plan: {name} retains no schema versions to index"))
+        })?;
+
+    let month = |key: &str| -> Result<MonthId, CliError> {
+        let raw = opt_value(&argv, key)
+            .ok_or_else(|| CliError::new(format!("plan: missing {key} YYYY-MM")))?;
+        raw.parse().map_err(|e: schemachron_history::MonthParseError| {
+            CliError::new(format!(
+                "plan: {e}\nhint: months are written YYYY-MM, e.g. 2009-06"
+            ))
+        })
+    };
+    let from = month("--from")?;
+    let to = month("--to")?;
+    for m in [from, to] {
+        if !index.in_lifespan(m) {
+            return Err(CliError::new(format!(
+                "plan: {m} is outside {name}'s lifespan {}..{} ({} months)",
+                index.start(),
+                index.last_month(),
+                index.months()
+            )));
+        }
+    }
+    let from_schema = index
+        .schema_as_of(from)
+        .ok_or_else(|| CliError::new("plan: --from month left the lifespan"))?;
+    let to_schema = index
+        .schema_as_of(to)
+        .ok_or_else(|| CliError::new("plan: --to month left the lifespan"))?;
+
+    let opts = PlanOptions {
+        allow_rebuild: !flag(&argv, "--no-rebuild"),
+    };
+    let plan = schemachron_dialect::plan(&from_schema, &to_schema, dialect, &opts)
+        .map_err(|e| CliError::with_code(format!("plan: {e}\nhint: {}", dialect.hint()), EXIT_PLAN))?;
+
+    let req = render::plan_request(&index, from, to);
+    if json {
+        // Matches the serve plan route byte for byte: pretty JSON + newline.
+        let body = serde_json::to_string_pretty(&report::plan_json(&req, &plan))
+            .unwrap_or_else(|_| "{}".to_owned());
+        let _ = writeln!(out, "{body}");
+    } else {
+        let _ = write!(out, "{}", report::plan_human(&req, &plan));
+    }
+    Ok(())
 }
 
 /// Diffs two schema dumps and reports the paper's change taxonomy.

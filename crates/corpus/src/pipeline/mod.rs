@@ -40,8 +40,8 @@ pub use stage::{
     derive_key, shard_count_for, shard_of_key, Stage, StageKey, StageStats, StageTrace, TraceEntry,
 };
 pub use stages::{
-    build_project, build_project_traced, chain_keys, classify_project, ClassifyStage, DiffStage,
-    HistoryInput, HistoryStage, LabelsStage, MaterializeStage, MetricsStage, ParseStage,
+    build_project, build_project_traced, chain_keys, classify_project, parse_salt, ClassifyStage,
+    DiffStage, HistoryInput, HistoryStage, LabelsStage, MaterializeStage, MetricsStage, ParseStage,
     SchemaStage, STAGE_ORDER,
 };
 

@@ -16,7 +16,9 @@ use schemachron_fault as fault;
 use schemachron_core::metrics::TimeMetrics;
 use schemachron_core::quantize::Labels;
 use schemachron_core::{classify, classify_nearest};
-use schemachron_ddl::{parse_statements, SchemaBuilder};
+use schemachron_ddl::SchemaBuilder;
+use schemachron_dialect::{ingest_dialect, PLAN_LOGIC_VERSION};
+use schemachron_hash::{fnv1a, FNV_OFFSET};
 use schemachron_history::{ProjectHistory, SchemaHistory, SchemaVersion};
 use schemachron_model::{diff, Schema};
 
@@ -67,7 +69,8 @@ impl Stage<CardSpec, RawScripts> for MaterializeStage {
     }
 }
 
-/// Stage 2: scripts → parsed statements per commit.
+/// Stage 2: scripts → parsed statements per commit, via the ingestion
+/// dialect's parser (see [`ingest_dialect`]).
 pub struct ParseStage;
 
 impl ParseStage {
@@ -90,10 +93,11 @@ impl Stage<RawScripts, ParsedDdl> for ParseStage {
         let mut dated: Vec<&(schemachron_history::Date, String)> =
             input.project.ddl_commits.iter().collect();
         dated.sort_by_key(|(d, _)| *d);
+        let dialect = ingest_dialect();
         let commits = dated
             .into_iter()
             .map(|(date, sql)| {
-                let (statements, diagnostics) = parse_statements(sql);
+                let (statements, diagnostics) = dialect.parse(sql);
                 ParsedCommit {
                     date: *date,
                     statements,
@@ -314,7 +318,7 @@ pub fn chain_keys(card: &Card, seed: u64) -> [StageKey; 8] {
     let root = card_fingerprint(card, seed);
     let mut keys = [0; 8];
     keys[0] = derive_key(MaterializeStage::NAME, MaterializeStage::VERSION, root);
-    keys[1] = derive_key(ParseStage::NAME, ParseStage::VERSION, keys[0]);
+    keys[1] = derive_key(ParseStage::NAME, ParseStage::VERSION, parse_salt(keys[0]));
     keys[2] = derive_key(SchemaStage::NAME, SchemaStage::VERSION, keys[1]);
     keys[3] = derive_key(DiffStage::NAME, DiffStage::VERSION, keys[2]);
     keys[4] = derive_key(HistoryStage::NAME, HistoryStage::VERSION, keys[3]);
@@ -322,6 +326,16 @@ pub fn chain_keys(card: &Card, seed: u64) -> [StageKey; 8] {
     keys[6] = derive_key(LabelsStage::NAME, LabelsStage::VERSION, keys[5]);
     keys[7] = derive_key(ClassifyStage::NAME, ClassifyStage::VERSION, keys[6]);
     keys
+}
+
+/// Folds the ingestion dialect's name and the planner logic version into
+/// the parse stage's upstream key, so cached parse artifacts invalidate if
+/// either ever changes. The lint cache auditor (`H002`/`H003`) restates
+/// this fold independently from its own constants.
+pub fn parse_salt(in_key: StageKey) -> StageKey {
+    let h = fnv1a(FNV_OFFSET, ingest_dialect().name().as_bytes());
+    let h = fnv1a(h, &u64::from(PLAN_LOGIC_VERSION).to_le_bytes());
+    fnv1a(h, &in_key.to_le_bytes())
 }
 
 /// A lazy, memoizing walk of one project's stage chain.

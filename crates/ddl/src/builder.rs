@@ -149,17 +149,18 @@ impl SchemaBuilder {
         // Handle renames first-class: RenameTable switches the target.
         let mut current = name.clone();
         for a in actions {
-            if self.schema.table(current.as_str()).is_none() {
-                // Altering a missing table: tolerated no-op (common in
-                // partially-applied migration histories).
-                if let AlterAction::RenameTable(n) = a {
-                    current = n.clone();
-                }
+            if let AlterAction::RenameTable(n) = a {
+                let _ = self.schema.rename_table(current.as_str(), n.clone());
+                current = n.clone();
                 continue;
             }
+            // Altering a missing table: tolerated no-op (common in
+            // partially-applied migration histories).
+            let Some(t) = self.schema.table_mut(current.as_str()) else {
+                continue;
+            };
             match a {
                 AlterAction::AddColumn { def, position } => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     let attr_pos = match position {
                         None => t.attribute_count(),
                         Some(None) => 0,
@@ -187,11 +188,9 @@ impl SchemaBuilder {
                     }
                 }
                 AlterAction::DropColumn(c) => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     let _ = t.remove_attribute(c.as_str());
                 }
                 AlterAction::ModifyColumn(def) => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     if let Some(a) = t.attribute_mut(def.name.as_str()) {
                         a.data_type = def.data_type.clone();
                         a.not_null = def.not_null;
@@ -203,7 +202,6 @@ impl SchemaBuilder {
                     }
                 }
                 AlterAction::ChangeColumn { old, def } => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     if t.rename_attribute(old.as_str(), def.name.clone()) {
                         if let Some(a) = t.attribute_mut(def.name.as_str()) {
                             a.data_type = def.data_type.clone();
@@ -217,41 +215,41 @@ impl SchemaBuilder {
                     }
                 }
                 AlterAction::AlterColumnType { name: c, data_type } => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     if let Some(a) = t.attribute_mut(c.as_str()) {
                         a.data_type = data_type.clone();
                     }
                 }
                 AlterAction::AlterColumnDefault { name: c, default } => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     if let Some(a) = t.attribute_mut(c.as_str()) {
                         a.default = default.clone();
                     }
                 }
                 AlterAction::AlterColumnNull { name: c, not_null } => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     if let Some(a) = t.attribute_mut(c.as_str()) {
                         a.not_null = *not_null;
                     }
                 }
                 AlterAction::AddConstraint(k) => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     install_constraint(t, k);
                 }
                 AlterAction::DropPrimaryKey => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     t.primary_key.clear();
                 }
-                AlterAction::DropForeignKey(n) | AlterAction::DropConstraint(n) => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
+                AlterAction::DropForeignKey(n) => {
                     t.foreign_keys.retain(|fk| fk.name.as_ref() != Some(n));
                 }
-                AlterAction::RenameTable(n) => {
-                    let _ = self.schema.rename_table(current.as_str(), n.clone());
-                    current = n.clone();
+                AlterAction::DropConstraint(n) => {
+                    // PostgreSQL spells "drop the primary key" as dropping
+                    // the conventionally named `<table>_pkey` constraint.
+                    if n.as_str() == format!("{}_pkey", current.as_str()) {
+                        t.primary_key.clear();
+                    }
+                    t.foreign_keys.retain(|fk| fk.name.as_ref() != Some(n));
+                }
+                AlterAction::RenameTable(_) => {
+                    // Handled before the table lookup above.
                 }
                 AlterAction::RenameColumn { old, new } => {
-                    let t = self.schema.table_mut(current.as_str()).expect("present");
                     let _ = t.rename_attribute(old.as_str(), new.clone());
                 }
                 AlterAction::Other(_) => {}
@@ -395,6 +393,22 @@ mod tests {
             s.table("t").unwrap().primary_key,
             vec![Name::from("a"), Name::from("b")]
         );
+    }
+
+    #[test]
+    fn drop_constraint_pkey_clears_primary_key() {
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE t (a INT, PRIMARY KEY (a));");
+        b.apply_script("ALTER TABLE t DROP CONSTRAINT t_pkey;");
+        let (s, _) = b.finish();
+        assert!(s.table("t").unwrap().primary_key.is_empty());
+        // A pkey-named constraint on a *different* table is just a
+        // constraint name; nothing is cleared.
+        let mut b = SchemaBuilder::new();
+        b.apply_script("CREATE TABLE u (a INT, PRIMARY KEY (a));");
+        b.apply_script("ALTER TABLE u DROP CONSTRAINT other_pkey;");
+        let (s, _) = b.finish();
+        assert_eq!(s.table("u").unwrap().primary_key, vec![Name::from("a")]);
     }
 
     #[test]

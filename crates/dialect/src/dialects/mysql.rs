@@ -1,0 +1,108 @@
+//! MySQL: backticked identifiers, single-statement `MODIFY COLUMN`
+//! redefinitions, `DROP PRIMARY KEY` / `DROP FOREIGN KEY` forms.
+
+use super::{
+    column_sql, create_table_sql, foreign_key_clause, join_quoted, quote_backtick, refuse, AutoInc,
+    Dialect,
+};
+use crate::ops::DiffOp;
+use crate::plan::UnsupportedDiffOp;
+
+/// The MySQL dialect.
+///
+/// Identifiers are always backticked, a column change is one `MODIFY
+/// COLUMN` carrying the full target definition, keys use the keyword forms
+/// (`DROP PRIMARY KEY`, `DROP FOREIGN KEY <name>`), and auto-increment is
+/// the `AUTO_INCREMENT` column keyword. This is also the corpus ingestion
+/// dialect (see [`ingest_dialect`](super::ingest_dialect)).
+pub struct Mysql;
+
+const AUTO_INC: AutoInc = AutoInc::Keyword("AUTO_INCREMENT");
+
+impl Dialect for Mysql {
+    fn name(&self) -> &'static str {
+        "mysql"
+    }
+
+    fn keyword(&self) -> &'static str {
+        "mysql"
+    }
+
+    fn hint(&self) -> &'static str {
+        "mysql cannot drop unnamed foreign-key or unique constraints in place; \
+         allow table rebuilds (omit --no-rebuild) to express these"
+    }
+
+    fn quote_ident(&self, ident: &str) -> String {
+        quote_backtick(ident)
+    }
+
+    fn render_op(&self, op: &DiffOp) -> Result<Vec<String>, UnsupportedDiffOp> {
+        let q = |s: &str| self.quote_ident(s);
+        let err = |reason: &str| refuse(self.name(), op, reason);
+        match op {
+            DiffOp::CreateTable(t) => create_table_sql(self, &AUTO_INC, t)
+                .map(|s| vec![s])
+                .map_err(|r| err(&r)),
+            DiffOp::DropTable(n) => Ok(vec![format!("DROP TABLE {};", q(n.as_str()))]),
+            DiffOp::AddColumn { table, attr } => column_sql(self, &AUTO_INC, attr)
+                .map(|c| vec![format!("ALTER TABLE {} ADD COLUMN {};", q(table.as_str()), c)])
+                .map_err(|r| err(&r)),
+            DiffOp::DropColumn { table, column } => Ok(vec![format!(
+                "ALTER TABLE {} DROP COLUMN {};",
+                q(table.as_str()),
+                q(column.as_str())
+            )]),
+            DiffOp::AlterColumn { table, to, .. } => column_sql(self, &AUTO_INC, to)
+                .map(|c| {
+                    vec![format!(
+                        "ALTER TABLE {} MODIFY COLUMN {};",
+                        q(table.as_str()),
+                        c
+                    )]
+                })
+                .map_err(|r| err(&r)),
+            DiffOp::SetPrimaryKey { table, from, to } => {
+                let mut stmts = Vec::new();
+                if !from.is_empty() {
+                    stmts.push(format!("ALTER TABLE {} DROP PRIMARY KEY;", q(table.as_str())));
+                }
+                if !to.is_empty() {
+                    stmts.push(format!(
+                        "ALTER TABLE {} ADD PRIMARY KEY ({});",
+                        q(table.as_str()),
+                        join_quoted(to, &q)
+                    ));
+                }
+                Ok(stmts)
+            }
+            DiffOp::AddForeignKey { table, fk } => Ok(vec![format!(
+                "ALTER TABLE {} ADD {};",
+                q(table.as_str()),
+                foreign_key_clause(self, fk)
+            )]),
+            DiffOp::DropForeignKey { table, fk } => match &fk.name {
+                Some(n) => Ok(vec![format!(
+                    "ALTER TABLE {} DROP FOREIGN KEY {};",
+                    q(table.as_str()),
+                    q(n.as_str())
+                )]),
+                None => Err(err("the constraint was declared without a name")),
+            },
+            DiffOp::AddUnique { table, columns } => Ok(vec![format!(
+                "ALTER TABLE {} ADD UNIQUE ({});",
+                q(table.as_str()),
+                join_quoted(columns, &q)
+            )]),
+            DiffOp::DropUnique { .. } => {
+                Err(err("unique constraints in the logical schema are unnamed"))
+            }
+            DiffOp::CreateView(v) => Ok(vec![format!(
+                "CREATE VIEW {} AS {};",
+                q(v.name.as_str()),
+                v.definition
+            )]),
+            DiffOp::DropView(n) => Ok(vec![format!("DROP VIEW {};", q(n.as_str()))]),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! SQLite: the deliberately narrow dialect. Tables are created and
+//! dropped, columns are added and dropped — everything else is a typed
+//! refusal the planner turns into a table rebuild.
+
+use super::{column_sql, create_table_sql, refuse, AutoInc, Dialect};
+use crate::ops::DiffOp;
+use crate::plan::UnsupportedDiffOp;
+
+/// The SQLite dialect.
+///
+/// SQLite has no `ALTER COLUMN`, cannot change a table's keys or
+/// constraints after creation, and cannot add a `NOT NULL` column without a
+/// default. All of those come back as [`UnsupportedDiffOp`]; with rebuilds
+/// enabled the planner expresses them as `DROP TABLE` + `CREATE TABLE`,
+/// which is exactly the officially documented SQLite workaround.
+pub struct Sqlite;
+
+const AUTO_INC: AutoInc = AutoInc::Refuse(
+    "sqlite auto-increment is implied by INTEGER PRIMARY KEY, not declarable per column",
+);
+
+impl Dialect for Sqlite {
+    fn name(&self) -> &'static str {
+        "sqlite"
+    }
+
+    fn keyword(&self) -> &'static str {
+        "sqlite"
+    }
+
+    fn hint(&self) -> &'static str {
+        "sqlite cannot alter columns, keys or constraints in place; \
+         allow table rebuilds (omit --no-rebuild), or plan for mysql/pg instead"
+    }
+
+    fn render_op(&self, op: &DiffOp) -> Result<Vec<String>, UnsupportedDiffOp> {
+        let q = |s: &str| self.quote_ident(s);
+        let err = |reason: &str| refuse(self.name(), op, reason);
+        match op {
+            DiffOp::CreateTable(t) => create_table_sql(self, &AUTO_INC, t)
+                .map(|s| vec![s])
+                .map_err(|r| err(&r)),
+            DiffOp::DropTable(n) => Ok(vec![format!("DROP TABLE {};", q(n.as_str()))]),
+            DiffOp::AddColumn { table, attr } => {
+                if attr.not_null && attr.default.is_none() {
+                    return Err(err(
+                        "sqlite cannot add a NOT NULL column without a default value",
+                    ));
+                }
+                column_sql(self, &AUTO_INC, attr)
+                    .map(|c| vec![format!("ALTER TABLE {} ADD COLUMN {};", q(table.as_str()), c)])
+                    .map_err(|r| err(&r))
+            }
+            DiffOp::DropColumn { table, column } => Ok(vec![format!(
+                "ALTER TABLE {} DROP COLUMN {};",
+                q(table.as_str()),
+                q(column.as_str())
+            )]),
+            DiffOp::AlterColumn { .. } => Err(err("sqlite has no ALTER COLUMN")),
+            DiffOp::SetPrimaryKey { .. } => {
+                Err(err("sqlite cannot change a table's primary key in place"))
+            }
+            DiffOp::AddForeignKey { .. } | DiffOp::DropForeignKey { .. } => {
+                Err(err("sqlite cannot alter foreign keys on an existing table"))
+            }
+            DiffOp::AddUnique { .. } | DiffOp::DropUnique { .. } => Err(err(
+                "sqlite cannot alter unique constraints on an existing table",
+            )),
+            DiffOp::CreateView(v) => Ok(vec![format!(
+                "CREATE VIEW {} AS {};",
+                q(v.name.as_str()),
+                v.definition
+            )]),
+            DiffOp::DropView(n) => Ok(vec![format!("DROP VIEW {};", q(n.as_str()))]),
+        }
+    }
+}

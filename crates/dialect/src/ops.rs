@@ -1,0 +1,597 @@
+//! The dialect-neutral core: inverting the diff engine into an ordered
+//! batch of logical migration operations.
+//!
+//! [`diff_ops`] compares two [`Schema`] versions and emits [`DiffOp`]s with
+//! full payloads (target table definitions, before/after attribute states),
+//! ordered so a faithful rendering replays cleanly under the flow lint's
+//! symbolic execution: new tables are created in foreign-key dependency
+//! order, surviving tables are altered next (column changes before column
+//! drops, key changes after), and removed tables are dropped last with
+//! referencing tables dropped before their targets.
+//!
+//! The ops are *logical*: nothing here knows SQL syntax. Each [`Dialect`]
+//! impl renders an op into its own statement forms — or refuses it with a
+//! typed `UnsupportedDiffOp`, which the planner turns into a whole-table
+//! rebuild.
+//!
+//! [`Dialect`]: crate::Dialect
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use schemachron_model::{Attribute, ForeignKey, Name, Schema, Table, View};
+
+/// One logical migration operation, with the full payload a renderer needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Create a table with its complete target definition.
+    CreateTable(Table),
+    /// Drop a table.
+    DropTable(Name),
+    /// Append a column to an existing table.
+    AddColumn {
+        /// The table the column joins.
+        table: Name,
+        /// The full target attribute definition.
+        attr: Attribute,
+    },
+    /// Remove a column from an existing table.
+    DropColumn {
+        /// The table losing the column.
+        table: Name,
+        /// The column to remove.
+        column: Name,
+    },
+    /// Redefine an existing column in place (type, nullability, default,
+    /// auto-increment). Carries both states so dialects can render either a
+    /// single redefinition (MySQL `MODIFY COLUMN`) or a minimal sequence of
+    /// per-facet statements (PostgreSQL `ALTER COLUMN ...`).
+    AlterColumn {
+        /// The owning table.
+        table: Name,
+        /// The attribute as it is before the change.
+        from: Attribute,
+        /// The attribute as it must be after the change.
+        to: Attribute,
+    },
+    /// Replace a table's primary key (empty `to` = drop it).
+    SetPrimaryKey {
+        /// The owning table.
+        table: Name,
+        /// Key columns before the change (empty = none).
+        from: Vec<Name>,
+        /// Key columns after the change (empty = none).
+        to: Vec<Name>,
+    },
+    /// Add a foreign-key constraint to an existing table.
+    AddForeignKey {
+        /// The referencing table.
+        table: Name,
+        /// The constraint to add.
+        fk: ForeignKey,
+    },
+    /// Remove a foreign-key constraint from an existing table.
+    DropForeignKey {
+        /// The referencing table.
+        table: Name,
+        /// The constraint to remove.
+        fk: ForeignKey,
+    },
+    /// Add a `UNIQUE` constraint over the given columns.
+    AddUnique {
+        /// The owning table.
+        table: Name,
+        /// The constrained columns.
+        columns: Vec<Name>,
+    },
+    /// Remove a `UNIQUE` constraint over the given columns.
+    DropUnique {
+        /// The owning table.
+        table: Name,
+        /// The constrained columns.
+        columns: Vec<Name>,
+    },
+    /// Create a view with its full definition.
+    CreateView(View),
+    /// Drop a view.
+    DropView(Name),
+}
+
+impl DiffOp {
+    /// A compact, deterministic descriptor of the op — the text echoed in
+    /// typed `UnsupportedDiffOp` errors, `422` bodies and plan JSON.
+    pub fn describe(&self) -> String {
+        match self {
+            DiffOp::CreateTable(t) => format!("create_table {}", t.name.as_str()),
+            DiffOp::DropTable(n) => format!("drop_table {}", n.as_str()),
+            DiffOp::AddColumn { table, attr } => {
+                format!("add_column {}.{}", table.as_str(), attr.name.as_str())
+            }
+            DiffOp::DropColumn { table, column } => {
+                format!("drop_column {}.{}", table.as_str(), column.as_str())
+            }
+            DiffOp::AlterColumn { table, from, to } => format!(
+                "alter_column {}.{} ({} -> {})",
+                table.as_str(),
+                to.name.as_str(),
+                from.data_type,
+                to.data_type,
+            ),
+            DiffOp::SetPrimaryKey { table, to, .. } if to.is_empty() => {
+                format!("drop_primary_key {}", table.as_str())
+            }
+            DiffOp::SetPrimaryKey { table, to, .. } => format!(
+                "set_primary_key {} ({})",
+                table.as_str(),
+                join_names(to)
+            ),
+            DiffOp::AddForeignKey { table, fk } => format!(
+                "add_foreign_key {} -> {}",
+                table.as_str(),
+                fk.ref_table.as_str()
+            ),
+            DiffOp::DropForeignKey { table, fk } => format!(
+                "drop_foreign_key {} -> {}",
+                table.as_str(),
+                fk.ref_table.as_str()
+            ),
+            DiffOp::AddUnique { table, columns } => {
+                format!("add_unique {} ({})", table.as_str(), join_names(columns))
+            }
+            DiffOp::DropUnique { table, columns } => {
+                format!("drop_unique {} ({})", table.as_str(), join_names(columns))
+            }
+            DiffOp::CreateView(v) => format!("create_view {}", v.name.as_str()),
+            DiffOp::DropView(n) => format!("drop_view {}", n.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for DiffOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+fn join_names(names: &[Name]) -> String {
+    names
+        .iter()
+        .map(Name::as_str)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// One renderable group of ops. The planner's unit of fallback: when a
+/// dialect refuses any op in a unit that has a `rebuild` target, the whole
+/// unit is replaced by `DROP TABLE` + `CREATE TABLE <target definition>`.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanUnit {
+    /// The table this unit belongs to, when it is table-scoped.
+    pub table: Option<Name>,
+    /// The ops, in render order.
+    pub ops: Vec<DiffOp>,
+    /// The full target table definition a rebuild may substitute; only
+    /// surviving altered tables carry one.
+    pub rebuild: Option<Table>,
+}
+
+impl PlanUnit {
+    fn table_scoped(table: Name, ops: Vec<DiffOp>, rebuild: Option<Table>) -> Self {
+        PlanUnit {
+            table: Some(table),
+            ops,
+            rebuild,
+        }
+    }
+
+    fn free(ops: Vec<DiffOp>) -> Self {
+        PlanUnit {
+            table: None,
+            ops,
+            rebuild: None,
+        }
+    }
+}
+
+/// Compares two schema versions and returns the ordered migration op batch.
+///
+/// The flat public form of the planner's internal unit list; an empty
+/// result means the schemas are logically identical.
+pub fn diff_ops(from: &Schema, to: &Schema) -> Vec<DiffOp> {
+    diff_units(from, to)
+        .into_iter()
+        .flat_map(|u| u.ops)
+        .collect()
+}
+
+/// The grouped form used by the planner (see [`PlanUnit`]).
+pub(crate) fn diff_units(from: &Schema, to: &Schema) -> Vec<PlanUnit> {
+    let mut units = Vec::new();
+
+    // 1. Views that vanish or change definition are dropped up front (a
+    //    changed view is re-created at the end).
+    let mut view_drops = Vec::new();
+    for v in from.views() {
+        match to.view(v.name.as_str()) {
+            None => view_drops.push(DiffOp::DropView(v.name.clone())),
+            Some(nv) if nv.definition != v.definition => {
+                view_drops.push(DiffOp::DropView(v.name.clone()));
+            }
+            Some(_) => {}
+        }
+    }
+    if !view_drops.is_empty() {
+        units.push(PlanUnit::free(view_drops));
+    }
+
+    // 2. New tables, created in foreign-key dependency order. Cycles are
+    //    broken by stripping the offending constraints into deferred
+    //    `ADD CONSTRAINT` ops emitted after every creation.
+    let added_names: BTreeSet<Name> = to
+        .tables()
+        .filter(|t| from.table_of(&t.name).is_none())
+        .map(|t| t.name.clone())
+        .collect();
+    let mut remaining: Vec<Table> = to
+        .tables()
+        .filter(|t| added_names.contains(&t.name))
+        .cloned()
+        .collect();
+    let mut created: BTreeSet<Name> = BTreeSet::new();
+    let mut deferred_fks = Vec::new();
+    while !remaining.is_empty() {
+        let satisfied = |t: &Table| {
+            t.foreign_keys.iter().all(|fk| {
+                fk.ref_table == t.name
+                    || !added_names.contains(&fk.ref_table)
+                    || created.contains(&fk.ref_table)
+            })
+        };
+        let idx = remaining.iter().position(satisfied).unwrap_or(0);
+        let mut t = remaining.remove(idx);
+        if !satisfied(&t) {
+            // Cycle: keep the satisfiable constraints inline, defer the rest.
+            let (keep, defer): (Vec<ForeignKey>, Vec<ForeignKey>) =
+                t.foreign_keys.drain(..).partition(|fk| {
+                    fk.ref_table == t.name
+                        || !added_names.contains(&fk.ref_table)
+                        || created.contains(&fk.ref_table)
+                });
+            t.foreign_keys = keep;
+            for fk in defer {
+                deferred_fks.push(DiffOp::AddForeignKey {
+                    table: t.name.clone(),
+                    fk,
+                });
+            }
+        }
+        created.insert(t.name.clone());
+        units.push(PlanUnit::table_scoped(
+            t.name.clone(),
+            vec![DiffOp::CreateTable(t)],
+            None,
+        ));
+    }
+    if !deferred_fks.is_empty() {
+        units.push(PlanUnit::free(deferred_fks));
+    }
+
+    // 3. Surviving tables, altered in name order.
+    for t_new in to.tables() {
+        let Some(t_old) = from.table_of(&t_new.name) else {
+            continue;
+        };
+        let ops = survivor_ops(t_old, t_new);
+        if !ops.is_empty() {
+            units.push(PlanUnit::table_scoped(
+                t_new.name.clone(),
+                ops,
+                Some(t_new.clone()),
+            ));
+        }
+    }
+
+    // 4. Removed tables, referencing tables first so no remaining table
+    //    holds a constraint into a dropped one.
+    let dropped: Vec<&Table> = from
+        .tables()
+        .filter(|t| to.table_of(&t.name).is_none())
+        .collect();
+    let mut pending: Vec<&Table> = dropped.clone();
+    while !pending.is_empty() {
+        let referenced_by_pending = |name: &Name| {
+            pending
+                .iter()
+                .any(|u| u.name != *name && u.foreign_keys.iter().any(|fk| fk.ref_table == *name))
+        };
+        let idx = pending
+            .iter()
+            .position(|t| !referenced_by_pending(&t.name))
+            .unwrap_or(0);
+        let t = pending.remove(idx);
+        units.push(PlanUnit::table_scoped(
+            t.name.clone(),
+            vec![DiffOp::DropTable(t.name.clone())],
+            None,
+        ));
+    }
+
+    // 5. Views that are new or changed are (re-)created last.
+    let mut view_adds = Vec::new();
+    for v in to.views() {
+        match from.view(v.name.as_str()) {
+            Some(old) if old.definition == v.definition => {}
+            _ => view_adds.push(DiffOp::CreateView(v.clone())),
+        }
+    }
+    if !view_adds.is_empty() {
+        units.push(PlanUnit::free(view_adds));
+    }
+
+    units
+}
+
+/// The op sequence that evolves one surviving table: constraint drops,
+/// in-place column changes, column additions (in target order), column
+/// drops, then key updates. The sequence is computed against the state a
+/// replay actually passes through — e.g. dropping a column already scrubs
+/// its key participation, so no separate ops are emitted for that.
+fn survivor_ops(old: &Table, new: &Table) -> Vec<DiffOp> {
+    let mut ops = Vec::new();
+    let table = new.name.clone();
+    let dropped: BTreeSet<&Name> = old
+        .attributes()
+        .iter()
+        .map(|a| &a.name)
+        .filter(|n| new.attribute_of(n).is_none())
+        .collect();
+
+    // Foreign keys that disappear while their columns survive. (A constraint
+    // whose column is dropped is scrubbed by the column drop itself.)
+    for fk in &old.foreign_keys {
+        if fk.columns.iter().any(|c| dropped.contains(c)) {
+            continue;
+        }
+        if !new.foreign_keys.contains(fk) {
+            ops.push(DiffOp::DropForeignKey {
+                table: table.clone(),
+                fk: fk.clone(),
+            });
+        }
+    }
+
+    // Unique constraints: compare against the post-column-drop state (a
+    // column drop removes the column from its uniques, keeping non-empty
+    // remainders).
+    let replayed_uniques: Vec<Vec<Name>> = old
+        .uniques
+        .iter()
+        .map(|u| {
+            u.iter()
+                .filter(|c| !dropped.contains(c))
+                .cloned()
+                .collect::<Vec<Name>>()
+        })
+        .filter(|u| !u.is_empty())
+        .collect();
+    for u in &replayed_uniques {
+        if !new.uniques.contains(u) {
+            ops.push(DiffOp::DropUnique {
+                table: table.clone(),
+                columns: u.clone(),
+            });
+        }
+    }
+
+    // In-place column changes, in the old declaration order.
+    for a_old in old.attributes() {
+        if let Some(a_new) = new.attribute_of(&a_old.name) {
+            if a_old != a_new {
+                ops.push(DiffOp::AlterColumn {
+                    table: table.clone(),
+                    from: a_old.clone(),
+                    to: a_new.clone(),
+                });
+            }
+        }
+    }
+
+    // Additions, in the target declaration order.
+    for a_new in new.attributes() {
+        if old.attribute_of(&a_new.name).is_none() {
+            ops.push(DiffOp::AddColumn {
+                table: table.clone(),
+                attr: a_new.clone(),
+            });
+        }
+    }
+
+    // Removals, in the old declaration order.
+    for a_old in old.attributes() {
+        if dropped.contains(&a_old.name) {
+            ops.push(DiffOp::DropColumn {
+                table: table.clone(),
+                column: a_old.name.clone(),
+            });
+        }
+    }
+
+    // Primary key, compared against the post-column-drop state.
+    let replayed_pk: Vec<Name> = old
+        .primary_key
+        .iter()
+        .filter(|c| !dropped.contains(c))
+        .cloned()
+        .collect();
+    if replayed_pk != new.primary_key {
+        ops.push(DiffOp::SetPrimaryKey {
+            table: table.clone(),
+            from: replayed_pk,
+            to: new.primary_key.clone(),
+        });
+    }
+
+    // New constraints.
+    for fk in &new.foreign_keys {
+        if !old.foreign_keys.contains(fk) {
+            ops.push(DiffOp::AddForeignKey {
+                table: table.clone(),
+                fk: fk.clone(),
+            });
+        }
+    }
+    for u in &new.uniques {
+        if !replayed_uniques.contains(u) {
+            ops.push(DiffOp::AddUnique {
+                table: table.clone(),
+                columns: u.clone(),
+            });
+        }
+    }
+
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_model::DataType;
+
+    fn table(name: &str, cols: &[(&str, &str)]) -> Table {
+        let mut t = Table::new(name);
+        for (c, ty) in cols {
+            t.push_attribute(Attribute::new(*c, DataType::named(*ty)));
+        }
+        t
+    }
+
+    fn schema_of(tables: Vec<Table>) -> Schema {
+        let mut s = Schema::new();
+        for t in tables {
+            s.insert_table(t);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_schemas_emit_no_ops() {
+        let s = schema_of(vec![table("t", &[("a", "int")])]);
+        assert!(diff_ops(&s, &s.clone()).is_empty());
+    }
+
+    #[test]
+    fn new_tables_are_created_in_fk_dependency_order() {
+        let from = Schema::new();
+        let mut to = Schema::new();
+        // "aaa" references "zzz": despite name order, zzz must come first.
+        let mut aaa = table("aaa", &[("id", "int"), ("z_id", "int")]);
+        aaa.foreign_keys.push(ForeignKey {
+            name: None,
+            columns: vec![Name::from("z_id")],
+            ref_table: Name::from("zzz"),
+            ref_columns: vec![Name::from("id")],
+        });
+        to.insert_table(aaa);
+        to.insert_table(table("zzz", &[("id", "int")]));
+        let ops = diff_ops(&from, &to);
+        let order: Vec<String> = ops.iter().map(DiffOp::describe).collect();
+        assert_eq!(order, vec!["create_table zzz", "create_table aaa"]);
+    }
+
+    #[test]
+    fn fk_cycles_are_broken_with_deferred_constraints() {
+        let from = Schema::new();
+        let mut to = Schema::new();
+        for (name, other) in [("a", "b"), ("b", "a")] {
+            let mut t = table(name, &[("id", "int"), ("ref", "int")]);
+            t.foreign_keys.push(ForeignKey {
+                name: None,
+                columns: vec![Name::from("ref")],
+                ref_table: Name::from(other),
+                ref_columns: vec![Name::from("id")],
+            });
+            to.insert_table(t);
+        }
+        let ops = diff_ops(&from, &to);
+        let descs: Vec<String> = ops.iter().map(DiffOp::describe).collect();
+        assert_eq!(
+            descs,
+            vec![
+                "create_table a",
+                "create_table b",
+                "add_foreign_key a -> b"
+            ],
+            "one edge of the cycle is deferred past both creations"
+        );
+    }
+
+    #[test]
+    fn referencing_tables_drop_before_their_targets() {
+        let mut from = Schema::new();
+        from.insert_table(table("parent", &[("id", "int")]));
+        let mut child = table("child", &[("p", "int")]);
+        child.foreign_keys.push(ForeignKey {
+            name: None,
+            columns: vec![Name::from("p")],
+            ref_table: Name::from("parent"),
+            ref_columns: vec![],
+        });
+        from.insert_table(child);
+        let ops = diff_ops(&from, &Schema::new());
+        let descs: Vec<String> = ops.iter().map(DiffOp::describe).collect();
+        assert_eq!(descs, vec!["drop_table child", "drop_table parent"]);
+    }
+
+    #[test]
+    fn survivor_changes_order_alters_then_adds_then_drops_then_keys() {
+        let mut old = table("t", &[("a", "int"), ("gone", "int")]);
+        old.primary_key = vec![Name::from("a")];
+        let mut new = table("t", &[("a", "bigint"), ("fresh", "text")]);
+        new.primary_key = vec![Name::from("a"), Name::from("fresh")];
+        let from = schema_of(vec![old]);
+        let to = schema_of(vec![new]);
+        let descs: Vec<String> = diff_ops(&from, &to).iter().map(DiffOp::describe).collect();
+        assert_eq!(
+            descs,
+            vec![
+                "alter_column t.a (int -> bigint)",
+                "add_column t.fresh",
+                "drop_column t.gone",
+                "set_primary_key t (a, fresh)",
+            ]
+        );
+    }
+
+    #[test]
+    fn dropping_a_pk_column_emits_no_redundant_key_op() {
+        let mut old = table("t", &[("a", "int"), ("b", "int")]);
+        old.primary_key = vec![Name::from("a"), Name::from("b")];
+        let mut new = table("t", &[("a", "int")]);
+        new.primary_key = vec![Name::from("a")];
+        let descs: Vec<String> = diff_ops(&schema_of(vec![old]), &schema_of(vec![new]))
+            .iter()
+            .map(DiffOp::describe)
+            .collect();
+        assert_eq!(
+            descs,
+            vec!["drop_column t.b"],
+            "the column drop already shrinks the key during replay"
+        );
+    }
+
+    #[test]
+    fn view_changes_drop_then_recreate() {
+        let mut from = Schema::new();
+        from.insert_view(View {
+            name: Name::from("v"),
+            definition: "SELECT 1".into(),
+        });
+        let mut to = Schema::new();
+        to.insert_view(View {
+            name: Name::from("v"),
+            definition: "SELECT 2".into(),
+        });
+        let descs: Vec<String> = diff_ops(&from, &to).iter().map(DiffOp::describe).collect();
+        assert_eq!(descs, vec!["drop_view v", "create_view v"]);
+    }
+}

@@ -1,0 +1,399 @@
+//! The forward migration planner: rendering an op batch into a dialect's
+//! SQL, with a whole-table rebuild fallback and replay verification.
+//!
+//! [`plan`] is self-verifying: before a plan is returned, the rendered
+//! script is replayed through the dialect's own parser on top of the
+//! starting schema and compared (under the dialect's type normalization)
+//! against the target. A surviving table that does not replay faithfully is
+//! forced into a rebuild and rendering repeats; a plan that still does not
+//! replay is refused with a typed [`PlanError::Unfaithful`] — never
+//! returned silently wrong.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use schemachron_ddl::SchemaBuilder;
+use schemachron_model::{Name, Schema, Table};
+
+use crate::dialects::Dialect;
+use crate::ops::{diff_units, DiffOp, PlanUnit};
+
+/// Version of the planning logic, salted into corpus stage-cache keys so
+/// cached parse artifacts invalidate when the planner's semantics change.
+pub const PLAN_LOGIC_VERSION: u32 = 1;
+
+/// A typed refusal: the op a dialect cannot express, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsupportedDiffOp {
+    /// The refusing dialect's canonical name.
+    pub dialect: &'static str,
+    /// The compact op descriptor (see [`DiffOp::describe`]).
+    pub op: String,
+    /// Why the dialect cannot express it.
+    pub reason: String,
+}
+
+impl fmt::Display for UnsupportedDiffOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsupported op `{}` for dialect {}: {}",
+            self.op, self.dialect, self.reason
+        )
+    }
+}
+
+/// Why a plan could not be produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A dialect refused an op and no rebuild could absorb it (the op was
+    /// not table-scoped, or rebuilds were disabled).
+    Unsupported(UnsupportedDiffOp),
+    /// The rendered script did not replay to the target schema and forcing
+    /// rebuilds could not close the gap.
+    Unfaithful {
+        /// The dialect that was planning.
+        dialect: &'static str,
+        /// The tables (or views, prefixed `view:`) that diverged.
+        diverged: Vec<String>,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Unsupported(u) => u.fmt(f),
+            PlanError::Unfaithful { dialect, diverged } => write!(
+                f,
+                "plan for dialect {} does not replay to the target schema (diverged: {})",
+                dialect,
+                diverged.join(", ")
+            ),
+        }
+    }
+}
+
+impl From<UnsupportedDiffOp> for PlanError {
+    fn from(u: UnsupportedDiffOp) -> Self {
+        PlanError::Unsupported(u)
+    }
+}
+
+/// Planner knobs.
+#[derive(Clone, Debug)]
+pub struct PlanOptions {
+    /// Whether a refused (or unfaithful) table-scoped op may be absorbed by
+    /// rebuilding the table (`DROP TABLE` + `CREATE TABLE`). On by default;
+    /// `--no-rebuild` turns it off, surfacing the typed refusal instead.
+    pub allow_rebuild: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            allow_rebuild: true,
+        }
+    }
+}
+
+/// One rendered statement, tagged with the logical op it implements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedStatement {
+    /// The compact descriptor of the op (or `rebuild_table <t>` when the
+    /// statement is part of a rebuild).
+    pub op: String,
+    /// The rendered SQL, one complete statement.
+    pub sql: String,
+}
+
+/// A verified migration plan: the script replays to the target schema.
+#[derive(Clone, Debug)]
+pub struct MigrationPlan {
+    /// The dialect the plan is rendered in (canonical name).
+    pub dialect: &'static str,
+    /// The statements, in execution order.
+    pub statements: Vec<PlannedStatement>,
+    /// Names of tables the planner rebuilt instead of altering in place.
+    pub rebuilds: Vec<String>,
+}
+
+impl MigrationPlan {
+    /// The full script, statements joined by newlines.
+    pub fn script(&self) -> String {
+        self.statements
+            .iter()
+            .map(|s| s.sql.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Plans the DDL script that evolves `from` into `to` under `dialect`.
+///
+/// The returned plan is verified by replay: parsing the script with the
+/// dialect's own parser and applying it on top of `from` yields a schema
+/// equal to `to` under the dialect's type normalization. For the corpus
+/// type palette normalization is the identity, so the round trip is
+/// byte-identical.
+pub fn plan(
+    from: &Schema,
+    to: &Schema,
+    dialect: &'static dyn Dialect,
+    opts: &PlanOptions,
+) -> Result<MigrationPlan, PlanError> {
+    let units = diff_units(from, to);
+    let mut forced: BTreeSet<Name> = BTreeSet::new();
+    loop {
+        let (statements, rebuilds) = render_units(dialect, &units, &forced, opts)?;
+        let replayed = replay(dialect, from, &statements);
+        let diverged = divergences(dialect, &replayed, to);
+        if diverged.is_empty() {
+            return Ok(MigrationPlan {
+                dialect: dialect.name(),
+                statements,
+                rebuilds,
+            });
+        }
+        // Force a rebuild of every diverged table that has a rebuild
+        // target; if that makes no progress the plan is unfaithful.
+        let mut progressed = false;
+        if opts.allow_rebuild {
+            for u in &units {
+                let (Some(name), Some(_)) = (&u.table, &u.rebuild) else {
+                    continue;
+                };
+                if diverged.contains(&name.to_string()) && forced.insert(name.clone()) {
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            return Err(PlanError::Unfaithful {
+                dialect: dialect.name(),
+                diverged,
+            });
+        }
+    }
+}
+
+fn render_units(
+    dialect: &dyn Dialect,
+    units: &[PlanUnit],
+    forced: &BTreeSet<Name>,
+    opts: &PlanOptions,
+) -> Result<(Vec<PlannedStatement>, Vec<String>), PlanError> {
+    let mut statements = Vec::new();
+    let mut rebuilds = Vec::new();
+    'unit: for u in units {
+        if let (Some(name), Some(target)) = (&u.table, &u.rebuild) {
+            if forced.contains(name) {
+                push_rebuild(dialect, name, target, &mut statements, &mut rebuilds)?;
+                continue;
+            }
+        }
+        let mut rendered = Vec::new();
+        for op in &u.ops {
+            match dialect.render_op(op) {
+                Ok(sqls) => rendered.extend(sqls.into_iter().map(|sql| PlannedStatement {
+                    op: op.describe(),
+                    sql,
+                })),
+                Err(refusal) => match &u.rebuild {
+                    Some(target) if opts.allow_rebuild => {
+                        let name = u.table.as_ref().unwrap_or(&target.name);
+                        push_rebuild(dialect, name, target, &mut statements, &mut rebuilds)?;
+                        continue 'unit;
+                    }
+                    _ => return Err(refusal.into()),
+                },
+            }
+        }
+        statements.append(&mut rendered);
+    }
+    Ok((statements, rebuilds))
+}
+
+fn push_rebuild(
+    dialect: &dyn Dialect,
+    name: &Name,
+    target: &Table,
+    statements: &mut Vec<PlannedStatement>,
+    rebuilds: &mut Vec<String>,
+) -> Result<(), PlanError> {
+    let label = format!("rebuild_table {}", name.as_str());
+    let drop_sqls = dialect.render_op(&DiffOp::DropTable(name.clone()))?;
+    let create_sqls = dialect.render_op(&DiffOp::CreateTable(target.clone()))?;
+    for sql in drop_sqls.into_iter().chain(create_sqls) {
+        statements.push(PlannedStatement {
+            op: label.clone(),
+            sql,
+        });
+    }
+    rebuilds.push(name.to_string());
+    Ok(())
+}
+
+/// Replays a rendered script through the dialect's parser on top of `from`.
+fn replay(dialect: &dyn Dialect, from: &Schema, statements: &[PlannedStatement]) -> Schema {
+    let script = statements
+        .iter()
+        .map(|s| s.sql.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let (stmts, _diags) = dialect.parse(&script);
+    let mut b = SchemaBuilder::with_schema(from.clone());
+    b.apply_statements(&stmts);
+    b.finish().0
+}
+
+/// Applies the dialect's type normalization to every attribute of a schema.
+pub(crate) fn normalize_schema(dialect: &dyn Dialect, s: &Schema) -> Schema {
+    let mut out = s.clone();
+    for src in s.tables() {
+        let Some(t) = out.table_mut(src.name.as_str()) else {
+            continue;
+        };
+        for col in src.attributes() {
+            if let Some(a) = t.attribute_mut(col.name.as_str()) {
+                a.data_type = dialect.normalize_type(&a.data_type);
+            }
+        }
+    }
+    out
+}
+
+/// The tables and views whose replayed state differs from the target,
+/// compared under the dialect's normalization.
+fn divergences(dialect: &dyn Dialect, replayed: &Schema, target: &Schema) -> Vec<String> {
+    let got = normalize_schema(dialect, replayed);
+    let want = normalize_schema(dialect, target);
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for t in got.tables().chain(want.tables()) {
+        names.insert(t.name.to_string());
+    }
+    let mut out: Vec<String> = names
+        .into_iter()
+        .filter(|n| got.table(n) != want.table(n))
+        .collect();
+    let mut views: BTreeSet<String> = BTreeSet::new();
+    for v in got.views().chain(want.views()) {
+        views.insert(v.name.to_string());
+    }
+    out.extend(
+        views
+            .into_iter()
+            .filter(|n| got.view(n) != want.view(n))
+            .map(|n| format!("view:{n}")),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialects::{all_dialects, Mysql, Postgres, Sqlite};
+    use schemachron_ddl::parse_schema;
+
+    fn schema(sql: &str) -> Schema {
+        let (s, d) = parse_schema(sql);
+        assert!(d.iter().all(|x| !x.is_error()), "{d:?}");
+        s
+    }
+
+    const FROM: &str = "CREATE TABLE users (
+            id INT NOT NULL,
+            name VARCHAR(64),
+            legacy INT,
+            PRIMARY KEY (id)
+        );
+        CREATE TABLE audit (id INT, PRIMARY KEY (id));";
+
+    const TO: &str = "CREATE TABLE users (
+            id INT NOT NULL,
+            name VARCHAR(255) NOT NULL,
+            created TIMESTAMP,
+            PRIMARY KEY (id)
+        );
+        CREATE TABLE posts (
+            id INT NOT NULL,
+            author INT,
+            PRIMARY KEY (id),
+            CONSTRAINT fk_author FOREIGN KEY (author) REFERENCES users (id)
+        );";
+
+    #[test]
+    fn plans_replay_to_target_in_every_dialect() {
+        let (from, to) = (schema(FROM), schema(TO));
+        for d in all_dialects() {
+            let p = plan(&from, &to, d, &PlanOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+            assert!(!p.statements.is_empty(), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn sqlite_absorbs_alterations_into_rebuilds() {
+        let (from, to) = (schema(FROM), schema(TO));
+        let p = plan(&from, &to, &Sqlite, &PlanOptions::default()).expect("plans");
+        assert_eq!(p.rebuilds, vec!["users".to_string()]);
+        assert!(p.script().contains("DROP TABLE users;"));
+    }
+
+    #[test]
+    fn no_rebuild_surfaces_the_typed_refusal() {
+        let (from, to) = (schema(FROM), schema(TO));
+        let err = plan(
+            &from,
+            &to,
+            &Sqlite,
+            &PlanOptions {
+                allow_rebuild: false,
+            },
+        )
+        .expect_err("sqlite cannot alter columns");
+        assert_eq!(
+            err.to_string(),
+            "unsupported op `alter_column users.name (varchar(64) -> varchar(255))` \
+             for dialect sqlite: sqlite has no ALTER COLUMN"
+        );
+    }
+
+    #[test]
+    fn mysql_alters_in_place() {
+        let (from, to) = (schema(FROM), schema(TO));
+        let p = plan(&from, &to, &Mysql, &PlanOptions::default()).expect("plans");
+        assert!(p.rebuilds.is_empty(), "{:?}", p.rebuilds);
+        assert!(p
+            .script()
+            .contains("ALTER TABLE `users` MODIFY COLUMN `name` varchar(255) NOT NULL;"));
+    }
+
+    #[test]
+    fn postgres_drops_pk_by_conventional_constraint_name() {
+        let from = schema("CREATE TABLE t (a INT, PRIMARY KEY (a));");
+        let to = schema("CREATE TABLE t (a INT);");
+        let p = plan(&from, &to, &Postgres, &PlanOptions::default()).expect("plans");
+        assert!(p.rebuilds.is_empty(), "{:?}", p.rebuilds);
+        assert_eq!(p.script(), "ALTER TABLE t DROP CONSTRAINT t_pkey;");
+    }
+
+    #[test]
+    fn postgres_identity_toggle_falls_back_to_rebuild() {
+        let from = schema("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id));");
+        let to = schema("CREATE TABLE t (id INT NOT NULL AUTO_INCREMENT, PRIMARY KEY (id));");
+        let p = plan(&from, &to, &Postgres, &PlanOptions::default()).expect("plans");
+        assert_eq!(p.rebuilds, vec!["t".to_string()]);
+        assert!(p
+            .script()
+            .contains("id int NOT NULL GENERATED BY DEFAULT AS IDENTITY"));
+    }
+
+    #[test]
+    fn empty_diff_plans_empty_script() {
+        let s = schema(FROM);
+        for d in all_dialects() {
+            let p = plan(&s, &s.clone(), d, &PlanOptions::default()).expect("plans");
+            assert!(p.statements.is_empty(), "{}", d.name());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Human and JSON renderers for migration plans.
+//!
+//! Same presentation split as the as-of query renderers: the planner
+//! returns plain data, and both the CLI and the HTTP service format it
+//! through these functions, so a CLI golden and a `curl` response for the
+//! same plan are byte-identical JSON. The envelope is built from primitives
+//! so this crate stays independent of the as-of index; the `asof` crate
+//! provides the adapter that fills it from an index.
+
+use serde_json::{json, Value};
+
+use crate::plan::{MigrationPlan, PlanError};
+
+/// The request context a plan answer is wrapped in: the project, its
+/// observed lifespan, and the queried month span.
+#[derive(Clone, Debug)]
+pub struct PlanRequest {
+    /// The project the plan is for.
+    pub project: String,
+    /// First observed month (`YYYY-MM`).
+    pub lifespan_start: String,
+    /// Last observed month (`YYYY-MM`).
+    pub lifespan_last: String,
+    /// Lifespan length in months.
+    pub lifespan_months: usize,
+    /// The plan's starting month (`YYYY-MM`).
+    pub from: String,
+    /// The plan's target month (`YYYY-MM`).
+    pub to: String,
+}
+
+/// The JSON form of a plan answer.
+pub fn plan_json(req: &PlanRequest, plan: &MigrationPlan) -> Value {
+    json!({
+        "project": (req.project.clone()),
+        "lifespan": {
+            "start": (req.lifespan_start.clone()),
+            "last": (req.lifespan_last.clone()),
+            "months": (req.lifespan_months),
+        },
+        "from": (req.from.clone()),
+        "to": (req.to.clone()),
+        "dialect": (plan.dialect),
+        "statement_count": (plan.statements.len()),
+        "rebuilds": (plan.rebuilds.clone()),
+        "statements": (plan
+            .statements
+            .iter()
+            .map(|s| json!({"op": (s.op.clone()), "sql": (s.sql.clone())}))
+            .collect::<Vec<_>>()),
+    })
+}
+
+/// The human form of a plan answer: a header plus the script.
+pub fn plan_human(req: &PlanRequest, plan: &MigrationPlan) -> String {
+    let mut out = format!(
+        "{} plan {} -> {} ({}): {} statements, {} rebuilds (lifespan {}..{})\n",
+        req.project,
+        req.from,
+        req.to,
+        plan.dialect,
+        plan.statements.len(),
+        plan.rebuilds.len(),
+        req.lifespan_start,
+        req.lifespan_last,
+    );
+    if plan.statements.is_empty() {
+        out.push_str("-- no changes\n");
+    } else {
+        out.push_str(&plan.script());
+        out.push('\n');
+    }
+    out
+}
+
+/// The JSON body for a plan failure (the serve 422 / CLI `--format json`
+/// error shape), echoing the offending op when there is one.
+pub fn plan_error_json(err: &PlanError) -> Value {
+    match err {
+        PlanError::Unsupported(u) => json!({
+            "error": "unsupported_diff_op",
+            "dialect": (u.dialect),
+            "op": (u.op.clone()),
+            "reason": (u.reason.clone()),
+            "detail": (u.to_string()),
+        }),
+        PlanError::Unfaithful { dialect, diverged } => json!({
+            "error": "unfaithful_plan",
+            "dialect": (*dialect),
+            "diverged": (diverged.clone()),
+            "detail": (err.to_string()),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlannedStatement, UnsupportedDiffOp};
+
+    fn sample_plan() -> MigrationPlan {
+        MigrationPlan {
+            dialect: "mysql",
+            statements: vec![PlannedStatement {
+                op: "add_column t.c".into(),
+                sql: "ALTER TABLE `t` ADD COLUMN `c` int;".into(),
+            }],
+            rebuilds: Vec::new(),
+        }
+    }
+
+    fn sample_req() -> PlanRequest {
+        PlanRequest {
+            project: "p".into(),
+            lifespan_start: "2015-01".into(),
+            lifespan_last: "2016-01".into(),
+            lifespan_months: 13,
+            from: "2015-02".into(),
+            to: "2015-03".into(),
+        }
+    }
+
+    #[test]
+    fn plan_json_shape() {
+        let v = plan_json(&sample_req(), &sample_plan());
+        let text = serde_json::to_string(&v).unwrap_or_default();
+        assert!(text.contains("\"dialect\":\"mysql\""), "{text}");
+        assert!(text.contains("\"statement_count\":1"), "{text}");
+        assert!(text.contains("\"op\":\"add_column t.c\""), "{text}");
+    }
+
+    #[test]
+    fn plan_human_includes_script() {
+        let h = plan_human(&sample_req(), &sample_plan());
+        assert!(h.starts_with("p plan 2015-02 -> 2015-03 (mysql): 1 statements"));
+        assert!(h.contains("ALTER TABLE `t` ADD COLUMN `c` int;"));
+    }
+
+    #[test]
+    fn error_json_echoes_the_offending_op() {
+        let err = PlanError::Unsupported(UnsupportedDiffOp {
+            dialect: "sqlite",
+            op: "alter_column t.a (int -> bigint)".into(),
+            reason: "sqlite has no ALTER COLUMN".into(),
+        });
+        let text = serde_json::to_string(&plan_error_json(&err)).unwrap_or_default();
+        assert!(text.contains("\"op\":\"alter_column t.a (int -> bigint)\""), "{text}");
+        assert!(text.contains("unsupported_diff_op"), "{text}");
+    }
+}

@@ -23,6 +23,23 @@ use crate::diag::{Diagnostic, Report};
 /// does not share code with the audited implementation.
 const STAGE_VERSIONS: [u32; 8] = [1, 1, 1, 1, 1, 1, 1, 1];
 
+/// The corpus ingestion dialect's canonical name, restated from
+/// `schemachron_dialect::ingest_dialect()` (a registry test pins the two).
+const INGEST_DIALECT: &str = "mysql";
+
+/// The planner logic version, restated from
+/// [`schemachron_dialect::PLAN_LOGIC_VERSION`].
+const INGEST_PLAN_LOGIC_VERSION: u32 = 1;
+
+/// Independent restatement of the parse stage's salt: the ingestion
+/// dialect's name and the planner logic version folded into the upstream
+/// key before the chain link is derived.
+fn rederive_parse_salt(in_key: StageKey) -> StageKey {
+    let h = fnv1a(FNV_OFFSET, INGEST_DIALECT.as_bytes());
+    let h = fnv1a(h, &u64::from(INGEST_PLAN_LOGIC_VERSION).to_le_bytes());
+    fnv1a(h, &in_key.to_le_bytes())
+}
+
 /// The as-of checkpoint cache namespace, restated (the engine publishes it
 /// as [`schemachron_asof::CHECKPOINT_STAGE`]; a registry test pins the two
 /// together so drift is caught, not silently tolerated).
@@ -62,6 +79,11 @@ fn rederive_chain(card: &Card, seed: u64) -> [StageKey; 8] {
     let mut key = card_fingerprint(card, seed);
     let mut keys = [0; 8];
     for (i, (name, version)) in STAGE_ORDER.iter().zip(STAGE_VERSIONS).enumerate() {
+        // The parse link (index 1) salts its upstream key with the
+        // ingestion dialect + planner logic version before chaining.
+        if i == 1 {
+            key = rederive_parse_salt(key);
+        }
         key = rederive(name, version, key);
         keys[i] = key;
     }
@@ -297,6 +319,20 @@ mod tests {
     #[test]
     fn restated_shard_formula_matches_pipeline() {
         assert_eq!(rederive_shard_count(), pipeline::stage_cache_shard_count());
+    }
+
+    #[test]
+    fn restated_ingest_dialect_constants_match_the_planner() {
+        assert_eq!(INGEST_DIALECT, schemachron_dialect::ingest_dialect().name());
+        assert_eq!(
+            INGEST_PLAN_LOGIC_VERSION,
+            schemachron_dialect::PLAN_LOGIC_VERSION
+        );
+        // And the full salt fold, on an arbitrary input key.
+        assert_eq!(
+            rederive_parse_salt(0x1234_5678_9abc_def0),
+            schemachron_corpus::pipeline::parse_salt(0x1234_5678_9abc_def0)
+        );
     }
 
     #[test]

@@ -52,7 +52,8 @@ impl fmt::Display for Span {
 /// an optional script span and the human-readable message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// The stable rule code (`L0xx`/`S0xx`/`H0xx`/`F0xx`, see [`RULES`]).
+    /// The stable rule code (`L0xx`/`S0xx`/`H0xx`/`F0xx`/`R0xx`, see
+    /// [`RULES`]).
     pub code: &'static str,
     /// Severity (fixed per rule).
     pub severity: Severity,
@@ -107,7 +108,8 @@ impl fmt::Display for Diagnostic {
 #[derive(Clone, Copy, Debug)]
 pub struct Rule {
     /// The stable code. `L` = DDL flow, `S` = spec, `H` = cache hash,
-    /// `F` = on-disk corpus integrity (fsck).
+    /// `F` = on-disk corpus integrity (fsck), `R` = planner
+    /// recommendations.
     pub code: &'static str,
     /// The fixed severity every finding of this rule carries.
     pub severity: Severity,
@@ -117,7 +119,7 @@ pub struct Rule {
 
 /// The complete rule registry. Codes are append-only: a published code is
 /// never renumbered or reused.
-pub const RULES: [Rule; 22] = [
+pub const RULES: [Rule; 23] = [
     Rule {
         code: "L001",
         severity: Severity::Error,
@@ -225,6 +227,12 @@ pub const RULES: [Rule; 22] = [
         summary: "as-of checkpoint artifact's key disagrees with the restated derivation \
                   (stage name, version and K-salted history key), or the payload is not \
                   an as-of index",
+    },
+    Rule {
+        code: "R001",
+        severity: Severity::Info,
+        summary: "recommended next migration: planned DDL that would carry the final schema \
+                  to its lint-clean ideal (every table keyed by a primary key)",
     },
     Rule {
         code: "F001",
@@ -404,8 +412,8 @@ mod tests {
             );
             let class = r.code.as_bytes()[0];
             assert!(
-                matches!(class, b'L' | b'S' | b'H' | b'F'),
-                "{}: codes are L/S/H/F-classed",
+                matches!(class, b'L' | b'S' | b'H' | b'F' | b'R'),
+                "{}: codes are L/S/H/F/R-classed",
                 r.code
             );
             assert_eq!(r.code.len(), 4, "{}: codes are letter + 3 digits", r.code);

@@ -15,7 +15,10 @@
 //!   label domains and, for the calibrated corpus, the published aggregates
 //!   (`S00x`/`S01x`);
 //! * the **cache auditor** ([`cache`]) recomputes the stage cache's chained
-//!   FNV-1a fingerprints from first principles (`H00x`).
+//!   FNV-1a fingerprints from first principles (`H00x`);
+//! * the **recommendation pass** ([`recommend`]) runs the migration
+//!   planner over each project's final schema against its lint-clean
+//!   ideal and surfaces the planned DDL as Info notes (`R001`).
 //!
 //! Every diagnostic carries a stable rule code from the [`diag::RULES`]
 //! registry, a severity, and (for flow findings) a source span into the
@@ -28,6 +31,7 @@ pub mod cache;
 pub mod diag;
 pub mod flow;
 pub mod fsck;
+pub mod recommend;
 pub mod spec;
 
 use schemachron_corpus::io::date_from_filename;
@@ -88,6 +92,7 @@ pub fn lint_project(card: &Card, seed: u64) -> Report {
         .map(|(i, (date, sql))| (format!("{:04}_{date}.sql", i + 1), sql.clone()))
         .collect();
     flow::lint_scripts(&card.name, &scripts, &mut report);
+    recommend::recommend_next_migration(&card.name, &scripts, &mut report);
     report.sort();
     report
 }
@@ -170,6 +175,33 @@ mod tests {
         assert_eq!(report.errors(), 0, "{}", report.render_human());
         assert_eq!(report.warnings(), 0, "{}", report.render_human());
         assert!(!report.failed(true), "deny-warnings must pass");
+    }
+
+    #[test]
+    fn planner_recommendations_surface_as_info_notes() {
+        // The generator's primary-key toggles leave some projects with
+        // keyless final tables; the recommendation pass must surface the
+        // planned fix for each as an R001 Info note (never a failure).
+        let cards = all_cards();
+        let card = cards
+            .iter()
+            .find(|c| c.name.as_str() == "radical-049")
+            .expect("calibrated corpus has radical-049");
+        let report = lint_project(card, 42);
+        let recs: Vec<&Diagnostic> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "R001")
+            .collect();
+        assert!(!recs.is_empty(), "{}", report.render_human());
+        for d in recs {
+            assert_eq!(d.severity, Severity::Info);
+            assert!(
+                d.message.starts_with("recommended next migration: ALTER TABLE"),
+                "{d}"
+            );
+        }
+        assert!(!report.failed(true), "recommendations never fail a run");
     }
 
     #[test]

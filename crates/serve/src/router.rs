@@ -38,6 +38,7 @@ pub struct Counters {
     project_diagnostics: AtomicU64,
     project_schema: AtomicU64,
     project_diff: AtomicU64,
+    project_plan: AtomicU64,
     project_provenance: AtomicU64,
     experiments: AtomicU64,
     chart: AtomicU64,
@@ -58,6 +59,7 @@ impl Counters {
             "project_diagnostics": (get(&self.project_diagnostics)),
             "project_schema": (get(&self.project_schema)),
             "project_diff": (get(&self.project_diff)),
+            "project_plan": (get(&self.project_plan)),
             "project_provenance": (get(&self.project_provenance)),
             "experiments": (get(&self.experiments)),
             "chart": (get(&self.chart)),
@@ -103,6 +105,7 @@ pub fn route_key(path: &str) -> &'static str {
         ["project", _, "diagnostics"] => "project_diagnostics",
         ["project", _, "schema"] => "project_schema",
         ["project", _, "diff"] => "project_diff",
+        ["project", _, "plan"] => "project_plan",
         ["project", _, "provenance", _] => "project_provenance",
         ["experiments", _] => "experiments",
         ["chart", _] => "chart",
@@ -224,6 +227,11 @@ impl AppState {
                 self.counters.project_diff.fetch_add(1, Ordering::Relaxed);
                 let default_seed = self.default_seed;
                 self.with_project(id, req, move |p, req| project_diff(p, req, default_seed))
+            }
+            ["project", id, "plan"] => {
+                self.counters.project_plan.fetch_add(1, Ordering::Relaxed);
+                let default_seed = self.default_seed;
+                self.with_project(id, req, move |p, req| project_plan(p, req, default_seed))
             }
             ["project", id, "provenance", subject] => {
                 self.counters
@@ -522,6 +530,7 @@ fn index() -> Response {
                 "GET /project/{id}/diagnostics[?seed=s]",
                 "GET /project/{id}/schema?asof=YYYY-MM[&seed=s&k=months]",
                 "GET /project/{id}/diff?from=YYYY-MM&to=YYYY-MM[&seed=s&k=months]",
+                "GET /project/{id}/plan?from=YYYY-MM&to=YYYY-MM&dialect=pg|mysql|sqlite[&rebuild=no&seed=s&k=months]",
                 "GET /project/{id}/provenance/{table}[.{column}][?seed=s&k=months]",
                 "GET /experiments/{id}",
                 "GET /chart/{id}.svg[?seed=s&w=px&h=px]",
@@ -700,6 +709,65 @@ fn project_diff(p: &CorpusProject, req: &Request, default_seed: u64) -> Response
     match index.diff_between(from, to) {
         Some(d) => Response::json(200, &asof_render::diff_json(&index, from, to, &d)),
         None => out_of_lifespan(&index, "from", from),
+    }
+}
+
+/// `GET /project/{id}/plan?from=YYYY-MM&to=YYYY-MM&dialect=pg|mysql|sqlite`
+/// — the forward migration script that turns the `from` schema into the
+/// `to` schema, rendered for one SQL dialect. `&rebuild=no` disables the
+/// drop-and-recreate fallback; an op the dialect cannot express then
+/// answers `422` with the offending op echoed. The 200 body is shared with
+/// `schemachron plan --format json`, so CLI goldens and `curl` answers for
+/// the same query are byte-identical.
+fn project_plan(p: &CorpusProject, req: &Request, default_seed: u64) -> Response {
+    let index = match project_index(p, req, default_seed) {
+        Ok(index) => index,
+        Err(resp) => return resp,
+    };
+    let dialect = match req.query_param("dialect") {
+        Some(kw) => match schemachron_dialect::dialect_named(kw) {
+            Some(d) => d,
+            None => {
+                return Response::json(
+                    400,
+                    &json!({
+                        "error": (format!("unknown dialect `{kw}`")),
+                        "expected": (schemachron_dialect::DIALECT_KEYWORDS.to_vec()),
+                    }),
+                )
+            }
+        },
+        None => {
+            return Response::json(
+                400,
+                &json!({
+                    "error": "missing `dialect` parameter",
+                    "expected": (schemachron_dialect::DIALECT_KEYWORDS.to_vec()),
+                }),
+            )
+        }
+    };
+    let (from, to) = match (month_param(req, "from"), month_param(req, "to")) {
+        (Ok(from), Ok(to)) => (from, to),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    let (from_schema, to_schema) = match (index.schema_as_of(from), index.schema_as_of(to)) {
+        (Some(f), Some(t)) => (f, t),
+        (None, _) => return out_of_lifespan(&index, "from", from),
+        (_, None) => return out_of_lifespan(&index, "to", to),
+    };
+    let opts = schemachron_dialect::PlanOptions {
+        allow_rebuild: req.query_param("rebuild") != Some("no"),
+    };
+    match schemachron_dialect::plan(&from_schema, &to_schema, dialect, &opts) {
+        Ok(plan) => {
+            let request = asof_render::plan_request(&index, from, to);
+            Response::json(
+                200,
+                &schemachron_dialect::report::plan_json(&request, &plan),
+            )
+        }
+        Err(e) => Response::json(422, &schemachron_dialect::report::plan_error_json(&e)),
     }
 }
 
@@ -904,6 +972,88 @@ mod tests {
         assert_eq!(bad_k.status, 400);
         let ghost = state.handle(&get(&format!("/project/{name}/provenance/no_such_table")));
         assert_eq!(ghost.status, 404);
+    }
+
+    #[test]
+    fn plan_route_renders_dialect_scripts_and_echoes_refusals() {
+        // A fresh state: `routes_answer_with_expected_shapes` pins its own
+        // request total and must not see these requests.
+        let state = AppState::new(42);
+        let (name, start, last) = {
+            let ctx = state.context(42);
+            ctx.corpus
+                .projects()
+                .iter()
+                .find_map(|p| {
+                    let index = schemachron_asof::AsOfIndex::build(&p.history, 12)?;
+                    let d = index.diff_between(index.start(), index.last_month())?;
+                    (d.attribute_change_count() > 0).then(|| {
+                        (
+                            p.card.name.clone(),
+                            index.start().to_string(),
+                            index.last_month().to_string(),
+                        )
+                    })
+                })
+                .unwrap()
+        };
+
+        // Every dialect plans the full lifespan; mysql always can (the
+        // corpus dumps are its own flavor, rebuilds cover the rest).
+        for dialect in schemachron_dialect::DIALECT_KEYWORDS {
+            let r = state.handle(&get(&format!(
+                "/project/{name}/plan?from={start}&to={last}&dialect={dialect}"
+            )));
+            assert_eq!(r.status, 200, "{dialect}");
+            let body = body_json(&r);
+            assert_eq!(body["project"].as_str(), Some(name.as_str()));
+            assert_eq!(body["from"].as_str(), Some(start.as_str()));
+            assert!(body["statement_count"].as_u64().unwrap() > 0, "{dialect}");
+            assert!(body["statements"][0]["sql"].as_str().is_some(), "{dialect}");
+        }
+
+        // A same-month span plans an empty script.
+        let empty = state.handle(&get(&format!(
+            "/project/{name}/plan?from={start}&to={start}&dialect=pg"
+        )));
+        assert_eq!(empty.status, 200);
+        assert_eq!(body_json(&empty)["statement_count"].as_u64(), Some(0));
+
+        // Missing or unknown dialect: 400 listing the keywords.
+        for bad in [
+            format!("/project/{name}/plan?from={start}&to={last}"),
+            format!("/project/{name}/plan?from={start}&to={last}&dialect=oracle"),
+        ] {
+            let r = state.handle(&get(&bad));
+            assert_eq!(r.status, 400, "{bad}");
+            let body = body_json(&r);
+            assert!(body["error"].as_str().is_some(), "{bad}");
+            assert_eq!(body["expected"][0].as_str(), Some("pg"), "{bad}");
+        }
+        // Months outside the lifespan: 422 echoing it, like /diff.
+        let out = state.handle(&get(&format!(
+            "/project/{name}/plan?from=1901-01&to={last}&dialect=pg"
+        )));
+        assert_eq!(out.status, 422);
+        assert_eq!(
+            body_json(&out)["lifespan"]["start"].as_str(),
+            Some(start.as_str())
+        );
+
+        // `rebuild=no` on a span sqlite cannot express in place: 422 with
+        // the offending op echoed as typed fields, not prose.
+        let refused = state.handle(&get(
+            "/project/curated-132/plan?from=2015-12&to=2017-06&dialect=sqlite&rebuild=no",
+        ));
+        assert_eq!(refused.status, 422);
+        let body = body_json(&refused);
+        assert_eq!(body["error"].as_str(), Some("unsupported_diff_op"));
+        assert_eq!(body["dialect"].as_str(), Some("sqlite"));
+        assert!(
+            body["op"].as_str().unwrap().starts_with("alter_column "),
+            "{body}"
+        );
+        assert_eq!(body["reason"].as_str(), Some("sqlite has no ALTER COLUMN"));
     }
 
     #[test]

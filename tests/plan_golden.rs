@@ -1,0 +1,81 @@
+//! Migration-plan goldens through the real CLI entry point: the five
+//! checked-in `goldens/plan/*.json` scripts must be reproduced byte for
+//! byte by `schemachron plan ... --format json`, and a plan sqlite cannot
+//! express with rebuilds disabled must be refused with the exact typed
+//! error and the plan exit code (2).
+
+// Integration-test helpers sit outside `#[test]` fns, so clippy's
+// allow-in-tests escape hatch does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
+fn repo_path(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn run_plan(args: &[&str]) -> (Result<(), schemachron_cli::CliError>, String) {
+    let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    let mut buf: Vec<u8> = Vec::new();
+    let result = schemachron_cli::run(&argv, &mut buf);
+    (result, String::from_utf8(buf).expect("plan output is UTF-8"))
+}
+
+#[test]
+fn plan_goldens_match_byte_for_byte_at_jobs_1_and_8() {
+    let cases = [
+        ("curated-132", "2015-12", "2017-06", "pg"),
+        ("curated-132", "2015-12", "2017-06", "mysql"),
+        ("curated-132", "2015-12", "2017-06", "sqlite"),
+        ("funnel-148", "2017-03", "2017-11", "pg"),
+        ("radical-049", "2017-10", "2020-10", "sqlite"),
+    ];
+    for (project, from, to, dialect) in cases {
+        let golden = std::fs::read_to_string(repo_path(&format!(
+            "goldens/plan/{project}_{from}_{to}_{dialect}.json"
+        )))
+        .expect("checked-in golden");
+        for jobs in ["1", "8"] {
+            let (result, out) = run_plan(&[
+                "plan", project, "--from", from, "--to", to, "--dialect", dialect,
+                "--format", "json", "--jobs", jobs,
+            ]);
+            result.unwrap_or_else(|e| {
+                panic!("{project} {from}->{to} {dialect} --jobs {jobs}: {}", e.message)
+            });
+            assert_eq!(
+                out, golden,
+                "{project} {from}->{to} {dialect} --jobs {jobs}: drifted from the golden"
+            );
+        }
+    }
+}
+
+#[test]
+fn sqlite_without_rebuilds_refuses_with_the_exact_typed_error() {
+    let (result, out) = run_plan(&[
+        "plan", "curated-132", "--from", "2015-12", "--to", "2017-06",
+        "--dialect", "sqlite", "--no-rebuild",
+    ]);
+    assert!(out.is_empty(), "a refused plan writes nothing to stdout");
+    let err = result.expect_err("sqlite cannot express this span in place");
+    assert_eq!(err.code, schemachron_cli::EXIT_PLAN);
+    let mut lines = err.message.lines();
+    assert_eq!(
+        lines.next(),
+        Some(
+            "plan: unsupported op `alter_column customers_1.updated_at_4 \
+             (bigint -> timestamp)` for dialect sqlite: sqlite has no ALTER COLUMN"
+        )
+    );
+    assert_eq!(
+        lines.next(),
+        Some(
+            "hint: sqlite cannot alter columns, keys or constraints in place; \
+             allow table rebuilds (omit --no-rebuild), or plan for mysql/pg instead"
+        )
+    );
+}
