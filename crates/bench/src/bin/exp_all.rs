@@ -34,4 +34,5 @@ fn main() {
     run!("exp_tables", tables_exp);
     run!("exp_coevolution", co_evolution_exp);
     run!("exp_forecast", forecast);
+    run!("exp_safety", safety_exp);
 }

@@ -1,0 +1,14 @@
+//! Runs the per-pattern data-loss exposure census (beyond the paper).
+
+use schemachron_bench::context::ExpContext;
+use schemachron_bench::{emit, experiments, DEFAULT_SEED};
+
+fn main() {
+    let ctx = ExpContext::new(DEFAULT_SEED);
+    let result = experiments::safety_exp(&ctx);
+    emit(
+        "exp_safety",
+        &result.render(),
+        &serde_json::to_value(&result).expect("serializable"),
+    );
+}

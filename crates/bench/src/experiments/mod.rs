@@ -4,6 +4,7 @@ mod ablation;
 mod beyond;
 mod figures;
 mod forecast;
+mod safety;
 mod sections;
 mod tables;
 
@@ -14,6 +15,7 @@ pub use figures::{
     Figure6, Figure7,
 };
 pub use forecast::{forecast, Forecast, HorizonResult};
+pub use safety::{safety_exp, FamilySplit, SafetyExp};
 pub use sections::{
     family_mass, stats34, stats52, stats61, stats62, stats63, Stats34, Stats52, Stats61, Stats62,
     Stats63,
@@ -24,7 +26,7 @@ use crate::context::ExpContext;
 
 /// The valid experiment ids, in paper order — the single registry shared by
 /// the CLI, the `exp_*` binaries and the HTTP service.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "exp_table1",
     "exp_table2",
     "exp_figure1",
@@ -43,6 +45,7 @@ pub const EXPERIMENT_IDS: [&str; 18] = [
     "exp_tables",
     "exp_coevolution",
     "exp_forecast",
+    "exp_safety",
 ];
 
 /// Runs experiment `id` against `ctx` and returns its plain-text rendering
@@ -74,6 +77,7 @@ pub fn run_experiment(id: &str, ctx: &ExpContext) -> Option<(String, serde_json:
         "exp_tables" => case!(tables_exp),
         "exp_coevolution" => case!(co_evolution_exp),
         "exp_forecast" => case!(forecast),
+        "exp_safety" => case!(safety_exp),
         _ => return None,
     })
 }

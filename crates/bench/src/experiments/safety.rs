@@ -1,0 +1,159 @@
+//! Beyond the paper: per-pattern data-loss exposure — how much of each
+//! evolution pattern's migration churn is destructive, as judged by the
+//! `schemachron-safety` abstract interpreter's three-valued lattice.
+//!
+//! The paper's "focused shot and frozen" narrative (its Be Quick or Be Dead
+//! family) predicts that frozen histories concentrate their churn in one
+//! constructive burst at birth, while actively maintained histories keep
+//! dropping and reshaping — so the *share* of lossy ops should differ
+//! between the families. This experiment measures exactly that.
+
+use serde::Serialize;
+
+use schemachron_core::{Family, Pattern};
+use schemachron_safety::analyze_history;
+use schemachron_stats::{mann_whitney_u, median};
+
+use crate::context::ExpContext;
+use crate::report::{cell, pct, text_table};
+
+/// Corpus-wide data-loss exposure census.
+#[derive(Clone, Debug, Serialize)]
+pub struct SafetyExp {
+    /// Classified migration ops across all 151 histories.
+    pub total_ops: usize,
+    /// `[lossless, recoverable, lossy]` counts over the whole corpus.
+    pub counts: [usize; 3],
+    /// Per-pattern `(pattern, ops, [lossless, recoverable, lossy],
+    /// exposure)` rows; *exposure* is the lossy share of the pattern's ops.
+    pub per_pattern: Vec<(Pattern, usize, [usize; 3], f64)>,
+    /// Frozen-vs-active family split of per-project exposure.
+    pub family_split: FamilySplit,
+}
+
+/// Per-project exposure split between the paper's frozen family (Be Quick
+/// or Be Dead — focused shot, then frozen) and the actively maintained
+/// rest.
+#[derive(Clone, Debug, Serialize)]
+pub struct FamilySplit {
+    /// Projects in the frozen (Be Quick or Be Dead) family.
+    pub frozen_projects: usize,
+    /// Projects in the two actively maintained families.
+    pub active_projects: usize,
+    /// Median per-project lossy share among frozen projects.
+    pub frozen_median_exposure: f64,
+    /// Median per-project lossy share among active projects.
+    pub active_median_exposure: f64,
+    /// Two-sided Mann–Whitney p of the exposure distributions (`None`
+    /// when a side is empty or degenerate).
+    pub p_value: Option<f64>,
+}
+
+/// Runs the safety analyzer over every corpus history and aggregates the
+/// lattice verdicts per pattern and per family.
+pub fn safety_exp(ctx: &ExpContext) -> SafetyExp {
+    let mut total_ops = 0;
+    let mut counts = [0usize; 3];
+    let mut per_pattern = Vec::new();
+    let mut frozen: Vec<f64> = Vec::new();
+    let mut active: Vec<f64> = Vec::new();
+
+    for pattern in Pattern::ALL {
+        let mut p_ops = 0;
+        let mut p_counts = [0usize; 3];
+        for project in ctx.corpus.of_pattern(pattern) {
+            let history = project
+                .history
+                .schema_history()
+                .expect("corpus projects are DDL-built");
+            let analysis = analyze_history(&project.card.name, history);
+            p_ops += analysis.total_ops();
+            let c = analysis.counts();
+            for (acc, n) in p_counts.iter_mut().zip(c) {
+                *acc += n;
+            }
+            if pattern.family() == Family::BeQuickOrBeDead {
+                frozen.push(analysis.exposure());
+            } else {
+                active.push(analysis.exposure());
+            }
+        }
+        let exposure = if p_ops == 0 {
+            0.0
+        } else {
+            p_counts[2] as f64 / p_ops as f64
+        };
+        total_ops += p_ops;
+        for (acc, n) in counts.iter_mut().zip(p_counts) {
+            *acc += n;
+        }
+        per_pattern.push((pattern, p_ops, p_counts, exposure));
+    }
+
+    let p_value = mann_whitney_u(&frozen, &active).ok().map(|r| r.p_value);
+    SafetyExp {
+        total_ops,
+        counts,
+        per_pattern,
+        family_split: FamilySplit {
+            frozen_projects: frozen.len(),
+            active_projects: active.len(),
+            frozen_median_exposure: median(&frozen),
+            active_median_exposure: median(&active),
+            p_value,
+        },
+    }
+}
+
+impl SafetyExp {
+    /// Renders the exposure census.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Safety — per-pattern data-loss exposure (beyond the paper)\n\n\
+             classified migration ops: {}\n\
+             lossless: {} ({:.0}%), recoverable: {} ({:.0}%), lossy: {} ({:.0}%)\n\n",
+            self.total_ops,
+            self.counts[0],
+            100.0 * self.counts[0] as f64 / self.total_ops.max(1) as f64,
+            self.counts[1],
+            100.0 * self.counts[1] as f64 / self.total_ops.max(1) as f64,
+            self.counts[2],
+            100.0 * self.counts[2] as f64 / self.total_ops.max(1) as f64,
+        );
+        let header = vec![
+            cell("Pattern"),
+            cell("ops"),
+            cell("lossless"),
+            cell("recoverable"),
+            cell("lossy"),
+            cell("exposure"),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .per_pattern
+            .iter()
+            .map(|(p, ops, c, e)| {
+                vec![
+                    cell(p.name()),
+                    cell(ops),
+                    cell(c[0]),
+                    cell(c[1]),
+                    cell(c[2]),
+                    pct(*e),
+                ]
+            })
+            .collect();
+        out.push_str(&text_table(&header, &rows));
+        let f = &self.family_split;
+        out.push_str(&format!(
+            "\nfamily split: {} frozen projects (median exposure {}) vs \
+             {} active (median {}), Mann-Whitney p = {}\n",
+            f.frozen_projects,
+            pct(f.frozen_median_exposure),
+            f.active_projects,
+            pct(f.active_median_exposure),
+            f.p_value
+                .map_or_else(|| "n/a".to_owned(), |p| format!("{p:.2e}")),
+        ));
+        out
+    }
+}

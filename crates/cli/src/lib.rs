@@ -18,6 +18,7 @@
 //! schemachron lint [--seed N] [--jobs N] [--format json] [--deny warnings] [--dir <dir>]
 //! schemachron experiments [<id> | all] [--seed N] [--jobs N]
 //! schemachron asof <project> --at YYYY-MM [--diff YYYY-MM] [--provenance SUBJ]
+//! schemachron safety <project> [--seed N] [--jobs N] [--format json]
 //! schemachron chart <dir> [--snapshot]
 //! schemachron chaos [--seed N] [--fault-seed N] [--rate R] [--site S]...
 //! schemachron help
@@ -50,6 +51,10 @@ pub const EXIT_BIND: u8 = 2;
 /// Exit code when a migration plan cannot be produced: the dialect refused
 /// an op (under `--no-rebuild`) or the plan did not replay faithfully.
 pub const EXIT_PLAN: u8 = 2;
+/// Exit code when `plan --deny-lossy` refuses a plan the safety analyzer
+/// classifies as lossy — distinct from [`EXIT_PLAN`] so callers can tell
+/// "the dialect cannot express this" from "the plan would destroy data".
+pub const EXIT_LOSSY: u8 = 3;
 
 /// CLI failure: message for the user plus the process exit code.
 #[derive(Debug)]
@@ -117,6 +122,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
         Some("experiments") => experiments(&args[1..], out),
         Some("asof") => asof(&args[1..], out),
         Some("plan") => plan_cmd(&args[1..], out),
+        Some("safety") => safety_cmd(&args[1..], out),
         Some("serve") => serve(&args[1..], out),
         Some("chart") => chart(&args[1..], out),
         Some("chaos") => chaos::run_chaos(&args[1..], out),
@@ -159,7 +165,7 @@ pub fn usage() -> &'static str {
      \x20 schemachron experiments [<id> | all] [--seed N] [--jobs N]\n\
      \x20     Regenerate the paper's tables/figures and the beyond-paper\n\
      \x20     analyses (exp_table1 ... exp_stats63, exp_ablation, exp_tables,\n\
-     \x20     exp_coevolution, exp_forecast).\n\
+     \x20     exp_coevolution, exp_forecast, exp_safety).\n\
      \x20 schemachron asof <project> --at YYYY-MM [--diff YYYY-MM]\n\
      \x20                  [--provenance TABLE[.COLUMN]] [--k N] [--seed N]\n\
      \x20                  [--jobs N] [--format json]\n\
@@ -172,14 +178,25 @@ pub fn usage() -> &'static str {
      \x20 schemachron plan <project> --from YYYY-MM --to YYYY-MM\n\
      \x20                  --dialect pg|mysql|sqlite [--no-rebuild] [--k N]\n\
      \x20                  [--seed N] [--jobs N] [--format json]\n\
+     \x20                  [--deny-lossy] [--explain-safety]\n\
      \x20     Plan the forward migration between two months of a corpus\n\
      \x20     project's history: the DDL script that evolves schema(from)\n\
      \x20     into schema(to), rendered in the chosen dialect and verified\n\
      \x20     by replaying it through that dialect's parser. Ops a dialect\n\
      \x20     cannot express become whole-table rebuilds unless\n\
      \x20     --no-rebuild is given, in which case the typed refusal is\n\
-     \x20     reported and the exit code is 2. JSON output is byte-identical\n\
-     \x20     to the serve plan route's answer for the same query.\n\
+     \x20     reported and the exit code is 2. Plans that destroy data\n\
+     \x20     (drops, rebuilds) always disclose it via the `lossy` field;\n\
+     \x20     --deny-lossy refuses such plans with exit code 3, and\n\
+     \x20     --explain-safety appends the safety classification of the\n\
+     \x20     plan's worst op. JSON output is byte-identical to the serve\n\
+     \x20     plan route's answer for the same query.\n\
+     \x20 schemachron safety <project> [--seed N] [--jobs N] [--format json]\n\
+     \x20     Static data-loss audit of one corpus project's whole history:\n\
+     \x20     every migration op classified on the lossless < recoverable <\n\
+     \x20     lossy lattice, with the synthesized (machine-checked) inverse\n\
+     \x20     for every invertible op and the column-lineage summary. JSON\n\
+     \x20     output is byte-identical to GET /project/{id}/safety.\n\
      \x20 schemachron serve [--addr HOST:PORT] [--seed N] [--jobs N]\n\
      \x20                   [--deadline-ms MS]\n\
      \x20     Serve corpora, patterns and experiments over HTTP/JSON (default\n\
@@ -939,17 +956,111 @@ fn plan_cmd(args: &[String], out: &mut dyn Write) -> CliResult {
     let opts = PlanOptions {
         allow_rebuild: !flag(&argv, "--no-rebuild"),
     };
-    let plan = schemachron_dialect::plan(&from_schema, &to_schema, dialect, &opts)
-        .map_err(|e| CliError::with_code(format!("plan: {e}\nhint: {}", dialect.hint()), EXIT_PLAN))?;
+    let plan = schemachron_dialect::plan(&from_schema, &to_schema, dialect, &opts).map_err(|e| {
+        CliError::with_code(
+            format!("plan: {e}\nhint: {}", schemachron_dialect::refusal_hint(dialect.name())),
+            EXIT_PLAN,
+        )
+    })?;
+
+    // The safety classification covers the plan as rendered: a rebuild
+    // fallback is reclassified (DROP + CREATE is always lossy), not judged
+    // by the in-place ops it absorbed.
+    let deny_lossy = flag(&argv, "--deny-lossy");
+    let explain = flag(&argv, "--explain-safety");
+    let safety = if deny_lossy || explain {
+        let ops = schemachron_dialect::diff_ops(&from_schema, &to_schema);
+        Some(schemachron_safety::classify_plan(&plan, &ops, &from_schema))
+    } else {
+        None
+    };
+    if deny_lossy {
+        if let Some(s) = safety.as_ref().filter(|s| s.safety == schemachron_safety::Safety::Lossy) {
+            let offender = s.offender.as_deref().unwrap_or("(plan)");
+            let reason = s.reason.as_deref().unwrap_or("the plan destroys data");
+            return Err(CliError::with_code(
+                format!(
+                    "plan: lossy plan denied: `{offender}` — {reason}\n\
+                     hint: drop --deny-lossy to accept the data loss, or plan a \
+                     narrower month span that avoids the destructive op"
+                ),
+                EXIT_LOSSY,
+            ));
+        }
+    }
 
     let req = render::plan_request(&index, from, to);
     if json {
         // Matches the serve plan route byte for byte: pretty JSON + newline.
-        let body = serde_json::to_string_pretty(&report::plan_json(&req, &plan))
-            .unwrap_or_else(|_| "{}".to_owned());
+        // --explain-safety appends a CLI-only `safety` object after the
+        // shared shape, so plans without it stay byte-identical to serve.
+        let mut v = report::plan_json(&req, &plan);
+        if let (Some(s), serde_json::Value::Object(map)) = (explain.then_some(()).and(safety), &mut v)
+        {
+            map.insert(
+                "safety".to_owned(),
+                serde_json::json!({
+                    "class": (s.safety.tag()),
+                    "offender": (s.offender.map_or(serde_json::Value::Null, serde_json::Value::String)),
+                    "reason": (s.reason.map_or(serde_json::Value::Null, serde_json::Value::String)),
+                }),
+            );
+        }
+        let body = serde_json::to_string_pretty(&v).unwrap_or_else(|_| "{}".to_owned());
         let _ = writeln!(out, "{body}");
     } else {
         let _ = write!(out, "{}", report::plan_human(&req, &plan));
+        if let (true, Some(s)) = (explain, safety) {
+            let _ = match (s.offender, s.reason) {
+                (Some(offender), Some(reason)) => writeln!(
+                    out,
+                    "safety: {} — worst op `{offender}`: {reason}",
+                    s.safety.tag()
+                ),
+                _ => writeln!(out, "safety: {} — every op is invertible from schema alone", s.safety.tag()),
+            };
+        }
+    }
+    Ok(())
+}
+
+/// `schemachron safety` — static data-loss audit of one corpus project.
+fn safety_cmd(args: &[String], out: &mut dyn Write) -> CliResult {
+    use schemachron_safety::render;
+
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let seed = seed_of(&argv)?;
+    apply_jobs(&argv)?;
+    let json = match opt_value(&argv, "--format") {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::new(format!(
+                "invalid --format value `{other}` (expected `human` or `json`)"
+            )))
+        }
+    };
+    let name =
+        positional(&argv).ok_or_else(|| CliError::new("safety: missing <project> name"))?;
+    let corpus = Corpus::generate(seed);
+    let project = corpus
+        .projects()
+        .iter()
+        .find(|p| p.card.name == name)
+        .ok_or_else(|| {
+            CliError::new(format!(
+                "safety: no project `{name}` in the seed-{seed} corpus\n\
+                 hint: `schemachron serve` route /corpus/{seed}/projects lists the names"
+            ))
+        })?;
+    let artifact = schemachron_safety::safety_for(&project.card, seed);
+    if json {
+        // Matches the serve safety route byte for byte: pretty JSON + newline.
+        let body = serde_json::to_string_pretty(&render::safety_json(&artifact.analysis))
+            .unwrap_or_else(|_| "{}".to_owned());
+        let _ = writeln!(out, "{body}");
+    } else {
+        let _ = write!(out, "{}", render::safety_human(&artifact.analysis));
     }
     Ok(())
 }
@@ -1340,6 +1451,42 @@ mod tests {
             run_to_string(&["asof", &name, "--provenance", &table, "--format", "json"]).unwrap();
         let srv = via_serve(&format!("/project/{name}/provenance/{table}"), &[]);
         assert_eq!(cli, srv, "provenance answers must be byte-identical");
+    }
+
+    #[test]
+    fn safety_reports_the_lattice_and_matches_the_serve_route() {
+        let (name, _, _, _) = asof_subject();
+
+        let human = run_to_string(&["safety", &name]).unwrap();
+        assert!(human.contains(&format!("{name} safety:")), "{human}");
+        assert!(human.contains("worst:"), "{human}");
+
+        let j = run_to_string(&["safety", &name, "--format", "json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["project"].as_str(), Some(name.as_str()));
+        assert!(v["ops"].as_u64().is_some(), "{j}");
+        assert!(v["summary"]["worst"].as_str().is_some(), "{j}");
+        assert!(v["transitions"].as_array().is_some(), "{j}");
+
+        // Byte-identical to `GET /project/{id}/safety`: one render layer.
+        let state = schemachron_serve::AppState::new(schemachron_bench::DEFAULT_SEED);
+        let req = schemachron_serve::http::Request {
+            method: "GET".to_owned(),
+            target: format!("/project/{name}/safety"),
+            path: format!("/project/{name}/safety"),
+            query: Vec::new(),
+        };
+        let resp = state.handle(&req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            j,
+            String::from_utf8(resp.body).unwrap(),
+            "safety answers must be byte-identical"
+        );
+
+        assert!(run_to_string(&["safety"]).is_err());
+        let err = run_to_string(&["safety", "no-such-project"]).expect_err("ghost project");
+        assert!(err.message.contains("no project"), "{}", err.message);
     }
 
     #[test]

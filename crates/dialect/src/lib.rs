@@ -61,7 +61,8 @@ pub mod report;
 mod dialects;
 
 pub use dialects::{
-    all_dialects, dialect_named, ingest_dialect, Dialect, Mysql, Postgres, Sqlite, DIALECT_KEYWORDS,
+    all_dialects, dialect_named, ingest_dialect, refusal_hint, Dialect, Mysql, Postgres, Sqlite,
+    DIALECT_KEYWORDS,
 };
 pub use ops::{diff_ops, DiffOp};
 pub use plan::{

@@ -145,6 +145,14 @@ impl DiffOp {
             DiffOp::DropView(n) => format!("drop_view {}", n.as_str()),
         }
     }
+
+    /// Whether executing the op destroys stored rows or values with no
+    /// schema-level inverse: dropping a table loses its rows, dropping a
+    /// column loses its values. Everything else — including `DROP VIEW`,
+    /// since views hold no rows — leaves data reachable.
+    pub fn destroys_data(&self) -> bool {
+        matches!(self, DiffOp::DropTable(_) | DiffOp::DropColumn { .. })
+    }
 }
 
 impl fmt::Display for DiffOp {

@@ -115,6 +115,12 @@ pub struct MigrationPlan {
     pub statements: Vec<PlannedStatement>,
     /// Names of tables the planner rebuilt instead of altering in place.
     pub rebuilds: Vec<String>,
+    /// Whether any statement in the plan destroys data: a rendered op that
+    /// [`DiffOp::destroys_data`], or any rebuild (a rebuild is `DROP TABLE`
+    /// plus `CREATE TABLE`, which discards the dropped rows). Always
+    /// disclosed in plan JSON so a "successful" plan cannot hide a
+    /// destructive step.
+    pub lossy: bool,
 }
 
 impl MigrationPlan {
@@ -144,7 +150,7 @@ pub fn plan(
     let units = diff_units(from, to);
     let mut forced: BTreeSet<Name> = BTreeSet::new();
     loop {
-        let (statements, rebuilds) = render_units(dialect, &units, &forced, opts)?;
+        let (statements, rebuilds, lossy) = render_units(dialect, &units, &forced, opts)?;
         let replayed = replay(dialect, from, &statements);
         let diverged = divergences(dialect, &replayed, to);
         if diverged.is_empty() {
@@ -152,6 +158,7 @@ pub fn plan(
                 dialect: dialect.name(),
                 statements,
                 rebuilds,
+                lossy,
             });
         }
         // Force a rebuild of every diverged table that has a rebuild
@@ -181,36 +188,44 @@ fn render_units(
     units: &[PlanUnit],
     forced: &BTreeSet<Name>,
     opts: &PlanOptions,
-) -> Result<(Vec<PlannedStatement>, Vec<String>), PlanError> {
+) -> Result<(Vec<PlannedStatement>, Vec<String>, bool), PlanError> {
     let mut statements = Vec::new();
     let mut rebuilds = Vec::new();
+    let mut lossy = false;
     'unit: for u in units {
         if let (Some(name), Some(target)) = (&u.table, &u.rebuild) {
             if forced.contains(name) {
                 push_rebuild(dialect, name, target, &mut statements, &mut rebuilds)?;
+                lossy = true;
                 continue;
             }
         }
         let mut rendered = Vec::new();
+        let mut unit_lossy = false;
         for op in &u.ops {
             match dialect.render_op(op) {
-                Ok(sqls) => rendered.extend(sqls.into_iter().map(|sql| PlannedStatement {
-                    op: op.describe(),
-                    sql,
-                })),
+                Ok(sqls) => {
+                    unit_lossy |= op.destroys_data();
+                    rendered.extend(sqls.into_iter().map(|sql| PlannedStatement {
+                        op: op.describe(),
+                        sql,
+                    }));
+                }
                 Err(refusal) => match &u.rebuild {
                     Some(target) if opts.allow_rebuild => {
                         let name = u.table.as_ref().unwrap_or(&target.name);
                         push_rebuild(dialect, name, target, &mut statements, &mut rebuilds)?;
+                        lossy = true;
                         continue 'unit;
                     }
                     _ => return Err(refusal.into()),
                 },
             }
         }
+        lossy |= unit_lossy;
         statements.append(&mut rendered);
     }
-    Ok((statements, rebuilds))
+    Ok((statements, rebuilds, lossy))
 }
 
 fn push_rebuild(
@@ -337,6 +352,7 @@ mod tests {
         let p = plan(&from, &to, &Sqlite, &PlanOptions::default()).expect("plans");
         assert_eq!(p.rebuilds, vec!["users".to_string()]);
         assert!(p.script().contains("DROP TABLE users;"));
+        assert!(p.lossy, "a rebuild is DROP + CREATE and must be disclosed");
     }
 
     #[test]
@@ -366,6 +382,7 @@ mod tests {
         assert!(p
             .script()
             .contains("ALTER TABLE `users` MODIFY COLUMN `name` varchar(255) NOT NULL;"));
+        assert!(p.lossy, "dropping users.legacy destroys its values");
     }
 
     #[test]
@@ -375,6 +392,7 @@ mod tests {
         let p = plan(&from, &to, &Postgres, &PlanOptions::default()).expect("plans");
         assert!(p.rebuilds.is_empty(), "{:?}", p.rebuilds);
         assert_eq!(p.script(), "ALTER TABLE t DROP CONSTRAINT t_pkey;");
+        assert!(!p.lossy, "dropping a primary key keeps every row and value");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use serde_json::{json, Value};
 
+use crate::dialects::refusal_hint;
 use crate::plan::{MigrationPlan, PlanError};
 
 /// The request context a plan answer is wrapped in: the project, its
@@ -43,6 +44,7 @@ pub fn plan_json(req: &PlanRequest, plan: &MigrationPlan) -> Value {
         "dialect": (plan.dialect),
         "statement_count": (plan.statements.len()),
         "rebuilds": (plan.rebuilds.clone()),
+        "lossy": (plan.lossy),
         "statements": (plan
             .statements
             .iter()
@@ -64,6 +66,12 @@ pub fn plan_human(req: &PlanRequest, plan: &MigrationPlan) -> String {
         req.lifespan_start,
         req.lifespan_last,
     );
+    if plan.lossy {
+        out.push_str(
+            "-- destructive: this plan drops tables or columns (or rebuilds a table); \
+             the data they hold has no inverse\n",
+        );
+    }
     if plan.statements.is_empty() {
         out.push_str("-- no changes\n");
     } else {
@@ -83,6 +91,7 @@ pub fn plan_error_json(err: &PlanError) -> Value {
             "op": (u.op.clone()),
             "reason": (u.reason.clone()),
             "detail": (u.to_string()),
+            "hint": (refusal_hint(u.dialect)),
         }),
         PlanError::Unfaithful { dialect, diverged } => json!({
             "error": "unfaithful_plan",
@@ -106,6 +115,7 @@ mod tests {
                 sql: "ALTER TABLE `t` ADD COLUMN `c` int;".into(),
             }],
             rebuilds: Vec::new(),
+            lossy: false,
         }
     }
 
@@ -146,5 +156,20 @@ mod tests {
         let text = serde_json::to_string(&plan_error_json(&err)).unwrap_or_default();
         assert!(text.contains("\"op\":\"alter_column t.a (int -> bigint)\""), "{text}");
         assert!(text.contains("unsupported_diff_op"), "{text}");
+        assert!(
+            text.contains("\"hint\":\"sqlite cannot alter columns"),
+            "the 422 body carries the same hint as the CLI exit-2 output: {text}"
+        );
+    }
+
+    #[test]
+    fn lossy_plans_are_disclosed_in_both_renderings() {
+        let mut plan = sample_plan();
+        plan.lossy = true;
+        plan.rebuilds = vec!["t".into()];
+        let text = serde_json::to_string(&plan_json(&sample_req(), &plan)).unwrap_or_default();
+        assert!(text.contains("\"lossy\":true"), "{text}");
+        let human = plan_human(&sample_req(), &plan);
+        assert!(human.contains("-- destructive:"), "{human}");
     }
 }

@@ -57,6 +57,22 @@ fn rederive_asof_key(history_key: StageKey, k_months: usize) -> StageKey {
     rederive(ASOF_STAGE, ASOF_VERSION, salted)
 }
 
+/// The safety-analysis cache namespace, restated (the engine publishes it
+/// as [`schemachron_safety::SAFETY_STAGE`]; a registry test pins the two
+/// together so drift is caught, not silently tolerated).
+const SAFETY_STAGE: &str = "safety";
+
+/// The safety logic version, restated from
+/// [`schemachron_safety::SAFETY_LOGIC_VERSION`].
+const SAFETY_VERSION: u32 = 1;
+
+/// Independent restatement of the safety artifact key derivation: a plain
+/// chain link from the history key, `derive(name, version, history_key)` —
+/// no extra salt, unlike the K-salted as-of chain.
+fn rederive_safety_key(history_key: StageKey) -> StageKey {
+    rederive(SAFETY_STAGE, SAFETY_VERSION, history_key)
+}
+
 /// Independent restatement of the cache's shard-count formula: the next
 /// power of two at or above 4 × available parallelism. Deliberately does
 /// not call `pipeline::shard_count_for` — drift between the two is exactly
@@ -111,6 +127,10 @@ fn rederive_chain(card: &Card, seed: u64) -> [StageKey; 8] {
 ///   itself records, or the payload is not an as-of index at all. Unlike
 ///   H001 this audit is seed-free: the artifact restates its own inputs,
 ///   so its key is checkable without knowing which corpus built it.
+/// * **H006** — a safety-analysis artifact carries a key that disagrees
+///   with this module's restated derivation (`derive("safety", version,
+///   history_key)` from the history key the payload records), or the
+///   payload is not a safety analysis at all. Seed-free like H005.
 pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
     const PROJECT: &str = "(stage-cache)";
 
@@ -141,6 +161,10 @@ pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
     for (stage, key) in pipeline::stage_cache_entries() {
         if stage == ASOF_STAGE {
             audit_asof_entry(key, report);
+            continue;
+        }
+        if stage == SAFETY_STAGE {
+            audit_safety_entry(key, report);
             continue;
         }
         if !known.contains(stage) {
@@ -227,6 +251,34 @@ fn audit_asof_entry(key: StageKey, report: &mut Report) {
                 artifact.history_key,
                 artifact.k_months,
                 artifact.index.project(),
+            ),
+        ));
+    }
+}
+
+/// H006: audits one artifact in the safety namespace against the restated
+/// key derivation (see [`rederive_safety_key`]).
+fn audit_safety_entry(key: StageKey, report: &mut Report) {
+    const PROJECT: &str = "(stage-cache)";
+    let Some(artifact) =
+        pipeline::peek_stage_artifact::<schemachron_safety::SafetyArtifact>(SAFETY_STAGE, key)
+    else {
+        report.push(Diagnostic::new(
+            "H006",
+            PROJECT,
+            format!("cached `{SAFETY_STAGE}` artifact {key:016x} is not a safety analysis payload"),
+        ));
+        return;
+    };
+    let restated = rederive_safety_key(artifact.history_key);
+    if restated != key {
+        report.push(Diagnostic::new(
+            "H006",
+            PROJECT,
+            format!(
+                "cached `{SAFETY_STAGE}` artifact {key:016x} disagrees with the restated \
+                 derivation {restated:016x} for history key {:016x} (project `{}`)",
+                artifact.history_key, artifact.analysis.project,
             ),
         ));
     }
@@ -343,6 +395,65 @@ mod tests {
         assert_eq!(
             rederive_asof_key(0x1234_5678_9abc_def0, 12),
             schemachron_asof::checkpoint_key(0x1234_5678_9abc_def0, 12)
+        );
+    }
+
+    #[test]
+    fn restated_safety_constants_match_the_engine() {
+        assert_eq!(SAFETY_STAGE, schemachron_safety::SAFETY_STAGE);
+        assert_eq!(SAFETY_VERSION, schemachron_safety::SAFETY_LOGIC_VERSION);
+        // And the full key derivation, on an arbitrary input key.
+        assert_eq!(
+            rederive_safety_key(0x1234_5678_9abc_def0),
+            schemachron_safety::safety_key(0x1234_5678_9abc_def0)
+        );
+    }
+
+    #[test]
+    fn safety_entries_audit_clean_and_rekeying_is_caught() {
+        // Sequenced like the as-of test below: the cache is process-wide,
+        // so the clean audit comes before the corruption.
+        let _lock = CACHE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pipeline::clear_stage_cache();
+        let cards: Vec<Card> = all_cards().into_iter().take(1).collect();
+        let seed = 62_424; // private to this test: no cross-test interference
+        let built = schemachron_safety::safety_for(&cards[0], seed);
+        let key = schemachron_safety::safety_key(built.history_key);
+
+        let mut clean = Report::new();
+        audit_stage_cache(&cards, seed, &mut clean);
+        assert!(clean.diagnostics().is_empty(), "{}", clean.render_human());
+
+        // Re-key the artifact: its payload restates the real history key,
+        // so the restated derivation no longer lands on the cached key —
+        // H006.
+        let stage = schemachron_safety::SAFETY_STAGE;
+        assert!(corrupt_stage_cache_entry(
+            (stage, key),
+            (stage, key ^ 0x0bad_f00d)
+        ));
+        let mut rekeyed = Report::new();
+        audit_stage_cache(&cards, seed, &mut rekeyed);
+        assert_eq!(codes(&rekeyed), ["H006"]);
+        assert!(
+            rekeyed.render_human().contains("restated"),
+            "{}",
+            rekeyed.render_human()
+        );
+
+        // Restore so other tests sharing the process cache are unaffected.
+        assert!(corrupt_stage_cache_entry(
+            (stage, key ^ 0x0bad_f00d),
+            (stage, key)
+        ));
+        let mut restored = Report::new();
+        audit_stage_cache(&cards, seed, &mut restored);
+        assert!(
+            restored.diagnostics().is_empty(),
+            "{}",
+            restored.render_human()
         );
     }
 

@@ -119,7 +119,7 @@ pub struct Rule {
 
 /// The complete rule registry. Codes are append-only: a published code is
 /// never renumbered or reused.
-pub const RULES: [Rule; 23] = [
+pub const RULES: [Rule; 26] = [
     Rule {
         code: "L001",
         severity: Severity::Error,
@@ -229,10 +229,30 @@ pub const RULES: [Rule; 23] = [
                   an as-of index",
     },
     Rule {
+        code: "H006",
+        severity: Severity::Error,
+        summary: "safety artifact's key disagrees with the restated derivation (stage name, \
+                  logic version, chained history key), or the payload is not a safety \
+                  analysis",
+    },
+    Rule {
         code: "R001",
         severity: Severity::Info,
         summary: "recommended next migration: planned DDL that would carry the final schema \
                   to its lint-clean ideal (every table keyed by a primary key)",
+    },
+    Rule {
+        code: "R010",
+        severity: Severity::Info,
+        summary: "lossy migration op: a drop with no inverse (the safety analyzer classifies \
+                  it `lossy`; the destroyed rows or values cannot be reconstructed)",
+    },
+    Rule {
+        code: "R011",
+        severity: Severity::Info,
+        summary: "provenance-dependent op: invertible only with recorded provenance (the \
+                  safety analyzer classifies it `recoverable`, e.g. a narrowing cast or a \
+                  rename-shaped column move)",
     },
     Rule {
         code: "F001",

@@ -18,7 +18,10 @@
 //!   FNV-1a fingerprints from first principles (`H00x`);
 //! * the **recommendation pass** ([`recommend`]) runs the migration
 //!   planner over each project's final schema against its lint-clean
-//!   ideal and surfaces the planned DDL as Info notes (`R001`).
+//!   ideal and surfaces the planned DDL as Info notes (`R001`);
+//! * the **safety pass** ([`safety`]) runs the abstract-interpretation
+//!   safety analyzer over each history and surfaces lossy and
+//!   provenance-dependent ops as Info notes (`R010`/`R011`).
 //!
 //! Every diagnostic carries a stable rule code from the [`diag::RULES`]
 //! registry, a severity, and (for flow findings) a source span into the
@@ -32,6 +35,7 @@ pub mod diag;
 pub mod flow;
 pub mod fsck;
 pub mod recommend;
+pub mod safety;
 pub mod spec;
 
 use schemachron_corpus::io::date_from_filename;
@@ -93,6 +97,7 @@ pub fn lint_project(card: &Card, seed: u64) -> Report {
         .collect();
     flow::lint_scripts(&card.name, &scripts, &mut report);
     recommend::recommend_next_migration(&card.name, &scripts, &mut report);
+    safety::lint_safety(&card.name, &project.ddl_commits, &mut report);
     report.sort();
     report
 }

@@ -1,0 +1,90 @@
+//! The migration-safety pass: surfaces the abstract interpreter's
+//! data-loss findings as lint notes.
+//!
+//! The heavy lifting lives in `schemachron-safety` — this pass runs the
+//! analyzer over the project's materialized DDL history and translates its
+//! per-op lattice verdicts into the canonical diagnostics pipeline:
+//!
+//! * **R010** (Info) — an op the analyzer classifies `lossy`: a drop whose
+//!   destroyed rows or values have no inverse.
+//! * **R011** (Info) — an op classified `recoverable`: invertible only
+//!   given provenance (a narrowing cast, a rename-shaped column move, a
+//!   NOT NULL tightening).
+//!
+//! Both are informational: the generated corpus legitimately drops tables
+//! and columns, and the paper's whole point is measuring that churn.
+//! `Lossless` ops are silent. Findings anchor on the `script:line` of the
+//! causing statement when the locator finds one, falling back to line 1 of
+//! the transition's script.
+
+use schemachron_history::Date;
+use schemachron_safety::{analyze, Safety};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Runs the safety analyzer over a project's dated DDL commits and emits
+/// R010/R011 notes for every non-lossless op.
+pub fn lint_safety(project: &str, commits: &[(Date, String)], report: &mut Report) {
+    let analysis = analyze(project, commits);
+    for t in &analysis.transitions {
+        for op in &t.ops {
+            let (code, label) = match op.safety {
+                Safety::Lossless => continue,
+                Safety::Recoverable => ("R011", "provenance-dependent"),
+                Safety::Lossy => ("R010", "lossy"),
+            };
+            let mut message = format!("{label} op `{}`: {}", op.op, op.reason);
+            if let Some(inverse) = &op.inverse {
+                message.push_str(&format!(" (inverse: {})", inverse.join("; ")));
+            }
+            report.push(
+                Diagnostic::new(code, project, message).at(&t.script, op.line.unwrap_or(1)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn non_lossless_ops_surface_with_spans_and_never_fail() {
+        let commits = vec![
+            (
+                Date::new(2020, 1, 1),
+                "CREATE TABLE t (a INT, b VARCHAR(64));".to_owned(),
+            ),
+            (
+                Date::new(2020, 2, 1),
+                "ALTER TABLE t MODIFY COLUMN b VARCHAR(16);\nALTER TABLE t DROP COLUMN a;"
+                    .to_owned(),
+            ),
+        ];
+        let mut report = Report::new();
+        lint_safety("p", &commits, &mut report);
+        report.sort();
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        // Canonical order is by line first: the narrowing cast (line 1)
+        // precedes the lossy drop (line 2).
+        assert_eq!(codes, ["R011", "R010"], "{}", report.render_human());
+        for d in report.diagnostics() {
+            assert_eq!(d.severity, Severity::Info);
+            let span = d.span.as_ref().expect("safety findings carry spans");
+            assert_eq!(span.script, "0002_2020-02-01.sql");
+        }
+        assert!(!report.failed(true), "safety notes never fail a run");
+    }
+
+    #[test]
+    fn lossless_histories_stay_silent() {
+        let commits = vec![(
+            Date::new(2020, 1, 1),
+            "CREATE TABLE t (a INT);".to_owned(),
+        )];
+        let mut report = Report::new();
+        lint_safety("p", &commits, &mut report);
+        assert!(report.diagnostics().is_empty(), "{}", report.render_human());
+    }
+}

@@ -1,0 +1,271 @@
+//! The whole-history analyzer: abstract interpretation over every version
+//! transition of a project, producing one classified, span-attributed,
+//! replay-verified record per `DiffOp`.
+
+use schemachron_dialect::{diff_ops, DiffOp};
+use schemachron_history::{Date, IngestMode, SchemaHistory};
+use schemachron_model::Schema;
+
+use crate::classify::{classify_op, Safety};
+use crate::invert::{apply_op, check_round_trip, inverse_op};
+use crate::lineage::{column_lineage, LineageSummary};
+use crate::locate::ScriptIndex;
+
+/// One classified op of a version transition.
+#[derive(Clone, Debug)]
+pub struct OpSafety {
+    /// The op's deterministic descriptor (`DiffOp::describe`).
+    pub op: String,
+    /// Its lattice value.
+    pub safety: Safety,
+    /// Why it landed there.
+    pub reason: String,
+    /// 1-based source line in the transition's script, when the op has a
+    /// syntactic anchor there.
+    pub line: Option<u32>,
+    /// Descriptors of the synthesized inverse batch; `None` for `Lossy`.
+    pub inverse: Option<Vec<String>>,
+    /// Whether the inverse was machine-checked by replay (apply op, apply
+    /// inverse, compare normalized fingerprints). Always `false` when no
+    /// inverse exists.
+    pub inverted: bool,
+}
+
+/// All classified ops of one version transition.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// Version index (0 = the birth version, diffed from the empty schema).
+    pub version: usize,
+    /// The script materialized for this commit, `NNNN_YYYY-MM-DD.sql` —
+    /// the same names the lint flow pass anchors its spans on.
+    pub script: String,
+    /// The commit date, rendered `YYYY-MM-DD`.
+    pub date: String,
+    /// The transition's ops in plan order.
+    pub ops: Vec<OpSafety>,
+}
+
+/// The full safety analysis of one project history.
+#[derive(Clone, Debug)]
+pub struct SafetyAnalysis {
+    /// Project name.
+    pub project: String,
+    /// Number of schema versions analyzed.
+    pub versions: usize,
+    /// One entry per version, in chronological order.
+    pub transitions: Vec<Transition>,
+    /// Column-lineage aggregate.
+    pub lineage: LineageSummary,
+}
+
+impl SafetyAnalysis {
+    /// Total classified ops.
+    pub fn total_ops(&self) -> usize {
+        self.transitions.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// `[lossless, recoverable, lossy]` counts.
+    pub fn counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for t in &self.transitions {
+            for op in &t.ops {
+                counts[op.safety as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The lattice join over the whole history.
+    pub fn worst(&self) -> Safety {
+        self.transitions
+            .iter()
+            .flat_map(|t| t.ops.iter().map(|o| o.safety))
+            .fold(Safety::Lossless, Safety::join)
+    }
+
+    /// Share of ops that are `Lossy` (0 when the history has no ops).
+    pub fn exposure(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rate = self.counts()[2] as f64 / total as f64;
+        rate
+    }
+
+    /// The first `Lossy` op, if any — the span `--deny-lossy` reports.
+    pub fn first_lossy(&self) -> Option<(&Transition, &OpSafety)> {
+        self.transitions.iter().find_map(|t| {
+            t.ops
+                .iter()
+                .find(|o| o.safety == Safety::Lossy)
+                .map(|o| (t, o))
+        })
+    }
+}
+
+/// Analyzes a project from its dated DDL commits — the exact inputs the
+/// ingestion pipeline materializes, so the analysis is a pure function of
+/// the same content the history stage key fingerprints.
+pub fn analyze(project: &str, commits: &[(Date, String)]) -> SafetyAnalysis {
+    let mut sorted = commits.to_vec();
+    sorted.sort_by_key(|(d, _)| *d);
+    let history = SchemaHistory::from_entries(IngestMode::Migration, sorted.clone());
+    let scripts: Vec<(String, String)> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, (date, sql))| (format!("{:04}_{date}.sql", i + 1), sql.clone()))
+        .collect();
+    analyze_versions(project, &history, Some(&scripts))
+}
+
+/// Analyzes an already-built schema history. Without the script texts the
+/// transitions carry synthetic `vNNNN` anchors and no line spans.
+pub fn analyze_history(project: &str, history: &SchemaHistory) -> SafetyAnalysis {
+    analyze_versions(project, history, None)
+}
+
+fn analyze_versions(
+    project: &str,
+    history: &SchemaHistory,
+    scripts: Option<&[(String, String)]>,
+) -> SafetyAnalysis {
+    let mut transitions = Vec::with_capacity(history.versions().len());
+    let empty = Schema::default();
+    let mut prev: &Schema = &empty;
+    for (version, v) in history.versions().iter().enumerate() {
+        let ops = diff_ops(prev, &v.schema);
+        let script_pair = scripts.and_then(|s| s.get(version));
+        let script = script_pair.map_or_else(
+            || format!("v{:04}", version + 1),
+            |(name, _)| name.clone(),
+        );
+        let index = script_pair.map(|(_, sql)| ScriptIndex::new(sql));
+        transitions.push(classify_transition(
+            version,
+            script,
+            v.date.to_string(),
+            prev,
+            &ops,
+            index.as_ref(),
+        ));
+        prev = &v.schema;
+    }
+    let (_, lineage) = column_lineage(history);
+    SafetyAnalysis {
+        project: project.to_owned(),
+        versions: history.versions().len(),
+        transitions,
+        lineage,
+    }
+}
+
+fn classify_transition(
+    version: usize,
+    script: String,
+    date: String,
+    before: &Schema,
+    ops: &[DiffOp],
+    index: Option<&ScriptIndex>,
+) -> Transition {
+    let mut state = before.clone();
+    let mut classified = Vec::with_capacity(ops.len());
+    for op in ops {
+        let c = classify_op(op, &state, ops);
+        let inverse = inverse_op(op, &state, ops)
+            .map(|batch| batch.iter().map(DiffOp::describe).collect::<Vec<String>>());
+        let inverted = check_round_trip(&state, op, ops).unwrap_or(false);
+        classified.push(OpSafety {
+            op: op.describe(),
+            safety: c.safety,
+            reason: c.reason,
+            line: index.and_then(|i| i.line_of(op)),
+            inverse,
+            inverted,
+        });
+        apply_op(&mut state, op);
+    }
+    Transition {
+        version,
+        script,
+        date,
+        ops: classified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commits(scripts: &[&str]) -> Vec<(Date, String)> {
+        scripts
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| {
+                #[allow(clippy::cast_possible_truncation)]
+                let day = (i + 1) as u8;
+                (Date::new(2021, 3, day), (*sql).to_owned())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_op_is_classified_and_non_lossy_ops_verify() {
+        let a = analyze(
+            "demo",
+            &commits(&[
+                "CREATE TABLE users (id INT NOT NULL, name VARCHAR(64));",
+                "ALTER TABLE users ADD COLUMN email VARCHAR(255);\n\
+                 ALTER TABLE users MODIFY COLUMN name VARCHAR(128);",
+                "ALTER TABLE users MODIFY COLUMN name VARCHAR(32);\n\
+                 ALTER TABLE users DROP COLUMN email;",
+            ]),
+        );
+        assert_eq!(a.versions, 3);
+        assert!(a.total_ops() >= 5, "{a:?}");
+        let [lossless, recoverable, lossy] = a.counts();
+        assert_eq!(lossless + recoverable + lossy, a.total_ops());
+        assert!(lossy >= 1, "the email drop is lossy");
+        assert!(recoverable >= 1, "the varchar narrowing is recoverable");
+        for t in &a.transitions {
+            for op in &t.ops {
+                match op.safety {
+                    Safety::Lossy => assert!(op.inverse.is_none(), "{}", op.op),
+                    _ => {
+                        assert!(op.inverse.is_some(), "{}", op.op);
+                        assert!(op.inverted, "inverse of {} must replay", op.op);
+                    }
+                }
+            }
+        }
+        assert_eq!(a.worst(), Safety::Lossy);
+        let (t, op) = a.first_lossy().expect("a lossy op exists");
+        assert_eq!(t.script, "0003_2021-03-03.sql");
+        assert_eq!(op.op, "drop_column users.email");
+        assert_eq!(op.line, Some(2));
+    }
+
+    #[test]
+    fn commits_are_analyzed_in_date_order() {
+        let mut c = commits(&[
+            "CREATE TABLE t (a INT);",
+            "ALTER TABLE t ADD COLUMN b INT;",
+        ]);
+        c.reverse();
+        let a = analyze("demo", &c);
+        assert_eq!(a.transitions[0].script, "0001_2021-03-01.sql");
+        assert_eq!(a.transitions[0].ops[0].op, "create_table t");
+    }
+
+    #[test]
+    fn analyze_history_carries_synthetic_anchors() {
+        let history = SchemaHistory::from_entries(
+            IngestMode::Migration,
+            commits(&["CREATE TABLE t (a INT);"]),
+        );
+        let a = analyze_history("demo", &history);
+        assert_eq!(a.transitions[0].script, "v0001");
+        assert_eq!(a.transitions[0].ops[0].line, None);
+    }
+}

@@ -1,0 +1,420 @@
+//! The three-valued safety lattice and the per-op classifier.
+//!
+//! Classification is *static*: it sees the op, the schema state the op
+//! applies to, and the other ops of the same batch (for rename pairing) —
+//! never the data. The lattice is conservative: an op is `Lossless` only
+//! when the analyzer can synthesize an inverse and prove, by replay, that
+//! no row value can be destroyed.
+
+use schemachron_dialect::{DiffOp, MigrationPlan};
+use schemachron_model::{Attribute, DataType, Schema};
+
+/// The three-valued safety lattice, ordered by badness.
+///
+/// The join of a batch is the maximum of its ops' classes, so a plan is as
+/// dangerous as its worst operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Safety {
+    /// Invertible from the schema alone: no row value can be destroyed and
+    /// the inverse `DiffOp` batch is derivable from the op itself (plus
+    /// the pre-state schema for view drops).
+    Lossless,
+    /// Invertible only with provenance: the schema round-trips, but row
+    /// values need a side record to restore — narrowing casts, cross-family
+    /// conversions, `NOT NULL` tightenings, rename-shaped column drops.
+    Recoverable,
+    /// No inverse exists: dropped rows or column values are gone.
+    Lossy,
+}
+
+impl Safety {
+    /// Lowercase tag used in JSON, diagnostics and golden files.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Safety::Lossless => "lossless",
+            Safety::Recoverable => "recoverable",
+            Safety::Lossy => "lossy",
+        }
+    }
+
+    /// Lattice join: the worse of the two classes.
+    pub fn join(self, other: Safety) -> Safety {
+        self.max(other)
+    }
+}
+
+/// A classified op: its lattice value plus the human-readable grounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Classification {
+    /// The lattice value.
+    pub safety: Safety,
+    /// Why the op landed there (deterministic, rendered in diagnostics).
+    pub reason: String,
+}
+
+impl Classification {
+    fn new(safety: Safety, reason: impl Into<String>) -> Self {
+        Classification {
+            safety,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// How a column's declared type moves under an `AlterColumn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TypeChange {
+    /// Same declared type (the alter touches nullability/default/identity).
+    Identity,
+    /// Strictly more capacity within the same family; every value survives.
+    Widening,
+    /// Less capacity within the same family; values can be truncated.
+    Narrowing,
+    /// A cross-family cast (e.g. `varchar` → `timestamp`); the conversion
+    /// is not guaranteed to round-trip.
+    Conversion,
+}
+
+/// Rank within the integer-width family; `None` for non-integers.
+///
+/// Restated from the lint flow pass on purpose: the safety lattice and the
+/// L007 narrowing note must agree *by construction being independent*, the
+/// same discipline the H-pass auditor applies to cache keys.
+fn int_rank(base: &str) -> Option<u8> {
+    match base {
+        "tinyint" => Some(0),
+        "smallint" => Some(1),
+        "mediumint" => Some(2),
+        "int" | "integer" => Some(3),
+        "bigint" => Some(4),
+        _ => None,
+    }
+}
+
+fn is_textual(base: &str) -> bool {
+    matches!(base, "varchar" | "char" | "character" | "text")
+}
+
+fn type_change(old: &DataType, new: &DataType) -> TypeChange {
+    if old == new {
+        return TypeChange::Identity;
+    }
+    if let (Some(o), Some(n)) = (int_rank(old.base()), int_rank(new.base())) {
+        // Same rank but a different spelling or modifier set (e.g. losing
+        // `unsigned`) changes the value domain: treat it as a conversion.
+        return match n.cmp(&o) {
+            std::cmp::Ordering::Greater => TypeChange::Widening,
+            std::cmp::Ordering::Less => TypeChange::Narrowing,
+            std::cmp::Ordering::Equal => TypeChange::Conversion,
+        };
+    }
+    if is_textual(old.base()) && is_textual(new.base()) {
+        // TEXT is unbounded; parameterless char types default to length 1.
+        let cap = |t: &DataType| -> i64 {
+            if t.base() == "text" {
+                i64::MAX
+            } else {
+                t.params().first().copied().unwrap_or(1)
+            }
+        };
+        return if cap(new) < cap(old) {
+            TypeChange::Narrowing
+        } else {
+            TypeChange::Widening
+        };
+    }
+    if old.base() == "decimal" && new.base() == "decimal" {
+        let precision = |t: &DataType| t.params().first().copied().unwrap_or(10);
+        return if precision(new) < precision(old) {
+            TypeChange::Narrowing
+        } else {
+            TypeChange::Widening
+        };
+    }
+    TypeChange::Conversion
+}
+
+/// Finds the `AddColumn` of `batch` that makes `DropColumn {table, column}`
+/// a rename: same table, same declared type as the dropped attribute, and a
+/// name the table did not already have.
+pub(crate) fn rename_partner<'a>(
+    batch: &'a [DiffOp],
+    table: &schemachron_model::Name,
+    dropped: &Attribute,
+    before: &Schema,
+) -> Option<&'a Attribute> {
+    batch.iter().find_map(|other| match other {
+        DiffOp::AddColumn {
+            table: add_table,
+            attr,
+        } if add_table == table
+            && attr.name != dropped.name
+            && attr.data_type == dropped.data_type
+            && before
+                .table_of(table)
+                .is_none_or(|t| t.attribute_of(&attr.name).is_none()) =>
+        {
+            Some(attr)
+        }
+        _ => None,
+    })
+}
+
+/// Classifies one op against the schema state it applies to.
+///
+/// `before` is the schema immediately preceding the whole batch and `batch`
+/// is every op of the same version transition — both are needed to tell a
+/// rename-shaped `drop_column` (Recoverable) from a plain one (Lossy).
+pub fn classify_op(op: &DiffOp, before: &Schema, batch: &[DiffOp]) -> Classification {
+    match op {
+        DiffOp::CreateTable(_)
+        | DiffOp::AddColumn { .. }
+        | DiffOp::CreateView(_)
+        | DiffOp::AddForeignKey { .. }
+        | DiffOp::AddUnique { .. } => Classification::new(
+            Safety::Lossless,
+            "additive change; the inverse drops exactly what was added",
+        ),
+        DiffOp::SetPrimaryKey { .. } => Classification::new(
+            Safety::Lossless,
+            "carries both key states; the inverse swaps them back",
+        ),
+        DiffOp::DropForeignKey { .. } | DiffOp::DropUnique { .. } => Classification::new(
+            Safety::Lossless,
+            "constraint drop carries the full definition; the inverse re-adds it",
+        ),
+        DiffOp::DropView(_) => Classification::new(
+            Safety::Lossless,
+            "views hold no rows; the definition is restored from the prior schema",
+        ),
+        DiffOp::AlterColumn { from, to, .. } => classify_alter(from, to),
+        DiffOp::DropColumn { table, column } => {
+            let dropped = before.table_of(table).and_then(|t| t.attribute_of(column));
+            if let Some(attr) = dropped {
+                if let Some(partner) = rename_partner(batch, table, attr, before) {
+                    return Classification::new(
+                        Safety::Recoverable,
+                        format!(
+                            "paired with `add_column {}.{}` of the same type — a \
+                             rename-shaped move, invertible given provenance \
+                             linking the two columns",
+                            table.as_str(),
+                            partner.name.as_str(),
+                        ),
+                    );
+                }
+            }
+            Classification::new(
+                Safety::Lossy,
+                "column values are destroyed with no inverse",
+            )
+        }
+        DiffOp::DropTable(_) => Classification::new(
+            Safety::Lossy,
+            "table rows are destroyed with no inverse",
+        ),
+    }
+}
+
+fn classify_alter(from: &Attribute, to: &Attribute) -> Classification {
+    match type_change(&from.data_type, &to.data_type) {
+        TypeChange::Narrowing => Classification::new(
+            Safety::Recoverable,
+            format!(
+                "narrowing cast {} -> {} can truncate; inverting needs a \
+                 provenance side table of the clipped values",
+                from.data_type, to.data_type,
+            ),
+        ),
+        TypeChange::Conversion => Classification::new(
+            Safety::Recoverable,
+            format!(
+                "cross-family cast {} -> {} is not guaranteed to round-trip; \
+                 inverting needs provenance of the original values",
+                from.data_type, to.data_type,
+            ),
+        ),
+        TypeChange::Identity | TypeChange::Widening => {
+            if to.not_null && !from.not_null {
+                Classification::new(
+                    Safety::Recoverable,
+                    "NOT NULL tightening coerces existing NULLs; inverting \
+                     needs provenance of which rows held NULL",
+                )
+            } else {
+                Classification::new(
+                    Safety::Lossless,
+                    "widening or metadata-only change; the inverse is the mirrored alter",
+                )
+            }
+        }
+    }
+}
+
+/// A whole-plan verdict: the lattice join of the plan's ops plus the first
+/// op that forced the class.
+#[derive(Clone, Debug)]
+pub struct PlanSafety {
+    /// The join of every op's class (rebuilds force `Lossy`).
+    pub safety: Safety,
+    /// Descriptor of the first op (or rebuilt table) at the join class;
+    /// `None` when the plan is `Lossless`.
+    pub offender: Option<String>,
+    /// Why the offender landed there; `None` when the plan is `Lossless`.
+    pub reason: Option<String>,
+}
+
+/// Classifies a whole migration plan: the lattice join of its ops, with the
+/// rebuild fallback pinned to `Lossy` — a rebuild is DROP + CREATE however
+/// faithfully the copy script is phrased.
+pub fn classify_plan(plan: &MigrationPlan, ops: &[DiffOp], before: &Schema) -> PlanSafety {
+    if let Some(table) = plan.rebuilds.first() {
+        return PlanSafety {
+            safety: Safety::Lossy,
+            offender: Some(format!("rebuild_table {table}")),
+            reason: Some(
+                "a table rebuild is DROP + CREATE; the dropped rows have no inverse".to_owned(),
+            ),
+        };
+    }
+    let mut worst = PlanSafety {
+        safety: Safety::Lossless,
+        offender: None,
+        reason: None,
+    };
+    for op in ops {
+        let c = classify_op(op, before, ops);
+        if c.safety > worst.safety {
+            worst = PlanSafety {
+                safety: c.safety,
+                offender: Some(op.describe()),
+                reason: Some(c.reason),
+            };
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_model::{Name, Table};
+
+    fn attr(name: &str, ty: DataType) -> Attribute {
+        Attribute::new(name, ty)
+    }
+
+    #[test]
+    fn lattice_orders_and_joins() {
+        assert!(Safety::Lossless < Safety::Recoverable);
+        assert!(Safety::Recoverable < Safety::Lossy);
+        assert_eq!(Safety::Lossless.join(Safety::Lossy), Safety::Lossy);
+        assert_eq!(Safety::Recoverable.join(Safety::Lossless), Safety::Recoverable);
+        assert_eq!(Safety::Lossy.tag(), "lossy");
+    }
+
+    #[test]
+    fn additive_ops_are_lossless() {
+        let empty = Schema::default();
+        let op = DiffOp::CreateTable(Table::new("t"));
+        assert_eq!(classify_op(&op, &empty, &[]).safety, Safety::Lossless);
+        let op = DiffOp::AddColumn {
+            table: Name::new("t"),
+            attr: attr("c", DataType::named("int")),
+        };
+        assert_eq!(classify_op(&op, &empty, &[]).safety, Safety::Lossless);
+    }
+
+    #[test]
+    fn drops_are_lossy() {
+        let mut schema = Schema::default();
+        let mut t = Table::new("t");
+        t.push_attribute(attr("c", DataType::named("int")));
+        schema.insert_table(t);
+        let drop_table = DiffOp::DropTable(Name::new("t"));
+        assert_eq!(classify_op(&drop_table, &schema, &[]).safety, Safety::Lossy);
+        let drop_col = DiffOp::DropColumn {
+            table: Name::new("t"),
+            column: Name::new("c"),
+        };
+        assert_eq!(classify_op(&drop_col, &schema, &[]).safety, Safety::Lossy);
+    }
+
+    #[test]
+    fn rename_shaped_drop_is_recoverable() {
+        let mut schema = Schema::default();
+        let mut t = Table::new("t");
+        t.push_attribute(attr("old_name", DataType::with_params("varchar", vec![64])));
+        schema.insert_table(t);
+        let batch = vec![
+            DiffOp::DropColumn {
+                table: Name::new("t"),
+                column: Name::new("old_name"),
+            },
+            DiffOp::AddColumn {
+                table: Name::new("t"),
+                attr: attr("new_name", DataType::with_params("varchar", vec![64])),
+            },
+        ];
+        let c = classify_op(&batch[0], &schema, &batch);
+        assert_eq!(c.safety, Safety::Recoverable);
+        assert!(c.reason.contains("rename-shaped"), "{}", c.reason);
+        // A differently-typed add is no rename: the drop stays lossy.
+        let unrelated = vec![
+            batch[0].clone(),
+            DiffOp::AddColumn {
+                table: Name::new("t"),
+                attr: attr("new_name", DataType::named("bigint")),
+            },
+        ];
+        assert_eq!(classify_op(&unrelated[0], &schema, &unrelated).safety, Safety::Lossy);
+    }
+
+    #[test]
+    fn alter_column_spans_the_lattice() {
+        let empty = Schema::default();
+        let alter = |from: DataType, to: DataType| DiffOp::AlterColumn {
+            table: Name::new("t"),
+            from: attr("c", from),
+            to: attr("c", to),
+        };
+        // Widening: lossless.
+        let widen = alter(DataType::named("int"), DataType::named("bigint"));
+        assert_eq!(classify_op(&widen, &empty, &[]).safety, Safety::Lossless);
+        // Narrowing: recoverable.
+        let narrow = alter(
+            DataType::with_params("varchar", vec![255]),
+            DataType::with_params("varchar", vec![64]),
+        );
+        assert_eq!(classify_op(&narrow, &empty, &[]).safety, Safety::Recoverable);
+        // Cross-family conversion: recoverable.
+        let convert = alter(DataType::named("bigint"), DataType::named("timestamp"));
+        assert_eq!(classify_op(&convert, &empty, &[]).safety, Safety::Recoverable);
+        // NOT NULL tightening on an unchanged type: recoverable.
+        let tighten = DiffOp::AlterColumn {
+            table: Name::new("t"),
+            from: attr("c", DataType::named("int")),
+            to: attr("c", DataType::named("int")).not_null(),
+        };
+        assert_eq!(classify_op(&tighten, &empty, &[]).safety, Safety::Recoverable);
+    }
+
+    #[test]
+    fn text_caps_and_decimal_precision_follow_the_flow_lint() {
+        assert_eq!(
+            type_change(&DataType::named("text"), &DataType::with_params("varchar", vec![255])),
+            TypeChange::Narrowing
+        );
+        assert_eq!(
+            type_change(&DataType::with_params("varchar", vec![64]), &DataType::named("text")),
+            TypeChange::Widening
+        );
+        assert_eq!(
+            type_change(
+                &DataType::with_params("decimal", vec![10, 2]),
+                &DataType::with_params("decimal", vec![6, 2]),
+            ),
+            TypeChange::Narrowing
+        );
+    }
+}

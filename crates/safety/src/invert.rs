@@ -1,0 +1,369 @@
+//! Inverse synthesis and replay: the machinery that turns a classification
+//! into a *machine-checked* claim.
+//!
+//! [`inverse_op`] synthesizes the inverse `DiffOp` batch for every
+//! non-`Lossy` op; [`apply_op`] replays ops over a [`Schema`]; and
+//! [`fingerprint`] canonicalizes a schema so "applying the op and then its
+//! inverse is the identity" can be asserted as string equality, robust to
+//! the constraint-vector reorderings an append-then-remove cycle causes.
+
+use schemachron_dialect::DiffOp;
+use schemachron_model::{Schema, Table};
+
+use crate::classify::{classify_op, rename_partner, Safety};
+
+/// Synthesizes the inverse batch of `op`, or `None` when the op is `Lossy`
+/// (no inverse exists: the data is gone).
+///
+/// `before` is the schema the op applies to — needed to restore dropped
+/// view definitions and rename-dropped column definitions; `batch` is the
+/// op's whole version transition, needed to recognize rename pairs.
+pub fn inverse_op(op: &DiffOp, before: &Schema, batch: &[DiffOp]) -> Option<Vec<DiffOp>> {
+    match op {
+        DiffOp::CreateTable(t) => Some(vec![DiffOp::DropTable(t.name.clone())]),
+        DiffOp::CreateView(v) => Some(vec![DiffOp::DropView(v.name.clone())]),
+        DiffOp::AddColumn { table, attr } => Some(vec![DiffOp::DropColumn {
+            table: table.clone(),
+            column: attr.name.clone(),
+        }]),
+        DiffOp::AlterColumn { table, from, to } => Some(vec![DiffOp::AlterColumn {
+            table: table.clone(),
+            from: to.clone(),
+            to: from.clone(),
+        }]),
+        DiffOp::SetPrimaryKey { table, from, to } => Some(vec![DiffOp::SetPrimaryKey {
+            table: table.clone(),
+            from: to.clone(),
+            to: from.clone(),
+        }]),
+        DiffOp::AddForeignKey { table, fk } => Some(vec![DiffOp::DropForeignKey {
+            table: table.clone(),
+            fk: fk.clone(),
+        }]),
+        DiffOp::DropForeignKey { table, fk } => Some(vec![DiffOp::AddForeignKey {
+            table: table.clone(),
+            fk: fk.clone(),
+        }]),
+        DiffOp::AddUnique { table, columns } => Some(vec![DiffOp::DropUnique {
+            table: table.clone(),
+            columns: columns.clone(),
+        }]),
+        DiffOp::DropUnique { table, columns } => Some(vec![DiffOp::AddUnique {
+            table: table.clone(),
+            columns: columns.clone(),
+        }]),
+        DiffOp::DropView(name) => {
+            let view = before.view(name.as_str())?;
+            Some(vec![DiffOp::CreateView(view.clone())])
+        }
+        DiffOp::DropColumn { table, column } => {
+            // Only the rename-shaped (Recoverable) drop has an inverse: the
+            // dropped definition is re-added from the pre-state schema.
+            let attr = before.table_of(table)?.attribute_of(column)?;
+            rename_partner(batch, table, attr, before)?;
+            Some(vec![DiffOp::AddColumn {
+                table: table.clone(),
+                attr: attr.clone(),
+            }])
+        }
+        DiffOp::DropTable(_) => None,
+    }
+}
+
+/// Applies one op to `schema` in place. Returns `false` when the target
+/// does not exist (a sign the op batch and the schema diverged).
+#[allow(clippy::too_many_lines)]
+pub fn apply_op(schema: &mut Schema, op: &DiffOp) -> bool {
+    match op {
+        DiffOp::CreateTable(t) => {
+            schema.insert_table(t.clone());
+            true
+        }
+        DiffOp::DropTable(name) => schema.remove_table(name.as_str()).is_some(),
+        DiffOp::CreateView(v) => {
+            schema.insert_view(v.clone());
+            true
+        }
+        DiffOp::DropView(name) => schema.remove_view(name.as_str()).is_some(),
+        DiffOp::AddColumn { table, attr } => {
+            let Some(t) = schema.table_mut(table.as_str()) else {
+                return false;
+            };
+            t.push_attribute(attr.clone());
+            true
+        }
+        DiffOp::DropColumn { table, column } => schema
+            .table_mut(table.as_str())
+            .is_some_and(|t| t.remove_attribute(column.as_str()).is_some()),
+        DiffOp::AlterColumn { table, from, to } => {
+            let Some(t) = schema.table_mut(table.as_str()) else {
+                return false;
+            };
+            if t.attribute_of(&from.name).is_none() {
+                return false;
+            }
+            if from.name != to.name {
+                t.rename_attribute(from.name.as_str(), to.name.clone());
+            }
+            t.push_attribute(to.clone());
+            true
+        }
+        DiffOp::SetPrimaryKey { table, to, .. } => {
+            let Some(t) = schema.table_mut(table.as_str()) else {
+                return false;
+            };
+            t.primary_key = to.clone();
+            true
+        }
+        DiffOp::AddForeignKey { table, fk } => {
+            let Some(t) = schema.table_mut(table.as_str()) else {
+                return false;
+            };
+            t.foreign_keys.push(fk.clone());
+            true
+        }
+        DiffOp::DropForeignKey { table, fk } => {
+            let Some(t) = schema.table_mut(table.as_str()) else {
+                return false;
+            };
+            let n = t.foreign_keys.len();
+            t.foreign_keys.retain(|f| f != fk);
+            t.foreign_keys.len() < n
+        }
+        DiffOp::AddUnique { table, columns } => {
+            let Some(t) = schema.table_mut(table.as_str()) else {
+                return false;
+            };
+            t.uniques.push(columns.clone());
+            true
+        }
+        DiffOp::DropUnique { table, columns } => {
+            let Some(t) = schema.table_mut(table.as_str()) else {
+                return false;
+            };
+            let n = t.uniques.len();
+            t.uniques.retain(|u| u != columns);
+            t.uniques.len() < n
+        }
+    }
+}
+
+/// A canonical, order-insensitive fingerprint of a schema.
+///
+/// Attributes, foreign keys and uniques are sorted (their vector order is a
+/// rendering concern, not a logical one), names are normalized, and every
+/// logical facet — types, nullability, defaults, auto-increment, primary
+/// key, view definitions — is included. Two schemas are logically equal
+/// iff their fingerprints are byte-equal.
+pub fn fingerprint(schema: &Schema) -> String {
+    let mut out = String::new();
+    for table in schema.tables() {
+        fingerprint_table(&mut out, table);
+    }
+    for view in schema.views() {
+        out.push_str("view ");
+        out.push_str(&view.name.normalized());
+        out.push_str(": ");
+        out.push_str(&view.definition);
+        out.push('\n');
+    }
+    out
+}
+
+fn fingerprint_table(out: &mut String, table: &Table) {
+    out.push_str("table ");
+    out.push_str(&table.name.normalized());
+    out.push('\n');
+    let mut cols: Vec<String> = table
+        .attributes()
+        .iter()
+        .map(|a| {
+            let mut line = format!("  col {} {}", a.name.normalized(), a.data_type);
+            if a.not_null {
+                line.push_str(" not_null");
+            }
+            if let Some(d) = &a.default {
+                line.push_str(" default=");
+                line.push_str(d);
+            }
+            if a.auto_increment {
+                line.push_str(" auto_increment");
+            }
+            line.push('\n');
+            line
+        })
+        .collect();
+    cols.sort();
+    for c in cols {
+        out.push_str(&c);
+    }
+    if !table.primary_key.is_empty() {
+        let cols: Vec<String> = table.primary_key.iter().map(|n| n.normalized()).collect();
+        out.push_str("  pk (");
+        out.push_str(&cols.join(", "));
+        out.push_str(")\n");
+    }
+    let mut fks: Vec<String> = table
+        .foreign_keys
+        .iter()
+        .map(|fk| {
+            let cols: Vec<String> = fk.columns.iter().map(|n| n.normalized()).collect();
+            let refs: Vec<String> = fk.ref_columns.iter().map(|n| n.normalized()).collect();
+            format!(
+                "  fk ({}) -> {} ({})\n",
+                cols.join(", "),
+                fk.ref_table.normalized(),
+                refs.join(", "),
+            )
+        })
+        .collect();
+    fks.sort();
+    for f in fks {
+        out.push_str(&f);
+    }
+    let mut uniques: Vec<String> = table
+        .uniques
+        .iter()
+        .map(|u| {
+            let cols: Vec<String> = u.iter().map(|n| n.normalized()).collect();
+            format!("  unique ({})\n", cols.join(", "))
+        })
+        .collect();
+    uniques.sort();
+    for u in uniques {
+        out.push_str(&u);
+    }
+}
+
+/// Applies `op` to a copy of `state`, then the synthesized inverse, and
+/// checks the round trip lands back on `state`'s fingerprint. Returns
+/// `None` when no inverse exists, `Some(ok)` otherwise.
+pub(crate) fn check_round_trip(state: &Schema, op: &DiffOp, batch: &[DiffOp]) -> Option<bool> {
+    let inverse = inverse_op(op, state, batch)?;
+    let before_fp = fingerprint(state);
+    let mut replay = state.clone();
+    if !apply_op(&mut replay, op) {
+        return Some(false);
+    }
+    for inv in &inverse {
+        if !apply_op(&mut replay, inv) {
+            return Some(false);
+        }
+    }
+    Some(fingerprint(&replay) == before_fp)
+}
+
+/// Exhaustiveness check used by property tests: every op the classifier
+/// calls non-`Lossy` must synthesize an inverse, and every `Lossy` op must
+/// not.
+pub fn inverse_matches_class(op: &DiffOp, before: &Schema, batch: &[DiffOp]) -> bool {
+    let class = classify_op(op, before, batch).safety;
+    let has_inverse = inverse_op(op, before, batch).is_some();
+    match class {
+        Safety::Lossy => !has_inverse,
+        Safety::Lossless | Safety::Recoverable => has_inverse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_dialect::diff_ops;
+    use schemachron_model::{Attribute, DataType, Name, View};
+
+    fn two_versions() -> (Schema, Schema) {
+        let mut a = Schema::default();
+        let mut users = Table::new("users");
+        users.push_attribute(Attribute::new("id", DataType::named("int")).not_null());
+        users.push_attribute(Attribute::new(
+            "name",
+            DataType::with_params("varchar", vec![64]),
+        ));
+        users.primary_key = vec![Name::new("id")];
+        a.insert_table(users);
+        a.insert_view(View {
+            name: Name::new("v_users"),
+            definition: "SELECT id FROM users".to_owned(),
+        });
+
+        let mut b = a.clone();
+        if let Some(t) = b.table_mut("users") {
+            t.push_attribute(Attribute::new(
+                "email",
+                DataType::with_params("varchar", vec![255]),
+            ));
+            t.push_attribute(Attribute::new(
+                "name",
+                DataType::with_params("varchar", vec![128]),
+            ));
+            t.uniques.push(vec![Name::new("email")]);
+        }
+        let mut orders = Table::new("orders");
+        orders.push_attribute(Attribute::new("id", DataType::named("int")));
+        b.insert_table(orders);
+        (a, b)
+    }
+
+    #[test]
+    fn apply_replays_a_diff_onto_its_source() {
+        let (a, b) = two_versions();
+        let ops = diff_ops(&a, &b);
+        assert!(!ops.is_empty());
+        let mut replay = a.clone();
+        for op in &ops {
+            assert!(apply_op(&mut replay, op), "apply failed for {}", op.describe());
+        }
+        assert_eq!(fingerprint(&replay), fingerprint(&b));
+    }
+
+    #[test]
+    fn every_non_lossy_op_round_trips() {
+        let (a, b) = two_versions();
+        let ops = diff_ops(&a, &b);
+        let mut state = a.clone();
+        for op in &ops {
+            assert!(inverse_matches_class(op, &state, &ops), "{}", op.describe());
+            if let Some(ok) = check_round_trip(&state, op, &ops) {
+                assert!(ok, "round trip failed for {}", op.describe());
+            }
+            apply_op(&mut state, op);
+        }
+    }
+
+    #[test]
+    fn dropped_view_is_restored_from_the_prior_schema() {
+        let (a, _) = two_versions();
+        let op = DiffOp::DropView(Name::new("v_users"));
+        let inverse = inverse_op(&op, &a, &[]).expect("views are restorable");
+        assert_eq!(inverse.len(), 1);
+        let ok = check_round_trip(&a, &op, &[]).expect("inverse exists");
+        assert!(ok);
+    }
+
+    #[test]
+    fn drop_table_has_no_inverse() {
+        let (a, _) = two_versions();
+        let op = DiffOp::DropTable(Name::new("users"));
+        assert!(inverse_op(&op, &a, &[]).is_none());
+        assert!(check_round_trip(&a, &op, &[]).is_none());
+    }
+
+    #[test]
+    fn fingerprint_ignores_constraint_vector_order() {
+        let mut a = Schema::default();
+        let mut t = Table::new("t");
+        t.push_attribute(Attribute::new("x", DataType::named("int")));
+        t.push_attribute(Attribute::new("y", DataType::named("int")));
+        t.uniques.push(vec![Name::new("x")]);
+        t.uniques.push(vec![Name::new("y")]);
+        a.insert_table(t);
+        let mut b = Schema::default();
+        let mut t = Table::new("t");
+        t.push_attribute(Attribute::new("y", DataType::named("int")));
+        t.push_attribute(Attribute::new("x", DataType::named("int")));
+        t.uniques.push(vec![Name::new("y")]);
+        t.uniques.push(vec![Name::new("x")]);
+        b.insert_table(t);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

@@ -1,0 +1,278 @@
+//! Column-level lineage over a schema history.
+//!
+//! The abstract interpreter walks every version transition and threads each
+//! column's identity through the changes that would otherwise sever it:
+//! rename-shaped drop/add pairs, in-place type changes, and rebuild-shaped
+//! table drop/create pairs (the same-name DROP + CREATE a dialect's rebuild
+//! fallback emits). The result is one record per distinct column lifeline.
+
+use schemachron_dialect::{diff_ops, DiffOp};
+use schemachron_history::SchemaHistory;
+use schemachron_model::Schema;
+
+use crate::classify::rename_partner;
+
+/// One column's lifeline through the history.
+#[derive(Clone, Debug)]
+pub struct ColumnRecord {
+    /// Owning table (normalized name, the latest if the table was renamed).
+    pub table: String,
+    /// Latest normalized column name on the lifeline.
+    pub column: String,
+    /// Version index where the column first appeared.
+    pub born: usize,
+    /// Version index where the lifeline ended, `None` if it survives.
+    pub died: Option<usize>,
+    /// In-place type changes observed along the lifeline.
+    pub type_changes: usize,
+    /// Rename hops (each records the previous name).
+    pub renamed_from: Vec<String>,
+}
+
+/// Aggregate lineage counts for one project.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineageSummary {
+    /// Distinct column lifelines that ever existed.
+    pub columns: usize,
+    /// Rename hops threaded through drop/add pairs.
+    pub renames: usize,
+    /// In-place type changes across all lifelines.
+    pub type_changes: usize,
+    /// Lifelines still alive at the history's end.
+    pub surviving: usize,
+}
+
+/// Tracks every column lifeline through `history`.
+pub fn column_lineage(history: &SchemaHistory) -> (Vec<ColumnRecord>, LineageSummary) {
+    let mut records: Vec<ColumnRecord> = Vec::new();
+    // (table_norm, column_norm) -> index into `records` for live lifelines.
+    let mut live: std::collections::BTreeMap<(String, String), usize> =
+        std::collections::BTreeMap::new();
+    let empty = Schema::default();
+    let mut prev = &empty;
+    for (version, v) in history.versions().iter().enumerate() {
+        let ops = diff_ops(prev, &v.schema);
+        step(&mut records, &mut live, prev, &ops, version);
+        prev = &v.schema;
+    }
+    let summary = LineageSummary {
+        columns: records.len(),
+        renames: records.iter().map(|r| r.renamed_from.len()).sum(),
+        type_changes: records.iter().map(|r| r.type_changes).sum(),
+        surviving: records.iter().filter(|r| r.died.is_none()).count(),
+    };
+    (records, summary)
+}
+
+#[allow(clippy::too_many_lines)]
+fn step(
+    records: &mut Vec<ColumnRecord>,
+    live: &mut std::collections::BTreeMap<(String, String), usize>,
+    before: &Schema,
+    ops: &[DiffOp],
+    version: usize,
+) {
+    // Rebuild-shaped table moves: a DropTable paired with a CreateTable of
+    // the same column set in the same batch keeps its lifelines alive.
+    let rebuilt_into = |dropped: &schemachron_model::Name| -> Option<&schemachron_model::Table> {
+        let old = before.table_of(dropped)?;
+        ops.iter().find_map(|op| match op {
+            DiffOp::CreateTable(t)
+                if t.attribute_count() == old.attribute_count()
+                    && old.attributes().iter().all(|a| {
+                        t.attribute_of(&a.name)
+                            .is_some_and(|b| b.data_type == a.data_type)
+                    }) =>
+            {
+                Some(t)
+            }
+            _ => None,
+        })
+    };
+    for op in ops {
+        match op {
+            DiffOp::CreateTable(t) => {
+                let tkey = t.name.normalized();
+                // Skip columns that arrive via a rebuild-shaped move; the
+                // DropTable arm re-homes those lifelines instead.
+                let is_rebuild_target = ops.iter().any(|o| {
+                    matches!(o, DiffOp::DropTable(d) if rebuilt_into(d).is_some_and(|r| r.name == t.name))
+                });
+                if is_rebuild_target {
+                    continue;
+                }
+                for a in t.attributes() {
+                    let idx = records.len();
+                    records.push(ColumnRecord {
+                        table: tkey.clone(),
+                        column: a.name.normalized(),
+                        born: version,
+                        died: None,
+                        type_changes: 0,
+                        renamed_from: Vec::new(),
+                    });
+                    live.insert((tkey.clone(), a.name.normalized()), idx);
+                }
+            }
+            DiffOp::DropTable(name) => {
+                let tkey = name.normalized();
+                if let Some(new_table) = rebuilt_into(name) {
+                    // Re-home every lifeline onto the rebuilt table.
+                    let new_key = new_table.name.normalized();
+                    let moved: Vec<((String, String), usize)> = live
+                        .range((tkey.clone(), String::new())..)
+                        .take_while(|((t, _), _)| *t == tkey)
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect();
+                    for ((_, col), idx) in moved {
+                        live.remove(&(tkey.clone(), col.clone()));
+                        records[idx].table = new_key.clone();
+                        live.insert((new_key.clone(), col), idx);
+                    }
+                } else {
+                    let dead: Vec<(String, String)> = live
+                        .range((tkey.clone(), String::new())..)
+                        .take_while(|((t, _), _)| *t == tkey)
+                        .map(|(k, _)| k.clone())
+                        .collect();
+                    for key in dead {
+                        if let Some(idx) = live.remove(&key) {
+                            records[idx].died = Some(version);
+                        }
+                    }
+                }
+            }
+            DiffOp::AddColumn { table, attr } => {
+                let tkey = table.normalized();
+                // A rename partner's lifeline is threaded by the DropColumn
+                // arm; only genuinely new columns are born here.
+                let is_rename_target = ops.iter().any(|o| {
+                    matches!(o, DiffOp::DropColumn { table: dt, column }
+                        if dt == table
+                            && before
+                                .table_of(dt)
+                                .and_then(|t| t.attribute_of(column))
+                                .is_some_and(|dropped| {
+                                    rename_partner(ops, dt, dropped, before)
+                                        .is_some_and(|p| p.name == attr.name)
+                                }))
+                });
+                if is_rename_target {
+                    continue;
+                }
+                let idx = records.len();
+                records.push(ColumnRecord {
+                    table: tkey.clone(),
+                    column: attr.name.normalized(),
+                    born: version,
+                    died: None,
+                    type_changes: 0,
+                    renamed_from: Vec::new(),
+                });
+                live.insert((tkey, attr.name.normalized()), idx);
+            }
+            DiffOp::DropColumn { table, column } => {
+                let tkey = table.normalized();
+                let key = (tkey.clone(), column.normalized());
+                let partner = before
+                    .table_of(table)
+                    .and_then(|t| t.attribute_of(column))
+                    .and_then(|dropped| rename_partner(ops, table, dropped, before));
+                match (live.remove(&key), partner) {
+                    (Some(idx), Some(new_attr)) => {
+                        records[idx].renamed_from.push(column.normalized());
+                        records[idx].column = new_attr.name.normalized();
+                        live.insert((tkey, new_attr.name.normalized()), idx);
+                    }
+                    (Some(idx), None) => records[idx].died = Some(version),
+                    (None, _) => {}
+                }
+            }
+            DiffOp::AlterColumn { table, from, to } if from.data_type != to.data_type => {
+                let key = (table.normalized(), to.name.normalized());
+                if let Some(&idx) = live.get(&key) {
+                    records[idx].type_changes += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_history::{Date, IngestMode};
+
+    fn history(scripts: &[(&str, &str)]) -> SchemaHistory {
+        let entries: Vec<(Date, String)> = scripts
+            .iter()
+            .enumerate()
+            .map(|(i, (_, sql))| {
+                #[allow(clippy::cast_possible_truncation)]
+                let day = (i + 1) as u8;
+                (Date::new(2020, 1, day), (*sql).to_owned())
+            })
+            .collect();
+        SchemaHistory::from_entries(IngestMode::Migration, entries)
+    }
+
+    #[test]
+    fn births_deaths_and_survivors_are_counted() {
+        let h = history(&[
+            ("a", "CREATE TABLE t (a INT, b INT);"),
+            ("b", "ALTER TABLE t DROP COLUMN b; CREATE TABLE u (x INT);"),
+        ]);
+        let (records, summary) = column_lineage(&h);
+        assert_eq!(summary.columns, 3);
+        assert_eq!(summary.surviving, 2);
+        let b = records.iter().find(|r| r.column == "b").expect("b tracked");
+        assert_eq!(b.died, Some(1));
+    }
+
+    #[test]
+    fn rename_shaped_drop_add_threads_the_lifeline() {
+        let h = history(&[
+            ("a", "CREATE TABLE t (old_name VARCHAR(64));"),
+            (
+                "b",
+                "ALTER TABLE t ADD COLUMN new_name VARCHAR(64);\n\
+                 ALTER TABLE t DROP COLUMN old_name;",
+            ),
+        ]);
+        let (records, summary) = column_lineage(&h);
+        assert_eq!(summary.columns, 1, "{records:?}");
+        assert_eq!(summary.renames, 1);
+        assert_eq!(records[0].column, "new_name");
+        assert_eq!(records[0].renamed_from, ["old_name"]);
+        assert!(records[0].died.is_none());
+    }
+
+    #[test]
+    fn type_changes_accumulate_on_the_lifeline() {
+        let h = history(&[
+            ("a", "CREATE TABLE t (c INT);"),
+            ("b", "ALTER TABLE t MODIFY COLUMN c BIGINT;"),
+            ("c", "ALTER TABLE t MODIFY COLUMN c VARCHAR(32);"),
+        ]);
+        let (records, summary) = column_lineage(&h);
+        assert_eq!(summary.columns, 1);
+        assert_eq!(summary.type_changes, 2);
+        assert_eq!(records[0].type_changes, 2);
+    }
+
+    #[test]
+    fn rebuild_shaped_drop_create_keeps_lifelines() {
+        let h = history(&[
+            ("a", "CREATE TABLE t (a INT, b VARCHAR(10));"),
+            (
+                "b",
+                "DROP TABLE t;\nCREATE TABLE t2 (a INT, b VARCHAR(10));",
+            ),
+        ]);
+        let (records, summary) = column_lineage(&h);
+        assert_eq!(summary.columns, 2, "{records:?}");
+        assert_eq!(summary.surviving, 2);
+        assert!(records.iter().all(|r| r.table == "t2"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Maps logical `DiffOp`s back to the source line of the DDL statement
+//! that caused them, so diagnostics carry `script:line` spans.
+
+use schemachron_ddl::ast::{AlterAction, Statement, TableConstraint};
+use schemachron_ddl::{parse_statements_spanned, SpannedStatement};
+use schemachron_dialect::DiffOp;
+
+/// A parsed script indexed for op → line lookups.
+pub struct ScriptIndex {
+    statements: Vec<SpannedStatement>,
+}
+
+impl ScriptIndex {
+    /// Parses `sql` once; parse errors are ignored here (the flow lint
+    /// reports them as L008).
+    pub fn new(sql: &str) -> Self {
+        let (statements, _diags) = parse_statements_spanned(sql);
+        ScriptIndex { statements }
+    }
+
+    /// The 1-based line of the first statement that can account for `op`,
+    /// or `None` when the op has no syntactic anchor in this script (e.g.
+    /// a diff computed between snapshot dumps).
+    pub fn line_of(&self, op: &DiffOp) -> Option<u32> {
+        self.statements
+            .iter()
+            .find(|s| statement_matches(&s.statement, op))
+            .map(|s| s.line)
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn statement_matches(stmt: &Statement, op: &DiffOp) -> bool {
+    match op {
+        DiffOp::CreateTable(t) => {
+            matches!(stmt, Statement::CreateTable(ct) if ct.name == t.name)
+        }
+        DiffOp::DropTable(name) => match stmt {
+            Statement::DropTable { names, .. } => names.contains(name),
+            // A rename consumes the old name too.
+            Statement::RenameTable { renames } => renames.iter().any(|(old, _)| old == name),
+            Statement::AlterTable { name: t, actions } => {
+                t == name
+                    && actions
+                        .iter()
+                        .any(|a| matches!(a, AlterAction::RenameTable(_)))
+            }
+            _ => false,
+        },
+        DiffOp::AddColumn { table, attr } => match stmt {
+            Statement::AlterTable { name, actions } if name == table => {
+                actions.iter().any(|a| match a {
+                    AlterAction::AddColumn { def, .. } => def.name == attr.name,
+                    AlterAction::ChangeColumn { def, .. } => def.name == attr.name,
+                    AlterAction::RenameColumn { new, .. } => *new == attr.name,
+                    _ => false,
+                })
+            }
+            // Birth with the table is covered by the CreateTable op; a
+            // rebuilt table's columns anchor on its CREATE.
+            Statement::CreateTable(ct) => {
+                ct.name == *table && ct.columns.iter().any(|c| c.name == attr.name)
+            }
+            _ => false,
+        },
+        DiffOp::DropColumn { table, column } => match stmt {
+            Statement::AlterTable { name, actions } if name == table => {
+                actions.iter().any(|a| match a {
+                    AlterAction::DropColumn(c) => c == column,
+                    AlterAction::ChangeColumn { old, .. } => old == column,
+                    AlterAction::RenameColumn { old, .. } => old == column,
+                    _ => false,
+                })
+            }
+            _ => false,
+        },
+        DiffOp::AlterColumn { table, to, .. } => match stmt {
+            Statement::AlterTable { name, actions } if name == table => {
+                actions.iter().any(|a| match a {
+                    AlterAction::ModifyColumn(def) | AlterAction::ChangeColumn { def, .. } => {
+                        def.name == to.name
+                    }
+                    AlterAction::AlterColumnType { name, .. }
+                    | AlterAction::AlterColumnDefault { name, .. }
+                    | AlterAction::AlterColumnNull { name, .. } => *name == to.name,
+                    _ => false,
+                })
+            }
+            _ => false,
+        },
+        DiffOp::SetPrimaryKey { table, .. } => match stmt {
+            Statement::AlterTable { name, actions } if name == table => {
+                actions.iter().any(|a| {
+                    matches!(
+                        a,
+                        AlterAction::AddConstraint(TableConstraint::PrimaryKey(_))
+                            | AlterAction::DropPrimaryKey
+                    )
+                })
+            }
+            _ => false,
+        },
+        DiffOp::AddForeignKey { table, fk } | DiffOp::DropForeignKey { table, fk } => match stmt {
+            Statement::AlterTable { name, actions } if name == table => {
+                actions.iter().any(|a| match a {
+                    AlterAction::AddConstraint(TableConstraint::ForeignKey {
+                        ref_table,
+                        columns,
+                        ..
+                    }) => *ref_table == fk.ref_table && *columns == fk.columns,
+                    AlterAction::DropForeignKey(_) | AlterAction::DropConstraint(_) => {
+                        matches!(op, DiffOp::DropForeignKey { .. })
+                    }
+                    _ => false,
+                })
+            }
+            _ => false,
+        },
+        DiffOp::AddUnique { table, columns } | DiffOp::DropUnique { table, columns } => {
+            match stmt {
+                Statement::AlterTable { name, actions } if name == table => {
+                    actions.iter().any(|a| match a {
+                        AlterAction::AddConstraint(TableConstraint::Unique(cols)) => {
+                            cols == columns
+                        }
+                        AlterAction::DropConstraint(_) => {
+                            matches!(op, DiffOp::DropUnique { .. })
+                        }
+                        _ => false,
+                    })
+                }
+                _ => false,
+            }
+        }
+        DiffOp::CreateView(v) => {
+            matches!(stmt, Statement::CreateView { name, .. } if *name == v.name)
+        }
+        DiffOp::DropView(view) => {
+            matches!(stmt, Statement::DropView { names } if names.contains(view))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_model::{Attribute, DataType, Name};
+
+    #[test]
+    fn lines_anchor_on_the_causing_statement() {
+        let sql = "CREATE TABLE t (a INT);\n\
+                   ALTER TABLE t ADD COLUMN b INT;\n\
+                   ALTER TABLE t DROP COLUMN a;\n\
+                   DROP TABLE t;";
+        let idx = ScriptIndex::new(sql);
+        let add = DiffOp::AddColumn {
+            table: Name::new("t"),
+            attr: Attribute::new("b", DataType::named("int")),
+        };
+        assert_eq!(idx.line_of(&add), Some(2));
+        let drop_col = DiffOp::DropColumn {
+            table: Name::new("t"),
+            column: Name::new("a"),
+        };
+        assert_eq!(idx.line_of(&drop_col), Some(3));
+        assert_eq!(idx.line_of(&DiffOp::DropTable(Name::new("t"))), Some(4));
+        assert_eq!(idx.line_of(&DiffOp::DropTable(Name::new("ghost"))), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Human and JSON renderers for safety analyses.
+//!
+//! Mirroring the as-of and plan renderers, the analyzer returns plain data
+//! and this module owns presentation. Both the CLI `safety` command and
+//! the serve `GET /project/{id}/safety` route call these functions, so a
+//! CLI golden and a `curl` response for the same project are byte-identical
+//! JSON.
+
+use serde_json::{json, Value};
+
+use crate::analyze::{OpSafety, SafetyAnalysis};
+use crate::classify::Safety;
+
+fn op_json(op: &OpSafety) -> Value {
+    json!({
+        "op": (op.op.clone()),
+        "class": (op.safety.tag()),
+        "reason": (op.reason.clone()),
+        "line": (op.line.map_or(Value::Null, |l| json!(l))),
+        "inverse": (op.inverse.clone().map_or(Value::Null, |batch| json!(batch))),
+        "inverted": (op.inverted),
+    })
+}
+
+/// The JSON form of a safety analysis — one shape for CLI and serve.
+pub fn safety_json(a: &SafetyAnalysis) -> Value {
+    let [lossless, recoverable, lossy] = a.counts();
+    let transitions: Vec<Value> = a
+        .transitions
+        .iter()
+        .map(|t| {
+            json!({
+                "script": (t.script.clone()),
+                "date": (t.date.clone()),
+                "ops": (t.ops.iter().map(op_json).collect::<Vec<Value>>()),
+            })
+        })
+        .collect();
+    json!({
+        "project": (a.project.clone()),
+        "versions": (a.versions),
+        "ops": (a.total_ops()),
+        "summary": {
+            "lossless": lossless,
+            "recoverable": recoverable,
+            "lossy": lossy,
+            "worst": (a.worst().tag()),
+        },
+        "lineage": {
+            "columns": (a.lineage.columns),
+            "renames": (a.lineage.renames),
+            "type_changes": (a.lineage.type_changes),
+            "surviving": (a.lineage.surviving),
+        },
+        "transitions": transitions,
+    })
+}
+
+/// The human form: a summary header, the lineage line, then every
+/// non-lossless op with its span and grounds.
+pub fn safety_human(a: &SafetyAnalysis) -> String {
+    let [lossless, recoverable, lossy] = a.counts();
+    let mut out = format!(
+        "{} safety: {} ops over {} versions — {} lossless, {} recoverable, {} lossy (worst: {})\n",
+        a.project,
+        a.total_ops(),
+        a.versions,
+        lossless,
+        recoverable,
+        lossy,
+        a.worst().tag(),
+    );
+    out.push_str(&format!(
+        "lineage: {} columns, {} renames, {} type changes, {} surviving\n",
+        a.lineage.columns, a.lineage.renames, a.lineage.type_changes, a.lineage.surviving,
+    ));
+    let mut flagged = 0usize;
+    for t in &a.transitions {
+        for op in t.ops.iter().filter(|o| o.safety != Safety::Lossless) {
+            flagged += 1;
+            let anchor = op.line.map_or_else(
+                || t.script.clone(),
+                |line| format!("{}:{line}", t.script),
+            );
+            out.push_str(&format!(
+                "  [{}] {} at {} — {}\n",
+                op.safety.tag(),
+                op.op,
+                anchor,
+                op.reason,
+            ));
+        }
+    }
+    if flagged == 0 {
+        out.push_str("  every op is lossless; the whole history is invertible from schema alone\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use schemachron_history::Date;
+
+    fn demo() -> SafetyAnalysis {
+        analyze(
+            "demo",
+            &[
+                (
+                    Date::new(2020, 1, 1),
+                    "CREATE TABLE t (a INT, b VARCHAR(64));".to_owned(),
+                ),
+                (
+                    Date::new(2020, 2, 1),
+                    "ALTER TABLE t DROP COLUMN b;".to_owned(),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn json_carries_every_classified_op() {
+        let a = demo();
+        let v = safety_json(&a);
+        let text = serde_json::to_string_pretty(&v).expect("renderable");
+        assert!(text.contains("\"drop_column t.b\""), "{text}");
+        assert!(text.contains("\"lossy\""), "{text}");
+        assert!(text.contains("\"transitions\""), "{text}");
+    }
+
+    #[test]
+    fn human_flags_only_non_lossless_ops() {
+        let a = demo();
+        let text = safety_human(&a);
+        assert!(text.contains("[lossy] drop_column t.b at 0002_2020-02-01.sql:1"), "{text}");
+        assert!(!text.contains("create_table"), "{text}");
+    }
+}

@@ -40,6 +40,7 @@ pub struct Counters {
     project_diff: AtomicU64,
     project_plan: AtomicU64,
     project_provenance: AtomicU64,
+    project_safety: AtomicU64,
     experiments: AtomicU64,
     chart: AtomicU64,
     other: AtomicU64,
@@ -61,6 +62,7 @@ impl Counters {
             "project_diff": (get(&self.project_diff)),
             "project_plan": (get(&self.project_plan)),
             "project_provenance": (get(&self.project_provenance)),
+            "project_safety": (get(&self.project_safety)),
             "experiments": (get(&self.experiments)),
             "chart": (get(&self.chart)),
             "other": (get(&self.other)),
@@ -107,6 +109,7 @@ pub fn route_key(path: &str) -> &'static str {
         ["project", _, "diff"] => "project_diff",
         ["project", _, "plan"] => "project_plan",
         ["project", _, "provenance", _] => "project_provenance",
+        ["project", _, "safety"] => "project_safety",
         ["experiments", _] => "experiments",
         ["chart", _] => "chart",
         _ => "other",
@@ -241,6 +244,13 @@ impl AppState {
                 let subject = (*subject).to_owned();
                 self.with_project(id, req, move |p, req| {
                     project_provenance(p, req, &subject, default_seed)
+                })
+            }
+            ["project", id, "safety"] => {
+                self.counters.project_safety.fetch_add(1, Ordering::Relaxed);
+                let default_seed = self.default_seed;
+                self.with_project(id, req, move |p, req| {
+                    project_safety(p, req, default_seed)
                 })
             }
             ["experiments", id] => {
@@ -532,6 +542,7 @@ fn index() -> Response {
                 "GET /project/{id}/diff?from=YYYY-MM&to=YYYY-MM[&seed=s&k=months]",
                 "GET /project/{id}/plan?from=YYYY-MM&to=YYYY-MM&dialect=pg|mysql|sqlite[&rebuild=no&seed=s&k=months]",
                 "GET /project/{id}/provenance/{table}[.{column}][?seed=s&k=months]",
+                "GET /project/{id}/safety[?seed=s]",
                 "GET /experiments/{id}",
                 "GET /chart/{id}.svg[?seed=s&w=px&h=px]",
             ],
@@ -798,6 +809,20 @@ fn project_provenance(
             }),
         ),
     }
+}
+
+/// `GET /project/{id}/safety` — the static safety analysis of the whole
+/// history: every migration op classified on the lossless < recoverable <
+/// lossy lattice with its synthesized inverse, plus the column-lineage
+/// summary. The body is shared with `schemachron safety --format json`
+/// (one renderer, one memoized artifact), so CLI goldens and `curl`
+/// answers for the same project are byte-identical.
+fn project_safety(p: &CorpusProject, req: &Request, default_seed: u64) -> Response {
+    let artifact = schemachron_safety::safety_for(&p.card, resolved_seed(req, default_seed));
+    Response::json(
+        200,
+        &schemachron_safety::render::safety_json(&artifact.analysis),
+    )
 }
 
 /// `GET /project/{id}/diagnostics` — the static analyzer's findings for

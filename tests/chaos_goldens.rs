@@ -30,7 +30,7 @@ fn faults_disabled_keeps_all_goldens_byte_identical() {
     let (result, out) = run_chaos(&["chaos", "--rate", "0.0", "--slow-ms", "600"]);
     result.expect(&out);
     assert!(
-        out.contains("experiment goldens: 18/18 byte-identical"),
+        out.contains("experiment goldens: 19/19 byte-identical"),
         "{out}"
     );
     assert!(out.contains("total injected: 0"), "{out}");
@@ -45,7 +45,7 @@ fn injected_faults_still_converge_to_the_goldens() {
     ]);
     result.expect(&out);
     assert!(
-        out.contains("experiment goldens: 18/18 byte-identical"),
+        out.contains("experiment goldens: 19/19 byte-identical"),
         "{out}"
     );
     assert!(

@@ -1,0 +1,113 @@
+//! Safety goldens through the real CLI entry point: the checked-in
+//! `goldens/safety/*.json` analyses — one project per lattice value — must
+//! be reproduced byte for byte at `--jobs 1` and `--jobs 8`, and
+//! `schemachron plan --deny-lossy` must refuse the golden-pinned lossy
+//! span with the lossy exit code (3).
+
+// Integration-test helpers sit outside `#[test]` fns, so clippy's
+// allow-in-tests escape hatch does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
+fn repo_path(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn run_cli(args: &[&str]) -> (Result<(), schemachron_cli::CliError>, String) {
+    let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    let mut buf: Vec<u8> = Vec::new();
+    let result = schemachron_cli::run(&argv, &mut buf);
+    (result, String::from_utf8(buf).expect("safety output is UTF-8"))
+}
+
+#[test]
+fn safety_goldens_match_byte_for_byte_at_jobs_1_and_8() {
+    // One project per lattice value, so the goldens pin all three verdicts:
+    // flatliner-010 is all-lossless, radical-053's worst op is recoverable,
+    // curated-132 drops tables and columns outright.
+    let cases = [
+        ("flatliner-010", "lossless"),
+        ("radical-053", "recoverable"),
+        ("curated-132", "lossy"),
+    ];
+    for (project, worst) in cases {
+        let golden =
+            std::fs::read_to_string(repo_path(&format!("goldens/safety/{project}.json")))
+                .expect("checked-in golden");
+        assert!(
+            golden.contains(&format!("\"worst\": \"{worst}\"")),
+            "{project}: golden no longer pins worst = {worst}"
+        );
+        for jobs in ["1", "8"] {
+            let (result, out) =
+                run_cli(&["safety", project, "--format", "json", "--jobs", jobs]);
+            result.unwrap_or_else(|e| panic!("safety {project} --jobs {jobs}: {}", e.message));
+            assert_eq!(
+                out, golden,
+                "safety {project} --jobs {jobs}: drifted from the golden"
+            );
+        }
+    }
+}
+
+#[test]
+fn deny_lossy_refuses_a_destructive_plan_with_exit_3() {
+    // The same span the plan goldens pin: curated-132's sqlite script
+    // rebuilds tables, so the plan is lossy by construction.
+    let (result, out) = run_cli(&[
+        "plan", "curated-132", "--from", "2015-12", "--to", "2017-06",
+        "--dialect", "sqlite", "--deny-lossy",
+    ]);
+    assert!(out.is_empty(), "a denied plan writes nothing to stdout");
+    let err = result.expect_err("the span drops data; --deny-lossy must refuse it");
+    assert_eq!(err.code, schemachron_cli::EXIT_LOSSY);
+    assert!(
+        err.message.starts_with("plan: lossy plan denied: "),
+        "{}",
+        err.message
+    );
+    assert!(
+        err.message.contains("hint: drop --deny-lossy"),
+        "{}",
+        err.message
+    );
+
+    // pg expresses the span without rebuilds, but the span itself drops
+    // tables, so --deny-lossy refuses it regardless of dialect.
+    let (result, out) = run_cli(&[
+        "plan", "curated-132", "--from", "2015-12", "--to", "2017-06",
+        "--dialect", "pg", "--deny-lossy",
+    ]);
+    assert!(out.is_empty());
+    let err = result.expect_err("dropped tables are lossy in every dialect");
+    assert_eq!(err.code, schemachron_cli::EXIT_LOSSY, "{}", err.message);
+}
+
+#[test]
+fn explain_safety_annotates_a_clean_plan() {
+    // A same-month span has no ops at all: the plan is trivially lossless
+    // and --deny-lossy accepts it.
+    let (result, out) = run_cli(&[
+        "plan", "curated-132", "--from", "2015-12", "--to", "2015-12",
+        "--dialect", "pg", "--deny-lossy", "--explain-safety", "--format", "json",
+    ]);
+    result.expect("an empty plan is lossless");
+    let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert_eq!(v["statement_count"].as_u64(), Some(0));
+    assert_eq!(v["safety"]["class"].as_str(), Some("lossless"), "{out}");
+    assert!(v["safety"]["offender"].is_null(), "{out}");
+
+    let (result, human) = run_cli(&[
+        "plan", "curated-132", "--from", "2015-12", "--to", "2015-12",
+        "--dialect", "pg", "--explain-safety",
+    ]);
+    result.expect("human rendering succeeds");
+    assert!(
+        human.contains("safety: lossless — every op is invertible from schema alone"),
+        "{human}"
+    );
+}

@@ -1,0 +1,99 @@
+//! Property gate for the safety analyzer: over every seed-42 project and
+//! every adjacent version pair, each op's lattice verdict must agree with
+//! inverse existence, and every `Lossless` op's synthesized inverse must
+//! round-trip the schema back to its exact normalized fingerprint.
+//! Re-analysis must be deterministic: the rendered JSON of two independent
+//! runs is byte-identical.
+
+// Integration-test helpers sit outside `#[test]` fns, so clippy's
+// allow-in-tests escape hatch does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use schemachron_corpus::Corpus;
+use schemachron_dialect::diff_ops;
+use schemachron_model::Schema;
+use schemachron_safety::{
+    analyze_history, apply_op, classify_op, fingerprint, inverse_matches_class, inverse_op,
+    render, Safety,
+};
+
+#[test]
+fn every_lossless_op_round_trips_and_verdicts_match_inverse_existence() {
+    let corpus = Corpus::generate(42);
+    let (mut ops_seen, mut lossless_seen) = (0usize, 0usize);
+    for project in corpus.projects() {
+        let history = project
+            .history
+            .schema_history()
+            .expect("corpus projects are DDL-built");
+        let empty = Schema::default();
+        let mut prev = &empty;
+        for version in history.versions() {
+            let batch = diff_ops(prev, &version.schema);
+            for op in &batch {
+                ops_seen += 1;
+                assert!(
+                    inverse_matches_class(op, prev, &batch),
+                    "{}: `{}` verdict disagrees with inverse existence",
+                    project.card.name,
+                    op.describe()
+                );
+                if classify_op(op, prev, &batch).safety != Safety::Lossless {
+                    continue;
+                }
+                lossless_seen += 1;
+                let inverse = inverse_op(op, prev, &batch)
+                    .expect("lossless ops always synthesize an inverse");
+                let mut schema = prev.clone();
+                assert!(
+                    apply_op(&mut schema, op),
+                    "{}: `{}` does not apply to its own before-schema",
+                    project.card.name,
+                    op.describe()
+                );
+                for inv in &inverse {
+                    assert!(
+                        apply_op(&mut schema, inv),
+                        "{}: inverse `{}` of `{}` does not apply",
+                        project.card.name,
+                        inv.describe(),
+                        op.describe()
+                    );
+                }
+                assert_eq!(
+                    fingerprint(&schema),
+                    fingerprint(prev),
+                    "{}: `{}` inverse does not round-trip",
+                    project.card.name,
+                    op.describe()
+                );
+            }
+            prev = &version.schema;
+        }
+    }
+    // The corpus genuinely exercises the property — the sweep is not vacuous.
+    assert!(ops_seen > 1000, "only {ops_seen} ops swept");
+    assert!(lossless_seen > 500, "only {lossless_seen} lossless ops swept");
+}
+
+#[test]
+fn re_analysis_is_deterministic() {
+    let corpus = Corpus::generate(42);
+    for project in corpus.projects().iter().take(8) {
+        let history = project
+            .history
+            .schema_history()
+            .expect("corpus projects are DDL-built");
+        let a = serde_json::to_string_pretty(&render::safety_json(&analyze_history(
+            &project.card.name,
+            history,
+        )))
+        .unwrap();
+        let b = serde_json::to_string_pretty(&render::safety_json(&analyze_history(
+            &project.card.name,
+            history,
+        )))
+        .unwrap();
+        assert_eq!(a, b, "{}: analysis drifted between runs", project.card.name);
+    }
+}
