@@ -5,7 +5,11 @@
 //! `par_map` + stage quarantine), crash-safe materialization (atomic
 //! writes + `MANIFEST` verification + epoch-bumped resume), a fault-free
 //! rebuild diffed against the recovered state and the experiment goldens,
-//! and finally the guarded serve path (deadlines + circuit breaker).
+//! the guarded serve path (deadlines + circuit breaker), and finally
+//! streaming ingestion: a shuffled commit schedule appended through the
+//! WAL under injected faults with a mid-stream kill/restart, asserting
+//! that the recovered replay, the live feed transitions and a fault-free
+//! batch rebuild agree byte-for-byte.
 //!
 //! Because every injection decision is a pure hash of
 //! `(fault seed, site, key, epoch, attempt)` — never of call counts or
@@ -22,10 +26,13 @@ use std::time::Duration;
 use schemachron_bench::context::ExpContext;
 use schemachron_bench::experiments as exp;
 use schemachron_corpus::io::write_corpus_dir;
+use schemachron_corpus::materialize::materialize;
 use schemachron_corpus::pipeline::clear_stage_cache;
 use schemachron_corpus::{load_project_dir, verify_project_dir, Corpus, LoadError};
 use schemachron_fault as fault;
-use schemachron_history::IngestMode;
+use schemachron_hash::{fnv1a, FNV_OFFSET};
+use schemachron_history::{Date, IngestMode};
+use schemachron_stream::{classify_commits, Append, StreamError, StreamStore, FEED_CAPACITY};
 use schemachron_serve::http::{Request, Response};
 use schemachron_serve::{AppState, GuardConfig};
 
@@ -126,16 +133,16 @@ fn site_args(argv: &[&str]) -> Result<Vec<String>, CliError> {
     Ok(sites)
 }
 
-/// The four drill phases. Returns `Err` only on **invariant violations**
+/// The five drill phases. Returns `Err` only on **invariant violations**
 /// (corrupt state accepted, recovered state diverging from the fault-free
 /// reference, golden mismatches) — injected faults that surface as typed
 /// errors or shed requests are the expected, healthy outcome.
 fn drill(seed: u64, plan: &fault::FaultPlan, slow_ms: u64, out: &mut dyn Write) -> CliResult {
     let mut violations: Vec<String> = Vec::new();
 
-    // [1/4] ingest under faults: par_map isolates poisoned workers, the
+    // [1/5] ingest under faults: par_map isolates poisoned workers, the
     // stage cache quarantines failed stages, bounded retries re-roll.
-    let _ = writeln!(out, "\n[1/4] ingest under faults");
+    let _ = writeln!(out, "\n[1/5] ingest under faults");
     fault::reset_counters();
     fault::set_epoch(0);
     fault::install(plan.clone());
@@ -171,9 +178,9 @@ fn drill(seed: u64, plan: &fault::FaultPlan, slow_ms: u64, out: &mut dyn Write) 
         }
     };
 
-    // [2/4] crash-safe materialization: atomic per-project staging, a
+    // [2/5] crash-safe materialization: atomic per-project staging, a
     // checksum MANIFEST committed by rename, epoch-bumped resume.
-    let _ = writeln!(out, "\n[2/4] crash-safe materialization");
+    let _ = writeln!(out, "\n[2/5] crash-safe materialization");
     let stage_root = std::env::temp_dir().join(format!("schemachron-chaos-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&stage_root);
     let mut wrote = false;
@@ -242,9 +249,9 @@ fn drill(seed: u64, plan: &fault::FaultPlan, slow_ms: u64, out: &mut dyn Write) 
     let _ = writeln!(out, "  interrupted staging directories: {staged} (all rejected)");
     let _ = std::fs::remove_dir_all(&stage_root);
 
-    // [3/4] the recovered corpus must be indistinguishable from a
+    // [3/5] the recovered corpus must be indistinguishable from a
     // fault-free build, and the goldens must hold byte-for-byte.
-    let _ = writeln!(out, "\n[3/4] fault-free rebuild and goldens");
+    let _ = writeln!(out, "\n[3/5] fault-free rebuild and goldens");
     fault::clear();
     clear_stage_cache();
     let reference = Corpus::generate(seed);
@@ -302,11 +309,11 @@ fn drill(seed: u64, plan: &fault::FaultPlan, slow_ms: u64, out: &mut dyn Write) 
         let _ = writeln!(out, "  experiment goldens: not present, skipped");
     }
 
-    // [4/4] serve under faults: per-request deadline, per-route breaker,
+    // [4/5] serve under faults: per-request deadline, per-route breaker,
     // degraded cached answers. The cooldown is set far past the drill so
     // breaker transitions never race wall time — the report stays
     // deterministic.
-    let _ = writeln!(out, "\n[4/4] serve under faults");
+    let _ = writeln!(out, "\n[4/5] serve under faults");
     fault::install(plan.clone());
     fault::set_epoch(10);
     let deadline = Duration::from_millis((slow_ms * 2 / 3).max(40));
@@ -350,6 +357,17 @@ fn drill(seed: u64, plan: &fault::FaultPlan, slow_ms: u64, out: &mut dyn Write) 
         }
     }
 
+    // [5/5] streaming ingestion under faults: a deterministically shuffled
+    // commit schedule appended through the crash-safe WAL with bounded
+    // retries, a mid-stream kill/restart, and a duplicate re-send probe;
+    // then the recovered replay, the live transition transcript and a
+    // fault-free batch rebuild must agree byte-for-byte.
+    let _ = writeln!(out, "\n[5/5] streaming ingestion under faults");
+    fault::install(plan.clone());
+    fault::set_epoch(20);
+    stream_phase(seed, &corpus, &mut violations, out);
+    fault::clear();
+
     let _ = writeln!(out, "\nfault summary");
     let counters = fault::counters();
     for (site, n) in &counters {
@@ -371,6 +389,264 @@ fn drill(seed: u64, plan: &fault::FaultPlan, slow_ms: u64, out: &mut dyn Write) 
             violations.len()
         )))
     }
+}
+
+/// How many corpus projects the streaming phase replays as live commit
+/// chains, how many leading commits of each, and the minimum chain length
+/// that makes a project worth streaming (flatliners with one commit would
+/// leave the shuffle with nothing to interleave).
+const STREAM_PROJECTS: usize = 3;
+const STREAM_COMMITS: usize = 8;
+const STREAM_MIN_COMMITS: usize = 4;
+
+/// Bounded retries per streamed append (mirrors `schemachron watch`).
+const STREAM_RETRIES: u32 = 3;
+
+/// The `[5/5]` streaming phase body: shuffled schedule, faulted appends
+/// with bounded retries, mid-stream kill/restart, duplicate-re-send probe,
+/// then the three-way byte-for-byte agreement check.
+fn stream_phase(seed: u64, corpus: &Corpus, violations: &mut Vec<String>, out: &mut dyn Write) {
+    // Commit chains from the first materialized projects: the same inputs
+    // the batch pipeline classifies, now replayed as a live stream.
+    let chains: Vec<(String, Vec<(Date, String)>)> = corpus
+        .projects()
+        .iter()
+        .filter_map(|p| {
+            let mat = materialize(&p.card, seed);
+            let commits: Vec<(Date, String)> =
+                mat.ddl_commits.into_iter().take(STREAM_COMMITS).collect();
+            (commits.len() >= STREAM_MIN_COMMITS).then(|| (p.card.name.clone(), commits))
+        })
+        .take(STREAM_PROJECTS)
+        .collect();
+    let total: usize = chains.iter().map(|(_, c)| c.len()).sum();
+    if total == 0 {
+        let _ = writeln!(out, "  no materializable commits; phase skipped");
+        return;
+    }
+
+    // The shuffled interleaving: per-project order stays sequential (the
+    // idempotency contract needs contiguous seqs), the cross-project order
+    // is a pure hash of (corpus seed, position) — deterministic at any
+    // --jobs and independent of the fault plan.
+    let mut order: Vec<usize> = Vec::with_capacity(total);
+    {
+        let mut remaining: Vec<usize> = chains.iter().map(|(_, c)| c.len()).collect();
+        for pos in 0..total {
+            let candidates: Vec<usize> =
+                (0..chains.len()).filter(|&i| remaining[i] > 0).collect();
+            let h = fnv1a(
+                fnv1a(FNV_OFFSET, &seed.to_le_bytes()),
+                &(pos as u64).to_le_bytes(),
+            );
+            let pick = candidates[usize::try_from(h % candidates.len() as u64).unwrap_or(0)];
+            order.push(pick);
+            remaining[pick] -= 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  schedule: {total} commits across {} projects, shuffled",
+        chains.len()
+    );
+
+    let stream_root =
+        std::env::temp_dir().join(format!("schemachron-chaos-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&stream_root);
+    let mut store = match StreamStore::open(&stream_root) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("stream store failed to open: {e}"));
+            return;
+        }
+    };
+
+    let restart_at = total / 2;
+    let mut next = vec![0usize; chains.len()];
+    let mut transcript = String::new();
+    let mut retried = 0u32;
+    let mut went_fault_free = false;
+    let mut restarted = false;
+    for (pos, &pick) in order.iter().enumerate() {
+        // Mid-stream kill/restart: drop the store (all derived state) and
+        // replay from disk. Any torn tail a fault left behind is truncated;
+        // the cursor line resumes where the acknowledged history ends.
+        if pos == restart_at && !restarted {
+            restarted = true;
+            drop(store);
+            store = match StreamStore::open(&stream_root) {
+                Ok(s) => s,
+                Err(e) => {
+                    violations.push(format!("mid-stream restart failed to replay: {e}"));
+                    return;
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  mid-stream restart after {pos} commits: replay resumed the cursor line"
+            );
+            // Idempotency probe across the restart: re-send a commit that
+            // is already acknowledged — it must be a no-op, not a rewrite.
+            if let Some(done) = (0..chains.len()).find(|&i| next[i] > 0) {
+                let (name, commits) = &chains[done];
+                let (date, sql) = &commits[0];
+                match store.append(name, 1, &date.to_string(), sql) {
+                    Ok(Append::Duplicate { .. }) => {
+                        let _ = writeln!(
+                            out,
+                            "  idempotency probe: duplicate re-send of an acked commit was a no-op"
+                        );
+                    }
+                    other => violations.push(format!(
+                        "duplicate re-send of {name} seq 1 was not a no-op: {other:?}"
+                    )),
+                }
+            }
+        }
+
+        let (name, commits) = &chains[pick];
+        let seq = next[pick] as u64 + 1;
+        let (date, sql) = &commits[next[pick]];
+        let date_str = date.to_string();
+        let mut attempt = 0u32;
+        let mut result = store.append(name, seq, &date_str, sql);
+        while matches!(result, Err(StreamError::Wal(_))) && attempt < STREAM_RETRIES {
+            attempt += 1;
+            retried += 1;
+            result = fault::with_attempt(attempt, || store.append(name, seq, &date_str, sql));
+        }
+        if matches!(result, Err(StreamError::Wal(_))) && !went_fault_free {
+            // Bounded retries exhausted: like phase 1, fall back to a
+            // fault-free continuation — the recovery invariants below must
+            // hold regardless of where injection stopped.
+            went_fault_free = true;
+            fault::clear();
+            let _ = writeln!(
+                out,
+                "  typed failure at {name} seq {seq}: bounded retries exhausted; continuing fault-free"
+            );
+            result = store.append(name, seq, &date_str, sql);
+        }
+        match result {
+            Ok(Append::Appended { seq, before, after, .. }) => {
+                let before = before.unwrap_or_else(|| "(new)".to_owned());
+                transcript.push_str(&format!("{name} seq={seq}: {before} -> {after}\n"));
+                next[pick] += 1;
+            }
+            Ok(Append::Duplicate { seq, last_seq }) => {
+                violations.push(format!(
+                    "scheduled append {name} seq {seq} answered duplicate (last {last_seq})"
+                ));
+                next[pick] += 1;
+            }
+            Err(e) => {
+                violations.push(format!("streaming append {name} seq {seq} failed: {e}"));
+                return;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  acked: {total}/{total} commits through {retried} bounded retr{}",
+        if retried == 1 { "y" } else { "ies" }
+    );
+
+    // The live feed since the restart: cursors must be strictly
+    // increasing, and every event must restate a transition the acks
+    // already reported — same bytes, no drift.
+    let batch = store.events_since(0, FEED_CAPACITY);
+    let mut prev_cursor = 0u64;
+    for e in &batch.events {
+        if e.cursor <= prev_cursor {
+            violations.push(format!(
+                "feed cursor {} does not advance past {prev_cursor}",
+                e.cursor
+            ));
+        }
+        prev_cursor = e.cursor;
+        let line = format!(
+            "{} seq={}: {} -> {}\n",
+            e.project,
+            e.seq,
+            e.before.as_deref().unwrap_or("(new)"),
+            e.after
+        );
+        if !transcript.contains(&line) {
+            violations.push(format!(
+                "feed event (cursor {}) disagrees with the acked transition: {}",
+                e.cursor,
+                line.trim_end()
+            ));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  live feed: {} transition(s) retained, cursors strictly increasing",
+        batch.events.len()
+    );
+
+    // Recovery: a fresh replay of the WALs must agree with the live state,
+    // and the full transition transcript must be re-derivable from the
+    // fault-free batch classifier over every prefix — byte-for-byte.
+    fault::clear();
+    drop(store);
+    let recovered = match StreamStore::open(&stream_root) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("post-drill replay failed: {e}"));
+            return;
+        }
+    };
+    let mut rebuilt = String::new();
+    let mut prefix = vec![0usize; chains.len()];
+    let mut prev: Vec<Option<String>> = vec![None; chains.len()];
+    for &pick in &order {
+        let (name, commits) = &chains[pick];
+        prefix[pick] += 1;
+        let after = classify_commits(name, &commits[..prefix[pick]]);
+        let before = prev[pick].take().unwrap_or_else(|| "(new)".to_owned());
+        rebuilt.push_str(&format!(
+            "{name} seq={}: {before} -> {after}\n",
+            prefix[pick]
+        ));
+        prev[pick] = Some(after);
+    }
+    if transcript == rebuilt {
+        let _ = writeln!(
+            out,
+            "  live transitions ≡ fault-free batch rebuild ({total}/{total} identical)"
+        );
+    } else {
+        violations.push(format!(
+            "live transitions diverge from the fault-free batch rebuild:\n--- live\n{transcript}--- rebuilt\n{rebuilt}"
+        ));
+    }
+    for (i, (name, commits)) in chains.iter().enumerate() {
+        if recovered.last_seq(name) != commits.len() as u64 {
+            violations.push(format!(
+                "recovered replay of {name} is at seq {}, expected {}",
+                recovered.last_seq(name),
+                commits.len()
+            ));
+        }
+        if recovered.pattern(name) != recovered.batch_classify(name) {
+            violations.push(format!(
+                "recovered pattern of {name} disagrees with its batch rebuild"
+            ));
+        }
+        if recovered.pattern(name) != prev[i] {
+            violations.push(format!(
+                "recovered pattern of {name} disagrees with the live transcript's final state"
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "  {name}: seq {}, pattern {}",
+            recovered.last_seq(name),
+            recovered.pattern(name).unwrap_or_else(|| "(none)".to_owned())
+        );
+    }
+    let _ = std::fs::remove_dir_all(&stream_root);
 }
 
 /// Keeps the report deterministic: injected I/O errors carry stable,
@@ -401,18 +677,5 @@ fn outcome_marker(resp: &Response) -> &'static str {
 
 /// Builds a GET [`Request`] the way the HTTP parser would.
 fn get_req(target: &str) -> Request {
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
-    Request {
-        method: "GET".to_owned(),
-        target: target.to_owned(),
-        path: path.to_owned(),
-        query: query
-            .split('&')
-            .filter(|s| !s.is_empty())
-            .map(|kv| {
-                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
-                (k.to_owned(), v.to_owned())
-            })
-            .collect(),
-    }
+    Request::get(target)
 }

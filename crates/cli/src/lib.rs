@@ -28,6 +28,7 @@
 //! which keeps the whole tool unit-testable.
 
 mod chaos;
+mod stream_cli;
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -124,6 +125,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> CliResult {
         Some("plan") => plan_cmd(&args[1..], out),
         Some("safety") => safety_cmd(&args[1..], out),
         Some("serve") => serve(&args[1..], out),
+        Some("append") => stream_cli::run_append(&args[1..], out),
+        Some("watch") => stream_cli::run_watch(&args[1..], out),
         Some("chart") => chart(&args[1..], out),
         Some("chaos") => chaos::run_chaos(&args[1..], out),
         Some(other) => Err(CliError::new(format!(
@@ -198,20 +201,37 @@ pub fn usage() -> &'static str {
      \x20     for every invertible op and the column-lineage summary. JSON\n\
      \x20     output is byte-identical to GET /project/{id}/safety.\n\
      \x20 schemachron serve [--addr HOST:PORT] [--seed N] [--jobs N]\n\
-     \x20                   [--deadline-ms MS]\n\
+     \x20                   [--deadline-ms MS] [--stream-dir DIR]\n\
      \x20     Serve corpora, patterns and experiments over HTTP/JSON (default\n\
      \x20     address 127.0.0.1:8080; GET / lists the routes). Every request\n\
      \x20     runs behind a deadline and a per-route circuit breaker; /health\n\
-     \x20     reports breaker states. Honors SCHEMACHRON_FAULTS. Ctrl-C stops\n\
+     \x20     reports breaker states. POST /project/{id}/commit appends live\n\
+     \x20     commits (WAL-durable before the ack) and GET /changes streams\n\
+     \x20     the resulting pattern transitions; --stream-dir persists the\n\
+     \x20     WALs across restarts. Honors SCHEMACHRON_FAULTS. Ctrl-C stops\n\
      \x20     gracefully.\n\
+     \x20 schemachron append <project> --seq N --date YYYY-MM-DD\n\
+     \x20                    (--sql DDL | --file F) --wal-dir DIR\n\
+     \x20                    [--format json]\n\
+     \x20     Append one commit to a project's crash-safe WAL and print the\n\
+     \x20     acknowledgement (with --format json, byte-identical to the\n\
+     \x20     POST /project/{id}/commit answer). Idempotent via --seq:\n\
+     \x20     duplicates are safe no-ops, gaps are refused with the expected\n\
+     \x20     sequence.\n\
+     \x20 schemachron watch --dir <src> --wal-dir DIR [--project NAME]\n\
+     \x20                   [--interval-ms MS] [--once]\n\
+     \x20     Poll a directory of dated .sql files (NNNN_YYYY-MM-DD.sql) and\n\
+     \x20     re-ingest new files into the streaming store, with debouncing\n\
+     \x20     and bounded retries. --once runs a single scan and exits.\n\
      \x20 schemachron chaos [--seed N] [--fault-seed N] [--rate R] [--site S]...\n\
      \x20                   [--slow-ms MS] [--jobs N]\n\
-     \x20     Deterministic fault drill: run ingest, materialization, goldens\n\
-     \x20     and the serve guard under seed-keyed injected faults (sites:\n\
-     \x20     io::write, pipeline::stage, par_map::worker, serve::request,\n\
-     \x20     serve::conn, asof::checkpoint) and assert recovery. The report\n\
-     \x20     is byte-identical at any --jobs level; exits non-zero on\n\
-     \x20     invariant violations.\n\
+     \x20     Deterministic fault drill: run ingest, materialization, goldens,\n\
+     \x20     the serve guard and the streaming WAL under seed-keyed injected\n\
+     \x20     faults (sites: io::write, pipeline::stage, par_map::worker,\n\
+     \x20     serve::request, serve::conn, asof::checkpoint,\n\
+     \x20     stream::wal_append, stream::wal_fsync, stream::feed_emit) and\n\
+     \x20     assert recovery. The report is byte-identical at any --jobs\n\
+     \x20     level; exits non-zero on invariant violations.\n\
      \x20 schemachron chart <dir> [--snapshot]\n\
      \x20     Draw the cumulative schema/source chart of a project directory.\n\
      \x20 schemachron diff <old.sql> <new.sql>\n\
@@ -304,6 +324,14 @@ fn takes_value(opt: &str) -> bool {
             | "--from"
             | "--to"
             | "--dialect"
+            | "--stream-dir"
+            | "--wal-dir"
+            | "--seq"
+            | "--date"
+            | "--sql"
+            | "--file"
+            | "--project"
+            | "--interval-ms"
     )
 }
 
@@ -350,6 +378,7 @@ fn serve(args: &[String], out: &mut dyn Write) -> CliResult {
     if let Some(d) = deadline {
         config.request_deadline = d;
     }
+    config.stream_dir = opt_value(&argv, "--stream-dir").map(PathBuf::from);
     let jobs = config.jobs;
     let server = schemachron_serve::Server::bind(config).map_err(|e| bind_error(addr, &e))?;
     server.install_signal_handler();
@@ -1429,15 +1458,11 @@ mod tests {
         let (name, _, last, table) = asof_subject();
         let state = schemachron_serve::AppState::new(schemachron_bench::DEFAULT_SEED);
         let via_serve = |path: &str, query: &[(&str, &str)]| -> String {
-            let req = schemachron_serve::http::Request {
-                method: "GET".to_owned(),
-                target: path.to_owned(),
-                path: path.to_owned(),
-                query: query
-                    .iter()
-                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
-                    .collect(),
-            };
+            let mut req = schemachron_serve::http::Request::get(path);
+            req.query = query
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect();
             let resp = state.handle(&req);
             assert_eq!(resp.status, 200, "{path}");
             String::from_utf8(resp.body).unwrap()
@@ -1470,12 +1495,7 @@ mod tests {
 
         // Byte-identical to `GET /project/{id}/safety`: one render layer.
         let state = schemachron_serve::AppState::new(schemachron_bench::DEFAULT_SEED);
-        let req = schemachron_serve::http::Request {
-            method: "GET".to_owned(),
-            target: format!("/project/{name}/safety"),
-            path: format!("/project/{name}/safety"),
-            query: Vec::new(),
-        };
+        let req = schemachron_serve::http::Request::get(&format!("/project/{name}/safety"));
         let resp = state.handle(&req);
         assert_eq!(resp.status, 200);
         assert_eq!(

@@ -1,0 +1,139 @@
+//! Pins one append→reclassify→feed transcript against
+//! `goldens/stream/transcript.txt`, byte for byte, at `--jobs 1` and
+//! `--jobs 8`.
+//!
+//! The transcript is the exact byte stream an HTTP client would read:
+//! every `POST /project/golden-stream/commit` acknowledgement body in
+//! order (including a duplicate retry's ack), then the full
+//! `GET /changes?since=0` batch. The same renderers serve the CLI
+//! (`schemachron append --format json`), so one golden pins both
+//! transports.
+//!
+//! Regenerate after an intentional format change with
+//! `SCHEMACHRON_UPDATE_GOLDENS=1 cargo test -p schemachron-cli --test
+//! stream_golden` and review the diff.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+
+use schemachron_stream::{render, StreamStore};
+
+/// The fixed chain the transcript streams: real DDL, dates spread so the
+/// time-pattern classification moves as the chain grows.
+const CHAIN: [(&str, &str); 4] = [
+    ("2015-01-10", "CREATE TABLE accounts (id INT, PRIMARY KEY (id));"),
+    ("2015-02-10", "ALTER TABLE accounts ADD COLUMN email TEXT;"),
+    ("2015-03-10", "CREATE TABLE events (id INT, account_id INT, PRIMARY KEY (id));"),
+    ("2019-06-10", "DROP TABLE events;"),
+];
+
+const PROJECT: &str = "golden-stream";
+
+/// One serialized body, exactly as `Response::json` and the CLI's
+/// `--format json` emit it: pretty-printed, trailing newline.
+fn body(v: &serde_json::Value) -> String {
+    let mut s = serde_json::to_string_pretty(v).unwrap();
+    s.push('\n');
+    s
+}
+
+/// Streams [`CHAIN`] through a fresh store and returns the transcript.
+fn transcript(tag: &str) -> String {
+    let root = std::env::temp_dir().join(format!(
+        "schemachron-stream-golden-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut store = StreamStore::open(&root).expect("stream store opens");
+    let mut out = String::new();
+    for (i, (date, sql)) in CHAIN.iter().enumerate() {
+        let ack = store
+            .append(PROJECT, (i + 1) as u64, date, sql)
+            .expect("append succeeds");
+        out.push_str(&body(&render::ack_json(PROJECT, &ack)));
+    }
+    // A client retry of an already-acknowledged commit: the duplicate ack
+    // is part of the wire contract, so the golden pins it too.
+    let dup = store
+        .append(PROJECT, 2, CHAIN[1].0, CHAIN[1].1)
+        .expect("duplicate re-send is accepted");
+    out.push_str(&body(&render::ack_json(PROJECT, &dup)));
+    // The feed: every appended transition, nothing for the duplicate.
+    out.push_str(&body(&render::changes_json(0, &store.events_since(0, 64))));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&root);
+    out
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../goldens/stream/transcript.txt")
+}
+
+#[test]
+fn transcript_is_byte_identical_to_the_golden_at_jobs_1_and_8() {
+    schemachron_corpus::set_jobs(Some(NonZeroUsize::new(1).unwrap()));
+    let serial = transcript("j1");
+    schemachron_corpus::set_jobs(Some(NonZeroUsize::new(8).unwrap()));
+    let parallel = transcript("j8");
+    schemachron_corpus::set_jobs(None);
+    assert_eq!(serial, parallel, "worker count leaked into the transcript");
+
+    let path = golden_path();
+    if std::env::var_os("SCHEMACHRON_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &serial).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with SCHEMACHRON_UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, serial,
+        "the streaming transcript drifted from goldens/stream/transcript.txt; \
+         if the change is intentional, regenerate with SCHEMACHRON_UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn cli_append_ack_matches_the_golden_transcript_prefix() {
+    // CLI-vs-HTTP byte parity: `schemachron append --format json` must
+    // print exactly the first ack body of the golden transcript.
+    let wal = std::env::temp_dir().join(format!(
+        "schemachron-stream-golden-cli-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal);
+    let args: Vec<String> = [
+        "append",
+        PROJECT,
+        "--seq",
+        "1",
+        "--date",
+        CHAIN[0].0,
+        "--sql",
+        CHAIN[0].1,
+        "--wal-dir",
+        wal.to_str().unwrap(),
+        "--format",
+        "json",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let mut out = Vec::new();
+    schemachron_cli::run(&args, &mut out).expect("append succeeds");
+    let printed = String::from_utf8(out).unwrap();
+    let _ = std::fs::remove_dir_all(&wal);
+
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden transcript present (SCHEMACHRON_UPDATE_GOLDENS=1 regenerates)");
+    assert!(
+        golden.starts_with(&printed),
+        "CLI ack is not the transcript prefix:\n{printed}"
+    );
+}

@@ -61,15 +61,25 @@ pub mod site {
     pub const SERVE_CONN: &str = "serve::conn";
     /// One as-of index checkpoint build (keyed by `stage:cache-key`).
     pub const ASOF_CHECKPOINT: &str = "asof::checkpoint";
+    /// One WAL record append (keyed by `project:seq`).
+    pub const STREAM_WAL_APPEND: &str = "stream::wal_append";
+    /// One WAL fsync before the append is acknowledged (keyed by
+    /// `project:seq`).
+    pub const STREAM_WAL_FSYNC: &str = "stream::wal_fsync";
+    /// One change-feed event emission (keyed by `project:seq:try`).
+    pub const STREAM_FEED_EMIT: &str = "stream::feed_emit";
 
     /// Every registered site, for validation and documentation.
-    pub const ALL: [&str; 6] = [
+    pub const ALL: [&str; 9] = [
         IO_WRITE,
         PIPELINE_STAGE,
         PAR_MAP_WORKER,
         SERVE_REQUEST,
         SERVE_CONN,
         ASOF_CHECKPOINT,
+        STREAM_WAL_APPEND,
+        STREAM_WAL_FSYNC,
+        STREAM_FEED_EMIT,
     ];
 }
 

@@ -73,6 +73,25 @@ fn rederive_safety_key(history_key: StageKey) -> StageKey {
     rederive(SAFETY_STAGE, SAFETY_VERSION, history_key)
 }
 
+/// The streaming classification cache namespace, restated (the engine
+/// publishes it as [`schemachron_stream::STREAM_STAGE`]; a registry test
+/// pins the two together so drift is caught, not silently tolerated).
+const STREAM_STAGE: &str = "stream-classify";
+
+/// The streamed classification logic version, restated from
+/// [`schemachron_stream::STREAM_LOGIC_VERSION`].
+const STREAM_VERSION: u32 = 1;
+
+/// Independent restatement of the streamed classification key derivation:
+/// `derive(name, version, fnv1a(fnv1a(offset, count_le), chain_crc_le))` —
+/// the WAL chain checksum salted with the commit count, then the standard
+/// chain link.
+fn rederive_stream_key(chain_crc: StageKey, commit_count: u64) -> StageKey {
+    let salted = fnv1a(FNV_OFFSET, &commit_count.to_le_bytes());
+    let salted = fnv1a(salted, &chain_crc.to_le_bytes());
+    rederive(STREAM_STAGE, STREAM_VERSION, salted)
+}
+
 /// Independent restatement of the cache's shard-count formula: the next
 /// power of two at or above 4 × available parallelism. Deliberately does
 /// not call `pipeline::shard_count_for` — drift between the two is exactly
@@ -131,6 +150,12 @@ fn rederive_chain(card: &Card, seed: u64) -> [StageKey; 8] {
 ///   with this module's restated derivation (`derive("safety", version,
 ///   history_key)` from the history key the payload records), or the
 ///   payload is not a safety analysis at all. Seed-free like H005.
+/// * **H008** — a streamed classification artifact (the live-ingestion
+///   engine's namespace) carries a key that disagrees with this module's
+///   restated derivation from the WAL chain checksum and commit count the
+///   payload itself records, or the payload is not a streamed
+///   classification at all. Seed-free like H005/H006: the WAL chain
+///   checksum is already a content hash of the full commit prefix.
 pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
     const PROJECT: &str = "(stage-cache)";
 
@@ -165,6 +190,10 @@ pub fn audit_stage_cache(cards: &[Card], seed: u64, report: &mut Report) {
         }
         if stage == SAFETY_STAGE {
             audit_safety_entry(key, report);
+            continue;
+        }
+        if stage == STREAM_STAGE {
+            audit_stream_entry(key, report);
             continue;
         }
         if !known.contains(stage) {
@@ -279,6 +308,38 @@ fn audit_safety_entry(key: StageKey, report: &mut Report) {
                 "cached `{SAFETY_STAGE}` artifact {key:016x} disagrees with the restated \
                  derivation {restated:016x} for history key {:016x} (project `{}`)",
                 artifact.history_key, artifact.analysis.project,
+            ),
+        ));
+    }
+}
+
+/// H008: audits one artifact in the streamed classification namespace
+/// against the restated key derivation (see [`rederive_stream_key`]).
+fn audit_stream_entry(key: StageKey, report: &mut Report) {
+    const PROJECT: &str = "(stage-cache)";
+    let Some(artifact) =
+        pipeline::peek_stage_artifact::<schemachron_stream::StreamArtifact>(STREAM_STAGE, key)
+    else {
+        report.push(Diagnostic::new(
+            "H008",
+            PROJECT,
+            format!(
+                "cached `{STREAM_STAGE}` artifact {key:016x} is not a streamed \
+                 classification payload"
+            ),
+        ));
+        return;
+    };
+    let restated = rederive_stream_key(artifact.chain_crc, artifact.commit_count);
+    if restated != key {
+        report.push(Diagnostic::new(
+            "H008",
+            PROJECT,
+            format!(
+                "cached `{STREAM_STAGE}` artifact {key:016x} disagrees with the restated \
+                 derivation {restated:016x} for chain checksum {:016x} over {} commit(s) \
+                 (pattern `{}`)",
+                artifact.chain_crc, artifact.commit_count, artifact.pattern,
             ),
         ));
     }
@@ -406,6 +467,76 @@ mod tests {
         assert_eq!(
             rederive_safety_key(0x1234_5678_9abc_def0),
             schemachron_safety::safety_key(0x1234_5678_9abc_def0)
+        );
+    }
+
+    #[test]
+    fn restated_stream_constants_match_the_engine() {
+        assert_eq!(STREAM_STAGE, schemachron_stream::STREAM_STAGE);
+        assert_eq!(STREAM_VERSION, schemachron_stream::STREAM_LOGIC_VERSION);
+        // And the full key derivation, on an arbitrary input pair.
+        assert_eq!(
+            rederive_stream_key(0x1234_5678_9abc_def0, 17),
+            schemachron_stream::stream_key(0x1234_5678_9abc_def0, 17)
+        );
+    }
+
+    #[test]
+    fn stream_entries_audit_clean_and_rekeying_is_caught() {
+        // Sequenced like the safety/as-of tests: the cache is process-wide,
+        // so the clean audit comes before the corruption.
+        let _lock = CACHE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pipeline::clear_stage_cache();
+        let cards: Vec<Card> = all_cards().into_iter().take(1).collect();
+        let seed = 72_424; // private to this test: no cross-test interference
+        let commits = vec![
+            (
+                "2021-03-10".parse().unwrap(),
+                "CREATE TABLE t (a INT);".to_owned(),
+            ),
+            (
+                "2021-04-10".parse().unwrap(),
+                "ALTER TABLE t ADD COLUMN b INT;".to_owned(),
+            ),
+        ];
+        let crc = 0x57_24_24_01; // private chain checksum: no cross-test races
+        let built = schemachron_stream::classification_for("lint-stream-test", &commits, crc);
+        let key = schemachron_stream::stream_key(built.chain_crc, built.commit_count);
+
+        let mut clean = Report::new();
+        audit_stage_cache(&cards, seed, &mut clean);
+        assert!(clean.diagnostics().is_empty(), "{}", clean.render_human());
+
+        // Re-key the artifact: its payload restates the real chain checksum
+        // and commit count, so the restated derivation no longer lands on
+        // the cached key — H008.
+        let stage = schemachron_stream::STREAM_STAGE;
+        assert!(corrupt_stage_cache_entry(
+            (stage, key),
+            (stage, key ^ 0x0bad_5eed)
+        ));
+        let mut rekeyed = Report::new();
+        audit_stage_cache(&cards, seed, &mut rekeyed);
+        assert_eq!(codes(&rekeyed), ["H008"]);
+        assert!(
+            rekeyed.render_human().contains("restated"),
+            "{}",
+            rekeyed.render_human()
+        );
+
+        // Restore so other tests sharing the process cache are unaffected.
+        assert!(corrupt_stage_cache_entry(
+            (stage, key ^ 0x0bad_5eed),
+            (stage, key)
+        ));
+        let mut restored = Report::new();
+        audit_stage_cache(&cards, seed, &mut restored);
+        assert!(
+            restored.diagnostics().is_empty(),
+            "{}",
+            restored.render_human()
         );
     }
 

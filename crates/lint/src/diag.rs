@@ -119,7 +119,7 @@ pub struct Rule {
 
 /// The complete rule registry. Codes are append-only: a published code is
 /// never renumbered or reused.
-pub const RULES: [Rule; 26] = [
+pub const RULES: [Rule; 28] = [
     Rule {
         code: "L001",
         severity: Severity::Error,
@@ -234,6 +234,20 @@ pub const RULES: [Rule; 26] = [
         summary: "safety artifact's key disagrees with the restated derivation (stage name, \
                   logic version, chained history key), or the payload is not a safety \
                   analysis",
+    },
+    Rule {
+        code: "H007",
+        severity: Severity::Error,
+        summary: "WAL integrity violation: a segment record fails its chained checksum, a \
+                  sequence number repeats or regresses, a cursor skips backward, or a torn \
+                  tail hides a mid-log hole",
+    },
+    Rule {
+        code: "H008",
+        severity: Severity::Error,
+        summary: "streamed classification artifact's key disagrees with the restated \
+                  derivation (stage name, logic version, count-salted WAL chain checksum), \
+                  or the payload is not a streamed classification",
     },
     Rule {
         code: "R001",

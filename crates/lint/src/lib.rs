@@ -37,6 +37,7 @@ pub mod fsck;
 pub mod recommend;
 pub mod safety;
 pub mod spec;
+pub mod walcheck;
 
 use schemachron_corpus::io::date_from_filename;
 use schemachron_corpus::materialize::materialize;
@@ -128,7 +129,8 @@ pub fn lint_cards(cards: &[Card], opts: &LintOptions) -> Report {
 /// Lints a directory of `.sql` migration scripts (one project checked out
 /// on disk, in the same layout `corpus io` writes) with the flow analyzer,
 /// plus the `MANIFEST` integrity pass ([`fsck`], `F001`) when the
-/// directory carries one.
+/// directory carries one and the WAL integrity pass ([`walcheck`], `H007`)
+/// when it holds streaming segment files.
 ///
 /// Scripts are ordered by the date embedded in their file name, then by
 /// name — the same chronology the ingestion pipeline would use. Files
@@ -138,6 +140,7 @@ pub fn lint_cards(cards: &[Card], opts: &LintOptions) -> Report {
 /// Returns the underlying I/O error when the directory cannot be read.
 pub fn lint_dir(dir: &std::path::Path, report: &mut Report) -> std::io::Result<()> {
     fsck::lint_manifest_dir(dir, report)?;
+    walcheck::lint_wal_dir(dir, report)?;
     let project = dir
         .file_name()
         .map_or_else(|| "(project)".to_owned(), |n| n.to_string_lossy().into_owned());

@@ -1,0 +1,390 @@
+//! On-disk WAL integrity pass (`H007`): re-verifies a streaming project's
+//! write-ahead commit log from first principles.
+//!
+//! The streaming store (`schemachron_stream::wal`) keeps one directory of
+//! append-only segment files per project, every record carrying a chained
+//! FNV-1a checksum over the entire history before it. This pass restates
+//! that format — the header grammar, the record framing and the checksum
+//! chain — **without calling the stream crate's own decoder**, so drift
+//! between the writer and this auditor is caught rather than silently
+//! tolerated (registry tests pin the restated constants to the engine's).
+//!
+//! Findings, all `H007`:
+//!
+//! * a segment header that does not parse or does not continue the chain
+//!   the previous segment left off at;
+//! * a record whose chained checksum fails where valid records follow
+//!   (a mid-log hole — replay would refuse this log);
+//! * a torn tail: an incomplete or checksum-failing suffix of the final
+//!   segment (replay recovers it by truncation, but a log at rest should
+//!   not carry one);
+//! * a sequence number that repeats or skips;
+//! * a feed cursor that fails to advance.
+//!
+//! Directories without any `NNNNNN.wal` file produce no findings: there is
+//! no log to disagree with.
+
+use std::path::{Path, PathBuf};
+
+use schemachron_hash::{fnv1a, FNV_OFFSET};
+
+use crate::diag::{Diagnostic, Report};
+
+/// The segment header prefix, restated from
+/// [`schemachron_stream::SEGMENT_HEADER_PREFIX`] (a registry test pins the
+/// two together).
+const WAL_HEADER_PREFIX: &str = "# schemachron wal segment v1";
+
+/// The chain seed — the `prev` checksum of the very first record —
+/// restated from [`schemachron_stream::CHAIN_SEED`].
+const WAL_CHAIN_SEED: u64 = FNV_OFFSET;
+
+/// Independent restatement of the record checksum chain:
+/// `fnv1a` folded over the previous checksum, the sequence number, the
+/// feed cursor, the date and the payload bytes, in that order.
+fn rederive_record_crc(prev: u64, seq: u64, cursor: u64, date: &str, payload: &[u8]) -> u64 {
+    let h = fnv1a(FNV_OFFSET, &prev.to_le_bytes());
+    let h = fnv1a(h, &seq.to_le_bytes());
+    let h = fnv1a(h, &cursor.to_le_bytes());
+    let h = fnv1a(h, date.as_bytes());
+    fnv1a(h, payload)
+}
+
+/// Parses `key=value` out of a whitespace-tokenized header line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+fn field_hex(line: &str, key: &str) -> Option<u64> {
+    u64::from_str_radix(field(line, key)?, 16).ok()
+}
+
+/// Running chain state across segments of one project's WAL.
+struct Chain {
+    crc: u64,
+    last_seq: u64,
+    last_cursor: u64,
+}
+
+/// Audits every `NNNNNN.wal` segment under `dir` (the layout the streaming
+/// store keeps per project), pushing one `H007` finding per violation.
+/// Silent when the directory holds no segments.
+///
+/// # Errors
+/// Returns the underlying I/O error when the directory or a segment cannot
+/// be read; integrity disagreements are findings, not errors.
+pub fn lint_wal_dir(dir: &Path, report: &mut Report) -> std::io::Result<()> {
+    let project = dir
+        .file_name()
+        .map_or_else(|| "(project)".to_owned(), |n| n.to_string_lossy().into_owned());
+    let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        if let Some(idx) = name
+            .strip_suffix(".wal")
+            .and_then(|stem| stem.parse::<u64>().ok())
+        {
+            segments.push((idx, path));
+        }
+    }
+    if segments.is_empty() {
+        return Ok(());
+    }
+    segments.sort();
+
+    let mut chain = Chain {
+        crc: WAL_CHAIN_SEED,
+        last_seq: 0,
+        last_cursor: 0,
+    };
+    let last_index = segments.len() - 1;
+    for (i, (idx, path)) in segments.iter().enumerate() {
+        let bytes = std::fs::read(path)?;
+        let name = format!("{idx:06}.wal");
+        if !audit_segment(&project, &name, &bytes, i == last_index, &mut chain, report) {
+            // The chain is broken; every later record would fail its
+            // `prev` link too, so stop instead of cascading one real
+            // violation into dozens of derived ones.
+            break;
+        }
+    }
+    report.sort();
+    Ok(())
+}
+
+/// Audits one segment. Returns `false` when the chain is too damaged to
+/// keep walking (the caller stops to avoid cascading findings).
+fn audit_segment(
+    project: &str,
+    name: &str,
+    bytes: &[u8],
+    is_last: bool,
+    chain: &mut Chain,
+    report: &mut Report,
+) -> bool {
+    let mut push = |message: String| {
+        report.push(Diagnostic::new("H007", project, message));
+    };
+
+    // Header line.
+    let Some(header_end) = bytes.iter().position(|&b| b == b'\n').map(|nl| nl + 1) else {
+        push(format!("{name}: segment header has no newline"));
+        return false;
+    };
+    let Ok(header) = std::str::from_utf8(&bytes[..header_end - 1]) else {
+        push(format!("{name}: segment header is not UTF-8"));
+        return false;
+    };
+    if !header.starts_with(WAL_HEADER_PREFIX) {
+        push(format!("{name}: unrecognized segment header `{header}`"));
+        return false;
+    }
+    let (Some(base_seq), Some(base_crc)) =
+        (field_u64(header, "base_seq"), field_hex(header, "base_crc"))
+    else {
+        push(format!("{name}: segment header is missing base_seq/base_crc"));
+        return false;
+    };
+    if base_seq != chain.last_seq || base_crc != chain.crc {
+        push(format!(
+            "{name}: header continues from seq {base_seq} crc {base_crc:016x}, but the \
+             restated chain is at seq {} crc {:016x}",
+            chain.last_seq, chain.crc
+        ));
+        return false;
+    }
+
+    // Records.
+    let mut at = header_end;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        let torn = |detail: &str| {
+            if is_last {
+                format!("{name}: torn tail: {detail} (replay would truncate it; the log was \
+                         left mid-append)")
+            } else {
+                format!("{name}: {detail} (mid-log hole: valid segments follow)")
+            }
+        };
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            push(torn("record header has no newline"));
+            return false;
+        };
+        let Ok(rec_header) = std::str::from_utf8(&rest[..nl]) else {
+            push(torn("record header is not UTF-8"));
+            return false;
+        };
+        if !rec_header.starts_with("rec v1 ") {
+            push(torn(&format!("unrecognized record header `{rec_header}`")));
+            return false;
+        }
+        let (Some(seq), Some(cursor), Some(date), Some(len), Some(prev), Some(crc)) = (
+            field_u64(rec_header, "seq"),
+            field_u64(rec_header, "cur"),
+            field(rec_header, "date"),
+            field_u64(rec_header, "len"),
+            field_hex(rec_header, "prev"),
+            field_hex(rec_header, "crc"),
+        ) else {
+            push(torn(&format!("record header is missing fields: `{rec_header}`")));
+            return false;
+        };
+        let body_start = nl + 1;
+        let body_end = body_start + len as usize;
+        if rest.len() < body_end + 1 {
+            push(torn(&format!("record seq={seq} payload is truncated")));
+            return false;
+        }
+        let body = &rest[body_start..body_end];
+        let restated = rederive_record_crc(chain.crc, seq, cursor, date, body);
+        if prev != chain.crc || crc != restated {
+            // A failing checksum in the very tail position of the final
+            // segment is an unsynced crash leftover; anywhere else it is a
+            // hole in the middle of an acknowledged history.
+            let tail_position = is_last && at + body_end + 1 >= bytes.len();
+            if tail_position {
+                push(torn(&format!("record seq={seq} fails its chained checksum")));
+            } else {
+                push(format!(
+                    "{name}: record seq={seq} fails its restated chained checksum \
+                     (recorded {crc:016x}, restated {restated:016x}; mid-log, not a \
+                     recoverable tail)"
+                ));
+            }
+            return false;
+        }
+        // The checksum is valid, so the record was genuinely written this
+        // way: sequence and cursor violations are writer bugs, not crashes.
+        if seq <= chain.last_seq {
+            push(format!(
+                "{name}: record seq={seq} repeats or regresses (chain already at seq {})",
+                chain.last_seq
+            ));
+        } else if seq != chain.last_seq + 1 {
+            push(format!(
+                "{name}: record seq={seq} skips ahead (chain expected seq {})",
+                chain.last_seq + 1
+            ));
+        }
+        if cursor <= chain.last_cursor {
+            push(format!(
+                "{name}: record seq={seq} cursor {cursor} does not advance past {}",
+                chain.last_cursor
+            ));
+        }
+        chain.crc = restated;
+        chain.last_seq = seq;
+        chain.last_cursor = cursor.max(chain.last_cursor);
+        at += body_end + 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemachron_stream::{record_crc, Wal, WalRecord};
+    use std::fs;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("schemachron-walcheck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rec(seq: u64, cursor: u64, sql: &str) -> WalRecord {
+        WalRecord {
+            seq,
+            cursor,
+            date: "2020-01-10".to_owned(),
+            payload: sql.to_owned(),
+        }
+    }
+
+    /// Encodes one record exactly as the writer frames it, so tests can
+    /// append checksum-valid records that violate chain semantics.
+    fn encode(prev: u64, seq: u64, cursor: u64, date: &str, payload: &str) -> Vec<u8> {
+        let crc = record_crc(prev, seq, cursor, date, payload.as_bytes());
+        let mut out = format!(
+            "rec v1 seq={seq} cur={cursor} date={date} len={} prev={prev:016x} crc={crc:016x}\n",
+            payload.len(),
+        )
+        .into_bytes();
+        out.extend_from_slice(payload.as_bytes());
+        out.push(b'\n');
+        out
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn restated_wal_constants_match_the_engine() {
+        assert_eq!(WAL_HEADER_PREFIX, schemachron_stream::SEGMENT_HEADER_PREFIX);
+        assert_eq!(WAL_CHAIN_SEED, schemachron_stream::CHAIN_SEED);
+        // And the full checksum chain, on arbitrary inputs.
+        assert_eq!(
+            rederive_record_crc(0x1234_5678_9abc_def0, 7, 9, "2021-05-10", b"DROP TABLE t;"),
+            record_crc(0x1234_5678_9abc_def0, 7, 9, "2021-05-10", b"DROP TABLE t;")
+        );
+    }
+
+    #[test]
+    fn pristine_wal_audits_clean_and_wal_less_dir_is_silent() {
+        let dir = tmp("clean");
+        let mut report = Report::new();
+        lint_wal_dir(&dir, &mut report).unwrap();
+        assert!(report.diagnostics().is_empty(), "no segments, no findings");
+
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        wal.append(rec(2, 2, "ALTER TABLE t ADD COLUMN b INT;")).unwrap();
+        drop(wal);
+        lint_wal_dir(&dir, &mut report).unwrap();
+        assert!(report.diagnostics().is_empty(), "{}", report.render_human());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_h007_mid_log() {
+        let dir = tmp("flip");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        wal.append(rec(2, 2, "ALTER TABLE t ADD COLUMN b INT;")).unwrap();
+        drop(wal);
+        let seg = dir.join("000001.wal");
+        let mut bytes = fs::read(&seg).unwrap();
+        let pos = bytes
+            .windows(6)
+            .position(|w| w == b"CREATE")
+            .expect("first payload present");
+        bytes[pos] = b'X';
+        fs::write(&seg, &bytes).unwrap();
+        let mut report = Report::new();
+        lint_wal_dir(&dir, &mut report).unwrap();
+        assert_eq!(codes(&report), ["H007"]);
+        assert!(
+            report.render_human().contains("restated chained checksum"),
+            "{}",
+            report.render_human()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_h007_named_as_a_tail() {
+        let dir = tmp("torn");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        let crc = wal.chain_crc();
+        drop(wal);
+        let torn = encode(crc, 2, 2, "2020-02-10", "DROP TABLE t;");
+        let seg = dir.join("000001.wal");
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        fs::write(&seg, &bytes).unwrap();
+        let mut report = Report::new();
+        lint_wal_dir(&dir, &mut report).unwrap();
+        assert_eq!(codes(&report), ["H007"]);
+        assert!(
+            report.render_human().contains("torn tail"),
+            "{}",
+            report.render_human()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_seq_and_backward_cursor_are_h007() {
+        let dir = tmp("dupseq");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 5, "CREATE TABLE t (a INT);")).unwrap();
+        let crc = wal.chain_crc();
+        drop(wal);
+        // A checksum-valid record that repeats seq 1 *and* steps its cursor
+        // backward: broken writer logic, not a crash.
+        let bogus = encode(crc, 1, 3, "2020-02-10", "DROP TABLE t;");
+        let seg = dir.join("000001.wal");
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&bogus);
+        fs::write(&seg, &bytes).unwrap();
+        let mut report = Report::new();
+        lint_wal_dir(&dir, &mut report).unwrap();
+        assert_eq!(codes(&report), ["H007", "H007"]);
+        let text = report.render_human();
+        assert!(text.contains("repeats or regresses"), "{text}");
+        assert!(text.contains("does not advance"), "{text}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -42,7 +42,8 @@ pub fn finish(stream: &mut TcpStream) {
     }
 }
 
-/// A parsed request: method, decoded path segments and query pairs.
+/// A parsed request: method, decoded path segments, query pairs, headers
+/// and (for mutating methods) the body.
 #[derive(Clone, Debug)]
 pub struct Request {
     /// The HTTP method verbatim (`GET`, `POST`, ...).
@@ -53,14 +54,57 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded `key=value` query pairs, in order.
     pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lowercased, in order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` declared one).
+    pub body: Vec<u8>,
 }
 
 impl Request {
+    /// A bodiless `GET` for the given target — the in-process construction
+    /// used by tests, cache warming and the chaos drill.
+    pub fn get(target: &str) -> Request {
+        let (path, query) = target.split_once('?').unwrap_or((target, ""));
+        Request {
+            method: "GET".to_owned(),
+            target: target.to_owned(),
+            path: percent_decode(path),
+            query: query
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(kv), String::new()),
+                })
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `POST` for the given target with a JSON body (in-process tests).
+    pub fn post_json(target: &str, body: &str) -> Request {
+        let mut req = Request::get(target);
+        req.method = "POST".to_owned();
+        req.headers
+            .push(("content-type".to_owned(), "application/json".to_owned()));
+        req.body = body.as_bytes().to_vec();
+        req
+    }
+
     /// The first value of query parameter `key`, if present.
     pub fn query_param(&self, key: &str) -> Option<&str> {
         self.query
             .iter()
             .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
 }
@@ -105,9 +149,9 @@ impl HttpError {
     }
 }
 
-/// Reads and parses one request head from `stream` (which should already
-/// have its read timeout set). Any declared body is left unread — the
-/// service answers and closes the connection regardless.
+/// Reads and parses one request from `stream` (which should already have
+/// its read timeout set): the head, then — when `Content-Length` declares
+/// one — the body, capped at [`MAX_BODY_BYTES`].
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -144,20 +188,39 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("only HTTP/1.x is spoken here"));
     }
-    // Headers: only Content-Length matters, and only as a size guard.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length: usize = 0;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            let len: usize = value
-                .trim()
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
                 .parse()
                 .map_err(|_| HttpError::Malformed("unparsable Content-Length"))?;
-            if len > MAX_BODY_BYTES {
+            if content_length > MAX_BODY_BYTES {
                 return Err(HttpError::TooLarge);
             }
         }
+        headers.push((name, value));
+    }
+
+    // The body: whatever followed the head in the buffer, then the rest
+    // read off the socket up to the declared length.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    body.truncate(content_length);
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        })?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed before body end"));
+        }
+        let want = content_length - body.len();
+        body.extend_from_slice(&chunk[..n.min(want)]);
     }
 
     let (raw_path, raw_query) = match target.split_once('?') {
@@ -177,6 +240,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         target: target.to_owned(),
         path: percent_decode(raw_path),
         query,
+        headers,
+        body,
     })
 }
 
@@ -217,6 +282,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `Allow` on 405), emitted in order.
+    pub headers: Vec<(&'static str, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -231,6 +298,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body,
         }
     }
@@ -240,18 +308,46 @@ impl Response {
         Response {
             status: 200,
             content_type: "image/svg+xml",
+            headers: Vec::new(),
             body: document.into_bytes(),
         }
+    }
+
+    /// A Server-Sent Events batch (the service answers one bounded batch
+    /// per connection, so the stream still carries `Content-Length`).
+    pub fn sse(frames: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/event-stream",
+            headers: Vec::new(),
+            body: frames.into_bytes(),
+        }
+    }
+
+    /// Returns the response with an extra header attached.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The first extra header with the given name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// The standard reason phrase for the status code.
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            201 => "Created",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            409 => "Conflict",
             413 => "Payload Too Large",
             422 => "Unprocessable Content",
             500 => "Internal Server Error",
@@ -265,12 +361,16 @@ impl Response {
     pub fn write_to(&self, w: &mut dyn Write) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nServer: schemachron-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nServer: schemachron-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"Connection: close\r\n\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }

@@ -18,6 +18,8 @@
 //! | `GET /project/{id}/diagnostics[?seed=s]` | the static analyzer's findings (`schemachron lint` JSON shape) |
 //! | `GET /experiments/{id}` | a paper table/figure as JSON (matches `goldens/experiments/`) |
 //! | `GET /chart/{id}.svg[?seed=s&w=&h=]` | the cumulative evolution chart as SVG |
+//! | `POST /project/{id}/commit` | append one commit to the project's WAL (idempotent via `seq`) |
+//! | `GET /changes[?since=c&max=n&wait_ms=t&format=sse]` | the cursored change feed, long-poll or SSE |
 //!
 //! ## Architecture
 //!
@@ -40,6 +42,17 @@
 //! to a degraded cached answer (or `503`) while a route keeps failing,
 //! then probes half-open after a cooldown. `/health` reports breaker
 //! states and `schemachron-fault` injection counters.
+//!
+//! ## Streaming
+//!
+//! `POST /project/{id}/commit` appends one commit to the project's
+//! crash-safe WAL (`schemachron-stream`, fsync *before* the ack),
+//! re-runs exactly one classification chain, and announces the pattern
+//! transition on the bounded `GET /changes` feed — JSON long-poll or
+//! Server-Sent Events with `Last-Event-ID` resume. Appends are
+//! idempotent via client sequence numbers. Dispatch resolves the route
+//! before checking the method, so a wrong-method request answers `405`
+//! with that route's `Allow` header while unknown paths stay `404`.
 
 pub mod breaker;
 pub mod http;

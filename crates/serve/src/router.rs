@@ -3,6 +3,7 @@
 //! breakers that shed to a degraded cached answer while a route misbehaves.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -15,6 +16,7 @@ use schemachron_core::{classify, classify_nearest, Pattern};
 use schemachron_corpus::CorpusProject;
 use schemachron_fault as fault;
 use schemachron_history::MonthId;
+use schemachron_stream::{render as stream_render, Append, StreamError, StreamStore, FEED_CAPACITY};
 use serde_json::{json, Value};
 
 use crate::breaker::{Breaker, Gate};
@@ -41,6 +43,8 @@ pub struct Counters {
     project_plan: AtomicU64,
     project_provenance: AtomicU64,
     project_safety: AtomicU64,
+    project_commit: AtomicU64,
+    changes: AtomicU64,
     experiments: AtomicU64,
     chart: AtomicU64,
     other: AtomicU64,
@@ -63,6 +67,8 @@ impl Counters {
             "project_plan": (get(&self.project_plan)),
             "project_provenance": (get(&self.project_provenance)),
             "project_safety": (get(&self.project_safety)),
+            "project_commit": (get(&self.project_commit)),
+            "changes": (get(&self.changes)),
             "experiments": (get(&self.experiments)),
             "chart": (get(&self.chart)),
             "other": (get(&self.other)),
@@ -110,9 +116,31 @@ pub fn route_key(path: &str) -> &'static str {
         ["project", _, "plan"] => "project_plan",
         ["project", _, "provenance", _] => "project_provenance",
         ["project", _, "safety"] => "project_safety",
+        ["project", _, "commit"] => "project_commit",
+        ["changes"] => "changes",
         ["experiments", _] => "experiments",
         ["chart", _] => "chart",
         _ => "other",
+    }
+}
+
+/// The methods a resolved route accepts, or `None` when the path matches
+/// no route at all. Dispatch resolves the route *first*: a known path with
+/// the wrong method answers `405` with this value in `Allow`, while an
+/// unknown path stays `404` for every method.
+fn route_allow(path: &str) -> Option<&'static str> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["project", _, "commit"] => Some("POST"),
+        []
+        | ["health"]
+        | ["changes"]
+        | ["corpus", _, "projects"]
+        | ["project", _, "history" | "pattern" | "diagnostics" | "schema" | "diff" | "plan" | "safety"]
+        | ["project", _, "provenance", _]
+        | ["experiments", _]
+        | ["chart", _] => Some("GET"),
+        _ => None,
     }
 }
 
@@ -130,6 +158,23 @@ pub struct AppState {
     /// While a route's breaker is open, an exact-target repeat is answered
     /// from here (marked degraded) instead of with a bare `503`.
     degraded: Mutex<BTreeMap<&'static str, (String, Vec<u8>)>>,
+    /// Where this state's streaming WALs live.
+    stream_root: PathBuf,
+    /// The streaming store, opened lazily on the first stream route hit so
+    /// read-only deployments never touch the disk.
+    stream: Mutex<Option<StreamStore>>,
+}
+
+/// Distinguishes the default stream roots of multiple `AppState`s in one
+/// process (tests build many); the pid distinguishes processes.
+static STREAM_ROOT_ID: AtomicU64 = AtomicU64::new(0);
+
+fn default_stream_root() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "schemachron-stream-{}-{}",
+        std::process::id(),
+        STREAM_ROOT_ID.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 impl AppState {
@@ -139,8 +184,20 @@ impl AppState {
         Self::with_guard(default_seed, GuardConfig::default())
     }
 
-    /// [`AppState::new`] with explicit request-guard parameters.
+    /// [`AppState::new`] with explicit request-guard parameters. The
+    /// streaming store lands in a per-state temp directory; use
+    /// [`AppState::with_stream_root`] to persist it across restarts.
     pub fn with_guard(default_seed: u64, guard: GuardConfig) -> AppState {
+        Self::with_stream_root(default_seed, guard, default_stream_root())
+    }
+
+    /// [`AppState::with_guard`] with an explicit streaming-store root, so
+    /// appended commits survive restarts of the service.
+    pub fn with_stream_root(
+        default_seed: u64,
+        guard: GuardConfig,
+        stream_root: PathBuf,
+    ) -> AppState {
         AppState {
             default_seed,
             started: Instant::now(),
@@ -149,6 +206,40 @@ impl AppState {
             guard,
             breakers: Mutex::new(BTreeMap::new()),
             degraded: Mutex::new(BTreeMap::new()),
+            stream_root,
+            stream: Mutex::new(None),
+        }
+    }
+
+    /// Where this state's streaming WALs live.
+    pub fn stream_root(&self) -> &std::path::Path {
+        &self.stream_root
+    }
+
+    /// Runs `f` over the streaming store, opening (and replaying) it on
+    /// first use; an unopenable store answers `500`.
+    fn with_stream_store<R>(
+        &self,
+        f: impl FnOnce(&mut StreamStore) -> R,
+    ) -> Result<R, Response> {
+        let mut guard = lock(&self.stream);
+        if guard.is_none() {
+            match StreamStore::open(&self.stream_root) {
+                Ok(store) => *guard = Some(store),
+                Err(e) => {
+                    return Err(Response::json(
+                        500,
+                        &json!({
+                            "error": "stream store unavailable",
+                            "detail": (e.to_string()),
+                        }),
+                    ))
+                }
+            }
+        }
+        match guard.as_mut() {
+            Some(store) => Ok(f(store)),
+            None => unreachable!("opened above"),
         }
     }
 
@@ -178,15 +269,34 @@ impl AppState {
         self.counters.total.load(Ordering::Relaxed)
     }
 
-    /// Dispatches one parsed request to its route handler.
+    /// Dispatches one parsed request to its route handler. Routing happens
+    /// before the method check: a known path with the wrong method answers
+    /// `405` with that route's `Allow` header, an unknown path answers
+    /// `404` for every method.
     pub fn handle(&self, req: &Request) -> Response {
         self.counters.total.fetch_add(1, Ordering::Relaxed);
-        if req.method != "GET" {
-            self.counters.other.fetch_add(1, Ordering::Relaxed);
-            return Response::json(
-                405,
-                &json!({"error": "method not allowed", "allowed": ["GET"]}),
-            );
+        match route_allow(&req.path) {
+            None => {
+                self.counters.other.fetch_add(1, Ordering::Relaxed);
+                return Response::json(
+                    404,
+                    &json!({"error": "no such route", "path": (req.path.as_str()), "index": "/"}),
+                );
+            }
+            Some(allow) if req.method != allow => {
+                self.counters.other.fetch_add(1, Ordering::Relaxed);
+                return Response::json(
+                    405,
+                    &json!({
+                        "error": "method not allowed",
+                        "method": (req.method.as_str()),
+                        "path": (req.path.as_str()),
+                        "allow": (allow),
+                    }),
+                )
+                .with_header("Allow", allow);
+            }
+            Some(_) => {}
         }
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match segments.as_slice() {
@@ -252,6 +362,14 @@ impl AppState {
                 self.with_project(id, req, move |p, req| {
                     project_safety(p, req, default_seed)
                 })
+            }
+            ["project", id, "commit"] => {
+                self.counters.project_commit.fetch_add(1, Ordering::Relaxed);
+                self.project_commit(id, req)
+            }
+            ["changes"] => {
+                self.counters.changes.fetch_add(1, Ordering::Relaxed);
+                self.changes(req)
             }
             ["experiments", id] => {
                 self.counters.experiments.fetch_add(1, Ordering::Relaxed);
@@ -493,6 +611,137 @@ impl AppState {
         }
     }
 
+    /// `POST /project/{id}/commit` — appends one commit to the project's
+    /// WAL (durable *before* the ack), re-runs exactly one classification
+    /// chain, and announces the pattern transition on the change feed.
+    /// Idempotent via client sequence numbers: `201` acknowledges a new
+    /// append, `200` a duplicate or out-of-order retry, and a gap is
+    /// refused with `409` naming the expected sequence.
+    fn project_commit(&self, id: &str, req: &Request) -> Response {
+        let Ok(body) = std::str::from_utf8(&req.body) else {
+            return Response::json(400, &json!({"error": "commit body must be UTF-8 JSON"}));
+        };
+        let value: Value = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(_) => {
+                return Response::json(
+                    400,
+                    &json!({
+                        "error": "unparsable commit body",
+                        "hint": "POST a JSON object: {\"seq\": n, \"date\": \"YYYY-MM-DD\", \"sql\": \"...\"}",
+                    }),
+                )
+            }
+        };
+        let (Some(seq), Some(date), Some(sql)) = (
+            value.get("seq").and_then(Value::as_u64),
+            value.get("date").and_then(Value::as_str),
+            value.get("sql").and_then(Value::as_str),
+        ) else {
+            return Response::json(
+                400,
+                &json!({
+                    "error": "commit body needs `seq` (integer), `date` (YYYY-MM-DD) and `sql` (string)",
+                }),
+            );
+        };
+        match self.with_stream_store(|store| store.append(id, seq, date, sql)) {
+            Err(resp) => resp,
+            Ok(Ok(outcome)) => {
+                let status = if matches!(outcome, Append::Appended { .. }) {
+                    201
+                } else {
+                    200
+                };
+                Response::json(status, &stream_render::ack_json(id, &outcome))
+            }
+            Ok(Err(StreamError::SequenceGap { expected, got })) => Response::json(
+                409,
+                &json!({
+                    "error": "sequence gap",
+                    "project": (id),
+                    "expected_seq": (expected),
+                    "got": (got),
+                }),
+            ),
+            Ok(Err(StreamError::Wal(e))) => Response::json(
+                500,
+                &json!({"error": "append not durable", "detail": (e.to_string())}),
+            ),
+            Ok(Err(e)) => Response::json(400, &json!({"error": (e.to_string())})),
+        }
+    }
+
+    /// `GET /changes?since=cursor` — the change feed. Answers a bounded
+    /// batch of transition events after `since` as JSON, or as Server-Sent
+    /// Events when `format=sse` (or `Accept: text/event-stream`). SSE
+    /// `id:` lines carry cursors and a `Last-Event-ID` header resumes
+    /// exactly like `?since=`. `wait_ms` long-polls (capped below the
+    /// request deadline) until an event arrives; a subscriber that fell
+    /// out of the bounded retention window gets a `lagged` marker.
+    fn changes(&self, req: &Request) -> Response {
+        let since = match (req.query_param("since"), req.header("last-event-id")) {
+            (Some(raw), _) | (None, Some(raw)) => match raw.parse::<u64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    return Response::json(
+                        400,
+                        &json!({"error": "cursor must be an unsigned integer", "got": (raw)}),
+                    )
+                }
+            },
+            (None, None) => 0,
+        };
+        let max = match req.query_param("max") {
+            None => 64,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(v) if v >= 1 => v.min(FEED_CAPACITY),
+                _ => {
+                    return Response::json(
+                        400,
+                        &json!({"error": "max must be a positive count", "got": (raw)}),
+                    )
+                }
+            },
+        };
+        let wait = match req.query_param("wait_ms") {
+            None => Duration::ZERO,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(ms) => Duration::from_millis(ms),
+                Err(_) => {
+                    return Response::json(
+                        400,
+                        &json!({"error": "wait_ms must be milliseconds", "got": (raw)}),
+                    )
+                }
+            },
+        };
+        // The long-poll must answer before the request guard would turn
+        // it into a 504.
+        let wait = wait.min(self.guard.deadline.saturating_sub(Duration::from_millis(100)));
+        let started = Instant::now();
+        let batch = loop {
+            let batch = match self.with_stream_store(|store| store.events_since(since, max)) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            if !batch.events.is_empty() || batch.lagged || started.elapsed() >= wait {
+                break batch;
+            }
+            // Poll without holding the store lock across the sleep.
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let sse = req.query_param("format") == Some("sse")
+            || req
+                .header("accept")
+                .is_some_and(|a| a.contains("text/event-stream"));
+        if sse {
+            Response::sse(stream_render::sse_frames(&batch))
+        } else {
+            Response::json(200, &stream_render::changes_json(since, &batch))
+        }
+    }
+
     fn experiment(&self, id: &str) -> Response {
         let ctx = self.context(self.default_seed);
         match run_experiment(id, &ctx) {
@@ -545,6 +794,8 @@ fn index() -> Response {
                 "GET /project/{id}/safety[?seed=s]",
                 "GET /experiments/{id}",
                 "GET /chart/{id}.svg[?seed=s&w=px&h=px]",
+                "POST /project/{id}/commit  {\"seq\": n, \"date\": \"YYYY-MM-DD\", \"sql\": \"...\"}",
+                "GET /changes[?since=cursor&max=n&wait_ms=t&format=sse]",
             ],
         }),
     )
@@ -838,20 +1089,7 @@ mod tests {
     use super::*;
 
     fn get(path: &str) -> Request {
-        let (p, q) = path.split_once('?').unwrap_or((path, ""));
-        Request {
-            method: "GET".into(),
-            target: path.into(),
-            path: p.into(),
-            query: q
-                .split('&')
-                .filter(|s| !s.is_empty())
-                .map(|kv| {
-                    let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
-                    (k.to_owned(), v.to_owned())
-                })
-                .collect(),
-        }
+        Request::get(path)
     }
 
     fn body_json(r: &Response) -> Value {
@@ -1111,5 +1349,126 @@ mod tests {
             let r = state.handle(&get(path));
             assert!(body_json(&r)["error"].as_str().is_some(), "{path}");
         }
+    }
+
+    #[test]
+    fn method_mismatch_routes_first_and_names_the_allowed_method() {
+        let state = AppState::new(42);
+        // A known GET route hit with POST: 405 carrying that route's Allow.
+        let post_health = Request::post_json("/health", "{}");
+        let r = state.handle(&post_health);
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("Allow"), Some("GET"));
+        assert_eq!(body_json(&r)["allow"].as_str(), Some("GET"));
+        // The POST-only commit route hit with GET: 405 with Allow: POST.
+        let r = state.handle(&get("/project/p/commit"));
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("Allow"), Some("POST"));
+        // An unknown path is 404 for every method — routing came first.
+        let r = state.handle(&Request::post_json("/no/such/route", "{}"));
+        assert_eq!(r.status, 404);
+        assert!(r.header("Allow").is_none());
+    }
+
+    fn stream_state(tag: &str) -> (AppState, std::path::PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "schemachron-serve-stream-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let state = AppState::with_stream_root(42, GuardConfig::default(), root.clone());
+        (state, root)
+    }
+
+    fn commit(state: &AppState, project: &str, seq: u64, date: &str, sql: &str) -> Response {
+        let body = format!(r#"{{"seq": {seq}, "date": "{date}", "sql": "{sql}"}}"#);
+        state.handle(&Request::post_json(
+            &format!("/project/{project}/commit"),
+            &body,
+        ))
+    }
+
+    #[test]
+    fn commit_route_acks_appends_and_refuses_gaps() {
+        let (state, root) = stream_state("commit");
+        // First append: 201 with the transition in the ack.
+        let r = commit(&state, "live-a", 1, "2020-01-10", "CREATE TABLE t (a INT);");
+        assert_eq!(r.status, 201, "{:?}", String::from_utf8_lossy(&r.body));
+        let ack = body_json(&r);
+        assert_eq!(ack["status"].as_str(), Some("appended"));
+        assert_eq!(ack["cursor"].as_u64(), Some(1));
+        assert!(ack["transition"]["before"].is_null());
+        assert!(ack["transition"]["after"].as_str().is_some());
+        // A retried seq: 200 duplicate, nothing re-emitted.
+        let r = commit(&state, "live-a", 1, "2020-01-10", "CREATE TABLE t (a INT);");
+        assert_eq!(r.status, 200);
+        assert_eq!(body_json(&r)["status"].as_str(), Some("duplicate"));
+        // A gap: 409 naming the expected sequence.
+        let r = commit(&state, "live-a", 7, "2020-02-10", "DROP TABLE t;");
+        assert_eq!(r.status, 409);
+        let gap = body_json(&r);
+        assert_eq!(gap["expected_seq"].as_u64(), Some(2));
+        assert_eq!(gap["got"].as_u64(), Some(7));
+        // Bad input: 400s.
+        assert_eq!(
+            state
+                .handle(&Request::post_json("/project/live-a/commit", "not json"))
+                .status,
+            400
+        );
+        assert_eq!(
+            state
+                .handle(&Request::post_json("/project/live-a/commit", r#"{"seq": 2}"#))
+                .status,
+            400
+        );
+        assert_eq!(
+            commit(&state, "live-a", 2, "01/10/2020", "DROP TABLE t;").status,
+            400
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn changes_route_serves_json_and_sse_with_resume() {
+        let (state, root) = stream_state("changes");
+        assert_eq!(commit(&state, "live-b", 1, "2020-01-10", "CREATE TABLE t (a INT);").status, 201);
+        assert_eq!(
+            commit(&state, "live-b", 2, "2021-06-10", "ALTER TABLE t ADD COLUMN b INT;").status,
+            201
+        );
+
+        let r = state.handle(&get("/changes?since=0"));
+        assert_eq!(r.status, 200);
+        let body = body_json(&r);
+        assert_eq!(body["events"].as_array().map(Vec::len), Some(2));
+        assert_eq!(body["next_cursor"].as_u64(), Some(2));
+        assert_eq!(body["lagged"].as_bool(), Some(false));
+        assert_eq!(body["events"][0]["project"].as_str(), Some("live-b"));
+
+        // `since` resumes mid-stream.
+        let r = state.handle(&get("/changes?since=1"));
+        assert_eq!(body_json(&r)["events"].as_array().map(Vec::len), Some(1));
+
+        // SSE framing: ids carry cursors; Last-Event-ID resumes like since.
+        let r = state.handle(&get("/changes?format=sse"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "text/event-stream");
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("id: 1\nevent: transition\ndata: "), "{text}");
+        let mut resume = get("/changes?format=sse");
+        resume
+            .headers
+            .push(("last-event-id".to_owned(), "1".to_owned()));
+        let r = state.handle(&resume);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(!text.contains("id: 1\n"), "{text}");
+        assert!(text.contains("id: 2\n"), "{text}");
+
+        // Bad cursors and counts are 400s.
+        assert_eq!(state.handle(&get("/changes?since=x")).status, 400);
+        assert_eq!(state.handle(&get("/changes?max=0")).status, 400);
+        assert_eq!(state.handle(&get("/changes?wait_ms=soon")).status, 400);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

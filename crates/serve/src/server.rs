@@ -34,6 +34,10 @@ pub struct ServerConfig {
     /// How long an opened per-route circuit breaker sheds load before
     /// admitting a half-open probe.
     pub breaker_cooldown: Duration,
+    /// Root directory for the streaming WALs (`POST /project/{id}/commit`).
+    /// `None` uses a per-process temp directory: appends work but do not
+    /// survive a restart of the service.
+    pub stream_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +51,7 @@ impl Default for ServerConfig {
             quiet: false,
             request_deadline: guard.deadline,
             breaker_cooldown: guard.breaker_cooldown,
+            stream_dir: None,
         }
     }
 }
@@ -90,9 +95,13 @@ impl Server {
             deadline: config.request_deadline,
             breaker_cooldown: config.breaker_cooldown,
         };
+        let state = match &config.stream_dir {
+            Some(dir) => AppState::with_stream_root(config.seed, guard, dir.clone()),
+            None => AppState::with_guard(config.seed, guard),
+        };
         Ok(Server {
             listener,
-            state: Arc::new(AppState::with_guard(config.seed, guard)),
+            state: Arc::new(state),
             config,
             shutdown: ShutdownHandle {
                 flag: Arc::new(AtomicBool::new(false)),

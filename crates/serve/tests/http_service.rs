@@ -286,6 +286,113 @@ fn graceful_shutdown_completes_in_flight_requests() {
     assert!(served >= 9, "server undercounted: {served}");
 }
 
+/// POSTs a JSON body, returns `(status, head, parsed body)`.
+fn post_json(addr: SocketAddr, path: &str, body: &str) -> (u16, String, serde_json::Value) {
+    let resp = raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let v = serde_json::from_str(body)
+        .unwrap_or_else(|e| panic!("{path}: non-JSON body ({e:?}):\n{body}"));
+    (status, head.to_owned(), v)
+}
+
+#[test]
+fn commit_appends_are_idempotent_over_the_wire() {
+    // Duplicate and out-of-order POST retries — the exact bytes a client
+    // resends after a dropped connection — must be acknowledged no-ops at
+    // the socket level, and must never re-emit feed events.
+    let stream_dir = std::env::temp_dir().join(format!(
+        "schemachron-http-stream-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&stream_dir);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        jobs: 2,
+        quiet: true,
+        stream_dir: Some(stream_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let commit1 = r#"{"seq": 1, "date": "2020-01-10", "sql": "CREATE TABLE t (a INT);"}"#;
+    let (s, _, ack) = post_json(addr, "/project/wire-a/commit", commit1);
+    assert_eq!(s, 201, "{ack:?}");
+    assert_eq!(ack["status"].as_str(), Some("appended"));
+    assert_eq!(ack["cursor"].as_u64(), Some(1));
+
+    // The client's connection died before the ack: it resends the exact
+    // same bytes. The server must answer a duplicate ack, not re-append.
+    let (s, _, dup) = post_json(addr, "/project/wire-a/commit", commit1);
+    assert_eq!(s, 200, "{dup:?}");
+    assert_eq!(dup["status"].as_str(), Some("duplicate"));
+    assert_eq!(dup["last_seq"].as_u64(), Some(1));
+
+    let commit2 = r#"{"seq": 2, "date": "2020-06-10", "sql": "ALTER TABLE t ADD COLUMN b INT;"}"#;
+    let (s, _, ack2) = post_json(addr, "/project/wire-a/commit", commit2);
+    assert_eq!(s, 201, "{ack2:?}");
+    assert_eq!(ack2["cursor"].as_u64(), Some(2));
+
+    // An out-of-order retry of seq 1 arriving *after* seq 2 is still a
+    // safe no-op that reports where the chain actually is.
+    let (s, _, late) = post_json(addr, "/project/wire-a/commit", commit1);
+    assert_eq!(s, 200, "{late:?}");
+    assert_eq!(late["status"].as_str(), Some("duplicate"));
+    assert_eq!(late["last_seq"].as_u64(), Some(2));
+
+    // A gap is refused with the expected sequence so the client resyncs.
+    let gap = r#"{"seq": 5, "date": "2020-07-10", "sql": "DROP TABLE t;"}"#;
+    let (s, _, refused) = post_json(addr, "/project/wire-a/commit", gap);
+    assert_eq!(s, 409, "{refused:?}");
+    assert_eq!(refused["expected_seq"].as_u64(), Some(3));
+
+    // Idempotency is observable on the feed: two appends, two events —
+    // the three retries emitted nothing.
+    let (s, feed) = json_body(addr, "/changes?since=0");
+    assert_eq!(s, 200, "{feed:?}");
+    let events = feed["events"].as_array().unwrap();
+    assert_eq!(events.len(), 2, "{feed:?}");
+    assert_eq!(events[0]["cursor"].as_u64(), Some(1));
+    assert_eq!(events[1]["cursor"].as_u64(), Some(2));
+
+    // Wrong method on a real socket: the route resolves first, so the
+    // answer is 405 with the route's Allow header — not a blanket rule.
+    let wrong = raw(
+        addr,
+        b"GET /project/wire-a/commit HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert!(wrong.starts_with("HTTP/1.1 405"), "{wrong}");
+    assert!(wrong.contains("Allow: POST"), "{wrong}");
+
+    // And the feed speaks SSE when asked, with cursors as event ids.
+    let sse = raw(
+        addr,
+        b"GET /changes?since=0&format=sse HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert!(sse.contains("text/event-stream"), "{sse}");
+    assert!(sse.contains("id: 1"), "{sse}");
+    assert!(sse.contains("event: transition"), "{sse}");
+
+    handle.request_shutdown();
+    thread.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&stream_dir);
+}
+
 #[test]
 fn queue_overflow_sheds_load_with_503() {
     // One worker and a tiny queue: a burst of slow-ish requests must see

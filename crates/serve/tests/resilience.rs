@@ -25,20 +25,7 @@ impl Drop for Cleanup {
 }
 
 fn get(target: &str) -> Request {
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
-    Request {
-        method: "GET".to_owned(),
-        target: target.to_owned(),
-        path: path.to_owned(),
-        query: query
-            .split('&')
-            .filter(|s| !s.is_empty())
-            .map(|kv| {
-                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
-                (k.to_owned(), v.to_owned())
-            })
-            .collect(),
-    }
+    Request::get(target)
 }
 
 fn state(deadline_ms: u64, cooldown_ms: u64) -> Arc<AppState> {
@@ -96,6 +83,46 @@ fn health_stays_reachable_under_full_fault_rate() {
     let body = body_of(&resp);
     assert!(body.contains("\"faults\""), "{body}");
     assert!(body.contains("\"active\": true"), "{body}");
+}
+
+#[test]
+fn changes_timeouts_open_only_the_changes_breaker() {
+    let _g = exclusive();
+    let _c = Cleanup;
+    let state = state(75, 60_000);
+    fault::install(
+        fault::FaultPlan::new(1, 1.0)
+            .with_sites([fault::site::SERVE_REQUEST.to_owned()])
+            .with_kinds([fault::FaultKind::Slow])
+            .with_slow(Duration::from_millis(400)),
+    );
+
+    // /health stays exempt while the plan stalls every guarded route.
+    assert_eq!(state.handle_guarded(&get("/health")).status, 200);
+
+    // A stalled long-poll subscriber: 504s until the changes breaker
+    // opens, then sheds with 503 (nothing cached for these targets).
+    let mut opened = false;
+    for i in 0..12 {
+        let resp = state.handle_guarded(&get(&format!("/changes?wait_ms=0&probe={i}")));
+        if resp.status == 503 {
+            opened = true;
+            break;
+        }
+        assert_eq!(resp.status, 504, "{}", body_of(&resp));
+    }
+    assert!(opened, "repeated long-poll timeouts must open the changes breaker");
+
+    // The breaker that opened is the *changes* breaker: with the stall
+    // lifted, a fast route answers immediately — no shed, no cooldown.
+    fault::clear();
+    let fast = state.handle_guarded(&get("/corpus/42/projects?probe=isolated"));
+    assert_eq!(fast.status, 200, "{}", body_of(&fast));
+
+    // /health names the per-route states: changes open, fast route closed.
+    let health = body_of(&state.handle_guarded(&get("/health")));
+    assert!(health.contains("\"changes\": \"open\""), "{health}");
+    assert!(health.contains("\"corpus_projects\": \"closed\""), "{health}");
 }
 
 #[test]

@@ -1,0 +1,217 @@
+//! The fault-tolerant change feed: a bounded ring of classification
+//! transition events under one process-wide monotonic cursor.
+//!
+//! Every acknowledged commit emits exactly one [`ChangeEvent`]. Subscribers
+//! pull with [`ChangeFeed::events_since`] — a cursor-based read, so a
+//! disconnected subscriber resumes from its last cursor (the HTTP layer
+//! maps SSE `Last-Event-ID` straight onto it). The ring is bounded: when a
+//! subscriber falls further behind than the retention window, the read
+//! sheds the missed span with a `lagged` marker instead of blocking
+//! ingestion or growing without bound.
+//!
+//! Cursors survive restarts because every WAL record embeds the cursor its
+//! commit was announced under: replay resumes the feed past the highest
+//! cursor on disk, so a cursor handed to a subscriber is never reissued.
+//!
+//! Events deliberately carry no wall-clock time — a feed transcript is a
+//! pure function of the commit schedule, which is what lets the chaos
+//! drill diff a live faulted feed against a fault-free rebuild
+//! byte-for-byte.
+
+use std::collections::VecDeque;
+
+use schemachron_fault as fault;
+
+/// Default retention: events kept for laggards before shedding.
+pub const FEED_CAPACITY: usize = 1024;
+
+/// Bounded retries for an injected `stream::feed_emit` failure before the
+/// in-process delivery proceeds anyway (the ring insert itself cannot
+/// fail; the site models a flaky delivery hop).
+pub const FEED_EMIT_TRIES: u32 = 8;
+
+/// One classification transition announced by the feed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// The process-wide monotonic cursor (also the SSE event id).
+    pub cursor: u64,
+    /// Project the commit belongs to.
+    pub project: String,
+    /// The commit's client sequence number.
+    pub seq: u64,
+    /// The commit date (`YYYY-MM-DD`).
+    pub date: String,
+    /// Pattern label before this commit (`None` for a project's first).
+    pub before: Option<String>,
+    /// Pattern label after this commit.
+    pub after: String,
+}
+
+/// A batch answered to one subscriber pull.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeedBatch {
+    /// Events with cursor strictly greater than the requested `since`.
+    pub events: Vec<ChangeEvent>,
+    /// Whether events in the requested span were already shed.
+    pub lagged: bool,
+    /// The cursor to resume from (pass as the next `since`).
+    pub next_cursor: u64,
+}
+
+/// The bounded, cursored change feed.
+#[derive(Debug)]
+pub struct ChangeFeed {
+    ring: VecDeque<ChangeEvent>,
+    capacity: usize,
+    /// The cursor the next emitted event will carry.
+    next_cursor: u64,
+}
+
+impl ChangeFeed {
+    /// An empty feed starting at cursor 1.
+    pub fn new(capacity: usize) -> ChangeFeed {
+        ChangeFeed {
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_cursor: 1,
+        }
+    }
+
+    /// The cursor the next emitted event will be assigned. Stable across
+    /// failed append attempts: nothing is consumed until [`emit`] commits.
+    ///
+    /// [`emit`]: ChangeFeed::emit
+    pub fn peek_cursor(&self) -> u64 {
+        self.next_cursor
+    }
+
+    /// Advances the feed past cursors already durable in a replayed WAL,
+    /// so restart never reissues a cursor a subscriber may have seen.
+    pub fn resume_past(&mut self, cursor: u64) {
+        self.next_cursor = self.next_cursor.max(cursor + 1);
+    }
+
+    /// Emits one event. The event's cursor must be the feed's
+    /// [`peek_cursor`](ChangeFeed::peek_cursor) — assignment and
+    /// consumption are one atomic step, which is what keeps cursors
+    /// identical between a faulted run (with retries) and a clean one.
+    ///
+    /// Delivery rolls the `stream::feed_emit` fault site up to
+    /// [`FEED_EMIT_TRIES`] times (each try is its own decision); injected
+    /// failures are retried, never allowed to drop the event — a lost
+    /// transition would make the live feed disagree with a batch rebuild.
+    ///
+    /// # Panics
+    /// When the event's cursor is not the feed's next cursor (caller bug).
+    pub fn emit(&mut self, event: ChangeEvent) {
+        assert_eq!(
+            event.cursor, self.next_cursor,
+            "feed events must consume the peeked cursor"
+        );
+        let key_base = format!("{}:{}", event.project, event.seq);
+        for try_n in 0..FEED_EMIT_TRIES {
+            if fault::roll(
+                fault::site::STREAM_FEED_EMIT,
+                &format!("{key_base}:{try_n}"),
+                &[fault::FaultKind::IoError],
+            )
+            .is_none()
+            {
+                break;
+            }
+        }
+        self.next_cursor += 1;
+        self.ring.push_back(event);
+        while self.ring.len() > self.capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Events with cursor strictly greater than `since`, at most `max`.
+    /// Sets `lagged` when the span right after `since` was already shed.
+    pub fn events_since(&self, since: u64, max: usize) -> FeedBatch {
+        let oldest_retained = self.ring.front().map_or(self.next_cursor, |e| e.cursor);
+        let lagged = since + 1 < oldest_retained;
+        let events: Vec<ChangeEvent> = self
+            .ring
+            .iter()
+            .filter(|e| e.cursor > since)
+            .take(max)
+            .cloned()
+            .collect();
+        let next_cursor = events.last().map_or_else(
+            || if lagged { oldest_retained - 1 } else { since },
+            |e| e.cursor,
+        );
+        FeedBatch {
+            events,
+            lagged,
+            next_cursor,
+        }
+    }
+}
+
+impl Default for ChangeFeed {
+    fn default() -> ChangeFeed {
+        ChangeFeed::new(FEED_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(feed: &ChangeFeed, project: &str, seq: u64, after: &str) -> ChangeEvent {
+        ChangeEvent {
+            cursor: feed.peek_cursor(),
+            project: project.to_owned(),
+            seq,
+            date: "2020-01-10".to_owned(),
+            before: None,
+            after: after.to_owned(),
+        }
+    }
+
+    #[test]
+    fn cursors_are_monotonic_and_resume() {
+        let mut feed = ChangeFeed::new(16);
+        for seq in 1..=3 {
+            let e = event(&feed, "p", seq, "frozen");
+            feed.emit(e);
+        }
+        let batch = feed.events_since(0, 100);
+        assert_eq!(batch.events.len(), 3);
+        assert!(!batch.lagged);
+        assert_eq!(batch.next_cursor, 3);
+        let tail = feed.events_since(batch.next_cursor, 100);
+        assert!(tail.events.is_empty());
+        assert_eq!(tail.next_cursor, 3, "resume cursor is stable when idle");
+    }
+
+    #[test]
+    fn slow_subscribers_shed_with_a_lagged_marker() {
+        let mut feed = ChangeFeed::new(4);
+        for seq in 1..=10 {
+            let e = event(&feed, "p", seq, "frozen");
+            feed.emit(e);
+        }
+        // Cursors 1..=6 have been shed; a subscriber at 2 lagged.
+        let batch = feed.events_since(2, 100);
+        assert!(batch.lagged);
+        assert_eq!(batch.events.first().map(|e| e.cursor), Some(7));
+        // A subscriber inside the window is not lagged.
+        let fresh = feed.events_since(8, 100);
+        assert!(!fresh.lagged);
+        assert_eq!(fresh.events.len(), 2);
+    }
+
+    #[test]
+    fn restart_never_reissues_a_cursor() {
+        let mut feed = ChangeFeed::new(16);
+        feed.resume_past(41); // highest cursor found in a replayed WAL
+        assert_eq!(feed.peek_cursor(), 42);
+        let e = event(&feed, "p", 7, "frozen");
+        feed.emit(e);
+        assert_eq!(feed.events_since(41, 10).events[0].cursor, 42);
+    }
+}

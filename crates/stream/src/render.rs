@@ -1,0 +1,126 @@
+//! Shared JSON/SSE renderers for append acknowledgements and feed batches,
+//! used verbatim by both the CLI (`schemachron append`) and the HTTP
+//! layer (`POST /project/{id}/commit`, `GET /changes`) — the CLI-vs-serve
+//! byte-identity discipline every other surface in this workspace follows.
+
+use serde_json::{json, Value};
+
+use crate::feed::{ChangeEvent, FeedBatch};
+use crate::store::Append;
+
+/// The acknowledgement body for one append outcome.
+pub fn ack_json(project: &str, outcome: &Append) -> Value {
+    match outcome {
+        Append::Appended {
+            seq,
+            cursor,
+            before,
+            after,
+        } => json!({
+            "project": (project),
+            "seq": (*seq),
+            "status": "appended",
+            "cursor": (*cursor),
+            "pattern": (after.as_str()),
+            "transition": {
+                "before": (before.as_deref()),
+                "after": (after.as_str()),
+            },
+        }),
+        Append::Duplicate { seq, last_seq } => json!({
+            "project": (project),
+            "seq": (*seq),
+            "status": "duplicate",
+            "last_seq": (*last_seq),
+        }),
+    }
+}
+
+/// One feed event as JSON.
+pub fn event_json(event: &ChangeEvent) -> Value {
+    json!({
+        "cursor": (event.cursor),
+        "project": (event.project.as_str()),
+        "seq": (event.seq),
+        "date": (event.date.as_str()),
+        "transition": {
+            "before": (event.before.as_deref()),
+            "after": (event.after.as_str()),
+        },
+    })
+}
+
+/// A `GET /changes` long-poll batch as JSON.
+pub fn changes_json(since: u64, batch: &FeedBatch) -> Value {
+    json!({
+        "since": (since),
+        "next_cursor": (batch.next_cursor),
+        "lagged": (batch.lagged),
+        "events": (batch.events.iter().map(event_json).collect::<Vec<Value>>()),
+    })
+}
+
+/// A feed batch framed as Server-Sent Events: one `transition` event per
+/// entry (`id:` carries the cursor for `Last-Event-ID` resume), plus a
+/// leading `lagged` marker event when the subscriber fell out of the
+/// retention window.
+pub fn sse_frames(batch: &FeedBatch) -> String {
+    let mut out = String::new();
+    if batch.lagged {
+        out.push_str("event: lagged\ndata: {\"lagged\": true}\n\n");
+    }
+    for event in &batch.events {
+        let data = serde_json::to_string(&event_json(event)).unwrap_or_else(|_| "{}".to_owned());
+        out.push_str(&format!(
+            "id: {}\nevent: transition\ndata: {data}\n\n",
+            event.cursor
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> FeedBatch {
+        FeedBatch {
+            events: vec![ChangeEvent {
+                cursor: 7,
+                project: "p".to_owned(),
+                seq: 3,
+                date: "2020-01-10".to_owned(),
+                before: Some("frozen".to_owned()),
+                after: "~frozen".to_owned(),
+            }],
+            lagged: true,
+            next_cursor: 7,
+        }
+    }
+
+    #[test]
+    fn ack_shapes_cover_both_outcomes() {
+        let appended = ack_json(
+            "p",
+            &Append::Appended {
+                seq: 1,
+                cursor: 4,
+                before: None,
+                after: "frozen".to_owned(),
+            },
+        );
+        assert_eq!(appended.get("status").and_then(Value::as_str), Some("appended"));
+        assert_eq!(appended.get("cursor").and_then(Value::as_u64), Some(4));
+        let dup = ack_json("p", &Append::Duplicate { seq: 1, last_seq: 3 });
+        assert_eq!(dup.get("status").and_then(Value::as_str), Some("duplicate"));
+        assert_eq!(dup.get("last_seq").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn sse_frames_carry_ids_and_lag_markers() {
+        let text = sse_frames(&batch());
+        assert!(text.starts_with("event: lagged\n"), "{text}");
+        assert!(text.contains("id: 7\nevent: transition\ndata: "), "{text}");
+        assert!(text.ends_with("\n\n"), "{text}");
+    }
+}

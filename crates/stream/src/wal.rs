@@ -1,0 +1,619 @@
+//! The per-project write-ahead commit log.
+//!
+//! One project's WAL is a directory of append-only **segment files**
+//! (`000001.wal`, `000002.wal`, …). Each segment opens with a header line
+//! naming the chain state it continues from, then carries records framed as
+//!
+//! ```text
+//! rec v1 seq=<n> cur=<c> date=<YYYY-MM-DD> len=<bytes> prev=<crc16x> crc=<crc16x>
+//! <payload bytes>
+//! ```
+//!
+//! The `crc` is a chained FNV-1a over `(prev, seq, cur, date, payload)`, so
+//! every record commits to the entire history before it — a WAL's final
+//! `crc` is a content hash of the whole commit chain. Appends write the
+//! record, then fsync, then acknowledge; a crash between any two steps
+//! leaves at worst a **torn tail**, which replay truncates back to the last
+//! acknowledged record. Mid-segment corruption (a bad chain in anything but
+//! the final record of the final segment) is never silently dropped: it
+//! surfaces as [`WalError::Corrupt`].
+//!
+//! Segment rotation follows the corpus store's atomic-write discipline:
+//! the fresh segment is staged as a hidden `.tmp` file, fsynced, and
+//! renamed into place before any record lands in it.
+//!
+//! Fault injection: [`append`](Wal::append) rolls `stream::wal_append`
+//! (I/O error or a genuine torn half-record on disk) before writing and
+//! `stream::wal_fsync` before the durability barrier, keyed by
+//! `project:seq` so chaos drills inject the same faults at any `--jobs`.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use schemachron_fault as fault;
+use schemachron_hash::{fnv1a, FNV_OFFSET};
+
+/// First line of every segment file.
+pub const SEGMENT_HEADER_PREFIX: &str = "# schemachron wal segment v1";
+
+/// Records per segment before rotation starts a new file.
+pub const SEGMENT_RECORDS: usize = 64;
+
+/// The chain seed: the `prev` checksum of the very first record.
+pub const CHAIN_SEED: u64 = FNV_OFFSET;
+
+/// One durable commit record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Client sequence number, contiguous from 1.
+    pub seq: u64,
+    /// The change-feed cursor assigned to this commit.
+    pub cursor: u64,
+    /// Commit date (`YYYY-MM-DD`).
+    pub date: String,
+    /// The DDL payload.
+    pub payload: String,
+}
+
+/// A WAL failure: plain I/O, or a corrupt chain that must not be ignored.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O error (including injected ones).
+    Io(std::io::Error),
+    /// The on-disk chain is inconsistent in a non-recoverable position.
+    Corrupt(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o: {e}"),
+            WalError::Corrupt(d) => write!(f, "wal corrupt: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// The chained record checksum: FNV-1a over the previous checksum, the
+/// sequence number, the feed cursor, the date and the payload bytes.
+/// Restated independently by the lint `H007` auditor.
+pub fn record_crc(prev: u64, seq: u64, cursor: u64, date: &str, payload: &[u8]) -> u64 {
+    let h = fnv1a(FNV_OFFSET, &prev.to_le_bytes());
+    let h = fnv1a(h, &seq.to_le_bytes());
+    let h = fnv1a(h, &cursor.to_le_bytes());
+    let h = fnv1a(h, date.as_bytes());
+    fnv1a(h, payload)
+}
+
+/// Encodes one record (header line + payload + newline).
+fn encode_record(rec: &WalRecord, prev: u64) -> Vec<u8> {
+    let crc = record_crc(prev, rec.seq, rec.cursor, &rec.date, rec.payload.as_bytes());
+    let mut out = format!(
+        "rec v1 seq={} cur={} date={} len={} prev={prev:016x} crc={crc:016x}\n",
+        rec.seq,
+        rec.cursor,
+        rec.date,
+        rec.payload.len(),
+    )
+    .into_bytes();
+    out.extend_from_slice(rec.payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+fn segment_name(index: u64) -> String {
+    format!("{index:06}.wal")
+}
+
+fn segment_header(base_seq: u64, base_crc: u64) -> String {
+    format!("{SEGMENT_HEADER_PREFIX} base_seq={base_seq} base_crc={base_crc:016x}\n")
+}
+
+/// Parses `key=value` out of a header fragment.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=').or(None))
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+fn field_hex(line: &str, key: &str) -> Option<u64> {
+    u64::from_str_radix(field(line, key)?, 16).ok()
+}
+
+/// Outcome of decoding one record at an offset.
+enum Decoded {
+    /// A valid record and the offset just past it.
+    Record(WalRecord, u64, usize),
+    /// Incomplete framing: the bytes stop mid-record, exactly what a
+    /// crashed half-write leaves. Recoverable by truncation at the tail.
+    Torn(String),
+    /// Complete framing but a failing checksum, and the offset just past
+    /// the framed record. Recoverable only when nothing follows it (an
+    /// unsynced tail); with valid records after, it is corruption.
+    TornChecksum(String, usize),
+    /// Never recoverable: a complete, checksum-valid record that violates
+    /// chain semantics, or framing bytes no writer ever produces.
+    Bad(String),
+}
+
+/// Decodes the record starting at `at`, chained from `prev`, expecting
+/// `seq == last_seq + 1` and `cursor > last_cursor`.
+fn decode_record(bytes: &[u8], at: usize, prev: u64, last_seq: u64, last_cursor: u64) -> Decoded {
+    let rest = &bytes[at..];
+    let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+        return Decoded::Torn("record header has no newline".to_owned());
+    };
+    let Ok(header) = std::str::from_utf8(&rest[..nl]) else {
+        return Decoded::Torn("record header is not UTF-8".to_owned());
+    };
+    if !header.starts_with("rec v1 ") {
+        return Decoded::Torn(format!("unrecognized record header `{header}`"));
+    }
+    let (Some(seq), Some(cursor), Some(date), Some(len), Some(prev_f), Some(crc)) = (
+        field_u64(header, "seq"),
+        field_u64(header, "cur"),
+        field(header, "date"),
+        field_u64(header, "len"),
+        field_hex(header, "prev"),
+        field_hex(header, "crc"),
+    ) else {
+        return Decoded::Torn(format!("record header is missing fields: `{header}`"));
+    };
+    let body_start = nl + 1;
+    let body_end = body_start + len as usize;
+    if rest.len() < body_end + 1 {
+        return Decoded::Torn(format!("record seq={seq} payload is truncated"));
+    }
+    if rest[body_end] != b'\n' {
+        return Decoded::Bad(format!("record seq={seq} payload is not newline-terminated"));
+    }
+    let body = &rest[body_start..body_end];
+    if prev_f != prev || crc != record_crc(prev, seq, cursor, date, body) {
+        return Decoded::TornChecksum(
+            format!("record seq={seq} fails its chained checksum"),
+            at + body_end + 1,
+        );
+    }
+    let Ok(payload) = std::str::from_utf8(body) else {
+        return Decoded::Bad(format!("record seq={seq} payload is not UTF-8"));
+    };
+    // Chain semantics: a checksum-valid record with a regressing sequence
+    // or cursor was written by broken logic, not torn by a crash.
+    if seq != last_seq + 1 {
+        return Decoded::Bad(format!(
+            "record seq={seq} breaks the sequence chain (expected {})",
+            last_seq + 1
+        ));
+    }
+    if cursor <= last_cursor {
+        return Decoded::Bad(format!(
+            "record seq={seq} cursor {cursor} does not advance past {last_cursor}"
+        ));
+    }
+    Decoded::Record(
+        WalRecord {
+            seq,
+            cursor,
+            date: date.to_owned(),
+            payload: payload.to_owned(),
+        },
+        crc,
+        at + body_end + 1,
+    )
+}
+
+/// One project's write-ahead log handle.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    project: String,
+    /// Replayed + appended records, oldest first.
+    records: Vec<WalRecord>,
+    /// Index of the segment currently appended to.
+    segment: u64,
+    /// Records already in the current segment.
+    segment_records: usize,
+    /// Byte length of the current segment up to the last valid record.
+    valid_len: u64,
+    /// Chain checksum of the last record ([`CHAIN_SEED`] when empty).
+    chain_crc: u64,
+    /// Last appended sequence number (0 when empty).
+    last_seq: u64,
+    /// Last assigned feed cursor (0 when empty).
+    last_cursor: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL in `dir`, replaying every segment.
+    ///
+    /// A torn tail — an incomplete or checksum-failing suffix of the final
+    /// segment — is truncated off the file; corruption anywhere else is a
+    /// [`WalError::Corrupt`].
+    ///
+    /// # Errors
+    /// I/O failures and non-recoverable chain corruption.
+    pub fn open(dir: &Path, project: &str) -> Result<Wal, WalError> {
+        fs::create_dir_all(dir)?;
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path
+                .file_name()
+                .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+            if let Some(idx) = name
+                .strip_suffix(".wal")
+                .and_then(|stem| stem.parse::<u64>().ok())
+            {
+                segments.push((idx, path));
+            }
+        }
+        segments.sort();
+
+        let mut wal = Wal {
+            dir: dir.to_owned(),
+            project: project.to_owned(),
+            records: Vec::new(),
+            segment: 0,
+            segment_records: 0,
+            valid_len: 0,
+            chain_crc: CHAIN_SEED,
+            last_seq: 0,
+            last_cursor: 0,
+        };
+        if segments.is_empty() {
+            wal.segment = 1;
+            wal.write_fresh_segment()?;
+            return Ok(wal);
+        }
+        let last_index = segments.len() - 1;
+        for (i, (idx, path)) in segments.iter().enumerate() {
+            wal.replay_segment(*idx, path, i == last_index)?;
+        }
+        Ok(wal)
+    }
+
+    /// Replays one segment. `is_last` enables torn-tail truncation.
+    fn replay_segment(&mut self, idx: u64, path: &Path, is_last: bool) -> Result<(), WalError> {
+        let bytes = fs::read(path)?;
+        let name = segment_name(idx);
+        let header_end = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|nl| nl + 1)
+            .ok_or_else(|| WalError::Corrupt(format!("{name}: segment header has no newline")))?;
+        let header = std::str::from_utf8(&bytes[..header_end - 1])
+            .map_err(|_| WalError::Corrupt(format!("{name}: segment header is not UTF-8")))?;
+        if !header.starts_with(SEGMENT_HEADER_PREFIX) {
+            return Err(WalError::Corrupt(format!(
+                "{name}: unrecognized segment header `{header}`"
+            )));
+        }
+        let base_seq = field_u64(header, "base_seq")
+            .ok_or_else(|| WalError::Corrupt(format!("{name}: header is missing base_seq")))?;
+        let base_crc = field_hex(header, "base_crc")
+            .ok_or_else(|| WalError::Corrupt(format!("{name}: header is missing base_crc")))?;
+        if base_seq != self.last_seq || base_crc != self.chain_crc {
+            return Err(WalError::Corrupt(format!(
+                "{name}: header continues from seq {base_seq} crc {base_crc:016x}, \
+                 but the chain is at seq {} crc {:016x}",
+                self.last_seq, self.chain_crc
+            )));
+        }
+
+        let mut at = header_end;
+        let mut segment_records = 0usize;
+        while at < bytes.len() {
+            match decode_record(&bytes, at, self.chain_crc, self.last_seq, self.last_cursor) {
+                Decoded::Record(rec, crc, next) => {
+                    self.last_seq = rec.seq;
+                    self.last_cursor = rec.cursor;
+                    self.chain_crc = crc;
+                    self.records.push(rec);
+                    segment_records += 1;
+                    at = next;
+                }
+                Decoded::Torn(detail) => {
+                    if !is_last {
+                        return Err(WalError::Corrupt(format!(
+                            "{name}: {detail} (mid-log, not a recoverable tail)"
+                        )));
+                    }
+                    // Torn tail: truncate the file back to the last valid
+                    // record and carry on from there.
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(at as u64)?;
+                    file.sync_all()?;
+                    at = bytes.len();
+                }
+                Decoded::TornChecksum(detail, end) => {
+                    // A framed record with a failing checksum is only an
+                    // unsynced tail when nothing follows it; a valid-looking
+                    // remainder means the chain was damaged mid-log.
+                    if !is_last || end < bytes.len() {
+                        return Err(WalError::Corrupt(format!(
+                            "{name}: {detail} (mid-log, not a recoverable tail)"
+                        )));
+                    }
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(at as u64)?;
+                    file.sync_all()?;
+                    at = bytes.len();
+                }
+                Decoded::Bad(detail) => {
+                    return Err(WalError::Corrupt(format!("{name}: {detail}")));
+                }
+            }
+        }
+        self.segment = idx;
+        self.segment_records = segment_records;
+        self.valid_len = at.min(bytes.len()) as u64;
+        Ok(())
+    }
+
+    /// Stages + renames a fresh, empty segment for the current chain state.
+    fn write_fresh_segment(&mut self) -> Result<(), std::io::Error> {
+        let name = segment_name(self.segment);
+        let tmp = self.dir.join(format!(".{name}.tmp"));
+        let header = segment_header(self.last_seq, self.chain_crc);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(&name))?;
+        // Durability of the rename itself: fsync the directory, best-effort
+        // on platforms where directories cannot be opened.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.segment_records = 0;
+        self.valid_len = header.len() as u64;
+        Ok(())
+    }
+
+    fn current_segment_path(&self) -> PathBuf {
+        self.dir.join(segment_name(self.segment))
+    }
+
+    /// Appends one record durably: write, fsync, then acknowledge by
+    /// returning. The caller supplies the next sequence number and the
+    /// feed cursor this commit will be announced under.
+    ///
+    /// On *any* error the in-memory state is unchanged and the file is
+    /// rolled back to the last acknowledged record before the next append
+    /// — so a failed attempt (injected or real) is always safely retryable
+    /// with the same `seq`.
+    ///
+    /// # Errors
+    /// I/O failures, including injected `stream::wal_append` /
+    /// `stream::wal_fsync` faults.
+    pub fn append(&mut self, rec: WalRecord) -> Result<(), WalError> {
+        if self.segment_records >= SEGMENT_RECORDS {
+            self.segment += 1;
+            self.write_fresh_segment()?;
+        }
+        let path = self.current_segment_path();
+        let encoded = encode_record(&rec, self.chain_crc);
+        let fault_key = format!("{}:{}", self.project, rec.seq);
+
+        let mut file = OpenOptions::new().append(true).open(&path)?;
+        // A previous failed attempt may have left a torn tail; truncation
+        // before the write keeps the on-disk chain equal to the in-memory
+        // one at every acknowledged point.
+        file.set_len(self.valid_len)?;
+        match fault::roll(
+            fault::site::STREAM_WAL_APPEND,
+            &fault_key,
+            &[fault::FaultKind::IoError, fault::FaultKind::PartialWrite],
+        ) {
+            Some(fault::FaultKind::PartialWrite) => {
+                // A genuine torn tail on disk: half the record, no fsync.
+                file.write_all(&encoded[..encoded.len() / 2])?;
+                return Err(WalError::Io(fault::injected_io_error(
+                    fault::site::STREAM_WAL_APPEND,
+                    &fault_key,
+                )));
+            }
+            Some(_) => {
+                return Err(WalError::Io(fault::injected_io_error(
+                    fault::site::STREAM_WAL_APPEND,
+                    &fault_key,
+                )));
+            }
+            None => {}
+        }
+        file.write_all(&encoded)?;
+        if fault::roll(
+            fault::site::STREAM_WAL_FSYNC,
+            &fault_key,
+            &[fault::FaultKind::IoError],
+        )
+        .is_some()
+        {
+            // The record is in the page cache but not durable: un-append it
+            // so the ack boundary and the chain stay aligned.
+            file.set_len(self.valid_len)?;
+            return Err(WalError::Io(fault::injected_io_error(
+                fault::site::STREAM_WAL_FSYNC,
+                &fault_key,
+            )));
+        }
+        file.sync_all()?;
+
+        self.chain_crc = record_crc(
+            self.chain_crc,
+            rec.seq,
+            rec.cursor,
+            &rec.date,
+            rec.payload.as_bytes(),
+        );
+        self.valid_len += encoded.len() as u64;
+        self.segment_records += 1;
+        self.last_seq = rec.seq;
+        self.last_cursor = rec.cursor;
+        self.records.push(rec);
+        Ok(())
+    }
+
+    /// All replayed + appended records, oldest first.
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    /// Last acknowledged sequence number (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Last assigned feed cursor (0 when empty).
+    pub fn last_cursor(&self) -> u64 {
+        self.last_cursor
+    }
+
+    /// The chained checksum of the full commit history — a content hash of
+    /// every record in order ([`CHAIN_SEED`] when empty).
+    pub fn chain_crc(&self) -> u64 {
+        self.chain_crc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("schemachron-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn rec(seq: u64, cursor: u64, sql: &str) -> WalRecord {
+        WalRecord {
+            seq,
+            cursor,
+            date: "2020-01-10".to_owned(),
+            payload: sql.to_owned(),
+        }
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let _shared = crate::testlock::shared();
+        let dir = tmp("roundtrip");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        wal.append(rec(2, 2, "ALTER TABLE t ADD COLUMN b INT;")).unwrap();
+        let crc = wal.chain_crc();
+        drop(wal);
+        let replayed = Wal::open(&dir, "p").unwrap();
+        assert_eq!(replayed.records().len(), 2);
+        assert_eq!(replayed.last_seq(), 2);
+        assert_eq!(replayed.last_cursor(), 2);
+        assert_eq!(replayed.chain_crc(), crc);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_replay() {
+        let _shared = crate::testlock::shared();
+        let dir = tmp("torn");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        let crc = wal.chain_crc();
+        drop(wal);
+        // Simulate a crash mid-append: half a record at the tail.
+        let seg = dir.join(segment_name(1));
+        let torn = encode_record(&rec(2, 2, "DROP TABLE t;"), crc);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&torn[..torn.len() / 2]).unwrap();
+        drop(f);
+        let mut replayed = Wal::open(&dir, "p").unwrap();
+        assert_eq!(replayed.records().len(), 1, "tail must be dropped");
+        assert_eq!(replayed.chain_crc(), crc);
+        // And the truncated log accepts the retried append cleanly.
+        replayed.append(rec(2, 2, "DROP TABLE t;")).unwrap();
+        assert_eq!(replayed.last_seq(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error() {
+        let _shared = crate::testlock::shared();
+        let dir = tmp("midlog");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        wal.append(rec(2, 2, "ALTER TABLE t ADD COLUMN b INT;")).unwrap();
+        drop(wal);
+        // Flip a payload byte of the FIRST record: the chain breaks in a
+        // non-tail position, so replay must refuse, not truncate.
+        let seg = dir.join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        let pos = bytes
+            .windows(6)
+            .position(|w| w == b"CREATE")
+            .expect("first payload present");
+        bytes[pos] = b'X';
+        fs::write(&seg, &bytes).unwrap();
+        match Wal::open(&dir, "p") {
+            Err(WalError::Corrupt(detail)) => {
+                assert!(detail.contains("not a recoverable tail"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_across_files() {
+        let _shared = crate::testlock::shared();
+        let dir = tmp("rotate");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        let n = SEGMENT_RECORDS as u64 + 5;
+        for seq in 1..=n {
+            wal.append(rec(seq, seq, "ALTER TABLE t ADD COLUMN c INT;")).unwrap();
+        }
+        let crc = wal.chain_crc();
+        drop(wal);
+        assert!(dir.join(segment_name(2)).is_file(), "rotation must have happened");
+        let replayed = Wal::open(&dir, "p").unwrap();
+        assert_eq!(replayed.records().len() as u64, n);
+        assert_eq!(replayed.chain_crc(), crc);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_append_faults_leave_the_log_retryable() {
+        let _faults = crate::testlock::exclusive();
+        let dir = tmp("faults");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        schemachron_fault::install(
+            schemachron_fault::FaultPlan::new(3, 1.0)
+                .with_sites([fault::site::STREAM_WAL_APPEND.to_owned()]),
+        );
+        let denied = wal.append(rec(2, 2, "DROP TABLE t;"));
+        assert!(denied.is_err(), "rate 1.0 must inject");
+        assert_eq!(wal.last_seq(), 1, "failed append must not advance");
+        schemachron_fault::clear();
+        // The same seq retries cleanly over whatever the fault left behind.
+        wal.append(rec(2, 2, "DROP TABLE t;")).unwrap();
+        let crc = wal.chain_crc();
+        drop(wal);
+        let replayed = Wal::open(&dir, "p").unwrap();
+        assert_eq!(replayed.chain_crc(), crc);
+        assert_eq!(replayed.records().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
