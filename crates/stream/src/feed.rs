@@ -131,7 +131,7 @@ impl ChangeFeed {
     /// Sets `lagged` when the span right after `since` was already shed.
     pub fn events_since(&self, since: u64, max: usize) -> FeedBatch {
         let oldest_retained = self.ring.front().map_or(self.next_cursor, |e| e.cursor);
-        let lagged = since + 1 < oldest_retained;
+        let lagged = since.saturating_add(1) < oldest_retained;
         let events: Vec<ChangeEvent> = self
             .ring
             .iter()
@@ -203,6 +203,21 @@ mod tests {
         let fresh = feed.events_since(8, 100);
         assert!(!fresh.lagged);
         assert_eq!(fresh.events.len(), 2);
+    }
+
+    #[test]
+    fn a_cursor_at_u64_max_does_not_overflow() {
+        // A client can send since=u64::MAX via `?since=` or Last-Event-ID;
+        // the lag check must saturate instead of wrapping.
+        let mut feed = ChangeFeed::new(4);
+        for seq in 1..=2 {
+            let e = event(&feed, "p", seq, "frozen");
+            feed.emit(e);
+        }
+        let batch = feed.events_since(u64::MAX, 100);
+        assert!(batch.events.is_empty());
+        assert!(!batch.lagged, "a cursor past the end is ahead, not lagged");
+        assert_eq!(batch.next_cursor, u64::MAX);
     }
 
     #[test]

@@ -331,11 +331,12 @@ impl Wal {
                         )));
                     }
                     // Torn tail: truncate the file back to the last valid
-                    // record and carry on from there.
+                    // record and carry on from there. `at` stays at the
+                    // truncation offset so valid_len below matches the file.
                     let file = OpenOptions::new().write(true).open(path)?;
                     file.set_len(at as u64)?;
                     file.sync_all()?;
-                    at = bytes.len();
+                    break;
                 }
                 Decoded::TornChecksum(detail, end) => {
                     // A framed record with a failing checksum is only an
@@ -349,7 +350,7 @@ impl Wal {
                     let file = OpenOptions::new().write(true).open(path)?;
                     file.set_len(at as u64)?;
                     file.sync_all()?;
-                    at = bytes.len();
+                    break;
                 }
                 Decoded::Bad(detail) => {
                     return Err(WalError::Corrupt(format!("{name}: {detail}")));
@@ -358,7 +359,9 @@ impl Wal {
         }
         self.segment = idx;
         self.segment_records = segment_records;
-        self.valid_len = at.min(bytes.len()) as u64;
+        // `at` is the offset just past the last valid record: bytes.len()
+        // after a clean replay, the truncation point after a torn tail.
+        self.valid_len = at as u64;
         Ok(())
     }
 
@@ -545,6 +548,34 @@ mod tests {
         // And the truncated log accepts the retried append cleanly.
         replayed.append(rec(2, 2, "DROP TABLE t;")).unwrap();
         assert_eq!(replayed.last_seq(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_after_torn_tail_recovery_survives_reopen() {
+        let _shared = crate::testlock::shared();
+        let dir = tmp("torn-reopen");
+        let mut wal = Wal::open(&dir, "p").unwrap();
+        wal.append(rec(1, 1, "CREATE TABLE t (a INT);")).unwrap();
+        let crc = wal.chain_crc();
+        drop(wal);
+        // A crash mid-append leaves half a record at the tail.
+        let seg = dir.join(segment_name(1));
+        let torn = encode_record(&rec(2, 2, "DROP TABLE t;"), crc);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&torn[..torn.len() / 2]).unwrap();
+        drop(f);
+        // Recovery truncates, the retry is acked — and the acked record
+        // must survive a second replay (valid_len must be the truncated
+        // length, or the retry lands after a NUL gap and is dropped here).
+        let mut recovered = Wal::open(&dir, "p").unwrap();
+        recovered.append(rec(2, 2, "DROP TABLE t;")).unwrap();
+        let crc2 = recovered.chain_crc();
+        drop(recovered);
+        let replayed = Wal::open(&dir, "p").unwrap();
+        assert_eq!(replayed.records().len(), 2, "acked retry must survive reopen");
+        assert_eq!(replayed.last_seq(), 2);
+        assert_eq!(replayed.chain_crc(), crc2);
         let _ = fs::remove_dir_all(&dir);
     }
 
